@@ -1,0 +1,80 @@
+//! Outer-product Aggregation Engine timing and energy (paper §V-D).
+//!
+//! Combined node features (4-bit, ~100% dense) are broadcast across the 256
+//! Aggregation Units, one dimension per unit; each out-edge of the node
+//! contributes `out_dim` scalar MACs against 16-bit partial sums. The
+//! Encoder (32 QN units) quantizes and packages finished nodes.
+
+use mega_hw::EnergyTable;
+use mega_sim::Workload;
+
+use crate::config::MegaConfig;
+
+/// Aggregation-phase busy cycles for layer `l`: MAC-throughput bound or
+/// Encoder bound, whichever is slower (they pipeline).
+pub fn cycles(cfg: &MegaConfig, workload: &Workload, l: usize) -> u64 {
+    let layer = &workload.layers[l];
+    let macs = workload.aggregation_macs(l);
+    let mac_cycles = macs.div_ceil(cfg.aggregation_units as u64);
+    let encode_cycles = (workload.num_nodes() as u64 * layer.out_dim as u64)
+        .div_ceil(cfg.encoder_qn_units as u64);
+    mac_cycles.max(encode_cycles)
+}
+
+/// Aggregation-phase processing-unit energy (pJ): 4-bit multiplies with
+/// 16-bit accumulates (modeled at the 8-bit table entry, conservative),
+/// plus the Encoder's quantize ops.
+pub fn energy_pj(table: &EnergyTable, workload: &Workload, l: usize) -> f64 {
+    let layer = &workload.layers[l];
+    let macs = workload.aggregation_macs(l) as f64;
+    let encode_ops = (workload.num_nodes() * layer.out_dim) as f64;
+    macs * table.int_mac(8) * 0.6 + encode_ops * table.int8_add
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::uniform_random;
+    use std::rc::Rc;
+
+    fn workload(edges_factor: usize, out_dim: usize) -> Workload {
+        let g = Rc::new(uniform_random(128, 128 * edges_factor, 5));
+        Workload::uniform("T", "GCN", g, &[64, out_dim], &[0.5], 4, 4)
+    }
+
+    #[test]
+    fn cycles_scale_with_edges() {
+        let cfg = MegaConfig::default();
+        // Dense-enough graphs that the MAC array (not the Encoder) bounds.
+        let sparse = workload(20, 128);
+        let dense = workload(80, 128);
+        assert!(cycles(&cfg, &dense, 0) > 2 * cycles(&cfg, &sparse, 0));
+    }
+
+    #[test]
+    fn mac_throughput_matches_unit_count() {
+        let cfg = MegaConfig::default();
+        let w = workload(20, 128);
+        let macs = w.aggregation_macs(0);
+        // Encoder is not the bottleneck here: 20 edges/node ≫ encode rate.
+        assert_eq!(cycles(&cfg, &w, 0), macs.div_ceil(256));
+    }
+
+    #[test]
+    fn encoder_can_become_the_bottleneck() {
+        // Almost no edges: encoding n×out values dominates.
+        let g = Rc::new(uniform_random(512, 16, 6));
+        let w = Workload::uniform("T", "GCN", g, &[8, 256], &[1.0], 4, 4);
+        let cfg = MegaConfig::default();
+        let encode = (512u64 * 256).div_ceil(32);
+        assert_eq!(cycles(&cfg, &w, 0), encode);
+    }
+
+    #[test]
+    fn energy_positive_and_scales() {
+        let t = EnergyTable::default();
+        let small = workload(2, 64);
+        let large = workload(2, 128);
+        assert!(energy_pj(&t, &large, 0) > energy_pj(&t, &small, 0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Functional model of the bit-serial datapath (paper Fig. 10 and Fig. 11):
+//! the Decoder's weight-index generation and the C-PE/BSE computation.
+//!
+//! The timing model in [`crate::combination`] charges `b` beats per BSE
+//! batch; this module executes the actual dataflow — AND gates, adder tree,
+//! shifter-accumulator — and proves it computes exactly the integer product
+//! `x̄ · W̄` the quantized algorithm expects. It is the software stand-in
+//! for the paper's "execution cycles ... validated with the HDL design at
+//! the cycle level".
+
+/// The Decoder's Weight Index Generator (Fig. 10(b)): converts a node's
+/// non-zero bitmap into the row indices of `W` that the crossbar must
+/// deliver to the C-PEs.
+pub fn weight_indices(bitmap: &[bool]) -> Vec<u32> {
+    bitmap
+        .iter()
+        .enumerate()
+        .filter(|(_, &set)| set)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// One Bit-Serial Engine (Fig. 10(c)): an AND unit plus weight / feature-bit
+/// / result registers.
+#[derive(Debug, Clone, Default)]
+struct Bse {
+    weight: i32,
+    result: i32,
+}
+
+impl Bse {
+    /// One beat: AND the loaded weight with one feature bit, contributing
+    /// `weight` when the bit is set.
+    fn beat(&mut self, feature_bit: bool) {
+        if feature_bit {
+            self.result += self.weight;
+        }
+    }
+}
+
+/// A C-PE: `n` BSEs, an adder tree, and a shifter-accumulator computing one
+/// output feature as `Σ_bits (Σ_bse AND(w, x_bit)) << shift`.
+///
+/// Features arrive sign-magnitude (the paper's Eq. 2 quantizer): the sign is
+/// applied when the non-zero value is loaded, magnitude bits stream LSB→MSB.
+#[derive(Debug, Clone)]
+pub struct CombinationPe {
+    bses: Vec<Bse>,
+    accumulator: i64,
+}
+
+impl CombinationPe {
+    /// A C-PE with `n_bse` bit-serial engines.
+    pub fn new(n_bse: usize) -> Self {
+        Self {
+            bses: vec![Bse::default(); n_bse],
+            accumulator: 0,
+        }
+    }
+
+    /// Computes the dot product of a node's non-zero quantized features
+    /// (`levels`, signed, `bits`-wide magnitudes) with the matching weight
+    /// rows, via the bit-serial dataflow. Returns the exact integer result
+    /// and the number of BSE beats consumed (the quantity the timing model
+    /// charges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` and `weights` lengths differ or a level exceeds
+    /// the magnitude range.
+    pub fn vector_dot(&mut self, levels: &[i16], weights: &[i32], bits: u8) -> (i64, u64) {
+        assert_eq!(levels.len(), weights.len(), "operand length mismatch");
+        let magnitude_bits = if bits <= 1 { 1 } else { bits - 1 };
+        let max = if bits == 1 { 1 } else { (1i16 << (bits - 1)) - 1 };
+        self.accumulator = 0;
+        let mut beats = 0u64;
+        // Batches of `n` non-zeros share the BSE array (Fig. 11's groups).
+        for (batch_l, batch_w) in levels
+            .chunks(self.bses.len())
+            .zip(weights.chunks(self.bses.len()))
+        {
+            // Load weights with the feature's sign folded in (sign-magnitude
+            // features; the crossbar unicasts the selected rows of W).
+            for (bse, (&l, &w)) in self.bses.iter_mut().zip(batch_l.iter().zip(batch_w)) {
+                assert!(l.abs() <= max, "level {l} exceeds {bits}-bit range");
+                bse.weight = if l < 0 { -w } else { w };
+                bse.result = 0;
+            }
+            // Stream magnitude bits LSB-first: each beat ANDs one bit plane
+            // against the loaded weights, the adder tree sums the plane, and
+            // the Shifter-Acc folds it in at the plane's significance
+            // (Fig. 10(c)).
+            for bit in 0..magnitude_bits {
+                for (bse, &l) in self.bses.iter_mut().zip(batch_l.iter()) {
+                    bse.result = 0;
+                    bse.beat((l.unsigned_abs() >> bit) & 1 == 1);
+                }
+                beats += 1;
+                let plane: i64 = self
+                    .bses
+                    .iter()
+                    .take(batch_l.len())
+                    .map(|b| b.result as i64)
+                    .sum();
+                self.accumulator += plane << bit;
+            }
+        }
+        (self.accumulator, beats)
+    }
+}
+
+/// Computes a full quantized vector-matrix product `x̄ᵀ·W̄` with `m` C-PEs of
+/// `n` BSEs (one output column per C-PE pass), returning the outputs and
+/// total beats — the functional counterpart of
+/// [`crate::combination::cycles`].
+pub fn bit_serial_vmm(
+    levels: &[i16],
+    weight_rows: &[Vec<i32>],
+    bits: u8,
+    n_bse: usize,
+) -> (Vec<i64>, u64) {
+    assert_eq!(levels.len(), weight_rows.len(), "one weight row per nnz");
+    let out_dim = weight_rows.first().map_or(0, Vec::len);
+    let mut outputs = Vec::with_capacity(out_dim);
+    let mut total_beats = 0;
+    let mut pe = CombinationPe::new(n_bse);
+    for col in 0..out_dim {
+        let column: Vec<i32> = weight_rows.iter().map(|r| r[col]).collect();
+        let (value, beats) = pe.vector_dot(levels, &column, bits);
+        outputs.push(value);
+        total_beats += beats;
+    }
+    (outputs, total_beats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_dot(levels: &[i16], weights: &[i32]) -> i64 {
+        levels
+            .iter()
+            .zip(weights)
+            .map(|(&l, &w)| l as i64 * w as i64)
+            .sum()
+    }
+
+    #[test]
+    fn weight_indices_follow_bitmap() {
+        let bitmap = [true, false, false, true, true];
+        assert_eq!(weight_indices(&bitmap), vec![0, 3, 4]);
+        assert!(weight_indices(&[false; 4]).is_empty());
+    }
+
+    #[test]
+    fn bit_serial_dot_matches_integer_arithmetic() {
+        let levels = [3i16, -2, 7, 1, -7];
+        let weights = [5i32, -3, 2, 7, 1];
+        let mut pe = CombinationPe::new(4); // forces two batches
+        let (value, beats) = pe.vector_dot(&levels, &weights, 4);
+        assert_eq!(value, reference_dot(&levels, &weights));
+        // 4-bit features: 3 magnitude bits per batch, 2 batches.
+        assert_eq!(beats, 2 * 3);
+    }
+
+    #[test]
+    fn one_bit_features_are_sign_only() {
+        let levels = [1i16, -1, 1];
+        let weights = [10i32, 20, 30];
+        let mut pe = CombinationPe::new(8);
+        let (value, beats) = pe.vector_dot(&levels, &weights, 1);
+        assert_eq!(value, 10 - 20 + 30);
+        assert_eq!(beats, 1);
+    }
+
+    #[test]
+    fn beats_scale_linearly_with_bitwidth() {
+        let levels = [1i16; 32];
+        let weights = [1i32; 32];
+        let mut pe = CombinationPe::new(32);
+        let (_, beats2) = pe.vector_dot(&levels, &weights, 3);
+        let (_, beats8) = pe.vector_dot(&levels, &weights, 8);
+        assert_eq!(beats2, 2);
+        assert_eq!(beats8, 7);
+    }
+
+    #[test]
+    fn vmm_matches_reference_on_every_column() {
+        let levels = [2i16, -1, 3];
+        let weight_rows = vec![vec![1, -2, 3], vec![4, 5, -6], vec![-7, 8, 9]];
+        let (out, beats) = bit_serial_vmm(&levels, &weight_rows, 3, 2);
+        for (col, &o) in out.iter().enumerate() {
+            let column: Vec<i32> = weight_rows.iter().map(|r| r[col]).collect();
+            assert_eq!(o, reference_dot(&levels, &column), "column {col}");
+        }
+        // 3 nnz / 2 BSEs = 2 batches × 2 magnitude bits × 3 columns.
+        assert_eq!(beats, 2 * 2 * 3);
+    }
+
+    #[test]
+    fn empty_input_yields_zero_work() {
+        let (out, beats) = bit_serial_vmm(&[], &[], 4, 8);
+        assert!(out.is_empty());
+        assert_eq!(beats, 0);
+    }
+}

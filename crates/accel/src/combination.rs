@@ -1,0 +1,153 @@
+//! Bit-serial Combination Engine timing and energy (paper §V-C).
+//!
+//! Per node `v` with `nnz_v` non-zero input features at bitwidth `b_v`:
+//! the four tiles split the non-zeros across `tiles × bses_per_cpe`
+//! parallel BSE lanes; each batch of lanes takes `b_v` beats (one bit per
+//! cycle, Fig. 11); the 8 C-PEs per tile produce 8 output features at a
+//! time, so `⌈out_dim / cpes⌉` passes complete the row of `B = XW`.
+
+use mega_hw::EnergyTable;
+use mega_sim::Workload;
+
+use crate::config::{FeatureStorage, MegaConfig};
+
+/// The effective bit-serial width of node `v`: its own bitwidth under
+/// Adaptive-Package storage, or the highest representable bitwidth (8)
+/// under Bitmap storage, which cannot express per-node widths — the paper's
+/// Fig. 19 ablation states the features are then stored and processed "with
+/// the highest bitwidth (8bit)".
+pub fn effective_bits(cfg: &MegaConfig, bits: &[u8], v: usize) -> u8 {
+    match cfg.storage {
+        FeatureStorage::AdaptivePackage => bits[v],
+        FeatureStorage::Bitmap => 8,
+    }
+}
+
+/// Combination-phase busy cycles for layer `l`.
+pub fn cycles(cfg: &MegaConfig, workload: &Workload, l: usize) -> u64 {
+    let layer = &workload.layers[l];
+    let nnz = (layer.in_dim as f64 * layer.input_density).ceil() as u64;
+    let batches = nnz.div_ceil(cfg.nnz_lanes() as u64).max(1);
+    let passes = (layer.out_dim as u64).div_ceil(cfg.cpes_per_tile as u64);
+    let mut total = 0u64;
+    match cfg.storage {
+        FeatureStorage::AdaptivePackage => {
+            // Per-node bitwidths: sum b_v over nodes, then scale.
+            let bit_sum: u64 = layer.input_bits.iter().map(|&b| b as u64).sum();
+            total += bit_sum * batches * passes;
+        }
+        FeatureStorage::Bitmap => {
+            total += workload.num_nodes() as u64 * 8 * batches * passes;
+        }
+    }
+    total
+}
+
+/// Combination-phase processing-unit energy (pJ) for layer `l`: one BitOP
+/// per (non-zero × bit × output feature), plus adder-tree/shifter overhead
+/// folded into a 1.5× factor, plus 4-bit weight-register reads.
+pub fn energy_pj(
+    cfg: &MegaConfig,
+    table: &EnergyTable,
+    workload: &Workload,
+    l: usize,
+) -> f64 {
+    let layer = &workload.layers[l];
+    let nnz = (layer.in_dim as f64 * layer.input_density).ceil();
+    let bit_sum: f64 = match cfg.storage {
+        FeatureStorage::AdaptivePackage => {
+            layer.input_bits.iter().map(|&b| b as f64).sum()
+        }
+        FeatureStorage::Bitmap => 8.0 * workload.num_nodes() as f64,
+    };
+    let bitops = bit_sum * nnz * layer.out_dim as f64;
+    bitops * table.bitop * 1.5
+}
+
+/// Multiply-accumulate count of the combination phase (for cross-simulator
+/// sanity checks: every `A(XW)` design does the same math).
+pub fn macs(workload: &Workload, l: usize) -> u64 {
+    workload.combination_macs_sparse(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::uniform_random;
+    use std::rc::Rc;
+
+    fn workload(bits: Vec<u8>) -> Workload {
+        let n = bits.len();
+        let g = Rc::new(uniform_random(n, n * 4, 3));
+        mega_sim::Workload::mixed(
+            "T",
+            "GCN",
+            g,
+            &[256, 16],
+            &[0.5],
+            vec![bits],
+            4,
+        )
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_bitwidth() {
+        let cfg = MegaConfig::default();
+        let w2 = workload(vec![2; 64]);
+        let w8 = workload(vec![8; 64]);
+        assert_eq!(cycles(&cfg, &w8, 0), 4 * cycles(&cfg, &w2, 0));
+    }
+
+    #[test]
+    fn bitmap_storage_pays_the_maximum_bitwidth() {
+        let mut bits = vec![2u8; 64];
+        bits[0] = 8; // one important node drags everyone up under Bitmap
+        let w = workload(bits);
+        let ap = MegaConfig::default();
+        let bm = MegaConfig {
+            storage: FeatureStorage::Bitmap,
+            ..MegaConfig::default()
+        };
+        let c_ap = cycles(&ap, &w, 0);
+        let c_bm = cycles(&bm, &w, 0);
+        assert!(
+            c_bm > 3 * c_ap,
+            "bitmap {c_bm} should be ~4x adaptive {c_ap}"
+        );
+    }
+
+    #[test]
+    fn more_lanes_means_fewer_cycles() {
+        let w = workload(vec![4; 64]);
+        let small = MegaConfig {
+            bses_per_cpe: 8,
+            ..MegaConfig::default()
+        };
+        let big = MegaConfig::default();
+        assert!(cycles(&small, &w, 0) > cycles(&big, &w, 0));
+    }
+
+    #[test]
+    fn energy_tracks_bitops() {
+        let cfg = MegaConfig::default();
+        let table = EnergyTable::default();
+        let w2 = workload(vec![2; 64]);
+        let w4 = workload(vec![4; 64]);
+        let e2 = energy_pj(&cfg, &table, &w2, 0);
+        let e4 = energy_pj(&cfg, &table, &w4, 0);
+        assert!((e4 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_bits_respects_storage_mode() {
+        let mut bits = vec![2u8; 4];
+        bits[3] = 7;
+        let ap = MegaConfig::default();
+        let bm = MegaConfig {
+            storage: FeatureStorage::Bitmap,
+            ..MegaConfig::default()
+        };
+        assert_eq!(effective_bits(&ap, &bits, 0), 2);
+        assert_eq!(effective_bits(&bm, &bits, 0), 8);
+    }
+}

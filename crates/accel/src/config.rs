@@ -1,0 +1,192 @@
+//! MEGA configuration (Table IV) and ablation toggles.
+
+use mega_format::PackageConfig;
+use mega_hw::DramConfig;
+
+/// How node features are stored in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureStorage {
+    /// The paper's Adaptive-Package format: per-node bitwidths, adaptive
+    /// package lengths, separate bitmap index.
+    AdaptivePackage,
+    /// Bitmap sparse format storing every value at the *highest* bitwidth
+    /// present (the Fig. 19 "with quantization but store using Bitmap"
+    /// ablation) — this also forces the bit-serial datapath to run at the
+    /// maximum bitwidth.
+    Bitmap,
+}
+
+/// Sparse-connection scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondenseMode {
+    /// Condense-Edge on, graph partitioned with the multilevel partitioner
+    /// (the full design).
+    Partitioned,
+    /// Condense-Edge on, no partitioner: subgraphs are contiguous node
+    /// blocks (§VII-2 discussion).
+    NoPartition,
+    /// Condense-Edge off: sparse connections gather randomly from the
+    /// combined-feature array in DRAM (the Fig. 19 middle ablation; this is
+    /// also how GROW behaves).
+    Off,
+}
+
+/// Full configuration of the MEGA simulator.
+#[derive(Debug, Clone)]
+pub struct MegaConfig {
+    /// Combination Tiles.
+    pub tiles: usize,
+    /// C-PEs per tile (parallel output features).
+    pub cpes_per_tile: usize,
+    /// Bit-Serial Engines per C-PE (parallel non-zeros).
+    pub bses_per_cpe: usize,
+    /// Scalar aggregation units.
+    pub aggregation_units: usize,
+    /// Encoder QN units (values quantized+encoded per cycle).
+    pub encoder_qn_units: usize,
+    /// Input Buffer capacity (KB).
+    pub input_buffer_kb: u32,
+    /// Weight Buffer capacity (KB).
+    pub weight_buffer_kb: u32,
+    /// Edge Buffer capacity (KB).
+    pub edge_buffer_kb: u32,
+    /// Aggregation Buffer capacity (KB) — bounds subgraph size via 16-bit
+    /// partial sums.
+    pub aggregation_buffer_kb: u32,
+    /// Combination Buffer capacity (KB).
+    pub combination_buffer_kb: u32,
+    /// Sparse Buffer capacity (KB) — staging for Condense-Edge regions.
+    pub sparse_buffer_kb: u32,
+    /// Condense Unit eID FIFO count.
+    pub condense_fifos: usize,
+    /// Feature storage format.
+    pub storage: FeatureStorage,
+    /// Sparse-connection scheduling.
+    pub condense: CondenseMode,
+    /// Package length levels.
+    pub package: PackageConfig,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Compute/memory overlap factor of the fused pipeline (ping-pong
+    /// buffers everywhere, §V-A).
+    pub overlap: f64,
+    /// Total die area (mm², Table IV) for leakage accounting.
+    pub area_mm2: f64,
+}
+
+impl Default for MegaConfig {
+    fn default() -> Self {
+        Self {
+            tiles: 4,
+            cpes_per_tile: 8,
+            bses_per_cpe: 32,
+            aggregation_units: 256,
+            encoder_qn_units: 32,
+            input_buffer_kb: 64,
+            weight_buffer_kb: 48,
+            edge_buffer_kb: 24,
+            aggregation_buffer_kb: 128,
+            combination_buffer_kb: 96,
+            sparse_buffer_kb: 32,
+            condense_fifos: 16,
+            storage: FeatureStorage::AdaptivePackage,
+            condense: CondenseMode::Partitioned,
+            package: PackageConfig::default(),
+            dram: DramConfig::default(),
+            overlap: 0.95,
+            area_mm2: mega_hw::area::table_iv_total_area(),
+        }
+    }
+}
+
+impl MegaConfig {
+    /// Total BSE count (`4 × 8 × 32 = 1024` in Table IV).
+    pub fn total_bses(&self) -> usize {
+        self.tiles * self.cpes_per_tile * self.bses_per_cpe
+    }
+
+    /// Parallel non-zero lanes per bit-serial beat (all tiles).
+    pub fn nnz_lanes(&self) -> usize {
+        self.tiles * self.bses_per_cpe
+    }
+
+    /// Total on-chip buffer capacity (KB); the paper matches baselines to
+    /// this 392 KB budget.
+    pub fn total_buffer_kb(&self) -> u32 {
+        self.input_buffer_kb
+            + self.weight_buffer_kb
+            + self.edge_buffer_kb
+            + self.aggregation_buffer_kb
+            + self.combination_buffer_kb
+            + self.sparse_buffer_kb
+    }
+
+    /// Nodes per subgraph such that 16-bit aggregation partial sums fill at
+    /// most half the (ping-pong) Aggregation Buffer.
+    pub fn nodes_per_subgraph(&self, max_out_dim: usize) -> usize {
+        let half = self.aggregation_buffer_kb as usize * 1024 / 2;
+        (half / (2 * max_out_dim.max(1))).max(1)
+    }
+
+    /// The Fig. 19 ablation point: quantization only, Bitmap storage, no
+    /// Condense-Edge.
+    pub fn ablation_bitmap() -> Self {
+        Self {
+            storage: FeatureStorage::Bitmap,
+            condense: CondenseMode::Off,
+            ..Self::default()
+        }
+    }
+
+    /// The Fig. 19 ablation point: Adaptive-Package storage, no
+    /// Condense-Edge.
+    pub fn ablation_no_condense() -> Self {
+        Self {
+            condense: CondenseMode::Off,
+            ..Self::default()
+        }
+    }
+
+    /// The §VII-2 variant: Condense-Edge without graph partitioning.
+    pub fn without_partitioning() -> Self {
+        Self {
+            condense: CondenseMode::NoPartition,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_defaults() {
+        let c = MegaConfig::default();
+        assert_eq!(c.total_bses(), 1024);
+        assert_eq!(c.total_buffer_kb(), 392);
+        assert_eq!(c.aggregation_units, 256);
+        assert!((c.area_mm2 - 1.874).abs() < 0.01);
+    }
+
+    #[test]
+    fn subgraph_sizing_respects_ping_pong() {
+        let c = MegaConfig::default();
+        // 128 KB / 2 (ping-pong) / (2 B × 128 dims) = 256 nodes.
+        assert_eq!(c.nodes_per_subgraph(128), 256);
+        assert_eq!(c.nodes_per_subgraph(256), 128);
+        assert!(c.nodes_per_subgraph(1 << 30) >= 1);
+    }
+
+    #[test]
+    fn ablation_constructors_flip_the_right_switches() {
+        let b = MegaConfig::ablation_bitmap();
+        assert_eq!(b.storage, FeatureStorage::Bitmap);
+        assert_eq!(b.condense, CondenseMode::Off);
+        let nc = MegaConfig::ablation_no_condense();
+        assert_eq!(nc.storage, FeatureStorage::AdaptivePackage);
+        assert_eq!(nc.condense, CondenseMode::Off);
+        let np = MegaConfig::without_partitioning();
+        assert_eq!(np.condense, CondenseMode::NoPartition);
+    }
+}

@@ -1,0 +1,386 @@
+//! The full MEGA simulator: per-layer timing, DRAM tracing, and energy.
+
+use std::rc::Rc;
+
+use mega_format::package::estimate_stream;
+use mega_graph::{Graph, NodeId};
+use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
+use mega_partition::{partition, PartitionConfig, Partitioning};
+use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
+
+use crate::combination;
+use crate::condense::CondenseUnit;
+use crate::config::{CondenseMode, FeatureStorage, MegaConfig};
+use crate::aggregation;
+
+// Disjoint address regions for the DRAM trace.
+const ADDR_WEIGHTS: u64 = 0x1000_0000;
+const ADDR_ADJACENCY: u64 = 0x4000_0000;
+const ADDR_FEATURES: u64 = 0x8000_0000;
+const ADDR_COMBINED: u64 = 0x10_0000_0000;
+const ADDR_SPARSE: u64 = 0x20_0000_0000;
+const ADDR_OUTPUT: u64 = 0x40_0000_0000;
+
+/// The MEGA accelerator simulator. See crate docs.
+#[derive(Debug, Clone)]
+pub struct Mega {
+    cfg: MegaConfig,
+    label: String,
+    energy_table: EnergyTable,
+}
+
+impl Mega {
+    /// MEGA with the given configuration.
+    pub fn new(cfg: MegaConfig) -> Self {
+        Self {
+            cfg,
+            label: "MEGA".to_string(),
+            energy_table: EnergyTable::default(),
+        }
+    }
+
+    /// Overrides the display name (used by ablation variants).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MegaConfig {
+        &self.cfg
+    }
+
+    /// Encoded size in bytes of the feature map entering layer `l`.
+    fn input_storage_bytes(&self, workload: &Workload, l: usize) -> u64 {
+        let layer = &workload.layers[l];
+        let n = workload.num_nodes();
+        let nnz = (layer.in_dim as f64 * layer.input_density).ceil() as u64;
+        match self.cfg.storage {
+            FeatureStorage::AdaptivePackage => {
+                let est = estimate_stream(
+                    (0..n).map(|v| (combination::effective_bits(&self.cfg, &layer.input_bits, v), nnz)),
+                    layer.in_dim as u64,
+                    self.cfg.package,
+                );
+                est.total_bytes()
+            }
+            FeatureStorage::Bitmap => {
+                // Bitmap cannot express per-node widths: values stored at
+                // the highest bitwidth, 8 (paper §VI-D-1).
+                let bitmap_bits = n as u64 * layer.in_dim as u64;
+                let value_bits = n as u64 * nnz * 8;
+                (bitmap_bits + value_bits).div_ceil(8)
+            }
+        }
+    }
+
+    /// Byte size of one combined (post-`XW`) node row: `out_dim` 4-bit
+    /// values, ~100% dense (paper §V-D).
+    fn combined_row_bytes(layer_out_dim: usize) -> u64 {
+        ((layer_out_dim as u64) * 4).div_ceil(8).max(1)
+    }
+
+    fn build_partitioning(&self, graph: &Rc<Graph>, max_out_dim: usize) -> Partitioning {
+        let n = graph.num_nodes();
+        let nodes_per = self.cfg.nodes_per_subgraph(max_out_dim);
+        let k = n.div_ceil(nodes_per).max(1).min(n.max(1));
+        match self.cfg.condense {
+            CondenseMode::Partitioned | CondenseMode::Off => {
+                if k <= 1 {
+                    Partitioning::new(vec![0; n], 1)
+                } else {
+                    partition(graph, &PartitionConfig::new(k))
+                }
+            }
+            CondenseMode::NoPartition => {
+                // Contiguous node blocks (§VII-2).
+                let assignment =
+                    (0..n).map(|v| (v / nodes_per) as u32).collect::<Vec<_>>();
+                Partitioning::new(assignment, k)
+            }
+        }
+    }
+}
+
+impl Accelerator for Mega {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn run(&self, workload: &Workload) -> RunResult {
+        let cfg = &self.cfg;
+        let table = &self.energy_table;
+        let n = workload.num_nodes();
+        let num_layers = workload.layers.len();
+        let max_out = workload
+            .layers
+            .iter()
+            .map(|l| l.out_dim)
+            .max()
+            .unwrap_or(1);
+        let parts = self.build_partitioning(&workload.graph, max_out);
+        let sparse = parts.sparse_connections(&workload.graph);
+        // Combination order = subgraph-major; external-source FIFOs must be
+        // sorted by that order (Algorithm 1 requires ascending eIDs).
+        let mut order_rank = vec![0u32; n];
+        for (rank, v) in parts
+            .members()
+            .into_iter()
+            .flatten()
+            .enumerate()
+        {
+            order_rank[v as usize] = rank as u32;
+        }
+
+        let mut pipeline = PipelineStats::default();
+        let mut dram_stats = DramStats::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut total_sram_bytes = 0.0f64;
+
+        for l in 0..num_layers {
+            let layer = &workload.layers[l];
+            let mut dram = DramSim::new(cfg.dram.clone());
+
+            // --- Compute cycles (the two engines pipeline node-by-node). ---
+            let comb_cycles = combination::cycles(cfg, workload, l);
+            let agg_cycles = aggregation::cycles(cfg, workload, l);
+            let compute_cycles = comb_cycles.max(agg_cycles);
+
+            // --- DRAM trace. ---
+            dram.read(ADDR_WEIGHTS, workload.weight_bytes(l));
+            dram.read(ADDR_ADJACENCY, workload.adjacency_bytes());
+            let in_bytes = self.input_storage_bytes(workload, l);
+            let on_chip_threshold = cfg.input_buffer_kb as u64 * 1024 / 2;
+            if l == 0 || in_bytes > on_chip_threshold {
+                dram.read(ADDR_FEATURES, in_bytes);
+            }
+            // Output feature map of this layer = input map of the next.
+            if l + 1 < num_layers {
+                let out_bytes = self.input_storage_bytes(workload, l + 1);
+                if out_bytes > on_chip_threshold {
+                    dram.write(ADDR_OUTPUT, out_bytes);
+                }
+            } else {
+                // Final logits, 16-bit.
+                dram.write(ADDR_OUTPUT, (n * layer.out_dim) as u64 * 2);
+            }
+
+            // Sparse connections (aggregation of the partitioned graph).
+            let row_bytes = Self::combined_row_bytes(layer.out_dim);
+            match cfg.condense {
+                CondenseMode::Partitioned | CondenseMode::NoPartition => {
+                    // Condense-Edge: externals staged per-region, spilled
+                    // sequentially and read back sequentially.
+                    let mut ext_sorted: Vec<Vec<NodeId>> = sparse
+                        .external_sources
+                        .iter()
+                        .map(|list| {
+                            let mut l = list.clone();
+                            l.sort_unstable_by_key(|&v| order_rank[v as usize]);
+                            l
+                        })
+                        .collect();
+                    // Drop empty lists cheaply (the unit handles them fine).
+                    let unit_input: Vec<Vec<NodeId>> = std::mem::take(&mut ext_sorted);
+                    let mut unit = CondenseUnit::new(
+                        &unit_input,
+                        cfg.sparse_buffer_kb as u64 * 1024 / 2,
+                    );
+                    let mut combine_order: Vec<NodeId> =
+                        (0..n as NodeId).collect();
+                    combine_order.sort_unstable_by_key(|&v| order_rank[v as usize]);
+                    for v in combine_order {
+                        unit.observe(v, row_bytes);
+                    }
+                    let traffic = unit.finish();
+                    dram.write(ADDR_SPARSE, traffic.dram_write_bytes);
+                    dram.read(ADDR_SPARSE, traffic.dram_read_bytes);
+                }
+                CondenseMode::Off => {
+                    if sparse.inter_edges > 0 {
+                        // Combined features spilled once, then gathered at
+                        // transaction granularity per external source.
+                        dram.write(ADDR_COMBINED, n as u64 * row_bytes);
+                        for list in &sparse.external_sources {
+                            for &v in list {
+                                dram.read(
+                                    ADDR_COMBINED + v as u64 * row_bytes,
+                                    row_bytes,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // --- Fold the layer into the run totals. ---
+            let memory_cycles = dram.busy_cycles();
+            let phase = overlap(
+                PhaseCycles {
+                    compute: compute_cycles,
+                    memory: memory_cycles,
+                },
+                cfg.overlap,
+            );
+            pipeline.merge(&phase);
+            energy.dram_pj += dram.energy_pj();
+            dram_stats.merge(dram.stats());
+            energy.pu_pj += combination::energy_pj(cfg, table, workload, l)
+                + aggregation::energy_pj(table, workload, l);
+            // SRAM traffic: buffer fill/drain of all DRAM data plus operand
+            // movement (bit-serial operands are sub-byte; partials are
+            // 16-bit read-modify-write).
+            total_sram_bytes += 2.0 * dram.stats().total_bytes() as f64
+                + workload.combination_macs_sparse(l) as f64 * 0.5
+                + workload.aggregation_macs(l) as f64 * 4.0;
+        }
+
+        energy.sram_pj += total_sram_bytes
+            * table.sram_pj_per_byte_64kb
+            * mega_hw::area::sram_energy_scale(
+                cfg.total_buffer_kb() as f64 / 6.0,
+            );
+        energy.add_leakage(table, cfg.area_mm2, pipeline.total_cycles);
+
+        RunResult {
+            accelerator: self.label.clone(),
+            workload: format!("{}/{}", workload.dataset, workload.model),
+            cycles: pipeline,
+            dram: dram_stats,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::PowerLawSbm;
+
+    fn test_graph(n: usize, e: usize) -> Rc<Graph> {
+        Rc::new(
+            PowerLawSbm {
+                nodes: n,
+                directed_edges: e,
+                exponent: 2.1,
+                communities: 4,
+                homophily: 0.85,
+                symmetric: true,
+                seed: 77,
+            }
+            .generate()
+            .graph,
+        )
+    }
+
+    fn mixed_workload(graph: Rc<Graph>, bits: u8) -> Workload {
+        let n = graph.num_nodes();
+        Workload::mixed(
+            "Synth",
+            "GCN",
+            graph,
+            &[256, 128, 8],
+            &[0.02, 0.45],
+            vec![vec![bits; n], vec![bits; n]],
+            4,
+        )
+    }
+
+    #[test]
+    fn run_produces_consistent_result() {
+        let g = test_graph(600, 2400);
+        let w = mixed_workload(g, 3);
+        let r = Mega::new(MegaConfig::default()).run(&w);
+        assert!(r.cycles.total_cycles > 0);
+        assert!(r.cycles.total_cycles >= r.cycles.compute_cycles);
+        assert_eq!(
+            r.cycles.stall_cycles,
+            r.cycles.total_cycles - r.cycles.compute_cycles
+        );
+        assert!(r.dram.total_bytes() > 0);
+        assert!(r.energy.total_pj() > 0.0);
+        assert_eq!(r.workload, "Synth/GCN");
+    }
+
+    #[test]
+    fn lower_bitwidth_means_less_traffic_and_time() {
+        let g = test_graph(600, 2400);
+        let r2 = Mega::new(MegaConfig::default()).run(&mixed_workload(Rc::clone(&g), 2));
+        let r8 = Mega::new(MegaConfig::default()).run(&mixed_workload(g, 8));
+        assert!(r2.dram.total_bytes() < r8.dram.total_bytes());
+        assert!(r2.cycles.total_cycles < r8.cycles.total_cycles);
+        assert!(r2.energy.total_pj() < r8.energy.total_pj());
+    }
+
+    #[test]
+    fn adaptive_package_beats_bitmap_storage() {
+        let g = test_graph(600, 2400);
+        let n = g.num_nodes();
+        // Mixed bits: mostly 2, a few 8 — bitmap pays 8 everywhere.
+        let bits: Vec<u8> = (0..n).map(|v| if v % 16 == 0 { 8 } else { 2 }).collect();
+        let w = Workload::mixed(
+            "Synth",
+            "GCN",
+            g,
+            &[256, 128, 8],
+            &[0.02, 0.45],
+            vec![bits.clone(), bits],
+            4,
+        );
+        let ap = Mega::new(MegaConfig::default()).run(&w);
+        let bm = Mega::new(MegaConfig::ablation_bitmap()).run(&w);
+        assert!(
+            ap.cycles.total_cycles < bm.cycles.total_cycles,
+            "AP {} !< Bitmap {}",
+            ap.cycles.total_cycles,
+            bm.cycles.total_cycles
+        );
+        assert!(ap.dram.total_bytes() < bm.dram.total_bytes());
+    }
+
+    #[test]
+    fn condense_reduces_dram_versus_random_gather() {
+        let g = test_graph(1500, 9000);
+        let w = mixed_workload(g, 4);
+        let with = Mega::new(MegaConfig::default()).run(&w);
+        let without = Mega::new(MegaConfig::ablation_no_condense()).run(&w);
+        assert!(
+            with.dram.total_bytes() < without.dram.total_bytes(),
+            "condense {} !< gather {}",
+            with.dram.total_bytes(),
+            without.dram.total_bytes()
+        );
+    }
+
+    #[test]
+    fn no_partition_variant_still_works() {
+        let g = test_graph(800, 4000);
+        let w = mixed_workload(g, 4);
+        let np = Mega::new(MegaConfig::without_partitioning()).run(&w);
+        let full = Mega::new(MegaConfig::default()).run(&w);
+        assert!(np.cycles.total_cycles > 0);
+        // Partitioned version should be at least as good (paper: ~3% gap).
+        assert!(
+            full.dram.total_bytes() <= np.dram.total_bytes() * 11 / 10,
+            "partitioned {} vs no-partition {}",
+            full.dram.total_bytes(),
+            np.dram.total_bytes()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = test_graph(400, 1600);
+        let w = mixed_workload(g, 4);
+        let a = Mega::new(MegaConfig::default()).run(&w);
+        let b = Mega::new(MegaConfig::default()).run(&w);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    fn label_override() {
+        let m = Mega::new(MegaConfig::default()).with_label("MEGA-ablate");
+        assert_eq!(m.name(), "MEGA-ablate");
+    }
+}

@@ -1,0 +1,37 @@
+//! Cycle-level simulator of the MEGA accelerator (paper §V).
+//!
+//! The model follows the paper's heterogeneous architecture:
+//!
+//! * **Combination Engine** — 4 Combination Tiles × 8 C-PEs × 32 Bit-Serial
+//!   Engines, row-product dataflow, bit-serial timing: a node whose
+//!   features are quantized at `b` bits needs `b` beats per BSE batch
+//!   ([`combination`]);
+//! * **Aggregation Engine** — 256 scalar Aggregation Units, outer-product
+//!   dataflow over the CSC adjacency, 16-bit partial sums in the
+//!   Aggregation Buffer, Encoder with 32 QN units ([`aggregation`]);
+//! * **Adaptive-Package** storage for every feature map in DRAM
+//!   (`mega-format`), with the Bitmap fallback selectable for the Fig. 19
+//!   ablation;
+//! * **Condense-Edge** scheduling (Algorithm 1) — a functional model of the
+//!   Condense Unit's eID FIFOs and Sparse Buffer regions ([`condense`]),
+//!   driving the sparse-connection DRAM trace;
+//! * a transaction-level HBM model shared with the baselines (`mega-hw`).
+//!
+//! [`Mega`] implements `mega_sim::Accelerator`; construct with
+//! [`MegaConfig::default`] for the Table IV configuration, or toggle
+//! [`MegaConfig::storage`] / [`MegaConfig::condense`] / partitioning for the
+//! Fig. 19 and §VII-2 ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod bitserial;
+pub mod combination;
+pub mod condense;
+pub mod config;
+pub mod engine;
+
+pub use condense::CondenseUnit;
+pub use config::{CondenseMode, FeatureStorage, MegaConfig};
+pub use engine::Mega;

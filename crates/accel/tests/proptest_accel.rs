@@ -1,0 +1,85 @@
+//! Property-based tests of the MEGA simulator: physical monotonicities that
+//! must hold on arbitrary graphs and bit assignments.
+
+use std::rc::Rc;
+
+use mega_accel::{Mega, MegaConfig};
+use mega_graph::generate::uniform_random;
+use mega_sim::{Accelerator, Workload};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = (Workload, Vec<u8>)> {
+    (
+        20usize..120,
+        2usize..6,
+        proptest::collection::vec(1u8..=8, 120),
+        0.05f64..0.9,
+    )
+        .prop_map(|(n, e_factor, bits, density)| {
+            let g = Rc::new(uniform_random(n, n * e_factor, 11));
+            let bits: Vec<u8> = bits.into_iter().take(n).collect();
+            let w = Workload::mixed(
+                "P",
+                "GCN",
+                g,
+                &[96, 32, 4],
+                &[density, 0.5],
+                vec![bits.clone(), bits.clone()],
+                4,
+            );
+            (w, bits)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn timing_identity_holds((w, _) in arb_workload()) {
+        let r = Mega::new(MegaConfig::default()).run(&w);
+        prop_assert!(r.cycles.total_cycles >= r.cycles.compute_cycles);
+        prop_assert_eq!(
+            r.cycles.stall_cycles,
+            r.cycles.total_cycles - r.cycles.compute_cycles
+        );
+        prop_assert!(r.energy.total_pj() > 0.0);
+        prop_assert!(r.dram.total_bytes() > 0);
+    }
+
+    #[test]
+    fn raising_every_bitwidth_never_helps((w, bits) in arb_workload()) {
+        let n = bits.len();
+        let raised: Vec<u8> = bits.iter().map(|&b| (b + 2).min(8)).collect();
+        let w_hi = Workload::mixed(
+            "P",
+            "GCN",
+            Rc::clone(&w.graph),
+            &[96, 32, 4],
+            &[w.layers[0].input_density, 0.5],
+            vec![raised.clone(), raised],
+            4,
+        );
+        prop_assert_eq!(w_hi.layers[0].input_bits.len(), n);
+        let lo = Mega::new(MegaConfig::default()).run(&w);
+        let hi = Mega::new(MegaConfig::default()).run(&w_hi);
+        prop_assert!(hi.cycles.compute_cycles >= lo.cycles.compute_cycles);
+        prop_assert!(hi.dram.total_bytes() >= lo.dram.total_bytes());
+    }
+
+    #[test]
+    fn ablations_never_beat_the_full_design((w, _) in arb_workload()) {
+        let full = Mega::new(MegaConfig::default()).run(&w);
+        let bitmap = Mega::new(MegaConfig::ablation_bitmap()).run(&w);
+        // Bitmap stores at 8 bits: strictly more bit-serial work unless all
+        // nodes were already at 8 bits.
+        prop_assert!(bitmap.cycles.compute_cycles >= full.cycles.compute_cycles);
+    }
+
+    #[test]
+    fn determinism((w, _) in arb_workload()) {
+        let a = Mega::new(MegaConfig::default()).run(&w);
+        let b = Mega::new(MegaConfig::default()).run(&w);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.dram, b.dram);
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared machinery for the baseline simulators.
+
+use std::collections::HashSet;
+
+use mega_hw::{DramConfig, DramSim, EnergyTable};
+use mega_sim::Workload;
+
+/// Address regions (disjoint from each other).
+pub const ADDR_WEIGHTS: u64 = 0x1000_0000;
+/// Adjacency stream region.
+pub const ADDR_ADJACENCY: u64 = 0x4000_0000;
+/// Input-feature region.
+pub const ADDR_FEATURES: u64 = 0x8000_0000;
+/// Intermediate (combined) feature region.
+pub const ADDR_COMBINED: u64 = 0x10_0000_0000;
+/// Output region.
+pub const ADDR_OUTPUT: u64 = 0x40_0000_0000;
+
+/// Common knobs of a baseline accelerator.
+#[derive(Debug, Clone)]
+pub struct BaselineParams {
+    /// Display name.
+    pub name: String,
+    /// Combination-phase MACs per cycle.
+    pub comb_macs_per_cycle: u64,
+    /// Aggregation-phase MACs per cycle.
+    pub agg_macs_per_cycle: u64,
+    /// Total on-chip buffer (KB).
+    pub buffer_kb: u32,
+    /// Feature/weight precision in bits (32, or 8 for the DQ-INT8
+    /// variants).
+    pub precision_bits: u8,
+    /// Compute/memory overlap factor (microarchitectural prefetch depth).
+    pub overlap: f64,
+    /// Die area (mm²) for leakage.
+    pub area_mm2: f64,
+    /// DRAM configuration (shared across simulators for fairness).
+    pub dram: DramConfig,
+}
+
+impl BaselineParams {
+    /// Bytes of one dense feature row of `dim` at this precision.
+    pub fn row_bytes(&self, dim: usize) -> u64 {
+        (dim as u64 * self.precision_bits as u64).div_ceil(8)
+    }
+
+    /// Per-MAC compute energy at this precision.
+    pub fn mac_energy(&self, table: &EnergyTable) -> f64 {
+        if self.precision_bits <= 8 {
+            table.int_mac(8)
+        } else {
+            table.fp32_mac()
+        }
+    }
+}
+
+/// Streams the weights and adjacency of layer `l` (every baseline does
+/// this).
+pub fn stream_layer_constants(
+    dram: &mut DramSim,
+    workload: &Workload,
+    l: usize,
+    precision_bits: u8,
+) {
+    let layer = &workload.layers[l];
+    let w_bytes =
+        (layer.in_dim as u64 * layer.out_dim as u64 * precision_bits as u64).div_ceil(8);
+    dram.read(ADDR_WEIGHTS, w_bytes);
+    dram.read(ADDR_ADJACENCY, workload.adjacency_bytes());
+}
+
+/// Gathers neighbor feature rows with block-level reuse: destination nodes
+/// are processed in blocks sized so a block's working set fits on chip;
+/// within a block each distinct source row is fetched once.
+///
+/// Returns the number of row fetches issued.
+pub fn gather_neighbor_rows(
+    dram: &mut DramSim,
+    workload: &Workload,
+    row_bytes: u64,
+    block_nodes: usize,
+    base_addr: u64,
+) -> u64 {
+    let graph = &workload.graph;
+    let n = graph.num_nodes();
+    let block_nodes = block_nodes.max(1);
+    let mut fetches = 0u64;
+    let mut block_sources: HashSet<u32> = HashSet::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + block_nodes).min(n);
+        block_sources.clear();
+        for dst in start..end {
+            for &src in graph.in_neighbors(dst) {
+                if block_sources.insert(src) {
+                    dram.read(base_addr + src as u64 * row_bytes, row_bytes);
+                    fetches += 1;
+                }
+            }
+        }
+        start = end;
+    }
+    fetches
+}
+
+/// SRAM bytes moved for a phase: buffer fill/drain of all DRAM data plus
+/// operand traffic per MAC at the given precision.
+pub fn sram_bytes(dram_bytes: u64, macs: u64, precision_bits: u8) -> f64 {
+    dram_bytes as f64 * 2.0 + macs as f64 * (precision_bits as f64 / 8.0) * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::uniform_random;
+    use std::rc::Rc;
+
+    fn workload() -> Workload {
+        let g = Rc::new(uniform_random(64, 512, 9));
+        Workload::uniform("T", "GCN", g, &[32, 8], &[1.0], 32, 32)
+    }
+
+    #[test]
+    fn row_bytes_follow_precision() {
+        let mut p = BaselineParams {
+            name: "X".into(),
+            comb_macs_per_cycle: 16,
+            agg_macs_per_cycle: 64,
+            buffer_kb: 392,
+            precision_bits: 32,
+            overlap: 0.8,
+            area_mm2: 1.86,
+            dram: DramConfig::default(),
+        };
+        assert_eq!(p.row_bytes(100), 400);
+        p.precision_bits = 8;
+        assert_eq!(p.row_bytes(100), 100);
+    }
+
+    #[test]
+    fn block_reuse_reduces_fetches() {
+        let w = workload();
+        let mut d1 = DramSim::new(DramConfig::default());
+        let small = gather_neighbor_rows(&mut d1, &w, 128, 4, ADDR_FEATURES);
+        let mut d2 = DramSim::new(DramConfig::default());
+        let big = gather_neighbor_rows(&mut d2, &w, 128, 64, ADDR_FEATURES);
+        assert!(big <= small, "bigger blocks must not fetch more");
+        assert!(big >= 64 / 2, "at least distinct sources once");
+        assert!(d2.stats().total_bytes() <= d1.stats().total_bytes());
+    }
+
+    #[test]
+    fn gather_never_fetches_more_than_edges() {
+        let w = workload();
+        let mut d = DramSim::new(DramConfig::default());
+        let fetches = gather_neighbor_rows(&mut d, &w, 64, 8, ADDR_FEATURES);
+        assert!(fetches <= w.num_edges() as u64);
+    }
+
+    #[test]
+    fn mac_energy_by_precision() {
+        let t = EnergyTable::default();
+        let p32 = BaselineParams {
+            precision_bits: 32,
+            ..base()
+        };
+        let p8 = BaselineParams {
+            precision_bits: 8,
+            ..base()
+        };
+        assert!(p8.mac_energy(&t) < p32.mac_energy(&t) / 5.0);
+    }
+
+    fn base() -> BaselineParams {
+        BaselineParams {
+            name: "B".into(),
+            comb_macs_per_cycle: 16,
+            agg_macs_per_cycle: 64,
+            buffer_kb: 392,
+            precision_bits: 32,
+            overlap: 0.8,
+            area_mm2: 1.86,
+            dram: DramConfig::default(),
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! GROW simulator \[23\]: row-stationary sparse-dense GEMM with METIS
+//! partitioning.
+//!
+//! GROW adopts the row product for both phases and partitions the graph to
+//! improve aggregation locality. Its weakness — the one Condense-Edge
+//! attacks — is that sparse connections between subgraphs still gather
+//! combined rows from DRAM at transaction granularity (paper §III-B-2,
+//! Fig. 6).
+
+use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
+use mega_partition::{partition, PartitionConfig};
+use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
+
+use crate::common::{
+    sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED, ADDR_FEATURES,
+    ADDR_OUTPUT,
+};
+
+/// The GROW simulator.
+#[derive(Debug, Clone)]
+pub struct Grow {
+    params: BaselineParams,
+    energy_table: EnergyTable,
+    use_partition: bool,
+}
+
+impl Grow {
+    /// Matched configuration (Table V): 32 MACs, 392 KB, FP32, METIS on.
+    pub fn matched() -> Self {
+        Self::with_params(BaselineParams {
+            name: "GROW".into(),
+            comb_macs_per_cycle: 32,
+            agg_macs_per_cycle: 32,
+            buffer_kb: 392,
+            precision_bits: 32,
+            overlap: 0.85,
+            area_mm2: 2.36,
+            dram: Default::default(),
+        })
+    }
+
+    /// Original configuration (Table VII): 16 MACs, 538 KB, 2.67 mm².
+    pub fn original() -> Self {
+        Self::with_params(BaselineParams {
+            name: "GROW(orig)".into(),
+            comb_macs_per_cycle: 16,
+            agg_macs_per_cycle: 16,
+            buffer_kb: 538,
+            precision_bits: 32,
+            overlap: 0.85,
+            area_mm2: 2.67,
+            dram: Default::default(),
+        })
+    }
+
+    /// Custom parameters.
+    pub fn with_params(params: BaselineParams) -> Self {
+        Self {
+            params,
+            energy_table: EnergyTable::default(),
+            use_partition: true,
+        }
+    }
+
+    /// Disables METIS partitioning (the "Naive" bar of Fig. 6 / Fig. 20b).
+    pub fn without_partition(mut self) -> Self {
+        self.use_partition = false;
+        self.params.name = format!("{}-naive", self.params.name);
+        self
+    }
+}
+
+impl Accelerator for Grow {
+    fn name(&self) -> &str {
+        &self.params.name
+    }
+
+    fn run(&self, workload: &Workload) -> RunResult {
+        let p = &self.params;
+        let t = &self.energy_table;
+        let n = workload.num_nodes();
+        let half_buf = p.buffer_kb as u64 * 1024 / 2;
+
+        // Partition sized by FP32 partial sums in (a share of) the buffer.
+        let max_out = workload
+            .layers
+            .iter()
+            .map(|l| l.out_dim)
+            .max()
+            .unwrap_or(1);
+        let nodes_per = ((p.buffer_kb as usize * 1024 / 3) / (4 * max_out)).max(1);
+        let k = n.div_ceil(nodes_per).max(1).min(n.max(1));
+        let parts = if self.use_partition && k > 1 {
+            partition(&workload.graph, &PartitionConfig::new(k))
+        } else {
+            // Naive: contiguous blocks (locality only by accident).
+            mega_partition::Partitioning::new(
+                (0..n).map(|v| (v / nodes_per) as u32).collect(),
+                k,
+            )
+        };
+        let sparse = parts.sparse_connections(&workload.graph);
+
+        let mut pipeline = PipelineStats::default();
+        let mut dram_stats = DramStats::default();
+        let mut energy = EnergyBreakdown::default();
+        let mut sram_total = 0.0f64;
+
+        for l in 0..workload.layers.len() {
+            let layer = &workload.layers[l];
+            let mut dram = DramSim::new(p.dram.clone());
+            stream_layer_constants(&mut dram, workload, l, p.precision_bits);
+
+            // Row product: X streams once per weight tile (W resident
+            // otherwise).
+            let nnz_x =
+                (n as f64 * layer.in_dim as f64 * layer.input_density).ceil() as u64;
+            let x_bytes =
+                nnz_x * (p.precision_bits as u64 + 32) / 8 + (n as u64 + 1) * 4;
+            let w_bytes = (layer.in_dim as u64
+                * layer.out_dim as u64
+                * p.precision_bits as u64)
+                .div_ceil(8);
+            let w_passes = w_bytes.div_ceil(half_buf).max(1);
+            dram.read(ADDR_FEATURES, x_bytes * w_passes);
+
+            // Combined rows: spilled once, internal aggregation streams its
+            // own subgraph's rows; sparse connections gather at transaction
+            // granularity (GROW's bottleneck).
+            let row_bytes = p.row_bytes(layer.out_dim);
+            dram.write(ADDR_COMBINED, n as u64 * row_bytes);
+            dram.read(ADDR_COMBINED, n as u64 * row_bytes);
+            for list in &sparse.external_sources {
+                for &v in list {
+                    dram.read(ADDR_COMBINED + v as u64 * row_bytes, row_bytes);
+                }
+            }
+
+            dram.write(ADDR_OUTPUT, n as u64 * row_bytes);
+
+            // Unified MAC array: phases sequential; both exploit sparsity.
+            let comb_macs = workload.combination_macs_sparse(l);
+            let agg_macs = workload.aggregation_macs(l);
+            let compute = comb_macs.div_ceil(p.comb_macs_per_cycle)
+                + agg_macs.div_ceil(p.agg_macs_per_cycle);
+
+            let phase = overlap(
+                PhaseCycles {
+                    compute,
+                    memory: dram.busy_cycles(),
+                },
+                p.overlap,
+            );
+            pipeline.merge(&phase);
+            energy.dram_pj += dram.energy_pj();
+            dram_stats.merge(dram.stats());
+            energy.pu_pj += (comb_macs + agg_macs) as f64 * p.mac_energy(t);
+            sram_total += sram_bytes(
+                dram.stats().total_bytes(),
+                comb_macs + agg_macs,
+                p.precision_bits,
+            );
+        }
+
+        energy.sram_pj += sram_total
+            * t.sram_pj_per_byte_64kb
+            * mega_hw::area::sram_energy_scale(p.buffer_kb as f64 / 6.0);
+        energy.add_leakage(t, p.area_mm2, pipeline.total_cycles);
+        RunResult {
+            accelerator: p.name.clone(),
+            workload: format!("{}/{}", workload.dataset, workload.model),
+            cycles: pipeline,
+            dram: dram_stats,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::PowerLawSbm;
+    use std::rc::Rc;
+
+    fn workload() -> Workload {
+        let g = Rc::new(
+            PowerLawSbm {
+                nodes: 900,
+                directed_edges: 5400,
+                exponent: 2.1,
+                communities: 4,
+                homophily: 0.85,
+                symmetric: true,
+                seed: 6,
+            }
+            .generate()
+            .graph,
+        );
+        Workload::uniform("Synth", "GCN", g, &[512, 128, 8], &[0.02, 0.5], 32, 32)
+    }
+
+    #[test]
+    fn partition_reduces_dram_over_naive() {
+        let w = workload();
+        let with = Grow::matched().run(&w);
+        let naive = Grow::matched().without_partition().run(&w);
+        assert!(
+            with.dram.total_bytes() < naive.dram.total_bytes(),
+            "METIS {} !< naive {}",
+            with.dram.total_bytes(),
+            naive.dram.total_bytes()
+        );
+    }
+
+    #[test]
+    fn runs_deterministically() {
+        let w = workload();
+        let a = Grow::matched().run(&w);
+        let b = Grow::matched().run(&w);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    fn original_has_more_buffer_fewer_macs() {
+        let orig = Grow::original();
+        assert_eq!(orig.params.buffer_kb, 538);
+        assert_eq!(orig.params.comb_macs_per_cycle, 16);
+    }
+}

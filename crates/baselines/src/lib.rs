@@ -1,0 +1,33 @@
+//! Cycle-level simulators of the four baseline GNN accelerators the paper
+//! compares against (§VI-A-2), plus their 8-bit and original-configuration
+//! variants.
+//!
+//! | Simulator | Dataflow | Sparsity | Precision | Partition |
+//! |-----------|----------|----------|-----------|-----------|
+//! | [`HyGcn`]  | `(A·X)·W`, hybrid engines, window sliding | none | 32 b (8 b variant) | no |
+//! | [`Gcnax`]  | `A·(X·W)`, loop-tiling DSE | both phases | 32 b (8 b variant) | no |
+//! | [`Grow`]   | `A·(X·W)`, row product | both phases | 32 b | METIS |
+//! | [`Sgcn`]   | `A·(X·W)`, compressed features, systolic combination | aggregation only | 32 b | no |
+//!
+//! All simulators share MEGA's DRAM model and (in the matched
+//! configuration, Table V) its 392 KB on-chip budget; compute throughput is
+//! matched in BitOPs per the paper's methodology. Original configurations
+//! from the respective papers (Table VII) are available through
+//! [`original`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gcnax;
+pub mod grow;
+pub mod hygcn;
+pub mod original;
+pub mod sgcn;
+pub mod tables;
+
+pub use gcnax::Gcnax;
+pub use grow::Grow;
+pub use hygcn::HyGcn;
+pub use sgcn::Sgcn;
+pub use tables::{table_v, table_vii, ConfigRow};

@@ -1,0 +1,30 @@
+//! Original-configuration variants (Table VII) used by Fig. 15.
+//!
+//! The paper's main comparison matches every accelerator to MEGA's budget;
+//! Fig. 15 additionally compares against GCNAX and GROW *as published*
+//! (16 MACs, 580/538 KB buffers, larger dies).
+
+use crate::gcnax::Gcnax;
+use crate::grow::Grow;
+
+/// GCNAX in its published configuration.
+pub fn gcnax_original() -> Gcnax {
+    Gcnax::original()
+}
+
+/// GROW in its published configuration.
+pub fn grow_original() -> Grow {
+    Grow::original()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_sim::Accelerator;
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(gcnax_original().name(), "GCNAX(orig)");
+        assert_eq!(grow_original().name(), "GROW(orig)");
+    }
+}

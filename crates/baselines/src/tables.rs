@@ -1,0 +1,136 @@
+//! The configuration tables of the paper (Table V and Table VII) as data,
+//! so the bench harness prints them from one source of truth.
+
+/// One row of a configuration table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigRow {
+    /// Accelerator name.
+    pub accelerator: &'static str,
+    /// Computing units at 1 GHz.
+    pub computing_units: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Sparsity exploitation.
+    pub sparsity: &'static str,
+    /// Precision.
+    pub precision: &'static str,
+    /// Graph partition strategy.
+    pub graph_partition: &'static str,
+    /// On-chip buffer (KB); 0 when not part of the table.
+    pub buffer_kb: u32,
+    /// Power (mW); 0 when not part of the table.
+    pub power_mw: f64,
+}
+
+/// Table V: matched configurations of the compared architectures.
+pub fn table_v() -> Vec<ConfigRow> {
+    vec![
+        ConfigRow {
+            accelerator: "HyGCN*",
+            computing_units: "16 MACs + 4 SIMD16",
+            area_mm2: 1.86,
+            sparsity: "NO",
+            precision: "32bits",
+            graph_partition: "No",
+            buffer_kb: 392,
+            power_mw: 0.0,
+        },
+        ConfigRow {
+            accelerator: "GCNAX",
+            computing_units: "32 MACs",
+            area_mm2: 1.85,
+            sparsity: "Both Phases",
+            precision: "32bits",
+            graph_partition: "No",
+            buffer_kb: 392,
+            power_mw: 0.0,
+        },
+        ConfigRow {
+            accelerator: "SGCN*",
+            computing_units: "16 MACs + 4 SIMD16",
+            area_mm2: 2.39,
+            sparsity: "Aggregation Phase",
+            precision: "32bits",
+            graph_partition: "No",
+            buffer_kb: 392,
+            power_mw: 0.0,
+        },
+        ConfigRow {
+            accelerator: "GROW",
+            computing_units: "32 MACs",
+            area_mm2: 2.36,
+            sparsity: "Both Phases",
+            precision: "32bits",
+            graph_partition: "Yes",
+            buffer_kb: 392,
+            power_mw: 0.0,
+        },
+        ConfigRow {
+            accelerator: "MEGA",
+            computing_units: "4x8x32 BSEs + 256 Aggre Units",
+            area_mm2: 1.87,
+            sparsity: "Both Phases",
+            precision: "Mixed",
+            graph_partition: "Condense-Edge",
+            buffer_kb: 392,
+            power_mw: 0.0,
+        },
+    ]
+}
+
+/// Table VII: original configurations of GCNAX and GROW.
+pub fn table_vii() -> Vec<ConfigRow> {
+    vec![
+        ConfigRow {
+            accelerator: "GCNAX",
+            computing_units: "16 MACs",
+            area_mm2: 2.34,
+            sparsity: "Both Phases",
+            precision: "32bits",
+            graph_partition: "No",
+            buffer_kb: 580,
+            power_mw: 223.18,
+        },
+        ConfigRow {
+            accelerator: "GROW",
+            computing_units: "16 MACs",
+            area_mm2: 2.67,
+            sparsity: "Both Phases",
+            precision: "32bits",
+            graph_partition: "Yes",
+            buffer_kb: 538,
+            power_mw: 242.44,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_has_all_five_accelerators() {
+        let rows = table_v();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.buffer_kb == 392));
+        assert_eq!(rows[4].accelerator, "MEGA");
+    }
+
+    #[test]
+    fn table_vii_matches_published_numbers() {
+        let rows = table_vii();
+        assert_eq!(rows[0].buffer_kb, 580);
+        assert!((rows[0].power_mw - 223.18).abs() < 1e-9);
+        assert_eq!(rows[1].buffer_kb, 538);
+        assert!((rows[1].area_mm2 - 2.67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulator_params_agree_with_table_v() {
+        use crate::{Gcnax, Grow, HyGcn, Sgcn};
+        use mega_sim::Accelerator;
+        let _ = (HyGcn::matched(), Gcnax::matched(), Grow::matched(), Sgcn::matched());
+        assert_eq!(HyGcn::matched().name(), "HyGCN");
+        assert_eq!(Gcnax::matched().name(), "GCNAX");
+    }
+}

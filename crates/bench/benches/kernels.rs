@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the performance-critical kernels: the
+//! Adaptive-Package encoder/decoder, the partitioner, the quantizer, and
+//! sparse matrix products.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::rc::Rc;
+
+use mega::workloads::degree_profile_bits;
+use mega_format::package::{decode, encode};
+use mega_format::{PackageConfig, QuantizedFeatureMap};
+use mega_graph::generate::PowerLawSbm;
+use mega_partition::{partition, PartitionConfig};
+use mega_quant::quantizer::fake_quantize;
+use mega_tensor::{CsrMatrix, Matrix};
+
+fn bench_graph() -> mega_graph::Graph {
+    PowerLawSbm {
+        nodes: 3000,
+        directed_edges: 12_000,
+        exponent: 2.1,
+        communities: 6,
+        homophily: 0.8,
+        symmetric: true,
+        seed: 99,
+    }
+    .generate()
+    .graph
+}
+
+fn feature_map(graph: &mega_graph::Graph) -> QuantizedFeatureMap {
+    let bits = degree_profile_bits(graph);
+    let densities = vec![0.44; bits.len()];
+    QuantizedFeatureMap::synthetic(128, &densities, &bits, 3)
+}
+
+fn bench_package(c: &mut Criterion) {
+    let graph = bench_graph();
+    let map = feature_map(&graph);
+    let node_bits: Vec<u8> = map.rows.iter().map(|r| r.bits).collect();
+    c.bench_function("adaptive_package_encode_3k_nodes", |b| {
+        b.iter(|| encode(&map, PackageConfig::default()))
+    });
+    let encoded = encode(&map, PackageConfig::default());
+    c.bench_function("adaptive_package_decode_3k_nodes", |b| {
+        b.iter(|| decode(&encoded, &node_bits))
+    });
+    c.bench_function("adaptive_package_estimate_3k_nodes", |b| {
+        b.iter(|| {
+            mega_format::package::estimate_stream(
+                map.rows.iter().map(|r| (r.bits, r.nnz() as u64)),
+                map.dim as u64,
+                PackageConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let graph = bench_graph();
+    c.bench_function("multilevel_partition_3k_nodes_k12", |b| {
+        b.iter(|| partition(&graph, &PartitionConfig::new(12)))
+    });
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let values: Vec<f32> = (0..65_536).map(|i| ((i * 2654435761u64 as usize) as f32).sin()).collect();
+    c.bench_function("fake_quantize_64k_values_4bit", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&x| fake_quantize(x, 0.1, 4))
+                .sum::<f32>()
+        })
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let graph = bench_graph();
+    let adjacency = mega_gnn::build_adjacency(&graph, mega_gnn::AggregatorKind::GcnSymmetric);
+    let h = Matrix::xavier_uniform(graph.num_nodes(), 128, 5);
+    c.bench_function("spmm_adjacency_3k_by_128", |b| {
+        b.iter(|| adjacency.spmm(&h))
+    });
+    let dense = Matrix::xavier_uniform(256, 128, 6);
+    let sparse = {
+        let masked = dense.map(|x| if x.abs() < 0.05 { x } else { 0.0 });
+        Rc::new(CsrMatrix::from_dense(&masked))
+    };
+    c.bench_function("sparse_feature_matmul_256x128", |b| {
+        b.iter_batched(
+            || Matrix::xavier_uniform(128, 64, 7),
+            |w| sparse.spmm(&w),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_package, bench_partition, bench_quantizer, bench_spmm
+);
+criterion_main!(kernels);

@@ -1,0 +1,81 @@
+//! Criterion benches over the paper's experiments at reduced scale: one
+//! group per figure family, so `cargo bench` exercises the same code paths
+//! the table/figure binaries run at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_gnn::GnnKind;
+
+fn small_cora() -> mega::Dataset {
+    DatasetSpec::cora().scaled(0.15).materialize()
+}
+
+fn fig14_style_comparison(c: &mut Criterion) {
+    let dataset = small_cora();
+    c.bench_function("fig14_compare_all_accelerators_cora15", |b| {
+        b.iter(|| mega::suite::compare_all(&dataset, GnnKind::Gcn))
+    });
+}
+
+fn fig19_style_ablation(c: &mut Criterion) {
+    let dataset = small_cora();
+    let mixed = workloads::build_quantized(&dataset, GnnKind::Gcn, None);
+    let mut group = c.benchmark_group("fig19_ablation");
+    group.bench_function("mega_full", |b| {
+        b.iter(|| Mega::new(MegaConfig::default()).run(&mixed))
+    });
+    group.bench_function("mega_bitmap", |b| {
+        b.iter(|| Mega::new(MegaConfig::ablation_bitmap()).run(&mixed))
+    });
+    group.bench_function("mega_no_condense", |b| {
+        b.iter(|| Mega::new(MegaConfig::ablation_no_condense()).run(&mixed))
+    });
+    group.finish();
+}
+
+fn table6_style_qat(c: &mut Criterion) {
+    let dataset = DatasetSpec::cora()
+        .scaled(0.08)
+        .with_feature_dim(64)
+        .materialize();
+    let mut group = c.benchmark_group("table6_qat");
+    group.sample_size(10);
+    group.bench_function("degree_aware_5_epochs", |b| {
+        b.iter(|| {
+            QatTrainer::new(QatConfig {
+                epochs: 5,
+                patience: 0,
+                dropout: 0.0,
+                ..QatConfig::default()
+            })
+            .train_degree_aware(GnnKind::Gcn, &dataset)
+        })
+    });
+    group.finish();
+}
+
+fn fig06_style_scheduling(c: &mut Criterion) {
+    let dataset = small_cora();
+    let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+    let mut group = c.benchmark_group("fig06_scheduling");
+    group.bench_function("grow_metis", |b| {
+        b.iter(|| Grow::matched().run(&fp32))
+    });
+    group.bench_function("grow_naive", |b| {
+        b.iter(|| Grow::matched().without_partition().run(&fp32))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig14_style_comparison,
+        fig19_style_ablation,
+        table6_style_qat,
+        fig06_style_scheduling
+);
+criterion_main!(experiments);

@@ -1,0 +1,53 @@
+//! §VII-2: Condense-Edge without graph partitioning — MEGA keeps most of
+//! its advantage over SGCN even with contiguous node blocks instead of
+//! METIS (the paper reports a ~3% speedup discount, ~14% energy).
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_suite, print_table};
+use mega_sim::geomean;
+
+fn main() {
+    let mut speedup_full = Vec::new();
+    let mut speedup_nopart = Vec::new();
+    let mut energy_full = Vec::new();
+    let mut energy_nopart = Vec::new();
+    let mut rows = Vec::new();
+    for (dataset, kind) in hw_suite() {
+        eprintln!("running {} / {} ...", dataset.spec.name, kind.name());
+        let fp32 = workloads::build_fp32(&dataset, kind);
+        let mixed = workloads::build_quantized(&dataset, kind, None);
+        let sgcn = Sgcn::matched().run(&fp32);
+        let full = Mega::new(MegaConfig::default()).run(&mixed);
+        let nopart = Mega::new(MegaConfig::without_partitioning()).run(&mixed);
+        let sf = full.speedup_over(&sgcn);
+        let sn = nopart.speedup_over(&sgcn);
+        let ef = full.energy_saving_over(&sgcn);
+        let en = nopart.energy_saving_over(&sgcn);
+        speedup_full.push(sf);
+        speedup_nopart.push(sn);
+        energy_full.push(ef);
+        energy_nopart.push(en);
+        rows.push((
+            format!("{}/{}", kind.name(), dataset.spec.name),
+            vec![sf, sn, ef, en],
+        ));
+    }
+    print_table(
+        "§VII-2 — MEGA vs SGCN: with and without partitioning",
+        &["speedup", "speedup(np)", "energy", "energy(np)"],
+        &rows,
+    );
+    println!(
+        "\ngeomean speedup over SGCN: {:.2}x with METIS, {:.2}x without ({:.0}% discount)",
+        geomean(&speedup_full),
+        geomean(&speedup_nopart),
+        (1.0 - geomean(&speedup_nopart) / geomean(&speedup_full)) * 100.0
+    );
+    println!(
+        "geomean energy saving:     {:.2}x with METIS, {:.2}x without ({:.0}% discount)",
+        geomean(&energy_full),
+        geomean(&energy_nopart),
+        (1.0 - geomean(&energy_nopart) / geomean(&energy_full)) * 100.0
+    );
+}

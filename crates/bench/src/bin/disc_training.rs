@@ -1,0 +1,48 @@
+//! §VII-1: training overhead of Degree-Aware quantization versus FP32
+//! (wall-clock ratio; the paper reports 2.04× on a 3090 GPU).
+
+use mega::prelude::*;
+use mega_bench::{epochs, train_dataset};
+use mega_gnn::{GnnKind, Trainer};
+
+fn main() {
+    println!("§VII-1 — training time, quantized vs FP32 ({} epochs)", epochs());
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>8}",
+        "dataset", "model", "fp32 (s)", "ours (s)", "ratio"
+    );
+    let mut ratios = Vec::new();
+    for (spec, kind) in [
+        (DatasetSpec::cora(), GnnKind::Gcn),
+        (DatasetSpec::cora(), GnnKind::Gin),
+        (DatasetSpec::citeseer(), GnnKind::Gcn),
+        (DatasetSpec::citeseer(), GnnKind::Gin),
+    ] {
+        let name = spec.name.clone();
+        let dataset = train_dataset(spec, 1024);
+        let trainer = Trainer {
+            epochs: epochs(),
+            patience: 0,
+            ..Trainer::default()
+        };
+        let (_, fp32) = trainer.train_fp32(kind, &dataset);
+        let ours = QatTrainer::new(QatConfig {
+            epochs: epochs(),
+            patience: 0,
+            ..QatConfig::default()
+        })
+        .train_degree_aware(kind, &dataset);
+        let ratio = ours.wall_seconds / fp32.wall_seconds.max(1e-9);
+        ratios.push(ratio);
+        println!(
+            "{:<10} {:<6} {:>10.2} {:>10.2} {:>7.2}x",
+            name,
+            kind.name(),
+            fp32.wall_seconds,
+            ours.wall_seconds,
+            ratio
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\naverage overhead: {avg:.2}x (paper: 2.04x on GPU)");
+}

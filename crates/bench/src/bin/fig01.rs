@@ -1,0 +1,53 @@
+//! Fig. 1: cycle and energy breakdown of HyGCN and GCNAX (original
+//! configurations) versus MEGA — DRAM-access stalls and DRAM energy
+//! dominate the baselines.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_dataset, print_table};
+use mega_gnn::GnnKind;
+
+fn main() {
+    let specs = [
+        DatasetSpec::cora(),
+        DatasetSpec::citeseer(),
+        DatasetSpec::pubmed(),
+        DatasetSpec::nell(),
+        DatasetSpec::reddit_scaled(),
+    ];
+    let mut cycle_rows = Vec::new();
+    let mut energy_rows = Vec::new();
+    for spec in specs {
+        let dataset = hw_dataset(spec);
+        let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+        let mixed = workloads::build_quantized(&dataset, GnnKind::Gcn, None);
+        for (label, run) in [
+            ("HyGCN", HyGcn::original().run(&fp32)),
+            ("GCNAX", Gcnax::matched().run(&fp32)),
+            ("MEGA", Mega::new(MegaConfig::default()).run(&mixed)),
+        ] {
+            cycle_rows.push((
+                format!("{}/{}", dataset.spec.name, label),
+                vec![
+                    run.cycles.stall_fraction() * 100.0,
+                    (1.0 - run.cycles.stall_fraction()) * 100.0,
+                ],
+            ));
+            let f = run.energy.fractions();
+            energy_rows.push((
+                format!("{}/{}", dataset.spec.name, label),
+                vec![f[0] * 100.0, (1.0 - f[0]) * 100.0],
+            ));
+        }
+    }
+    print_table(
+        "Fig. 1(a) — execution cycles (%)",
+        &["DRAM stall", "others"],
+        &cycle_rows,
+    );
+    print_table(
+        "Fig. 1(b) — energy consumption (%)",
+        &["DRAM access", "others"],
+        &energy_rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 4: storage overhead of sparse representations on mixed-precision
+//! features across three models × five datasets, normalized to Dense.
+
+use mega::prelude::*;
+use mega::workloads::{degree_profile_bits, hidden_density};
+use mega_bench::{hw_dataset, print_table};
+use mega_format::{format_sizes, PackageConfig, QuantizedFeatureMap};
+use mega_gnn::GnnKind;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage] {
+        for spec in [
+            DatasetSpec::cora(),
+            DatasetSpec::citeseer(),
+            DatasetSpec::pubmed(),
+            DatasetSpec::nell().scaled(0.25),
+            DatasetSpec::reddit_scaled().scaled(0.25),
+        ] {
+            let name = if spec.nodes < 10_000 { spec.name.clone() } else { spec.name.clone() };
+            let dataset = hw_dataset(spec);
+            let bits = degree_profile_bits(&dataset.graph);
+            let density = hidden_density(&name, kind);
+            let densities = vec![density; bits.len()];
+            let map = QuantizedFeatureMap::synthetic(
+                kind.default_hidden(),
+                &densities,
+                &bits,
+                13,
+            );
+            let sizes = format_sizes(&map, PackageConfig::default());
+            let norm = sizes.normalized_to_dense();
+            rows.push((
+                format!("{}/{}", kind.name(), name),
+                norm.to_vec(),
+            ));
+        }
+    }
+    print_table(
+        "Fig. 4 — storage normalized to Dense",
+        &["Dense", "COO", "CSR", "Bitmap", "AdaptPkg", "Ideal"],
+        &rows,
+    );
+}

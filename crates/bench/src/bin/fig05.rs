@@ -1,0 +1,45 @@
+//! Fig. 5: density of the node feature map X across datasets and models —
+//! measured from trained models on the synthetic datasets, alongside the
+//! paper's reported values (which the simulators consume by default).
+
+use mega::prelude::*;
+use mega::workloads::hidden_density;
+use mega_bench::{epochs, print_table, train_dataset};
+use mega_gnn::figstats::feature_densities;
+use mega_gnn::{build_adjacency, GnnKind, Trainer};
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage] {
+        for spec in [
+            DatasetSpec::cora(),
+            DatasetSpec::citeseer(),
+            DatasetSpec::pubmed(),
+        ] {
+            let name = spec.name.clone();
+            let dataset = train_dataset(spec, 256);
+            let trainer = Trainer {
+                epochs: epochs().min(40),
+                patience: 0,
+                ..Trainer::default()
+            };
+            let (model, _) = trainer.train_fp32(kind, &dataset);
+            let adj = build_adjacency(&dataset.graph, kind.aggregator(3));
+            let measured = feature_densities(&model, &dataset, &adj);
+            rows.push((
+                format!("{}/{}", kind.name(), name),
+                vec![
+                    measured.hidden * 100.0,
+                    hidden_density(&name, kind) * 100.0,
+                ],
+            ));
+        }
+    }
+    print_table(
+        "Fig. 5 — hidden feature-map density (%)",
+        &["measured", "paper"],
+        &rows,
+    );
+    println!("\n(NELL/Reddit omitted from the measured column: training at");
+    println!(" bench scale uses the paper's densities directly, DESIGN.md §1)");
+}

@@ -1,0 +1,55 @@
+//! Fig. 14: performance comparison across the ten evaluation workloads,
+//! normalized to HyGCN (higher is better).
+
+use mega::suite::{compare_all, geomean_speedup, Comparison};
+use mega_bench::{hw_suite, print_table};
+
+fn main() {
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for (dataset, kind) in hw_suite() {
+        eprintln!("running {} / {} ...", dataset.spec.name, kind.name());
+        comparisons.push(compare_all(&dataset, kind));
+    }
+    let accelerators = [
+        "HyGCN",
+        "HyGCN(8bit)",
+        "GCNAX",
+        "GCNAX(8bit)",
+        "GROW",
+        "SGCN",
+        "MEGA",
+    ];
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        rows.push((
+            format!("{}/{}", c.model, c.dataset),
+            accelerators
+                .iter()
+                .map(|a| c.speedup(a, "HyGCN").unwrap_or(f64::NAN))
+                .collect(),
+        ));
+    }
+    rows.push((
+        "Geomean".to_string(),
+        accelerators
+            .iter()
+            .map(|a| geomean_speedup(&comparisons, a, "HyGCN"))
+            .collect(),
+    ));
+    print_table(
+        "Fig. 14 — speedup normalized to HyGCN",
+        &accelerators,
+        &rows,
+    );
+    println!(
+        "\nMEGA geomean speedups: {:.1}x over HyGCN, {:.1}x over GCNAX, {:.1}x over GROW, {:.1}x over SGCN",
+        geomean_speedup(&comparisons, "MEGA", "HyGCN"),
+        geomean_speedup(&comparisons, "MEGA", "GCNAX"),
+        geomean_speedup(&comparisons, "MEGA", "GROW"),
+        geomean_speedup(&comparisons, "MEGA", "SGCN"),
+    );
+    println!(
+        "MEGA over GCNAX(8bit): {:.1}x",
+        geomean_speedup(&comparisons, "MEGA", "GCNAX(8bit)")
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 15: performance versus GCNAX and GROW in their *original*
+//! configurations (Table VII), GCN, normalized to GCNAX.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_dataset, print_table};
+use mega_gnn::GnnKind;
+use mega_sim::geomean;
+
+fn main() {
+    let specs = [
+        DatasetSpec::cora(),
+        DatasetSpec::citeseer(),
+        DatasetSpec::pubmed(),
+        DatasetSpec::nell(),
+        DatasetSpec::reddit_scaled(),
+    ];
+    let mut rows = Vec::new();
+    let mut ratios: Vec<(f64, f64, f64)> = Vec::new();
+    for spec in specs {
+        let dataset = hw_dataset(spec);
+        eprintln!("running {} ...", dataset.spec.name);
+        let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+        let mixed = workloads::build_quantized(&dataset, GnnKind::Gcn, None);
+        let gcnax = Gcnax::original().run(&fp32);
+        let grow = Grow::original().run(&fp32);
+        let mega = Mega::new(MegaConfig::default()).run(&mixed);
+        let s_grow = gcnax.cycles.total_cycles as f64 / grow.cycles.total_cycles as f64;
+        let s_mega = gcnax.cycles.total_cycles as f64 / mega.cycles.total_cycles as f64;
+        rows.push((
+            dataset.spec.name.clone(),
+            vec![1.0, s_grow, s_mega],
+        ));
+        ratios.push((1.0, s_grow, s_mega));
+    }
+    rows.push((
+        "Geomean".to_string(),
+        vec![
+            1.0,
+            geomean(&ratios.iter().map(|r| r.1).collect::<Vec<_>>()),
+            geomean(&ratios.iter().map(|r| r.2).collect::<Vec<_>>()),
+        ],
+    ));
+    print_table(
+        "Fig. 15 — speedup vs original configurations (normalized to GCNAX)",
+        &["GCNAX", "GROW", "MEGA"],
+        &rows,
+    );
+}

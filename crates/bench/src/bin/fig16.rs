@@ -1,0 +1,42 @@
+//! Fig. 16: DRAM access reduction over HyGCN across the ten workloads.
+
+use mega::suite::{compare_all, Comparison};
+use mega_bench::{hw_suite, print_table};
+use mega_sim::geomean;
+
+fn main() {
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for (dataset, kind) in hw_suite() {
+        eprintln!("running {} / {} ...", dataset.spec.name, kind.name());
+        comparisons.push(compare_all(&dataset, kind));
+    }
+    let accelerators = ["HyGCN", "GCNAX", "GROW", "SGCN", "MEGA"];
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        rows.push((
+            format!("{}/{}", c.model, c.dataset),
+            accelerators
+                .iter()
+                .map(|a| c.dram_reduction(a, "HyGCN").unwrap_or(f64::NAN))
+                .collect(),
+        ));
+    }
+    rows.push((
+        "Geomean".to_string(),
+        accelerators
+            .iter()
+            .map(|a| {
+                let v: Vec<f64> = comparisons
+                    .iter()
+                    .filter_map(|c| c.dram_reduction(a, "HyGCN"))
+                    .collect();
+                geomean(&v)
+            })
+            .collect(),
+    ));
+    print_table(
+        "Fig. 16 — DRAM access reduction normalized to HyGCN",
+        &accelerators,
+        &rows,
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 18: energy-consumption breakdown (DRAM / SRAM / PU / leakage) of
+//! HyGCN versus MEGA on GCN, per dataset, normalized to MEGA.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_dataset, print_table};
+use mega_gnn::GnnKind;
+
+fn main() {
+    let specs = [
+        DatasetSpec::cora(),
+        DatasetSpec::citeseer(),
+        DatasetSpec::pubmed(),
+        DatasetSpec::nell(),
+        DatasetSpec::reddit_scaled(),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let dataset = hw_dataset(spec);
+        eprintln!("running {} ...", dataset.spec.name);
+        let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+        let mixed = workloads::build_quantized(&dataset, GnnKind::Gcn, None);
+        let hygcn = HyGcn::matched().run(&fp32);
+        let mega = Mega::new(MegaConfig::default()).run(&mixed);
+        let h = &hygcn.energy;
+        let m = &mega.energy;
+        rows.push((
+            format!("{}/HyGCN", dataset.spec.name),
+            vec![
+                h.dram_pj / m.dram_pj.max(1e-12),
+                h.sram_pj / m.sram_pj.max(1e-12),
+                h.pu_pj / m.pu_pj.max(1e-12),
+                h.leakage_pj / m.leakage_pj.max(1e-12),
+            ],
+        ));
+        rows.push((
+            format!("{}/MEGA", dataset.spec.name),
+            vec![1.0, 1.0, 1.0, 1.0],
+        ));
+    }
+    print_table(
+        "Fig. 18 — energy breakdown, HyGCN normalized to MEGA",
+        &["DRAM", "SRAM", "PU", "Leakage"],
+        &rows,
+    );
+}

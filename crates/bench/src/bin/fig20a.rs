@@ -1,0 +1,40 @@
+//! Fig. 20(a): pipeline-stall fraction of overall cycles — MEGA vs GCNAX vs
+//! HyGCN on GCN.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_dataset, print_table};
+use mega_gnn::GnnKind;
+
+fn main() {
+    let specs = [
+        DatasetSpec::cora(),
+        DatasetSpec::citeseer(),
+        DatasetSpec::pubmed(),
+        DatasetSpec::nell(),
+        DatasetSpec::reddit_scaled(),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let dataset = hw_dataset(spec);
+        eprintln!("running {} ...", dataset.spec.name);
+        let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+        let mixed = workloads::build_quantized(&dataset, GnnKind::Gcn, None);
+        let mega = Mega::new(MegaConfig::default()).run(&mixed);
+        let gcnax = Gcnax::matched().run(&fp32);
+        let hygcn = HyGcn::original().run(&fp32);
+        rows.push((
+            dataset.spec.name.clone(),
+            vec![
+                mega.cycles.stall_fraction() * 100.0,
+                gcnax.cycles.stall_fraction() * 100.0,
+                hygcn.cycles.stall_fraction() * 100.0,
+            ],
+        ));
+    }
+    print_table(
+        "Fig. 20(a) — DRAM-induced pipeline stall (% of cycles)",
+        &["MEGA", "GCNAX", "HyGCN"],
+        &rows,
+    );
+}

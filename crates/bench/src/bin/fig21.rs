@@ -1,0 +1,41 @@
+//! Fig. 21: design-space exploration of the Adaptive-Package length levels
+//! across datasets, normalized per dataset to its optimal setting.
+
+use mega::prelude::*;
+use mega::workloads::{degree_profile_bits, hidden_density};
+use mega_bench::{hw_dataset, print_table};
+use mega_format::dse::{normalized_to_best, sweep, FIG21_SETTINGS};
+use mega_format::QuantizedFeatureMap;
+use mega_gnn::GnnKind;
+
+fn main() {
+    let specs = [
+        DatasetSpec::cora(),
+        DatasetSpec::citeseer(),
+        DatasetSpec::pubmed(),
+        DatasetSpec::nell().scaled(0.25),
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let name = spec.name.clone();
+        let dataset = hw_dataset(spec);
+        let bits = degree_profile_bits(&dataset.graph);
+        let density = hidden_density(&name, GnnKind::Gcn);
+        let densities = vec![density; bits.len()];
+        let map = QuantizedFeatureMap::synthetic(128, &densities, &bits, 31);
+        let points = sweep(&map, &FIG21_SETTINGS);
+        let norm = normalized_to_best(&points);
+        rows.push((name, norm));
+    }
+    let labels: Vec<String> = FIG21_SETTINGS
+        .iter()
+        .map(|s| format!("{},{},{}", s.0, s.1, s.2))
+        .collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 21 — encoded size by package lengths (normalized to optimum)",
+        &label_refs,
+        &rows,
+    );
+    println!("\n(the paper adopts (64,128,192) as the best cross-dataset setting)");
+}

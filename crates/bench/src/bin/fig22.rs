@@ -1,0 +1,47 @@
+//! Fig. 22: MEGA's performance sensitivity to the compression ratio
+//! (Cora, GCN and GIN), normalized to HyGCN.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_bench::{hw_dataset, print_table};
+use mega_gnn::GnnKind;
+use std::rc::Rc;
+
+fn main() {
+    let dataset = hw_dataset(DatasetSpec::cora());
+    let mut rows = Vec::new();
+    // Paper sweep: CR 5.9 / 7.4 / 10.1 / 12.8 / 18.8 → average bits.
+    let crs = [5.9f64, 7.4, 10.1, 12.8, 18.8];
+    for kind in [GnnKind::Gcn, GnnKind::Gin] {
+        let fp32 = workloads::build_fp32(&dataset, kind);
+        let hygcn = HyGcn::matched().run(&fp32);
+        let dims = workloads::layer_dims(&dataset, kind);
+        let densities = workloads::layer_densities(&dataset, kind);
+        let mut values = Vec::new();
+        for &cr in &crs {
+            let target = 32.0 / cr;
+            let base = workloads::degree_profile_bits(&dataset.graph);
+            let bits = workloads::scale_bits_to_average(&base, target);
+            let layer_bits = vec![bits.clone(); dims.len() - 1];
+            let w = Workload::mixed(
+                dataset.spec.name.clone(),
+                kind.name(),
+                Rc::new(dataset.graph.clone()),
+                &dims,
+                &densities,
+                layer_bits,
+                4,
+            );
+            let mega = Mega::new(MegaConfig::default()).run(&w);
+            values.push(mega.speedup_over(&hygcn));
+        }
+        rows.push((kind.name().to_string(), values));
+    }
+    let labels: Vec<String> = crs.iter().map(|c| format!("CR {c}")).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 22 — MEGA speedup over HyGCN vs compression ratio (Cora)",
+        &label_refs,
+        &rows,
+    );
+}

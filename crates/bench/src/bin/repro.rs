@@ -1,0 +1,62 @@
+//! Runs the complete reproduction suite in one command, in dependency-light
+//! to heavy order, writing each experiment's stdout under `repro_out/`.
+//!
+//! ```sh
+//! cargo run --release -p mega-bench --bin repro
+//! ```
+//!
+//! Skips nothing; expect tens of minutes at full scale. Use `MEGA_SCALE`,
+//! `MEGA_TRAIN_SCALE`, `MEGA_EPOCHS` to shrink.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table4", "table5", "table7", // static configuration tables
+    "fig03", "fig04", "fig21",    // motivation + format studies
+    "table1", "fig05", "table6",  // training experiments
+    "fig06", "fig20b",            // scheduling DRAM studies
+    "fig01", "fig15", "fig18", "fig19", "fig20a", "fig22", // simulator studies
+    "fig14", "fig16", "fig17",    // the full ten-workload suite
+    "disc_training", "disc_nopart", "disc_gat", // §VII discussion
+];
+
+fn main() {
+    let out_dir = Path::new("repro_out");
+    std::fs::create_dir_all(out_dir).expect("create repro_out/");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        print!("[repro] {name:<14} ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let started = std::time::Instant::now();
+        let output = Command::new(exe_dir.join(name))
+            .output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &out.stdout).expect("write output");
+                println!("ok ({:.1}s) -> {}", started.elapsed().as_secs_f64(), path.display());
+            }
+            Ok(out) => {
+                println!("FAILED (status {:?})", out.status.code());
+                failures.push(*name);
+            }
+            Err(e) => {
+                println!("FAILED to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments reproduced; outputs in repro_out/", EXPERIMENTS.len());
+    } else {
+        println!("\nFAILURES: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table I: accuracy and compression ratio of the DQ baseline at
+//! 8/7/6/5/4 bits, GIN on CiteSeer — quantifying how DQ degrades below
+//! 8 bits (the paper's motivation for Degree-Aware quantization).
+
+use mega::prelude::*;
+use mega_bench::{epochs, train_dataset};
+use mega_gnn::{GnnKind, Trainer};
+
+fn main() {
+    let dataset = train_dataset(DatasetSpec::citeseer(), 512);
+    println!(
+        "Table I — DQ on CiteSeer / GIN ({} nodes, {} epochs)",
+        dataset.graph.num_nodes(),
+        epochs()
+    );
+    println!("{:<8} {:>10} {:>8}", "config", "accuracy", "CR");
+    let trainer = Trainer {
+        epochs: epochs(),
+        patience: 0,
+        ..Trainer::default()
+    };
+    let (_, fp32) = trainer.train_fp32(GnnKind::Gin, &dataset);
+    println!("{:<8} {:>9.1}% {:>7.1}x", "FP32", fp32.test_accuracy * 100.0, 1.0);
+    let qat = QatTrainer::new(QatConfig {
+        epochs: epochs(),
+        patience: 0,
+        ..QatConfig::default()
+    });
+    for bits in [8u8, 7, 6, 5, 4] {
+        let out = qat.train_dq(GnnKind::Gin, &dataset, bits);
+        println!(
+            "{:<8} {:>9.1}% {:>7.1}x",
+            format!("{bits}bit"),
+            out.test_accuracy * 100.0,
+            out.compression_ratio
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table IV: MEGA's configuration and 28 nm area/power breakdown, plus the
+//! CACTI-lite model's fit against the published buffer rows.
+
+use mega_hw::area::{
+    mega_table_iv, sram_area_mm2, sram_power_mw, table_iv_buffer_kb, table_iv_pu_area,
+    table_iv_total_area, table_iv_total_power,
+};
+
+fn main() {
+    println!("Table IV — MEGA configuration and breakdown (28 nm)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>18} {:>12} {:>12}",
+        "component", "area mm2", "power mW", "config", "model mm2", "model mW"
+    );
+    for c in mega_table_iv() {
+        let (ma, mp) = if c.is_buffer {
+            (
+                sram_area_mm2(c.capacity_kb as f64),
+                sram_power_mw(c.capacity_kb as f64),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        let fmt = |x: f64| {
+            if x.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{x:.3}")
+            }
+        };
+        println!(
+            "{:<20} {:>10.3} {:>10.2} {:>18} {:>12} {:>12}",
+            c.name,
+            c.area_mm2,
+            c.power_mw,
+            c.config,
+            fmt(ma),
+            fmt(mp)
+        );
+    }
+    println!(
+        "\nProcessing-unit total: {:.3} mm2 (paper: 0.199)",
+        table_iv_pu_area()
+    );
+    println!("Buffer capacity total: {} KB (paper: 392)", table_iv_buffer_kb());
+    println!(
+        "Measured total: {:.3} mm2 / {:.2} mW (paper: 1.869 / 194.98)",
+        table_iv_total_area(),
+        table_iv_total_power()
+    );
+}

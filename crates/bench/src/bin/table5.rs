@@ -1,0 +1,23 @@
+//! Table V: matched configurations of the compared architectures.
+
+use mega_baselines::table_v;
+
+fn main() {
+    println!("Table V — matched configurations of compared architectures");
+    println!(
+        "{:<12} {:<32} {:>10} {:<20} {:<8} {:<14}",
+        "accelerator", "computing units @1GHz", "area mm2", "sparsity", "prec", "partition"
+    );
+    for row in table_v() {
+        println!(
+            "{:<12} {:<32} {:>10.2} {:<20} {:<8} {:<14}",
+            row.accelerator,
+            row.computing_units,
+            row.area_mm2,
+            row.sparsity,
+            row.precision,
+            row.graph_partition
+        );
+    }
+    println!("\n(all matched to MEGA's 392 KB on-chip buffer budget)");
+}

@@ -1,0 +1,17 @@
+//! Table VII: original configurations of GCNAX and GROW (used by Fig. 15).
+
+use mega_baselines::table_vii;
+
+fn main() {
+    println!("Table VII — original configurations (28 nm)");
+    println!(
+        "{:<12} {:<16} {:>12} {:>10} {:>10}",
+        "accelerator", "units @1GHz", "buffer KB", "area mm2", "power mW"
+    );
+    for row in table_vii() {
+        println!(
+            "{:<12} {:<16} {:>12} {:>10.2} {:>10.2}",
+            row.accelerator, row.computing_units, row.buffer_kb, row.area_mm2, row.power_mw
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared helpers for the per-table/per-figure benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of the paper; run them as
+//!
+//! ```sh
+//! cargo run --release -p mega-bench --bin fig14
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `MEGA_SCALE` — node-count scale for the hardware experiments
+//!   (default 1.0 for the citation graphs; Reddit is always the 1/16
+//!   preset, see DESIGN.md §1).
+//! * `MEGA_TRAIN_SCALE` — node-count scale for training experiments
+//!   (default 0.35; training is CPU-bound).
+//! * `MEGA_EPOCHS` — training epochs (default 60).
+
+use mega::prelude::*;
+use mega::Dataset;
+use mega_gnn::GnnKind;
+
+/// Reads an `f64` environment variable with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `usize` environment variable with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Scale factor for hardware (simulator) experiments.
+pub fn hw_scale() -> f64 {
+    env_f64("MEGA_SCALE", 1.0)
+}
+
+/// Scale factor for training experiments.
+pub fn train_scale() -> f64 {
+    env_f64("MEGA_TRAIN_SCALE", 0.35)
+}
+
+/// Epoch budget for training experiments.
+pub fn epochs() -> usize {
+    env_usize("MEGA_EPOCHS", 60)
+}
+
+/// Materializes one hardware dataset at the bench scale, preserving the
+/// dataset's display name.
+pub fn hw_dataset(spec: DatasetSpec) -> Dataset {
+    let name = spec.name.clone();
+    let scale = hw_scale();
+    let mut spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    spec.name = name;
+    spec.materialize()
+}
+
+/// The paper's ten evaluation workloads, materialized (Reddit at the 1/16
+/// preset).
+pub fn hw_suite() -> Vec<(Dataset, GnnKind)> {
+    mega::suite::paper_workloads()
+        .into_iter()
+        .map(|(spec, kind)| (hw_dataset(spec), kind))
+        .collect()
+}
+
+/// Materializes a training dataset: scaled nodes and a reduced feature
+/// dimension where the full one would dominate runtime.
+pub fn train_dataset(spec: DatasetSpec, feature_dim_cap: usize) -> Dataset {
+    let name = spec.name.clone();
+    let mut spec = spec.scaled(train_scale());
+    spec.name = name;
+    if spec.feature_dim > feature_dim_cap {
+        spec = spec.with_feature_dim(feature_dim_cap);
+    }
+    spec.materialize()
+}
+
+/// Prints a labeled series table: one row per `rows` entry, one column per
+/// label.
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<22}", "");
+    for c in columns {
+        print!("{c:>12}");
+    }
+    println!();
+    for (name, values) in rows {
+        print!("{name:<22}");
+        for v in values {
+            if v.is_nan() {
+                print!("{:>12}", "-");
+            } else {
+                print!("{v:>12.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Formats bytes as MB.
+pub fn mb(bytes: u64) -> f64 {
+    bytes as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_apply() {
+        assert_eq!(env_f64("MEGA_DOES_NOT_EXIST", 2.5), 2.5);
+        assert_eq!(env_usize("MEGA_DOES_NOT_EXIST", 7), 7);
+    }
+
+    #[test]
+    fn train_dataset_caps_feature_dim() {
+        let d = train_dataset(DatasetSpec::cora(), 64);
+        assert_eq!(d.spec.feature_dim, 64);
+        assert_eq!(d.spec.name, "Cora");
+    }
+}

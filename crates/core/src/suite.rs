@@ -1,0 +1,156 @@
+//! The paper's evaluation suite: the ten (dataset, model) workloads of
+//! Figs. 14/16/17 and a comparison runner.
+
+use mega_gnn::GnnKind;
+use mega_graph::datasets::DatasetSpec;
+use mega_graph::Dataset;
+use mega_sim::{geomean, Accelerator, RunResult};
+
+use crate::workloads::{build_fp32, build_quantized, build_uniform};
+
+/// The ten workloads of the evaluation section: GCN on all five datasets,
+/// GIN on the citation graphs, GraphSage on Cora and Reddit.
+pub fn paper_workloads() -> Vec<(DatasetSpec, GnnKind)> {
+    vec![
+        (DatasetSpec::cora(), GnnKind::Gcn),
+        (DatasetSpec::citeseer(), GnnKind::Gcn),
+        (DatasetSpec::pubmed(), GnnKind::Gcn),
+        (DatasetSpec::nell(), GnnKind::Gcn),
+        (DatasetSpec::reddit_scaled(), GnnKind::Gcn),
+        (DatasetSpec::cora(), GnnKind::Gin),
+        (DatasetSpec::citeseer(), GnnKind::Gin),
+        (DatasetSpec::pubmed(), GnnKind::Gin),
+        (DatasetSpec::cora(), GnnKind::GraphSage),
+        (DatasetSpec::reddit_scaled(), GnnKind::GraphSage),
+    ]
+}
+
+/// A scaled-down version of [`paper_workloads`] for tests and smoke runs.
+pub fn paper_workloads_scaled(factor: f64) -> Vec<(DatasetSpec, GnnKind)> {
+    paper_workloads()
+        .into_iter()
+        .map(|(spec, kind)| {
+            let name = spec.name.clone();
+            let mut scaled = spec.scaled(factor);
+            scaled.name = name;
+            (scaled, kind)
+        })
+        .collect()
+}
+
+/// One workload's results across all compared accelerators.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Results keyed by accelerator display name.
+    pub results: Vec<RunResult>,
+}
+
+impl Comparison {
+    /// The result of a named accelerator.
+    pub fn result(&self, name: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.accelerator == name)
+    }
+
+    /// Speedup of `name` normalized to `baseline` (Fig. 14's y-axis with
+    /// `baseline = "HyGCN"`).
+    pub fn speedup(&self, name: &str, baseline: &str) -> Option<f64> {
+        Some(self.result(name)?.speedup_over(self.result(baseline)?))
+    }
+
+    /// DRAM-access reduction of `name` vs `baseline` (Fig. 16).
+    pub fn dram_reduction(&self, name: &str, baseline: &str) -> Option<f64> {
+        Some(self.result(name)?.dram_reduction_over(self.result(baseline)?))
+    }
+
+    /// Energy saving of `name` vs `baseline` (Fig. 17).
+    pub fn energy_saving(&self, name: &str, baseline: &str) -> Option<f64> {
+        Some(self.result(name)?.energy_saving_over(self.result(baseline)?))
+    }
+}
+
+/// Runs the full comparison on one dataset/model: every 32-bit baseline on
+/// the FP32 workload, the 8-bit variants on the INT8 workload, MEGA on the
+/// mixed-precision workload.
+pub fn compare_all(dataset: &Dataset, kind: GnnKind) -> Comparison {
+    use mega_accel::{Mega, MegaConfig};
+    use mega_baselines::{Gcnax, Grow, HyGcn, Sgcn};
+
+    let fp32 = build_fp32(dataset, kind);
+    let int8 = build_uniform(dataset, kind, 8);
+    let mixed = build_quantized(dataset, kind, None);
+
+    let mut results = Vec::new();
+    results.push(HyGcn::matched().run(&fp32));
+    results.push(Gcnax::matched().run(&fp32));
+    results.push(Grow::matched().run(&fp32));
+    results.push(Sgcn::matched().run(&fp32));
+    results.push(HyGcn::matched_8bit().run(&int8));
+    results.push(Gcnax::matched_8bit().run(&int8));
+    results.push(Mega::new(MegaConfig::default()).run(&mixed));
+    Comparison {
+        dataset: dataset.spec.name.clone(),
+        model: kind.name().to_string(),
+        results,
+    }
+}
+
+/// Geometric-mean speedups of `name` over `baseline` across comparisons.
+pub fn geomean_speedup(comparisons: &[Comparison], name: &str, baseline: &str) -> f64 {
+    let values: Vec<f64> = comparisons
+        .iter()
+        .filter_map(|c| c.speedup(name, baseline))
+        .collect();
+    geomean(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_lists_ten_workloads() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 10);
+        let gcn = w.iter().filter(|(_, k)| *k == GnnKind::Gcn).count();
+        assert_eq!(gcn, 5);
+    }
+
+    #[test]
+    fn comparison_runs_all_seven_accelerators() {
+        let d = DatasetSpec::cora().scaled(0.08).materialize();
+        let c = compare_all(&d, GnnKind::Gcn);
+        assert_eq!(c.results.len(), 7);
+        assert!(c.result("MEGA").is_some());
+        assert!(c.result("HyGCN(8bit)").is_some());
+    }
+
+    #[test]
+    fn mega_wins_on_small_cora() {
+        let d = DatasetSpec::cora().scaled(0.08).materialize();
+        let c = compare_all(&d, GnnKind::Gcn);
+        for baseline in ["HyGCN", "GCNAX", "GROW", "SGCN"] {
+            let s = c.speedup("MEGA", baseline).unwrap();
+            assert!(s > 1.0, "MEGA not faster than {baseline}: {s}");
+            let dr = c.dram_reduction("MEGA", baseline).unwrap();
+            assert!(dr > 1.0, "MEGA moves more DRAM than {baseline}: {dr}");
+            let es = c.energy_saving("MEGA", baseline).unwrap();
+            assert!(es > 1.0, "MEGA burns more energy than {baseline}: {es}");
+        }
+    }
+
+    #[test]
+    fn geomean_across_two_workloads() {
+        let d1 = DatasetSpec::cora().scaled(0.08).materialize();
+        let d2 = DatasetSpec::citeseer().scaled(0.08).materialize();
+        let cs = vec![
+            compare_all(&d1, GnnKind::Gcn),
+            compare_all(&d2, GnnKind::Gcn),
+        ];
+        let g = geomean_speedup(&cs, "MEGA", "HyGCN");
+        assert!(g > 1.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Bit-granular writer/reader used by the package encoder.
+
+/// Append-only bit buffer (LSB-first within each backing word).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 32`.
+    pub fn push(&mut self, value: u32, width: u8) {
+        assert!(width <= 32, "width {width} too large");
+        if width == 0 {
+            return;
+        }
+        let value = (value as u64) & ((1u64 << width) - 1);
+        let word = self.len / 64;
+        let offset = self.len % 64;
+        if self.words.len() <= word {
+            self.words.push(0);
+        }
+        self.words[word] |= value << offset;
+        let spill = (offset + width as usize).saturating_sub(64);
+        if spill > 0 {
+            self.words.push(value >> (width as usize - spill));
+        }
+        self.len += width as usize;
+    }
+
+    /// Finishes writing, returning the packed words and bit length.
+    pub fn finish(self) -> (Vec<u64>, usize) {
+        (self.words, self.len)
+    }
+}
+
+/// Sequential reader over a bit buffer produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a buffer of `len` valid bits.
+    pub fn new(words: &'a [u64], len: usize) -> Self {
+        Self { words, len, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain or `width > 32`.
+    pub fn read(&mut self, width: u8) -> u32 {
+        assert!(width <= 32, "width {width} too large");
+        assert!(
+            self.remaining() >= width as usize,
+            "read past end of bitstream"
+        );
+        if width == 0 {
+            return 0;
+        }
+        let word = self.pos / 64;
+        let offset = self.pos % 64;
+        let mut value = self.words[word] >> offset;
+        let taken = 64 - offset;
+        if (width as usize) > taken {
+            value |= self.words[word + 1] << taken;
+        }
+        self.pos += width as usize;
+        let mask = if width == 32 {
+            u64::from(u32::MAX)
+        } else {
+            (1u64 << width) - 1
+        };
+        (value & mask) as u32
+    }
+
+    /// Skips `n` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bits remain.
+    pub fn skip(&mut self, n: usize) {
+        assert!(self.remaining() >= n, "skip past end of bitstream");
+        self.pos += n;
+    }
+}
+
+/// Encodes a signed quantization level into a `bits`-wide code.
+///
+/// * `bits == 1`: sign bit of a non-zero ±1 level (`0 => +1`, `1 => −1`).
+/// * `bits >= 2`: two's complement.
+///
+/// # Panics
+///
+/// Panics if the level does not fit (`|level| > 2^{b−1}−1`, or level 0 at
+/// one bit — zeros are never stored, the bitmap marks them).
+pub fn encode_level(level: i32, bits: u8) -> u32 {
+    if bits == 1 {
+        match level {
+            1 => 0,
+            -1 => 1,
+            _ => panic!("1-bit levels must be ±1, got {level}"),
+        }
+    } else {
+        let max = (1i32 << (bits - 1)) - 1;
+        assert!(
+            level >= -max && level <= max,
+            "level {level} does not fit in {bits} bits"
+        );
+        (level as u32) & ((1u32 << bits) - 1)
+    }
+}
+
+/// Inverse of [`encode_level`].
+pub fn decode_level(code: u32, bits: u8) -> i32 {
+    if bits == 1 {
+        if code == 0 {
+            1
+        } else {
+            -1
+        }
+    } else {
+        let shift = 32 - bits as u32;
+        ((code << shift) as i32) >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let samples = [(5u32, 3u8), (1, 1), (1023, 10), (0, 7), (0xFFFF_FFFF, 32)];
+        for &(v, width) in &samples {
+            w.push(v, width);
+        }
+        let (words, len) = w.finish();
+        let mut r = BitReader::new(&words, len);
+        for &(v, width) in &samples {
+            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            assert_eq!(r.read(width), v & mask, "width {width}");
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn writer_crosses_word_boundaries() {
+        let mut w = BitWriter::new();
+        for i in 0..50 {
+            w.push(i % 8, 3);
+        }
+        let (words, len) = w.finish();
+        assert_eq!(len, 150);
+        let mut r = BitReader::new(&words, len);
+        for i in 0..50 {
+            assert_eq!(r.read(3), (i % 8) as u32);
+        }
+    }
+
+    #[test]
+    fn skip_moves_position() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        w.push(0b11, 2);
+        let (words, len) = w.finish();
+        let mut r = BitReader::new(&words, len);
+        r.skip(3);
+        assert_eq!(r.read(2), 0b11);
+    }
+
+    #[test]
+    fn level_roundtrip_all_bitwidths() {
+        for bits in 1u8..=8 {
+            let max = if bits == 1 { 1 } else { (1i32 << (bits - 1)) - 1 };
+            for level in -max..=max {
+                if level == 0 && bits == 1 {
+                    continue;
+                }
+                if bits == 1 && level == 0 {
+                    continue;
+                }
+                if bits == 1 && level.abs() != 1 {
+                    continue;
+                }
+                let code = encode_level(level, bits);
+                assert!(code < (1u32 << bits));
+                assert_eq!(decode_level(code, bits), level, "bits {bits} level {level}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_level_panics() {
+        let _ = encode_level(8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut w = BitWriter::new();
+        w.push(1, 1);
+        let (words, len) = w.finish();
+        let mut r = BitReader::new(&words, len);
+        let _ = r.read(2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Design-space exploration over package length settings (Fig. 21).
+
+use crate::map::QuantizedFeatureMap;
+use crate::package::{encode, PackageConfig};
+
+/// The five length triples swept in Fig. 21 (bits).
+pub const FIG21_SETTINGS: [(u32, u32, u32); 5] = [
+    (16, 24, 32),
+    (64, 128, 192),
+    (160, 192, 296),
+    (192, 296, 400),
+    (400, 512, 800),
+];
+
+/// One sweep point: the setting and the total encoded bits it yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// `(short, medium, long)` lengths in bits.
+    pub lengths: (u32, u32, u32),
+    /// Total encoded size (stream + bitmap) in bits.
+    pub total_bits: u64,
+}
+
+/// Encodes `map` under every setting in `settings`.
+pub fn sweep(
+    map: &QuantizedFeatureMap,
+    settings: &[(u32, u32, u32)],
+) -> Vec<SweepPoint> {
+    settings
+        .iter()
+        .map(|&(s, m, l)| SweepPoint {
+            lengths: (s, m, l),
+            total_bits: encode(map, PackageConfig::new(s, m, l)).total_bits(),
+        })
+        .collect()
+}
+
+/// Sizes normalized to the best (smallest) setting, matching Fig. 21's
+/// "normalized to the optimal situation" y-axis.
+pub fn normalized_to_best(points: &[SweepPoint]) -> Vec<f64> {
+    let best = points
+        .iter()
+        .map(|p| p.total_bits)
+        .min()
+        .unwrap_or(1)
+        .max(1) as f64;
+    points.iter().map(|p| p.total_bits as f64 / best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_bit_sparse_map() -> QuantizedFeatureMap {
+        // Mostly 2/3-bit nodes with high sparsity (the paper's regime).
+        let n = 300;
+        let densities: Vec<f64> = (0..n).map(|i| 0.02 + (i % 7) as f64 * 0.01).collect();
+        let bits: Vec<u8> = (0..n).map(|i| 2 + (i % 2) as u8).collect();
+        QuantizedFeatureMap::synthetic(512, &densities, &bits, 7)
+    }
+
+    #[test]
+    fn sweep_covers_all_settings() {
+        let m = low_bit_sparse_map();
+        let pts = sweep(&m, &FIG21_SETTINGS);
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|p| p.total_bits > 0));
+    }
+
+    #[test]
+    fn small_packages_win_for_sparse_low_bit_features() {
+        // Fig. 21: (64,128,192) is optimal across citation graphs; huge
+        // packages waste padding when runs are short.
+        let m = low_bit_sparse_map();
+        let pts = sweep(&m, &FIG21_SETTINGS);
+        let default_idx = 1; // (64,128,192)
+        let huge_idx = 4; // (400,512,800)
+        assert!(
+            pts[default_idx].total_bits < pts[huge_idx].total_bits,
+            "default {:?} should beat huge {:?}",
+            pts[default_idx],
+            pts[huge_idx]
+        );
+    }
+
+    #[test]
+    fn normalization_has_unit_minimum() {
+        let m = low_bit_sparse_map();
+        let pts = sweep(&m, &FIG21_SETTINGS);
+        let norm = normalized_to_best(&pts);
+        let min = norm.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-12);
+        assert!(norm.iter().all(|&x| x >= 1.0));
+    }
+}

@@ -1,0 +1,204 @@
+//! The mixed-precision sparse feature map all storage formats consume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node's quantized feature row: a bitwidth plus its non-zero entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedRow {
+    /// Quantization bitwidth of this node (1..=8).
+    pub bits: u8,
+    /// Column indices of non-zero entries, ascending.
+    pub cols: Vec<u32>,
+    /// Quantization levels of the non-zero entries (`|level| ≤ 2^{b−1}−1`,
+    /// never 0 — zeros are tracked by the bitmap index).
+    pub levels: Vec<i16>,
+}
+
+impl QuantizedRow {
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Validates internal invariants; used by constructors and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if invariants are violated.
+    pub fn validate(&self, dim: usize) {
+        assert!((1..=8).contains(&self.bits), "bits {} out of range", self.bits);
+        assert_eq!(self.cols.len(), self.levels.len(), "cols/levels mismatch");
+        let max = if self.bits == 1 {
+            1
+        } else {
+            (1i16 << (self.bits - 1)) - 1
+        };
+        for w in self.cols.windows(2) {
+            assert!(w[0] < w[1], "columns not strictly ascending");
+        }
+        for (&c, &l) in self.cols.iter().zip(&self.levels) {
+            assert!((c as usize) < dim, "column {c} out of bounds");
+            assert!(l != 0, "stored level must be non-zero");
+            assert!(l.abs() <= max, "level {l} exceeds {} bits", self.bits);
+        }
+    }
+}
+
+/// A quantized sparse feature map: `n` rows of `dim` features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedFeatureMap {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Per-node rows.
+    pub rows: Vec<QuantizedRow>,
+}
+
+impl QuantizedFeatureMap {
+    /// Builds and validates a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row violates its invariants.
+    pub fn new(dim: usize, rows: Vec<QuantizedRow>) -> Self {
+        for row in &rows {
+            row.validate(dim);
+        }
+        Self { dim, rows }
+    }
+
+    /// Number of nodes.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(QuantizedRow::nnz).sum()
+    }
+
+    /// Highest bitwidth present (what uniform formats must store at);
+    /// 8 for an empty map.
+    pub fn max_bits(&self) -> u8 {
+        self.rows.iter().map(|r| r.bits).max().unwrap_or(8)
+    }
+
+    /// Average density (nnz / n·dim).
+    pub fn density(&self) -> f64 {
+        if self.rows.is_empty() || self.dim == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows.len() * self.dim) as f64
+    }
+
+    /// Ideal storage: every non-zero at its own node's bitwidth, no
+    /// metadata ("only quantized non-zero values are stored", Fig. 4).
+    pub fn ideal_bits(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.nnz() as u64 * r.bits as u64)
+            .sum()
+    }
+
+    /// Synthesizes a map with the given per-node densities and bitwidths
+    /// (used by experiments that only need statistics, not real values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length.
+    pub fn synthetic(
+        dim: usize,
+        densities: &[f64],
+        bits: &[u8],
+        seed: u64,
+    ) -> Self {
+        assert_eq!(densities.len(), bits.len(), "length mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = densities
+            .iter()
+            .zip(bits)
+            .map(|(&density, &b)| {
+                let nnz = ((dim as f64 * density).round() as usize).min(dim);
+                // Sample distinct columns.
+                let mut cols: Vec<u32> = (0..dim as u32).collect();
+                mega_shuffle(&mut cols, &mut rng);
+                cols.truncate(nnz);
+                cols.sort_unstable();
+                let max = if b == 1 { 1 } else { (1i16 << (b - 1)) - 1 };
+                let levels = (0..nnz)
+                    .map(|_| {
+                        let mag = rng.gen_range(1..=max);
+                        if rng.gen::<bool>() {
+                            mag
+                        } else {
+                            -mag
+                        }
+                    })
+                    .collect();
+                QuantizedRow {
+                    bits: b,
+                    cols,
+                    levels,
+                }
+            })
+            .collect();
+        Self::new(dim, rows)
+    }
+}
+
+fn mega_shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_matches_requested_statistics() {
+        let m = QuantizedFeatureMap::synthetic(100, &[0.1, 0.5], &[2, 8], 1);
+        assert_eq!(m.rows[0].nnz(), 10);
+        assert_eq!(m.rows[1].nnz(), 50);
+        assert_eq!(m.max_bits(), 8);
+        assert!((m.density() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_bits_weights_by_node_bitwidth() {
+        let m = QuantizedFeatureMap::synthetic(100, &[0.1, 0.1], &[2, 8], 2);
+        assert_eq!(m.ideal_bits(), 10 * 2 + 10 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_level_rejected() {
+        let row = QuantizedRow {
+            bits: 2,
+            cols: vec![0],
+            levels: vec![5],
+        };
+        let _ = QuantizedFeatureMap::new(4, vec![row]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_columns_rejected() {
+        let row = QuantizedRow {
+            bits: 4,
+            cols: vec![3, 1],
+            levels: vec![1, 1],
+        };
+        let _ = QuantizedFeatureMap::new(4, vec![row]);
+    }
+
+    #[test]
+    fn empty_map_degenerate_stats() {
+        let m = QuantizedFeatureMap::new(16, vec![]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.ideal_bits(), 0);
+    }
+}

@@ -1,0 +1,543 @@
+//! The Adaptive-Package format: bit-exact encoder and decoder (paper §V-B,
+//! Fig. 9).
+//!
+//! Each package is `| Mode (2b) | Bitwidth (3b) | Val Array |` where Mode
+//! selects one of three package lengths. A package accumulates the non-zero
+//! values of successive nodes **while the bitwidth stays the same**, closing
+//! when full or when the next node's bitwidth differs; on close, the
+//! smallest length level that fits is chosen and the remainder is zero
+//! padding. Non-zero *positions* live in a separate per-node bitmap index.
+
+use crate::bits::{decode_level, encode_level, BitReader, BitWriter};
+use crate::map::{QuantizedFeatureMap, QuantizedRow};
+
+/// Bits used by the Mode field.
+pub const MODE_BITS: u8 = 2;
+/// Bits used by the Bitwidth field (encodes 1..=8 as 0..=7).
+pub const BITWIDTH_BITS: u8 = 3;
+/// Header size in bits.
+pub const HEADER_BITS: u8 = MODE_BITS + BITWIDTH_BITS;
+
+/// Package length levels in **total** bits (header + Val Array).
+///
+/// The paper empirically selects `(64, 128, 192)` (§V-B, Fig. 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackageConfig {
+    /// Short / medium / long package lengths, strictly increasing.
+    pub lengths: (u32, u32, u32),
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        Self {
+            lengths: (64, 128, 192),
+        }
+    }
+}
+
+impl PackageConfig {
+    /// Config with explicit lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `header < short < medium < long`.
+    pub fn new(short: u32, medium: u32, long: u32) -> Self {
+        assert!(
+            (HEADER_BITS as u32) < short && short < medium && medium < long,
+            "lengths must be increasing and exceed the header"
+        );
+        assert!(
+            long - HEADER_BITS as u32 >= 8,
+            "the long mode must hold at least one 8-bit value"
+        );
+        Self {
+            lengths: (short, medium, long),
+        }
+    }
+
+    /// Val-Array capacity of each mode.
+    pub fn capacities(&self) -> [u32; 3] {
+        [
+            self.lengths.0 - HEADER_BITS as u32,
+            self.lengths.1 - HEADER_BITS as u32,
+            self.lengths.2 - HEADER_BITS as u32,
+        ]
+    }
+
+    /// Smallest mode whose capacity is at least `bits`; `None` if even the
+    /// long mode cannot hold them.
+    pub fn smallest_mode_for(&self, bits: u32) -> Option<usize> {
+        self.capacities().iter().position(|&c| c >= bits)
+    }
+}
+
+/// Statistics and bitstream of an encoded feature map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFeatures {
+    config: PackageConfig,
+    dim: usize,
+    stream: Vec<u64>,
+    stream_bits: usize,
+    bitmap: Vec<u64>,
+    bitmap_bits: usize,
+    /// Number of packages emitted.
+    pub packages: usize,
+    /// Bits spent on Mode+Bitwidth headers.
+    pub header_bits: u64,
+    /// Bits spent on payload values.
+    pub value_bits: u64,
+    /// Bits lost to padding.
+    pub padding_bits: u64,
+    /// Packages per mode `[short, medium, long]`.
+    pub mode_histogram: [usize; 3],
+}
+
+impl EncodedFeatures {
+    /// Total storage in bits: package stream plus the bitmap index.
+    pub fn total_bits(&self) -> u64 {
+        self.stream_bits as u64 + self.bitmap_bits as u64
+    }
+
+    /// Bits in the package stream alone.
+    pub fn stream_bits(&self) -> u64 {
+        self.stream_bits as u64
+    }
+
+    /// Bits in the bitmap index alone (`n × dim`).
+    pub fn bitmap_bits(&self) -> u64 {
+        self.bitmap_bits as u64
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> PackageConfig {
+        self.config
+    }
+}
+
+/// Encodes a quantized feature map into Adaptive-Package form.
+pub fn encode(map: &QuantizedFeatureMap, config: PackageConfig) -> EncodedFeatures {
+    let caps = config.capacities();
+    let long_cap = caps[2];
+    let mut stream = BitWriter::new();
+    let mut packages = 0usize;
+    let mut header_bits = 0u64;
+    let mut value_bits = 0u64;
+    let mut padding_bits = 0u64;
+    let mut mode_histogram = [0usize; 3];
+
+    // Pending package: bitwidth + buffered codes.
+    let mut pending_bits: u8 = 0;
+    let mut pending: Vec<u32> = Vec::new();
+
+    let mut flush = |bits: u8, codes: &mut Vec<u32>| {
+        if codes.is_empty() {
+            return;
+        }
+        let used = codes.len() as u32 * bits as u32;
+        let mode = config
+            .smallest_mode_for(used)
+            .expect("package accumulation is bounded by long capacity");
+        stream.push(mode as u32, MODE_BITS);
+        stream.push((bits - 1) as u32, BITWIDTH_BITS);
+        for &c in codes.iter() {
+            stream.push(c, bits);
+        }
+        let pad = caps[mode] - used;
+        // Zero padding, 32 bits at a time.
+        let mut remaining = pad;
+        while remaining > 0 {
+            let chunk = remaining.min(32);
+            stream.push(0, chunk as u8);
+            remaining -= chunk;
+        }
+        packages += 1;
+        header_bits += HEADER_BITS as u64;
+        value_bits += used as u64;
+        padding_bits += pad as u64;
+        mode_histogram[mode] += 1;
+        codes.clear();
+    };
+
+    // Bitmap index: n × dim bits, row-major.
+    let mut bitmap = BitWriter::new();
+    for row in &map.rows {
+        let mut next = 0usize;
+        for &c in &row.cols {
+            while next < c as usize {
+                bitmap.push(0, 1);
+                next += 1;
+            }
+            bitmap.push(1, 1);
+            next += 1;
+        }
+        while next < map.dim {
+            bitmap.push(0, 1);
+            next += 1;
+        }
+        if row.nnz() == 0 {
+            continue;
+        }
+        if pending_bits != row.bits {
+            flush(pending_bits, &mut pending);
+            pending_bits = row.bits;
+        }
+        for &level in &row.levels {
+            if (pending.len() as u32 + 1) * pending_bits as u32 > long_cap {
+                flush(pending_bits, &mut pending);
+            }
+            pending.push(encode_level(level as i32, row.bits));
+        }
+    }
+    flush(pending_bits, &mut pending);
+
+    let (stream_words, stream_len) = stream.finish();
+    let (bitmap_words, bitmap_len) = bitmap.finish();
+    EncodedFeatures {
+        config,
+        dim: map.dim,
+        stream: stream_words,
+        stream_bits: stream_len,
+        bitmap: bitmap_words,
+        bitmap_bits: bitmap_len,
+        packages,
+        header_bits,
+        value_bits,
+        padding_bits,
+        mode_histogram,
+    }
+}
+
+/// Decodes an encoded map back into a [`QuantizedFeatureMap`].
+///
+/// `node_bits` supplies the per-node bitwidths, exactly as the hardware
+/// Decoder knows them (bitwidths are a function of node in-degree held
+/// on-chip); non-zero positions come from the stored bitmap index.
+///
+/// # Panics
+///
+/// Panics if the bitstream is inconsistent with `node_bits` (corrupted
+/// input).
+pub fn decode(encoded: &EncodedFeatures, node_bits: &[u8]) -> QuantizedFeatureMap {
+    let dim = encoded.dim;
+    // Reconstruct per-node column lists from the bitmap.
+    let mut bitmap = BitReader::new(&encoded.bitmap, encoded.bitmap_bits);
+    let mut cols_per_node: Vec<Vec<u32>> = Vec::with_capacity(node_bits.len());
+    for _ in 0..node_bits.len() {
+        let mut cols = Vec::new();
+        for c in 0..dim {
+            if bitmap.read(1) == 1 {
+                cols.push(c as u32);
+            }
+        }
+        cols_per_node.push(cols);
+    }
+
+    let caps = encoded.config.capacities();
+    let mut reader = BitReader::new(&encoded.stream, encoded.stream_bits);
+    let mut rows: Vec<QuantizedRow> = node_bits
+        .iter()
+        .zip(cols_per_node)
+        .map(|(&bits, cols)| QuantizedRow {
+            bits,
+            cols,
+            levels: Vec::new(),
+        })
+        .collect();
+
+    // Replay the encoder's greedy packing.
+    let mut node = 0usize;
+    let advance = |rows: &[QuantizedRow], mut node: usize| -> usize {
+        while node < rows.len() && rows[node].levels.len() == rows[node].cols.len() {
+            node += 1;
+        }
+        node
+    };
+    node = advance(&rows, node);
+    while node < rows.len() {
+        let mode = reader.read(MODE_BITS) as usize;
+        let bits = reader.read(BITWIDTH_BITS) as u8 + 1;
+        let cap = caps[mode];
+        let mut used = 0u32;
+        loop {
+            node = advance(&rows, node);
+            if node >= rows.len() {
+                break;
+            }
+            if rows[node].bits != bits {
+                break; // encoder closed on bitwidth change
+            }
+            if used + bits as u32 > cap {
+                break; // encoder closed on capacity
+            }
+            let code = reader.read(bits);
+            let level = decode_level(code, bits);
+            rows[node].levels.push(level as i16);
+            used += bits as u32;
+        }
+        // Skip padding to the end of this package.
+        reader.skip((cap - used) as usize);
+    }
+    QuantizedFeatureMap::new(dim, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(rows: Vec<(u8, Vec<u32>, Vec<i16>)>, dim: usize) -> QuantizedFeatureMap {
+        QuantizedFeatureMap::new(
+            dim,
+            rows.into_iter()
+                .map(|(bits, cols, levels)| QuantizedRow { bits, cols, levels })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_node_roundtrip() {
+        let map = map_with(vec![(3, vec![0, 4, 7], vec![1, -2, 3])], 8);
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(enc.packages, 1);
+        let dec = decode(&enc, &[3]);
+        assert_eq!(dec, map);
+    }
+
+    #[test]
+    fn bitwidth_change_closes_package() {
+        let map = map_with(
+            vec![
+                (2, vec![0, 1], vec![1, -1]),
+                (5, vec![2, 3], vec![7, -9]),
+            ],
+            8,
+        );
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(enc.packages, 2, "bitwidth change must split packages");
+        assert_eq!(decode(&enc, &[2, 5]), map);
+    }
+
+    #[test]
+    fn same_bitwidth_nodes_share_a_package() {
+        let map = map_with(
+            vec![
+                (4, vec![0], vec![3]),
+                (4, vec![1, 2], vec![-5, 7]),
+                (4, vec![0, 3], vec![1, -1]),
+            ],
+            8,
+        );
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(enc.packages, 1);
+        assert_eq!(decode(&enc, &[4, 4, 4]), map);
+    }
+
+    #[test]
+    fn full_package_spills_into_next() {
+        // 64 values at 8 bits = 512 bits > long capacity (187).
+        let cols: Vec<u32> = (0..64).collect();
+        let levels: Vec<i16> = (0..64).map(|i| ((i % 100) + 1) as i16).collect();
+        let map = map_with(vec![(8, cols, levels)], 64);
+        let enc = encode(&map, PackageConfig::default());
+        assert!(enc.packages >= 3, "expected spill, got {}", enc.packages);
+        assert_eq!(decode(&enc, &[8]), map);
+    }
+
+    #[test]
+    fn short_mode_minimizes_padding() {
+        // 2 values at 3 bits = 6 bits -> short mode (59-bit capacity).
+        let map = map_with(vec![(3, vec![0, 1], vec![1, 2])], 4);
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(enc.mode_histogram, [1, 0, 0]);
+        assert_eq!(enc.padding_bits, 64 - 5 - 6);
+        // With a fixed 192-bit package the padding would be 181 bits.
+        assert!(enc.padding_bits < 181);
+    }
+
+    #[test]
+    fn empty_rows_are_free_in_the_stream() {
+        let map = map_with(
+            vec![
+                (4, vec![], vec![]),
+                (4, vec![1], vec![2]),
+                (6, vec![], vec![]),
+            ],
+            4,
+        );
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(enc.packages, 1);
+        assert_eq!(decode(&enc, &[4, 4, 6]), map);
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let map = QuantizedFeatureMap::synthetic(
+            64,
+            &[0.2, 0.5, 0.05, 0.3],
+            &[2, 2, 7, 4],
+            9,
+        );
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(
+            enc.stream_bits(),
+            enc.header_bits + enc.value_bits + enc.padding_bits
+        );
+        assert_eq!(enc.bitmap_bits(), 4 * 64);
+        assert_eq!(
+            enc.value_bits,
+            map.rows
+                .iter()
+                .map(|r| r.nnz() as u64 * r.bits as u64)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn one_bit_values_roundtrip() {
+        let map = map_with(vec![(1, vec![0, 2, 5], vec![1, -1, 1])], 8);
+        let enc = encode(&map, PackageConfig::default());
+        assert_eq!(decode(&enc, &[1]), map);
+    }
+}
+
+/// Size-only estimate of an Adaptive-Package encoding, computed from the
+/// per-node `(bitwidth, nnz)` stream without materializing values.
+///
+/// Produces *exactly* the sizes [`encode`] would (same greedy rules); used
+/// by the accelerator simulators on graphs too large to materialize
+/// (NELL's 61,278-dim features, full Reddit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackingEstimate {
+    /// Number of packages.
+    pub packages: u64,
+    /// Header bits.
+    pub header_bits: u64,
+    /// Value payload bits.
+    pub value_bits: u64,
+    /// Padding bits.
+    pub padding_bits: u64,
+    /// Bitmap index bits (`n × dim`).
+    pub bitmap_bits: u64,
+}
+
+impl PackingEstimate {
+    /// Package stream bits (headers + values + padding).
+    pub fn stream_bits(&self) -> u64 {
+        self.header_bits + self.value_bits + self.padding_bits
+    }
+
+    /// Total bits including the bitmap index.
+    pub fn total_bits(&self) -> u64 {
+        self.stream_bits() + self.bitmap_bits
+    }
+
+    /// Total bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// Estimates the encoded size of a `(bits, nnz)` node stream (see
+/// [`PackingEstimate`]).
+pub fn estimate_stream(
+    rows: impl IntoIterator<Item = (u8, u64)>,
+    dim: u64,
+    config: PackageConfig,
+) -> PackingEstimate {
+    let caps = config.capacities();
+    let long_cap = caps[2] as u64;
+    let mut est = PackingEstimate {
+        packages: 0,
+        header_bits: 0,
+        value_bits: 0,
+        padding_bits: 0,
+        bitmap_bits: 0,
+    };
+    let mut pending_bits: u8 = 0;
+    let mut pending_values: u64 = 0;
+    let flush = |bits: u8, values: &mut u64, est: &mut PackingEstimate| {
+        if *values == 0 {
+            return;
+        }
+        let used = (*values * bits as u64) as u32;
+        let mode = config
+            .smallest_mode_for(used)
+            .expect("bounded by long capacity");
+        est.packages += 1;
+        est.header_bits += HEADER_BITS as u64;
+        est.value_bits += used as u64;
+        est.padding_bits += (caps[mode] - used) as u64;
+        *values = 0;
+    };
+    for (bits, nnz) in rows {
+        est.bitmap_bits += dim;
+        if nnz == 0 {
+            continue;
+        }
+        assert!((1..=8).contains(&bits), "bits {bits} out of range");
+        if pending_bits != bits {
+            flush(pending_bits, &mut pending_values, &mut est);
+            pending_bits = bits;
+        }
+        let per_package = long_cap / bits as u64;
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let space = per_package - pending_values;
+            let take = remaining.min(space);
+            pending_values += take;
+            remaining -= take;
+            if pending_values == per_package && remaining > 0 {
+                flush(pending_bits, &mut pending_values, &mut est);
+            }
+        }
+    }
+    flush(pending_bits, &mut pending_values, &mut est);
+    est
+}
+
+#[cfg(test)]
+mod estimate_tests {
+    use super::*;
+    use crate::map::QuantizedFeatureMap;
+
+    #[test]
+    fn estimate_matches_real_encoder() {
+        let map = QuantizedFeatureMap::synthetic(
+            96,
+            &[0.3, 0.0, 0.5, 0.02, 0.7, 0.7],
+            &[2, 4, 2, 8, 3, 3],
+            11,
+        );
+        let enc = encode(&map, PackageConfig::default());
+        let est = estimate_stream(
+            map.rows.iter().map(|r| (r.bits, r.nnz() as u64)),
+            96,
+            PackageConfig::default(),
+        );
+        assert_eq!(est.packages as usize, enc.packages);
+        assert_eq!(est.header_bits, enc.header_bits);
+        assert_eq!(est.value_bits, enc.value_bits);
+        assert_eq!(est.padding_bits, enc.padding_bits);
+        assert_eq!(est.bitmap_bits, enc.bitmap_bits());
+        assert_eq!(est.total_bits(), enc.total_bits());
+    }
+
+    #[test]
+    fn estimate_handles_empty_stream() {
+        let est = estimate_stream(std::iter::empty(), 64, PackageConfig::default());
+        assert_eq!(est.total_bits(), 0);
+        assert_eq!(est.packages, 0);
+    }
+
+    #[test]
+    fn estimate_scales_linearly_for_uniform_nodes() {
+        let one = estimate_stream([(4u8, 100u64)], 256, PackageConfig::default());
+        let ten = estimate_stream(
+            std::iter::repeat((4u8, 100u64)).take(10),
+            256,
+            PackageConfig::default(),
+        );
+        // Same bitwidth nodes pack continuously; totals grow ~linearly.
+        assert!(ten.value_bits == 10 * one.value_bits);
+        assert!(ten.packages >= one.packages * 9 / 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: the Adaptive-Package encoder/decoder must
+//! round-trip every feature map, and size accounting must be conservative.
+
+use mega_format::package::{decode, encode};
+use mega_format::{format_sizes, PackageConfig, QuantizedFeatureMap, QuantizedRow};
+use proptest::prelude::*;
+
+fn arb_row(dim: usize) -> impl Strategy<Value = QuantizedRow> {
+    (1u8..=8).prop_flat_map(move |bits| {
+        let max = if bits == 1 { 1i16 } else { (1i16 << (bits - 1)) - 1 };
+        proptest::collection::btree_set(0..dim as u32, 0..dim)
+            .prop_flat_map(move |cols| {
+                let cols: Vec<u32> = cols.into_iter().collect();
+                let n = cols.len();
+                (
+                    Just(cols),
+                    proptest::collection::vec(
+                        (1..=max, proptest::bool::ANY),
+                        n..=n,
+                    ),
+                )
+            })
+            .prop_map(move |(cols, signed)| QuantizedRow {
+                bits,
+                cols,
+                levels: signed
+                    .into_iter()
+                    .map(|(m, neg)| if neg { -m } else { m })
+                    .collect(),
+            })
+    })
+}
+
+fn arb_map() -> impl Strategy<Value = QuantizedFeatureMap> {
+    (4usize..40).prop_flat_map(|dim| {
+        proptest::collection::vec(arb_row(dim), 0..24)
+            .prop_map(move |rows| QuantizedFeatureMap::new(dim, rows))
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = PackageConfig> {
+    // The long mode must hold at least one 8-bit value: long ≥ header + 8.
+    (6u32..48, 1u32..64, 8u32..128).prop_map(|(s, dm, dl)| {
+        PackageConfig::new(s, s + dm, (s + dm + dl).max(13))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn encode_decode_roundtrip(map in arb_map()) {
+        let enc = encode(&map, PackageConfig::default());
+        let bits: Vec<u8> = map.rows.iter().map(|r| r.bits).collect();
+        prop_assert_eq!(decode(&enc, &bits), map);
+    }
+
+    #[test]
+    fn roundtrip_holds_for_any_config(map in arb_map(), config in arb_config()) {
+        let enc = encode(&map, config);
+        let bits: Vec<u8> = map.rows.iter().map(|r| r.bits).collect();
+        prop_assert_eq!(decode(&enc, &bits), map);
+    }
+
+    #[test]
+    fn stream_accounting_is_exact(map in arb_map()) {
+        let enc = encode(&map, PackageConfig::default());
+        prop_assert_eq!(
+            enc.stream_bits(),
+            enc.header_bits + enc.value_bits + enc.padding_bits
+        );
+        prop_assert_eq!(enc.value_bits, map.ideal_bits());
+        prop_assert_eq!(
+            enc.packages,
+            enc.mode_histogram.iter().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn adaptive_package_never_beats_ideal(map in arb_map()) {
+        let s = format_sizes(&map, PackageConfig::default());
+        prop_assert!(s.adaptive_package >= s.ideal);
+        prop_assert!(s.dense >= s.ideal);
+        prop_assert!(s.bitmap >= s.ideal);
+    }
+
+    #[test]
+    fn packages_are_bounded_by_value_count(map in arb_map()) {
+        let enc = encode(&map, PackageConfig::default());
+        // Worst case: every value in its own package.
+        prop_assert!(enc.packages <= map.nnz().max(1));
+    }
+}
+
+proptest! {
+    #[test]
+    fn estimate_agrees_with_encoder_everywhere(map in arb_map(), config in arb_config()) {
+        let enc = encode(&map, config);
+        let est = mega_format::package::estimate_stream(
+            map.rows.iter().map(|r| (r.bits, r.nnz() as u64)),
+            map.dim as u64,
+            config,
+        );
+        prop_assert_eq!(est.packages as usize, enc.packages);
+        prop_assert_eq!(est.total_bits(), enc.total_bits());
+        prop_assert_eq!(est.padding_bits, enc.padding_bits);
+    }
+}

@@ -1,0 +1,218 @@
+//! Measurements behind the paper's motivating figures.
+//!
+//! * **Fig. 3** — average aggregated feature value per in-degree group:
+//!   nodes with higher in-degree have larger post-aggregation magnitudes,
+//!   which is the premise of Degree-Aware quantization.
+//! * **Fig. 5** — density of the node feature map `X` per model/dataset:
+//!   the diverse sparsity that the Adaptive-Package format must handle.
+
+use std::rc::Rc;
+
+use mega_graph::stats::fig3_bucket;
+use mega_graph::{Dataset, Graph};
+use mega_tensor::{CsrMatrix, Matrix, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adjacency::{build_adjacency, AggregatorKind};
+use crate::model::{ForwardHook, Gnn, IdentityHook};
+
+/// Fig. 3: mean aggregated |feature| per in-degree bucket, averaged over
+/// `runs` random feature draws (the paper uses 100 runs).
+///
+/// Returns `[mean; 5]` for buckets `[1,10] [11,20] [21,30] [31,40] [41,+)`;
+/// buckets with no nodes report 0.
+pub fn fig3_aggregated_means(
+    graph: &Graph,
+    kind: AggregatorKind,
+    feature_dim: usize,
+    runs: usize,
+    seed: u64,
+) -> [f64; 5] {
+    assert!(runs > 0, "need at least one run");
+    let adjacency = build_adjacency(graph, kind);
+    let n = graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bucket_sum = [0.0f64; 5];
+    let mut bucket_count = [0usize; 5];
+    for _ in 0..runs {
+        // Features uniform in [0,1): aggregation magnitude then reflects the
+        // adjacency normalization alone, as in the paper's setup.
+        let x = Matrix::from_fn(n, feature_dim, |_, _| rng.gen::<f32>());
+        let h = adjacency.spmm(&x);
+        for v in 0..n {
+            if let Some(b) = fig3_bucket(graph.in_degree(v)) {
+                let mean_abs: f64 = h.row(v).iter().map(|x| x.abs() as f64).sum::<f64>()
+                    / feature_dim as f64;
+                bucket_sum[b] += mean_abs;
+                bucket_count[b] += 1;
+            }
+        }
+    }
+    let mut out = [0.0f64; 5];
+    for b in 0..5 {
+        if bucket_count[b] > 0 {
+            out[b] = bucket_sum[b] / bucket_count[b] as f64;
+        }
+    }
+    out
+}
+
+/// Density report for Fig. 5: fraction of non-zeros in the input features and
+/// in the hidden (post-ReLU) feature map of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityReport {
+    /// Density of the input feature map `X⁰`.
+    pub input: f64,
+    /// Density of the hidden feature map `X¹` (post-ReLU).
+    pub hidden: f64,
+}
+
+impl DensityReport {
+    /// Density of the feature maps that dominate combination traffic — the
+    /// paper's Fig. 5 plots the hidden-layer density.
+    pub fn combination_density(&self) -> f64 {
+        self.hidden
+    }
+}
+
+/// Measures feature-map density for `model` on `dataset` (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if the dataset has no dense features.
+pub fn feature_densities(
+    model: &Gnn,
+    dataset: &Dataset,
+    adjacency: &Rc<CsrMatrix>,
+) -> DensityReport {
+    let features = dataset.features();
+    let input = features.density();
+    // Forward through the first layer only: X¹ = ReLU(Ã X W⁰).
+    let x_sparse = Rc::new(CsrMatrix::from_dense(&Matrix::from_vec(
+        features.rows(),
+        features.dim(),
+        features.data().to_vec(),
+    )));
+    let w0 = &model.weights()[0];
+    let combined = x_sparse.spmm(w0);
+    let hidden = adjacency.spmm(&combined).relu().density();
+    DensityReport { input, hidden }
+}
+
+/// Runs a forward pass and returns the dense logits (helper for experiment
+/// binaries that need raw outputs).
+pub fn forward_logits(
+    model: &Gnn,
+    dataset: &Dataset,
+    adjacency: &Rc<CsrMatrix>,
+) -> Matrix {
+    let mut tape = Tape::new();
+    let mut hook = IdentityHook;
+    let out = model.forward(&mut tape, dataset, adjacency, &mut hook, None);
+    tape.value(out.logits).clone()
+}
+
+/// A hook wrapper useful in tests: counts invocations then delegates.
+#[derive(Debug, Default)]
+pub struct CountingHook {
+    /// Number of weight transformations observed.
+    pub weights: usize,
+    /// Number of activation transformations observed.
+    pub activations: usize,
+}
+
+impl ForwardHook for CountingHook {
+    fn transform_weight(
+        &mut self,
+        _tape: &mut Tape,
+        _layer: usize,
+        w: mega_tensor::VarId,
+    ) -> mega_tensor::VarId {
+        self.weights += 1;
+        w
+    }
+
+    fn transform_activation(
+        &mut self,
+        _tape: &mut Tape,
+        _layer: usize,
+        h: mega_tensor::VarId,
+    ) -> mega_tensor::VarId {
+        self.activations += 1;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GnnKind, ModelConfig};
+    use mega_graph::datasets::DatasetSpec;
+    use mega_graph::generate::PowerLawSbm;
+
+    fn power_law_graph() -> Graph {
+        PowerLawSbm {
+            nodes: 1500,
+            directed_edges: 6000,
+            exponent: 2.1,
+            communities: 5,
+            homophily: 0.8,
+            symmetric: true,
+            seed: 21,
+        }
+        .generate()
+        .graph
+    }
+
+    #[test]
+    fn fig3_gin_means_increase_with_degree() {
+        let g = power_law_graph();
+        let means = fig3_aggregated_means(&g, AggregatorKind::GinSum, 16, 5, 1);
+        // Sum aggregation: strictly increasing across populated buckets.
+        let populated: Vec<f64> = means.iter().copied().filter(|&m| m > 0.0).collect();
+        assert!(populated.len() >= 3, "need ≥3 populated buckets");
+        for w in populated.windows(2) {
+            assert!(w[1] > w[0], "GIN means not increasing: {means:?}");
+        }
+    }
+
+    #[test]
+    fn fig3_gcn_grows_slower_than_gin() {
+        let g = power_law_graph();
+        let gin = fig3_aggregated_means(&g, AggregatorKind::GinSum, 16, 3, 2);
+        let gcn = fig3_aggregated_means(&g, AggregatorKind::GcnSymmetric, 16, 3, 2);
+        // Ratio top-bucket/bottom-bucket is much larger for GIN.
+        let ratio = |m: &[f64; 5]| {
+            let lo = m.iter().copied().find(|&x| x > 0.0).unwrap_or(1.0);
+            let hi = m.iter().copied().rev().find(|&x| x > 0.0).unwrap_or(1.0);
+            hi / lo
+        };
+        assert!(
+            ratio(&gin) > 2.0 * ratio(&gcn),
+            "gin {gin:?} vs gcn {gcn:?}"
+        );
+    }
+
+    #[test]
+    fn densities_are_probabilities() {
+        let d = DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(64)
+            .materialize();
+        let cfg = ModelConfig::for_dataset(GnnKind::Gcn, &d);
+        let model = Gnn::new(cfg.clone());
+        let adj = build_adjacency(&d.graph, cfg.kind.aggregator(1));
+        let r = feature_densities(&model, &d, &adj);
+        assert!(r.input > 0.0 && r.input < 0.2, "input density {}", r.input);
+        assert!(r.hidden > 0.0 && r.hidden <= 1.0);
+    }
+
+    #[test]
+    fn fig3_deterministic() {
+        let g = power_law_graph();
+        let a = fig3_aggregated_means(&g, AggregatorKind::GinSum, 8, 2, 3);
+        let b = fig3_aggregated_means(&g, AggregatorKind::GinSum, 8, 2, 3);
+        assert_eq!(a, b);
+    }
+}

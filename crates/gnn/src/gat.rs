@@ -1,0 +1,389 @@
+//! Graph Attention Network support (paper §VII-3).
+//!
+//! The discussion section reports that GAT — same combination phase as GCN,
+//! attention-based aggregation — quantizes well under the Degree-Aware
+//! method. This module implements a single-head, two-layer GAT whose
+//! attention aggregation is a custom autograd op with the exact softmax
+//! gradient.
+
+use std::rc::Rc;
+
+use mega_graph::datasets::Dataset;
+use mega_graph::Graph;
+use mega_tensor::{CustomGrad, Matrix, Tape, VarId};
+
+/// Negative slope of the LeakyReLU on attention logits (GAT default).
+pub const LEAKY_SLOPE: f32 = 0.2;
+
+/// Per-node neighbor lists (in-neighbors plus self-loop) shared by the
+/// attention ops of every layer.
+#[derive(Debug)]
+pub struct AttentionNeighborhood {
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl AttentionNeighborhood {
+    /// Builds the neighbor lists from the graph.
+    pub fn new(graph: &Graph) -> Rc<Self> {
+        let neighbors = (0..graph.num_nodes())
+            .map(|v| {
+                let mut list: Vec<u32> = graph.in_neighbors(v).to_vec();
+                list.push(v as u32);
+                list
+            })
+            .collect();
+        Rc::new(Self { neighbors })
+    }
+
+    fn of(&self, v: usize) -> &[u32] {
+        &self.neighbors[v]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+}
+
+/// Computes attention coefficients and the aggregated output for one layer:
+/// `out_i = Σ_j α_ij B_j` with `α = softmax_j(LeakyReLU(zl_i + zr_j))`.
+fn attention_forward(
+    hood: &AttentionNeighborhood,
+    b: &Matrix,
+    zl: &Matrix,
+    zr: &Matrix,
+) -> Matrix {
+    let n = hood.len();
+    let f = b.cols();
+    let mut out = Matrix::zeros(n, f);
+    for i in 0..n {
+        let neigh = hood.of(i);
+        // Stable softmax over the neighborhood.
+        let mut logits: Vec<f32> = neigh
+            .iter()
+            .map(|&j| leaky(zl.get(i, 0) + zr.get(j as usize, 0)))
+            .collect();
+        let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for l in logits.iter_mut() {
+            *l = (*l - max).exp();
+            denom += *l;
+        }
+        let out_row = out.row_mut(i);
+        for (&j, &e) in neigh.iter().zip(&logits) {
+            let alpha = e / denom;
+            for (o, &bv) in out_row.iter_mut().zip(b.row(j as usize)) {
+                *o += alpha * bv;
+            }
+        }
+    }
+    out
+}
+
+fn leaky(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        LEAKY_SLOPE * x
+    }
+}
+
+fn leaky_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        LEAKY_SLOPE
+    }
+}
+
+/// The custom autograd op for attention aggregation.
+#[derive(Debug)]
+struct AttentionOp {
+    hood: Rc<AttentionNeighborhood>,
+}
+
+impl CustomGrad for AttentionOp {
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>> {
+        let (b, zl, zr) = (inputs[0], inputs[1], inputs[2]);
+        let n = self.hood.len();
+        let f = b.cols();
+        let mut gb = Matrix::zeros(n, f);
+        let mut gzl = Matrix::zeros(n, 1);
+        let mut gzr = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let neigh = self.hood.of(i);
+            // Recompute α_ij (cheaper than caching n×deg floats on the tape).
+            let raw: Vec<f32> = neigh
+                .iter()
+                .map(|&j| zl.get(i, 0) + zr.get(j as usize, 0))
+                .collect();
+            let act: Vec<f32> = raw.iter().map(|&e| leaky(e)).collect();
+            let max = act.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let exps: Vec<f32> = act.iter().map(|&a| (a - max).exp()).collect();
+            let denom: f32 = exps.iter().sum();
+            let alphas: Vec<f32> = exps.iter().map(|&e| e / denom).collect();
+            let gi = out_grad.row(i);
+            // g_ij = G_i · B_j ; mean = Σ_k α_ik g_ik.
+            let gdot: Vec<f32> = neigh
+                .iter()
+                .map(|&j| {
+                    gi.iter()
+                        .zip(b.row(j as usize))
+                        .map(|(g, bv)| g * bv)
+                        .sum()
+                })
+                .collect();
+            let mean: f32 = alphas.iter().zip(&gdot).map(|(a, g)| a * g).sum();
+            for ((&j, &alpha), (&g, &r)) in neigh
+                .iter()
+                .zip(&alphas)
+                .zip(gdot.iter().zip(&raw))
+            {
+                // dL/dB_j += α_ij · G_i
+                let gb_row = gb.row_mut(j as usize);
+                for (o, &gv) in gb_row.iter_mut().zip(gi) {
+                    *o += alpha * gv;
+                }
+                // Softmax + LeakyReLU chain.
+                let ds = alpha * (g - mean);
+                let de = ds * leaky_grad(r);
+                gzl.set(i, 0, gzl.get(i, 0) + de);
+                gzr.set(j as usize, 0, gzr.get(j as usize, 0) + de);
+            }
+        }
+        vec![Some(gb), Some(gzl), Some(gzr)]
+    }
+}
+
+/// A single-head, two-layer GAT.
+#[derive(Debug, Clone)]
+pub struct Gat {
+    in_dim: usize,
+    hidden: usize,
+    out_dim: usize,
+    weights: Vec<Matrix>,
+    attn_l: Vec<Matrix>,
+    attn_r: Vec<Matrix>,
+}
+
+impl Gat {
+    /// Initializes a GAT with Table III-style dimensions (hidden 128).
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Self {
+        let dims = [(in_dim, hidden), (hidden, out_dim)];
+        let mut weights = Vec::new();
+        let mut attn_l = Vec::new();
+        let mut attn_r = Vec::new();
+        for (l, &(i, o)) in dims.iter().enumerate() {
+            weights.push(Matrix::xavier_uniform(i, o, seed.wrapping_add(l as u64)));
+            attn_l.push(Matrix::xavier_uniform(o, 1, seed.wrapping_add(10 + l as u64)));
+            attn_r.push(Matrix::xavier_uniform(o, 1, seed.wrapping_add(20 + l as u64)));
+        }
+        Self {
+            in_dim,
+            hidden,
+            out_dim,
+            weights,
+            attn_l,
+            attn_r,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output class count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Mutable parameters in optimizer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out: Vec<&mut Matrix> = Vec::new();
+        for ((w, al), ar) in self
+            .weights
+            .iter_mut()
+            .zip(self.attn_l.iter_mut())
+            .zip(self.attn_r.iter_mut())
+        {
+            out.push(w);
+            out.push(al);
+            out.push(ar);
+        }
+        out
+    }
+
+    /// Forward pass; returns logits and the parameter variables in the same
+    /// order as [`Gat::params_mut`].
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        dataset: &Dataset,
+        hood: &Rc<AttentionNeighborhood>,
+    ) -> (VarId, Vec<VarId>) {
+        let features = dataset.features();
+        let x = tape.leaf(Matrix::from_vec(
+            features.rows(),
+            features.dim(),
+            features.data().to_vec(),
+        ));
+        let mut params = Vec::new();
+        let mut h = x;
+        for l in 0..2 {
+            let w = tape.param(self.weights[l].clone());
+            let al = tape.param(self.attn_l[l].clone());
+            let ar = tape.param(self.attn_r[l].clone());
+            params.extend([w, al, ar]);
+            let b = tape.matmul(h, w);
+            let zl = tape.matmul(b, al);
+            let zr = tape.matmul(b, ar);
+            let out = attention_forward(
+                hood,
+                tape.value(b),
+                tape.value(zl),
+                tape.value(zr),
+            );
+            let agg = tape.custom(
+                &[b, zl, zr],
+                out,
+                Box::new(AttentionOp {
+                    hood: Rc::clone(hood),
+                }),
+            );
+            h = if l == 0 { tape.relu(agg) } else { agg };
+        }
+        (h, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::datasets::DatasetSpec;
+    use mega_tensor::{Adam, Optimizer};
+
+    fn tiny() -> Dataset {
+        DatasetSpec::citeseer()
+            .scaled(0.05)
+            .with_feature_dim(48)
+            .materialize()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let d = tiny();
+        let gat = Gat::new(48, 16, d.spec.num_classes, 1);
+        let hood = AttentionNeighborhood::new(&d.graph);
+        let mut tape = Tape::new();
+        let (logits, params) = gat.forward(&mut tape, &d, &hood);
+        assert_eq!(
+            tape.value(logits).shape(),
+            (d.graph.num_nodes(), d.spec.num_classes)
+        );
+        assert_eq!(params.len(), 6);
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        // With B = identity-ish rows, output rows must be convex combos:
+        // row sums of out equal 1 when every B row sums to 1.
+        let d = tiny();
+        let hood = AttentionNeighborhood::new(&d.graph);
+        let n = d.graph.num_nodes();
+        let b = Matrix::full(n, 3, 1.0 / 3.0);
+        let zl = Matrix::zeros(n, 1);
+        let zr = Matrix::zeros(n, 1);
+        let out = attention_forward(&hood, &b, &zl, &zr);
+        for r in 0..n {
+            let s: f32 = out.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_and_training_reduces_loss() {
+        let d = tiny();
+        let mut gat = Gat::new(48, 16, d.spec.num_classes, 2);
+        let hood = AttentionNeighborhood::new(&d.graph);
+        let labels = Rc::new(d.labels.clone());
+        let idx = Rc::new(d.splits.train.clone());
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..15 {
+            let mut tape = Tape::new();
+            let (logits, params) = gat.forward(&mut tape, &d, &hood);
+            let loss = tape.softmax_cross_entropy(
+                logits,
+                Rc::clone(&labels),
+                Rc::clone(&idx),
+            );
+            losses.push(tape.value(loss).get(0, 0));
+            tape.backward(loss);
+            let grads: Vec<Matrix> = params
+                .iter()
+                .map(|&p| {
+                    tape.try_grad(p).cloned().unwrap_or_else(|| {
+                        Matrix::zeros(tape.value(p).rows(), tape.value(p).cols())
+                    })
+                })
+                .collect();
+            let mut prefs = gat.params_mut();
+            let grefs: Vec<&Matrix> = grads.iter().collect();
+            opt.step(&mut prefs, &grefs);
+        }
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(
+            last < first * 0.9,
+            "GAT loss did not decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn attention_gradient_matches_finite_difference_on_zl() {
+        // Small deterministic check of the custom backward.
+        let g = mega_graph::Graph::from_undirected_edges(3, vec![(0, 1), (1, 2)]);
+        let hood = AttentionNeighborhood::new(&g);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0]]);
+        let zl0 = Matrix::from_rows(&[&[0.3], &[-0.2], &[0.1]]);
+        let zr = Matrix::from_rows(&[&[0.5], &[0.0], &[-0.4]]);
+        let f = |zl: &Matrix| attention_forward(&hood, &b, zl, &zr).sum();
+        let op = AttentionOp {
+            hood: Rc::clone(&hood),
+        };
+        let out = attention_forward(&hood, &b, &zl0, &zr);
+        let ones = Matrix::full(3, 2, 1.0);
+        let grads = op.backward(&[&b, &zl0, &zr], &out, &ones);
+        let gzl = grads[1].as_ref().unwrap();
+        for r in 0..3 {
+            let eps = 1e-3;
+            let mut plus = zl0.clone();
+            plus.set(r, 0, plus.get(r, 0) + eps);
+            let mut minus = zl0.clone();
+            minus.set(r, 0, minus.get(r, 0) - eps);
+            let fd = (f(&plus) - f(&minus)) / (2.0 * eps);
+            assert!(
+                (gzl.get(r, 0) - fd).abs() < 1e-2,
+                "node {r}: analytic {} vs fd {}",
+                gzl.get(r, 0),
+                fd
+            );
+        }
+    }
+}

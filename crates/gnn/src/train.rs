@@ -1,0 +1,330 @@
+//! Full-precision training loop and evaluation metrics.
+//!
+//! Quantization-aware training lives in `mega-quant`; this trainer is the
+//! FP32 baseline used by Table VI and the training-overhead discussion
+//! (§VII-1).
+
+use std::rc::Rc;
+
+use mega_graph::datasets::Dataset;
+use mega_tensor::{Adam, CsrMatrix, Matrix, Optimizer, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{ForwardHook, Gnn, IdentityHook};
+
+/// Classification accuracy of `logits` over the nodes in `idx`.
+pub fn accuracy(logits: &Matrix, labels: &[u16], idx: &[u32]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let correct = idx
+        .iter()
+        .filter(|&&v| logits.argmax_row(v as usize) == labels[v as usize] as usize)
+        .count();
+    correct as f64 / idx.len() as f64
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    /// Number of epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Dropout probability on hidden activations (0 disables).
+    pub dropout: f32,
+    /// Early-stopping patience in epochs (0 disables).
+    pub patience: usize,
+    /// RNG seed for dropout masks.
+    pub seed: u64,
+}
+
+impl Default for Trainer {
+    fn default() -> Self {
+        Self {
+            epochs: 120,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            dropout: 0.5,
+            patience: 30,
+            seed: 0x7EA1,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+    /// Test accuracy at the best-validation epoch.
+    pub test_accuracy: f64,
+    /// Final training loss.
+    pub final_loss: f32,
+    /// Epochs actually run (≤ `epochs` with early stopping).
+    pub epochs_run: usize,
+    /// Wall-clock seconds spent in the loop (for §VII-1).
+    pub wall_seconds: f64,
+}
+
+impl Trainer {
+    /// Trains `model` in place on `dataset` with hook `hook` (use
+    /// [`IdentityHook`] for plain FP32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no dense features.
+    pub fn train(
+        &self,
+        model: &mut Gnn,
+        dataset: &Dataset,
+        adjacency: &Rc<CsrMatrix>,
+        hook: &mut dyn ForwardHook,
+    ) -> TrainReport {
+        let start = std::time::Instant::now();
+        let features = dataset.features();
+        let x_sparse = Rc::new(CsrMatrix::from_dense(&Matrix::from_vec(
+            features.rows(),
+            features.dim(),
+            features.data().to_vec(),
+        )));
+        let adjacency_t = Rc::new(adjacency.transpose());
+        let labels = Rc::new(dataset.labels.clone());
+        let train_idx = Rc::new(dataset.splits.train.clone());
+        let mut opt = Adam::new(self.lr).with_weight_decay(self.weight_decay);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = dataset.graph.num_nodes();
+        let hidden_dims: Vec<usize> = model
+            .config()
+            .layer_dims()
+            .iter()
+            .skip(1)
+            .map(|&(i, _)| i)
+            .collect();
+
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_test = 0.0;
+        let mut since_best = 0usize;
+        let mut final_loss = f32::NAN;
+        let mut epochs_run = 0usize;
+        for _epoch in 0..self.epochs {
+            epochs_run += 1;
+            // Fresh dropout masks per epoch (inverted dropout).
+            let masks: Option<Vec<Matrix>> = if self.dropout > 0.0 {
+                Some(
+                    hidden_dims
+                        .iter()
+                        .map(|&d| {
+                            let keep = 1.0 - self.dropout;
+                            Matrix::from_fn(n, d, |_, _| {
+                                if rng.gen::<f32>() < keep {
+                                    1.0 / keep
+                                } else {
+                                    0.0
+                                }
+                            })
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            let mut tape = Tape::new();
+            let out = model.forward_from_sparse(
+                &mut tape,
+                &x_sparse,
+                adjacency,
+                &adjacency_t,
+                hook,
+                masks.as_deref(),
+            );
+            let loss = tape.softmax_cross_entropy(
+                out.logits,
+                Rc::clone(&labels),
+                Rc::clone(&train_idx),
+            );
+            final_loss = tape.value(loss).get(0, 0);
+            tape.backward(loss);
+            let grads: Vec<Matrix> = out
+                .weight_vars
+                .iter()
+                .zip(&out.bias_vars)
+                .flat_map(|(&w, &b)| {
+                    [
+                        tape.grad(w).clone(),
+                        tape.try_grad(b)
+                            .cloned()
+                            .unwrap_or_else(|| {
+                                Matrix::zeros(
+                                    tape.value(b).rows(),
+                                    tape.value(b).cols(),
+                                )
+                            }),
+                    ]
+                })
+                .collect();
+            {
+                let mut params = model.params_mut();
+                let refs: Vec<&Matrix> = grads.iter().collect();
+                opt.step(&mut params, &refs);
+            }
+            // Evaluate without dropout (fresh tape, current params).
+            let (val, test) = self.evaluate(model, dataset, &x_sparse, adjacency, &adjacency_t, hook);
+            if val > best_val {
+                best_val = val;
+                best_test = test;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if self.patience > 0 && since_best >= self.patience {
+                    break;
+                }
+            }
+        }
+        TrainReport {
+            best_val_accuracy: best_val.max(0.0),
+            test_accuracy: best_test,
+            final_loss,
+            epochs_run,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn evaluate(
+        &self,
+        model: &Gnn,
+        dataset: &Dataset,
+        x_sparse: &Rc<CsrMatrix>,
+        adjacency: &Rc<CsrMatrix>,
+        adjacency_t: &Rc<CsrMatrix>,
+        hook: &mut dyn ForwardHook,
+    ) -> (f64, f64) {
+        let mut tape = Tape::new();
+        let out = model.forward_from_sparse(
+            &mut tape,
+            x_sparse,
+            adjacency,
+            adjacency_t,
+            hook,
+            None,
+        );
+        let logits = tape.value(out.logits);
+        let val = accuracy(logits, &dataset.labels, &dataset.splits.val);
+        let test = accuracy(logits, &dataset.labels, &dataset.splits.test);
+        (val, test)
+    }
+
+    /// Convenience: trains a fresh FP32 model of `kind` on `dataset` and
+    /// reports accuracy.
+    pub fn train_fp32(
+        &self,
+        kind: crate::model::GnnKind,
+        dataset: &Dataset,
+    ) -> (Gnn, TrainReport) {
+        let cfg = crate::model::ModelConfig::for_dataset(kind, dataset);
+        let adj = crate::adjacency::build_adjacency(
+            &dataset.graph,
+            kind.aggregator(cfg.seed),
+        );
+        let mut model = Gnn::new(cfg);
+        let report = self.train(&mut model, dataset, &adj, &mut IdentityHook);
+        (model, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GnnKind;
+    use mega_graph::datasets::DatasetSpec;
+
+    fn tiny() -> Dataset {
+        DatasetSpec::cora()
+            .scaled(0.12)
+            .with_feature_dim(96)
+            .materialize()
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        let labels = vec![0u16, 1, 1];
+        assert!((accuracy(&logits, &labels, &[0, 1, 2]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&logits, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn gcn_learns_better_than_chance_on_tiny_cora() {
+        let d = tiny();
+        let trainer = Trainer {
+            epochs: 40,
+            dropout: 0.3,
+            patience: 0,
+            ..Trainer::default()
+        };
+        let (_, report) = trainer.train_fp32(GnnKind::Gcn, &d);
+        let chance = 1.0 / d.spec.num_classes as f64;
+        assert!(
+            report.test_accuracy > 2.0 * chance,
+            "test accuracy {} not better than 2x chance {}",
+            report.test_accuracy,
+            chance
+        );
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let d = tiny();
+        let quick = Trainer {
+            epochs: 1,
+            dropout: 0.0,
+            patience: 0,
+            ..Trainer::default()
+        };
+        let longer = Trainer {
+            epochs: 30,
+            dropout: 0.0,
+            patience: 0,
+            ..Trainer::default()
+        };
+        let (_, first) = quick.train_fp32(GnnKind::Gcn, &d);
+        let (_, last) = longer.train_fp32(GnnKind::Gcn, &d);
+        assert!(
+            last.final_loss < first.final_loss,
+            "loss did not decrease: {} -> {}",
+            first.final_loss,
+            last.final_loss
+        );
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        let d = tiny();
+        let trainer = Trainer {
+            epochs: 200,
+            patience: 3,
+            dropout: 0.0,
+            ..Trainer::default()
+        };
+        let (_, report) = trainer.train_fp32(GnnKind::Gcn, &d);
+        assert!(report.epochs_run < 200, "ran all {} epochs", report.epochs_run);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = tiny();
+        let trainer = Trainer {
+            epochs: 5,
+            patience: 0,
+            ..Trainer::default()
+        };
+        let (_, a) = trainer.train_fp32(GnnKind::Gcn, &d);
+        let (_, b) = trainer.train_fp32(GnnKind::Gcn, &d);
+        assert_eq!(a.final_loss, b.final_loss);
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+    }
+}

@@ -1,0 +1,179 @@
+//! Coordinate-format edge list: the builder representation every generator
+//! emits and [`crate::Csr`] consumes.
+
+use crate::NodeId;
+
+/// An edge list in coordinate (COO) format.
+///
+/// Edges are directed `(src, dst)` pairs. The list may temporarily contain
+/// duplicates and self-loops while being built; [`Coo::dedup`] canonicalizes
+/// it before conversion to CSR.
+///
+/// # Example
+///
+/// ```
+/// use mega_graph::Coo;
+///
+/// let mut coo = Coo::new(3);
+/// coo.push(0, 1);
+/// coo.push(1, 2);
+/// coo.push(0, 1); // duplicate
+/// coo.dedup();
+/// assert_eq!(coo.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Coo {
+    /// Creates an empty edge list over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an edge list from pre-existing pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        for &(s, d) in &edges {
+            assert!(
+                (s as usize) < num_nodes && (d as usize) < num_nodes,
+                "edge ({s}, {d}) out of range for {num_nodes} nodes"
+            );
+        }
+        Self { num_nodes, edges }
+    }
+
+    /// Appends a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn push(&mut self, src: NodeId, dst: NodeId) {
+        assert!(
+            (src as usize) < self.num_nodes && (dst as usize) < self.num_nodes,
+            "edge ({src}, {dst}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((src, dst));
+    }
+
+    /// Appends both `(src, dst)` and `(dst, src)`.
+    pub fn push_undirected(&mut self, a: NodeId, b: NodeId) {
+        self.push(a, b);
+        if a != b {
+            self.push(b, a);
+        }
+    }
+
+    /// Number of (possibly duplicated) edges currently stored.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of nodes the edge list ranges over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Borrow the raw edge pairs.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Sorts the edges, removes duplicates and self-loops.
+    pub fn dedup(&mut self) {
+        self.edges.retain(|&(s, d)| s != d);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Adds the reverse of every edge and canonicalizes, producing a
+    /// symmetric edge list.
+    pub fn symmetrize(&mut self) {
+        let reversed: Vec<(NodeId, NodeId)> =
+            self.edges.iter().map(|&(s, d)| (d, s)).collect();
+        self.edges.extend(reversed);
+        self.dedup();
+    }
+
+    /// Truncates to at most `n` edges (keeps the lexicographically smallest
+    /// after a sort). Used by generators that oversample to hit an exact
+    /// target edge count.
+    pub fn truncate(&mut self, n: usize) {
+        if self.edges.len() > n {
+            self.edges.truncate(n);
+        }
+    }
+
+    /// Consumes the list, returning the raw pairs.
+    pub fn into_edges(self) -> Vec<(NodeId, NodeId)> {
+        self.edges
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for Coo {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        for (s, d) in iter {
+            self.push(s, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut coo = Coo::new(4);
+        coo.push(0, 1);
+        coo.push(0, 1);
+        coo.push(2, 2);
+        coo.push(3, 0);
+        coo.dedup();
+        assert_eq!(coo.edges(), &[(0, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges() {
+        let mut coo = Coo::new(3);
+        coo.push(0, 1);
+        coo.push(1, 2);
+        coo.symmetrize();
+        assert_eq!(coo.edges(), &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn push_undirected_skips_self_loop_duplicate() {
+        let mut coo = Coo::new(2);
+        coo.push_undirected(1, 1);
+        assert_eq!(coo.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut coo = Coo::new(2);
+        coo.push(0, 2);
+    }
+
+    #[test]
+    fn extend_collects_pairs() {
+        let mut coo = Coo::new(5);
+        coo.extend([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(coo.len(), 3);
+    }
+}

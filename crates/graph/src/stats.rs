@@ -1,0 +1,154 @@
+//! Degree statistics: histograms, the Fig. 3 in-degree buckets, and a
+//! power-law exponent estimator used to validate the generators.
+
+use crate::Graph;
+
+/// The in-degree groups plotted in Fig. 3 of the paper:
+/// `[1,10] [11,20] [21,30] [31,40] [41,+∞)`.
+pub const FIG3_BUCKETS: [(usize, usize); 5] =
+    [(1, 10), (11, 20), (21, 30), (31, 40), (41, usize::MAX)];
+
+/// Returns the Fig. 3 bucket index for an in-degree, or `None` for isolated
+/// nodes (degree 0).
+pub fn fig3_bucket(in_degree: usize) -> Option<usize> {
+    if in_degree == 0 {
+        return None;
+    }
+    Some(match in_degree {
+        1..=10 => 0,
+        11..=20 => 1,
+        21..=30 => 2,
+        31..=40 => 3,
+        _ => 4,
+    })
+}
+
+/// Histogram of in-degrees; index `d` holds the number of nodes with
+/// in-degree `d`.
+pub fn in_degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_in_degree() + 1];
+    for v in 0..graph.num_nodes() {
+        hist[graph.in_degree(v)] += 1;
+    }
+    hist
+}
+
+/// Fraction of nodes whose in-degree is at most `k`.
+pub fn fraction_with_degree_at_most(graph: &Graph, k: usize) -> f64 {
+    if graph.num_nodes() == 0 {
+        return 0.0;
+    }
+    let c = (0..graph.num_nodes())
+        .filter(|&v| graph.in_degree(v) <= k)
+        .count();
+    c as f64 / graph.num_nodes() as f64
+}
+
+/// Maximum-likelihood estimate of a power-law exponent from the in-degree
+/// sample, using the standard continuous approximation
+/// `γ ≈ 1 + n / Σ ln(d_i / (d_min − ½))` over degrees `≥ d_min`.
+///
+/// Returns `None` if fewer than 10 nodes meet the threshold.
+pub fn power_law_exponent_mle(graph: &Graph, d_min: usize) -> Option<f64> {
+    assert!(d_min >= 1, "d_min must be at least 1");
+    let dm = d_min as f64 - 0.5;
+    let mut n = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in 0..graph.num_nodes() {
+        let d = graph.in_degree(v);
+        if d >= d_min {
+            n += 1;
+            log_sum += (d as f64 / dm).ln();
+        }
+    }
+    if n < 10 || log_sum <= 0.0 {
+        None
+    } else {
+        Some(1.0 + n as f64 / log_sum)
+    }
+}
+
+/// Per-bucket node counts for the Fig. 3 in-degree groups.
+pub fn fig3_bucket_counts(graph: &Graph) -> [usize; 5] {
+    let mut counts = [0usize; 5];
+    for v in 0..graph.num_nodes() {
+        if let Some(b) = fig3_bucket(graph.in_degree(v)) {
+            counts[b] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::PowerLawSbm;
+    use crate::Graph;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(fig3_bucket(0), None);
+        assert_eq!(fig3_bucket(1), Some(0));
+        assert_eq!(fig3_bucket(10), Some(0));
+        assert_eq!(fig3_bucket(11), Some(1));
+        assert_eq!(fig3_bucket(40), Some(3));
+        assert_eq!(fig3_bucket(41), Some(4));
+        assert_eq!(fig3_bucket(10_000), Some(4));
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = Graph::from_directed_edges(5, vec![(0, 1), (2, 1), (3, 1), (4, 0)]);
+        let h = in_degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[3], 1); // node 1 has in-degree 3
+    }
+
+    #[test]
+    fn low_degree_nodes_are_the_majority_on_power_law_graphs() {
+        let out = PowerLawSbm {
+            nodes: 3000,
+            directed_edges: 12_000,
+            exponent: 2.1,
+            communities: 6,
+            homophily: 0.8,
+            symmetric: true,
+            seed: 5,
+        }
+        .generate();
+        // The paper's premise: most nodes have low in-degree.
+        assert!(fraction_with_degree_at_most(&out.graph, 10) > 0.8);
+    }
+
+    #[test]
+    fn mle_recovers_rough_exponent() {
+        let out = PowerLawSbm {
+            nodes: 5000,
+            directed_edges: 25_000,
+            exponent: 2.2,
+            communities: 5,
+            homophily: 0.5,
+            symmetric: true,
+            seed: 11,
+        }
+        .generate();
+        let gamma = power_law_exponent_mle(&out.graph, 3).expect("enough nodes");
+        assert!(
+            gamma > 1.5 && gamma < 4.0,
+            "estimated exponent {gamma} implausible"
+        );
+    }
+
+    #[test]
+    fn mle_requires_enough_samples() {
+        let g = Graph::from_directed_edges(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(power_law_exponent_mle(&g, 1), None);
+    }
+
+    #[test]
+    fn bucket_counts_cover_all_non_isolated_nodes() {
+        let g = Graph::from_directed_edges(6, vec![(0, 1), (2, 1), (3, 4), (5, 4)]);
+        let counts = fig3_bucket_counts(&g);
+        assert_eq!(counts.iter().sum::<usize>(), 2); // nodes 1 and 4
+    }
+}

@@ -1,0 +1,330 @@
+//! Transaction-level HBM model.
+//!
+//! Behavioural contract (all the paper's DRAM analyses reduce to these two
+//! facts):
+//!
+//! 1. every access fetches whole transactions (64 B) — an irregular gather
+//!    that uses 32 B of a transaction wastes half its bandwidth (the
+//!    Fig. 12 example);
+//! 2. sequential streams hit open rows and run at peak bandwidth, while
+//!    scattered accesses pay a row-activation penalty per miss, tracked
+//!    per bank.
+
+/// Static configuration of the DRAM model.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Number of independent channels (HBM1.0: 8).
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size per bank, bytes.
+    pub row_bytes: u64,
+    /// Transaction (burst) granularity, bytes.
+    pub transaction_bytes: u64,
+    /// Aggregate peak bandwidth in bytes per accelerator cycle
+    /// (256 GB/s at 1 GHz = 256 B/cycle).
+    pub peak_bytes_per_cycle: f64,
+    /// Extra channel-occupancy cycles on a row miss (activate+precharge).
+    pub row_miss_penalty: u64,
+    /// Access energy per bit (HyGCN methodology, ~7 pJ/bit for HBM).
+    pub energy_pj_per_bit: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            channels: 8,
+            banks_per_channel: 16,
+            row_bytes: 1024,
+            transaction_bytes: 64,
+            peak_bytes_per_cycle: 256.0,
+            row_miss_penalty: 22,
+            energy_pj_per_bit: 7.0,
+        }
+    }
+}
+
+/// Counters accumulated over a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramStats {
+    /// Read transactions issued.
+    pub read_transactions: u64,
+    /// Write transactions issued.
+    pub write_transactions: u64,
+    /// Bytes actually transferred (always a multiple of the transaction
+    /// size).
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Bytes the requester asked for (≤ transferred; the gap is waste).
+    pub useful_bytes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+}
+
+impl DramStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of transferred bytes the requester actually used.
+    pub fn utilization(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.total_bytes() as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.read_transactions += other.read_transactions;
+        self.write_transactions += other.write_transactions;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.useful_bytes += other.useful_bytes;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+    }
+}
+
+/// The DRAM simulator: open-row tracking per (channel, bank) plus the
+/// accumulated [`DramStats`].
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    config: DramConfig,
+    open_rows: Vec<Option<u64>>,
+    stats: DramStats,
+}
+
+impl DramSim {
+    /// New simulator with all rows closed.
+    pub fn new(config: DramConfig) -> Self {
+        let slots = config.channels * config.banks_per_channel;
+        Self {
+            config,
+            open_rows: vec![None; slots],
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    fn touch(&mut self, addr: u64) -> bool {
+        // Channels interleave at row granularity so sequential streams keep
+        // row-buffer locality (transaction-granularity interleave would give
+        // each channel only a couple of beats per row).
+        let row_global = addr / self.config.row_bytes;
+        let channel = (row_global as usize) % self.config.channels;
+        let row_in_channel = row_global / self.config.channels as u64;
+        let bank = (row_in_channel as usize) % self.config.banks_per_channel;
+        let slot = channel * self.config.banks_per_channel + bank;
+        let row = row_in_channel / self.config.banks_per_channel as u64;
+        let hit = self.open_rows[slot] == Some(row);
+        self.open_rows[slot] = Some(row);
+        if hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        hit
+    }
+
+    /// Reads `bytes` useful bytes starting at `addr`; whole transactions
+    /// are fetched.
+    pub fn read(&mut self, addr: u64, bytes: u64) {
+        self.access(addr, bytes, false);
+    }
+
+    /// Writes `bytes` useful bytes starting at `addr`.
+    pub fn write(&mut self, addr: u64, bytes: u64) {
+        self.access(addr, bytes, true);
+    }
+
+    fn access(&mut self, addr: u64, bytes: u64, is_write: bool) {
+        if bytes == 0 {
+            return;
+        }
+        let tx = self.config.transaction_bytes;
+        let first = addr / tx * tx;
+        let last = (addr + bytes - 1) / tx * tx;
+        let transactions;
+        // Large sequential streams are costed analytically: touching each
+        // transaction individually is O(bytes/64) and workloads stream up to
+        // terabytes (weight-tiling spills). A sequential stream opens each
+        // row once; everything else hits.
+        let stream_threshold = self.config.row_bytes * 64;
+        if bytes >= stream_threshold {
+            transactions = (last - first) / tx + 1;
+            let rows = (addr + bytes - 1) / self.config.row_bytes
+                - addr / self.config.row_bytes
+                + 1;
+            self.stats.row_misses += rows;
+            self.stats.row_hits += transactions - rows.min(transactions);
+            // Open-row state after the stream: its final row per bank is a
+            // second-order effect; leave prior state (next random access
+            // will almost surely miss anyway).
+        } else {
+            let mut a = first;
+            let mut count = 0u64;
+            while a <= last {
+                self.touch(a);
+                count += 1;
+                a += tx;
+            }
+            transactions = count;
+        }
+        let moved = transactions * tx;
+        self.stats.useful_bytes += bytes;
+        if is_write {
+            self.stats.write_transactions += transactions;
+            self.stats.bytes_written += moved;
+        } else {
+            self.stats.read_transactions += transactions;
+            self.stats.bytes_read += moved;
+        }
+    }
+
+    /// DRAM busy time in cycles: bandwidth-bound transfer time plus
+    /// channel-shared row-miss overhead.
+    pub fn busy_cycles(&self) -> u64 {
+        let transfer =
+            (self.stats.total_bytes() as f64 / self.config.peak_bytes_per_cycle).ceil() as u64;
+        let miss_overhead = self.stats.row_misses * self.config.row_miss_penalty
+            / self.config.channels as u64;
+        transfer + miss_overhead
+    }
+
+    /// Total DRAM access energy in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.stats.total_bytes() as f64 * 8.0 * self.config.energy_pj_per_bit
+    }
+
+    /// Resets statistics and row state.
+    pub fn reset(&mut self) {
+        self.stats = DramStats::default();
+        for r in self.open_rows.iter_mut() {
+            *r = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_read_fetches_whole_transaction() {
+        let mut d = DramSim::new(DramConfig::default());
+        d.read(100, 4);
+        assert_eq!(d.stats().bytes_read, 64);
+        assert_eq!(d.stats().useful_bytes, 4);
+        assert!((d.stats().utilization() - 4.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unaligned_read_spans_two_transactions() {
+        let mut d = DramSim::new(DramConfig::default());
+        d.read(60, 8); // crosses the 64B boundary
+        assert_eq!(d.stats().read_transactions, 2);
+        assert_eq!(d.stats().bytes_read, 128);
+    }
+
+    #[test]
+    fn sequential_stream_mostly_hits_rows() {
+        let mut d = DramSim::new(DramConfig::default());
+        for i in 0..1024u64 {
+            d.read(i * 64, 64);
+        }
+        let s = d.stats();
+        // One miss per newly-opened row per bank; the rest hit.
+        assert!(
+            s.row_hits > s.row_misses * 5,
+            "hits {} misses {}",
+            s.row_hits,
+            s.row_misses
+        );
+    }
+
+    #[test]
+    fn random_gather_mostly_misses_rows() {
+        let mut d = DramSim::new(DramConfig::default());
+        // Stride far past the row size with a pattern that revisits banks.
+        for i in 0..512u64 {
+            let addr = (i * 797) % 4096 * 16384;
+            d.read(addr, 64);
+        }
+        let s = d.stats();
+        assert!(
+            s.row_misses > s.row_hits,
+            "hits {} misses {}",
+            s.row_hits,
+            s.row_misses
+        );
+    }
+
+    #[test]
+    fn busy_cycles_scale_with_bytes_and_misses() {
+        let mut seq = DramSim::new(DramConfig::default());
+        for i in 0..256u64 {
+            seq.read(i * 64, 64);
+        }
+        let mut rnd = DramSim::new(DramConfig::default());
+        for i in 0..256u64 {
+            rnd.read((i * 7919) % 1021 * 131072, 64);
+        }
+        assert_eq!(seq.stats().total_bytes(), rnd.stats().total_bytes());
+        assert!(
+            rnd.busy_cycles() > seq.busy_cycles(),
+            "random {} should exceed sequential {}",
+            rnd.busy_cycles(),
+            seq.busy_cycles()
+        );
+    }
+
+    #[test]
+    fn energy_follows_bytes() {
+        let mut d = DramSim::new(DramConfig::default());
+        d.read(0, 64);
+        d.write(4096, 64);
+        let expected = 128.0 * 8.0 * 7.0;
+        assert!((d.energy_pj() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = DramSim::new(DramConfig::default());
+        d.read(0, 640);
+        d.reset();
+        assert_eq!(*d.stats(), DramStats::default());
+        assert_eq!(d.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DramStats::default();
+        let b = DramStats {
+            read_transactions: 2,
+            bytes_read: 128,
+            useful_bytes: 100,
+            row_hits: 1,
+            row_misses: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.bytes_read, 256);
+        assert_eq!(a.row_hits, 2);
+    }
+}

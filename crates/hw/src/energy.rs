@@ -1,0 +1,168 @@
+//! Per-operation energy at 28 nm and the four-way energy breakdown.
+//!
+//! Per-op numbers follow the Horowitz ISSCC'14 table scaled to 28 nm — the
+//! same lineage the paper's "convert the arithmetic operation to BitOP"
+//! normalization implies (a 32-bit fixed-point multiply ≡ 1024 BitOPs).
+
+/// Per-operation energies in pJ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyTable {
+    /// 8-bit integer add.
+    pub int8_add: f64,
+    /// 16-bit integer add.
+    pub int16_add: f64,
+    /// 32-bit integer add.
+    pub int32_add: f64,
+    /// FP32 add.
+    pub fp32_add: f64,
+    /// 8-bit integer multiply.
+    pub int8_mult: f64,
+    /// 16-bit integer multiply.
+    pub int16_mult: f64,
+    /// 32-bit integer multiply.
+    pub int32_mult: f64,
+    /// FP32 multiply.
+    pub fp32_mult: f64,
+    /// One bit-serial engine beat (AND + accumulate register write).
+    pub bitop: f64,
+    /// SRAM access per byte at a 64 KB reference macro (scaled by
+    /// [`crate::area::sram_energy_scale`] for other sizes).
+    pub sram_pj_per_byte_64kb: f64,
+    /// Leakage power in mW per mm² of logic+SRAM.
+    pub leakage_mw_per_mm2: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self {
+            int8_add: 0.03,
+            int16_add: 0.05,
+            int32_add: 0.1,
+            fp32_add: 0.9,
+            int8_mult: 0.2,
+            int16_mult: 0.6,
+            int32_mult: 3.1,
+            fp32_mult: 3.7,
+            // 32-bit fixed multiply ≡ 1024 BitOPs (paper §VI-A-3).
+            bitop: 3.1 / 1024.0,
+            sram_pj_per_byte_64kb: 0.25,
+            leakage_mw_per_mm2: 8.0,
+        }
+    }
+}
+
+impl EnergyTable {
+    /// Energy of one multiply-accumulate at the given integer bitwidth
+    /// (mult + add at the next-wider accumulator).
+    pub fn int_mac(&self, bits: u8) -> f64 {
+        match bits {
+            0..=8 => self.int8_mult + self.int16_add,
+            9..=16 => self.int16_mult + self.int32_add,
+            _ => self.int32_mult + self.int32_add,
+        }
+    }
+
+    /// Energy of one FP32 multiply-accumulate.
+    pub fn fp32_mac(&self) -> f64 {
+        self.fp32_mult + self.fp32_add
+    }
+}
+
+/// Accumulated energy split into the paper's Fig. 18 categories.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM access energy (pJ).
+    pub dram_pj: f64,
+    /// On-chip SRAM access energy (pJ).
+    pub sram_pj: f64,
+    /// Processing-unit (arithmetic) energy (pJ).
+    pub pu_pj: f64,
+    /// Leakage energy (pJ).
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.sram_pj + self.pu_pj + self.leakage_pj
+    }
+
+    /// Total energy in µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Adds leakage for `cycles` at 1 GHz given the chip area
+    /// (`leakage_mw × cycles` pJ, since 1 mW for 1 ns is 1 pJ).
+    pub fn add_leakage(&mut self, table: &EnergyTable, area_mm2: f64, cycles: u64) {
+        self.leakage_pj += table.leakage_mw_per_mm2 * area_mm2 * cycles as f64;
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.dram_pj += other.dram_pj;
+        self.sram_pj += other.sram_pj;
+        self.pu_pj += other.pu_pj;
+        self.leakage_pj += other.leakage_pj;
+    }
+
+    /// Fractions `[dram, sram, pu, leakage]` of the total.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_pj().max(1e-12);
+        [
+            self.dram_pj / t,
+            self.sram_pj / t,
+            self.pu_pj / t,
+            self.leakage_pj / t,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_cheaper_than_float() {
+        let t = EnergyTable::default();
+        assert!(t.int_mac(8) < t.fp32_mac() / 5.0);
+        assert!(t.int_mac(32) < t.fp32_mac());
+    }
+
+    #[test]
+    fn bitop_normalization_matches_paper() {
+        let t = EnergyTable::default();
+        // 1024 BitOPs ≡ one 32-bit multiply.
+        assert!((t.bitop * 1024.0 - t.int32_mult).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mac_energy_monotone_in_bitwidth() {
+        let t = EnergyTable::default();
+        assert!(t.int_mac(4) <= t.int_mac(12));
+        assert!(t.int_mac(12) <= t.int_mac(32));
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let mut b = EnergyBreakdown {
+            dram_pj: 70.0,
+            sram_pj: 20.0,
+            pu_pj: 10.0,
+            leakage_pj: 0.0,
+        };
+        assert_eq!(b.total_pj(), 100.0);
+        let f = b.fractions();
+        assert!((f[0] - 0.7).abs() < 1e-12);
+        b.merge(&b.clone());
+        assert_eq!(b.total_pj(), 200.0);
+    }
+
+    #[test]
+    fn leakage_scales_with_area_and_time() {
+        let t = EnergyTable::default();
+        let mut b = EnergyBreakdown::default();
+        b.add_leakage(&t, 2.0, 1000);
+        assert!((b.leakage_pj - 8.0 * 2.0 * 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hardware cost models for the MEGA reproduction: DRAM timing/energy,
+//! per-operation energy at 28 nm, and SRAM area/power.
+//!
+//! The paper's methodology (§VI-A-3): Synopsys DC at TSMC 28 nm for logic,
+//! CACTI 7.0 for SRAM buffers, Ramulator + HBM1.0 (256 GB/s) for DRAM, and
+//! HyGCN's method for DRAM energy. None of those tools are available here,
+//! so this crate provides analytical stand-ins calibrated to the paper's
+//! published Table IV numbers:
+//!
+//! * [`dram`] — a transaction-level HBM model with per-bank row-buffer
+//!   tracking: sequential streams run at full bandwidth, irregular gathers
+//!   pay row misses and fetch whole 64 B transactions (the exact behaviour
+//!   behind Fig. 6 / Fig. 12 / Fig. 16);
+//! * [`energy`] — Horowitz-style per-op energies and an accumulating
+//!   [`EnergyBreakdown`] over the paper's four categories (DRAM / SRAM /
+//!   PU / Leakage, Fig. 18);
+//! * [`area`] — CACTI-lite SRAM area/power scaling fitted to Table IV plus
+//!   the published component table itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod dram;
+pub mod energy;
+
+pub use area::{mega_table_iv, sram_area_mm2, sram_power_mw, ComponentSpec};
+pub use dram::{DramConfig, DramSim, DramStats};
+pub use energy::{EnergyBreakdown, EnergyTable};

@@ -1,0 +1,104 @@
+//! Property-based tests of the DRAM model: conservation laws that must hold
+//! for any access pattern.
+
+use mega_hw::{DramConfig, DramSim};
+use proptest::prelude::*;
+
+fn arb_accesses() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec(
+        (0u64..1 << 24, 1u64..4096, proptest::bool::ANY),
+        1..64,
+    )
+}
+
+proptest! {
+    #[test]
+    fn bytes_moved_cover_bytes_requested(accesses in arb_accesses()) {
+        let mut d = DramSim::new(DramConfig::default());
+        for &(addr, bytes, write) in &accesses {
+            if write {
+                d.write(addr, bytes);
+            } else {
+                d.read(addr, bytes);
+            }
+        }
+        let s = d.stats();
+        // Every byte asked for was transferred (transactions round up).
+        prop_assert!(s.useful_bytes <= s.total_bytes());
+        let requested: u64 = accesses.iter().map(|a| a.1).sum();
+        prop_assert_eq!(s.useful_bytes, requested);
+        // Transactions are whole.
+        prop_assert_eq!(s.total_bytes() % 64, 0);
+        prop_assert_eq!(
+            s.total_bytes(),
+            (s.read_transactions + s.write_transactions) * 64
+        );
+    }
+
+    #[test]
+    fn hits_plus_misses_equal_transactions(accesses in arb_accesses()) {
+        let mut d = DramSim::new(DramConfig::default());
+        for &(addr, bytes, write) in &accesses {
+            if write {
+                d.write(addr, bytes);
+            } else {
+                d.read(addr, bytes);
+            }
+        }
+        let s = d.stats();
+        prop_assert_eq!(
+            s.row_hits + s.row_misses,
+            s.read_transactions + s.write_transactions
+        );
+    }
+
+    #[test]
+    fn busy_cycles_monotone_in_work(accesses in arb_accesses()) {
+        let mut partial = DramSim::new(DramConfig::default());
+        let mut full = DramSim::new(DramConfig::default());
+        let half = accesses.len() / 2;
+        for (i, &(addr, bytes, write)) in accesses.iter().enumerate() {
+            if write {
+                full.write(addr, bytes);
+                if i < half {
+                    partial.write(addr, bytes);
+                }
+            } else {
+                full.read(addr, bytes);
+                if i < half {
+                    partial.read(addr, bytes);
+                }
+            }
+        }
+        prop_assert!(full.busy_cycles() >= partial.busy_cycles());
+        prop_assert!(full.energy_pj() >= partial.energy_pj());
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(accesses in arb_accesses()) {
+        let mut d = DramSim::new(DramConfig::default());
+        for &(addr, bytes, write) in &accesses {
+            if write {
+                d.write(addr, bytes);
+            } else {
+                d.read(addr, bytes);
+            }
+        }
+        let u = d.stats().utilization();
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn streaming_fast_path_conserves_bytes(start in 0u64..1 << 20, kb in 64u64..4096) {
+        // Large streams take the analytic path; small ones the per-txn path.
+        // Totals must agree with the request either way.
+        let bytes = kb * 1024;
+        let mut d = DramSim::new(DramConfig::default());
+        d.read(start, bytes);
+        let s = d.stats();
+        prop_assert_eq!(s.useful_bytes, bytes);
+        prop_assert!(s.bytes_read >= bytes);
+        prop_assert!(s.bytes_read - bytes < 128, "waste bounded by alignment");
+        prop_assert_eq!(s.row_hits + s.row_misses, s.read_transactions);
+    }
+}

@@ -1,0 +1,144 @@
+//! Heavy-edge-matching coarsening.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+use crate::WGraph;
+use mega_graph::generate::shuffle;
+
+/// One coarsening step: computes a heavy-edge matching and contracts matched
+/// pairs. Returns the coarse graph and the fine→coarse node map.
+pub fn coarsen_once<R: Rng + ?Sized>(graph: &WGraph, rng: &mut R) -> (WGraph, Vec<u32>) {
+    let n = graph.num_nodes();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    shuffle(&mut order, rng);
+    for &v in &order {
+        let v = v as usize;
+        if mate[v] != UNMATCHED {
+            continue;
+        }
+        // Pick the unmatched neighbor with maximum edge weight (heavy-edge
+        // matching); ties broken by first occurrence.
+        let mut best: Option<(u32, u32)> = None;
+        for &(u, w) in graph.neighbors(v) {
+            if mate[u as usize] == UNMATCHED
+                && best.map_or(true, |(_, bw)| w > bw)
+            {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v] = u;
+                mate[u as usize] = v as u32;
+            }
+            None => mate[v] = v as u32, // singleton
+        }
+    }
+    // Assign coarse ids: one per matched pair / singleton.
+    let mut cmap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if cmap[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        cmap[v] = next;
+        cmap[m] = next;
+        next += 1;
+    }
+    let coarse_n = next as usize;
+    let mut node_weights = vec![0u32; coarse_n];
+    for v in 0..n {
+        node_weights[cmap[v] as usize] += graph.node_weight(v);
+    }
+    // Accumulate coarse edges.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); coarse_n];
+    for v in 0..n {
+        let cv = cmap[v];
+        let mut acc: HashMap<u32, u32> = HashMap::new();
+        for &(u, w) in graph.neighbors(v) {
+            let cu = cmap[u as usize];
+            if cu != cv {
+                *acc.entry(cu).or_insert(0) += w;
+            }
+        }
+        for (cu, w) in acc {
+            adj[cv as usize].push((cu, w));
+        }
+    }
+    (WGraph::from_parts(node_weights, adj), cmap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> WGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32))
+            .collect();
+        WGraph::from_graph(&Graph::from_undirected_edges(n, edges))
+    }
+
+    #[test]
+    fn coarsening_roughly_halves_node_count() {
+        let g = ring(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (coarse, cmap) = coarsen_once(&g, &mut rng);
+        assert!(coarse.num_nodes() <= 40, "got {}", coarse.num_nodes());
+        assert_eq!(cmap.len(), 64);
+    }
+
+    #[test]
+    fn node_weight_is_conserved() {
+        let g = ring(50);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (coarse, _) = coarsen_once(&g, &mut rng);
+        assert_eq!(coarse.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn cmap_is_consistent_with_coarse_size() {
+        let g = ring(30);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (coarse, cmap) = coarsen_once(&g, &mut rng);
+        let max = *cmap.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, coarse.num_nodes());
+    }
+
+    #[test]
+    fn matched_pairs_share_an_edge() {
+        // On a ring, each coarse node of weight 2 must come from adjacent
+        // fine nodes.
+        let g = ring(20);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (_, cmap) = coarsen_once(&g, &mut rng);
+        let mut groups: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (v, &c) in cmap.iter().enumerate() {
+            groups.entry(c).or_default().push(v);
+        }
+        for (_, members) in groups {
+            if members.len() == 2 {
+                let d = (members[0] as i64 - members[1] as i64).unsigned_abs();
+                assert!(d == 1 || d == 19, "non-adjacent pair {members:?}");
+            } else {
+                assert_eq!(members.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let g = WGraph::from_graph(&Graph::from_directed_edges(3, vec![]));
+        let mut rng = StdRng::seed_from_u64(11);
+        let (coarse, _) = coarsen_once(&g, &mut rng);
+        assert_eq!(coarse.num_nodes(), 3);
+    }
+}

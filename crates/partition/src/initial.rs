@@ -1,0 +1,158 @@
+//! Greedy region-growing initial partitioning of the coarsest graph.
+
+use rand::Rng;
+
+use crate::WGraph;
+
+/// Assigns the nodes of (the coarsest) `graph` to `k` parts by growing
+/// regions from random seeds: parts take turns absorbing the frontier node
+/// most connected to them, keeping node-weight balance.
+pub fn greedy_growing<R: Rng + ?Sized>(graph: &WGraph, k: usize, rng: &mut R) -> Vec<u32> {
+    let n = graph.num_nodes();
+    const FREE: u32 = u32::MAX;
+    let mut assignment = vec![FREE; n];
+    if n == 0 {
+        return assignment;
+    }
+    let capacity = (graph.total_weight() as f64 / k as f64).ceil() as u64;
+    let mut part_weight = vec![0u64; k];
+
+    // Seed each part with a distinct random node.
+    let mut seeds = Vec::with_capacity(k);
+    let mut guard = 0;
+    while seeds.len() < k && guard < 50 * k {
+        guard += 1;
+        let v = rng.gen_range(0..n);
+        if assignment[v] == FREE {
+            assignment[v] = seeds.len() as u32;
+            part_weight[seeds.len()] += graph.node_weight(v) as u64;
+            seeds.push(v);
+        }
+    }
+    // If duplicates exhausted the guard (tiny graphs), fill remaining seeds
+    // with the first free nodes.
+    for p in seeds.len()..k {
+        if let Some(v) = (0..n).find(|&v| assignment[v] == FREE) {
+            assignment[v] = p as u32;
+            part_weight[p] += graph.node_weight(v) as u64;
+        }
+    }
+
+    // `conn[v][p]` would be O(nk) memory; instead grow parts round-robin,
+    // scanning each part's boundary for the best next node.
+    let mut remaining: usize = assignment.iter().filter(|&&a| a == FREE).count();
+    while remaining > 0 {
+        let mut progressed = false;
+        for p in 0..k {
+            if part_weight[p] >= capacity {
+                continue;
+            }
+            // Find the free node most strongly connected to part p.
+            let mut best: Option<(usize, u64)> = None;
+            for v in 0..n {
+                if assignment[v] != FREE {
+                    continue;
+                }
+                let conn: u64 = graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| assignment[u as usize] == p as u32)
+                    .map(|&(_, w)| w as u64)
+                    .sum();
+                if conn > 0 && best.map_or(true, |(_, bc)| conn > bc) {
+                    best = Some((v, conn));
+                }
+            }
+            if let Some((v, _)) = best {
+                assignment[v] = p as u32;
+                part_weight[p] += graph.node_weight(v) as u64;
+                remaining -= 1;
+                progressed = true;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            // Disconnected leftovers: dump each into the lightest part.
+            for v in 0..n {
+                if assignment[v] == FREE {
+                    let p = (0..k)
+                        .min_by_key(|&p| part_weight[p])
+                        .expect("k > 0");
+                    assignment[v] = p as u32;
+                    part_weight[p] += graph.node_weight(v) as u64;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid(side: usize) -> WGraph {
+        let mut edges = Vec::new();
+        let id = |r: usize, c: usize| (r * side + c) as u32;
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < side {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        WGraph::from_graph(&Graph::from_undirected_edges(side * side, edges))
+    }
+
+    #[test]
+    fn all_nodes_assigned() {
+        let g = grid(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = greedy_growing(&g, 4, &mut rng);
+        assert!(a.iter().all(|&p| p < 4));
+    }
+
+    #[test]
+    fn parts_are_roughly_balanced() {
+        let g = grid(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = greedy_growing(&g, 4, &mut rng);
+        let mut sizes = [0usize; 4];
+        for &p in &a {
+            sizes[p as usize] += 1;
+        }
+        let max = *sizes.iter().max().unwrap();
+        assert!(max <= 35, "sizes {sizes:?}"); // ideal 25, generous cap
+    }
+
+    #[test]
+    fn disconnected_components_still_assigned() {
+        // Two disjoint edges and an isolated node.
+        let g = WGraph::from_graph(&Graph::from_undirected_edges(
+            5,
+            vec![(0, 1), (2, 3)],
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = greedy_growing(&g, 2, &mut rng);
+        assert!(a.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let g = grid(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = greedy_growing(&g, 4, &mut rng);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Boundary Kernighan–Lin refinement.
+
+use rand::Rng;
+
+use crate::WGraph;
+use mega_graph::generate::shuffle;
+
+/// Improves `assignment` in place: repeatedly moves boundary nodes to the
+/// neighboring part with the highest positive gain, subject to the balance
+/// constraint `part_weight ≤ max_imbalance × total/k`.
+pub fn refine<R: Rng + ?Sized>(
+    graph: &WGraph,
+    assignment: &mut [u32],
+    k: usize,
+    max_imbalance: f64,
+    passes: usize,
+    rng: &mut R,
+) {
+    let n = graph.num_nodes();
+    if n == 0 || k < 2 {
+        return;
+    }
+    let capacity =
+        (graph.total_weight() as f64 / k as f64 * max_imbalance).ceil() as u64;
+    let mut part_weight = vec![0u64; k];
+    for v in 0..n {
+        part_weight[assignment[v] as usize] += graph.node_weight(v) as u64;
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut conn = vec![0u64; k];
+    for _ in 0..passes {
+        shuffle(&mut order, rng);
+        let mut moved = 0usize;
+        for &v in &order {
+            let v = v as usize;
+            let home = assignment[v] as usize;
+            // Connectivity of v to each part present in its neighborhood.
+            let mut touched: Vec<usize> = Vec::new();
+            for &(u, w) in graph.neighbors(v) {
+                let p = assignment[u as usize] as usize;
+                if conn[p] == 0 {
+                    touched.push(p);
+                }
+                conn[p] += w as u64;
+            }
+            let internal = conn[home];
+            let mut best: Option<(usize, u64)> = None;
+            for &p in &touched {
+                if p == home {
+                    continue;
+                }
+                let w = graph.node_weight(v) as u64;
+                if part_weight[p] + w > capacity {
+                    continue;
+                }
+                if conn[p] > internal && best.map_or(true, |(_, bc)| conn[p] > bc)
+                {
+                    best = Some((p, conn[p]));
+                }
+            }
+            if let Some((p, _)) = best {
+                let w = graph.node_weight(v) as u64;
+                part_weight[home] -= w;
+                part_weight[p] += w;
+                assignment[v] = p as u32;
+                moved += 1;
+            }
+            for &p in &touched {
+                conn[p] = 0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+/// Edge-cut weight of `assignment` on the working graph (each undirected
+/// edge counted once).
+pub fn cut_weight(graph: &WGraph, assignment: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..graph.num_nodes() {
+        for &(u, w) in graph.neighbors(v) {
+            if assignment[v] != assignment[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two 8-cliques joined by one edge; the optimal 2-cut is 1.
+    fn two_cliques() -> WGraph {
+        let mut edges = Vec::new();
+        for offset in [0u32, 8] {
+            for i in 0..8u32 {
+                for j in (i + 1)..8 {
+                    edges.push((offset + i, offset + j));
+                }
+            }
+        }
+        edges.push((0, 8));
+        WGraph::from_graph(&Graph::from_undirected_edges(16, edges))
+    }
+
+    #[test]
+    fn refinement_reduces_cut_on_bad_assignment() {
+        let g = two_cliques();
+        // Deliberately interleaved (terrible) assignment.
+        let mut a: Vec<u32> = (0..16).map(|v| (v % 2) as u32).collect();
+        let before = cut_weight(&g, &a);
+        let mut rng = StdRng::seed_from_u64(5);
+        refine(&g, &mut a, 2, 1.1, 8, &mut rng);
+        let after = cut_weight(&g, &a);
+        assert!(after < before, "cut {before} -> {after}");
+        assert!(after <= 4, "expected near-optimal cut, got {after}");
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = two_cliques();
+        let mut a: Vec<u32> = (0..16).map(|v| (v % 2) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        refine(&g, &mut a, 2, 1.05, 8, &mut rng);
+        let ones = a.iter().filter(|&&p| p == 1).count();
+        assert!((7..=9).contains(&ones), "imbalanced: {ones} in part 1");
+    }
+
+    #[test]
+    fn perfect_assignment_is_stable() {
+        let g = two_cliques();
+        let mut a: Vec<u32> = (0..16).map(|v| if v < 8 { 0 } else { 1 }).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        refine(&g, &mut a, 2, 1.05, 4, &mut rng);
+        // The single bridge edge has working-graph weight 2 (both directions
+        // of the symmetric pair are counted when building the WGraph).
+        assert_eq!(cut_weight(&g, &a), 2);
+    }
+
+    #[test]
+    fn single_part_is_noop() {
+        let g = two_cliques();
+        let mut a = vec![0u32; 16];
+        let mut rng = StdRng::seed_from_u64(8);
+        refine(&g, &mut a, 1, 1.05, 4, &mut rng);
+        assert!(a.iter().all(|&p| p == 0));
+    }
+}

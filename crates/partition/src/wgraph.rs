@@ -1,0 +1,133 @@
+//! Weighted working graph used internally by the multilevel partitioner.
+
+use mega_graph::Graph;
+
+/// An undirected graph with node and edge weights, in adjacency-list form.
+///
+/// Built from a [`Graph`] by merging each directed edge pair into one
+/// undirected weighted edge; coarsening produces successively smaller
+/// `WGraph`s whose node weights record how many original nodes each coarse
+/// node represents.
+#[derive(Debug, Clone)]
+pub struct WGraph {
+    node_weights: Vec<u32>,
+    /// `adj[v]` lists `(neighbor, edge_weight)`, neighbor-sorted.
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl WGraph {
+    /// Builds the level-0 working graph: every node weight 1, every
+    /// undirected edge weight = number of directed edges between the pair
+    /// (1 or 2).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &u in graph.out_neighbors(v) {
+                adj[v].push((u, 1));
+            }
+            for &u in graph.in_neighbors(v) {
+                // Only count in-edges whose reverse is absent, so symmetric
+                // pairs get weight 2 exactly once per side.
+                adj[v].push((u, 1));
+            }
+        }
+        let mut g = Self {
+            node_weights: vec![1; n],
+            adj,
+        };
+        g.normalize();
+        g
+    }
+
+    /// Builds directly from parts (used by coarsening).
+    pub fn from_parts(node_weights: Vec<u32>, adj: Vec<Vec<(u32, u32)>>) -> Self {
+        let mut g = Self { node_weights, adj };
+        g.normalize();
+        g
+    }
+
+    fn normalize(&mut self) {
+        for (v, list) in self.adj.iter_mut().enumerate() {
+            list.retain(|&(u, _)| u as usize != v);
+            list.sort_unstable_by_key(|&(u, _)| u);
+            let mut merged: Vec<(u32, u32)> = Vec::with_capacity(list.len());
+            for &(u, w) in list.iter() {
+                if let Some(last) = merged.last_mut() {
+                    if last.0 == u {
+                        last.1 += w;
+                        continue;
+                    }
+                }
+                merged.push((u, w));
+            }
+            *list = merged;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Weight of node `v` (number of original nodes it represents).
+    pub fn node_weight(&self, v: usize) -> u32 {
+        self.node_weights[v]
+    }
+
+    /// Total node weight.
+    pub fn total_weight(&self) -> u64 {
+        self.node_weights.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Weighted neighbor list of `v`.
+    pub fn neighbors(&self, v: usize) -> &[(u32, u32)] {
+        &self.adj[v]
+    }
+
+    /// Sum of edge weights (each undirected edge counted twice).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adj
+            .iter()
+            .flat_map(|l| l.iter().map(|&(_, w)| w as u64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_graph_merges_directions() {
+        // 0 <-> 1 symmetric, 1 -> 2 one-way.
+        let g = Graph::from_directed_edges(3, vec![(0, 1), (1, 0), (1, 2)]);
+        let w = WGraph::from_graph(&g);
+        // Node 0: sees edge to 1 from out (w1) and in (w1) -> merged weight 2.
+        assert_eq!(w.neighbors(0), &[(1, 2)]);
+        // Node 1: symmetric edge to 0 (2) and out-edge to 2 (1).
+        assert_eq!(w.neighbors(1), &[(0, 2), (2, 1)]);
+        // Node 2: only the incoming edge from 1.
+        assert_eq!(w.neighbors(2), &[(1, 1)]);
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let w = WGraph::from_parts(vec![1, 1], vec![vec![(0, 5), (1, 1)], vec![(0, 1)]]);
+        assert_eq!(w.neighbors(0), &[(1, 1)]);
+    }
+
+    #[test]
+    fn duplicate_neighbors_merge_weights() {
+        let w = WGraph::from_parts(vec![1, 1], vec![vec![(1, 2), (1, 3)], vec![(0, 5)]]);
+        assert_eq!(w.neighbors(0), &[(1, 5)]);
+        assert_eq!(w.total_edge_weight(), 10);
+    }
+
+    #[test]
+    fn totals() {
+        let w = WGraph::from_parts(vec![2, 3], vec![vec![(1, 1)], vec![(0, 1)]]);
+        assert_eq!(w.total_weight(), 5);
+        assert_eq!(w.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the partitioner.
+
+use mega_graph::generate::uniform_random;
+use mega_partition::{partition, PartitionConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_node_gets_a_valid_part(
+        n in 8usize..120,
+        e_factor in 1usize..6,
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = uniform_random(n, n * e_factor, seed);
+        let k = k.min(n);
+        let p = partition(&g, &PartitionConfig::new(k).with_seed(seed));
+        prop_assert_eq!(p.assignment().len(), n);
+        prop_assert!(p.assignment().iter().all(|&a| (a as usize) < k));
+    }
+
+    #[test]
+    fn intra_plus_inter_equals_total_edges(
+        n in 8usize..120,
+        e_factor in 1usize..6,
+        k in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = uniform_random(n, n * e_factor, seed);
+        let k = k.min(n);
+        let p = partition(&g, &PartitionConfig::new(k).with_seed(seed));
+        let sc = p.sparse_connections(&g);
+        prop_assert_eq!(sc.intra_edges + sc.inter_edges, g.num_edges());
+        prop_assert_eq!(sc.inter_edges, p.edge_cut(&g));
+    }
+
+    #[test]
+    fn external_sources_are_sorted_unique_and_external(
+        n in 8usize..100,
+        seed in 0u64..500,
+    ) {
+        let g = uniform_random(n, n * 3, seed);
+        let k = 3.min(n);
+        let p = partition(&g, &PartitionConfig::new(k).with_seed(seed));
+        let sc = p.sparse_connections(&g);
+        for (part, sources) in sc.external_sources.iter().enumerate() {
+            for w in sources.windows(2) {
+                prop_assert!(w[0] < w[1], "not sorted/unique");
+            }
+            for &s in sources {
+                prop_assert_ne!(p.part_of(s as usize) as usize, part,
+                    "external source inside its own part");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_is_bounded(
+        n in 30usize..150,
+        seed in 0u64..500,
+    ) {
+        let g = uniform_random(n, n * 4, seed);
+        let p = partition(&g, &PartitionConfig::new(4).with_seed(seed));
+        // Allow slack beyond the configured 1.05: initial seeds + integer
+        // rounding on small graphs. The invariant is "no part hogs the graph".
+        prop_assert!(p.balance() < 2.0, "balance {}", p.balance());
+    }
+}

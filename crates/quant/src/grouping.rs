@@ -1,0 +1,135 @@
+//! In-degree → quantization-parameter-group mapping.
+//!
+//! The paper learns `(s_d, b_d)` per distinct degree `d` up to the graph's
+//! maximum degree. Real degree ranges reach into the thousands (Reddit), so
+//! we keep exact per-degree parameters up to a cap and log-spaced buckets
+//! above it — functionally identical (few distinct high degrees exist) with
+//! a bounded parameter count. DESIGN.md §4.5 records this decision.
+
+use mega_graph::Graph;
+
+/// Maps node in-degrees to parameter-group indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeGrouping {
+    cap: usize,
+    log_buckets: usize,
+}
+
+impl Default for DegreeGrouping {
+    fn default() -> Self {
+        Self {
+            cap: 64,
+            log_buckets: 8,
+        }
+    }
+}
+
+impl DegreeGrouping {
+    /// Grouping with exact parameters for degrees `0..=cap` and
+    /// `log_buckets` logarithmic buckets above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_buckets == 0`.
+    pub fn new(cap: usize, log_buckets: usize) -> Self {
+        assert!(log_buckets > 0, "need at least one overflow bucket");
+        Self { cap, log_buckets }
+    }
+
+    /// Total number of parameter groups.
+    pub fn num_groups(&self) -> usize {
+        self.cap + 1 + self.log_buckets
+    }
+
+    /// Group index of an in-degree.
+    pub fn group_of(&self, in_degree: usize) -> usize {
+        if in_degree <= self.cap {
+            in_degree
+        } else {
+            // log2 distance above the cap, saturating at the last bucket.
+            let above = (in_degree as f64 / self.cap as f64).log2().floor() as usize;
+            self.cap + 1 + above.min(self.log_buckets - 1)
+        }
+    }
+
+    /// Group index per node of `graph`.
+    pub fn node_groups(&self, graph: &Graph) -> Vec<u32> {
+        (0..graph.num_nodes())
+            .map(|v| self.group_of(graph.in_degree(v)) as u32)
+            .collect()
+    }
+
+    /// Number of nodes per group.
+    pub fn group_counts(&self, graph: &Graph) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_groups()];
+        for v in 0..graph.num_nodes() {
+            counts[self.group_of(graph.in_degree(v))] += 1;
+        }
+        counts
+    }
+
+    /// A representative in-degree per group (midpoint), used for reporting.
+    pub fn representative_degree(&self, group: usize) -> usize {
+        if group <= self.cap {
+            group
+        } else {
+            let bucket = group - self.cap - 1;
+            self.cap << (bucket + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::Graph;
+
+    #[test]
+    fn low_degrees_map_to_themselves() {
+        let g = DegreeGrouping::default();
+        for d in 0..=64 {
+            assert_eq!(g.group_of(d), d);
+        }
+    }
+
+    #[test]
+    fn high_degrees_bucket_logarithmically() {
+        let g = DegreeGrouping::default();
+        assert_eq!(g.group_of(65), 65); // first overflow bucket (64..128)
+        assert_eq!(g.group_of(127), 65);
+        assert_eq!(g.group_of(128), 66); // 128..256
+        assert_eq!(g.group_of(255), 66);
+        assert_eq!(g.group_of(1 << 20), g.num_groups() - 1); // saturates
+    }
+
+    #[test]
+    fn num_groups_matches_layout() {
+        let g = DegreeGrouping::new(10, 4);
+        assert_eq!(g.num_groups(), 15);
+        assert!(g.group_of(usize::MAX / 2) < g.num_groups());
+    }
+
+    #[test]
+    fn node_groups_and_counts_agree() {
+        let g = Graph::from_directed_edges(5, vec![(0, 1), (2, 1), (3, 1), (4, 0)]);
+        let grouping = DegreeGrouping::new(4, 2);
+        let groups = grouping.node_groups(&g);
+        assert_eq!(groups[1], 3); // in-degree 3
+        assert_eq!(groups[0], 1);
+        assert_eq!(groups[2], 0);
+        let counts = grouping.group_counts(&g);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert_eq!(counts[0], 3); // nodes 2, 3, 4
+    }
+
+    #[test]
+    fn representative_degrees_are_monotone() {
+        let g = DegreeGrouping::default();
+        let mut prev = 0;
+        for group in 0..g.num_groups() {
+            let d = g.representative_degree(group);
+            assert!(d >= prev, "group {group}: {d} < {prev}");
+            prev = d;
+        }
+    }
+}

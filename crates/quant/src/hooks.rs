@@ -1,0 +1,634 @@
+//! Forward hooks that insert quantization ops into the GNN forward pass.
+//!
+//! [`DegreeAwareHook`] implements the paper's method: per-degree-group
+//! learnable `(scale, bitwidth)` for hidden feature maps plus per-column
+//! 4-bit weight quantization. [`DqHook`] implements the Degree-Quant
+//! baseline \[47\]: one uniform bitwidth, per-tensor learnable scales, and
+//! stochastic protective masking of high-degree nodes during training.
+
+use std::rc::Rc;
+
+use mega_gnn::ForwardHook;
+use mega_graph::Graph;
+use mega_tensor::{Matrix, Optimizer, Tape, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grouping::DegreeGrouping;
+use crate::ops::{
+    effective_bits, effective_scale, feature_quant_forward, weight_quant_forward,
+    FeatureQuantOp, MemoryLossOp, WeightQuantOp, FEATURE_BITS_RANGE,
+};
+use crate::quantizer::{lsq_init_scale, qmax};
+
+/// Memory-penalty configuration attached to a [`DegreeAwareHook`].
+#[derive(Debug, Clone)]
+pub struct MemoryConfig {
+    /// Feature dimension of each learnable (hidden) layer.
+    pub hidden_dims: Vec<usize>,
+    /// Node count per degree group.
+    pub group_counts: Vec<usize>,
+    /// Constant contribution in bits (calibrated input layer).
+    pub constant_bits: f64,
+    /// Target memory in KB (Eq. 4's `M_target`).
+    pub m_target_kb: f64,
+}
+
+/// The Degree-Aware mixed-precision quantization hook (paper §IV).
+#[derive(Debug)]
+pub struct DegreeAwareHook {
+    node_groups: Rc<Vec<u32>>,
+    num_groups: usize,
+    /// Learnable per-group scales, one table per hidden feature map.
+    pub feature_scales: Vec<Matrix>,
+    /// Learnable per-group continuous bitwidths, one table per hidden map.
+    pub feature_bits: Vec<Matrix>,
+    /// Learnable per-column weight scales, one per layer (lazily sized).
+    pub weight_scales: Vec<Option<Matrix>>,
+    weight_bits: u8,
+    scales_initialized: Vec<bool>,
+    memory: Option<MemoryConfig>,
+    // Recorded per forward pass.
+    rec_feature_scale_vars: Vec<Option<VarId>>,
+    rec_feature_bit_vars: Vec<Option<VarId>>,
+    rec_weight_scale_vars: Vec<Option<VarId>>,
+}
+
+impl DegreeAwareHook {
+    /// Creates the hook for a model with `num_layers` layers on `graph`.
+    ///
+    /// `init_bits` seeds every group's continuous bitwidth (the paper starts
+    /// high and lets the memory penalty pull it down).
+    pub fn new(
+        graph: &Graph,
+        grouping: &DegreeGrouping,
+        num_layers: usize,
+        init_bits: f32,
+    ) -> Self {
+        let num_groups = grouping.num_groups();
+        let hidden_maps = num_layers.saturating_sub(1);
+        Self {
+            node_groups: Rc::new(grouping.node_groups(graph)),
+            num_groups,
+            feature_scales: vec![Matrix::zeros(1, num_groups); hidden_maps],
+            feature_bits: vec![Matrix::full(1, num_groups, init_bits); hidden_maps],
+            weight_scales: vec![None; num_layers],
+            weight_bits: 4,
+            scales_initialized: vec![false; hidden_maps],
+            memory: None,
+            rec_feature_scale_vars: vec![None; hidden_maps],
+            rec_feature_bit_vars: vec![None; hidden_maps],
+            rec_weight_scale_vars: vec![None; num_layers],
+        }
+    }
+
+    /// Attaches the Eq. (4) memory penalty.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// The node → group map.
+    pub fn node_groups(&self) -> &Rc<Vec<u32>> {
+        &self.node_groups
+    }
+
+    fn memory_op(&self) -> MemoryLossOp {
+        let m = self
+            .memory
+            .as_ref()
+            .expect("memory penalty not configured; call with_memory");
+        MemoryLossOp {
+            layer_dims: m.hidden_dims.iter().map(|&d| d as f64).collect(),
+            group_counts: m
+                .hidden_dims
+                .iter()
+                .map(|_| m.group_counts.iter().map(|&c| c as f64).collect())
+                .collect(),
+            constant_bits: m.constant_bits,
+            eta: 8.0 * 1024.0,
+            m_target: m.m_target_kb,
+        }
+    }
+
+    /// Adds the memory-penalty scalar to the tape (call after the forward
+    /// pass so the bitwidth variables are recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the penalty was not configured or no forward pass ran.
+    pub fn memory_penalty(&self, tape: &mut Tape) -> VarId {
+        let op = self.memory_op();
+        let bit_vars: Vec<VarId> = self
+            .rec_feature_bit_vars
+            .iter()
+            .map(|v| v.expect("forward pass must run before memory_penalty"))
+            .collect();
+        let tables: Vec<&Matrix> = bit_vars.iter().map(|&v| tape.value(v)).collect();
+        let value = op.forward(&tables);
+        // Reborrow dance: tape.custom needs &mut.
+        let value = value;
+        tape.custom(&bit_vars, value, Box::new(op))
+    }
+
+    /// Current implied feature-memory size in KB (Eq. 4's `S/η`).
+    pub fn current_size_kb(&self) -> f64 {
+        let op = self.memory_op();
+        let tables: Vec<&Matrix> = self.feature_bits.iter().collect();
+        op.size_kb(&tables)
+    }
+
+    /// Applies one optimizer step to the quantization parameters using the
+    /// gradients recorded on `tape`, then re-clamps.
+    ///
+    /// Scales and bitwidths use separate optimizers: bitwidths need a much
+    /// larger step (they traverse an integer range of 1..8 within a training
+    /// run) than the continuous scales.
+    pub fn step(
+        &mut self,
+        tape: &Tape,
+        scale_opt: &mut dyn Optimizer,
+        bits_opt: &mut dyn Optimizer,
+    ) {
+        let grad_of = |tape: &Tape, v: Option<VarId>, like: &Matrix| -> Matrix {
+            v.and_then(|v| tape.try_grad(v).cloned())
+                .unwrap_or_else(|| Matrix::zeros(like.rows(), like.cols()))
+        };
+        // Scales (features + weights).
+        let mut grads: Vec<Matrix> = Vec::new();
+        for (i, m) in self.feature_scales.iter().enumerate() {
+            grads.push(grad_of(tape, self.rec_feature_scale_vars[i], m));
+        }
+        for (i, m) in self.weight_scales.iter().enumerate() {
+            if let Some(m) = m {
+                grads.push(grad_of(tape, self.rec_weight_scale_vars[i], m));
+            }
+        }
+        let mut params: Vec<&mut Matrix> = Vec::new();
+        for m in self.feature_scales.iter_mut() {
+            params.push(m);
+        }
+        for m in self.weight_scales.iter_mut().flatten() {
+            params.push(m);
+        }
+        let refs: Vec<&Matrix> = grads.iter().collect();
+        scale_opt.step(&mut params, &refs);
+        // Bitwidths.
+        let mut bgrads: Vec<Matrix> = Vec::new();
+        for (i, m) in self.feature_bits.iter().enumerate() {
+            bgrads.push(grad_of(tape, self.rec_feature_bit_vars[i], m));
+        }
+        let mut bparams: Vec<&mut Matrix> = Vec::new();
+        for m in self.feature_bits.iter_mut() {
+            bparams.push(m);
+        }
+        let brefs: Vec<&Matrix> = bgrads.iter().collect();
+        bits_opt.step(&mut bparams, &brefs);
+        // Clamp bitwidths into the representable range.
+        for bits in self.feature_bits.iter_mut() {
+            for b in bits.as_mut_slice() {
+                *b = b.clamp(FEATURE_BITS_RANGE.0, FEATURE_BITS_RANGE.1);
+            }
+        }
+    }
+
+    /// Rounded per-group bitwidth table of hidden map `i`.
+    pub fn bit_table(&self, i: usize) -> Vec<u8> {
+        self.feature_bits[i]
+            .row(0)
+            .iter()
+            .map(|&b| effective_bits(b))
+            .collect()
+    }
+
+    /// Per-node bitwidths of hidden map `i`.
+    pub fn node_bits(&self, i: usize) -> Vec<u8> {
+        let table = self.bit_table(i);
+        self.node_groups
+            .iter()
+            .map(|&g| table[g as usize])
+            .collect()
+    }
+}
+
+impl ForwardHook for DegreeAwareHook {
+    fn begin(&mut self, _tape: &mut Tape) {
+        for v in self.rec_feature_scale_vars.iter_mut() {
+            *v = None;
+        }
+        for v in self.rec_feature_bit_vars.iter_mut() {
+            *v = None;
+        }
+        for v in self.rec_weight_scale_vars.iter_mut() {
+            *v = None;
+        }
+    }
+
+    fn transform_weight(&mut self, tape: &mut Tape, layer: usize, w: VarId) -> VarId {
+        if self.weight_scales[layer].is_none() {
+            // Lazy per-column LSQ init from the first observed weight value.
+            let wv = tape.value(w);
+            let mut s = Matrix::zeros(1, wv.cols());
+            for c in 0..wv.cols() {
+                let col = (0..wv.rows()).map(|r| wv.get(r, c));
+                s.set(0, c, lsq_init_scale(col, self.weight_bits));
+            }
+            self.weight_scales[layer] = Some(s);
+        }
+        let scales = self.weight_scales[layer].clone().expect("just initialized");
+        let s_var = tape.param(scales);
+        self.rec_weight_scale_vars[layer] = Some(s_var);
+        let out = weight_quant_forward(tape.value(w), tape.value(s_var), self.weight_bits);
+        tape.custom(
+            &[w, s_var],
+            out,
+            Box::new(WeightQuantOp {
+                bits: self.weight_bits,
+            }),
+        )
+    }
+
+    fn transform_activation(
+        &mut self,
+        tape: &mut Tape,
+        layer: usize,
+        h: VarId,
+    ) -> VarId {
+        let i = layer - 1; // activation entering layer `layer`
+        if !self.scales_initialized[i] {
+            // Per-group LSQ init from the first observed activation.
+            let hv = tape.value(h);
+            let mut sums = vec![0.0f64; self.num_groups];
+            let mut counts = vec![0usize; self.num_groups];
+            for v in 0..hv.rows() {
+                let g = self.node_groups[v] as usize;
+                for &x in hv.row(v) {
+                    sums[g] += x.abs() as f64;
+                    counts[g] += 1;
+                }
+            }
+            for g in 0..self.num_groups {
+                let bits = effective_bits(self.feature_bits[i].get(0, g));
+                let mean = if counts[g] == 0 {
+                    0.0
+                } else {
+                    sums[g] / counts[g] as f64
+                };
+                let s = if mean == 0.0 {
+                    1e-3
+                } else {
+                    (2.0 * mean / (qmax(bits) as f64).sqrt()).max(1e-6)
+                };
+                self.feature_scales[i].set(0, g, s as f32);
+            }
+            self.scales_initialized[i] = true;
+        }
+        let s_var = tape.param(self.feature_scales[i].clone());
+        let b_var = tape.param(self.feature_bits[i].clone());
+        self.rec_feature_scale_vars[i] = Some(s_var);
+        self.rec_feature_bit_vars[i] = Some(b_var);
+        let out = feature_quant_forward(
+            tape.value(h),
+            tape.value(s_var),
+            tape.value(b_var),
+            &self.node_groups,
+        );
+        tape.custom(
+            &[h, s_var, b_var],
+            out,
+            Box::new(FeatureQuantOp {
+                groups: Rc::clone(&self.node_groups),
+                num_groups: self.num_groups,
+            }),
+        )
+    }
+}
+
+/// Degree-Quant (DQ) fake quantization with protective masking.
+#[derive(Debug)]
+struct DqFeatureOp {
+    mask: Rc<Vec<bool>>, // true = protected (stays FP32 this step)
+    bits: u8,
+}
+
+impl mega_tensor::CustomGrad for DqFeatureOp {
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>> {
+        let (h, scale) = (inputs[0], inputs[1]);
+        let alpha = effective_scale(scale.get(0, 0));
+        let sign_s = scale.get(0, 0).signum();
+        let q = qmax(self.bits) as f32;
+        let mut gh = Matrix::zeros(h.rows(), h.cols());
+        let mut gs = Matrix::zeros(1, 1);
+        let n_quant = self
+            .mask
+            .iter()
+            .filter(|&&m| !m)
+            .count()
+            .max(1);
+        let s_norm = 1.0 / (((n_quant * h.cols()) as f32 * q).sqrt().max(1.0));
+        for v in 0..h.rows() {
+            if self.mask[v] {
+                // Protected row: identity op.
+                for (c, &g) in out_grad.row(v).iter().enumerate() {
+                    gh.set(v, c, g);
+                }
+                continue;
+            }
+            for (c, (&x, &g)) in h.row(v).iter().zip(out_grad.row(v)).enumerate() {
+                let ratio = x.abs() / alpha;
+                let ds = if ratio < q {
+                    gh.set(v, c, g);
+                    ((ratio + 0.5).floor() - ratio) * x.signum()
+                } else {
+                    q * x.signum()
+                };
+                gs.set(0, 0, gs.get(0, 0) + g * ds * s_norm * sign_s);
+            }
+        }
+        vec![Some(gh), Some(gs)]
+    }
+}
+
+/// The Degree-Quant baseline hook \[47\]: uniform bitwidth with per-tensor
+/// learnable scales and stochastic protective masking of high-in-degree
+/// nodes during training.
+#[derive(Debug)]
+pub struct DqHook {
+    bits: u8,
+    /// Masking probability per node (∝ in-degree percentile, 0..=p_max).
+    mask_prob: Vec<f32>,
+    /// Per-hidden-map learnable scale.
+    pub feature_scales: Vec<Matrix>,
+    /// Per-layer learnable per-column weight scales.
+    pub weight_scales: Vec<Option<Matrix>>,
+    scales_initialized: Vec<bool>,
+    /// `true` during training (enables masking).
+    pub train_mode: bool,
+    epoch_seed: u64,
+    rec_feature_scale_vars: Vec<Option<VarId>>,
+    rec_weight_scale_vars: Vec<Option<VarId>>,
+}
+
+impl DqHook {
+    /// Maximum protective-masking probability (DQ's high-degree nodes).
+    pub const P_MAX: f32 = 0.2;
+
+    /// Creates a DQ hook quantizing features and weights at `bits`.
+    pub fn new(graph: &Graph, num_layers: usize, bits: u8) -> Self {
+        // Percentile rank of each node's in-degree.
+        let n = graph.num_nodes();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| graph.in_degree(v as usize));
+        let mut rank = vec![0.0f32; n];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i as f32 / n.max(1) as f32;
+        }
+        let mask_prob = rank.iter().map(|&r| r * Self::P_MAX).collect();
+        let hidden_maps = num_layers.saturating_sub(1);
+        Self {
+            bits,
+            mask_prob,
+            feature_scales: vec![Matrix::zeros(1, 1); hidden_maps],
+            weight_scales: vec![None; num_layers],
+            scales_initialized: vec![false; hidden_maps],
+            train_mode: true,
+            epoch_seed: 0,
+            rec_feature_scale_vars: vec![None; hidden_maps],
+            rec_weight_scale_vars: vec![None; num_layers],
+        }
+    }
+
+    /// Uniform bitwidth of this baseline.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Sets the per-epoch seed that drives protective-mask sampling.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch_seed = epoch;
+    }
+
+    /// Optimizer step for the learnable scales.
+    pub fn step(&mut self, tape: &Tape, opt: &mut dyn Optimizer) {
+        let mut grads: Vec<Matrix> = Vec::new();
+        let mut params: Vec<&mut Matrix> = Vec::new();
+        for (i, m) in self.feature_scales.iter().enumerate() {
+            let g = self.rec_feature_scale_vars[i]
+                .and_then(|v| tape.try_grad(v).cloned())
+                .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()));
+            grads.push(g);
+        }
+        for (i, m) in self.weight_scales.iter().enumerate() {
+            if let Some(m) = m {
+                let g = self.rec_weight_scale_vars[i]
+                    .and_then(|v| tape.try_grad(v).cloned())
+                    .unwrap_or_else(|| Matrix::zeros(m.rows(), m.cols()));
+                grads.push(g);
+            }
+        }
+        for m in self.feature_scales.iter_mut() {
+            params.push(m);
+        }
+        for m in self.weight_scales.iter_mut().flatten() {
+            params.push(m);
+        }
+        let refs: Vec<&Matrix> = grads.iter().collect();
+        opt.step(&mut params, &refs);
+    }
+}
+
+impl ForwardHook for DqHook {
+    fn begin(&mut self, _tape: &mut Tape) {
+        for v in self.rec_feature_scale_vars.iter_mut() {
+            *v = None;
+        }
+        for v in self.rec_weight_scale_vars.iter_mut() {
+            *v = None;
+        }
+    }
+
+    fn transform_weight(&mut self, tape: &mut Tape, layer: usize, w: VarId) -> VarId {
+        if self.weight_scales[layer].is_none() {
+            let wv = tape.value(w);
+            let mut s = Matrix::zeros(1, wv.cols());
+            for c in 0..wv.cols() {
+                let col = (0..wv.rows()).map(|r| wv.get(r, c));
+                s.set(0, c, lsq_init_scale(col, self.bits));
+            }
+            self.weight_scales[layer] = Some(s);
+        }
+        let s_var = tape.param(self.weight_scales[layer].clone().expect("init"));
+        self.rec_weight_scale_vars[layer] = Some(s_var);
+        let out = weight_quant_forward(tape.value(w), tape.value(s_var), self.bits);
+        tape.custom(
+            &[w, s_var],
+            out,
+            Box::new(WeightQuantOp { bits: self.bits }),
+        )
+    }
+
+    fn transform_activation(
+        &mut self,
+        tape: &mut Tape,
+        layer: usize,
+        h: VarId,
+    ) -> VarId {
+        let i = layer - 1;
+        if !self.scales_initialized[i] {
+            let hv = tape.value(h);
+            let s = lsq_init_scale(hv.as_slice().iter().copied(), self.bits);
+            self.feature_scales[i].set(0, 0, s);
+            self.scales_initialized[i] = true;
+        }
+        let s_var = tape.param(self.feature_scales[i].clone());
+        self.rec_feature_scale_vars[i] = Some(s_var);
+        // Protective mask: sampled fresh per epoch & layer during training.
+        let n = tape.value(h).rows();
+        let mask: Vec<bool> = if self.train_mode {
+            let mut rng = StdRng::seed_from_u64(
+                self.epoch_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(layer as u64),
+            );
+            (0..n).map(|v| rng.gen::<f32>() < self.mask_prob[v]).collect()
+        } else {
+            vec![false; n]
+        };
+        let mask = Rc::new(mask);
+        let hv = tape.value(h);
+        let alpha = effective_scale(tape.value(s_var).get(0, 0));
+        let q = qmax(self.bits) as f32;
+        let mut out = hv.clone();
+        for v in 0..n {
+            if mask[v] {
+                continue;
+            }
+            for x in out.row_mut(v) {
+                let level = (x.abs() / alpha + 0.5).floor().min(q);
+                *x = level * alpha * x.signum();
+            }
+        }
+        tape.custom(
+            &[h, s_var],
+            out,
+            Box::new(DqFeatureOp {
+                mask,
+                bits: self.bits,
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::datasets::DatasetSpec;
+    use mega_gnn::{build_adjacency, Gnn, GnnKind, ModelConfig};
+
+    fn setup() -> (mega_graph::Dataset, Gnn, Rc<mega_tensor::CsrMatrix>) {
+        let d = DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(48)
+            .materialize();
+        let cfg = ModelConfig::for_dataset(GnnKind::Gcn, &d);
+        let adj = build_adjacency(&d.graph, cfg.kind.aggregator(3));
+        (d, Gnn::new(cfg), adj)
+    }
+
+    #[test]
+    fn degree_aware_hook_quantizes_forward() {
+        let (d, model, adj) = setup();
+        let grouping = DegreeGrouping::default();
+        let mut hook = DegreeAwareHook::new(&d.graph, &grouping, 2, 4.0);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &d, &adj, &mut hook, None);
+        let logits = tape.value(out.logits);
+        assert!(logits.as_slice().iter().all(|x| x.is_finite()));
+        // Scales were lazily initialized.
+        assert!(hook.feature_scales[0].max_abs() > 0.0);
+    }
+
+    #[test]
+    fn degree_aware_memory_penalty_backpropagates_to_bits() {
+        let (d, model, adj) = setup();
+        let grouping = DegreeGrouping::default();
+        let counts = grouping.group_counts(&d.graph);
+        let mut hook = DegreeAwareHook::new(&d.graph, &grouping, 2, 6.0).with_memory(
+            MemoryConfig {
+                hidden_dims: vec![128],
+                group_counts: counts,
+                constant_bits: 0.0,
+                // Absurdly small target => strong downward pressure.
+                m_target_kb: 0.5,
+            },
+        );
+        let mut tape = Tape::new();
+        let _ = model.forward(&mut tape, &d, &adj, &mut hook, None);
+        let mem = hook.memory_penalty(&mut tape);
+        assert!(tape.value(mem).get(0, 0) > 0.0);
+        tape.backward(mem);
+        let before = hook.feature_bits[0].clone();
+        let mut sopt = mega_tensor::Sgd::new(0.1).with_momentum(0.0);
+        let mut bopt = mega_tensor::Sgd::new(0.5).with_momentum(0.0);
+        hook.step(&tape, &mut sopt, &mut bopt);
+        let after = &hook.feature_bits[0];
+        // At least the populated groups must have moved down.
+        let moved = (0..before.cols())
+            .filter(|&g| after.get(0, g) < before.get(0, g))
+            .count();
+        assert!(moved > 0, "no bitwidth moved toward target");
+    }
+
+    #[test]
+    fn dq_hook_quantizes_all_rows_in_eval_mode() {
+        let (d, model, adj) = setup();
+        let mut hook = DqHook::new(&d.graph, 2, 4);
+        hook.train_mode = false;
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &d, &adj, &mut hook, None);
+        assert!(tape
+            .value(out.logits)
+            .as_slice()
+            .iter()
+            .all(|x| x.is_finite()));
+        assert!(hook.feature_scales[0].get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn dq_mask_probability_grows_with_degree() {
+        let (d, _, _) = setup();
+        let hook = DqHook::new(&d.graph, 2, 4);
+        // Max in-degree node has the highest masking probability.
+        let vmax = (0..d.graph.num_nodes())
+            .max_by_key(|&v| d.graph.in_degree(v))
+            .unwrap();
+        let vmin = (0..d.graph.num_nodes())
+            .min_by_key(|&v| d.graph.in_degree(v))
+            .unwrap();
+        assert!(hook.mask_prob[vmax] > hook.mask_prob[vmin]);
+        assert!(hook.mask_prob.iter().all(|&p| (0.0..=DqHook::P_MAX).contains(&p)));
+    }
+
+    #[test]
+    fn hook_step_updates_quant_parameters() {
+        let (d, model, adj) = setup();
+        let grouping = DegreeGrouping::default();
+        let mut hook = DegreeAwareHook::new(&d.graph, &grouping, 2, 4.0);
+        let mut tape = Tape::new();
+        let out = model.forward(&mut tape, &d, &adj, &mut hook, None);
+        let labels = Rc::new(d.labels.clone());
+        let idx = Rc::new(d.splits.train.clone());
+        let loss = tape.softmax_cross_entropy(out.logits, labels, idx);
+        tape.backward(loss);
+        let before = hook.feature_scales[0].clone();
+        let mut sopt = mega_tensor::Adam::new(0.05);
+        let mut bopt = mega_tensor::Adam::new(0.1);
+        hook.step(&tape, &mut sopt, &mut bopt);
+        assert_ne!(before, hook.feature_scales[0], "scales did not move");
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline calibration of the input feature map.
+//!
+//! The input features `X⁰` are constants, so their per-degree-group
+//! quantization parameters do not need gradient training: for each group we
+//! pick the smallest bitwidth whose quantization error is within tolerance
+//! (binary bag-of-words collapses to 1 bit exactly). The resulting constant
+//! bit count feeds the memory penalty of Eq. (4), and training runs on the
+//! *quantized* inputs so reported accuracy includes input quantization
+//! error.
+
+use mega_graph::datasets::Features;
+
+use crate::quantizer::{fake_quantize, lsq_init_scale, mse, qmax};
+
+/// Calibrated input quantization.
+#[derive(Debug, Clone)]
+pub struct InputQuant {
+    /// Bitwidth per degree group.
+    pub bits: Vec<u8>,
+    /// Scale per degree group.
+    pub scales: Vec<f32>,
+    /// The fake-quantized feature map (training input).
+    pub quantized: Features,
+    /// Total storage in bits: `Σ_v dim · b_{group(v)}`.
+    pub total_bits: f64,
+    /// Per-node bitwidths (for the accelerator's bit assignment).
+    pub node_bits: Vec<u8>,
+}
+
+impl InputQuant {
+    /// Calibrates per-group `(scale, bits)` on `features`.
+    ///
+    /// `rel_mse_tol` bounds the quantization MSE relative to the group's
+    /// mean-square value (default 0.01 = 1% energy loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_groups.len() != features.rows()`.
+    pub fn calibrate(
+        features: &Features,
+        node_groups: &[u32],
+        num_groups: usize,
+        rel_mse_tol: f64,
+    ) -> Self {
+        assert_eq!(
+            node_groups.len(),
+            features.rows(),
+            "group map length mismatch"
+        );
+        // Sample non-zero values per group (zeros quantize exactly).
+        const MAX_SAMPLE: usize = 4096;
+        let mut samples: Vec<Vec<f32>> = vec![Vec::new(); num_groups];
+        for v in 0..features.rows() {
+            let g = node_groups[v] as usize;
+            if samples[g].len() >= MAX_SAMPLE {
+                continue;
+            }
+            for &x in features.row(v) {
+                if x != 0.0 && samples[g].len() < MAX_SAMPLE {
+                    samples[g].push(x);
+                }
+            }
+        }
+        let mut bits = vec![1u8; num_groups];
+        let mut scales = vec![1.0f32; num_groups];
+        for g in 0..num_groups {
+            let vals = &samples[g];
+            if vals.is_empty() {
+                continue;
+            }
+            let energy: f64 = vals.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+                / vals.len() as f64;
+            let tol = energy * rel_mse_tol;
+            let max_abs = vals.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let mut chosen = (8u8, max_abs / qmax(8) as f32);
+            for b in 1u8..=8 {
+                // Two scale candidates: full-range and LSQ-style.
+                let full = (max_abs / qmax(b) as f32).max(1e-8);
+                let lsq = lsq_init_scale(vals.iter().copied(), b);
+                let (alpha, err) = [full, lsq]
+                    .into_iter()
+                    .map(|a| (a, mse(vals, a, b)))
+                    .min_by(|x, y| x.1.total_cmp(&y.1))
+                    .expect("two candidates");
+                if err <= tol {
+                    chosen = (b, alpha);
+                    break;
+                }
+            }
+            bits[g] = chosen.0;
+            scales[g] = chosen.1;
+        }
+        // Apply.
+        let dim = features.dim();
+        let mut data = Vec::with_capacity(features.rows() * dim);
+        let mut total_bits = 0.0f64;
+        let mut node_bits = Vec::with_capacity(features.rows());
+        for v in 0..features.rows() {
+            let g = node_groups[v] as usize;
+            node_bits.push(bits[g]);
+            total_bits += dim as f64 * bits[g] as f64;
+            for &x in features.row(v) {
+                data.push(if x == 0.0 {
+                    0.0
+                } else {
+                    fake_quantize(x, scales[g], bits[g])
+                });
+            }
+        }
+        Self {
+            bits,
+            scales,
+            quantized: Features::from_vec(features.rows(), dim, data),
+            total_bits,
+            node_bits,
+        }
+    }
+
+    /// Mean bitwidth over nodes.
+    pub fn average_bits(&self) -> f64 {
+        if self.node_bits.is_empty() {
+            return 0.0;
+        }
+        self.node_bits.iter().map(|&b| b as f64).sum::<f64>()
+            / self.node_bits.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary_features() -> Features {
+        // 4 nodes × 8 dims, binary.
+        let mut data = vec![0.0f32; 32];
+        for (i, slot) in data.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *slot = 1.0;
+            }
+        }
+        Features::from_vec(4, 8, data)
+    }
+
+    #[test]
+    fn binary_inputs_calibrate_to_one_bit_exactly() {
+        let f = binary_features();
+        let groups = vec![0u32, 0, 1, 1];
+        let iq = InputQuant::calibrate(&f, &groups, 2, 0.01);
+        assert_eq!(iq.bits, vec![1, 1]);
+        assert_eq!(iq.quantized.data(), f.data(), "must be lossless");
+        assert_eq!(iq.total_bits, 4.0 * 8.0);
+    }
+
+    #[test]
+    fn float_inputs_need_more_bits() {
+        // tf-idf style floats in (0.2, 1.0).
+        let data: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 0.2 + 0.013 * i as f32 })
+            .collect();
+        let f = Features::from_vec(8, 8, data);
+        let groups = vec![0u32; 8];
+        let iq = InputQuant::calibrate(&f, &groups, 1, 0.01);
+        assert!(iq.bits[0] >= 3, "bits {:?} too low for floats", iq.bits);
+        // Error bound holds on the whole map.
+        let e: f64 = f
+            .data()
+            .iter()
+            .zip(iq.quantized.data())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum::<f64>()
+            / f.data().len() as f64;
+        let energy: f64 = f.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+            / f.data().len() as f64;
+        assert!(e <= energy * 0.05, "mse {e} vs energy {energy}");
+    }
+
+    #[test]
+    fn zeros_stay_zero() {
+        let f = Features::from_vec(2, 4, vec![0.0; 8]);
+        let iq = InputQuant::calibrate(&f, &[0, 0], 1, 0.01);
+        assert!(iq.quantized.data().iter().all(|&x| x == 0.0));
+        assert_eq!(iq.average_bits(), 1.0);
+    }
+
+    #[test]
+    fn empty_groups_default_to_one_bit() {
+        let f = binary_features();
+        let iq = InputQuant::calibrate(&f, &[0, 0, 0, 0], 3, 0.01);
+        assert_eq!(iq.bits[1], 1);
+        assert_eq!(iq.bits[2], 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Degree-Aware mixed-precision quantization (the paper's §IV) and the
+//! Degree-Quant (DQ) baseline.
+//!
+//! The core observation reproduced here: nodes with higher in-degree have
+//! larger aggregated feature values (Fig. 3) and are rarer (power-law), so a
+//! single shared bitwidth either wastes storage on the many unimportant
+//! nodes or clips the few important ones. Degree-Aware quantization learns a
+//! `(scale αᵈ, bitwidth bᵈ)` pair *per in-degree group* jointly with the
+//! model weights, under a memory-size penalty (Eq. 4/5) that pushes average
+//! bitwidth toward a target.
+//!
+//! Components:
+//!
+//! * [`quantizer`] — the scalar quantizer of Eq. (2) and its error bounds;
+//! * [`grouping`] — in-degree → parameter-group mapping;
+//! * [`ops`] — custom autograd ops: straight-through/LSQ gradients for
+//!   features and weights, and the analytic memory-penalty gradient;
+//! * [`hooks`] — [`DegreeAwareHook`] and [`DqHook`] plugging into
+//!   `mega_gnn::ForwardHook`;
+//! * [`input`] — offline calibration of the (constant) input feature map;
+//! * [`qat`] — the quantization-aware training loop;
+//! * [`report`] — average-bitwidth / compression-ratio accounting and the
+//!   per-node [`BitAssignment`] consumed by the accelerator simulators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grouping;
+pub mod hooks;
+pub mod input;
+pub mod ops;
+pub mod qat;
+pub mod quantizer;
+pub mod report;
+
+pub use grouping::DegreeGrouping;
+pub use hooks::{DegreeAwareHook, DqHook};
+pub use input::InputQuant;
+pub use qat::{QatConfig, QatOutcome, QatTrainer};
+pub use report::{average_bits, compression_ratio, BitAssignment};

@@ -1,0 +1,401 @@
+//! Custom autograd operations implementing the quantizer gradients.
+//!
+//! * [`FeatureQuantOp`] — per-degree-group fake quantization of an
+//!   activation map. Gradients: straight-through to the activations (zero
+//!   where clipped), LSQ to the scales, clip-boundary to the bitwidths.
+//! * [`WeightQuantOp`] — per-column 4-bit fake quantization of a weight
+//!   matrix with LSQ scale gradients (paper §IV: "we quantize W to the same
+//!   bitwidth of 4 bits ... each column of W is endowed with its individual
+//!   learnable quantization scale").
+//! * [`MemoryLossOp`] — the memory penalty of Eq. (4) with its analytic
+//!   gradient with respect to every layer's bitwidth table.
+
+use std::rc::Rc;
+
+use mega_tensor::{CustomGrad, Matrix};
+
+use crate::quantizer::qmax;
+
+/// Clamp range for learnable feature bitwidths.
+pub const FEATURE_BITS_RANGE: (f32, f32) = (1.0, 8.0);
+
+/// Effective integer bitwidth of a continuous parameter (round + clamp).
+pub fn effective_bits(b: f32) -> u8 {
+    b.round().clamp(FEATURE_BITS_RANGE.0, FEATURE_BITS_RANGE.1) as u8
+}
+
+/// Effective positive scale of a learnable scale parameter.
+pub fn effective_scale(s: f32) -> f32 {
+    s.abs().max(1e-8)
+}
+
+/// Forward fake-quantization of a feature map with per-group parameters.
+///
+/// `groups[v]` selects the `(scale, bits)` column for node `v`'s row.
+pub fn feature_quant_forward(
+    h: &Matrix,
+    scales: &Matrix,
+    bits: &Matrix,
+    groups: &[u32],
+) -> Matrix {
+    assert_eq!(h.rows(), groups.len(), "group map length mismatch");
+    let mut out = h.clone();
+    for v in 0..h.rows() {
+        let d = groups[v] as usize;
+        let alpha = effective_scale(scales.get(0, d));
+        let b = effective_bits(bits.get(0, d));
+        let q = qmax(b) as f32;
+        for x in out.row_mut(v) {
+            let level = (x.abs() / alpha + 0.5).floor().min(q);
+            *x = level * alpha * x.signum();
+        }
+    }
+    out
+}
+
+/// Degree-grouped feature quantization (see module docs).
+#[derive(Debug)]
+pub struct FeatureQuantOp {
+    /// Node → parameter-group map.
+    pub groups: Rc<Vec<u32>>,
+    /// Number of parameter groups (columns of the scale/bits inputs).
+    pub num_groups: usize,
+}
+
+impl CustomGrad for FeatureQuantOp {
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>> {
+        let (h, scales, bits) = (inputs[0], inputs[1], inputs[2]);
+        let f = h.cols();
+        let mut gh = Matrix::zeros(h.rows(), f);
+        let mut gs = Matrix::zeros(1, self.num_groups);
+        let mut gb = Matrix::zeros(1, self.num_groups);
+        // Elements contributing per group, for gradient normalization.
+        let mut group_elems = vec![0usize; self.num_groups];
+        for &g in self.groups.iter() {
+            group_elems[g as usize] += f;
+        }
+        for v in 0..h.rows() {
+            let d = self.groups[v] as usize;
+            let alpha = effective_scale(scales.get(0, d));
+            let b_cont = bits.get(0, d);
+            let b = effective_bits(b_cont);
+            let q = qmax(b) as f32;
+            // LSQ gradient scale: 1/sqrt(N_d · Q).
+            let s_norm = 1.0 / ((group_elems[d] as f32 * q).sqrt().max(1.0));
+            let b_norm = 1.0 / (group_elems[d] as f32).max(1.0);
+            let sign_s = scales.get(0, d).signum();
+            for (c, (&x, &g)) in h.row(v).iter().zip(out_grad.row(v)).enumerate() {
+                let ratio = x.abs() / alpha;
+                if ratio < q {
+                    // In range: STE for h, rounding-residual for the scale.
+                    gh.set(v, c, g);
+                    let level = (ratio + 0.5).floor();
+                    let ds = (level - ratio) * x.signum();
+                    gs.set(0, d, gs.get(0, d) + g * ds * s_norm * sign_s);
+                } else {
+                    // Clipped: no activation gradient; scale sees ±Q; the
+                    // bitwidth sees the clip boundary moving, d(αQ(b))/db =
+                    // α·ln2·2^{b−1} (zero at the clamp edges, STE on round).
+                    let ds = q * x.signum();
+                    gs.set(0, d, gs.get(0, d) + g * ds * s_norm * sign_s);
+                    if b_cont > FEATURE_BITS_RANGE.0 && b_cont < FEATURE_BITS_RANGE.1 {
+                        let dq_db =
+                            alpha * std::f32::consts::LN_2 * (2.0f32).powi(b as i32 - 1);
+                        gb.set(
+                            0,
+                            d,
+                            gb.get(0, d) + g * dq_db * x.signum() * b_norm,
+                        );
+                    }
+                }
+            }
+        }
+        vec![Some(gh), Some(gs), Some(gb)]
+    }
+}
+
+/// Forward fake-quantization of a weight matrix with per-column scales at a
+/// fixed bitwidth.
+pub fn weight_quant_forward(w: &Matrix, scales: &Matrix, bits: u8) -> Matrix {
+    let q = qmax(bits) as f32;
+    let mut out = w.clone();
+    for r in 0..w.rows() {
+        for c in 0..w.cols() {
+            let alpha = effective_scale(scales.get(0, c));
+            let x = w.get(r, c);
+            let level = (x.abs() / alpha + 0.5).floor().min(q);
+            out.set(r, c, level * alpha * x.signum());
+        }
+    }
+    out
+}
+
+/// Per-column weight quantization at a fixed bitwidth (default 4).
+#[derive(Debug)]
+pub struct WeightQuantOp {
+    /// Fixed bitwidth (the paper uses 4 for all weights).
+    pub bits: u8,
+}
+
+impl CustomGrad for WeightQuantOp {
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>> {
+        let (w, scales) = (inputs[0], inputs[1]);
+        let q = qmax(self.bits) as f32;
+        let mut gw = Matrix::zeros(w.rows(), w.cols());
+        let mut gs = Matrix::zeros(1, w.cols());
+        let s_norm = 1.0 / ((w.rows() as f32 * q).sqrt().max(1.0));
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let alpha = effective_scale(scales.get(0, c));
+                let sign_s = scales.get(0, c).signum();
+                let x = w.get(r, c);
+                let g = out_grad.get(r, c);
+                let ratio = x.abs() / alpha;
+                let ds = if ratio < q {
+                    gw.set(r, c, g);
+                    let level = (ratio + 0.5).floor();
+                    (level - ratio) * x.signum()
+                } else {
+                    q * x.signum()
+                };
+                gs.set(0, c, gs.get(0, c) + g * ds * s_norm * sign_s);
+            }
+        }
+        vec![Some(gw), Some(gs)]
+    }
+}
+
+/// The memory penalty of Eq. (4):
+/// `L_mem = (S/η − M_target)²` with
+/// `S = Σ_l Σ_i dim_l · b_i^l` (bits) plus a constant term for statically
+/// quantized layers (the calibrated input features).
+#[derive(Debug)]
+pub struct MemoryLossOp {
+    /// Feature dimension of each learnable layer (same order as inputs).
+    pub layer_dims: Vec<f64>,
+    /// Per layer: node count per parameter group.
+    pub group_counts: Vec<Vec<f64>>,
+    /// Constant contribution in bits (e.g. the calibrated input layer).
+    pub constant_bits: f64,
+    /// Unit conversion η (paper: 8·1024, bits → KB).
+    pub eta: f64,
+    /// Target memory in KB.
+    pub m_target: f64,
+}
+
+impl MemoryLossOp {
+    /// Computes the forward value from the current bitwidth tables.
+    pub fn forward(&self, bit_tables: &[&Matrix]) -> Matrix {
+        let deviation = self.deviation(bit_tables);
+        Matrix::from_vec(1, 1, vec![(deviation * deviation) as f32])
+    }
+
+    /// Current model size in KB implied by the bitwidth tables.
+    pub fn size_kb(&self, bit_tables: &[&Matrix]) -> f64 {
+        let mut total_bits = self.constant_bits;
+        for (l, table) in bit_tables.iter().enumerate() {
+            for d in 0..table.cols() {
+                let b = table.get(0, d).clamp(
+                    FEATURE_BITS_RANGE.0,
+                    FEATURE_BITS_RANGE.1,
+                ) as f64;
+                total_bits += self.layer_dims[l] * self.group_counts[l][d] * b;
+            }
+        }
+        total_bits / self.eta
+    }
+
+    fn deviation(&self, bit_tables: &[&Matrix]) -> f64 {
+        self.size_kb(bit_tables) - self.m_target
+    }
+}
+
+impl CustomGrad for MemoryLossOp {
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        _output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>> {
+        let deviation = self.deviation(inputs);
+        let upstream = out_grad.get(0, 0) as f64;
+        let mut grads = Vec::with_capacity(inputs.len());
+        for (l, table) in inputs.iter().enumerate() {
+            let mut g = Matrix::zeros(1, table.cols());
+            for d in 0..table.cols() {
+                let b = table.get(0, d);
+                // Clamp acts as a hard stop (zero gradient outside).
+                if b > FEATURE_BITS_RANGE.0 && b < FEATURE_BITS_RANGE.1 {
+                    let dv = 2.0
+                        * deviation
+                        * self.layer_dims[l]
+                        * self.group_counts[l][d]
+                        / self.eta;
+                    g.set(0, d, (dv * upstream) as f32);
+                }
+            }
+            grads.push(Some(g));
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_forward_applies_group_parameters() {
+        let h = Matrix::from_rows(&[&[0.9, -2.6], &[0.9, -2.6]]);
+        let scales = Matrix::from_rows(&[&[1.0, 0.5]]);
+        let bits = Matrix::from_rows(&[&[2.0, 8.0]]);
+        let groups = vec![0u32, 1u32];
+        let out = feature_quant_forward(&h, &scales, &bits, &groups);
+        // Node 0: alpha=1, b=2 (Q=1): 0.9 -> 1.0 ; -2.6 clamps to -1.0.
+        assert_eq!(out.row(0), &[1.0, -1.0]);
+        // Node 1: alpha=0.5, b=8: 0.9 -> 1.0 ; -2.6 -> -2.5.
+        assert_eq!(out.row(1), &[1.0, -2.5]);
+    }
+
+    #[test]
+    fn feature_backward_ste_masks_clipped() {
+        let h = Matrix::from_rows(&[&[0.4, 5.0]]);
+        let scales = Matrix::from_rows(&[&[1.0]]);
+        let bits = Matrix::from_rows(&[&[2.0]]);
+        let op = FeatureQuantOp {
+            groups: Rc::new(vec![0]),
+            num_groups: 1,
+        };
+        let out = feature_quant_forward(&h, &scales, &bits, &[0]);
+        let gout = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let grads = op.backward(&[&h, &scales, &bits], &out, &gout);
+        let gh = grads[0].as_ref().unwrap();
+        assert_eq!(gh.get(0, 0), 1.0, "in-range passes through");
+        assert_eq!(gh.get(0, 1), 0.0, "clipped is masked");
+        // Clipped element pushes bitwidth up (positive gradient direction
+        // increases representable range; loss gradient may flip sign).
+        let gb = grads[2].as_ref().unwrap();
+        assert!(gb.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn weight_quant_is_per_column() {
+        let w = Matrix::from_rows(&[&[0.9, 0.9]]);
+        let scales = Matrix::from_rows(&[&[1.0, 0.1]]);
+        let out = weight_quant_forward(&w, &scales, 4);
+        assert_eq!(out.get(0, 0), 1.0);
+        assert!((out.get(0, 1) - 0.7).abs() < 1e-6); // clamps at 7 * 0.1
+    }
+
+    #[test]
+    fn weight_backward_shapes_and_ste() {
+        let w = Matrix::from_rows(&[&[0.2], &[100.0]]);
+        let scales = Matrix::from_rows(&[&[1.0]]);
+        let op = WeightQuantOp { bits: 4 };
+        let out = weight_quant_forward(&w, &scales, 4);
+        let gout = Matrix::full(2, 1, 1.0);
+        let grads = op.backward(&[&w, &scales], &out, &gout);
+        let gw = grads[0].as_ref().unwrap();
+        assert_eq!(gw.get(0, 0), 1.0);
+        assert_eq!(gw.get(1, 0), 0.0);
+        assert!(grads[1].as_ref().unwrap().get(0, 0) != 0.0);
+    }
+
+    #[test]
+    fn memory_loss_zero_at_target() {
+        let op = MemoryLossOp {
+            layer_dims: vec![128.0],
+            group_counts: vec![vec![10.0, 20.0]],
+            constant_bits: 0.0,
+            eta: 8.0 * 1024.0,
+            m_target: 128.0 * (10.0 * 4.0 + 20.0 * 4.0) / (8.0 * 1024.0),
+        };
+        let bits = Matrix::from_rows(&[&[4.0, 4.0]]);
+        let loss = op.forward(&[&bits]);
+        assert!(loss.get(0, 0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_gradient_points_toward_target() {
+        let op = MemoryLossOp {
+            layer_dims: vec![100.0],
+            group_counts: vec![vec![50.0]],
+            constant_bits: 0.0,
+            eta: 8.0 * 1024.0,
+            m_target: 100.0 * 50.0 * 2.0 / (8.0 * 1024.0), // target = 2 bits
+        };
+        let bits = Matrix::from_rows(&[&[6.0]]); // above target
+        let out = op.forward(&[&bits]);
+        assert!(out.get(0, 0) > 0.0);
+        let gout = Matrix::from_vec(1, 1, vec![1.0]);
+        let grads = op.backward(&[&bits], &out, &gout);
+        let g = grads[0].as_ref().unwrap().get(0, 0);
+        assert!(g > 0.0, "gradient must push bits down (positive grad)");
+        // Below target: gradient flips.
+        let bits_low = Matrix::from_rows(&[&[1.5]]);
+        let out = op.forward(&[&bits_low]);
+        let grads = op.backward(&[&bits_low], &out, &gout);
+        assert!(grads[0].as_ref().unwrap().get(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn memory_gradient_matches_finite_difference() {
+        let op = MemoryLossOp {
+            layer_dims: vec![64.0, 128.0],
+            group_counts: vec![vec![5.0, 7.0], vec![5.0, 7.0]],
+            constant_bits: 1000.0,
+            eta: 8.0 * 1024.0,
+            m_target: 1.0,
+        };
+        let b0 = Matrix::from_rows(&[&[3.0, 5.0]]);
+        let b1 = Matrix::from_rows(&[&[2.5, 6.5]]);
+        let out = op.forward(&[&b0, &b1]);
+        let gout = Matrix::from_vec(1, 1, vec![1.0]);
+        let grads = op.backward(&[&b0, &b1], &out, &gout);
+        let eps = 1e-3f32;
+        for (li, table) in [&b0, &b1].iter().enumerate() {
+            for d in 0..2 {
+                let mut plus = (*table).clone();
+                plus.set(0, d, plus.get(0, d) + eps);
+                let mut minus = (*table).clone();
+                minus.set(0, d, minus.get(0, d) - eps);
+                let (fp, fm) = if li == 0 {
+                    (
+                        op.forward(&[&plus, &b1]).get(0, 0),
+                        op.forward(&[&minus, &b1]).get(0, 0),
+                    )
+                } else {
+                    (
+                        op.forward(&[&b0, &plus]).get(0, 0),
+                        op.forward(&[&b0, &minus]).get(0, 0),
+                    )
+                };
+                let fd = (fp - fm) / (2.0 * eps);
+                let analytic = grads[li].as_ref().unwrap().get(0, d);
+                let tol = (fd.abs() * 0.05).max(0.05);
+                assert!(
+                    (analytic - fd).abs() < tol,
+                    "layer {li} group {d}: analytic {analytic} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_bits_clamps_and_rounds() {
+        assert_eq!(effective_bits(0.2), 1);
+        assert_eq!(effective_bits(3.4), 3);
+        assert_eq!(effective_bits(3.6), 4);
+        assert_eq!(effective_bits(12.0), 8);
+    }
+}

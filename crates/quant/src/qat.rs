@@ -1,0 +1,515 @@
+//! Quantization-aware training loops for Degree-Aware (ours) and DQ
+//! (baseline) quantization.
+
+use std::rc::Rc;
+
+use mega_gnn::{accuracy, build_adjacency, Gnn, GnnKind, ModelConfig};
+use mega_graph::datasets::Dataset;
+use mega_tensor::{Adam, CsrMatrix, Matrix, Optimizer, Tape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::grouping::DegreeGrouping;
+use crate::hooks::{DegreeAwareHook, DqHook, MemoryConfig};
+use crate::input::InputQuant;
+use crate::quantizer::{fake_quantize, lsq_init_scale};
+use crate::report::BitAssignment;
+
+/// Hyper-parameters for quantization-aware training.
+#[derive(Debug, Clone)]
+pub struct QatConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate for model parameters.
+    pub lr: f32,
+    /// Learning rate for quantization scales.
+    pub quant_lr: f32,
+    /// Learning rate for continuous bitwidths (needs to be large enough to
+    /// traverse the 1..8 range within one training run).
+    pub bits_lr: f32,
+    /// Dropout on hidden activations.
+    pub dropout: f32,
+    /// Early-stopping patience (0 disables).
+    pub patience: usize,
+    /// Target element-weighted average bitwidth over all feature maps
+    /// (drives Eq. 4's `M_target`).
+    pub target_avg_bits: f32,
+    /// Penalty factor λ; `None` selects `0.5 / M_target²`, which normalizes
+    /// the squared-KB penalty to O(1).
+    pub lambda: Option<f32>,
+    /// Initial continuous bitwidth for every degree group.
+    pub init_bits: f32,
+    /// Relative MSE tolerance for input calibration.
+    pub input_mse_tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QatConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 120,
+            lr: 0.01,
+            quant_lr: 0.02,
+            bits_lr: 0.15,
+            dropout: 0.5,
+            patience: 30,
+            target_avg_bits: 2.2,
+            lambda: None,
+            init_bits: 6.0,
+            input_mse_tol: 0.01,
+            seed: 0x9A7,
+        }
+    }
+}
+
+/// Outcome of a QAT run.
+#[derive(Debug, Clone)]
+pub struct QatOutcome {
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+    /// Test accuracy at the best-validation epoch.
+    pub test_accuracy: f64,
+    /// Final total training loss.
+    pub final_loss: f32,
+    /// Epochs actually run.
+    pub epochs_run: usize,
+    /// Wall-clock seconds (for the §VII-1 overhead discussion).
+    pub wall_seconds: f64,
+    /// Per-layer per-node bitwidths (layer 0 = input features).
+    pub assignment: BitAssignment,
+    /// Element-weighted average bitwidth ("Average Bits" in Table VI).
+    pub average_bits: f64,
+    /// Compression ratio versus FP32 ("CR" in Table VI).
+    pub compression_ratio: f64,
+}
+
+/// Runs Degree-Aware or DQ quantization-aware training.
+#[derive(Debug, Clone, Default)]
+pub struct QatTrainer {
+    /// Hyper-parameters.
+    pub config: QatConfig,
+}
+
+impl QatTrainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: QatConfig) -> Self {
+        Self { config }
+    }
+
+    /// Trains `kind` on `dataset` with Degree-Aware mixed-precision
+    /// quantization (the paper's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no dense features.
+    pub fn train_degree_aware(&self, kind: GnnKind, dataset: &Dataset) -> QatOutcome {
+        let start = std::time::Instant::now();
+        let cfg = &self.config;
+        let model_cfg = ModelConfig::for_dataset(kind, dataset);
+        let grouping = DegreeGrouping::default();
+        let node_groups = grouping.node_groups(&dataset.graph);
+
+        // Calibrate + quantize the constant input feature map.
+        let iq = InputQuant::calibrate(
+            dataset.features(),
+            &node_groups,
+            grouping.num_groups(),
+            cfg.input_mse_tol,
+        );
+        let x_sparse = Rc::new(CsrMatrix::from_dense(&Matrix::from_vec(
+            iq.quantized.rows(),
+            iq.quantized.dim(),
+            iq.quantized.data().to_vec(),
+        )));
+
+        // Memory target: element-weighted average bitwidth over all maps.
+        let n = dataset.graph.num_nodes() as f64;
+        let hidden_dims: Vec<usize> = model_cfg
+            .layer_dims()
+            .iter()
+            .skip(1)
+            .map(|&(i, _)| i)
+            .collect();
+        let total_elems =
+            n * (model_cfg.in_dim as f64 + hidden_dims.iter().sum::<usize>() as f64);
+        let m_target_kb = cfg.target_avg_bits as f64 * total_elems / (8.0 * 1024.0);
+        let lambda = cfg
+            .lambda
+            .unwrap_or_else(|| (0.5 / (m_target_kb * m_target_kb)) as f32);
+
+        let mut hook = DegreeAwareHook::new(
+            &dataset.graph,
+            &grouping,
+            model_cfg.layers,
+            cfg.init_bits,
+        )
+        .with_memory(MemoryConfig {
+            hidden_dims: hidden_dims.clone(),
+            group_counts: grouping.group_counts(&dataset.graph),
+            constant_bits: iq.total_bits,
+            m_target_kb,
+        });
+
+        let mut model = Gnn::new(model_cfg.clone());
+        let adjacency = build_adjacency(&dataset.graph, kind.aggregator(cfg.seed));
+        let adjacency_t = Rc::new(adjacency.transpose());
+        let labels = Rc::new(dataset.labels.clone());
+        let train_idx = Rc::new(dataset.splits.train.clone());
+        let mut model_opt =
+            Adam::new(cfg.lr).with_weight_decay(5e-4);
+        let mut scale_opt = Adam::new(cfg.quant_lr);
+        let mut bits_opt = Adam::new(cfg.bits_lr);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_test = 0.0f64;
+        let mut since_best = 0usize;
+        let mut final_loss = f32::NAN;
+        let mut epochs_run = 0usize;
+        for _epoch in 0..cfg.epochs {
+            epochs_run += 1;
+            let masks = dropout_masks(
+                cfg.dropout,
+                dataset.graph.num_nodes(),
+                &hidden_dims,
+                &mut rng,
+            );
+            let mut tape = Tape::new();
+            let out = model.forward_from_sparse(
+                &mut tape,
+                &x_sparse,
+                &adjacency,
+                &adjacency_t,
+                &mut hook,
+                masks.as_deref(),
+            );
+            let ce = tape.softmax_cross_entropy(
+                out.logits,
+                Rc::clone(&labels),
+                Rc::clone(&train_idx),
+            );
+            let mem = hook.memory_penalty(&mut tape);
+            let mem_scaled = tape.scale(mem, lambda);
+            let total = tape.add(ce, mem_scaled);
+            final_loss = tape.value(total).get(0, 0);
+            tape.backward(total);
+            step_model(&mut model, &tape, &out, &mut model_opt);
+            hook.step(&tape, &mut scale_opt, &mut bits_opt);
+
+            // Evaluation (quantized path, no dropout).
+            let mut tape = Tape::new();
+            let out = model.forward_from_sparse(
+                &mut tape,
+                &x_sparse,
+                &adjacency,
+                &adjacency_t,
+                &mut hook,
+                None,
+            );
+            let logits = tape.value(out.logits);
+            let val = accuracy(logits, &dataset.labels, &dataset.splits.val);
+            let test = accuracy(logits, &dataset.labels, &dataset.splits.test);
+            if val > best_val {
+                best_val = val;
+                best_test = test;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if cfg.patience > 0 && since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        let mut layers = vec![iq.node_bits.clone()];
+        let mut dims = vec![model_cfg.in_dim];
+        for (i, &d) in hidden_dims.iter().enumerate() {
+            layers.push(hook.node_bits(i));
+            dims.push(d);
+        }
+        let assignment = BitAssignment::new(layers, dims);
+        QatOutcome {
+            best_val_accuracy: best_val.max(0.0),
+            test_accuracy: best_test,
+            final_loss,
+            epochs_run,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            average_bits: assignment.average_bits(),
+            compression_ratio: assignment.compression_ratio(),
+            assignment,
+        }
+    }
+
+    /// Trains `kind` on `dataset` with the DQ baseline at a uniform
+    /// bitwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no dense features.
+    pub fn train_dq(&self, kind: GnnKind, dataset: &Dataset, bits: u8) -> QatOutcome {
+        let start = std::time::Instant::now();
+        let cfg = &self.config;
+        let model_cfg = ModelConfig::for_dataset(kind, dataset);
+
+        // DQ quantizes the input uniformly at `bits` with a per-tensor scale.
+        let features = dataset.features();
+        let scale = lsq_init_scale(
+            features.data().iter().copied().filter(|&x| x != 0.0),
+            bits,
+        );
+        let qdata: Vec<f32> = features
+            .data()
+            .iter()
+            .map(|&x| {
+                if x == 0.0 {
+                    0.0
+                } else {
+                    fake_quantize(x, scale, bits)
+                }
+            })
+            .collect();
+        let x_sparse = Rc::new(CsrMatrix::from_dense(&Matrix::from_vec(
+            features.rows(),
+            features.dim(),
+            qdata,
+        )));
+
+        let mut hook = DqHook::new(&dataset.graph, model_cfg.layers, bits);
+        let mut model = Gnn::new(model_cfg.clone());
+        let adjacency = build_adjacency(&dataset.graph, kind.aggregator(cfg.seed));
+        let adjacency_t = Rc::new(adjacency.transpose());
+        let labels = Rc::new(dataset.labels.clone());
+        let train_idx = Rc::new(dataset.splits.train.clone());
+        let hidden_dims: Vec<usize> = model_cfg
+            .layer_dims()
+            .iter()
+            .skip(1)
+            .map(|&(i, _)| i)
+            .collect();
+        let mut model_opt = Adam::new(cfg.lr).with_weight_decay(5e-4);
+        let mut quant_opt = Adam::new(cfg.quant_lr);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD0);
+
+        let mut best_val = f64::NEG_INFINITY;
+        let mut best_test = 0.0f64;
+        let mut since_best = 0usize;
+        let mut final_loss = f32::NAN;
+        let mut epochs_run = 0usize;
+        for epoch in 0..cfg.epochs {
+            epochs_run += 1;
+            hook.train_mode = true;
+            hook.set_epoch(epoch as u64);
+            let masks = dropout_masks(
+                cfg.dropout,
+                dataset.graph.num_nodes(),
+                &hidden_dims,
+                &mut rng,
+            );
+            let mut tape = Tape::new();
+            let out = model.forward_from_sparse(
+                &mut tape,
+                &x_sparse,
+                &adjacency,
+                &adjacency_t,
+                &mut hook,
+                masks.as_deref(),
+            );
+            let loss = tape.softmax_cross_entropy(
+                out.logits,
+                Rc::clone(&labels),
+                Rc::clone(&train_idx),
+            );
+            final_loss = tape.value(loss).get(0, 0);
+            tape.backward(loss);
+            step_model(&mut model, &tape, &out, &mut model_opt);
+            hook.step(&tape, &mut quant_opt);
+
+            hook.train_mode = false;
+            let mut tape = Tape::new();
+            let out = model.forward_from_sparse(
+                &mut tape,
+                &x_sparse,
+                &adjacency,
+                &adjacency_t,
+                &mut hook,
+                None,
+            );
+            let logits = tape.value(out.logits);
+            let val = accuracy(logits, &dataset.labels, &dataset.splits.val);
+            let test = accuracy(logits, &dataset.labels, &dataset.splits.test);
+            if val > best_val {
+                best_val = val;
+                best_test = test;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if cfg.patience > 0 && since_best >= cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        let mut dims = vec![model_cfg.in_dim];
+        dims.extend(hidden_dims);
+        let assignment =
+            BitAssignment::uniform(bits, dataset.graph.num_nodes(), dims);
+        QatOutcome {
+            best_val_accuracy: best_val.max(0.0),
+            test_accuracy: best_test,
+            final_loss,
+            epochs_run,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            average_bits: assignment.average_bits(),
+            compression_ratio: assignment.compression_ratio(),
+            assignment,
+        }
+    }
+}
+
+fn dropout_masks(
+    p: f32,
+    n: usize,
+    hidden_dims: &[usize],
+    rng: &mut StdRng,
+) -> Option<Vec<Matrix>> {
+    if p <= 0.0 {
+        return None;
+    }
+    let keep = 1.0 - p;
+    Some(
+        hidden_dims
+            .iter()
+            .map(|&d| {
+                Matrix::from_fn(n, d, |_, _| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
+            })
+            .collect(),
+    )
+}
+
+fn step_model(
+    model: &mut Gnn,
+    tape: &Tape,
+    out: &mega_gnn::model::ForwardOutput,
+    opt: &mut Adam,
+) {
+    let grads: Vec<Matrix> = out
+        .weight_vars
+        .iter()
+        .zip(&out.bias_vars)
+        .flat_map(|(&w, &b)| {
+            [
+                tape.try_grad(w)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(tape.value(w).rows(), tape.value(w).cols())),
+                tape.try_grad(b)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(tape.value(b).rows(), tape.value(b).cols())),
+            ]
+        })
+        .collect();
+    let mut params = model.params_mut();
+    let refs: Vec<&Matrix> = grads.iter().collect();
+    opt.step(&mut params, &refs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::datasets::DatasetSpec;
+
+    fn tiny() -> Dataset {
+        DatasetSpec::cora()
+            .scaled(0.12)
+            .with_feature_dim(96)
+            .materialize()
+    }
+
+    fn quick_config() -> QatConfig {
+        QatConfig {
+            epochs: 25,
+            dropout: 0.2,
+            patience: 0,
+            ..QatConfig::default()
+        }
+    }
+
+    #[test]
+    fn degree_aware_compresses_far_beyond_8x() {
+        let d = tiny();
+        let out = QatTrainer::new(quick_config()).train_degree_aware(GnnKind::Gcn, &d);
+        assert!(
+            out.compression_ratio > 8.0,
+            "CR {} not better than DQ-INT4's 8x",
+            out.compression_ratio
+        );
+        assert!(out.average_bits < 4.0, "avg bits {}", out.average_bits);
+        assert_eq!(out.assignment.num_layers(), 2);
+    }
+
+    #[test]
+    fn degree_aware_accuracy_beats_chance() {
+        let d = tiny();
+        let out = QatTrainer::new(quick_config()).train_degree_aware(GnnKind::Gcn, &d);
+        let chance = 1.0 / d.spec.num_classes as f64;
+        assert!(
+            out.test_accuracy > 2.0 * chance,
+            "accuracy {} vs chance {}",
+            out.test_accuracy,
+            chance
+        );
+    }
+
+    #[test]
+    fn dq_reports_exact_uniform_ratio() {
+        let d = tiny();
+        let out = QatTrainer::new(quick_config()).train_dq(GnnKind::Gcn, &d, 4);
+        assert_eq!(out.average_bits, 4.0);
+        assert_eq!(out.compression_ratio, 8.0);
+        assert!(out.final_loss.is_finite());
+    }
+
+    #[test]
+    fn qat_is_deterministic() {
+        let d = tiny();
+        let cfg = QatConfig {
+            epochs: 4,
+            ..quick_config()
+        };
+        let a = QatTrainer::new(cfg.clone()).train_degree_aware(GnnKind::Gcn, &d);
+        let b = QatTrainer::new(cfg).train_degree_aware(GnnKind::Gcn, &d);
+        assert_eq!(a.final_loss, b.final_loss);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn memory_pressure_lowers_bits_versus_loose_target() {
+        let d = tiny();
+        let tight = QatTrainer::new(QatConfig {
+            target_avg_bits: 1.5,
+            epochs: 20,
+            patience: 0,
+            ..QatConfig::default()
+        })
+        .train_degree_aware(GnnKind::Gcn, &d);
+        let loose = QatTrainer::new(QatConfig {
+            target_avg_bits: 6.0,
+            epochs: 20,
+            patience: 0,
+            ..QatConfig::default()
+        })
+        .train_degree_aware(GnnKind::Gcn, &d);
+        assert!(
+            tight.average_bits < loose.average_bits,
+            "tight {} !< loose {}",
+            tight.average_bits,
+            loose.average_bits
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The scalar quantizer of Eq. (2): symmetric, scale `α`, bitwidth `b`.
+//!
+//! ```text
+//! x̄ = sign(x) · { ⌊|x|/α + 0.5⌋   if |x| <  α·(2^{b-1}−1)
+//!               { 2^{b-1}−1       if |x| ≥  α·(2^{b-1}−1)
+//! ```
+//!
+//! with the 1-bit special case `Q(1) = 1` (values `{−α, 0, +α}`) so binary
+//! bag-of-words inputs can be stored at 1 bit — this is what lets the paper
+//! report average bitwidths below 2 (e.g. 1.70 on Cora GCN).
+
+/// Largest magnitude level representable at `bits` — `2^{b−1} − 1`, with the
+/// 1-bit special case `Q(1) = 1`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 16`.
+pub fn qmax(bits: u8) -> i32 {
+    assert!(bits >= 1 && bits <= 16, "bitwidth {bits} out of range");
+    if bits == 1 {
+        1
+    } else {
+        (1i32 << (bits - 1)) - 1
+    }
+}
+
+/// Quantizes one value to an integer level in `[-qmax, qmax]` per Eq. (2).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not positive and finite.
+pub fn quantize(x: f32, alpha: f32, bits: u8) -> i32 {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+    let q = qmax(bits);
+    let level = (x.abs() / alpha + 0.5).floor() as i64;
+    let level = level.min(q as i64) as i32;
+    if x < 0.0 {
+        -level
+    } else {
+        level
+    }
+}
+
+/// Reconstructs the real value of a quantization level.
+pub fn dequantize(level: i32, alpha: f32) -> f32 {
+    level as f32 * alpha
+}
+
+/// Quantize-then-dequantize ("fake quantization" as used inside QAT).
+pub fn fake_quantize(x: f32, alpha: f32, bits: u8) -> f32 {
+    dequantize(quantize(x, alpha, bits), alpha)
+}
+
+/// `true` if `x` lies strictly inside the representable range (not clipped).
+pub fn in_range(x: f32, alpha: f32, bits: u8) -> bool {
+    x.abs() < alpha * (qmax(bits) as f32)
+}
+
+/// Mean squared quantization error of a slice under `(alpha, bits)` —
+/// used by input calibration to pick minimal bitwidths.
+pub fn mse(values: &[f32], alpha: f32, bits: u8) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values
+        .iter()
+        .map(|&x| {
+            let e = (x - fake_quantize(x, alpha, bits)) as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / values.len() as f64
+}
+
+/// LSQ-style initial scale for a tensor: `2·mean(|x|) / sqrt(qmax)`.
+/// Returns a small positive floor when the tensor is all-zero.
+pub fn lsq_init_scale(values: impl Iterator<Item = f32>, bits: u8) -> f32 {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for v in values {
+        sum += v.abs() as f64;
+        count += 1;
+    }
+    if count == 0 || sum == 0.0 {
+        return 1e-3;
+    }
+    let mean = sum / count as f64;
+    ((2.0 * mean) / (qmax(bits) as f64).sqrt()).max(1e-6) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmax_follows_two_complement_range() {
+        assert_eq!(qmax(1), 1);
+        assert_eq!(qmax(2), 1);
+        assert_eq!(qmax(4), 7);
+        assert_eq!(qmax(8), 127);
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest_level() {
+        assert_eq!(quantize(0.0, 1.0, 4), 0);
+        assert_eq!(quantize(0.49, 1.0, 4), 0);
+        assert_eq!(quantize(0.5, 1.0, 4), 1);
+        assert_eq!(quantize(1.49, 1.0, 4), 1);
+        assert_eq!(quantize(-2.6, 1.0, 4), -3);
+    }
+
+    #[test]
+    fn saturation_clamps_to_qmax() {
+        assert_eq!(quantize(100.0, 1.0, 4), 7);
+        assert_eq!(quantize(-100.0, 1.0, 4), -7);
+        assert_eq!(quantize(1e30, 0.5, 8), 127);
+    }
+
+    #[test]
+    fn error_bounded_by_half_alpha_in_range() {
+        let alpha = 0.37;
+        for i in -50..50 {
+            let x = i as f32 * 0.05;
+            if in_range(x, alpha, 6) {
+                let err = (x - fake_quantize(x, alpha, 6)).abs();
+                assert!(err <= alpha / 2.0 + 1e-6, "x={x} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_represents_sign() {
+        assert_eq!(quantize(0.9, 1.0, 1), 1);
+        assert_eq!(quantize(-0.9, 1.0, 1), -1);
+        assert_eq!(quantize(0.2, 1.0, 1), 0);
+        // Binary bag-of-words at alpha=1: exact.
+        assert_eq!(fake_quantize(1.0, 1.0, 1), 1.0);
+        assert_eq!(fake_quantize(0.0, 1.0, 1), 0.0);
+    }
+
+    #[test]
+    fn mse_decreases_with_bitwidth() {
+        let values: Vec<f32> = (0..200).map(|i| (i as f32 * 0.01).sin()).collect();
+        let mut prev = f64::INFINITY;
+        for bits in [2u8, 3, 4, 6, 8] {
+            let alpha = 1.0 / qmax(bits) as f32;
+            let e = mse(&values, alpha, bits);
+            assert!(e <= prev + 1e-9, "bits {bits}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn lsq_init_is_positive_and_scales_with_magnitude() {
+        let small = lsq_init_scale([0.1f32, -0.1, 0.2].into_iter(), 4);
+        let large = lsq_init_scale([1.0f32, -1.0, 2.0].into_iter(), 4);
+        assert!(small > 0.0 && large > 10.0 * small * 0.5);
+        assert!(lsq_init_scale(std::iter::empty(), 4) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn non_positive_alpha_panics() {
+        let _ = quantize(1.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Compression accounting: average bitwidths, compression ratios, and the
+//! per-node bit assignment consumed by the accelerator simulators.
+
+/// Per-layer, per-node feature bitwidths for a quantized model.
+///
+/// Layer 0 is the input feature map; subsequent entries are the hidden
+/// feature maps. This is the interface between the algorithm side (QAT) and
+/// the hardware side (the MEGA simulator stores/loads features at exactly
+/// these widths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitAssignment {
+    layers: Vec<Vec<u8>>,
+    dims: Vec<usize>,
+}
+
+impl BitAssignment {
+    /// Builds an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer counts disagree, any layer is empty, node counts
+    /// differ between layers, or a bitwidth is outside `1..=8`.
+    pub fn new(layers: Vec<Vec<u8>>, dims: Vec<usize>) -> Self {
+        assert_eq!(layers.len(), dims.len(), "layers/dims length mismatch");
+        assert!(!layers.is_empty(), "need at least one layer");
+        let n = layers[0].len();
+        for (l, bits) in layers.iter().enumerate() {
+            assert_eq!(bits.len(), n, "layer {l} node count mismatch");
+            assert!(
+                bits.iter().all(|&b| (1..=8).contains(&b)),
+                "layer {l} has bitwidth outside 1..=8"
+            );
+        }
+        Self { layers, dims }
+    }
+
+    /// Uniform assignment (used for DQ baselines and FP32-as-32 reporting).
+    pub fn uniform(bits: u8, nodes: usize, dims: Vec<usize>) -> Self {
+        let layers = dims.iter().map(|_| vec![bits; nodes]).collect();
+        Self::new(layers, dims)
+    }
+
+    /// Number of layers (including the input feature map).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.layers[0].len()
+    }
+
+    /// Per-node bitwidths of layer `l`.
+    pub fn layer_bits(&self, l: usize) -> &[u8] {
+        &self.layers[l]
+    }
+
+    /// Feature dimension of layer `l`.
+    pub fn layer_dim(&self, l: usize) -> usize {
+        self.dims[l]
+    }
+
+    /// Total feature storage in bits: `Σ_l Σ_i dim_l · b_i^l`.
+    pub fn total_bits(&self) -> f64 {
+        self.layers
+            .iter()
+            .zip(&self.dims)
+            .map(|(bits, &dim)| {
+                dim as f64 * bits.iter().map(|&b| b as f64).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Element-weighted average bitwidth (the paper's "Average Bits").
+    pub fn average_bits(&self) -> f64 {
+        let elems: f64 = self
+            .dims
+            .iter()
+            .map(|&d| d as f64 * self.num_nodes() as f64)
+            .sum();
+        if elems == 0.0 {
+            0.0
+        } else {
+            self.total_bits() / elems
+        }
+    }
+
+    /// Compression ratio versus FP32 (the paper's "CR" = 32 / average bits).
+    pub fn compression_ratio(&self) -> f64 {
+        let avg = self.average_bits();
+        if avg == 0.0 {
+            0.0
+        } else {
+            32.0 / avg
+        }
+    }
+
+    /// Histogram of bitwidths over all (layer, node) pairs, indices 1..=8.
+    pub fn bit_histogram(&self) -> [usize; 9] {
+        let mut hist = [0usize; 9];
+        for layer in &self.layers {
+            for &b in layer {
+                hist[b as usize] += 1;
+            }
+        }
+        hist
+    }
+}
+
+/// Element-weighted average bits over explicit per-layer tables (free-form
+/// variant of [`BitAssignment::average_bits`]).
+pub fn average_bits(layers: &[(usize, &[u8])]) -> f64 {
+    let mut bits = 0.0f64;
+    let mut elems = 0.0f64;
+    for &(dim, table) in layers {
+        bits += dim as f64 * table.iter().map(|&b| b as f64).sum::<f64>();
+        elems += (dim * table.len()) as f64;
+    }
+    if elems == 0.0 {
+        0.0
+    } else {
+        bits / elems
+    }
+}
+
+/// Compression ratio versus FP32 for an average bitwidth.
+pub fn compression_ratio(avg_bits: f64) -> f64 {
+    if avg_bits <= 0.0 {
+        0.0
+    } else {
+        32.0 / avg_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_assignment_reports_exact_ratio() {
+        let a = BitAssignment::uniform(4, 10, vec![100, 16]);
+        assert_eq!(a.average_bits(), 4.0);
+        assert_eq!(a.compression_ratio(), 8.0);
+    }
+
+    #[test]
+    fn mixed_layers_weight_by_dimension() {
+        // Layer 0: dim 100 at 1 bit; layer 1: dim 100 at 3 bits.
+        let a = BitAssignment::new(vec![vec![1; 4], vec![3; 4]], vec![100, 100]);
+        assert!((a.average_bits() - 2.0).abs() < 1e-12);
+        assert!((a.compression_ratio() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_input_layer_dominates() {
+        // Cora-like: input dim 1433 at 1 bit, hidden 128 at 4 bits.
+        let a = BitAssignment::new(
+            vec![vec![1; 8], vec![4; 8]],
+            vec![1433, 128],
+        );
+        let avg = a.average_bits();
+        assert!(avg < 1.5, "avg {avg}");
+        assert!(a.compression_ratio() > 20.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_entries() {
+        let a = BitAssignment::new(vec![vec![1, 2, 2], vec![8, 8, 8]], vec![4, 4]);
+        let h = a.bit_histogram();
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 2);
+        assert_eq!(h[8], 3);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn free_form_average_matches_struct() {
+        let layers: Vec<(usize, &[u8])> =
+            vec![(100, &[1u8, 1, 1, 1][..]), (100, &[3u8, 3, 3, 3][..])];
+        assert!((average_bits(&layers) - 2.0).abs() < 1e-12);
+        assert_eq!(compression_ratio(2.0), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwidth outside")]
+    fn out_of_range_bits_panic() {
+        let _ = BitAssignment::new(vec![vec![0, 4]], vec![8]);
+    }
+}

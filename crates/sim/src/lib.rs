@@ -1,0 +1,26 @@
+//! Cycle-level simulation framework shared by the MEGA accelerator model
+//! and the four baseline simulators.
+//!
+//! The paper evaluates all accelerators with cycle-accurate simulators that
+//! share one DRAM model and matched on-chip budgets (§VI-A-3). This crate
+//! provides the common scaffolding:
+//!
+//! * [`Workload`] — a GNN inference job: graph + per-layer dimensions,
+//!   per-node feature bitwidths, and feature-map densities;
+//! * [`pipeline`] — the compute/DRAM overlap model that turns per-phase
+//!   compute cycles and a DRAM trace into total cycles and *stall* cycles
+//!   (the quantity behind Fig. 1 and Fig. 20a);
+//! * [`Accelerator`] — the trait every simulator implements, returning a
+//!   [`RunResult`] with cycles, DRAM statistics, and the four-way energy
+//!   breakdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod result;
+pub mod workload;
+
+pub use pipeline::{overlap, PhaseCycles, PipelineStats};
+pub use result::{geomean, Accelerator, RunResult};
+pub use workload::{LayerSpec, Workload};

@@ -1,0 +1,162 @@
+//! The compute/DRAM overlap model.
+//!
+//! All simulators reduce a layer to "compute is busy for `C` cycles, DRAM is
+//! busy for `M` cycles" and an *overlap factor* describing how well the
+//! microarchitecture hides memory behind compute (ping-pong buffers,
+//! prefetch depth, decoupled engines). Total time is
+//!
+//! ```text
+//! total = max(C, M) + (1 − overlap) · min(C, M)
+//! ```
+//!
+//! `overlap = 1` is a perfectly double-buffered design; `overlap = 0`
+//! serializes phases. Stall cycles — the paper's "DRAM access stall cycle"
+//! of Fig. 1/Fig. 20a — are whatever exceeds compute: `total − C`.
+
+/// Compute/memory busy cycles of one phase (or one layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// Cycles the processing units are busy.
+    pub compute: u64,
+    /// Cycles the DRAM is busy serving this phase.
+    pub memory: u64,
+}
+
+/// Aggregated timing of a full run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total execution cycles.
+    pub total_cycles: u64,
+    /// Cycles the processing units were busy.
+    pub compute_cycles: u64,
+    /// Cycles the DRAM was busy.
+    pub dram_cycles: u64,
+    /// Cycles stalled waiting on DRAM (total − compute).
+    pub stall_cycles: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of total cycles spent stalled on DRAM.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Sums another phase's stats (phases execute back-to-back).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.total_cycles += other.total_cycles;
+        self.compute_cycles += other.compute_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// Applies the overlap model to one phase.
+///
+/// # Panics
+///
+/// Panics if `overlap` is outside `[0, 1]`.
+pub fn overlap(phase: PhaseCycles, overlap: f64) -> PipelineStats {
+    assert!(
+        (0.0..=1.0).contains(&overlap),
+        "overlap factor {overlap} outside [0,1]"
+    );
+    let c = phase.compute;
+    let m = phase.memory;
+    let hidden = (c.min(m) as f64 * overlap) as u64;
+    let total = c + m - hidden;
+    PipelineStats {
+        total_cycles: total,
+        compute_cycles: c,
+        dram_cycles: m,
+        stall_cycles: total - c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_overlap_takes_the_max() {
+        let s = overlap(
+            PhaseCycles {
+                compute: 100,
+                memory: 60,
+            },
+            1.0,
+        );
+        assert_eq!(s.total_cycles, 100);
+        assert_eq!(s.stall_cycles, 0);
+    }
+
+    #[test]
+    fn memory_bound_phase_stalls() {
+        let s = overlap(
+            PhaseCycles {
+                compute: 40,
+                memory: 100,
+            },
+            1.0,
+        );
+        assert_eq!(s.total_cycles, 100);
+        assert_eq!(s.stall_cycles, 60);
+        assert!((s.stall_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_overlap_serializes() {
+        let s = overlap(
+            PhaseCycles {
+                compute: 40,
+                memory: 100,
+            },
+            0.0,
+        );
+        assert_eq!(s.total_cycles, 140);
+        assert_eq!(s.stall_cycles, 100);
+    }
+
+    #[test]
+    fn partial_overlap_interpolates() {
+        let s = overlap(
+            PhaseCycles {
+                compute: 100,
+                memory: 100,
+            },
+            0.5,
+        );
+        assert_eq!(s.total_cycles, 150);
+    }
+
+    #[test]
+    fn merge_sums_phases() {
+        let mut a = overlap(
+            PhaseCycles {
+                compute: 10,
+                memory: 20,
+            },
+            1.0,
+        );
+        let b = overlap(
+            PhaseCycles {
+                compute: 30,
+                memory: 5,
+            },
+            1.0,
+        );
+        a.merge(&b);
+        assert_eq!(a.total_cycles, 50);
+        assert_eq!(a.compute_cycles, 40);
+        assert_eq!(a.stall_cycles, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_overlap_panics() {
+        let _ = overlap(PhaseCycles::default(), 1.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Simulation results and the `Accelerator` trait.
+
+use mega_hw::{DramStats, EnergyBreakdown};
+
+use crate::pipeline::PipelineStats;
+use crate::workload::Workload;
+
+/// The complete outcome of simulating one workload on one accelerator.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Workload identity `dataset/model`.
+    pub workload: String,
+    /// Timing.
+    pub cycles: PipelineStats,
+    /// DRAM traffic counters.
+    pub dram: DramStats,
+    /// Energy split (DRAM/SRAM/PU/leakage).
+    pub energy: EnergyBreakdown,
+}
+
+impl RunResult {
+    /// Speedup of this run versus a baseline run of the same workload.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        baseline.cycles.total_cycles as f64 / self.cycles.total_cycles.max(1) as f64
+    }
+
+    /// DRAM-access reduction versus a baseline (by bytes moved).
+    pub fn dram_reduction_over(&self, baseline: &RunResult) -> f64 {
+        baseline.dram.total_bytes() as f64 / self.dram.total_bytes().max(1) as f64
+    }
+
+    /// Energy saving versus a baseline.
+    pub fn energy_saving_over(&self, baseline: &RunResult) -> f64 {
+        baseline.energy.total_pj() / self.energy.total_pj().max(1e-12)
+    }
+}
+
+/// A cycle-level accelerator simulator.
+pub trait Accelerator {
+    /// Display name ("MEGA", "HyGCN", ...).
+    fn name(&self) -> &str;
+
+    /// Simulates one full inference of `workload`.
+    fn run(&self, workload: &Workload) -> RunResult;
+}
+
+/// Geometric mean of positive values (0 on an empty input).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, bytes: u64, pj: f64) -> RunResult {
+        RunResult {
+            accelerator: "A".into(),
+            workload: "W".into(),
+            cycles: PipelineStats {
+                total_cycles: cycles,
+                compute_cycles: cycles / 2,
+                dram_cycles: cycles / 2,
+                stall_cycles: 0,
+            },
+            dram: DramStats {
+                bytes_read: bytes,
+                useful_bytes: bytes,
+                ..Default::default()
+            },
+            energy: EnergyBreakdown {
+                dram_pj: pj,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn relative_metrics() {
+        let fast = result(100, 10, 1.0);
+        let slow = result(1000, 100, 10.0);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-12);
+        assert!((fast.dram_reduction_over(&slow) - 10.0).abs() < 1e-12);
+        assert!((fast.energy_saving_over(&slow) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_mixed_values() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

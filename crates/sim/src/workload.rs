@@ -1,0 +1,296 @@
+//! The workload specification consumed by every accelerator simulator.
+
+use std::rc::Rc;
+
+use mega_graph::Graph;
+
+/// One GNN layer as seen by the hardware: a combination (`X·W`) followed by
+/// an aggregation (`Ã·(XW)`), per the paper's `A(XW)` execution order.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Feature dimension entering the combination.
+    pub in_dim: usize,
+    /// Feature dimension after the combination.
+    pub out_dim: usize,
+    /// Per-node bitwidth of the input feature map (1..=8 quantized, 32 for
+    /// FP32 baselines).
+    pub input_bits: Vec<u8>,
+    /// Density of the input feature map (fraction of non-zeros).
+    pub input_density: f64,
+    /// Weight bitwidth (4 in MEGA; 32/8 in baselines).
+    pub weight_bits: u8,
+}
+
+impl LayerSpec {
+    /// Mean input bitwidth over nodes.
+    pub fn mean_input_bits(&self) -> f64 {
+        if self.input_bits.is_empty() {
+            return 0.0;
+        }
+        self.input_bits.iter().map(|&b| b as f64).sum::<f64>()
+            / self.input_bits.len() as f64
+    }
+
+    /// Size in bits of node `v`'s input feature row, counting only
+    /// non-zeros at the node's own bitwidth.
+    pub fn node_row_bits(&self, v: usize) -> u64 {
+        let nnz = (self.in_dim as f64 * self.input_density).ceil() as u64;
+        nnz * self.input_bits[v] as u64
+    }
+
+    /// Dense FP32 bytes of one input row (what non-compressing baselines
+    /// move).
+    pub fn dense_row_bytes(&self, bits: u8) -> u64 {
+        (self.in_dim as u64 * bits as u64).div_ceil(8)
+    }
+
+    /// Total input feature-map size in bytes under a *uniform* bitwidth
+    /// with no sparsity (dense formats).
+    pub fn dense_input_bytes(&self, bits: u8) -> u64 {
+        self.input_bits.len() as u64 * self.dense_row_bytes(bits)
+    }
+
+    /// Total input feature-map size in bytes under per-node bitwidths and
+    /// sparsity (the ideal compressed size; format overheads are added by
+    /// each simulator).
+    pub fn compressed_input_bytes(&self) -> u64 {
+        let bits: u64 = (0..self.input_bits.len())
+            .map(|v| self.node_row_bits(v))
+            .sum();
+        bits.div_ceil(8)
+    }
+}
+
+/// A complete inference workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Dataset name (for reports).
+    pub dataset: String,
+    /// Model name ("GCN", "GIN", "GraphSage").
+    pub model: String,
+    /// The graph (shared, read-only).
+    pub graph: Rc<Graph>,
+    /// The layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl Workload {
+    /// Builds a uniform-precision workload (baselines / FP32).
+    ///
+    /// `dims` is `[in, hidden, ..., out]`; `densities[l]` is the density of
+    /// the feature map entering layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2` or densities length mismatches.
+    pub fn uniform(
+        dataset: impl Into<String>,
+        model: impl Into<String>,
+        graph: Rc<Graph>,
+        dims: &[usize],
+        densities: &[f64],
+        feature_bits: u8,
+        weight_bits: u8,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        assert_eq!(densities.len(), dims.len() - 1, "densities per layer");
+        let n = graph.num_nodes();
+        let layers = dims
+            .windows(2)
+            .zip(densities)
+            .map(|(w, &density)| LayerSpec {
+                in_dim: w[0],
+                out_dim: w[1],
+                input_bits: vec![feature_bits; n],
+                input_density: density,
+                weight_bits,
+            })
+            .collect();
+        Self {
+            dataset: dataset.into(),
+            model: model.into(),
+            graph,
+            layers,
+        }
+    }
+
+    /// Builds a mixed-precision workload from per-layer per-node bitwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn mixed(
+        dataset: impl Into<String>,
+        model: impl Into<String>,
+        graph: Rc<Graph>,
+        dims: &[usize],
+        densities: &[f64],
+        layer_bits: Vec<Vec<u8>>,
+        weight_bits: u8,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        assert_eq!(densities.len(), dims.len() - 1, "densities per layer");
+        assert_eq!(layer_bits.len(), dims.len() - 1, "bit tables per layer");
+        let n = graph.num_nodes();
+        let layers = dims
+            .windows(2)
+            .zip(densities)
+            .zip(layer_bits)
+            .map(|((w, &density), bits)| {
+                assert_eq!(bits.len(), n, "bit table length");
+                LayerSpec {
+                    in_dim: w[0],
+                    out_dim: w[1],
+                    input_bits: bits,
+                    input_density: density,
+                    weight_bits,
+                }
+            })
+            .collect();
+        Self {
+            dataset: dataset.into(),
+            model: model.into(),
+            graph,
+            layers,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Combination MACs of layer `l` when feature sparsity is exploited.
+    pub fn combination_macs_sparse(&self, l: usize) -> u64 {
+        let layer = &self.layers[l];
+        let nnz =
+            (self.num_nodes() as f64 * layer.in_dim as f64 * layer.input_density).ceil();
+        (nnz * layer.out_dim as f64) as u64
+    }
+
+    /// Combination MACs of layer `l` with dense compute.
+    pub fn combination_macs_dense(&self, l: usize) -> u64 {
+        let layer = &self.layers[l];
+        (self.num_nodes() * layer.in_dim * layer.out_dim) as u64
+    }
+
+    /// Aggregation MACs of layer `l` under the `A(XW)` order (one MAC per
+    /// edge per output feature, plus the self contribution).
+    pub fn aggregation_macs(&self, l: usize) -> u64 {
+        let layer = &self.layers[l];
+        ((self.num_edges() + self.num_nodes()) * layer.out_dim) as u64
+    }
+
+    /// Aggregation MACs when aggregating *input* features (the `(AX)W`
+    /// order HyGCN uses) — far more work when `in_dim ≫ out_dim`.
+    pub fn aggregation_macs_ax_order(&self, l: usize) -> u64 {
+        let layer = &self.layers[l];
+        ((self.num_edges() + self.num_nodes()) * layer.in_dim) as u64
+    }
+
+    /// Weight bytes of layer `l`.
+    pub fn weight_bytes(&self, l: usize) -> u64 {
+        let layer = &self.layers[l];
+        (layer.in_dim as u64 * layer.out_dim as u64 * layer.weight_bits as u64)
+            .div_ceil(8)
+    }
+
+    /// Adjacency bytes (CSC: column pointers + row indices, 4 B each).
+    pub fn adjacency_bytes(&self) -> u64 {
+        ((self.num_nodes() + 1) * 4 + self.num_edges() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_graph::generate::uniform_random;
+
+    fn workload() -> Workload {
+        let g = Rc::new(uniform_random(100, 500, 1));
+        Workload::uniform("Test", "GCN", g, &[64, 16, 4], &[0.5, 0.6], 32, 32)
+    }
+
+    #[test]
+    fn uniform_builder_shapes() {
+        let w = workload();
+        assert_eq!(w.layers.len(), 2);
+        assert_eq!(w.layers[0].in_dim, 64);
+        assert_eq!(w.layers[0].out_dim, 16);
+        assert_eq!(w.layers[1].in_dim, 16);
+        assert_eq!(w.layers[0].input_bits.len(), 100);
+    }
+
+    #[test]
+    fn mac_counts_follow_definitions() {
+        let w = workload();
+        assert_eq!(w.combination_macs_dense(0), 100 * 64 * 16);
+        assert_eq!(
+            w.combination_macs_sparse(0),
+            (100.0 * 64.0 * 0.5 * 16.0) as u64
+        );
+        let e = w.num_edges() as u64;
+        assert_eq!(w.aggregation_macs(0), (e + 100) * 16);
+        assert_eq!(w.aggregation_macs_ax_order(0), (e + 100) * 64);
+    }
+
+    #[test]
+    fn ax_order_is_more_expensive_when_input_is_wide() {
+        let w = workload();
+        assert!(w.aggregation_macs_ax_order(0) > w.aggregation_macs(0));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let w = workload();
+        assert_eq!(w.weight_bytes(0), 64 * 16 * 4);
+        assert_eq!(w.adjacency_bytes(), (101 * 4 + w.num_edges() * 4) as u64);
+        let l = &w.layers[0];
+        assert_eq!(l.dense_row_bytes(32), 256);
+        assert_eq!(l.dense_input_bytes(32), 25_600);
+    }
+
+    #[test]
+    fn compressed_bytes_scale_with_bits_and_density() {
+        let g = Rc::new(uniform_random(10, 20, 2));
+        let low = Workload::mixed(
+            "T",
+            "GCN",
+            Rc::clone(&g),
+            &[100, 10],
+            &[0.1],
+            vec![vec![2; 10]],
+            4,
+        );
+        let high = Workload::mixed(
+            "T",
+            "GCN",
+            g,
+            &[100, 10],
+            &[0.1],
+            vec![vec![8; 10]],
+            4,
+        );
+        assert_eq!(
+            high.layers[0].compressed_input_bytes(),
+            4 * low.layers[0].compressed_input_bytes()
+        );
+    }
+
+    #[test]
+    fn mean_bits() {
+        let l = LayerSpec {
+            in_dim: 4,
+            out_dim: 2,
+            input_bits: vec![2, 4, 6],
+            input_density: 1.0,
+            weight_bits: 4,
+        };
+        assert!((l.mean_input_bits() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,599 @@
+//! Dynamic-tape reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a forward computation as a sequence of nodes; calling
+//! [`Tape::backward`] on a scalar output propagates gradients to every
+//! recorded variable whose subgraph contains a parameter. The op set covers
+//! exactly what the GNN models and quantizers need, plus a [`CustomGrad`]
+//! escape hatch used by `mega-quant` to implement straight-through and
+//! LSQ-style quantizer gradients without this crate knowing about
+//! quantization.
+//!
+//! Tapes are rebuilt every training step (define-by-run), so control flow in
+//! model code is ordinary Rust.
+
+use std::rc::Rc;
+
+use crate::{CsrMatrix, Matrix};
+
+/// Handle to a variable recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+/// User-defined differentiable operation (see crate docs).
+///
+/// Implementors receive the input values, the forward output, and the
+/// gradient flowing into the output; they return one optional gradient per
+/// input (in the same order the inputs were passed to [`Tape::custom`]).
+pub trait CustomGrad: std::fmt::Debug {
+    /// Computes input gradients; `None` entries contribute nothing.
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        output: &Matrix,
+        out_grad: &Matrix,
+    ) -> Vec<Option<Matrix>>;
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf,
+    MatMul {
+        a: VarId,
+        b: VarId,
+    },
+    /// `out = A · b` with a constant sparse left operand; `at` caches `Aᵀ`.
+    SpmmLeft {
+        at: Rc<CsrMatrix>,
+        b: VarId,
+    },
+    Relu {
+        x: VarId,
+    },
+    Add {
+        a: VarId,
+        b: VarId,
+    },
+    AddBias {
+        x: VarId,
+        bias: VarId,
+    },
+    Scale {
+        x: VarId,
+        s: f32,
+    },
+    Hadamard {
+        a: VarId,
+        b: VarId,
+    },
+    Sum {
+        x: VarId,
+    },
+    Dropout {
+        x: VarId,
+        mask: Matrix,
+    },
+    SoftmaxCrossEntropy {
+        logits: VarId,
+        labels: Rc<Vec<u16>>,
+        idx: Rc<Vec<u32>>,
+        probs: Matrix,
+    },
+    Custom {
+        inputs: Vec<VarId>,
+        op: Box<dyn CustomGrad>,
+    },
+}
+
+/// A reverse-mode differentiation tape.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Default)]
+pub struct Tape {
+    vals: Vec<Matrix>,
+    nodes: Vec<Node>,
+    requires: Vec<bool>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, value: Matrix, node: Node, requires: bool) -> VarId {
+        self.vals.push(value);
+        self.nodes.push(node);
+        self.requires.push(requires);
+        VarId(self.vals.len() - 1)
+    }
+
+    /// Records a constant input (no gradient is tracked).
+    pub fn leaf(&mut self, value: Matrix) -> VarId {
+        self.push(value, Node::Leaf, false)
+    }
+
+    /// Records a trainable parameter (gradient is tracked).
+    pub fn param(&mut self, value: Matrix) -> VarId {
+        self.push(value, Node::Leaf, true)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: VarId) -> &Matrix {
+        &self.vals[v.0]
+    }
+
+    /// The gradient of the last [`Tape::backward`] target with respect to
+    /// `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been called or `v` received no gradient.
+    pub fn grad(&self, v: VarId) -> &Matrix {
+        self.grads[v.0]
+            .as_ref()
+            .expect("no gradient: call backward() on a scalar that depends on this var")
+    }
+
+    /// The gradient of `v`, if any was produced.
+    pub fn try_grad(&self, v: VarId) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.vals[a.0].matmul(&self.vals[b.0]);
+        let req = self.requires[a.0] || self.requires[b.0];
+        self.push(value, Node::MatMul { a, b }, req)
+    }
+
+    /// Sparse×dense product with a constant sparse left operand
+    /// (aggregation `Ã·H`, or `X·W` with sparse features). The transpose of
+    /// `a` is computed once here and reused every backward pass.
+    pub fn spmm_left(&mut self, a: &Rc<CsrMatrix>, b: VarId) -> VarId {
+        let value = a.spmm(&self.vals[b.0]);
+        let req = self.requires[b.0];
+        self.push(
+            value,
+            Node::SpmmLeft {
+                at: Rc::new(a.transpose()),
+                b,
+            },
+            req,
+        )
+    }
+
+    /// Like [`Tape::spmm_left`] but takes a pre-computed transpose, avoiding
+    /// repeated transposition when the same operand is reused across steps.
+    pub fn spmm_left_with_transpose(
+        &mut self,
+        a: &Rc<CsrMatrix>,
+        at: &Rc<CsrMatrix>,
+        b: VarId,
+    ) -> VarId {
+        let value = a.spmm(&self.vals[b.0]);
+        let req = self.requires[b.0];
+        self.push(value, Node::SpmmLeft { at: Rc::clone(at), b }, req)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: VarId) -> VarId {
+        let value = self.vals[x.0].relu();
+        let req = self.requires[x.0];
+        self.push(value, Node::Relu { x }, req)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.vals[a.0].add(&self.vals[b.0]);
+        let req = self.requires[a.0] || self.requires[b.0];
+        self.push(value, Node::Add { a, b }, req)
+    }
+
+    /// Adds a `1×C` bias row to every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1×cols(x)`.
+    pub fn add_bias(&mut self, x: VarId, bias: VarId) -> VarId {
+        let xm = &self.vals[x.0];
+        let bm = &self.vals[bias.0];
+        assert_eq!(bm.rows(), 1, "bias must be a single row");
+        assert_eq!(bm.cols(), xm.cols(), "bias width mismatch");
+        let mut value = xm.clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(bm.row(0)) {
+                *o += b;
+            }
+        }
+        let req = self.requires[x.0] || self.requires[bias.0];
+        self.push(value, Node::AddBias { x, bias }, req)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, x: VarId, s: f32) -> VarId {
+        let value = self.vals[x.0].scale(s);
+        let req = self.requires[x.0];
+        self.push(value, Node::Scale { x, s }, req)
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = self.vals[a.0].hadamard(&self.vals[b.0]);
+        let req = self.requires[a.0] || self.requires[b.0];
+        self.push(value, Node::Hadamard { a, b }, req)
+    }
+
+    /// Sum of all elements (returns a `1×1` matrix).
+    pub fn sum(&mut self, x: VarId) -> VarId {
+        let value = Matrix::from_vec(1, 1, vec![self.vals[x.0].sum()]);
+        let req = self.requires[x.0];
+        self.push(value, Node::Sum { x }, req)
+    }
+
+    /// Inverted dropout with keep-scaling; `mask` entries must be `0` or
+    /// `1/(1-p)`. Exposed with an explicit mask so callers control RNG.
+    pub fn dropout_with_mask(&mut self, x: VarId, mask: Matrix) -> VarId {
+        assert_eq!(self.vals[x.0].shape(), mask.shape(), "mask shape mismatch");
+        let value = self.vals[x.0].hadamard(&mask);
+        let req = self.requires[x.0];
+        self.push(value, Node::Dropout { x, mask }, req)
+    }
+
+    /// Mean softmax cross-entropy over the rows listed in `idx`.
+    ///
+    /// Returns a scalar (`1×1`) loss variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or a label is out of range.
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: VarId,
+        labels: Rc<Vec<u16>>,
+        idx: Rc<Vec<u32>>,
+    ) -> VarId {
+        assert!(!idx.is_empty(), "loss needs at least one labelled node");
+        let lm = &self.vals[logits.0];
+        let classes = lm.cols();
+        let mut probs = Matrix::zeros(lm.rows(), classes);
+        let mut loss = 0.0f64;
+        for &r in idx.iter() {
+            let r = r as usize;
+            let row = lm.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut denom = 0.0f32;
+            for &v in row {
+                denom += (v - max).exp();
+            }
+            let label = labels[r] as usize;
+            assert!(label < classes, "label {label} out of range");
+            for (c, &v) in row.iter().enumerate() {
+                probs.set(r, c, (v - max).exp() / denom);
+            }
+            loss -= (probs.get(r, label).max(1e-12) as f64).ln();
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / idx.len() as f64) as f32]);
+        let req = self.requires[logits.0];
+        self.push(
+            value,
+            Node::SoftmaxCrossEntropy {
+                logits,
+                labels,
+                idx,
+                probs,
+            },
+            req,
+        )
+    }
+
+    /// Records a user-defined operation with a custom gradient.
+    pub fn custom(
+        &mut self,
+        inputs: &[VarId],
+        output: Matrix,
+        op: Box<dyn CustomGrad>,
+    ) -> VarId {
+        let req = inputs.iter().any(|v| self.requires[v.0]);
+        self.push(
+            output,
+            Node::Custom {
+                inputs: inputs.to_vec(),
+                op,
+            },
+            req,
+        )
+    }
+
+    fn accumulate(&mut self, v: VarId, delta: Matrix) {
+        if !self.requires[v.0] {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(g) => g.add_scaled_in_place(&delta, 1.0),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from the scalar variable `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(
+            self.vals[loss.0].shape(),
+            (1, 1),
+            "backward target must be scalar"
+        );
+        self.grads = vec![None; self.vals.len()];
+        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gout) = self.grads[i].clone() else {
+                continue;
+            };
+            // Split borrows: node is moved out temporarily to appease the
+            // borrow checker around `accumulate`.
+            let node = std::mem::replace(&mut self.nodes[i], Node::Leaf);
+            match &node {
+                Node::Leaf => {}
+                Node::MatMul { a, b } => {
+                    let ga = gout.matmul(&self.vals[b.0].transpose());
+                    let gb = self.vals[a.0].transpose().matmul(&gout);
+                    self.accumulate(*a, ga);
+                    self.accumulate(*b, gb);
+                }
+                Node::SpmmLeft { at, b } => {
+                    let gb = at.spmm(&gout);
+                    self.accumulate(*b, gb);
+                }
+                Node::Relu { x } => {
+                    let out = &self.vals[i];
+                    let mut gx = gout.clone();
+                    for (g, &o) in gx.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                        if o <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    self.accumulate(*x, gx);
+                }
+                Node::Add { a, b } => {
+                    self.accumulate(*a, gout.clone());
+                    self.accumulate(*b, gout);
+                }
+                Node::AddBias { x, bias } => {
+                    let mut gb = Matrix::zeros(1, gout.cols());
+                    for r in 0..gout.rows() {
+                        for (c, &g) in gout.row(r).iter().enumerate() {
+                            gb.set(0, c, gb.get(0, c) + g);
+                        }
+                    }
+                    self.accumulate(*x, gout);
+                    self.accumulate(*bias, gb);
+                }
+                Node::Scale { x, s } => {
+                    self.accumulate(*x, gout.scale(*s));
+                }
+                Node::Hadamard { a, b } => {
+                    let ga = gout.hadamard(&self.vals[b.0]);
+                    let gb = gout.hadamard(&self.vals[a.0]);
+                    self.accumulate(*a, ga);
+                    self.accumulate(*b, gb);
+                }
+                Node::Sum { x } => {
+                    let g = gout.get(0, 0);
+                    let (r, c) = self.vals[x.0].shape();
+                    self.accumulate(*x, Matrix::full(r, c, g));
+                }
+                Node::Dropout { x, mask } => {
+                    self.accumulate(*x, gout.hadamard(mask));
+                }
+                Node::SoftmaxCrossEntropy {
+                    logits,
+                    labels,
+                    idx,
+                    probs,
+                } => {
+                    let scale = gout.get(0, 0) / idx.len() as f32;
+                    let mut gl = Matrix::zeros(probs.rows(), probs.cols());
+                    for &r in idx.iter() {
+                        let r = r as usize;
+                        let label = labels[r] as usize;
+                        for c in 0..probs.cols() {
+                            let p = probs.get(r, c);
+                            let onehot = if c == label { 1.0 } else { 0.0 };
+                            gl.set(r, c, (p - onehot) * scale);
+                        }
+                    }
+                    self.accumulate(*logits, gl);
+                }
+                Node::Custom { inputs, op } => {
+                    let input_vals: Vec<&Matrix> =
+                        inputs.iter().map(|v| &self.vals[v.0]).collect();
+                    let grads = op.backward(&input_vals, &self.vals[i], &gout);
+                    assert_eq!(
+                        grads.len(),
+                        inputs.len(),
+                        "custom op must return one gradient slot per input"
+                    );
+                    let pairs: Vec<(VarId, Option<Matrix>)> =
+                        inputs.iter().copied().zip(grads).collect();
+                    for (v, g) in pairs {
+                        if let Some(g) = g {
+                            assert_eq!(
+                                g.shape(),
+                                self.vals[v.0].shape(),
+                                "custom gradient shape mismatch"
+                            );
+                            self.accumulate(v, g);
+                        }
+                    }
+                }
+            }
+            self.nodes[i] = node;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(
+        f: impl Fn(&Matrix) -> f32,
+        at: &Matrix,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let mut plus = at.clone();
+        plus.set(r, c, plus.get(r, c) + eps);
+        let mut minus = at.clone();
+        minus.set(r, c, minus.get(r, c) - eps);
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let a0 = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.3]]);
+        let b0 = Matrix::from_rows(&[&[1.5, 0.2], &[-0.7, 1.1]]);
+        let mut tape = Tape::new();
+        let a = tape.param(a0.clone());
+        let b = tape.param(b0.clone());
+        let y = tape.matmul(a, b);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        for r in 0..2 {
+            for c in 0..2 {
+                let fd = finite_diff(|m| m.matmul(&b0).sum(), &a0, r, c);
+                assert!((tape.grad(a).get(r, c) - fd).abs() < 1e-2);
+                let fd = finite_diff(|m| a0.matmul(m).sum(), &b0, r, c);
+                assert!((tape.grad(b).get(r, c) - fd).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_gradient_masks_negative_inputs() {
+        let mut tape = Tape::new();
+        let x = tape.param(Matrix::from_rows(&[&[-1.0, 2.0, 0.0]]));
+        let y = tape.relu(x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn spmm_left_routes_gradient_through_transpose() {
+        let a = Rc::new(CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0)],
+        ));
+        let b0 = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let mut tape = Tape::new();
+        let b = tape.param(b0.clone());
+        let y = tape.spmm_left(&a, b);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        // d(sum(A·b))/db = Aᵀ·1 = column sums of A.
+        assert_eq!(tape.grad(b).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_cross_entropy_gradient_is_probs_minus_onehot() {
+        let mut tape = Tape::new();
+        let logits = tape.param(Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.0]]));
+        let labels = Rc::new(vec![0u16, 1u16]);
+        let idx = Rc::new(vec![0u32]);
+        let loss = tape.softmax_cross_entropy(logits, labels, idx);
+        tape.backward(loss);
+        let g = tape.grad(logits);
+        let p0 = (2.0f32).exp() / ((2.0f32).exp() + 1.0);
+        assert!((g.get(0, 0) - (p0 - 1.0)).abs() < 1e-5);
+        assert!((g.get(0, 1) - (1.0 - p0)).abs() < 1e-5);
+        // Row 1 is not in idx: no gradient.
+        assert_eq!(g.get(1, 0), 0.0);
+        assert_eq!(g.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn add_bias_gradient_sums_rows() {
+        let mut tape = Tape::new();
+        let x = tape.param(Matrix::zeros(3, 2));
+        let b = tape.param(Matrix::from_rows(&[&[1.0, -1.0]]));
+        let y = tape.add_bias(x, b);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(b).as_slice(), &[3.0, 3.0]);
+        assert_eq!(tape.grad(x).get(2, 1), 1.0);
+    }
+
+    #[test]
+    fn leaf_receives_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0]]));
+        let w = tape.param(Matrix::from_rows(&[&[2.0]]));
+        let y = tape.hadamard(x, w);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert!(tape.try_grad(x).is_none());
+        assert_eq!(tape.grad(w).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_reuse() {
+        let mut tape = Tape::new();
+        let w = tape.param(Matrix::from_rows(&[&[1.0]]));
+        let y1 = tape.scale(w, 2.0);
+        let y2 = tape.scale(w, 3.0);
+        let s = tape.add(y1, y2);
+        let loss = tape.sum(s);
+        tape.backward(loss);
+        assert_eq!(tape.grad(w).get(0, 0), 5.0);
+    }
+
+    #[derive(Debug)]
+    struct SquareOp;
+    impl CustomGrad for SquareOp {
+        fn backward(
+            &self,
+            inputs: &[&Matrix],
+            _output: &Matrix,
+            out_grad: &Matrix,
+        ) -> Vec<Option<Matrix>> {
+            vec![Some(out_grad.hadamard(&inputs[0].scale(2.0)))]
+        }
+    }
+
+    #[test]
+    fn custom_op_gradient_flows() {
+        let mut tape = Tape::new();
+        let x = tape.param(Matrix::from_rows(&[&[3.0, -2.0]]));
+        let sq = tape.value(x).map(|v| v * v);
+        let y = tape.custom(&[x], sq, Box::new(SquareOp));
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    fn dropout_mask_scales_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(Matrix::from_rows(&[&[1.0, 1.0]]));
+        let mask = Matrix::from_rows(&[&[0.0, 2.0]]);
+        let y = tape.dropout_with_mask(x, mask);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_on_non_scalar_panics() {
+        let mut tape = Tape::new();
+        let x = tape.param(Matrix::zeros(2, 2));
+        tape.backward(x);
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense/sparse matrix kernels and reverse-mode autograd for the MEGA
+//! reproduction.
+//!
+//! The paper's algorithm-side contribution (Degree-Aware mixed-precision
+//! quantization, §IV) is a *training-time* method: per-degree scales and
+//! bitwidths are learned jointly with the GNN weights. Reproducing it
+//! requires a small deep-learning substrate, which this crate provides:
+//!
+//! * [`Matrix`] — row-major `f32` dense matrix with the kernels GNN layers
+//!   need (GEMM, transpose, elementwise maps, reductions);
+//! * [`CsrMatrix`] — sparse matrix with values, sparse×dense products
+//!   (adjacency aggregation and sparse-feature combination both lower to
+//!   this);
+//! * [`autograd`] — a dynamic tape ([`Tape`]) with reverse-mode
+//!   differentiation and a [`CustomGrad`] extension point through which
+//!   `mega-quant` injects straight-through / LSQ-style quantizer gradients;
+//! * [`optim`] — SGD with momentum and Adam.
+//!
+//! # Example
+//!
+//! ```
+//! use mega_tensor::{Matrix, Tape};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = tape.param(Matrix::from_rows(&[&[3.0], &[4.0]]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.sum(y);
+//! tape.backward(loss);
+//! // d(sum(x·w))/dw = xᵀ
+//! assert_eq!(tape.grad(w).as_slice(), &[1.0, 2.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autograd;
+pub mod matrix;
+pub mod optim;
+pub mod sparse;
+
+pub use autograd::{CustomGrad, Tape, VarId};
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sparse::CsrMatrix;

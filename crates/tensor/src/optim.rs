@@ -1,0 +1,250 @@
+//! First-order optimizers operating on `(parameter, gradient)` pairs.
+//!
+//! Parameters live outside the [`crate::Tape`] (the tape is rebuilt every
+//! step), so optimizers track their own per-parameter state keyed by the
+//! registration order of the parameters.
+
+use crate::Matrix;
+
+/// A stateful first-order optimizer.
+///
+/// `step` must be called with the parameters in the same order every
+/// iteration; state is positional.
+pub trait Optimizer {
+    /// Applies one update: `params[i] ← params[i] - f(grads[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or a shape changed
+    /// between steps.
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional weight
+/// decay.
+///
+/// # Example
+///
+/// ```
+/// use mega_tensor::{Matrix, Sgd, Optimizer};
+///
+/// let mut w = Matrix::from_rows(&[&[1.0]]);
+/// let g = Matrix::from_rows(&[&[0.5]]);
+/// let mut opt = Sgd::new(0.1).with_momentum(0.0);
+/// opt.step(&mut [&mut w], &[&g]);
+/// assert!((w.get(0, 0) - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`, momentum 0.9, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the (decoupled) weight-decay coefficient.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "parameter set changed");
+        for ((p, g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            if self.weight_decay != 0.0 {
+                let decayed = p.scale(1.0 - self.lr * self.weight_decay);
+                **p = decayed;
+            }
+            // v ← μ·v + g ; p ← p − lr·v
+            for (vi, gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *vi = self.momentum * *vi + gi;
+            }
+            p.add_scaled_in_place(v, -self.lr);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with optional decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Sets the decoupled weight-decay coefficient (AdamW-style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Matrix], grads: &[&Matrix]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            assert_eq!(p.shape(), g.shape(), "gradient shape mismatch");
+            if self.weight_decay != 0.0 {
+                let decayed = p.scale(1.0 - self.lr * self.weight_decay);
+                **p = decayed;
+            }
+            for ((mi, vi), (pi, gi)) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(p.as_mut_slice().iter_mut().zip(g.as_slice()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = (w-3)² from w=0 and checks convergence.
+    fn converges_to_three(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut w = Matrix::from_rows(&[&[0.0]]);
+        for _ in 0..steps {
+            let g = Matrix::from_rows(&[&[2.0 * (w.get(0, 0) - 3.0)]]);
+            opt.step(&mut [&mut w], &[&g]);
+        }
+        w.get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.0);
+        let w = converges_to_three(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.05);
+        let w = converges_to_three(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let w = converges_to_three(&mut opt, 300);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.0).with_weight_decay(1.0);
+        let mut w = Matrix::from_rows(&[&[1.0]]);
+        let g = Matrix::zeros(1, 1);
+        opt.step(&mut [&mut w], &[&g]);
+        assert!((w.get(0, 0) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Adam::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1);
+        let mut w = Matrix::zeros(1, 1);
+        opt.step(&mut [&mut w], &[]);
+    }
+}

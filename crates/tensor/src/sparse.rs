@@ -1,0 +1,310 @@
+//! Sparse matrix (CSR with values) and sparse×dense products.
+//!
+//! Two hot paths in GNN training lower to [`CsrMatrix::spmm`]:
+//!
+//! * aggregation `Ã·H` with the normalized adjacency, and
+//! * the first-layer combination `X·W` when input features are sparse
+//!   bag-of-words (Cora's X is ~1.3% dense, so sparse GEMM is ~80× cheaper).
+
+use crate::Matrix;
+
+/// A sparse `f32` matrix in CSR form.
+///
+/// # Example
+///
+/// ```
+/// use mega_tensor::{CsrMatrix, Matrix};
+///
+/// // [[0, 2], [1, 0]] · [[1], [1]] = [[2], [1]]
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[1.0]]);
+/// assert_eq!(a.spmm(&x).as_slice(), &[2.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from `(row, col, value)` triplets. Duplicate coordinates are
+    /// summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet ({r},{c}) outside {rows}x{cols}"
+            );
+        }
+        sorted.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut row_of: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            if row_of.last() == Some(&r) && indices.last() == Some(&c) {
+                *values.last_mut().expect("values non-empty") += v;
+            } else {
+                row_of.push(r);
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        let mut offsets = vec![0usize; rows + 1];
+        for &r in &row_of {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            offsets[i + 1] += offsets[i];
+        }
+        Self {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        offsets: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(offsets.len(), rows + 1, "offset array length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(*offsets.last().expect("non-empty offsets"), indices.len());
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be non-decreasing");
+        }
+        for &c in &indices {
+            assert!((c as usize) < cols, "column {c} out of bounds");
+        }
+        Self {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// Extracts the non-zero pattern of a dense matrix.
+    pub fn from_dense(dense: &Matrix) -> Self {
+        let mut offsets = Vec::with_capacity(dense.rows() + 1);
+        offsets.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..dense.rows() {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+            offsets.push(indices.len());
+        }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices of row `r`.
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.indices[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Values of row `r`.
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        &self.values[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Sparse×dense product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn spmm(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows(),
+            "spmm {}x{} by {}x{}",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);
+            let out_row = out.row_mut(r);
+            for k in lo..hi {
+                let col = self.indices[k] as usize;
+                let v = self.values[k];
+                let rhs_row = rhs.row(col);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts.clone();
+        for r in 0..self.rows {
+            for (idx, &c) in self.row_indices(r).iter().enumerate() {
+                let v = self.row_values(r)[idx];
+                let slot = cursor[c as usize];
+                indices[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            offsets: counts,
+            indices,
+            values,
+        }
+    }
+
+    /// Densifies (small matrices / tests only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (idx, &c) in self.row_indices(r).iter().enumerate() {
+                out.set(r, c as usize, self.row_values(r)[idx]);
+            }
+        }
+        out
+    }
+
+    /// Fraction of stored entries relative to the dense size.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (0, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
+        )
+    }
+
+    #[test]
+    fn triplets_build_expected_pattern() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_indices(0), &[1, 3]);
+        assert_eq!(m.row_values(2), &[4.0, 0.5]);
+        assert!(m.row_indices(1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row_values(0), &[3.5]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let m = sample();
+        let x = Matrix::xavier_uniform(4, 3, 5);
+        let sparse_result = m.spmm(&x);
+        let dense_result = m.to_dense().matmul(&x);
+        for (a, b) in sparse_result.as_slice().iter().zip(dense_result.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn from_dense_round_trips() {
+        let d = Matrix::from_rows(&[&[0.0, 1.5], &[2.0, 0.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+        assert!((s.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm")]
+    fn spmm_dimension_mismatch_panics() {
+        let m = sample();
+        let x = Matrix::zeros(3, 3);
+        let _ = m.spmm(&x);
+    }
+
+    #[test]
+    fn from_raw_validates_offsets() {
+        let m = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_raw_rejects_bad_offsets() {
+        let _ = CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the tensor substrate.
+
+use mega_tensor::{CsrMatrix, Matrix, Tape};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn arb_sparse(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(
+        (0..rows as u32, 0..cols as u32, -2.0f32..2.0),
+        0..rows * cols,
+    )
+    .prop_map(move |t| CsrMatrix::from_triplets(rows, cols, &t))
+}
+
+proptest! {
+    #[test]
+    fn spmm_agrees_with_dense_gemm(a in arb_sparse(6, 5), b in arb_matrix(5, 4)) {
+        let sparse = a.spmm(&b);
+        let dense = a.to_dense().matmul(&b);
+        for (x, y) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sparse_transpose_involutive(a in arb_sparse(7, 4)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn dense_roundtrip_through_sparse(m in arb_matrix(5, 5)) {
+        let s = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(s.to_dense(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_gradient_matches_finite_difference(
+        a in arb_matrix(3, 3),
+        b in arb_matrix(3, 2),
+    ) {
+        let mut tape = Tape::new();
+        let va = tape.param(a.clone());
+        let vb = tape.leaf(b.clone());
+        let y = tape.matmul(va, vb);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        let g = tape.grad(va).clone();
+        // Analytic: d sum(A·B) / dA = 1·Bᵀ, i.e. each row is the column sums of Bᵀ.
+        for r in 0..3 {
+            for c in 0..3 {
+                let expected: f32 = b.row(c).iter().sum();
+                prop_assert!((g.get(r, c) - expected).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_gradient_never_exceeds_upstream(m in arb_matrix(4, 4)) {
+        let mut tape = Tape::new();
+        let x = tape.param(m);
+        let y = tape.relu(x);
+        let loss = tape.sum(y);
+        tape.backward(loss);
+        for &g in tape.grad(x).as_slice() {
+            prop_assert!(g == 0.0 || g == 1.0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The Fig. 14/16/17 experiment at example scale: all seven accelerator
+//! configurations across the paper's workload suite, normalized to HyGCN.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use mega::prelude::*;
+use mega::suite::{self, Comparison};
+
+fn main() {
+    // 10-15% scale keeps the example under a minute in release mode; the
+    // fig14/fig16/fig17 bench binaries run closer to full scale.
+    let workloads = suite::paper_workloads_scaled(0.12);
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for (spec, kind) in workloads {
+        let dataset = spec.materialize();
+        println!(
+            "running {} / {} ({} nodes, {} edges)...",
+            dataset.spec.name,
+            kind.name(),
+            dataset.graph.num_nodes(),
+            dataset.graph.num_edges()
+        );
+        comparisons.push(suite::compare_all(&dataset, kind));
+    }
+
+    let accs = [
+        "HyGCN",
+        "HyGCN(8bit)",
+        "GCNAX",
+        "GCNAX(8bit)",
+        "GROW",
+        "SGCN",
+        "MEGA",
+    ];
+    println!("\nSpeedup normalized to HyGCN (Fig. 14):");
+    header(&comparisons);
+    for acc in accs {
+        row(&comparisons, acc, |c, a| c.speedup(a, "HyGCN"));
+    }
+    println!("\nDRAM access reduction normalized to HyGCN (Fig. 16):");
+    header(&comparisons);
+    for acc in ["HyGCN", "GCNAX", "GROW", "SGCN", "MEGA"] {
+        row(&comparisons, acc, |c, a| c.dram_reduction(a, "HyGCN"));
+    }
+    println!("\nEnergy savings normalized to HyGCN (Fig. 17):");
+    header(&comparisons);
+    for acc in ["HyGCN", "GCNAX", "GROW", "SGCN", "MEGA"] {
+        row(&comparisons, acc, |c, a| c.energy_saving(a, "HyGCN"));
+    }
+}
+
+fn header(comparisons: &[Comparison]) {
+    print!("{:<12}", "");
+    for c in comparisons {
+        print!("{:>9}", shorten(&c.dataset));
+    }
+    println!("{:>9}", "geomean");
+}
+
+fn row(
+    comparisons: &[Comparison],
+    acc: &str,
+    metric: impl Fn(&Comparison, &str) -> Option<f64>,
+) {
+    print!("{:<12}", acc);
+    let mut values = Vec::new();
+    for c in comparisons {
+        let v = metric(c, acc).unwrap_or(f64::NAN);
+        values.push(v);
+        print!("{:>9.2}", v);
+    }
+    let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+    println!("{:>9.2}", geomean(&positives));
+}
+
+fn shorten(name: &str) -> String {
+    name.chars().take(8).collect()
+}

@@ -1,0 +1,118 @@
+//! Cross-accelerator invariants: physics that must hold regardless of
+//! microarchitecture.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_gnn::GnnKind;
+
+fn dataset() -> mega::Dataset {
+    DatasetSpec::cora().scaled(0.1).materialize()
+}
+
+#[test]
+fn more_bandwidth_never_hurts() {
+    let d = dataset();
+    let w = workloads::build_quantized(&d, GnnKind::Gcn, None);
+    let mut fast_cfg = MegaConfig::default();
+    fast_cfg.dram.peak_bytes_per_cycle *= 4.0;
+    let base = Mega::new(MegaConfig::default()).run(&w);
+    let fast = Mega::new(fast_cfg).run(&w);
+    assert!(fast.cycles.total_cycles <= base.cycles.total_cycles);
+    assert!(fast.cycles.stall_cycles <= base.cycles.stall_cycles);
+}
+
+#[test]
+fn compression_ratio_monotonically_improves_mega() {
+    // Fig. 22: MEGA's performance scales with the compression ratio.
+    let d = dataset();
+    let mut prior_cycles = u64::MAX;
+    for target in [6.0, 4.0, 2.5, 1.8] {
+        let base = workloads::degree_profile_bits(&d.graph);
+        let bits = workloads::scale_bits_to_average(&base, target);
+        let dims = workloads::layer_dims(&d, GnnKind::Gcn);
+        let densities = workloads::layer_densities(&d, GnnKind::Gcn);
+        let w = Workload::mixed(
+            "Cora",
+            "GCN",
+            std::rc::Rc::new(d.graph.clone()),
+            &dims,
+            &densities,
+            vec![bits.clone(), bits],
+            4,
+        );
+        let r = Mega::new(MegaConfig::default()).run(&w);
+        assert!(
+            r.cycles.total_cycles <= prior_cycles,
+            "lower bits should not slow MEGA down"
+        );
+        prior_cycles = r.cycles.total_cycles;
+    }
+}
+
+#[test]
+fn dram_useful_bytes_never_exceed_transferred() {
+    let d = dataset();
+    let c = mega::suite::compare_all(&d, GnnKind::Gcn);
+    for r in &c.results {
+        assert!(
+            r.dram.useful_bytes <= r.dram.total_bytes(),
+            "{}: useful {} > moved {}",
+            r.accelerator,
+            r.dram.useful_bytes,
+            r.dram.total_bytes()
+        );
+        assert!(r.dram.utilization() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn energy_breakdown_components_are_nonnegative_and_sum() {
+    let d = dataset();
+    let c = mega::suite::compare_all(&d, GnnKind::Gcn);
+    for r in &c.results {
+        let e = &r.energy;
+        for part in [e.dram_pj, e.sram_pj, e.pu_pj, e.leakage_pj] {
+            assert!(part >= 0.0, "{}: negative energy component", r.accelerator);
+        }
+        let f = e.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ablation_chain_is_monotone() {
+    // Fig. 19: each added technique must not hurt, and the full stack must
+    // clearly beat the bitmap-storage starting point.
+    let d = dataset();
+    let w = workloads::build_quantized(&d, GnnKind::Gcn, None);
+    let bitmap = Mega::new(MegaConfig::ablation_bitmap()).run(&w);
+    let ap = Mega::new(MegaConfig::ablation_no_condense()).run(&w);
+    let full = Mega::new(MegaConfig::default()).run(&w);
+    assert!(
+        ap.cycles.total_cycles <= bitmap.cycles.total_cycles,
+        "Adaptive-Package must not be slower than Bitmap"
+    );
+    assert!(
+        full.dram.total_bytes() <= ap.dram.total_bytes(),
+        "Condense-Edge must not add DRAM traffic"
+    );
+    assert!(
+        full.cycles.total_cycles * 2 < bitmap.cycles.total_cycles,
+        "full stack should be well over 2x the bitmap baseline"
+    );
+}
+
+#[test]
+fn condense_without_partition_stays_close() {
+    // §VII-2: Condense-Edge works without partitioning with only a small
+    // performance discount.
+    let d = dataset();
+    let w = workloads::build_quantized(&d, GnnKind::Gcn, None);
+    let full = Mega::new(MegaConfig::default()).run(&w);
+    let nopart = Mega::new(MegaConfig::without_partitioning()).run(&w);
+    let ratio = nopart.cycles.total_cycles as f64 / full.cycles.total_cycles as f64;
+    assert!(
+        ratio < 1.6,
+        "no-partition discount too large: {ratio}x"
+    );
+}

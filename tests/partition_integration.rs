@@ -1,0 +1,99 @@
+//! Partitioning + Condense-Edge integration: the Fig. 6 / Fig. 20(b)
+//! structure — Naive vs METIS vs Condense DRAM behaviour.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_gnn::GnnKind;
+use mega_partition::{partition, PartitionConfig};
+
+fn dataset() -> mega::Dataset {
+    DatasetSpec::citeseer().scaled(0.3).materialize()
+}
+
+#[test]
+fn metis_reduces_cut_but_leaves_sparse_connections() {
+    // §III-B-2: partitioning improves locality, yet considerable sparse
+    // connections remain — the premise of Condense-Edge.
+    let d = dataset();
+    let k = 8;
+    let parts = partition(&d.graph, &PartitionConfig::new(k));
+    let sc = parts.sparse_connections(&d.graph);
+    assert!(sc.intra_edges > sc.inter_edges, "partition failed to localize");
+    assert!(
+        sc.inter_edges > 0,
+        "synthetic power-law graphs must retain cross-subgraph edges"
+    );
+    assert_eq!(sc.intra_edges + sc.inter_edges, d.graph.num_edges());
+}
+
+#[test]
+fn grow_with_metis_beats_naive_and_mega_beats_both() {
+    // The Fig. 6 ordering: Naive > METIS(GROW) > Condense(MEGA) in DRAM.
+    let d = dataset();
+    let fp32 = workloads::build_fp32(&d, GnnKind::Gcn);
+    let quant = workloads::build_quantized(&d, GnnKind::Gcn, None);
+    let naive = Grow::matched().without_partition().run(&fp32);
+    let grow = Grow::matched().run(&fp32);
+    let mega = Mega::new(MegaConfig::default()).run(&quant);
+    assert!(
+        grow.dram.total_bytes() <= naive.dram.total_bytes(),
+        "METIS {} should not exceed naive {}",
+        grow.dram.total_bytes(),
+        naive.dram.total_bytes()
+    );
+    assert!(
+        mega.dram.total_bytes() < grow.dram.total_bytes(),
+        "Condense {} should beat METIS {}",
+        mega.dram.total_bytes(),
+        grow.dram.total_bytes()
+    );
+}
+
+#[test]
+fn condense_unit_matches_partitioning_exactly() {
+    // Functional cross-check: feeding the Condense Unit every node in
+    // combination order consumes every external-source ID exactly once per
+    // consumer subgraph.
+    use mega_accel::CondenseUnit;
+    let d = dataset();
+    let parts = partition(&d.graph, &PartitionConfig::new(6));
+    let sc = parts.sparse_connections(&d.graph);
+    let mut rank = vec![0u32; d.graph.num_nodes()];
+    for (i, v) in parts.members().into_iter().flatten().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let sorted: Vec<Vec<u32>> = sc
+        .external_sources
+        .iter()
+        .map(|l| {
+            let mut l = l.clone();
+            l.sort_unstable_by_key(|&v| rank[v as usize]);
+            l
+        })
+        .collect();
+    let expected: u64 = sorted.iter().map(|l| l.len() as u64).sum();
+    let mut unit = CondenseUnit::new(&sorted, 1 << 30);
+    let mut order: Vec<u32> = (0..d.graph.num_nodes() as u32).collect();
+    order.sort_unstable_by_key(|&v| rank[v as usize]);
+    for v in order {
+        unit.observe(v, 64);
+    }
+    assert_eq!(unit.matches(), expected);
+    let t = unit.finish(); // would panic if any ID was missed
+    assert_eq!(t.resident_bytes + t.dram_write_bytes, expected * 64);
+}
+
+#[test]
+fn higher_k_means_more_sparse_connections() {
+    let d = dataset();
+    let small_k = partition(&d.graph, &PartitionConfig::new(4))
+        .sparse_connections(&d.graph)
+        .inter_edges;
+    let large_k = partition(&d.graph, &PartitionConfig::new(32))
+        .sparse_connections(&d.graph)
+        .inter_edges;
+    assert!(
+        large_k >= small_k,
+        "finer partitions must cut at least as many edges ({small_k} -> {large_k})"
+    );
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration: generate → train (QAT) → carry the learned bit
+//! assignment into the hardware simulators → compare accelerators.
+
+use mega::prelude::*;
+use mega::workloads;
+use mega_gnn::GnnKind;
+
+fn tiny_cora() -> mega::Dataset {
+    DatasetSpec::cora()
+        .scaled(0.1)
+        .with_feature_dim(96)
+        .materialize()
+}
+
+#[test]
+fn qat_assignment_flows_into_the_simulator() {
+    let dataset = tiny_cora();
+    let qat = QatTrainer::new(QatConfig {
+        epochs: 12,
+        patience: 0,
+        dropout: 0.2,
+        ..QatConfig::default()
+    })
+    .train_degree_aware(GnnKind::Gcn, &dataset);
+    assert!(qat.compression_ratio > 4.0);
+
+    let workload =
+        workloads::build_quantized(&dataset, GnnKind::Gcn, Some(&qat.assignment));
+    let mega_run = Mega::new(MegaConfig::default()).run(&workload);
+    assert!(mega_run.cycles.total_cycles > 0);
+
+    let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
+    let hygcn = HyGcn::matched().run(&fp32);
+    assert!(
+        mega_run.speedup_over(&hygcn) > 1.0,
+        "MEGA with learned bits must beat HyGCN"
+    );
+}
+
+#[test]
+fn learned_bits_track_degree_on_average() {
+    let dataset = tiny_cora();
+    let qat = QatTrainer::new(QatConfig {
+        epochs: 15,
+        patience: 0,
+        dropout: 0.2,
+        target_avg_bits: 2.0,
+        ..QatConfig::default()
+    })
+    .train_degree_aware(GnnKind::Gcn, &dataset);
+    // Hidden-layer assignment exists for every node and stays in range.
+    let hidden = qat.assignment.layer_bits(1);
+    assert_eq!(hidden.len(), dataset.graph.num_nodes());
+    assert!(hidden.iter().all(|&b| (1..=8).contains(&b)));
+}
+
+#[test]
+fn full_comparison_is_internally_consistent() {
+    let dataset = tiny_cora();
+    let c = mega::suite::compare_all(&dataset, GnnKind::Gcn);
+    // Every accelerator must do the same logical job: nonzero cycles,
+    // nonzero traffic, positive energy.
+    for r in &c.results {
+        assert!(r.cycles.total_cycles > 0, "{} ran 0 cycles", r.accelerator);
+        assert!(
+            r.cycles.total_cycles >= r.cycles.compute_cycles,
+            "{}: total < compute",
+            r.accelerator
+        );
+        assert!(r.dram.total_bytes() > 0);
+        assert!(r.energy.total_pj() > 0.0);
+        // Stall accounting identity.
+        assert_eq!(
+            r.cycles.stall_cycles,
+            r.cycles.total_cycles - r.cycles.compute_cycles,
+            "{}: stall identity violated",
+            r.accelerator
+        );
+    }
+}
+
+#[test]
+fn eight_bit_baselines_improve_only_marginally() {
+    // Paper §VI-C-1: "naively replacing the computation units and running
+    // 8-bit quantized models on prior accelerators are sub-optimal".
+    let dataset = tiny_cora();
+    let c = mega::suite::compare_all(&dataset, GnnKind::Gcn);
+    let speedup_8bit = c.speedup("GCNAX(8bit)", "GCNAX").unwrap();
+    let speedup_mega = c.speedup("MEGA", "GCNAX").unwrap();
+    assert!(speedup_8bit < speedup_mega, "8-bit GCNAX should not beat MEGA");
+    assert!(speedup_8bit < 4.0, "8-bit gain should be well below 4x");
+}
+
+#[test]
+fn gin_and_sage_workloads_run_end_to_end() {
+    let dataset = tiny_cora();
+    for kind in [GnnKind::Gin, GnnKind::GraphSage] {
+        let c = mega::suite::compare_all(&dataset, kind);
+        let s = c.speedup("MEGA", "HyGCN").unwrap();
+        assert!(s > 1.0, "{}: MEGA speedup {s} <= 1", kind.name());
+    }
+}
