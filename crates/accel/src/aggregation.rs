@@ -16,8 +16,8 @@ pub fn cycles(cfg: &MegaConfig, workload: &Workload, l: usize) -> u64 {
     let layer = &workload.layers[l];
     let macs = workload.aggregation_macs(l);
     let mac_cycles = macs.div_ceil(cfg.aggregation_units as u64);
-    let encode_cycles = (workload.num_nodes() as u64 * layer.out_dim as u64)
-        .div_ceil(cfg.encoder_qn_units as u64);
+    let encode_cycles =
+        (workload.num_nodes() as u64 * layer.out_dim as u64).div_ceil(cfg.encoder_qn_units as u64);
     mac_cycles.max(encode_cycles)
 }
 

@@ -71,7 +71,11 @@ impl CombinationPe {
     pub fn vector_dot(&mut self, levels: &[i16], weights: &[i32], bits: u8) -> (i64, u64) {
         assert_eq!(levels.len(), weights.len(), "operand length mismatch");
         let magnitude_bits = if bits <= 1 { 1 } else { bits - 1 };
-        let max = if bits == 1 { 1 } else { (1i16 << (bits - 1)) - 1 };
+        let max = if bits == 1 {
+            1
+        } else {
+            (1i16 << (bits - 1)) - 1
+        };
         self.accumulator = 0;
         let mut beats = 0u64;
         // Batches of `n` non-zeros share the BSE array (Fig. 11's groups).

@@ -46,18 +46,11 @@ pub fn cycles(cfg: &MegaConfig, workload: &Workload, l: usize) -> u64 {
 /// Combination-phase processing-unit energy (pJ) for layer `l`: one BitOP
 /// per (non-zero × bit × output feature), plus adder-tree/shifter overhead
 /// folded into a 1.5× factor, plus 4-bit weight-register reads.
-pub fn energy_pj(
-    cfg: &MegaConfig,
-    table: &EnergyTable,
-    workload: &Workload,
-    l: usize,
-) -> f64 {
+pub fn energy_pj(cfg: &MegaConfig, table: &EnergyTable, workload: &Workload, l: usize) -> f64 {
     let layer = &workload.layers[l];
     let nnz = (layer.in_dim as f64 * layer.input_density).ceil();
     let bit_sum: f64 = match cfg.storage {
-        FeatureStorage::AdaptivePackage => {
-            layer.input_bits.iter().map(|&b| b as f64).sum()
-        }
+        FeatureStorage::AdaptivePackage => layer.input_bits.iter().map(|&b| b as f64).sum(),
         FeatureStorage::Bitmap => 8.0 * workload.num_nodes() as f64,
     };
     let bitops = bit_sum * nnz * layer.out_dim as f64;
@@ -79,15 +72,7 @@ mod tests {
     fn workload(bits: Vec<u8>) -> Workload {
         let n = bits.len();
         let g = Rc::new(uniform_random(n, n * 4, 3));
-        mega_sim::Workload::mixed(
-            "T",
-            "GCN",
-            g,
-            &[256, 16],
-            &[0.5],
-            vec![bits],
-            4,
-        )
+        mega_sim::Workload::mixed("T", "GCN", g, &[256, 16], &[0.5], vec![bits], 4)
     }
 
     #[test]

@@ -8,10 +8,10 @@ use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
 use mega_partition::{partition, PartitionConfig, Partitioning};
 use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
 
+use crate::aggregation;
 use crate::combination;
 use crate::condense::CondenseUnit;
 use crate::config::{CondenseMode, FeatureStorage, MegaConfig};
-use crate::aggregation;
 
 // Disjoint address regions for the DRAM trace.
 const ADDR_WEIGHTS: u64 = 0x1000_0000;
@@ -58,7 +58,12 @@ impl Mega {
         match self.cfg.storage {
             FeatureStorage::AdaptivePackage => {
                 let est = estimate_stream(
-                    (0..n).map(|v| (combination::effective_bits(&self.cfg, &layer.input_bits, v), nnz)),
+                    (0..n).map(|v| {
+                        (
+                            combination::effective_bits(&self.cfg, &layer.input_bits, v),
+                            nnz,
+                        )
+                    }),
                     layer.in_dim as u64,
                     self.cfg.package,
                 );
@@ -94,8 +99,7 @@ impl Mega {
             }
             CondenseMode::NoPartition => {
                 // Contiguous node blocks (§VII-2).
-                let assignment =
-                    (0..n).map(|v| (v / nodes_per) as u32).collect::<Vec<_>>();
+                let assignment = (0..n).map(|v| (v / nodes_per) as u32).collect::<Vec<_>>();
                 Partitioning::new(assignment, k)
             }
         }
@@ -112,23 +116,13 @@ impl Accelerator for Mega {
         let table = &self.energy_table;
         let n = workload.num_nodes();
         let num_layers = workload.layers.len();
-        let max_out = workload
-            .layers
-            .iter()
-            .map(|l| l.out_dim)
-            .max()
-            .unwrap_or(1);
+        let max_out = workload.layers.iter().map(|l| l.out_dim).max().unwrap_or(1);
         let parts = self.build_partitioning(&workload.graph, max_out);
         let sparse = parts.sparse_connections(&workload.graph);
         // Combination order = subgraph-major; external-source FIFOs must be
         // sorted by that order (Algorithm 1 requires ascending eIDs).
         let mut order_rank = vec![0u32; n];
-        for (rank, v) in parts
-            .members()
-            .into_iter()
-            .flatten()
-            .enumerate()
-        {
+        for (rank, v) in parts.members().into_iter().flatten().enumerate() {
             order_rank[v as usize] = rank as u32;
         }
 
@@ -182,12 +176,9 @@ impl Accelerator for Mega {
                         .collect();
                     // Drop empty lists cheaply (the unit handles them fine).
                     let unit_input: Vec<Vec<NodeId>> = std::mem::take(&mut ext_sorted);
-                    let mut unit = CondenseUnit::new(
-                        &unit_input,
-                        cfg.sparse_buffer_kb as u64 * 1024 / 2,
-                    );
-                    let mut combine_order: Vec<NodeId> =
-                        (0..n as NodeId).collect();
+                    let mut unit =
+                        CondenseUnit::new(&unit_input, cfg.sparse_buffer_kb as u64 * 1024 / 2);
+                    let mut combine_order: Vec<NodeId> = (0..n as NodeId).collect();
                     combine_order.sort_unstable_by_key(|&v| order_rank[v as usize]);
                     for v in combine_order {
                         unit.observe(v, row_bytes);
@@ -203,10 +194,7 @@ impl Accelerator for Mega {
                         dram.write(ADDR_COMBINED, n as u64 * row_bytes);
                         for list in &sparse.external_sources {
                             for &v in list {
-                                dram.read(
-                                    ADDR_COMBINED + v as u64 * row_bytes,
-                                    row_bytes,
-                                );
+                                dram.read(ADDR_COMBINED + v as u64 * row_bytes, row_bytes);
                             }
                         }
                     }
@@ -237,9 +225,7 @@ impl Accelerator for Mega {
 
         energy.sram_pj += total_sram_bytes
             * table.sram_pj_per_byte_64kb
-            * mega_hw::area::sram_energy_scale(
-                cfg.total_buffer_kb() as f64 / 6.0,
-            );
+            * mega_hw::area::sram_energy_scale(cfg.total_buffer_kb() as f64 / 6.0);
         energy.add_leakage(table, cfg.area_mm2, pipeline.total_cycles);
 
         RunResult {

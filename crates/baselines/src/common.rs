@@ -63,8 +63,7 @@ pub fn stream_layer_constants(
     precision_bits: u8,
 ) {
     let layer = &workload.layers[l];
-    let w_bytes =
-        (layer.in_dim as u64 * layer.out_dim as u64 * precision_bits as u64).div_ceil(8);
+    let w_bytes = (layer.in_dim as u64 * layer.out_dim as u64 * precision_bits as u64).div_ceil(8);
     dram.read(ADDR_WEIGHTS, w_bytes);
     dram.read(ADDR_ADJACENCY, workload.adjacency_bytes());
 }

@@ -15,8 +15,7 @@ use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
 use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
 
 use crate::common::{
-    sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED, ADDR_FEATURES,
-    ADDR_OUTPUT,
+    sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED, ADDR_FEATURES, ADDR_OUTPUT,
 };
 
 /// Result of the loop-tiling enumeration for one GEMM.
@@ -82,7 +81,7 @@ pub fn best_tiling(
                     right_passes,
                     traffic_bytes: traffic,
                 };
-                if best.map_or(true, |b| traffic < b.traffic_bytes) {
+                if best.is_none_or(|b| traffic < b.traffic_bytes) {
                     best = Some(t);
                 }
             }
@@ -173,8 +172,7 @@ impl Accelerator for Gcnax {
             stream_layer_constants(&mut dram, workload, l, p.precision_bits);
 
             // Phase 1: C = X·W with sparse X (CSR: value + column index).
-            let nnz_x =
-                (n as f64 * layer.in_dim as f64 * layer.input_density).ceil() as u64;
+            let nnz_x = (n as f64 * layer.in_dim as f64 * layer.input_density).ceil() as u64;
             let x_bytes = nnz_x * (elem + 32) / 8 + (n as u64 + 1) * 4;
             let w_bytes = (layer.in_dim as u64 * layer.out_dim as u64 * elem).div_ceil(8);
             let t1 = best_tiling(
@@ -196,7 +194,10 @@ impl Accelerator for Gcnax {
             // avoid re-reading C stripes for each destination-row tile.
             let a_bytes = workload.adjacency_bytes();
             let t2 = best_tiling(n, n, layer.out_dim, a_bytes, c_bytes, 4, half_buf);
-            dram.read(ADDR_COMBINED, t2.traffic_bytes.saturating_sub(a_bytes * t2.left_passes));
+            dram.read(
+                ADDR_COMBINED,
+                t2.traffic_bytes.saturating_sub(a_bytes * t2.left_passes),
+            );
             dram.read(ADDR_FEATURES, a_bytes * t2.left_passes.saturating_sub(1));
 
             dram.write(ADDR_OUTPUT, n as u64 * p.row_bytes(layer.out_dim));
@@ -204,8 +205,8 @@ impl Accelerator for Gcnax {
             // Unified engine: phases are sequential.
             let comb_macs = workload.combination_macs_sparse(l);
             let agg_macs = workload.aggregation_macs(l);
-            let compute = comb_macs.div_ceil(p.comb_macs_per_cycle)
-                + agg_macs.div_ceil(p.agg_macs_per_cycle);
+            let compute =
+                comb_macs.div_ceil(p.comb_macs_per_cycle) + agg_macs.div_ceil(p.agg_macs_per_cycle);
 
             let phase = overlap(
                 PhaseCycles {

@@ -12,8 +12,7 @@ use mega_partition::{partition, PartitionConfig};
 use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
 
 use crate::common::{
-    sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED, ADDR_FEATURES,
-    ADDR_OUTPUT,
+    sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED, ADDR_FEATURES, ADDR_OUTPUT,
 };
 
 /// The GROW simulator.
@@ -82,22 +81,14 @@ impl Accelerator for Grow {
         let half_buf = p.buffer_kb as u64 * 1024 / 2;
 
         // Partition sized by FP32 partial sums in (a share of) the buffer.
-        let max_out = workload
-            .layers
-            .iter()
-            .map(|l| l.out_dim)
-            .max()
-            .unwrap_or(1);
+        let max_out = workload.layers.iter().map(|l| l.out_dim).max().unwrap_or(1);
         let nodes_per = ((p.buffer_kb as usize * 1024 / 3) / (4 * max_out)).max(1);
         let k = n.div_ceil(nodes_per).max(1).min(n.max(1));
         let parts = if self.use_partition && k > 1 {
             partition(&workload.graph, &PartitionConfig::new(k))
         } else {
             // Naive: contiguous blocks (locality only by accident).
-            mega_partition::Partitioning::new(
-                (0..n).map(|v| (v / nodes_per) as u32).collect(),
-                k,
-            )
+            mega_partition::Partitioning::new((0..n).map(|v| (v / nodes_per) as u32).collect(), k)
         };
         let sparse = parts.sparse_connections(&workload.graph);
 
@@ -113,14 +104,10 @@ impl Accelerator for Grow {
 
             // Row product: X streams once per weight tile (W resident
             // otherwise).
-            let nnz_x =
-                (n as f64 * layer.in_dim as f64 * layer.input_density).ceil() as u64;
-            let x_bytes =
-                nnz_x * (p.precision_bits as u64 + 32) / 8 + (n as u64 + 1) * 4;
-            let w_bytes = (layer.in_dim as u64
-                * layer.out_dim as u64
-                * p.precision_bits as u64)
-                .div_ceil(8);
+            let nnz_x = (n as f64 * layer.in_dim as f64 * layer.input_density).ceil() as u64;
+            let x_bytes = nnz_x * (p.precision_bits as u64 + 32) / 8 + (n as u64 + 1) * 4;
+            let w_bytes =
+                (layer.in_dim as u64 * layer.out_dim as u64 * p.precision_bits as u64).div_ceil(8);
             let w_passes = w_bytes.div_ceil(half_buf).max(1);
             dram.read(ADDR_FEATURES, x_bytes * w_passes);
 
@@ -141,8 +128,8 @@ impl Accelerator for Grow {
             // Unified MAC array: phases sequential; both exploit sparsity.
             let comb_macs = workload.combination_macs_sparse(l);
             let agg_macs = workload.aggregation_macs(l);
-            let compute = comb_macs.div_ceil(p.comb_macs_per_cycle)
-                + agg_macs.div_ceil(p.agg_macs_per_cycle);
+            let compute =
+                comb_macs.div_ceil(p.comb_macs_per_cycle) + agg_macs.div_ceil(p.agg_macs_per_cycle);
 
             let phase = overlap(
                 PhaseCycles {

@@ -15,8 +15,8 @@ use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
 use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
 
 use crate::common::{
-    gather_neighbor_rows, sram_bytes, stream_layer_constants, BaselineParams,
-    ADDR_COMBINED, ADDR_FEATURES, ADDR_OUTPUT,
+    gather_neighbor_rows, sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED,
+    ADDR_FEATURES, ADDR_OUTPUT,
 };
 
 /// The HyGCN simulator.
@@ -111,10 +111,8 @@ impl Accelerator for HyGcn {
 
             // Combination: if W doesn't fit, the aggregated map spills and
             // re-streams once per extra output tile.
-            let w_bytes = (layer.in_dim as u64
-                * layer.out_dim as u64
-                * p.precision_bits as u64)
-                .div_ceil(8);
+            let w_bytes =
+                (layer.in_dim as u64 * layer.out_dim as u64 * p.precision_bits as u64).div_ceil(8);
             let w_passes = w_bytes.div_ceil(half_buf).max(1);
             if w_passes > 1 {
                 let ax_bytes = n * row_bytes;

@@ -12,8 +12,8 @@ use mega_hw::{DramSim, DramStats, EnergyBreakdown, EnergyTable};
 use mega_sim::{overlap, Accelerator, PhaseCycles, PipelineStats, RunResult, Workload};
 
 use crate::common::{
-    gather_neighbor_rows, sram_bytes, stream_layer_constants, BaselineParams,
-    ADDR_COMBINED, ADDR_FEATURES, ADDR_OUTPUT,
+    gather_neighbor_rows, sram_bytes, stream_layer_constants, BaselineParams, ADDR_COMBINED,
+    ADDR_FEATURES, ADDR_OUTPUT,
 };
 
 /// The SGCN simulator.

@@ -129,7 +129,12 @@ mod tests {
     fn simulator_params_agree_with_table_v() {
         use crate::{Gcnax, Grow, HyGcn, Sgcn};
         use mega_sim::Accelerator;
-        let _ = (HyGcn::matched(), Gcnax::matched(), Grow::matched(), Sgcn::matched());
+        let _ = (
+            HyGcn::matched(),
+            Gcnax::matched(),
+            Grow::matched(),
+            Sgcn::matched(),
+        );
         assert_eq!(HyGcn::matched().name(), "HyGCN");
         assert_eq!(Gcnax::matched().name(), "GCNAX");
     }

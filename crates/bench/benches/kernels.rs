@@ -63,7 +63,9 @@ fn bench_partition(c: &mut Criterion) {
 }
 
 fn bench_quantizer(c: &mut Criterion) {
-    let values: Vec<f32> = (0..65_536).map(|i| ((i * 2654435761u64 as usize) as f32).sin()).collect();
+    let values: Vec<f32> = (0..65_536)
+        .map(|i| ((i * 2654435761u64 as usize) as f32).sin())
+        .collect();
     c.bench_function("fake_quantize_64k_values_4bit", |b| {
         b.iter(|| {
             values

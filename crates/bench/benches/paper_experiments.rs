@@ -60,9 +60,7 @@ fn fig06_style_scheduling(c: &mut Criterion) {
     let dataset = small_cora();
     let fp32 = workloads::build_fp32(&dataset, GnnKind::Gcn);
     let mut group = c.benchmark_group("fig06_scheduling");
-    group.bench_function("grow_metis", |b| {
-        b.iter(|| Grow::matched().run(&fp32))
-    });
+    group.bench_function("grow_metis", |b| b.iter(|| Grow::matched().run(&fp32)));
     group.bench_function("grow_naive", |b| {
         b.iter(|| Grow::matched().without_partition().run(&fp32))
     });

@@ -32,9 +32,9 @@ fn main() {
         let grads: Vec<Matrix> = params
             .iter()
             .map(|&p| {
-                tape.try_grad(p).cloned().unwrap_or_else(|| {
-                    Matrix::zeros(tape.value(p).rows(), tape.value(p).cols())
-                })
+                tape.try_grad(p)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(tape.value(p).rows(), tape.value(p).cols()))
             })
             .collect();
         let mut prefs = gat.params_mut();

@@ -6,7 +6,10 @@ use mega_bench::{epochs, train_dataset};
 use mega_gnn::{GnnKind, Trainer};
 
 fn main() {
-    println!("§VII-1 — training time, quantized vs FP32 ({} epochs)", epochs());
+    println!(
+        "§VII-1 — training time, quantized vs FP32 ({} epochs)",
+        epochs()
+    );
     println!(
         "{:<10} {:<6} {:>10} {:>10} {:>8}",
         "dataset", "model", "fp32 (s)", "ours (s)", "ratio"

@@ -9,19 +9,10 @@ use mega_gnn::AggregatorKind;
 fn main() {
     let dataset = hw_dataset(DatasetSpec::cora());
     let runs = 100;
-    let gcn = fig3_aggregated_means(
-        &dataset.graph,
-        AggregatorKind::GcnSymmetric,
-        16,
-        runs,
-        1,
-    );
+    let gcn = fig3_aggregated_means(&dataset.graph, AggregatorKind::GcnSymmetric, 16, runs, 1);
     let gin = fig3_aggregated_means(&dataset.graph, AggregatorKind::GinSum, 16, runs, 1);
     println!("Fig. 3 — mean aggregated feature value by in-degree group (Cora, {runs} runs)");
-    println!(
-        "{:<12} {:>8} {:>8}",
-        "in-degree", "GCN", "GIN"
-    );
+    println!("{:<12} {:>8} {:>8}", "in-degree", "GCN", "GIN");
     let labels = ["[1,10]", "[11,20]", "[21,30]", "[31,40]", "[41,+)"];
     for (i, label) in labels.iter().enumerate() {
         println!("{label:<12} {:>8.3} {:>8.3}", gcn[i], gin[i]);

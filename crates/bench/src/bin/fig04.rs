@@ -17,23 +17,15 @@ fn main() {
             DatasetSpec::nell().scaled(0.25),
             DatasetSpec::reddit_scaled().scaled(0.25),
         ] {
-            let name = if spec.nodes < 10_000 { spec.name.clone() } else { spec.name.clone() };
+            let name = spec.name.clone();
             let dataset = hw_dataset(spec);
             let bits = degree_profile_bits(&dataset.graph);
             let density = hidden_density(&name, kind);
             let densities = vec![density; bits.len()];
-            let map = QuantizedFeatureMap::synthetic(
-                kind.default_hidden(),
-                &densities,
-                &bits,
-                13,
-            );
+            let map = QuantizedFeatureMap::synthetic(kind.default_hidden(), &densities, &bits, 13);
             let sizes = format_sizes(&map, PackageConfig::default());
             let norm = sizes.normalized_to_dense();
-            rows.push((
-                format!("{}/{}", kind.name(), name),
-                norm.to_vec(),
-            ));
+            rows.push((format!("{}/{}", kind.name(), name), norm.to_vec()));
         }
     }
     print_table(

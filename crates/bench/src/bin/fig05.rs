@@ -28,10 +28,7 @@ fn main() {
             let measured = feature_densities(&model, &dataset, &adj);
             rows.push((
                 format!("{}/{}", kind.name(), name),
-                vec![
-                    measured.hidden * 100.0,
-                    hidden_density(&name, kind) * 100.0,
-                ],
+                vec![measured.hidden * 100.0, hidden_density(&name, kind) * 100.0],
             ));
         }
     }

@@ -27,10 +27,7 @@ fn main() {
         let mega = Mega::new(MegaConfig::default()).run(&mixed);
         let s_grow = gcnax.cycles.total_cycles as f64 / grow.cycles.total_cycles as f64;
         let s_mega = gcnax.cycles.total_cycles as f64 / mega.cycles.total_cycles as f64;
-        rows.push((
-            dataset.spec.name.clone(),
-            vec![1.0, s_grow, s_mega],
-        ));
+        rows.push((dataset.spec.name.clone(), vec![1.0, s_grow, s_mega]));
         ratios.push((1.0, s_grow, s_mega));
     }
     rows.push((

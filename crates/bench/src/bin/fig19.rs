@@ -38,8 +38,7 @@ fn main() {
         let full = Mega::new(MegaConfig::default()).run(&mixed);
         let runs = [&base, &bitmap, &ap, &full];
         for (i, r) in runs.iter().enumerate() {
-            speedups[i]
-                .push(base.cycles.total_cycles as f64 / r.cycles.total_cycles as f64);
+            speedups[i].push(base.cycles.total_cycles as f64 / r.cycles.total_cycles as f64);
             drams[i].push(r.dram.total_bytes() as f64 / base.dram.total_bytes() as f64);
         }
     }

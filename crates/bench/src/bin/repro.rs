@@ -3,25 +3,160 @@
 //!
 //! ```sh
 //! cargo run --release -p mega-bench --bin repro
+//! cargo run --release -p mega-bench --bin repro -- --json repro_out/bench.json
+//! cargo run --release -p mega-bench --bin repro -- --only table4,fig03
 //! ```
 //!
-//! Skips nothing; expect tens of minutes at full scale. Use `MEGA_SCALE`,
-//! `MEGA_TRAIN_SCALE`, `MEGA_EPOCHS` to shrink.
+//! Skips nothing by default; expect tens of minutes at full scale. Use
+//! `MEGA_SCALE`, `MEGA_TRAIN_SCALE`, `MEGA_EPOCHS` to shrink, `--only` to
+//! subset.
+//!
+//! With `--json <path>`, a machine-readable summary is written after the
+//! run: per-experiment status/duration plus a headline comparison (dataset,
+//! model, accelerator, cycles, DRAM traffic, speedup over HyGCN) on the
+//! citation workloads, so successive PRs can record a `BENCH_*.json`
+//! performance trajectory.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use mega::prelude::GnnKind;
+use mega::suite::compare_all;
+use mega_graph::DatasetSpec;
+
 const EXPERIMENTS: &[&str] = &[
-    "table4", "table5", "table7", // static configuration tables
-    "fig03", "fig04", "fig21",    // motivation + format studies
-    "table1", "fig05", "table6",  // training experiments
-    "fig06", "fig20b",            // scheduling DRAM studies
-    "fig01", "fig15", "fig18", "fig19", "fig20a", "fig22", // simulator studies
-    "fig14", "fig16", "fig17",    // the full ten-workload suite
-    "disc_training", "disc_nopart", "disc_gat", // §VII discussion
+    "table4",
+    "table5",
+    "table7", // static configuration tables
+    "fig03",
+    "fig04",
+    "fig21", // motivation + format studies
+    "table1",
+    "fig05",
+    "table6", // training experiments
+    "fig06",
+    "fig20b", // scheduling DRAM studies
+    "fig01",
+    "fig15",
+    "fig18",
+    "fig19",
+    "fig20a",
+    "fig22", // simulator studies
+    "fig14",
+    "fig16",
+    "fig17", // the full ten-workload suite
+    "disc_training",
+    "disc_nopart",
+    "disc_gat", // §VII discussion
 ];
 
+struct ExperimentResult {
+    name: &'static str,
+    ok: bool,
+    seconds: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the headline comparison + experiment statuses as JSON. Written
+/// by hand because the workspace builds offline (no serde).
+fn write_json(path: &Path, experiments: &[ExperimentResult], scale: f64) -> std::io::Result<()> {
+    let mut rows = String::new();
+    for (spec, kind) in [
+        (DatasetSpec::cora(), GnnKind::Gcn),
+        (DatasetSpec::citeseer(), GnnKind::Gcn),
+        (DatasetSpec::pubmed(), GnnKind::Gcn),
+    ] {
+        let name = spec.name.clone();
+        let mut scaled = spec.scaled(scale);
+        scaled.name = name;
+        let dataset = scaled.materialize();
+        let comparison = compare_all(&dataset, kind);
+        for result in &comparison.results {
+            let speedup = comparison
+                .speedup(&result.accelerator, "HyGCN")
+                .unwrap_or(1.0);
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"model\": \"{}\", \"accelerator\": \"{}\", \
+                 \"cycles\": {}, \"dram_bytes\": {}, \"speedup_over_hygcn\": {:.4}}}",
+                json_escape(&comparison.dataset),
+                json_escape(&comparison.model),
+                json_escape(&result.accelerator),
+                result.cycles.total_cycles,
+                result.dram.total_bytes(),
+                speedup
+            ));
+        }
+    }
+    let mut statuses = String::new();
+    for e in experiments {
+        if !statuses.is_empty() {
+            statuses.push_str(",\n");
+        }
+        statuses.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ok\": {}, \"seconds\": {:.2}}}",
+            json_escape(e.name),
+            e.ok,
+            e.seconds
+        ));
+    }
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"experiments\": [\n{statuses}\n  ],\n  \
+         \"comparisons\": [\n{rows}\n  ]\n}}\n"
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, json)
+}
+
 fn main() {
+    // Flag parsing: --json <path> and --only <comma,separated,names>.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<PathBuf> = None;
+    let mut only: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = Some(PathBuf::from(args.get(i).expect("--json requires a path")));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(
+                    args.get(i)
+                        .expect("--only requires a comma-separated list")
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro [--json <path>] [--only <name,name,...>]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(only) = &only {
+        for name in only {
+            if !EXPERIMENTS.contains(&name.as_str()) {
+                eprintln!("unknown experiment in --only: {name}");
+                eprintln!("known experiments: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let out_dir = Path::new("repro_out");
     std::fs::create_dir_all(out_dir).expect("create repro_out/");
     let exe_dir = std::env::current_exe()
@@ -29,32 +164,73 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
+    let mut results: Vec<ExperimentResult> = Vec::new();
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
+        if let Some(only) = &only {
+            if !only.iter().any(|o| o == name) {
+                continue;
+            }
+        }
         print!("[repro] {name:<14} ... ");
         use std::io::Write;
         std::io::stdout().flush().ok();
         let started = std::time::Instant::now();
-        let output = Command::new(exe_dir.join(name))
-            .output();
+        let output = Command::new(exe_dir.join(name)).output();
+        let seconds = started.elapsed().as_secs_f64();
         match output {
             Ok(out) if out.status.success() => {
                 let path = out_dir.join(format!("{name}.txt"));
                 std::fs::write(&path, &out.stdout).expect("write output");
-                println!("ok ({:.1}s) -> {}", started.elapsed().as_secs_f64(), path.display());
+                println!("ok ({seconds:.1}s) -> {}", path.display());
+                results.push(ExperimentResult {
+                    name,
+                    ok: true,
+                    seconds,
+                });
             }
             Ok(out) => {
                 println!("FAILED (status {:?})", out.status.code());
                 failures.push(*name);
+                results.push(ExperimentResult {
+                    name,
+                    ok: false,
+                    seconds,
+                });
             }
             Err(e) => {
                 println!("FAILED to launch: {e}");
                 failures.push(*name);
+                results.push(ExperimentResult {
+                    name,
+                    ok: false,
+                    seconds,
+                });
             }
         }
     }
+
+    if let Some(path) = json_path {
+        // Headline comparison at a scale that keeps the JSON pass cheap
+        // relative to the full experiment suite.
+        let scale = mega_bench::env_f64("MEGA_JSON_SCALE", 0.25);
+        print!("[repro] json summary ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let started = std::time::Instant::now();
+        write_json(&path, &results, scale).expect("write json summary");
+        println!(
+            "ok ({:.1}s) -> {}",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+
     if failures.is_empty() {
-        println!("\nall {} experiments reproduced; outputs in repro_out/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments reproduced; outputs in repro_out/",
+            results.len()
+        );
     } else {
         println!("\nFAILURES: {failures:?}");
         std::process::exit(1);

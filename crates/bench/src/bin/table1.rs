@@ -20,7 +20,12 @@ fn main() {
         ..Trainer::default()
     };
     let (_, fp32) = trainer.train_fp32(GnnKind::Gin, &dataset);
-    println!("{:<8} {:>9.1}% {:>7.1}x", "FP32", fp32.test_accuracy * 100.0, 1.0);
+    println!(
+        "{:<8} {:>9.1}% {:>7.1}x",
+        "FP32",
+        fp32.test_accuracy * 100.0,
+        1.0
+    );
     let qat = QatTrainer::new(QatConfig {
         epochs: epochs(),
         patience: 0,

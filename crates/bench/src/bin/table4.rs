@@ -42,7 +42,10 @@ fn main() {
         "\nProcessing-unit total: {:.3} mm2 (paper: 0.199)",
         table_iv_pu_area()
     );
-    println!("Buffer capacity total: {} KB (paper: 392)", table_iv_buffer_kb());
+    println!(
+        "Buffer capacity total: {} KB (paper: 392)",
+        table_iv_buffer_kb()
+    );
     println!(
         "Measured total: {:.3} mm2 / {:.2} mW (paper: 1.869 / 194.98)",
         table_iv_total_area(),

@@ -52,7 +52,14 @@ fn main() {
         });
         if run_dq {
             let dq = qat.train_dq(kind, &dataset, 4);
-            row(&name, kind, "DQ", dq.test_accuracy, dq.average_bits, dq.compression_ratio);
+            row(
+                &name,
+                kind,
+                "DQ",
+                dq.test_accuracy,
+                dq.average_bits,
+                dq.compression_ratio,
+            );
         }
         let ours = qat.train_degree_aware(kind, &dataset);
         row(

@@ -55,7 +55,11 @@ pub fn epochs() -> usize {
 pub fn hw_dataset(spec: DatasetSpec) -> Dataset {
     let name = spec.name.clone();
     let scale = hw_scale();
-    let mut spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let mut spec = if scale < 1.0 {
+        spec.scaled(scale)
+    } else {
+        spec
+    };
     spec.name = name;
     spec.materialize()
 }

@@ -63,12 +63,18 @@ impl Comparison {
 
     /// DRAM-access reduction of `name` vs `baseline` (Fig. 16).
     pub fn dram_reduction(&self, name: &str, baseline: &str) -> Option<f64> {
-        Some(self.result(name)?.dram_reduction_over(self.result(baseline)?))
+        Some(
+            self.result(name)?
+                .dram_reduction_over(self.result(baseline)?),
+        )
     }
 
     /// Energy saving of `name` vs `baseline` (Fig. 17).
     pub fn energy_saving(&self, name: &str, baseline: &str) -> Option<f64> {
-        Some(self.result(name)?.energy_saving_over(self.result(baseline)?))
+        Some(
+            self.result(name)?
+                .energy_saving_over(self.result(baseline)?),
+        )
     }
 }
 
@@ -83,14 +89,15 @@ pub fn compare_all(dataset: &Dataset, kind: GnnKind) -> Comparison {
     let int8 = build_uniform(dataset, kind, 8);
     let mixed = build_quantized(dataset, kind, None);
 
-    let mut results = Vec::new();
-    results.push(HyGcn::matched().run(&fp32));
-    results.push(Gcnax::matched().run(&fp32));
-    results.push(Grow::matched().run(&fp32));
-    results.push(Sgcn::matched().run(&fp32));
-    results.push(HyGcn::matched_8bit().run(&int8));
-    results.push(Gcnax::matched_8bit().run(&int8));
-    results.push(Mega::new(MegaConfig::default()).run(&mixed));
+    let results = vec![
+        HyGcn::matched().run(&fp32),
+        Gcnax::matched().run(&fp32),
+        Grow::matched().run(&fp32),
+        Sgcn::matched().run(&fp32),
+        HyGcn::matched_8bit().run(&int8),
+        Gcnax::matched_8bit().run(&int8),
+        Mega::new(MegaConfig::default()).run(&mixed),
+    ];
     Comparison {
         dataset: dataset.spec.name.clone(),
         model: kind.name().to_string(),

@@ -47,17 +47,11 @@ pub fn hidden_density(dataset: &str, kind: GnnKind) -> f64 {
 
 /// Synthesizes a degree-aware bitwidth profile: the shape Degree-Aware QAT
 /// learns — 2–3 bits for the low-degree majority, more for rare
-/// high-in-degree nodes.
+/// high-in-degree nodes. Delegates to the shared
+/// [`mega_quant::DegreePolicy`] so offline workload construction and the
+/// online serving engine (`mega-serve`) agree on the mapping.
 pub fn degree_profile_bits(graph: &Graph) -> Vec<u8> {
-    (0..graph.num_nodes())
-        .map(|v| match graph.in_degree(v) {
-            0..=2 => 2,
-            3..=8 => 3,
-            9..=32 => 4,
-            33..=128 => 5,
-            _ => 6,
-        })
-        .collect()
+    mega_quant::DegreePolicy::paper_default().profile(graph)
 }
 
 /// Rescales a bit profile toward a target element-weighted average (used by
@@ -66,8 +60,7 @@ pub fn scale_bits_to_average(bits: &[u8], target_avg: f64) -> Vec<u8> {
     if bits.is_empty() {
         return Vec::new();
     }
-    let current: f64 =
-        bits.iter().map(|&b| b as f64).sum::<f64>() / bits.len() as f64;
+    let current: f64 = bits.iter().map(|&b| b as f64).sum::<f64>() / bits.len() as f64;
     let shift = target_avg - current;
     bits.iter()
         .map(|&b| (b as f64 + shift).round().clamp(1.0, 8.0) as u8)
@@ -90,7 +83,7 @@ pub fn layer_densities(dataset: &Dataset, kind: GnnKind) -> Vec<f64> {
     let dims = layer_dims(dataset, kind);
     let hidden = hidden_density(&dataset.spec.name, kind);
     let mut densities = vec![dataset.spec.feature_density];
-    densities.extend(std::iter::repeat(hidden).take(dims.len() - 2));
+    densities.extend(std::iter::repeat_n(hidden, dims.len() - 2));
     densities
 }
 
@@ -148,7 +141,9 @@ pub fn build_quantized(
                 dims.len() - 1,
                 "assignment layer count mismatch"
             );
-            (0..a.num_layers()).map(|l| a.layer_bits(l).to_vec()).collect()
+            (0..a.num_layers())
+                .map(|l| a.layer_bits(l).to_vec())
+                .collect()
         }
         None => {
             let profile = degree_profile_bits(&dataset.graph);
@@ -205,8 +200,7 @@ mod tests {
             .min_by_key(|&v| d.graph.in_degree(v))
             .unwrap();
         assert!(bits[vmax] > bits[vmin]);
-        let avg: f64 =
-            bits.iter().map(|&b| b as f64).sum::<f64>() / bits.len() as f64;
+        let avg: f64 = bits.iter().map(|&b| b as f64).sum::<f64>() / bits.len() as f64;
         assert!(avg < 4.0, "profile average {avg} too high for power law");
     }
 
@@ -214,8 +208,7 @@ mod tests {
     fn scaling_hits_requested_average() {
         let bits = vec![2u8, 3, 3, 4];
         let scaled = scale_bits_to_average(&bits, 6.0);
-        let avg: f64 =
-            scaled.iter().map(|&b| b as f64).sum::<f64>() / scaled.len() as f64;
+        let avg: f64 = scaled.iter().map(|&b| b as f64).sum::<f64>() / scaled.len() as f64;
         assert!((avg - 6.0).abs() < 0.6, "avg {avg}");
     }
 

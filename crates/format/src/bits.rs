@@ -172,7 +172,11 @@ mod tests {
         let (words, len) = w.finish();
         let mut r = BitReader::new(&words, len);
         for &(v, width) in &samples {
-            let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1 << width) - 1
+            };
             assert_eq!(r.read(width), v & mask, "width {width}");
         }
         assert_eq!(r.remaining(), 0);
@@ -206,7 +210,11 @@ mod tests {
     #[test]
     fn level_roundtrip_all_bitwidths() {
         for bits in 1u8..=8 {
-            let max = if bits == 1 { 1 } else { (1i32 << (bits - 1)) - 1 };
+            let max = if bits == 1 {
+                1
+            } else {
+                (1i32 << (bits - 1)) - 1
+            };
             for level in -max..=max {
                 if level == 0 && bits == 1 {
                     continue;

@@ -22,10 +22,7 @@ pub struct SweepPoint {
 }
 
 /// Encodes `map` under every setting in `settings`.
-pub fn sweep(
-    map: &QuantizedFeatureMap,
-    settings: &[(u32, u32, u32)],
-) -> Vec<SweepPoint> {
+pub fn sweep(map: &QuantizedFeatureMap, settings: &[(u32, u32, u32)]) -> Vec<SweepPoint> {
     settings
         .iter()
         .map(|&(s, m, l)| SweepPoint {

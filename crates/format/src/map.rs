@@ -27,7 +27,11 @@ impl QuantizedRow {
     ///
     /// Panics if invariants are violated.
     pub fn validate(&self, dim: usize) {
-        assert!((1..=8).contains(&self.bits), "bits {} out of range", self.bits);
+        assert!(
+            (1..=8).contains(&self.bits),
+            "bits {} out of range",
+            self.bits
+        );
         assert_eq!(self.cols.len(), self.levels.len(), "cols/levels mismatch");
         let max = if self.bits == 1 {
             1
@@ -106,12 +110,7 @@ impl QuantizedFeatureMap {
     /// # Panics
     ///
     /// Panics if the vectors disagree in length.
-    pub fn synthetic(
-        dim: usize,
-        densities: &[f64],
-        bits: &[u8],
-        seed: u64,
-    ) -> Self {
+    pub fn synthetic(dim: usize, densities: &[f64], bits: &[u8], seed: u64) -> Self {
         assert_eq!(densities.len(), bits.len(), "length mismatch");
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = densities

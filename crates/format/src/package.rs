@@ -305,10 +305,7 @@ mod tests {
     #[test]
     fn bitwidth_change_closes_package() {
         let map = map_with(
-            vec![
-                (2, vec![0, 1], vec![1, -1]),
-                (5, vec![2, 3], vec![7, -9]),
-            ],
+            vec![(2, vec![0, 1], vec![1, -1]), (5, vec![2, 3], vec![7, -9])],
             8,
         );
         let enc = encode(&map, PackageConfig::default());
@@ -370,12 +367,7 @@ mod tests {
 
     #[test]
     fn accounting_adds_up() {
-        let map = QuantizedFeatureMap::synthetic(
-            64,
-            &[0.2, 0.5, 0.05, 0.3],
-            &[2, 2, 7, 4],
-            9,
-        );
+        let map = QuantizedFeatureMap::synthetic(64, &[0.2, 0.5, 0.05, 0.3], &[2, 2, 7, 4], 9);
         let enc = encode(&map, PackageConfig::default());
         assert_eq!(
             enc.stream_bits(),
@@ -532,7 +524,7 @@ mod estimate_tests {
     fn estimate_scales_linearly_for_uniform_nodes() {
         let one = estimate_stream([(4u8, 100u64)], 256, PackageConfig::default());
         let ten = estimate_stream(
-            std::iter::repeat((4u8, 100u64)).take(10),
+            std::iter::repeat_n((4u8, 100u64), 10),
             256,
             PackageConfig::default(),
         );

@@ -84,7 +84,9 @@ mod tests {
     /// nodes at 2 bits, few important nodes at 8, moderate sparsity.
     fn paper_shaped_map() -> QuantizedFeatureMap {
         let n = 200;
-        let densities: Vec<f64> = (0..n).map(|i| if i % 10 == 0 { 0.6 } else { 0.3 }).collect();
+        let densities: Vec<f64> = (0..n)
+            .map(|i| if i % 10 == 0 { 0.6 } else { 0.3 })
+            .collect();
         let bits: Vec<u8> = (0..n).map(|i| if i % 10 == 0 { 8 } else { 2 }).collect();
         QuantizedFeatureMap::synthetic(128, &densities, &bits, 4)
     }
@@ -93,7 +95,12 @@ mod tests {
     fn adaptive_package_beats_uniform_formats() {
         let m = paper_shaped_map();
         let s = format_sizes(&m, PackageConfig::default());
-        assert!(s.adaptive_package < s.bitmap, "AP {} vs bitmap {}", s.adaptive_package, s.bitmap);
+        assert!(
+            s.adaptive_package < s.bitmap,
+            "AP {} vs bitmap {}",
+            s.adaptive_package,
+            s.bitmap
+        );
         assert!(s.adaptive_package < s.csr);
         assert!(s.adaptive_package < s.coo);
         assert!(s.adaptive_package < s.dense);

@@ -7,17 +7,18 @@ use proptest::prelude::*;
 
 fn arb_row(dim: usize) -> impl Strategy<Value = QuantizedRow> {
     (1u8..=8).prop_flat_map(move |bits| {
-        let max = if bits == 1 { 1i16 } else { (1i16 << (bits - 1)) - 1 };
+        let max = if bits == 1 {
+            1i16
+        } else {
+            (1i16 << (bits - 1)) - 1
+        };
         proptest::collection::btree_set(0..dim as u32, 0..dim)
             .prop_flat_map(move |cols| {
                 let cols: Vec<u32> = cols.into_iter().collect();
                 let n = cols.len();
                 (
                     Just(cols),
-                    proptest::collection::vec(
-                        (1..=max, proptest::bool::ANY),
-                        n..=n,
-                    ),
+                    proptest::collection::vec((1..=max, proptest::bool::ANY), n..=n),
                 )
             })
             .prop_map(move |(cols, signed)| QuantizedRow {
@@ -40,9 +41,8 @@ fn arb_map() -> impl Strategy<Value = QuantizedFeatureMap> {
 
 fn arb_config() -> impl Strategy<Value = PackageConfig> {
     // The long mode must hold at least one 8-bit value: long ≥ header + 8.
-    (6u32..48, 1u32..64, 8u32..128).prop_map(|(s, dm, dl)| {
-        PackageConfig::new(s, s + dm, (s + dm + dl).max(13))
-    })
+    (6u32..48, 1u32..64, 8u32..128)
+        .prop_map(|(s, dm, dl)| PackageConfig::new(s, s + dm, (s + dm + dl).max(13)))
 }
 
 proptest! {

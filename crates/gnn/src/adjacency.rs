@@ -40,11 +40,7 @@ pub fn build_adjacency(graph: &Graph, kind: AggregatorKind) -> Rc<CsrMatrix> {
             for dst in 0..n {
                 triplets.push((dst as u32, dst as u32, inv_sqrt[dst] * inv_sqrt[dst]));
                 for &src in graph.in_neighbors(dst) {
-                    triplets.push((
-                        dst as u32,
-                        src,
-                        inv_sqrt[dst] * inv_sqrt[src as usize],
-                    ));
+                    triplets.push((dst as u32, src, inv_sqrt[dst] * inv_sqrt[src as usize]));
                 }
             }
         }
@@ -112,7 +108,10 @@ mod tests {
         let g = path_graph();
         let a = build_adjacency(
             &g,
-            AggregatorKind::SageMean { sample: 25, seed: 1 },
+            AggregatorKind::SageMean {
+                sample: 25,
+                seed: 1,
+            },
         )
         .to_dense();
         for r in 0..3 {
@@ -153,7 +152,7 @@ mod tests {
         let gin = build_adjacency(&g, AggregatorKind::GinSum).spmm(&ones);
         let gcn = build_adjacency(&g, AggregatorKind::GcnSymmetric).spmm(&ones);
         assert_eq!(gin.get(0, 0), 10.0); // 9 neighbors + self
-        // Sym-norm: 1/10 + 9/sqrt(10) ≈ 2.95, well below the GIN sum.
+                                         // Sym-norm: 1/10 + 9/sqrt(10) ≈ 2.95, well below the GIN sum.
         assert!(gcn.get(0, 0) < 3.5);
         assert!(gin.get(0, 0) > 3.0 * gin.get(1, 0));
     }

@@ -42,8 +42,8 @@ pub fn fig3_aggregated_means(
         let h = adjacency.spmm(&x);
         for v in 0..n {
             if let Some(b) = fig3_bucket(graph.in_degree(v)) {
-                let mean_abs: f64 = h.row(v).iter().map(|x| x.abs() as f64).sum::<f64>()
-                    / feature_dim as f64;
+                let mean_abs: f64 =
+                    h.row(v).iter().map(|x| x.abs() as f64).sum::<f64>() / feature_dim as f64;
                 bucket_sum[b] += mean_abs;
                 bucket_count[b] += 1;
             }
@@ -102,11 +102,7 @@ pub fn feature_densities(
 
 /// Runs a forward pass and returns the dense logits (helper for experiment
 /// binaries that need raw outputs).
-pub fn forward_logits(
-    model: &Gnn,
-    dataset: &Dataset,
-    adjacency: &Rc<CsrMatrix>,
-) -> Matrix {
+pub fn forward_logits(model: &Gnn, dataset: &Dataset, adjacency: &Rc<CsrMatrix>) -> Matrix {
     let mut tape = Tape::new();
     let mut hook = IdentityHook;
     let out = model.forward(&mut tape, dataset, adjacency, &mut hook, None);

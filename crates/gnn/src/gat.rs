@@ -52,12 +52,7 @@ impl AttentionNeighborhood {
 
 /// Computes attention coefficients and the aggregated output for one layer:
 /// `out_i = Σ_j α_ij B_j` with `α = softmax_j(LeakyReLU(zl_i + zr_j))`.
-fn attention_forward(
-    hood: &AttentionNeighborhood,
-    b: &Matrix,
-    zl: &Matrix,
-    zr: &Matrix,
-) -> Matrix {
+fn attention_forward(hood: &AttentionNeighborhood, b: &Matrix, zl: &Matrix, zr: &Matrix) -> Matrix {
     let n = hood.len();
     let f = b.cols();
     let mut out = Matrix::zeros(n, f);
@@ -136,19 +131,10 @@ impl CustomGrad for AttentionOp {
             // g_ij = G_i · B_j ; mean = Σ_k α_ik g_ik.
             let gdot: Vec<f32> = neigh
                 .iter()
-                .map(|&j| {
-                    gi.iter()
-                        .zip(b.row(j as usize))
-                        .map(|(g, bv)| g * bv)
-                        .sum()
-                })
+                .map(|&j| gi.iter().zip(b.row(j as usize)).map(|(g, bv)| g * bv).sum())
                 .collect();
             let mean: f32 = alphas.iter().zip(&gdot).map(|(a, g)| a * g).sum();
-            for ((&j, &alpha), (&g, &r)) in neigh
-                .iter()
-                .zip(&alphas)
-                .zip(gdot.iter().zip(&raw))
-            {
+            for ((&j, &alpha), (&g, &r)) in neigh.iter().zip(&alphas).zip(gdot.iter().zip(&raw)) {
                 // dL/dB_j += α_ij · G_i
                 let gb_row = gb.row_mut(j as usize);
                 for (o, &gv) in gb_row.iter_mut().zip(gi) {
@@ -185,8 +171,16 @@ impl Gat {
         let mut attn_r = Vec::new();
         for (l, &(i, o)) in dims.iter().enumerate() {
             weights.push(Matrix::xavier_uniform(i, o, seed.wrapping_add(l as u64)));
-            attn_l.push(Matrix::xavier_uniform(o, 1, seed.wrapping_add(10 + l as u64)));
-            attn_r.push(Matrix::xavier_uniform(o, 1, seed.wrapping_add(20 + l as u64)));
+            attn_l.push(Matrix::xavier_uniform(
+                o,
+                1,
+                seed.wrapping_add(10 + l as u64),
+            ));
+            attn_r.push(Matrix::xavier_uniform(
+                o,
+                1,
+                seed.wrapping_add(20 + l as u64),
+            ));
         }
         Self {
             in_dim,
@@ -253,12 +247,7 @@ impl Gat {
             let b = tape.matmul(h, w);
             let zl = tape.matmul(b, al);
             let zr = tape.matmul(b, ar);
-            let out = attention_forward(
-                hood,
-                tape.value(b),
-                tape.value(zl),
-                tape.value(zr),
-            );
+            let out = attention_forward(hood, tape.value(b), tape.value(zl), tape.value(zr));
             let agg = tape.custom(
                 &[b, zl, zr],
                 out,
@@ -328,11 +317,7 @@ mod tests {
         for _ in 0..15 {
             let mut tape = Tape::new();
             let (logits, params) = gat.forward(&mut tape, &d, &hood);
-            let loss = tape.softmax_cross_entropy(
-                logits,
-                Rc::clone(&labels),
-                Rc::clone(&idx),
-            );
+            let loss = tape.softmax_cross_entropy(logits, Rc::clone(&labels), Rc::clone(&idx));
             losses.push(tape.value(loss).get(0, 0));
             tape.backward(loss);
             let grads: Vec<Matrix> = params

@@ -1,0 +1,271 @@
+//! Neighborhood-sliced inference: logits for a *subset* of nodes without a
+//! full-graph forward pass.
+//!
+//! An `L`-layer GNN only needs the `L`-hop in-neighborhood of a node to
+//! classify it, so an online serving engine should pay per-request cost
+//! proportional to that neighborhood — not to the whole graph. This module
+//! provides the reusable entry point `mega-serve` batches on: it expands
+//! the target set's receptive field layer by layer through the normalized
+//! adjacency and evaluates exactly the required rows.
+//!
+//! **Bit-exactness contract:** every arithmetic path is per-node and runs
+//! in a fixed order (dense dot products in column order, aggregation in CSR
+//! row order), so the logits of a node are *identical* no matter which
+//! other nodes share its batch — the property the serving engine's
+//! batched-vs-sequential equivalence test asserts.
+
+use std::collections::HashMap;
+
+use mega_graph::datasets::Features;
+use mega_graph::NodeId;
+use mega_tensor::{CsrMatrix, Matrix};
+
+use crate::model::Gnn;
+
+/// Elementwise per-node activation transform (e.g. degree-aware fake
+/// quantization). Called once per hidden activation row with the layer the
+/// activation feeds (`1..layers`), the node id, and the row values.
+pub type ActivationTransform<'a> = &'a mut dyn FnMut(usize, NodeId, &mut [f32]);
+
+/// The receptive field of a target set: which rows each layer must
+/// materialize. `needed[l]` holds the nodes whose layer-`l` activations are
+/// required; `needed[layers]` is the deduplicated, sorted target set.
+#[derive(Debug, Clone)]
+pub struct ReceptiveField {
+    /// Per-level sorted node lists, innermost (input) first.
+    pub needed: Vec<Vec<NodeId>>,
+}
+
+impl ReceptiveField {
+    /// Expands `targets` through `layers` hops of `adjacency` rows.
+    pub fn expand(adjacency: &CsrMatrix, targets: &[NodeId], layers: usize) -> Self {
+        let mut needed = vec![Vec::new(); layers + 1];
+        let mut level: Vec<NodeId> = targets.to_vec();
+        level.sort_unstable();
+        level.dedup();
+        needed[layers] = level;
+        for l in (0..layers).rev() {
+            let mut frontier: Vec<NodeId> = needed[l + 1]
+                .iter()
+                .flat_map(|&v| adjacency.row_indices(v as usize).iter().copied())
+                .collect();
+            frontier.sort_unstable();
+            frontier.dedup();
+            needed[l] = frontier;
+        }
+        Self { needed }
+    }
+
+    /// Total number of node-rows materialized across all levels — the cost
+    /// proxy the serving scheduler uses for batch accounting.
+    pub fn total_rows(&self) -> usize {
+        self.needed.iter().map(Vec::len).sum()
+    }
+}
+
+/// Computes logits for `targets` only, touching just their receptive field.
+///
+/// `transform` is applied to every hidden activation row (after ReLU),
+/// mirroring `ForwardHook::transform_activation` in the full forward pass;
+/// pass a no-op closure for FP32 serving. Input features are consumed
+/// as-is — quantize them offline (they are constant) if mixed-precision
+/// inputs are wanted.
+///
+/// Returns a `(targets.len(), out_dim)` matrix in the order of `targets`
+/// (duplicates allowed).
+///
+/// # Panics
+///
+/// Panics if `features` rows mismatch the adjacency, or a target is out of
+/// range.
+pub fn forward_targets(
+    model: &Gnn,
+    features: &Features,
+    adjacency: &CsrMatrix,
+    targets: &[NodeId],
+    transform: ActivationTransform<'_>,
+) -> Matrix {
+    forward_targets_with_field(model, features, adjacency, targets, transform).0
+}
+
+/// Like [`forward_targets`], but also returns the [`ReceptiveField`] the
+/// pass materialized — callers that account for per-batch compute (e.g.
+/// the serving engine's metrics) get it without re-expanding.
+pub fn forward_targets_with_field(
+    model: &Gnn,
+    features: &Features,
+    adjacency: &CsrMatrix,
+    targets: &[NodeId],
+    transform: ActivationTransform<'_>,
+) -> (Matrix, ReceptiveField) {
+    let n = adjacency.rows();
+    assert_eq!(features.rows(), n, "features/adjacency row mismatch");
+    for &t in targets {
+        assert!((t as usize) < n, "target {t} out of range ({n} nodes)");
+    }
+    let layers = model.config().layers;
+    let field = ReceptiveField::expand(adjacency, targets, layers);
+
+    // h holds the activations of the previous level, indexed by position in
+    // field.needed[l]; `index` maps node id -> position.
+    let mut h: Vec<Vec<f32>> = Vec::new();
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    let mut out_dim = 0;
+
+    for l in 0..layers {
+        let w = &model.weights()[l];
+        let b = &model.biases()[l];
+        out_dim = w.cols();
+        // Combination: (H_l · W_l + b_l) for every row this level needs.
+        let combined: Vec<Vec<f32>> = field.needed[l]
+            .iter()
+            .map(|&u| {
+                let mut row = vec![0.0f32; out_dim];
+                if l == 0 {
+                    // Sparse input row: only nonzero features contribute.
+                    for (j, &x) in features.row(u as usize).iter().enumerate() {
+                        if x != 0.0 {
+                            let wrow = w.row(j);
+                            for c in 0..out_dim {
+                                row[c] += x * wrow[c];
+                            }
+                        }
+                    }
+                } else {
+                    let hrow = &h[index[&u]];
+                    for (j, &x) in hrow.iter().enumerate() {
+                        if x != 0.0 {
+                            let wrow = w.row(j);
+                            for c in 0..out_dim {
+                                row[c] += x * wrow[c];
+                            }
+                        }
+                    }
+                }
+                let brow = b.row(0);
+                for c in 0..out_dim {
+                    row[c] += brow[c];
+                }
+                row
+            })
+            .collect();
+        let combined_index: HashMap<NodeId, usize> = field.needed[l]
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i))
+            .collect();
+
+        // Aggregation: Ã·combined, row by row in CSR order.
+        let next: Vec<Vec<f32>> = field.needed[l + 1]
+            .iter()
+            .map(|&v| {
+                let mut row = vec![0.0f32; out_dim];
+                let cols = adjacency.row_indices(v as usize);
+                let vals = adjacency.row_values(v as usize);
+                for (&u, &a) in cols.iter().zip(vals) {
+                    let src = &combined[combined_index[&u]];
+                    for c in 0..out_dim {
+                        row[c] += a * src[c];
+                    }
+                }
+                if l + 1 < layers {
+                    for x in row.iter_mut() {
+                        *x = x.max(0.0);
+                    }
+                    transform(l + 1, v, &mut row);
+                }
+                row
+            })
+            .collect();
+
+        index = field.needed[l + 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i))
+            .collect();
+        h = next;
+    }
+
+    let mut data = Vec::with_capacity(targets.len() * out_dim);
+    for &t in targets {
+        data.extend_from_slice(&h[index[&t]]);
+    }
+    (Matrix::from_vec(targets.len(), out_dim, data), field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::build_adjacency;
+    use crate::model::{GnnKind, IdentityHook, ModelConfig};
+    use mega_graph::datasets::DatasetSpec;
+    use mega_tensor::Tape;
+
+    fn setup() -> (mega_graph::Dataset, Gnn, std::rc::Rc<CsrMatrix>) {
+        let d = DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(48)
+            .materialize();
+        let cfg = ModelConfig::for_dataset(GnnKind::Gcn, &d);
+        let model = Gnn::new(cfg.clone());
+        let adj = build_adjacency(&d.graph, cfg.kind.aggregator(1));
+        (d, model, adj)
+    }
+
+    #[test]
+    fn receptive_field_shrinks_toward_input() {
+        let (_d, _m, adj) = setup();
+        let field = ReceptiveField::expand(&adj, &[0, 1], 2);
+        assert_eq!(field.needed[2], vec![0, 1]);
+        // Each level expands (or at least keeps) the frontier.
+        assert!(field.needed[1].len() >= field.needed[2].len());
+        assert!(field.needed[0].len() >= field.needed[1].len());
+        assert_eq!(field.total_rows(), field.needed.iter().map(Vec::len).sum());
+    }
+
+    #[test]
+    fn sliced_forward_matches_full_forward() {
+        let (d, model, adj) = setup();
+        let mut tape = Tape::new();
+        let full = model.forward(&mut tape, &d, &adj, &mut IdentityHook, None);
+        let full_logits = tape.value(full.logits).clone();
+
+        let targets: Vec<NodeId> = vec![3, 0, 17, 3];
+        let sliced = forward_targets(&model, d.features(), &adj, &targets, &mut |_l, _v, _row| {});
+        assert_eq!(sliced.shape(), (4, d.spec.num_classes));
+        for (i, &t) in targets.iter().enumerate() {
+            for c in 0..d.spec.num_classes {
+                let a = sliced.get(i, c);
+                let b = full_logits.get(t as usize, c);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "mismatch at target {t} class {c}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_composition_does_not_change_logits() {
+        let (d, model, adj) = setup();
+        let mut noop = |_l: usize, _v: NodeId, _row: &mut [f32]| {};
+        let alone = forward_targets(&model, d.features(), &adj, &[5], &mut noop);
+        let together = forward_targets(&model, d.features(), &adj, &[9, 5, 33], &mut noop);
+        for c in 0..d.spec.num_classes {
+            // Bit-exact: same f32 bits, not just close.
+            assert_eq!(alone.get(0, c).to_bits(), together.get(1, c).to_bits());
+        }
+    }
+
+    #[test]
+    fn transform_sees_every_hidden_activation() {
+        let (d, model, adj) = setup();
+        let mut seen = 0usize;
+        let _ = forward_targets(&model, d.features(), &adj, &[2, 4], &mut |l, _v, _row| {
+            assert_eq!(l, 1);
+            seen += 1;
+        });
+        let field = ReceptiveField::expand(&adj, &[2, 4], model.config().layers);
+        assert_eq!(seen, field.needed[1].len());
+    }
+}

@@ -25,9 +25,11 @@
 pub mod adjacency;
 pub mod figstats;
 pub mod gat;
+pub mod infer;
 pub mod model;
 pub mod train;
 
 pub use adjacency::{build_adjacency, AggregatorKind};
+pub use infer::{forward_targets, forward_targets_with_field, ReceptiveField};
 pub use model::{ForwardHook, Gnn, GnnKind, IdentityHook, ModelConfig};
 pub use train::{accuracy, TrainReport, Trainer};

@@ -114,12 +114,7 @@ pub trait ForwardHook {
 
     /// Transforms the activation (the feature map entering layer `layer`;
     /// `layer == 0` is the input features when dense).
-    fn transform_activation(
-        &mut self,
-        tape: &mut Tape,
-        layer: usize,
-        h: VarId,
-    ) -> VarId {
+    fn transform_activation(&mut self, tape: &mut Tape, layer: usize, h: VarId) -> VarId {
         let _ = (tape, layer);
         h
     }
@@ -162,8 +157,33 @@ impl Gnn {
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for (l, (i, o)) in config.layer_dims().into_iter().enumerate() {
-            weights.push(Matrix::xavier_uniform(i, o, config.seed.wrapping_add(l as u64)));
+            weights.push(Matrix::xavier_uniform(
+                i,
+                o,
+                config.seed.wrapping_add(l as u64),
+            ));
             biases.push(Matrix::zeros(1, o));
+        }
+        Self {
+            config,
+            weights,
+            biases,
+        }
+    }
+
+    /// Builds a model from explicit parameters (e.g. quantized weights for
+    /// serving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter shapes do not match `config.layer_dims()`.
+    pub fn from_parts(config: ModelConfig, weights: Vec<Matrix>, biases: Vec<Matrix>) -> Self {
+        let dims = config.layer_dims();
+        assert_eq!(weights.len(), dims.len(), "weight count mismatch");
+        assert_eq!(biases.len(), dims.len(), "bias count mismatch");
+        for (l, (i, o)) in dims.into_iter().enumerate() {
+            assert_eq!(weights[l].shape(), (i, o), "weight {l} shape mismatch");
+            assert_eq!(biases[l].shape(), (1, o), "bias {l} shape mismatch");
         }
         Self {
             config,
@@ -180,6 +200,11 @@ impl Gnn {
     /// Immutable view of layer weights.
     pub fn weights(&self) -> &[Matrix] {
         &self.weights
+    }
+
+    /// Immutable view of layer biases (shape `(1, out_dim)` each).
+    pub fn biases(&self) -> &[Matrix] {
+        &self.biases
     }
 
     /// Mutable parameter references in optimizer order (weights then biases,
@@ -257,8 +282,7 @@ impl Gnn {
             };
             let combined = tape.add_bias(combined, b);
             // Aggregation: Ã·(XW) — the paper's A(XW) ordering.
-            let aggregated =
-                tape.spmm_left_with_transpose(adjacency, adjacency_t, combined);
+            let aggregated = tape.spmm_left_with_transpose(adjacency, adjacency_t, combined);
             if l + 1 == layers {
                 logits = Some(aggregated);
             } else {
@@ -350,12 +374,7 @@ mod tests {
                 self.weights_seen += 1;
                 w
             }
-            fn transform_activation(
-                &mut self,
-                _t: &mut Tape,
-                _l: usize,
-                h: VarId,
-            ) -> VarId {
+            fn transform_activation(&mut self, _t: &mut Tape, _l: usize, h: VarId) -> VarId {
                 self.activations_seen += 1;
                 h
             }

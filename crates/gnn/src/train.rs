@@ -141,11 +141,8 @@ impl Trainer {
                 hook,
                 masks.as_deref(),
             );
-            let loss = tape.softmax_cross_entropy(
-                out.logits,
-                Rc::clone(&labels),
-                Rc::clone(&train_idx),
-            );
+            let loss =
+                tape.softmax_cross_entropy(out.logits, Rc::clone(&labels), Rc::clone(&train_idx));
             final_loss = tape.value(loss).get(0, 0);
             tape.backward(loss);
             let grads: Vec<Matrix> = out
@@ -155,14 +152,9 @@ impl Trainer {
                 .flat_map(|(&w, &b)| {
                     [
                         tape.grad(w).clone(),
-                        tape.try_grad(b)
-                            .cloned()
-                            .unwrap_or_else(|| {
-                                Matrix::zeros(
-                                    tape.value(b).rows(),
-                                    tape.value(b).cols(),
-                                )
-                            }),
+                        tape.try_grad(b).cloned().unwrap_or_else(|| {
+                            Matrix::zeros(tape.value(b).rows(), tape.value(b).cols())
+                        }),
                     ]
                 })
                 .collect();
@@ -172,7 +164,8 @@ impl Trainer {
                 opt.step(&mut params, &refs);
             }
             // Evaluate without dropout (fresh tape, current params).
-            let (val, test) = self.evaluate(model, dataset, &x_sparse, adjacency, &adjacency_t, hook);
+            let (val, test) =
+                self.evaluate(model, dataset, &x_sparse, adjacency, &adjacency_t, hook);
             if val > best_val {
                 best_val = val;
                 best_test = test;
@@ -203,14 +196,8 @@ impl Trainer {
         hook: &mut dyn ForwardHook,
     ) -> (f64, f64) {
         let mut tape = Tape::new();
-        let out = model.forward_from_sparse(
-            &mut tape,
-            x_sparse,
-            adjacency,
-            adjacency_t,
-            hook,
-            None,
-        );
+        let out =
+            model.forward_from_sparse(&mut tape, x_sparse, adjacency, adjacency_t, hook, None);
         let logits = tape.value(out.logits);
         let val = accuracy(logits, &dataset.labels, &dataset.splits.val);
         let test = accuracy(logits, &dataset.labels, &dataset.splits.test);
@@ -219,16 +206,9 @@ impl Trainer {
 
     /// Convenience: trains a fresh FP32 model of `kind` on `dataset` and
     /// reports accuracy.
-    pub fn train_fp32(
-        &self,
-        kind: crate::model::GnnKind,
-        dataset: &Dataset,
-    ) -> (Gnn, TrainReport) {
+    pub fn train_fp32(&self, kind: crate::model::GnnKind, dataset: &Dataset) -> (Gnn, TrainReport) {
         let cfg = crate::model::ModelConfig::for_dataset(kind, dataset);
-        let adj = crate::adjacency::build_adjacency(
-            &dataset.graph,
-            kind.aggregator(cfg.seed),
-        );
+        let adj = crate::adjacency::build_adjacency(&dataset.graph, kind.aggregator(cfg.seed));
         let mut model = Gnn::new(cfg);
         let report = self.train(&mut model, dataset, &adj, &mut IdentityHook);
         (model, report)
@@ -311,7 +291,11 @@ mod tests {
             ..Trainer::default()
         };
         let (_, report) = trainer.train_fp32(GnnKind::Gcn, &d);
-        assert!(report.epochs_run < 200, "ran all {} epochs", report.epochs_run);
+        assert!(
+            report.epochs_run < 200,
+            "ran all {} epochs",
+            report.epochs_run
+        );
     }
 
     #[test]

@@ -103,8 +103,7 @@ impl Coo {
     /// Adds the reverse of every edge and canonicalizes, producing a
     /// symmetric edge list.
     pub fn symmetrize(&mut self) {
-        let reversed: Vec<(NodeId, NodeId)> =
-            self.edges.iter().map(|&(s, d)| (d, s)).collect();
+        let reversed: Vec<(NodeId, NodeId)> = self.edges.iter().map(|&(s, d)| (d, s)).collect();
         self.edges.extend(reversed);
         self.dedup();
     }

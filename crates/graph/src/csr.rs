@@ -42,11 +42,7 @@ impl Csr {
     /// # Panics
     ///
     /// Panics if an endpoint exceeds the stated dimensions.
-    pub fn from_edges(
-        num_rows: usize,
-        num_cols: usize,
-        edges: &[(NodeId, NodeId)],
-    ) -> Self {
+    pub fn from_edges(num_rows: usize, num_cols: usize, edges: &[(NodeId, NodeId)]) -> Self {
         let mut counts = vec![0usize; num_rows + 1];
         for &(s, d) in edges {
             assert!(

@@ -153,7 +153,7 @@ impl DatasetSpec {
             homophily: 0.85,
             feature_density: 1.0,
             feature_kind: FeatureKind::DenseEmbedding,
-            seed: 0x4EDD_17,
+            seed: 0x4EDD17,
         }
     }
 
@@ -164,6 +164,20 @@ impl DatasetSpec {
         let mut spec = Self::reddit().scaled(1.0 / 16.0);
         spec.name = "Reddit".into();
         spec
+    }
+
+    /// Looks up a preset by its (case-insensitive) Table II name. Reddit
+    /// resolves to the bench-scale preset. Used by serving/config surfaces
+    /// that address datasets by string.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "cora" => Some(Self::cora()),
+            "citeseer" => Some(Self::citeseer()),
+            "pubmed" => Some(Self::pubmed()),
+            "nell" => Some(Self::nell()),
+            "reddit" => Some(Self::reddit_scaled()),
+            _ => None,
+        }
     }
 
     /// All five Table II presets, Reddit at bench scale.
@@ -185,8 +199,7 @@ impl DatasetSpec {
     pub fn scaled(mut self, f: f64) -> Self {
         assert!(f > 0.0 && f <= 1.0, "scale factor must be in (0, 1]");
         self.nodes = ((self.nodes as f64 * f).round() as usize).max(16);
-        self.directed_edges =
-            ((self.directed_edges as f64 * f).round() as usize).max(32);
+        self.directed_edges = ((self.directed_edges as f64 * f).round() as usize).max(32);
         self
     }
 
@@ -369,11 +382,7 @@ impl Dataset {
     }
 }
 
-fn synthesize_features(
-    spec: &DatasetSpec,
-    labels: &[u16],
-    rng: &mut StdRng,
-) -> Features {
+fn synthesize_features(spec: &DatasetSpec, labels: &[u16], rng: &mut StdRng) -> Features {
     let n = labels.len();
     let dim = spec.feature_dim;
     match spec.feature_kind {
@@ -387,8 +396,7 @@ fn synthesize_features(
             for v in 0..n {
                 let c = labels[v] as usize;
                 for j in 0..dim {
-                    data[v * dim + j] =
-                        means[c * dim + j] + standard_normal(rng) as f32 * 0.9;
+                    data[v * dim + j] = means[c * dim + j] + standard_normal(rng) as f32 * 0.9;
                 }
             }
             Features::from_vec(n, dim, data)
@@ -410,8 +418,7 @@ fn synthesize_features(
             for v in 0..n {
                 let pool = &pools[labels[v] as usize];
                 let jitter = 1.0 + 0.35 * standard_normal(rng);
-                let nnz = ((mean_nnz * jitter).round() as i64)
-                    .clamp(1, (dim / 2) as i64) as usize;
+                let nnz = ((mean_nnz * jitter).round() as i64).clamp(1, (dim / 2) as i64) as usize;
                 for _ in 0..nnz {
                     let j = if rng.gen::<f64>() < 0.8 {
                         pool[rng.gen_range(0..pool.len())] as usize
@@ -420,9 +427,7 @@ fn synthesize_features(
                     };
                     data[v * dim + j] = match spec.feature_kind {
                         FeatureKind::BinaryBagOfWords => 1.0,
-                        FeatureKind::TfIdf => {
-                            (0.2 + 0.8 * rng.gen::<f32>()).min(1.0)
-                        }
+                        FeatureKind::TfIdf => (0.2 + 0.8 * rng.gen::<f32>()).min(1.0),
                         FeatureKind::DenseEmbedding => unreachable!(),
                     };
                 }

@@ -241,7 +241,7 @@ mod tests {
         let out = small().generate();
         let e = out.graph.num_edges();
         assert!(
-            e >= 1500 && e <= 1700,
+            (1500..=1700).contains(&e),
             "edge count {e} far from target 1600"
         );
     }

@@ -3,11 +3,13 @@
 use mega_graph::{Coo, Csr, Graph, NodeId};
 use proptest::prelude::*;
 
-fn arb_edges(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+fn arb_edges(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
         let edge = (0..n as NodeId, 0..n as NodeId);
-        proptest::collection::vec(edge, 0..max_edges)
-            .prop_map(move |edges| (n, edges))
+        proptest::collection::vec(edge, 0..max_edges).prop_map(move |edges| (n, edges))
     })
 }
 

@@ -23,19 +23,110 @@ pub struct ComponentSpec {
 /// analytic models below.
 pub fn mega_table_iv() -> Vec<ComponentSpec> {
     vec![
-        ComponentSpec { name: "BSEs", area_mm2: 0.053, power_mw: 14.70, config: "4 x 8 x 32", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Aggregation Unit", area_mm2: 0.100, power_mw: 28.92, config: "256", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Crossbar", area_mm2: 0.027, power_mw: 5.56, config: "32 x 8 (64bit)", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Condense Unit", area_mm2: 0.002, power_mw: 1.19, config: "16 ID FIFOs", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Encoder", area_mm2: 0.010, power_mw: 1.81, config: "32 QN units", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Decoder", area_mm2: 0.003, power_mw: 0.75, config: "-", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Others", area_mm2: 0.004, power_mw: 0.80, config: "-", is_buffer: false, capacity_kb: 0 },
-        ComponentSpec { name: "Aggregation Buffer", area_mm2: 0.540, power_mw: 46.56, config: "128 KB", is_buffer: true, capacity_kb: 128 },
-        ComponentSpec { name: "Combination Buffer", area_mm2: 0.452, power_mw: 35.19, config: "96 KB", is_buffer: true, capacity_kb: 96 },
-        ComponentSpec { name: "Input Buffer", area_mm2: 0.220, power_mw: 22.88, config: "64 KB", is_buffer: true, capacity_kb: 64 },
-        ComponentSpec { name: "Edge Buffer", area_mm2: 0.119, power_mw: 9.44, config: "24 KB", is_buffer: true, capacity_kb: 24 },
-        ComponentSpec { name: "Sparse Buffer", area_mm2: 0.154, power_mw: 12.86, config: "32 KB", is_buffer: true, capacity_kb: 32 },
-        ComponentSpec { name: "Weight Buffer", area_mm2: 0.190, power_mw: 14.32, config: "48 KB", is_buffer: true, capacity_kb: 48 },
+        ComponentSpec {
+            name: "BSEs",
+            area_mm2: 0.053,
+            power_mw: 14.70,
+            config: "4 x 8 x 32",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Aggregation Unit",
+            area_mm2: 0.100,
+            power_mw: 28.92,
+            config: "256",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Crossbar",
+            area_mm2: 0.027,
+            power_mw: 5.56,
+            config: "32 x 8 (64bit)",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Condense Unit",
+            area_mm2: 0.002,
+            power_mw: 1.19,
+            config: "16 ID FIFOs",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Encoder",
+            area_mm2: 0.010,
+            power_mw: 1.81,
+            config: "32 QN units",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Decoder",
+            area_mm2: 0.003,
+            power_mw: 0.75,
+            config: "-",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Others",
+            area_mm2: 0.004,
+            power_mw: 0.80,
+            config: "-",
+            is_buffer: false,
+            capacity_kb: 0,
+        },
+        ComponentSpec {
+            name: "Aggregation Buffer",
+            area_mm2: 0.540,
+            power_mw: 46.56,
+            config: "128 KB",
+            is_buffer: true,
+            capacity_kb: 128,
+        },
+        ComponentSpec {
+            name: "Combination Buffer",
+            area_mm2: 0.452,
+            power_mw: 35.19,
+            config: "96 KB",
+            is_buffer: true,
+            capacity_kb: 96,
+        },
+        ComponentSpec {
+            name: "Input Buffer",
+            area_mm2: 0.220,
+            power_mw: 22.88,
+            config: "64 KB",
+            is_buffer: true,
+            capacity_kb: 64,
+        },
+        ComponentSpec {
+            name: "Edge Buffer",
+            area_mm2: 0.119,
+            power_mw: 9.44,
+            config: "24 KB",
+            is_buffer: true,
+            capacity_kb: 24,
+        },
+        ComponentSpec {
+            name: "Sparse Buffer",
+            area_mm2: 0.154,
+            power_mw: 12.86,
+            config: "32 KB",
+            is_buffer: true,
+            capacity_kb: 32,
+        },
+        ComponentSpec {
+            name: "Weight Buffer",
+            area_mm2: 0.190,
+            power_mw: 14.32,
+            config: "48 KB",
+            is_buffer: true,
+            capacity_kb: 48,
+        },
     ]
 }
 

@@ -167,9 +167,8 @@ impl DramSim {
         let stream_threshold = self.config.row_bytes * 64;
         if bytes >= stream_threshold {
             transactions = (last - first) / tx + 1;
-            let rows = (addr + bytes - 1) / self.config.row_bytes
-                - addr / self.config.row_bytes
-                + 1;
+            let rows =
+                (addr + bytes - 1) / self.config.row_bytes - addr / self.config.row_bytes + 1;
             self.stats.row_misses += rows;
             self.stats.row_hits += transactions - rows.min(transactions);
             // Open-row state after the stream: its final row per bank is a
@@ -201,8 +200,8 @@ impl DramSim {
     pub fn busy_cycles(&self) -> u64 {
         let transfer =
             (self.stats.total_bytes() as f64 / self.config.peak_bytes_per_cycle).ceil() as u64;
-        let miss_overhead = self.stats.row_misses * self.config.row_miss_penalty
-            / self.config.channels as u64;
+        let miss_overhead =
+            self.stats.row_misses * self.config.row_miss_penalty / self.config.channels as u64;
         transfer + miss_overhead
     }
 

@@ -5,10 +5,7 @@ use mega_hw::{DramConfig, DramSim};
 use proptest::prelude::*;
 
 fn arb_accesses() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
-    proptest::collection::vec(
-        (0u64..1 << 24, 1u64..4096, proptest::bool::ANY),
-        1..64,
-    )
+    proptest::collection::vec((0u64..1 << 24, 1u64..4096, proptest::bool::ANY), 1..64)
 }
 
 proptest! {

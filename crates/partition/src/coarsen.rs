@@ -23,9 +23,7 @@ pub fn coarsen_once<R: Rng + ?Sized>(graph: &WGraph, rng: &mut R) -> (WGraph, Ve
         // matching); ties broken by first occurrence.
         let mut best: Option<(u32, u32)> = None;
         for &(u, w) in graph.neighbors(v) {
-            if mate[u as usize] == UNMATCHED
-                && best.map_or(true, |(_, bw)| w > bw)
-            {
+            if mate[u as usize] == UNMATCHED && best.is_none_or(|(_, bw)| w > bw) {
                 best = Some((u, w));
             }
         }
@@ -80,9 +78,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn ring(n: usize) -> WGraph {
-        let edges: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         WGraph::from_graph(&Graph::from_undirected_edges(n, edges))
     }
 

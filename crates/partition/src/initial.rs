@@ -7,6 +7,7 @@ use crate::WGraph;
 /// Assigns the nodes of (the coarsest) `graph` to `k` parts by growing
 /// regions from random seeds: parts take turns absorbing the frontier node
 /// most connected to them, keeping node-weight balance.
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudocode
 pub fn greedy_growing<R: Rng + ?Sized>(graph: &WGraph, k: usize, rng: &mut R) -> Vec<u32> {
     let n = graph.num_nodes();
     const FREE: u32 = u32::MAX;
@@ -59,7 +60,7 @@ pub fn greedy_growing<R: Rng + ?Sized>(graph: &WGraph, k: usize, rng: &mut R) ->
                     .filter(|&&(u, _)| assignment[u as usize] == p as u32)
                     .map(|&(_, w)| w as u64)
                     .sum();
-                if conn > 0 && best.map_or(true, |(_, bc)| conn > bc) {
+                if conn > 0 && best.is_none_or(|(_, bc)| conn > bc) {
                     best = Some((v, conn));
                 }
             }
@@ -77,9 +78,7 @@ pub fn greedy_growing<R: Rng + ?Sized>(graph: &WGraph, k: usize, rng: &mut R) ->
             // Disconnected leftovers: dump each into the lightest part.
             for v in 0..n {
                 if assignment[v] == FREE {
-                    let p = (0..k)
-                        .min_by_key(|&p| part_weight[p])
-                        .expect("k > 0");
+                    let p = (0..k).min_by_key(|&p| part_weight[p]).expect("k > 0");
                     assignment[v] = p as u32;
                     part_weight[p] += graph.node_weight(v) as u64;
                     remaining -= 1;
@@ -137,10 +136,7 @@ mod tests {
     #[test]
     fn disconnected_components_still_assigned() {
         // Two disjoint edges and an isolated node.
-        let g = WGraph::from_graph(&Graph::from_undirected_edges(
-            5,
-            vec![(0, 1), (2, 3)],
-        ));
+        let g = WGraph::from_graph(&Graph::from_undirected_edges(5, vec![(0, 1), (2, 3)]));
         let mut rng = StdRng::seed_from_u64(3);
         let a = greedy_growing(&g, 2, &mut rng);
         assert!(a.iter().all(|&p| p < 2));

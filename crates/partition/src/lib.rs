@@ -89,10 +89,7 @@ impl PartitionConfig {
 /// Panics if `k == 0` or `k` exceeds the node count.
 pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
     assert!(config.k > 0, "k must be positive");
-    assert!(
-        config.k <= graph.num_nodes().max(1),
-        "k exceeds node count"
-    );
+    assert!(config.k <= graph.num_nodes().max(1), "k exceeds node count");
     if config.k == 1 {
         return Partitioning::new(vec![0; graph.num_nodes()], 1);
     }
@@ -102,8 +99,7 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Partitioning {
     let stop = (config.coarsen_to_per_part * config.k).max(2 * config.k);
     while current.num_nodes() > stop {
         let (coarse, cmap) = coarsen::coarsen_once(&current, &mut rng);
-        let stalled =
-            coarse.num_nodes() as f64 > current.num_nodes() as f64 * 0.95;
+        let stalled = coarse.num_nodes() as f64 > current.num_nodes() as f64 * 0.95;
         levels.push((std::mem::replace(&mut current, coarse), cmap));
         if stalled {
             // Matching degenerates on star-like graphs; stop early rather

@@ -71,6 +71,15 @@ impl Partitioning {
         members
     }
 
+    /// Reorders `nodes` so members of the same part are adjacent (stable
+    /// within a part). Batch executors use this to walk a batch's targets
+    /// in partition-locality order.
+    pub fn order_by_part(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        let mut ordered = nodes.to_vec();
+        ordered.sort_by_key(|&v| (self.part_of(v as usize), v));
+        ordered
+    }
+
     /// Number of directed edges whose endpoints lie in different parts.
     pub fn edge_cut(&self, graph: &Graph) -> usize {
         let mut cut = 0usize;
@@ -150,10 +159,7 @@ mod tests {
 
     /// 0-1-2 in part 0; 3-4-5 in part 1; cross edges 2->3, 5->0.
     fn setup() -> (Graph, Partitioning) {
-        let g = Graph::from_directed_edges(
-            6,
-            vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (5, 0)],
-        );
+        let g = Graph::from_directed_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (5, 0)]);
         let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
         (g, p)
     }

@@ -20,8 +20,7 @@ pub fn refine<R: Rng + ?Sized>(
     if n == 0 || k < 2 {
         return;
     }
-    let capacity =
-        (graph.total_weight() as f64 / k as f64 * max_imbalance).ceil() as u64;
+    let capacity = (graph.total_weight() as f64 / k as f64 * max_imbalance).ceil() as u64;
     let mut part_weight = vec![0u64; k];
     for v in 0..n {
         part_weight[assignment[v] as usize] += graph.node_weight(v) as u64;
@@ -53,8 +52,7 @@ pub fn refine<R: Rng + ?Sized>(
                 if part_weight[p] + w > capacity {
                     continue;
                 }
-                if conn[p] > internal && best.map_or(true, |(_, bc)| conn[p] > bc)
-                {
+                if conn[p] > internal && best.is_none_or(|(_, bc)| conn[p] > bc) {
                     best = Some((p, conn[p]));
                 }
             }

@@ -19,6 +19,7 @@ impl WGraph {
     /// Builds the level-0 working graph: every node weight 1, every
     /// undirected edge weight = number of directed edges between the pair
     /// (1 or 2).
+    #[allow(clippy::needless_range_loop)] // adjacency built per source node
     pub fn from_graph(graph: &Graph) -> Self {
         let n = graph.num_nodes();
         let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];

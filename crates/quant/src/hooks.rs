@@ -16,8 +16,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::grouping::DegreeGrouping;
 use crate::ops::{
-    effective_bits, effective_scale, feature_quant_forward, weight_quant_forward,
-    FeatureQuantOp, MemoryLossOp, WeightQuantOp, FEATURE_BITS_RANGE,
+    effective_bits, effective_scale, feature_quant_forward, weight_quant_forward, FeatureQuantOp,
+    MemoryLossOp, WeightQuantOp, FEATURE_BITS_RANGE,
 };
 use crate::quantizer::{lsq_init_scale, qmax};
 
@@ -126,8 +126,6 @@ impl DegreeAwareHook {
             .collect();
         let tables: Vec<&Matrix> = bit_vars.iter().map(|&v| tape.value(v)).collect();
         let value = op.forward(&tables);
-        // Reborrow dance: tape.custom needs &mut.
-        let value = value;
         tape.custom(&bit_vars, value, Box::new(op))
     }
 
@@ -248,20 +246,15 @@ impl ForwardHook for DegreeAwareHook {
         )
     }
 
-    fn transform_activation(
-        &mut self,
-        tape: &mut Tape,
-        layer: usize,
-        h: VarId,
-    ) -> VarId {
+    fn transform_activation(&mut self, tape: &mut Tape, layer: usize, h: VarId) -> VarId {
         let i = layer - 1; // activation entering layer `layer`
         if !self.scales_initialized[i] {
             // Per-group LSQ init from the first observed activation.
             let hv = tape.value(h);
             let mut sums = vec![0.0f64; self.num_groups];
             let mut counts = vec![0usize; self.num_groups];
-            for v in 0..hv.rows() {
-                let g = self.node_groups[v] as usize;
+            for (v, &group) in self.node_groups.iter().enumerate() {
+                let g = group as usize;
                 for &x in hv.row(v) {
                     sums[g] += x.abs() as f64;
                     counts[g] += 1;
@@ -324,12 +317,7 @@ impl mega_tensor::CustomGrad for DqFeatureOp {
         let q = qmax(self.bits) as f32;
         let mut gh = Matrix::zeros(h.rows(), h.cols());
         let mut gs = Matrix::zeros(1, 1);
-        let n_quant = self
-            .mask
-            .iter()
-            .filter(|&&m| !m)
-            .count()
-            .max(1);
+        let n_quant = self.mask.iter().filter(|&&m| !m).count().max(1);
         let s_norm = 1.0 / (((n_quant * h.cols()) as f32 * q).sqrt().max(1.0));
         for v in 0..h.rows() {
             if self.mask[v] {
@@ -472,12 +460,7 @@ impl ForwardHook for DqHook {
         )
     }
 
-    fn transform_activation(
-        &mut self,
-        tape: &mut Tape,
-        layer: usize,
-        h: VarId,
-    ) -> VarId {
+    fn transform_activation(&mut self, tape: &mut Tape, layer: usize, h: VarId) -> VarId {
         let i = layer - 1;
         if !self.scales_initialized[i] {
             let hv = tape.value(h);
@@ -495,7 +478,9 @@ impl ForwardHook for DqHook {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add(layer as u64),
             );
-            (0..n).map(|v| rng.gen::<f32>() < self.mask_prob[v]).collect()
+            (0..n)
+                .map(|v| rng.gen::<f32>() < self.mask_prob[v])
+                .collect()
         } else {
             vec![false; n]
         };
@@ -527,8 +512,8 @@ impl ForwardHook for DqHook {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mega_graph::datasets::DatasetSpec;
     use mega_gnn::{build_adjacency, Gnn, GnnKind, ModelConfig};
+    use mega_graph::datasets::DatasetSpec;
 
     fn setup() -> (mega_graph::Dataset, Gnn, Rc<mega_tensor::CsrMatrix>) {
         let d = DatasetSpec::cora()
@@ -558,15 +543,14 @@ mod tests {
         let (d, model, adj) = setup();
         let grouping = DegreeGrouping::default();
         let counts = grouping.group_counts(&d.graph);
-        let mut hook = DegreeAwareHook::new(&d.graph, &grouping, 2, 6.0).with_memory(
-            MemoryConfig {
+        let mut hook =
+            DegreeAwareHook::new(&d.graph, &grouping, 2, 6.0).with_memory(MemoryConfig {
                 hidden_dims: vec![128],
                 group_counts: counts,
                 constant_bits: 0.0,
                 // Absurdly small target => strong downward pressure.
                 m_target_kb: 0.5,
-            },
-        );
+            });
         let mut tape = Tape::new();
         let _ = model.forward(&mut tape, &d, &adj, &mut hook, None);
         let mem = hook.memory_penalty(&mut tape);
@@ -611,7 +595,10 @@ mod tests {
             .min_by_key(|&v| d.graph.in_degree(v))
             .unwrap();
         assert!(hook.mask_prob[vmax] > hook.mask_prob[vmin]);
-        assert!(hook.mask_prob.iter().all(|&p| (0.0..=DqHook::P_MAX).contains(&p)));
+        assert!(hook
+            .mask_prob
+            .iter()
+            .all(|&p| (0.0..=DqHook::P_MAX).contains(&p)));
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl InputQuant {
         // Sample non-zero values per group (zeros quantize exactly).
         const MAX_SAMPLE: usize = 4096;
         let mut samples: Vec<Vec<f32>> = vec![Vec::new(); num_groups];
-        for v in 0..features.rows() {
-            let g = node_groups[v] as usize;
+        for (v, &group) in node_groups.iter().enumerate() {
+            let g = group as usize;
             if samples[g].len() >= MAX_SAMPLE {
                 continue;
             }
@@ -68,8 +68,8 @@ impl InputQuant {
             if vals.is_empty() {
                 continue;
             }
-            let energy: f64 = vals.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
-                / vals.len() as f64;
+            let energy: f64 =
+                vals.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() / vals.len() as f64;
             let tol = energy * rel_mse_tol;
             let max_abs = vals.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
             let mut chosen = (8u8, max_abs / qmax(8) as f32);
@@ -95,8 +95,8 @@ impl InputQuant {
         let mut data = Vec::with_capacity(features.rows() * dim);
         let mut total_bits = 0.0f64;
         let mut node_bits = Vec::with_capacity(features.rows());
-        for v in 0..features.rows() {
-            let g = node_groups[v] as usize;
+        for (v, &group) in node_groups.iter().enumerate() {
+            let g = group as usize;
             node_bits.push(bits[g]);
             total_bits += dim as f64 * bits[g] as f64;
             for &x in features.row(v) {
@@ -121,8 +121,7 @@ impl InputQuant {
         if self.node_bits.is_empty() {
             return 0.0;
         }
-        self.node_bits.iter().map(|&b| b as f64).sum::<f64>()
-            / self.node_bits.len() as f64
+        self.node_bits.iter().map(|&b| b as f64).sum::<f64>() / self.node_bits.len() as f64
     }
 }
 
@@ -155,7 +154,13 @@ mod tests {
     fn float_inputs_need_more_bits() {
         // tf-idf style floats in (0.2, 1.0).
         let data: Vec<f32> = (0..64)
-            .map(|i| if i % 2 == 0 { 0.0 } else { 0.2 + 0.013 * i as f32 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    0.0
+                } else {
+                    0.2 + 0.013 * i as f32
+                }
+            })
             .collect();
         let f = Features::from_vec(8, 8, data);
         let groups = vec![0u32; 8];
@@ -169,8 +174,8 @@ mod tests {
             .map(|(a, b)| ((a - b) as f64).powi(2))
             .sum::<f64>()
             / f.data().len() as f64;
-        let energy: f64 = f.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
-            / f.data().len() as f64;
+        let energy: f64 =
+            f.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / f.data().len() as f64;
         assert!(e <= energy * 0.05, "mse {e} vs energy {energy}");
     }
 

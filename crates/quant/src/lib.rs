@@ -29,6 +29,7 @@ pub mod grouping;
 pub mod hooks;
 pub mod input;
 pub mod ops;
+pub mod policy;
 pub mod qat;
 pub mod quantizer;
 pub mod report;
@@ -36,5 +37,6 @@ pub mod report;
 pub use grouping::DegreeGrouping;
 pub use hooks::{DegreeAwareHook, DqHook};
 pub use input::InputQuant;
+pub use policy::DegreePolicy;
 pub use qat::{QatConfig, QatOutcome, QatTrainer};
 pub use report::{average_bits, compression_ratio, BitAssignment};

@@ -32,16 +32,11 @@ pub fn effective_scale(s: f32) -> f32 {
 /// Forward fake-quantization of a feature map with per-group parameters.
 ///
 /// `groups[v]` selects the `(scale, bits)` column for node `v`'s row.
-pub fn feature_quant_forward(
-    h: &Matrix,
-    scales: &Matrix,
-    bits: &Matrix,
-    groups: &[u32],
-) -> Matrix {
+pub fn feature_quant_forward(h: &Matrix, scales: &Matrix, bits: &Matrix, groups: &[u32]) -> Matrix {
     assert_eq!(h.rows(), groups.len(), "group map length mismatch");
     let mut out = h.clone();
-    for v in 0..h.rows() {
-        let d = groups[v] as usize;
+    for (v, &group) in groups.iter().enumerate() {
+        let d = group as usize;
         let alpha = effective_scale(scales.get(0, d));
         let b = effective_bits(bits.get(0, d));
         let q = qmax(b) as f32;
@@ -104,13 +99,8 @@ impl CustomGrad for FeatureQuantOp {
                     let ds = q * x.signum();
                     gs.set(0, d, gs.get(0, d) + g * ds * s_norm * sign_s);
                     if b_cont > FEATURE_BITS_RANGE.0 && b_cont < FEATURE_BITS_RANGE.1 {
-                        let dq_db =
-                            alpha * std::f32::consts::LN_2 * (2.0f32).powi(b as i32 - 1);
-                        gb.set(
-                            0,
-                            d,
-                            gb.get(0, d) + g * dq_db * x.signum() * b_norm,
-                        );
+                        let dq_db = alpha * std::f32::consts::LN_2 * (2.0f32).powi(b as i32 - 1);
+                        gb.set(0, d, gb.get(0, d) + g * dq_db * x.signum() * b_norm);
                     }
                 }
             }
@@ -205,10 +195,10 @@ impl MemoryLossOp {
         let mut total_bits = self.constant_bits;
         for (l, table) in bit_tables.iter().enumerate() {
             for d in 0..table.cols() {
-                let b = table.get(0, d).clamp(
-                    FEATURE_BITS_RANGE.0,
-                    FEATURE_BITS_RANGE.1,
-                ) as f64;
+                let b = table
+                    .get(0, d)
+                    .clamp(FEATURE_BITS_RANGE.0, FEATURE_BITS_RANGE.1)
+                    as f64;
                 total_bits += self.layer_dims[l] * self.group_counts[l][d] * b;
             }
         }
@@ -236,11 +226,8 @@ impl CustomGrad for MemoryLossOp {
                 let b = table.get(0, d);
                 // Clamp acts as a hard stop (zero gradient outside).
                 if b > FEATURE_BITS_RANGE.0 && b < FEATURE_BITS_RANGE.1 {
-                    let dv = 2.0
-                        * deviation
-                        * self.layer_dims[l]
-                        * self.group_counts[l][d]
-                        / self.eta;
+                    let dv =
+                        2.0 * deviation * self.layer_dims[l] * self.group_counts[l][d] / self.eta;
                     g.set(0, d, (dv * upstream) as f32);
                 }
             }

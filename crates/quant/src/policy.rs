@@ -1,0 +1,173 @@
+//! The degree-aware bitwidth *policy*: the reusable decision rule mapping a
+//! node's in-degree to a serving bitwidth.
+//!
+//! QAT learns per-degree-group `(scale, bits)` pairs (see [`crate::qat`]);
+//! at serving time what matters is the *shape* those runs converge to —
+//! few bits for the power-law majority of low-degree nodes, more bits for
+//! the rare high-in-degree nodes whose aggregated features grow large
+//! (paper Fig. 3). [`DegreePolicy`] captures that shape as explicit
+//! thresholds so both the workload builders (`mega::workloads`) and the
+//! online inference engine (`mega-serve`) share one definition.
+
+use mega_graph::Graph;
+
+/// Maps in-degree to a serving bitwidth via ascending degree thresholds.
+///
+/// # Example
+///
+/// ```
+/// use mega_quant::DegreePolicy;
+///
+/// let policy = DegreePolicy::paper_default();
+/// assert_eq!(policy.bits_for_degree(0), 2);
+/// assert_eq!(policy.bits_for_degree(10), 4);
+/// assert!(policy.bits_for_degree(1_000) >= policy.bits_for_degree(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreePolicy {
+    /// `(max_degree_inclusive, bits)` pairs in ascending degree order; the
+    /// final tier has no upper bound.
+    tiers: Vec<(usize, u8)>,
+    /// Bits for degrees above the last threshold.
+    overflow_bits: u8,
+}
+
+impl DegreePolicy {
+    /// The profile Degree-Aware QAT converges to on the paper's citation
+    /// graphs: 2–3 bits for the low-degree majority, up to 6 for hubs.
+    pub fn paper_default() -> Self {
+        Self::new(vec![(2, 2), (8, 3), (32, 4), (128, 5)], 6)
+    }
+
+    /// A policy from explicit `(max_degree_inclusive, bits)` tiers plus the
+    /// bitwidth used above the last threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty, thresholds are not strictly ascending,
+    /// or any bitwidth is outside `1..=8`.
+    pub fn new(tiers: Vec<(usize, u8)>, overflow_bits: u8) -> Self {
+        assert!(!tiers.is_empty(), "policy needs at least one tier");
+        for window in tiers.windows(2) {
+            assert!(
+                window[0].0 < window[1].0,
+                "tier thresholds must be strictly ascending"
+            );
+        }
+        for &(_, bits) in &tiers {
+            assert!((1..=8).contains(&bits), "bitwidth {bits} out of range");
+        }
+        assert!(
+            (1..=8).contains(&overflow_bits),
+            "overflow bitwidth {overflow_bits} out of range"
+        );
+        Self {
+            tiers,
+            overflow_bits,
+        }
+    }
+
+    /// The bitwidth served to a node with this in-degree.
+    pub fn bits_for_degree(&self, in_degree: usize) -> u8 {
+        for &(max_degree, bits) in &self.tiers {
+            if in_degree <= max_degree {
+                return bits;
+            }
+        }
+        self.overflow_bits
+    }
+
+    /// Per-node bitwidths for a whole graph (the degree profile the
+    /// hardware workload builders consume).
+    pub fn profile(&self, graph: &Graph) -> Vec<u8> {
+        (0..graph.num_nodes())
+            .map(|v| self.bits_for_degree(graph.in_degree(v)))
+            .collect()
+    }
+
+    /// Tier index (0-based, low bits first) of an in-degree. Serving uses
+    /// this to bucket requests with similar precision/cost together.
+    pub fn tier_of_degree(&self, in_degree: usize) -> usize {
+        for (i, &(max_degree, _)) in self.tiers.iter().enumerate() {
+            if in_degree <= max_degree {
+                return i;
+            }
+        }
+        self.tiers.len()
+    }
+
+    /// Number of distinct tiers (including the overflow tier).
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len() + 1
+    }
+
+    /// The bitwidth of tier `i` (as produced by
+    /// [`DegreePolicy::tier_of_degree`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_tiers()`.
+    pub fn tier_bits(&self, i: usize) -> u8 {
+        if i < self.tiers.len() {
+            self.tiers[i].1
+        } else {
+            assert!(i == self.tiers.len(), "tier {i} out of range");
+            self.overflow_bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_published_profile() {
+        let p = DegreePolicy::paper_default();
+        let expected: &[(usize, u8)] = &[
+            (0, 2),
+            (2, 2),
+            (3, 3),
+            (8, 3),
+            (9, 4),
+            (32, 4),
+            (33, 5),
+            (128, 5),
+            (129, 6),
+            (10_000, 6),
+        ];
+        for &(degree, bits) in expected {
+            assert_eq!(p.bits_for_degree(degree), bits, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn bits_are_monotone_in_degree() {
+        let p = DegreePolicy::paper_default();
+        let mut last = 0;
+        for degree in 0..2_000 {
+            let b = p.bits_for_degree(degree);
+            assert!(b >= last, "bits dropped at degree {degree}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn tiers_partition_the_degree_axis() {
+        let p = DegreePolicy::paper_default();
+        assert_eq!(p.num_tiers(), 5);
+        assert_eq!(p.tier_of_degree(0), 0);
+        assert_eq!(p.tier_of_degree(5), 1);
+        assert_eq!(p.tier_of_degree(500), 4);
+        for degree in 0..300 {
+            let tier = p.tier_of_degree(degree);
+            assert_eq!(p.tier_bits(tier), p.bits_for_degree(degree));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_tiers() {
+        DegreePolicy::new(vec![(8, 3), (2, 2)], 6);
+    }
+}

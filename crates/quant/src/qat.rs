@@ -131,33 +131,27 @@ impl QatTrainer {
             .skip(1)
             .map(|&(i, _)| i)
             .collect();
-        let total_elems =
-            n * (model_cfg.in_dim as f64 + hidden_dims.iter().sum::<usize>() as f64);
+        let total_elems = n * (model_cfg.in_dim as f64 + hidden_dims.iter().sum::<usize>() as f64);
         let m_target_kb = cfg.target_avg_bits as f64 * total_elems / (8.0 * 1024.0);
         let lambda = cfg
             .lambda
             .unwrap_or_else(|| (0.5 / (m_target_kb * m_target_kb)) as f32);
 
-        let mut hook = DegreeAwareHook::new(
-            &dataset.graph,
-            &grouping,
-            model_cfg.layers,
-            cfg.init_bits,
-        )
-        .with_memory(MemoryConfig {
-            hidden_dims: hidden_dims.clone(),
-            group_counts: grouping.group_counts(&dataset.graph),
-            constant_bits: iq.total_bits,
-            m_target_kb,
-        });
+        let mut hook =
+            DegreeAwareHook::new(&dataset.graph, &grouping, model_cfg.layers, cfg.init_bits)
+                .with_memory(MemoryConfig {
+                    hidden_dims: hidden_dims.clone(),
+                    group_counts: grouping.group_counts(&dataset.graph),
+                    constant_bits: iq.total_bits,
+                    m_target_kb,
+                });
 
         let mut model = Gnn::new(model_cfg.clone());
         let adjacency = build_adjacency(&dataset.graph, kind.aggregator(cfg.seed));
         let adjacency_t = Rc::new(adjacency.transpose());
         let labels = Rc::new(dataset.labels.clone());
         let train_idx = Rc::new(dataset.splits.train.clone());
-        let mut model_opt =
-            Adam::new(cfg.lr).with_weight_decay(5e-4);
+        let mut model_opt = Adam::new(cfg.lr).with_weight_decay(5e-4);
         let mut scale_opt = Adam::new(cfg.quant_lr);
         let mut bits_opt = Adam::new(cfg.bits_lr);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -184,11 +178,8 @@ impl QatTrainer {
                 &mut hook,
                 masks.as_deref(),
             );
-            let ce = tape.softmax_cross_entropy(
-                out.logits,
-                Rc::clone(&labels),
-                Rc::clone(&train_idx),
-            );
+            let ce =
+                tape.softmax_cross_entropy(out.logits, Rc::clone(&labels), Rc::clone(&train_idx));
             let mem = hook.memory_penalty(&mut tape);
             let mem_scaled = tape.scale(mem, lambda);
             let total = tape.add(ce, mem_scaled);
@@ -254,10 +245,7 @@ impl QatTrainer {
 
         // DQ quantizes the input uniformly at `bits` with a per-tensor scale.
         let features = dataset.features();
-        let scale = lsq_init_scale(
-            features.data().iter().copied().filter(|&x| x != 0.0),
-            bits,
-        );
+        let scale = lsq_init_scale(features.data().iter().copied().filter(|&x| x != 0.0), bits);
         let qdata: Vec<f32> = features
             .data()
             .iter()
@@ -315,11 +303,8 @@ impl QatTrainer {
                 &mut hook,
                 masks.as_deref(),
             );
-            let loss = tape.softmax_cross_entropy(
-                out.logits,
-                Rc::clone(&labels),
-                Rc::clone(&train_idx),
-            );
+            let loss =
+                tape.softmax_cross_entropy(out.logits, Rc::clone(&labels), Rc::clone(&train_idx));
             final_loss = tape.value(loss).get(0, 0);
             tape.backward(loss);
             step_model(&mut model, &tape, &out, &mut model_opt);
@@ -352,8 +337,7 @@ impl QatTrainer {
 
         let mut dims = vec![model_cfg.in_dim];
         dims.extend(hidden_dims);
-        let assignment =
-            BitAssignment::uniform(bits, dataset.graph.num_nodes(), dims);
+        let assignment = BitAssignment::uniform(bits, dataset.graph.num_nodes(), dims);
         QatOutcome {
             best_val_accuracy: best_val.max(0.0),
             test_accuracy: best_test,
@@ -367,12 +351,7 @@ impl QatTrainer {
     }
 }
 
-fn dropout_masks(
-    p: f32,
-    n: usize,
-    hidden_dims: &[usize],
-    rng: &mut StdRng,
-) -> Option<Vec<Matrix>> {
+fn dropout_masks(p: f32, n: usize, hidden_dims: &[usize], rng: &mut StdRng) -> Option<Vec<Matrix>> {
     if p <= 0.0 {
         return None;
     }
@@ -393,12 +372,7 @@ fn dropout_masks(
     )
 }
 
-fn step_model(
-    model: &mut Gnn,
-    tape: &Tape,
-    out: &mega_gnn::model::ForwardOutput,
-    opt: &mut Adam,
-) {
+fn step_model(model: &mut Gnn, tape: &Tape, out: &mega_gnn::model::ForwardOutput, opt: &mut Adam) {
     let grads: Vec<Matrix> = out
         .weight_vars
         .iter()

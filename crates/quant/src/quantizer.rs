@@ -16,7 +16,7 @@
 ///
 /// Panics if `bits == 0` or `bits > 16`.
 pub fn qmax(bits: u8) -> i32 {
-    assert!(bits >= 1 && bits <= 16, "bitwidth {bits} out of range");
+    assert!((1..=16).contains(&bits), "bitwidth {bits} out of range");
     if bits == 1 {
         1
     } else {

@@ -65,9 +65,7 @@ impl BitAssignment {
         self.layers
             .iter()
             .zip(&self.dims)
-            .map(|(bits, &dim)| {
-                dim as f64 * bits.iter().map(|&b| b as f64).sum::<f64>()
-            })
+            .map(|(bits, &dim)| dim as f64 * bits.iter().map(|&b| b as f64).sum::<f64>())
             .sum()
     }
 
@@ -154,10 +152,7 @@ mod tests {
     #[test]
     fn wide_input_layer_dominates() {
         // Cora-like: input dim 1433 at 1 bit, hidden 128 at 4 bits.
-        let a = BitAssignment::new(
-            vec![vec![1; 8], vec![4; 8]],
-            vec![1433, 128],
-        );
+        let a = BitAssignment::new(vec![vec![1; 8], vec![4; 8]], vec![1433, 128]);
         let avg = a.average_bits();
         assert!(avg < 1.5, "avg {avg}");
         assert!(a.compression_ratio() > 20.0);

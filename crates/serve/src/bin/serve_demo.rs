@@ -1,0 +1,220 @@
+//! End-to-end demo of `mega-serve`: registers the three citation datasets
+//! (plus a second architecture on Cora), drives ≥10k synthetic requests
+//! through the batched degree-aware engine on a multi-threaded worker pool,
+//! and prints a per-model summary table plus the engine report.
+//!
+//! ```sh
+//! cargo run --release -p mega-serve --bin serve_demo
+//! ```
+//!
+//! Knobs: `MEGA_SERVE_REQUESTS` (default 12000), `MEGA_SERVE_WORKERS`
+//! (default: all cores, at least 4), `MEGA_SERVE_SCALE` (dataset node-count
+//! scale, default 1.0).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mega_gnn::GnnKind;
+use mega_graph::DatasetSpec;
+use mega_serve::{ModelKey, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig, ServeEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct PerModel {
+    requests: u64,
+    latencies_us: Vec<u64>,
+    batch_sum: u64,
+    bits: HashMap<u8, u64>,
+}
+
+impl PerModel {
+    fn new() -> Self {
+        Self {
+            requests: 0,
+            latencies_us: Vec::new(),
+            batch_sum: 0,
+            bits: HashMap::new(),
+        }
+    }
+
+    fn quantile(&mut self, q: f64) -> Duration {
+        if self.latencies_us.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies_us.sort_unstable();
+        let idx = ((q * self.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_us.len())
+            - 1;
+        Duration::from_micros(self.latencies_us[idx])
+    }
+}
+
+fn main() {
+    let requests = env_usize("MEGA_SERVE_REQUESTS", 12_000);
+    let workers = env_usize(
+        "MEGA_SERVE_WORKERS",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    )
+    .max(4);
+    let scale = env_f64("MEGA_SERVE_SCALE", 1.0);
+
+    let scaled = |name: &str| {
+        let spec = DatasetSpec::by_name(name).expect("known dataset");
+        if scale < 1.0 {
+            let full_name = spec.name.clone();
+            let mut s = spec.scaled(scale);
+            s.name = full_name;
+            s
+        } else {
+            spec
+        }
+    };
+
+    let registry = Arc::new(ModelRegistry::new());
+    let keys: Vec<ModelKey> = vec![
+        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gcn)),
+        registry.register(ModelSpec::standard(scaled("citeseer"), GnnKind::Gcn)),
+        registry.register(ModelSpec::standard(scaled("pubmed"), GnnKind::Gcn)),
+        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gin)),
+    ];
+    // Traffic mix over the registered models, summing to 1.
+    let mix = [0.35, 0.25, 0.25, 0.15];
+    let nodes: Vec<usize> = keys
+        .iter()
+        .map(|k| registry.get(k).expect("registered").dataset.nodes)
+        .collect();
+
+    println!(
+        "mega-serve demo — {} models over {} datasets, {workers} workers, {requests} requests",
+        keys.len(),
+        3
+    );
+
+    let config = ServeConfig {
+        workers,
+        scheduler: SchedulerConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+        },
+        cache_capacity: 8,
+        sweep_interval: Duration::from_micros(500),
+    };
+    let (engine, responses) = ServeEngine::start(config, registry.clone());
+
+    for key in &keys {
+        let started = Instant::now();
+        engine.warm(key).expect("warm registered model");
+        println!("[warm] {key} artifacts built in {:.2?}", started.elapsed());
+    }
+
+    // Synthetic traffic: models drawn from the mix; nodes mostly uniform
+    // with a 32-node "hot set" per model taking 20% of that model's
+    // traffic (popular-entity skew).
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let hot: Vec<Vec<u32>> = nodes
+        .iter()
+        .map(|&n| (0..32).map(|_| rng.gen_range(0..n) as u32).collect())
+        .collect();
+
+    let started = Instant::now();
+    for _ in 0..requests {
+        let mut pick = rng.gen::<f64>();
+        let mut model = 0;
+        for (i, &p) in mix.iter().enumerate() {
+            if pick < p {
+                model = i;
+                break;
+            }
+            pick -= p;
+            model = i;
+        }
+        let node = if rng.gen::<f64>() < 0.20 {
+            hot[model][rng.gen_range(0..hot[model].len())]
+        } else {
+            rng.gen_range(0..nodes[model]) as u32
+        };
+        engine
+            .submit(&keys[model], node)
+            .expect("submit to registered model");
+    }
+    let submit_elapsed = started.elapsed();
+    let report = engine.shutdown();
+    let wall = started.elapsed();
+
+    let mut per_model: HashMap<ModelKey, PerModel> = HashMap::new();
+    for response in responses.iter() {
+        let entry = per_model
+            .entry(response.model.clone())
+            .or_insert_with(PerModel::new);
+        entry.requests += 1;
+        entry
+            .latencies_us
+            .push(response.latency.as_micros().min(u64::MAX as u128) as u64);
+        entry.batch_sum += response.batch_size as u64;
+        *entry.bits.entry(response.bits).or_insert(0) += 1;
+    }
+
+    println!(
+        "\nsubmitted {requests} requests in {:.2?}; drained in {:.2?}\n",
+        submit_elapsed, wall
+    );
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10} {:>10}  bits mix",
+        "model", "requests", "p50", "p95", "p99", "avg batch"
+    );
+    for key in &keys {
+        let Some(stats) = per_model.get_mut(key) else {
+            continue;
+        };
+        let mut bits: Vec<(u8, u64)> = stats.bits.iter().map(|(&b, &n)| (b, n)).collect();
+        bits.sort_unstable();
+        let bits_str = bits
+            .iter()
+            .map(|(b, n)| format!("{b}b:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let (p50, p95, p99) = (
+            stats.quantile(0.50),
+            stats.quantile(0.95),
+            stats.quantile(0.99),
+        );
+        println!(
+            "{:<14} {:>9} {:>10.3?} {:>10.3?} {:>10.3?} {:>10.1}  {}",
+            key.to_string(),
+            stats.requests,
+            p50,
+            p95,
+            p99,
+            stats.batch_sum as f64 / stats.requests.max(1) as f64,
+            bits_str
+        );
+    }
+
+    println!("\nengine report:\n{report}");
+
+    assert_eq!(report.completed, requests as u64, "every request answered");
+    println!(
+        "\nserve_demo OK: {} requests over {} models on {workers} workers \
+         ({:.0} req/s end-to-end)",
+        report.completed,
+        keys.len(),
+        requests as f64 / wall.as_secs_f64()
+    );
+}

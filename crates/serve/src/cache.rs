@@ -1,0 +1,307 @@
+//! Heavy per-model artifacts and the LRU cache that shares them across
+//! workers.
+//!
+//! Building a model's artifacts (materializing the dataset, normalizing the
+//! adjacency, partitioning the graph, quantizing weights and features) costs
+//! seconds; serving one request costs microseconds. The cache keeps the
+//! `capacity` most-recently-used artifact sets alive behind `Arc`s so every
+//! worker shares one copy, and builds each missing entry exactly once even
+//! under concurrent first access.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mega_gnn::{build_adjacency, Gnn, ModelConfig};
+use mega_graph::datasets::Features;
+use mega_graph::{Dataset, NodeId};
+use mega_partition::{partition, PartitionConfig, Partitioning};
+use mega_quant::quantizer::{fake_quantize, qmax};
+use mega_quant::DegreePolicy;
+use mega_tensor::{CsrMatrix, Matrix};
+
+use crate::registry::ModelSpec;
+use crate::request::ModelKey;
+
+/// Everything a worker needs to execute batches for one model, fully
+/// immutable and shared.
+pub struct ModelArtifacts {
+    /// The key these artifacts serve.
+    pub key: ModelKey,
+    /// Materialized dataset with offline fake-quantized input features.
+    pub dataset: Dataset,
+    /// Model with fake-quantized weights.
+    pub model: Gnn,
+    /// Normalized adjacency `Ã` (rows = destinations).
+    pub adjacency: CsrMatrix,
+    /// Per-node activation bitwidth from the degree-aware policy.
+    pub bits: Vec<u8>,
+    /// Per-node precision tier (0 = fewest bits).
+    pub tiers: Vec<usize>,
+    /// Graph partitioning used for batch locality ordering.
+    pub partitioning: Partitioning,
+    /// The policy that produced `bits`/`tiers`.
+    pub policy: DegreePolicy,
+}
+
+/// Symmetric per-row fake quantization with a dynamic scale
+/// (`α = max|x| / qmax`). Deterministic in the row contents alone, which is
+/// what keeps batched and sequential execution bit-exact.
+pub fn quantize_row(row: &mut [f32], bits: u8) {
+    let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        return;
+    }
+    let alpha = max_abs / qmax(bits) as f32;
+    for x in row.iter_mut() {
+        *x = fake_quantize(*x, alpha, bits);
+    }
+}
+
+impl ModelArtifacts {
+    /// Builds everything from a registered spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset materializes without dense features (serving
+    /// needs feature values; NELL-sized specs exceed the dense budget).
+    pub fn build(spec: &ModelSpec) -> Self {
+        let mut dataset = spec.dataset.materialize();
+        assert!(
+            dataset.has_features(),
+            "{} materialized without dense features; serving needs them",
+            spec.dataset.name
+        );
+        let bits = spec.policy.profile(&dataset.graph);
+        let tiers: Vec<usize> = (0..dataset.graph.num_nodes())
+            .map(|v| spec.policy.tier_of_degree(dataset.graph.in_degree(v)))
+            .collect();
+
+        // Input features are constant, so quantize them offline. Binary
+        // bag-of-words inputs go to 1 bit regardless of degree (mirrors
+        // `mega::workloads::build_quantized`); denser inputs follow the
+        // degree profile.
+        let input_bits: Vec<u8> = if spec.dataset.feature_density < 0.05 {
+            vec![1; bits.len()]
+        } else {
+            bits.clone()
+        };
+        let features = dataset.features();
+        let (rows, dim) = (features.rows(), features.dim());
+        let mut data = features.data().to_vec();
+        for (v, chunk) in data.chunks_mut(dim).enumerate() {
+            quantize_row(chunk, input_bits[v]);
+        }
+        dataset.features = Some(Features::from_vec(rows, dim, data));
+
+        // Weights are static too: per-layer symmetric fake quantization.
+        let config = ModelConfig::for_dataset(spec.kind, &dataset);
+        let trained = Gnn::new(config.clone());
+        let weights: Vec<Matrix> = trained
+            .weights()
+            .iter()
+            .map(|w| {
+                let mut m = w.clone();
+                quantize_row(m.as_mut_slice(), spec.weight_bits);
+                m
+            })
+            .collect();
+        let biases = trained.biases().to_vec();
+        let model = Gnn::from_parts(config, weights, biases);
+
+        let adjacency_rc = build_adjacency(&dataset.graph, spec.kind.aggregator(spec.dataset.seed));
+        let adjacency = std::rc::Rc::try_unwrap(adjacency_rc).unwrap_or_else(|rc| (*rc).clone());
+
+        let k = spec.partitions.clamp(1, dataset.graph.num_nodes().max(1));
+        let partitioning = partition(
+            &dataset.graph,
+            &PartitionConfig::new(k).with_seed(spec.dataset.seed),
+        );
+
+        Self {
+            key: spec.key(),
+            dataset,
+            model,
+            adjacency,
+            bits,
+            tiers,
+            partitioning,
+            policy: spec.policy.clone(),
+        }
+    }
+
+    /// Number of nodes this model serves.
+    pub fn num_nodes(&self) -> usize {
+        self.dataset.graph.num_nodes()
+    }
+
+    /// The activation bitwidth served to `node`.
+    pub fn node_bits(&self, node: NodeId) -> u8 {
+        self.bits[node as usize]
+    }
+
+    /// The precision tier of `node`.
+    pub fn node_tier(&self, node: NodeId) -> usize {
+        self.tiers[node as usize]
+    }
+}
+
+struct Slot {
+    entry: Arc<OnceLock<Arc<ModelArtifacts>>>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<ModelKey, Slot>,
+    tick: u64,
+}
+
+/// LRU cache of [`ModelArtifacts`] keyed by [`ModelKey`].
+pub struct ArtifactCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifact sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifacts for `key`, building them with `build` on a
+    /// miss. Concurrent first accesses to the same key build once; builds
+    /// for *different* keys proceed in parallel (the map lock is not held
+    /// while building).
+    pub fn get_or_build(
+        &self,
+        key: &ModelKey,
+        build: impl FnOnce() -> ModelArtifacts,
+    ) -> Arc<ModelArtifacts> {
+        let entry = {
+            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.map.get_mut(key) {
+                slot.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.entry.clone()
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Evict the least-recently-used entry first so the map
+                // never exceeds capacity.
+                if inner.map.len() >= self.capacity {
+                    if let Some(lru) = inner
+                        .map
+                        .iter()
+                        .min_by_key(|(_, slot)| slot.last_used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        inner.map.remove(&lru);
+                    }
+                }
+                let entry = Arc::new(OnceLock::new());
+                inner.map.insert(
+                    key.clone(),
+                    Slot {
+                        entry: entry.clone(),
+                        last_used: tick,
+                    },
+                );
+                entry
+            }
+        };
+        entry.get_or_init(|| Arc::new(build())).clone()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_gnn::GnnKind;
+    use mega_graph::DatasetSpec;
+
+    fn tiny_spec(name_seed: u64) -> ModelSpec {
+        let mut dataset = DatasetSpec::cora().scaled(0.05).with_feature_dim(32);
+        dataset.seed ^= name_seed;
+        dataset.name = format!("Tiny{name_seed}");
+        ModelSpec::standard(dataset, GnnKind::Gcn)
+    }
+
+    #[test]
+    fn artifacts_expose_consistent_per_node_metadata() {
+        let spec = tiny_spec(0);
+        let a = ModelArtifacts::build(&spec);
+        assert_eq!(a.bits.len(), a.num_nodes());
+        assert_eq!(a.tiers.len(), a.num_nodes());
+        for v in 0..a.num_nodes() as NodeId {
+            assert_eq!(a.policy.tier_bits(a.node_tier(v)), a.node_bits(v));
+        }
+        assert_eq!(a.adjacency.rows(), a.num_nodes());
+        assert_eq!(a.partitioning.assignment().len(), a.num_nodes());
+    }
+
+    #[test]
+    fn quantize_row_is_idempotent_and_bounded() {
+        let mut row = vec![0.5f32, -1.5, 0.0, 3.2];
+        quantize_row(&mut row, 4);
+        let once = row.clone();
+        quantize_row(&mut row, 4);
+        // Levels stay on the same grid after requantization.
+        for (a, b) in once.iter().zip(&row) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(row[2], 0.0);
+        let mut zeros = vec![0.0f32; 4];
+        quantize_row(&mut zeros, 2);
+        assert!(zeros.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn cache_hits_misses_and_evicts() {
+        let cache = ArtifactCache::new(2);
+        let s0 = tiny_spec(0);
+        let s1 = tiny_spec(1);
+        let s2 = tiny_spec(2);
+        let a0 = cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
+        let again = cache.get_or_build(&s0.key(), || panic!("must not rebuild"));
+        assert!(Arc::ptr_eq(&a0, &again));
+        cache.get_or_build(&s1.key(), || ModelArtifacts::build(&s1));
+        cache.get_or_build(&s2.key(), || ModelArtifacts::build(&s2)); // evicts s0
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (1, 3));
+        // s0 was evicted: fetching it again is a miss that rebuilds.
+        cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
+        assert_eq!(cache.stats(), (1, 4));
+    }
+}

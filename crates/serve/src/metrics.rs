@@ -1,0 +1,309 @@
+//! Lock-free serving metrics: throughput, latency percentiles, per-bitwidth
+//! request counts, and batch/cache accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution bits of the log histogram (HdrHistogram-style).
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Exact buckets below `SUBS`, then 16 sub-buckets per power of two up to
+/// `u64::MAX` microseconds.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// A concurrent logarithmic histogram of microsecond values with ≤ ~6%
+/// relative quantile error.
+pub struct LogHistogram {
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us < SUBS as u64 {
+        us as usize
+    } else {
+        let exp = 63 - us.leading_zeros(); // >= SUB_BITS
+        let group = (exp - SUB_BITS + 1) as usize;
+        let sub = ((us >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        group * SUBS + sub
+    }
+}
+
+/// Upper bound (inclusive) of a bucket, in microseconds.
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUBS {
+        index as u64
+    } else {
+        let group = (index / SUBS) as u32;
+        let sub = (index % SUBS) as u64;
+        let width = 1u64 << (group - 1);
+        // The top bucket's upper bound is exactly u64::MAX; adding before
+        // subtracting would overflow, so saturate.
+        (SUBS as u64 + sub)
+            .saturating_mul(width)
+            .saturating_add(width - 1)
+    }
+}
+
+impl LogHistogram {
+    /// Records one duration.
+    pub fn record(&self, value: Duration) {
+        let us = value.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as a duration upper bound, or zero
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_micros(bucket_upper(i));
+            }
+        }
+        Duration::from_micros(bucket_upper(BUCKETS - 1))
+    }
+}
+
+/// Aggregate serving counters. All methods are safe to call concurrently
+/// from every worker and the submitting thread.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests accepted by the engine.
+    pub submitted: AtomicU64,
+    /// Requests answered.
+    pub completed: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Sum of batch sizes (for average batch size).
+    pub batched_requests: AtomicU64,
+    /// Receptive-field rows materialized across all batches (compute proxy).
+    pub rows_computed: AtomicU64,
+    /// Batches flushed because they reached full size.
+    pub size_flushes: AtomicU64,
+    /// Batches flushed by the deadline sweeper.
+    pub deadline_flushes: AtomicU64,
+    /// Submit-to-response latency distribution.
+    pub latency: LogHistogram,
+    /// Per-batch execution time distribution.
+    pub execution: LogHistogram,
+    /// Requests served at each bitwidth (index = bits, 1..=8).
+    pub per_bits: [AtomicU64; 9],
+}
+
+impl Metrics {
+    /// Records one answered request.
+    pub fn record_response(&self, bits: u8, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+        self.per_bits[(bits as usize).min(8)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(&self, size: usize, rows: usize, execution: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.rows_computed.fetch_add(rows as u64, Ordering::Relaxed);
+        self.execution.record(execution);
+    }
+
+    /// Point-in-time summary. `elapsed` is the serving wall-clock window;
+    /// cache counters come from the artifact cache.
+    pub fn report(&self, elapsed: Duration, cache_hits: u64, cache_misses: u64) -> MetricsReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let lookups = cache_hits + cache_misses;
+        MetricsReport {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+            exec_p50: self.execution.quantile(0.50),
+            batches,
+            avg_batch: if batches > 0 {
+                self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+            } else {
+                0.0
+            },
+            rows_computed: self.rows_computed.load(Ordering::Relaxed),
+            size_flushes: self.size_flushes.load(Ordering::Relaxed),
+            deadline_flushes: self.deadline_flushes.load(Ordering::Relaxed),
+            per_bits: (1..=8)
+                .map(|b| (b as u8, self.per_bits[b].load(Ordering::Relaxed)))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups > 0 {
+                cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// A rendered snapshot of [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Answered requests per second over the measurement window.
+    pub throughput_rps: f64,
+    /// Median submit-to-response latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Median batch execution time.
+    pub exec_p50: Duration,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub avg_batch: f64,
+    /// Receptive-field rows materialized (compute proxy).
+    pub rows_computed: u64,
+    /// Batches flushed at full size.
+    pub size_flushes: u64,
+    /// Batches flushed by deadline.
+    pub deadline_flushes: u64,
+    /// `(bits, requests)` pairs for every served bitwidth.
+    pub per_bits: Vec<(u8, u64)>,
+    /// Artifact-cache hits.
+    pub cache_hits: u64,
+    /// Artifact-cache misses (builds).
+    pub cache_misses: u64,
+    /// Hits over lookups.
+    pub cache_hit_rate: f64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests    {:>10} completed / {} submitted",
+            self.completed, self.submitted
+        )?;
+        writeln!(f, "throughput  {:>10.0} req/s", self.throughput_rps)?;
+        writeln!(
+            f,
+            "latency     p50 {:>8.3?}   p95 {:>8.3?}   p99 {:>8.3?}",
+            self.p50, self.p95, self.p99
+        )?;
+        writeln!(
+            f,
+            "batches     {:>10} (avg {:.1} req/batch, exec p50 {:.3?}, {} size / {} deadline flushes)",
+            self.batches, self.avg_batch, self.exec_p50, self.size_flushes, self.deadline_flushes
+        )?;
+        writeln!(
+            f,
+            "rows        {:>10} receptive-field rows",
+            self.rows_computed
+        )?;
+        write!(f, "bits       ")?;
+        for (bits, n) in &self.per_bits {
+            write!(f, "  {bits}b:{n}")?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "cache       {:>10.1}% hit rate ({} hits / {} misses)",
+            self.cache_hit_rate * 100.0,
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut last = None;
+        for us in [0u64, 1, 15, 16, 17, 100, 1_000, 65_535, 1 << 30, u64::MAX] {
+            let b = bucket_of(us);
+            assert!(b < BUCKETS, "bucket {b} out of range for {us}");
+            assert!(bucket_upper(b) >= us, "upper({b}) < {us}");
+            if let Some((prev_us, prev_b)) = last {
+                assert!(b >= prev_b, "bucket not monotone: {prev_us}->{us}");
+            }
+            last = Some((us, b));
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_are_tight() {
+        // Relative error of the upper bound stays within one sub-bucket.
+        for us in [20u64, 333, 4_096, 100_000, 9_999_999] {
+            let upper = bucket_upper(bucket_of(us));
+            assert!(upper >= us);
+            assert!(
+                (upper - us) as f64 / us as f64 <= 1.0 / 16.0 + 1e-9,
+                "error too large at {us}: upper {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = LogHistogram::default();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.50).as_millis() as f64;
+        let p99 = h.quantile(0.99).as_millis() as f64;
+        assert!((45.0..=56.0).contains(&p50), "p50 {p50}");
+        assert!((90.0..=107.0).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn report_aggregates_counters() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(4, Ordering::Relaxed);
+        m.record_response(2, Duration::from_millis(1));
+        m.record_response(2, Duration::from_millis(2));
+        m.record_response(6, Duration::from_millis(3));
+        m.record_batch(3, 120, Duration::from_millis(2));
+        let r = m.report(Duration::from_secs(1), 3, 1);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.per_bits, vec![(2, 2), (6, 1)]);
+        assert!((r.throughput_rps - 3.0).abs() < 1e-9);
+        assert!((r.cache_hit_rate - 0.75).abs() < 1e-9);
+        assert_eq!(r.rows_computed, 120);
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The model registry: which (dataset, architecture) pairs the engine
+//! serves, and with what policy/layout knobs.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use mega_gnn::GnnKind;
+use mega_graph::DatasetSpec;
+use mega_quant::DegreePolicy;
+
+use crate::request::ModelKey;
+
+/// Everything needed to (re)build a served model's artifacts from scratch.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Dataset recipe (synthetic Table II presets or custom).
+    pub dataset: DatasetSpec,
+    /// GNN architecture.
+    pub kind: GnnKind,
+    /// Degree → bitwidth policy for activations.
+    pub policy: DegreePolicy,
+    /// Bitwidth for (static) weights.
+    pub weight_bits: u8,
+    /// Partition count for batch locality ordering.
+    pub partitions: usize,
+}
+
+impl ModelSpec {
+    /// A spec with the paper-default policy, 4-bit weights, and 8
+    /// partitions.
+    pub fn standard(dataset: DatasetSpec, kind: GnnKind) -> Self {
+        Self {
+            dataset,
+            kind,
+            policy: DegreePolicy::paper_default(),
+            weight_bits: 4,
+            partitions: 8,
+        }
+    }
+
+    /// The key requests use to address this model.
+    pub fn key(&self) -> ModelKey {
+        ModelKey::new(self.dataset.name.clone(), self.kind)
+    }
+}
+
+/// Thread-safe registry of served models.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<ModelKey, ModelSpec>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a model; returns its key.
+    pub fn register(&self, spec: ModelSpec) -> ModelKey {
+        let key = spec.key();
+        self.models
+            .write()
+            .expect("registry lock poisoned")
+            .insert(key.clone(), spec);
+        key
+    }
+
+    /// Looks up the spec for a key.
+    pub fn get(&self, key: &ModelKey) -> Option<ModelSpec> {
+        self.models
+            .read()
+            .expect("registry lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// All registered keys, sorted for stable iteration.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let mut keys: Vec<ModelKey> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort_by(|a, b| (&a.dataset, a.kind.name()).cmp(&(&b.dataset, b.kind.name())));
+        keys
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup_roundtrip() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        let key = registry.register(ModelSpec::standard(
+            DatasetSpec::cora().scaled(0.1),
+            GnnKind::Gcn,
+        ));
+        assert_eq!(key, ModelKey::new("Cora", GnnKind::Gcn));
+        let spec = registry.get(&key).expect("registered");
+        assert_eq!(spec.weight_bits, 4);
+        assert!(registry.get(&ModelKey::new("Nope", GnnKind::Gcn)).is_none());
+        assert_eq!(registry.keys(), vec![key]);
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let registry = ModelRegistry::new();
+        let mut spec = ModelSpec::standard(DatasetSpec::cora().scaled(0.1), GnnKind::Gcn);
+        registry.register(spec.clone());
+        spec.weight_bits = 8;
+        let key = registry.register(spec);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.get(&key).unwrap().weight_bits, 8);
+    }
+}

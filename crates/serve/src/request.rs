@@ -1,0 +1,89 @@
+//! Request/response types of the serving engine.
+
+use std::time::{Duration, Instant};
+
+use mega_gnn::GnnKind;
+use mega_graph::NodeId;
+
+/// Addresses a registered (dataset, architecture) pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Registered dataset name (e.g. `"Cora"`).
+    pub dataset: String,
+    /// GNN architecture.
+    pub kind: GnnKind,
+}
+
+impl ModelKey {
+    /// Convenience constructor.
+    pub fn new(dataset: impl Into<String>, kind: GnnKind) -> Self {
+        Self {
+            dataset: dataset.into(),
+            kind,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.dataset, self.kind.name())
+    }
+}
+
+/// One node-classification request, as tracked inside the engine.
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// Engine-assigned id, unique per engine instance.
+    pub id: u64,
+    /// Which registered model to query.
+    pub model: ModelKey,
+    /// The node to classify.
+    pub node: NodeId,
+    /// Precision tier the degree-aware policy assigned (0 = fewest bits).
+    pub tier: usize,
+    /// Bitwidth served to this node's activations.
+    pub bits: u8,
+    /// When the engine accepted the request.
+    pub submitted_at: Instant,
+}
+
+/// The engine's answer to one [`InferenceRequest`].
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// Id of the originating request.
+    pub id: u64,
+    /// The model that served it.
+    pub model: ModelKey,
+    /// The classified node.
+    pub node: NodeId,
+    /// Raw output logits, one per class.
+    pub logits: Vec<f32>,
+    /// `argmax` of `logits`.
+    pub predicted_class: usize,
+    /// Bitwidth the degree-aware policy served this node at.
+    pub bits: u8,
+    /// Precision tier (0 = fewest bits).
+    pub tier: usize,
+    /// How many requests shared this node's batch.
+    pub batch_size: usize,
+    /// Worker thread that executed the batch.
+    pub worker: usize,
+    /// Submit-to-response latency.
+    pub latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_keys_hash_by_dataset_and_kind() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ModelKey::new("Cora", GnnKind::Gcn));
+        set.insert(ModelKey::new("Cora", GnnKind::Gin));
+        set.insert(ModelKey::new("Cora", GnnKind::Gcn));
+        assert_eq!(set.len(), 2);
+        assert_eq!(ModelKey::new("Cora", GnnKind::Gcn).to_string(), "Cora/GCN");
+    }
+}

@@ -1,0 +1,288 @@
+//! The batch scheduler: buckets requests by (model, precision tier) and
+//! flushes size- or deadline-triggered batches to the worker pool.
+//!
+//! Bucketing by tier keeps a batch's per-node bitwidths — and therefore its
+//! per-row cost — homogeneous, so one slow hub node does not ride along
+//! with (and delay) a batch of cheap leaf nodes.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::request::{InferenceRequest, ModelKey};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Flush a bucket as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a non-empty bucket once its oldest request has waited this
+    /// long.
+    pub max_delay: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a batch left the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The bucket reached `max_batch`.
+    Size,
+    /// The bucket's oldest request hit `max_delay`.
+    Deadline,
+    /// The engine is draining (shutdown or explicit flush).
+    Drain,
+}
+
+/// A coalesced unit of work for one (model, tier) bucket.
+#[derive(Debug)]
+pub struct Batch {
+    /// The model every request in the batch targets.
+    pub model: ModelKey,
+    /// The precision tier every request in the batch belongs to.
+    pub tier: usize,
+    /// The requests, in arrival order.
+    pub requests: Vec<InferenceRequest>,
+    /// Why the batch was flushed.
+    pub reason: FlushReason,
+}
+
+#[derive(Default)]
+struct Bucket {
+    requests: Vec<InferenceRequest>,
+    oldest: Option<Instant>,
+}
+
+/// Size- and deadline-triggered request coalescer.
+pub struct BatchScheduler {
+    config: SchedulerConfig,
+    buckets: Mutex<HashMap<(ModelKey, usize), Bucket>>,
+    out: Sender<Batch>,
+}
+
+impl BatchScheduler {
+    /// A scheduler emitting batches into `out`.
+    pub fn new(config: SchedulerConfig, out: Sender<Batch>) -> Self {
+        Self {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+            out,
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Enqueues one request; flushes its bucket if that fills it. Returns
+    /// `true` if a batch was emitted.
+    pub fn submit(&self, request: InferenceRequest) -> bool {
+        let key = (request.model.clone(), request.tier);
+        let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+        let bucket = buckets.entry(key.clone()).or_default();
+        if bucket.requests.is_empty() {
+            bucket.oldest = Some(request.submitted_at);
+        }
+        bucket.requests.push(request);
+        if bucket.requests.len() >= self.config.max_batch {
+            let requests = std::mem::take(&mut bucket.requests);
+            bucket.oldest = None;
+            drop(buckets);
+            self.emit(key.0, key.1, requests, FlushReason::Size);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flushes every bucket whose oldest request has waited at least
+    /// `max_delay` as of `now`. Returns the number of batches emitted.
+    /// Called periodically by the engine's deadline sweeper; taking `now`
+    /// as a parameter keeps the policy unit-testable without sleeping.
+    pub fn poll_deadlines(&self, now: Instant) -> usize {
+        let expired: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            let keys: Vec<(ModelKey, usize)> = buckets
+                .iter()
+                .filter(|(_, b)| {
+                    b.oldest
+                        .map(|t| now.duration_since(t) >= self.config.max_delay)
+                        .unwrap_or(false)
+                })
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let bucket = buckets.get_mut(&k).expect("bucket exists");
+                    let requests = std::mem::take(&mut bucket.requests);
+                    bucket.oldest = None;
+                    (k, requests)
+                })
+                .collect()
+        };
+        let count = expired.len();
+        for ((model, tier), requests) in expired {
+            self.emit(model, tier, requests, FlushReason::Deadline);
+        }
+        count
+    }
+
+    /// Flushes everything regardless of age (drain/shutdown path). Returns
+    /// the number of batches emitted.
+    pub fn flush_all(&self) -> usize {
+        let drained: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            buckets
+                .iter_mut()
+                .filter(|(_, b)| !b.requests.is_empty())
+                .map(|(k, b)| {
+                    b.oldest = None;
+                    (k.clone(), std::mem::take(&mut b.requests))
+                })
+                .collect()
+        };
+        let count = drained.len();
+        for ((model, tier), requests) in drained {
+            self.emit(model, tier, requests, FlushReason::Drain);
+        }
+        count
+    }
+
+    /// Number of requests currently waiting in buckets.
+    pub fn pending(&self) -> usize {
+        self.buckets
+            .lock()
+            .expect("scheduler lock poisoned")
+            .values()
+            .map(|b| b.requests.len())
+            .sum()
+    }
+
+    fn emit(
+        &self,
+        model: ModelKey,
+        tier: usize,
+        requests: Vec<InferenceRequest>,
+        reason: FlushReason,
+    ) {
+        if requests.is_empty() {
+            return;
+        }
+        // Receiver gone means the engine is shutting down; dropping the
+        // batch here is fine because shutdown drains first.
+        let _ = self.out.send(Batch {
+            model,
+            tier,
+            requests,
+            reason,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mega_gnn::GnnKind;
+    use std::sync::mpsc;
+
+    fn request(id: u64, tier: usize, at: Instant) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            model: ModelKey::new("Cora", GnnKind::Gcn),
+            node: id as u32,
+            tier,
+            bits: 2,
+            submitted_at: at,
+        }
+    }
+
+    #[test]
+    fn size_triggered_flush_emits_full_batch() {
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(
+            SchedulerConfig {
+                max_batch: 3,
+                max_delay: Duration::from_secs(60),
+            },
+            tx,
+        );
+        let now = Instant::now();
+        assert!(!scheduler.submit(request(0, 0, now)));
+        assert!(!scheduler.submit(request(1, 0, now)));
+        assert!(scheduler.submit(request(2, 0, now)));
+        let batch = rx.try_recv().expect("batch emitted");
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(batch.reason, FlushReason::Size);
+        assert_eq!(scheduler.pending(), 0);
+    }
+
+    #[test]
+    fn tiers_bucket_independently() {
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(
+            SchedulerConfig {
+                max_batch: 2,
+                max_delay: Duration::from_secs(60),
+            },
+            tx,
+        );
+        let now = Instant::now();
+        scheduler.submit(request(0, 0, now));
+        scheduler.submit(request(1, 1, now));
+        assert!(rx.try_recv().is_err(), "no tier is full yet");
+        scheduler.submit(request(2, 1, now));
+        let batch = rx.try_recv().expect("tier-1 batch");
+        assert_eq!(batch.tier, 1);
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(scheduler.pending(), 1);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let (tx, rx) = mpsc::channel();
+        let config = SchedulerConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(5),
+        };
+        let scheduler = BatchScheduler::new(config.clone(), tx);
+        let t0 = Instant::now();
+        scheduler.submit(request(0, 0, t0));
+        scheduler.submit(request(1, 0, t0));
+        // Before the deadline nothing moves.
+        assert_eq!(scheduler.poll_deadlines(t0 + Duration::from_millis(1)), 0);
+        assert!(rx.try_recv().is_err());
+        // At the deadline the partial batch flushes.
+        assert_eq!(scheduler.poll_deadlines(t0 + config.max_delay), 1);
+        let batch = rx.try_recv().expect("deadline batch");
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(batch.reason, FlushReason::Deadline);
+        assert_eq!(scheduler.pending(), 0);
+        // Idempotent: nothing left to flush.
+        assert_eq!(scheduler.poll_deadlines(t0 + Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn flush_all_drains_every_bucket() {
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(SchedulerConfig::default(), tx);
+        let now = Instant::now();
+        scheduler.submit(request(0, 0, now));
+        scheduler.submit(request(1, 3, now));
+        assert_eq!(scheduler.flush_all(), 2);
+        let mut sizes: Vec<usize> = (0..2)
+            .map(|_| rx.try_recv().unwrap().requests.len())
+            .collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1]);
+        assert_eq!(scheduler.flush_all(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The worker pool: std threads pulling batches from a shared channel and
+//! executing them over the sliced quantized forward pass.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mega_gnn::infer::{forward_targets_with_field, ReceptiveField};
+use mega_graph::NodeId;
+use mega_tensor::Matrix;
+
+use crate::cache::{quantize_row, ArtifactCache, ModelArtifacts};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+use crate::request::InferenceResponse;
+use crate::scheduler::{Batch, FlushReason};
+
+/// Executes the degree-aware quantized forward pass for `targets` and
+/// returns their logits (row `i` belongs to `targets[i]`).
+///
+/// This is the single execution path shared by batched serving and the
+/// sequential reference: hidden activations are re-quantized per node at
+/// the policy's bitwidth, and every arithmetic step is deterministic per
+/// node, so calling this with one target or many yields bit-identical rows.
+pub fn batch_logits(artifacts: &ModelArtifacts, targets: &[NodeId]) -> Matrix {
+    batch_logits_with_field(artifacts, targets).0
+}
+
+/// [`batch_logits`] plus the materialized [`ReceptiveField`] (for compute
+/// accounting).
+pub fn batch_logits_with_field(
+    artifacts: &ModelArtifacts,
+    targets: &[NodeId],
+) -> (Matrix, ReceptiveField) {
+    let mut transform = |_layer: usize, node: NodeId, row: &mut [f32]| {
+        quantize_row(row, artifacts.node_bits(node));
+    };
+    forward_targets_with_field(
+        &artifacts.model,
+        artifacts.dataset.features(),
+        &artifacts.adjacency,
+        targets,
+        &mut transform,
+    )
+}
+
+/// A pool of serving threads.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads consuming from `batches` until the channel
+    /// disconnects (engine shutdown) and answering into `responses`.
+    pub fn spawn(
+        workers: usize,
+        batches: Receiver<Batch>,
+        registry: Arc<ModelRegistry>,
+        cache: Arc<ArtifactCache>,
+        metrics: Arc<Metrics>,
+        responses: Sender<InferenceResponse>,
+    ) -> Self {
+        let shared = Arc::new(Mutex::new(batches));
+        let handles = (0..workers.max(1))
+            .map(|worker_id| {
+                let shared = shared.clone();
+                let registry = registry.clone();
+                let cache = cache.clone();
+                let metrics = metrics.clone();
+                let responses = responses.clone();
+                std::thread::Builder::new()
+                    .name(format!("mega-serve-worker-{worker_id}"))
+                    .spawn(move || loop {
+                        let batch = {
+                            let rx = shared.lock().expect("batch receiver poisoned");
+                            rx.recv()
+                        };
+                        let Ok(batch) = batch else { break };
+                        run_batch(worker_id, batch, &registry, &cache, &metrics, &responses);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of threads in the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to finish (the batch channel must already be
+    /// disconnected, or this blocks forever).
+    pub fn join(self) {
+        for handle in self.handles {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn run_batch(
+    worker_id: usize,
+    batch: Batch,
+    registry: &ModelRegistry,
+    cache: &ArtifactCache,
+    metrics: &Metrics,
+    responses: &Sender<InferenceResponse>,
+) {
+    // The engine validates models at submit time, so this lookup only fails
+    // if a model was dropped from the registry mid-flight; nothing useful
+    // can be answered then.
+    let Some(spec) = registry.get(&batch.model) else {
+        return;
+    };
+    let artifacts = cache.get_or_build(&batch.model, || ModelArtifacts::build(&spec));
+
+    // Re-registering a model can shrink its graph between submit-time
+    // validation and execution (the cache rebuilds from the new spec).
+    // Such requests are unanswerable against the current model; drop them
+    // instead of letting the forward pass panic the worker.
+    let (valid, stale): (Vec<_>, Vec<_>) = batch
+        .requests
+        .into_iter()
+        .partition(|r| (r.node as usize) < artifacts.num_nodes());
+    if !stale.is_empty() {
+        eprintln!(
+            "mega-serve: dropping {} request(s) for {} whose nodes exceed the \
+             re-registered model ({} nodes)",
+            stale.len(),
+            batch.model,
+            artifacts.num_nodes()
+        );
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    // Walk the batch in partition-locality order so neighboring targets
+    // share receptive-field rows and cache lines. `order_by_part` fixes
+    // the node order; requests for the same node are answered in arrival
+    // order.
+    let nodes: Vec<NodeId> = valid.iter().map(|r| r.node).collect();
+    let targets = artifacts.partitioning.order_by_part(&nodes);
+    let mut by_node: HashMap<NodeId, VecDeque<usize>> = HashMap::new();
+    for (i, &node) in nodes.iter().enumerate() {
+        by_node.entry(node).or_default().push_back(i);
+    }
+    let order: Vec<usize> = targets
+        .iter()
+        .map(|&node| {
+            by_node
+                .get_mut(&node)
+                .and_then(VecDeque::pop_front)
+                .expect("targets is a permutation of nodes")
+        })
+        .collect();
+
+    let started = Instant::now();
+    let (logits, field) = batch_logits_with_field(&artifacts, &targets);
+    let execution = started.elapsed();
+
+    metrics.record_batch(valid.len(), field.total_rows(), execution);
+    match batch.reason {
+        FlushReason::Size => {
+            metrics
+                .size_flushes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        FlushReason::Deadline => {
+            metrics
+                .deadline_flushes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        FlushReason::Drain => {}
+    }
+
+    let batch_size = valid.len();
+    for (row, &i) in order.iter().enumerate() {
+        let request = &valid[i];
+        let logits_row = logits.row(row).to_vec();
+        let predicted_class = logits.argmax_row(row);
+        let response = InferenceResponse {
+            id: request.id,
+            model: request.model.clone(),
+            node: request.node,
+            predicted_class,
+            logits: logits_row,
+            bits: request.bits,
+            tier: request.tier,
+            batch_size,
+            worker: worker_id,
+            latency: request.submitted_at.elapsed(),
+        };
+        metrics.record_response(request.bits, response.latency);
+        // A dropped receiver means the caller stopped listening; keep
+        // draining so shutdown still completes.
+        let _ = responses.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelSpec;
+    use mega_gnn::GnnKind;
+    use mega_graph::DatasetSpec;
+
+    fn artifacts() -> ModelArtifacts {
+        let spec = ModelSpec::standard(
+            DatasetSpec::cora().scaled(0.05).with_feature_dim(32),
+            GnnKind::Gcn,
+        );
+        ModelArtifacts::build(&spec)
+    }
+
+    #[test]
+    fn batch_logits_shape_and_order_follow_targets() {
+        let a = artifacts();
+        let targets: Vec<NodeId> = vec![7, 1, 7];
+        let logits = batch_logits(&a, &targets);
+        assert_eq!(logits.shape(), (3, a.dataset.spec.num_classes));
+        // Duplicate targets get identical rows.
+        for c in 0..a.dataset.spec.num_classes {
+            assert_eq!(logits.get(0, c).to_bits(), logits.get(2, c).to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_execution_is_batch_invariant() {
+        let a = artifacts();
+        let solo = batch_logits(&a, &[11]);
+        let grouped = batch_logits(&a, &[4, 11, 19, 2]);
+        for c in 0..a.dataset.spec.num_classes {
+            assert_eq!(solo.get(0, c).to_bits(), grouped.get(1, c).to_bits());
+        }
+    }
+}

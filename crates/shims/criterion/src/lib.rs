@@ -1,0 +1,201 @@
+//! Offline drop-in shim for the subset of the `criterion` API used by the
+//! workspace's benches: `Criterion::{default, sample_size, bench_function,
+//! benchmark_group}`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! There is no statistics engine: each benchmark runs a small fixed number
+//! of timed iterations and prints mean wall-clock time per iteration. That
+//! keeps `cargo bench` (and `cargo test --benches`) working without the
+//! crates.io registry while still giving a usable smoke signal.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so `black_box` hides values from the optimizer.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted and ignored by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for benchmarks in this group (and, in the
+    /// shim, for the parent `Criterion` too).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.total / bencher.iters as u32
+    };
+    println!(
+        "bench {id:<48} {:>12.3?}/iter ({} iters)",
+        mean, bencher.iters
+    );
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` with untimed fresh input from `setup` per iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 64],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        let mut group = c.benchmark_group("grouped");
+        group.bench_function("noop", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    criterion_group!(
+        name = shim_smoke;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runner_executes() {
+        shim_smoke();
+    }
+}

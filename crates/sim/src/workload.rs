@@ -27,8 +27,7 @@ impl LayerSpec {
         if self.input_bits.is_empty() {
             return 0.0;
         }
-        self.input_bits.iter().map(|&b| b as f64).sum::<f64>()
-            / self.input_bits.len() as f64
+        self.input_bits.iter().map(|&b| b as f64).sum::<f64>() / self.input_bits.len() as f64
     }
 
     /// Size in bits of node `v`'s input feature row, counting only
@@ -168,8 +167,7 @@ impl Workload {
     /// Combination MACs of layer `l` when feature sparsity is exploited.
     pub fn combination_macs_sparse(&self, l: usize) -> u64 {
         let layer = &self.layers[l];
-        let nnz =
-            (self.num_nodes() as f64 * layer.in_dim as f64 * layer.input_density).ceil();
+        let nnz = (self.num_nodes() as f64 * layer.in_dim as f64 * layer.input_density).ceil();
         (nnz * layer.out_dim as f64) as u64
     }
 
@@ -196,8 +194,7 @@ impl Workload {
     /// Weight bytes of layer `l`.
     pub fn weight_bytes(&self, l: usize) -> u64 {
         let layer = &self.layers[l];
-        (layer.in_dim as u64 * layer.out_dim as u64 * layer.weight_bits as u64)
-            .div_ceil(8)
+        (layer.in_dim as u64 * layer.out_dim as u64 * layer.weight_bits as u64).div_ceil(8)
     }
 
     /// Adjacency bytes (CSC: column pointers + row indices, 4 B each).
@@ -267,15 +264,7 @@ mod tests {
             vec![vec![2; 10]],
             4,
         );
-        let high = Workload::mixed(
-            "T",
-            "GCN",
-            g,
-            &[100, 10],
-            &[0.1],
-            vec![vec![8; 10]],
-            4,
-        );
+        let high = Workload::mixed("T", "GCN", g, &[100, 10], &[0.1], vec![vec![8; 10]], 4);
         assert_eq!(
             high.layers[0].compressed_input_bytes(),
             4 * low.layers[0].compressed_input_bytes()

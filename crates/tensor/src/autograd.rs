@@ -173,7 +173,14 @@ impl Tape {
     ) -> VarId {
         let value = a.spmm(&self.vals[b.0]);
         let req = self.requires[b.0];
-        self.push(value, Node::SpmmLeft { at: Rc::clone(at), b }, req)
+        self.push(
+            value,
+            Node::SpmmLeft {
+                at: Rc::clone(at),
+                b,
+            },
+            req,
+        )
     }
 
     /// Rectified linear unit.
@@ -289,12 +296,7 @@ impl Tape {
     }
 
     /// Records a user-defined operation with a custom gradient.
-    pub fn custom(
-        &mut self,
-        inputs: &[VarId],
-        output: Matrix,
-        op: Box<dyn CustomGrad>,
-    ) -> VarId {
+    pub fn custom(&mut self, inputs: &[VarId], output: Matrix, op: Box<dyn CustomGrad>) -> VarId {
         let req = inputs.iter().any(|v| self.requires[v.0]);
         self.push(
             output,
@@ -409,8 +411,7 @@ impl Tape {
                     self.accumulate(*logits, gl);
                 }
                 Node::Custom { inputs, op } => {
-                    let input_vals: Vec<&Matrix> =
-                        inputs.iter().map(|v| &self.vals[v.0]).collect();
+                    let input_vals: Vec<&Matrix> = inputs.iter().map(|v| &self.vals[v.0]).collect();
                     let grads = op.backward(&input_vals, &self.vals[i], &gout);
                     assert_eq!(
                         grads.len(),
@@ -440,12 +441,7 @@ impl Tape {
 mod tests {
     use super::*;
 
-    fn finite_diff(
-        f: impl Fn(&Matrix) -> f32,
-        at: &Matrix,
-        r: usize,
-        c: usize,
-    ) -> f32 {
+    fn finite_diff(f: impl Fn(&Matrix) -> f32, at: &Matrix, r: usize, c: usize) -> f32 {
         let eps = 1e-3;
         let mut plus = at.clone();
         plus.set(r, c, plus.get(r, c) + eps);

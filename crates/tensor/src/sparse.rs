@@ -239,11 +239,7 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            4,
-            &[(0, 1, 2.0), (0, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
-        )
+        CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (0, 3, -1.0), (2, 0, 4.0), (2, 2, 0.5)])
     }
 
     #[test]

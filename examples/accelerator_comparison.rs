@@ -59,11 +59,7 @@ fn header(comparisons: &[Comparison]) {
     println!("{:>9}", "geomean");
 }
 
-fn row(
-    comparisons: &[Comparison],
-    acc: &str,
-    metric: impl Fn(&Comparison, &str) -> Option<f64>,
-) {
+fn row(comparisons: &[Comparison], acc: &str, metric: impl Fn(&Comparison, &str) -> Option<f64>) {
     print!("{:<12}", acc);
     let mut values = Vec::new();
     for c in comparisons {

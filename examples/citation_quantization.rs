@@ -33,7 +33,11 @@ fn main() {
         let (_, fp32) = trainer.train_fp32(GnnKind::Gcn, &dataset);
         println!(
             "{:<10} {:<10} {:>8.1}% {:>12.2} {:>6.1}x",
-            name, "FP32", fp32.test_accuracy * 100.0, 32.0, 1.0
+            name,
+            "FP32",
+            fp32.test_accuracy * 100.0,
+            32.0,
+            1.0
         );
         let qat = QatTrainer::new(QatConfig {
             epochs,
@@ -64,7 +68,8 @@ fn main() {
         let pct = |b: usize| 100.0 * hist[b] as f64 / total.max(1) as f64;
         println!(
             "{:<10} {:<10} bit histogram: 1b {:.0}%  2b {:.0}%  3b {:.0}%  4b+ {:.0}%",
-            "", "",
+            "",
+            "",
             pct(1),
             pct(2),
             pct(3),

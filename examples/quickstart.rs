@@ -22,7 +22,10 @@ fn main() {
     );
 
     let comparison = mega::suite::compare_all(&dataset, GnnKind::Gcn);
-    println!("\n{:<14} {:>14} {:>12} {:>12} {:>10}", "accelerator", "cycles", "DRAM MB", "energy uJ", "stall%");
+    println!(
+        "\n{:<14} {:>14} {:>12} {:>12} {:>10}",
+        "accelerator", "cycles", "DRAM MB", "energy uJ", "stall%"
+    );
     for r in &comparison.results {
         println!(
             "{:<14} {:>14} {:>12.3} {:>12.2} {:>9.1}%",

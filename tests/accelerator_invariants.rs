@@ -111,8 +111,5 @@ fn condense_without_partition_stays_close() {
     let full = Mega::new(MegaConfig::default()).run(&w);
     let nopart = Mega::new(MegaConfig::without_partitioning()).run(&w);
     let ratio = nopart.cycles.total_cycles as f64 / full.cycles.total_cycles as f64;
-    assert!(
-        ratio < 1.6,
-        "no-partition discount too large: {ratio}x"
-    );
+    assert!(ratio < 1.6, "no-partition discount too large: {ratio}x");
 }

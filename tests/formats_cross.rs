@@ -90,9 +90,5 @@ fn package_dse_default_is_competitive_on_real_data() {
     let norm = mega_format::dse::normalized_to_best(&points);
     // The paper's chosen setting (64,128,192) is within 25% of optimal on
     // citation graphs (Fig. 21).
-    assert!(
-        norm[1] < 1.25,
-        "default setting {}x off optimal",
-        norm[1]
-    );
+    assert!(norm[1] < 1.25, "default setting {}x off optimal", norm[1]);
 }

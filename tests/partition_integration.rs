@@ -18,7 +18,10 @@ fn metis_reduces_cut_but_leaves_sparse_connections() {
     let k = 8;
     let parts = partition(&d.graph, &PartitionConfig::new(k));
     let sc = parts.sparse_connections(&d.graph);
-    assert!(sc.intra_edges > sc.inter_edges, "partition failed to localize");
+    assert!(
+        sc.intra_edges > sc.inter_edges,
+        "partition failed to localize"
+    );
     assert!(
         sc.inter_edges > 0,
         "synthetic power-law graphs must retain cross-subgraph edges"

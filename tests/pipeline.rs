@@ -24,8 +24,7 @@ fn qat_assignment_flows_into_the_simulator() {
     .train_degree_aware(GnnKind::Gcn, &dataset);
     assert!(qat.compression_ratio > 4.0);
 
-    let workload =
-        workloads::build_quantized(&dataset, GnnKind::Gcn, Some(&qat.assignment));
+    let workload = workloads::build_quantized(&dataset, GnnKind::Gcn, Some(&qat.assignment));
     let mega_run = Mega::new(MegaConfig::default()).run(&workload);
     assert!(mega_run.cycles.total_cycles > 0);
 
@@ -87,7 +86,10 @@ fn eight_bit_baselines_improve_only_marginally() {
     let c = mega::suite::compare_all(&dataset, GnnKind::Gcn);
     let speedup_8bit = c.speedup("GCNAX(8bit)", "GCNAX").unwrap();
     let speedup_mega = c.speedup("MEGA", "GCNAX").unwrap();
-    assert!(speedup_8bit < speedup_mega, "8-bit GCNAX should not beat MEGA");
+    assert!(
+        speedup_8bit < speedup_mega,
+        "8-bit GCNAX should not beat MEGA"
+    );
     assert!(speedup_8bit < 4.0, "8-bit gain should be well below 4x");
 }
 

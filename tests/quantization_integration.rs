@@ -118,11 +118,7 @@ fn gat_quantizes_with_negligible_loss() {
     let hood = AttentionNeighborhood::new(&d.graph);
     let mut tape = mega_tensor::Tape::new();
     let (logits, _) = gat.forward(&mut tape, &d, &hood);
-    assert!(tape
-        .value(logits)
-        .as_slice()
-        .iter()
-        .all(|x| x.is_finite()));
+    assert!(tape.value(logits).as_slice().iter().all(|x| x.is_finite()));
     // Degree-aware input calibration on GAT's (binary) features: 1 bit.
     let grouping = DegreeGrouping::default();
     let groups = grouping.node_groups(&d.graph);
