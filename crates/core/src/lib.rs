@@ -52,7 +52,7 @@ pub mod workloads;
 
 pub use mega_accel::{CondenseMode, FeatureStorage, Mega, MegaConfig};
 pub use mega_baselines::{Gcnax, Grow, HyGcn, Sgcn};
-pub use mega_graph::{Dataset, DatasetSpec, Graph};
+pub use mega_graph::{Dataset, DatasetSpec, DynamicGraph, Graph, GraphDelta};
 pub use mega_quant::{QatConfig, QatOutcome, QatTrainer};
 pub use mega_sim::{Accelerator, RunResult, Workload};
 
@@ -60,8 +60,9 @@ pub use mega_sim::{Accelerator, RunResult, Workload};
 pub mod prelude {
     pub use mega_accel::{CondenseMode, FeatureStorage, Mega, MegaConfig};
     pub use mega_baselines::{Gcnax, Grow, HyGcn, Sgcn};
-    pub use mega_gnn::{GnnKind, Trainer};
+    pub use mega_gnn::{DynAdjacency, GnnKind, Trainer};
     pub use mega_graph::datasets::DatasetSpec;
+    pub use mega_graph::{DynamicGraph, GraphDelta};
     pub use mega_quant::{QatConfig, QatTrainer};
     pub use mega_sim::{geomean, Accelerator, RunResult, Workload};
 }

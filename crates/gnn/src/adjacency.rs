@@ -1,9 +1,11 @@
-//! Normalized adjacency construction for each aggregator.
+//! Normalized adjacency construction for each aggregator — one-shot
+//! ([`build_adjacency`]) and incrementally maintained ([`DynAdjacency`]).
 
 use std::rc::Rc;
 
+use mega_graph::dynamic::{DeltaEffect, DynamicGraph};
 use mega_graph::generate::shuffle;
-use mega_graph::Graph;
+use mega_graph::{Graph, NodeId};
 use mega_tensor::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +28,87 @@ pub enum AggregatorKind {
     },
 }
 
+/// Read-only row access to a normalized adjacency, the interface the sliced
+/// forward pass ([`crate::infer`]) consumes. Implemented by the static
+/// [`CsrMatrix`] and the incrementally maintained [`DynAdjacency`], so
+/// serving can swap in a mutable adjacency without touching the kernels.
+pub trait AdjacencyView {
+    /// Number of rows (== columns; adjacencies here are square).
+    fn rows(&self) -> usize;
+    /// Column indices of row `r`, sorted ascending.
+    fn row_indices(&self, r: usize) -> &[u32];
+    /// Values of row `r`, aligned with [`AdjacencyView::row_indices`].
+    fn row_values(&self, r: usize) -> &[f32];
+}
+
+impl<T: AdjacencyView + ?Sized> AdjacencyView for Rc<T> {
+    fn rows(&self) -> usize {
+        (**self).rows()
+    }
+    fn row_indices(&self, r: usize) -> &[u32] {
+        (**self).row_indices(r)
+    }
+    fn row_values(&self, r: usize) -> &[f32] {
+        (**self).row_values(r)
+    }
+}
+
+impl<T: AdjacencyView + ?Sized> AdjacencyView for std::sync::Arc<T> {
+    fn rows(&self) -> usize {
+        (**self).rows()
+    }
+    fn row_indices(&self, r: usize) -> &[u32] {
+        (**self).row_indices(r)
+    }
+    fn row_values(&self, r: usize) -> &[f32] {
+        (**self).row_values(r)
+    }
+}
+
+impl AdjacencyView for CsrMatrix {
+    fn rows(&self) -> usize {
+        CsrMatrix::rows(self)
+    }
+    fn row_indices(&self, r: usize) -> &[u32] {
+        CsrMatrix::row_indices(self, r)
+    }
+    fn row_values(&self, r: usize) -> &[f32] {
+        CsrMatrix::row_values(self, r)
+    }
+}
+
+/// The deterministic per-row RNG GraphSAGE sampling draws from.
+///
+/// Seeding per `(seed, dst)` — instead of one RNG streamed across rows in
+/// order — makes each row's sample a pure function of the node's neighbor
+/// set, which is what lets [`DynAdjacency`] rebuild a single row after a
+/// mutation and land bit-exactly on the from-scratch result.
+fn sage_row_rng(seed: u64, dst: NodeId) -> StdRng {
+    // splitmix64-style mix of the seed and the row id.
+    let mut z = seed ^ (dst as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// In-neighbors of a row after GraphSAGE sampling: at most `sample` of
+/// them, sorted ascending.
+fn sage_sample(neighbors: &[NodeId], sample: usize, seed: u64, dst: NodeId) -> Vec<NodeId> {
+    let mut chosen: Vec<NodeId> = neighbors.to_vec();
+    if chosen.len() > sample {
+        let mut rng = sage_row_rng(seed, dst);
+        shuffle(&mut chosen, &mut rng);
+        chosen.truncate(sample);
+        chosen.sort_unstable();
+    }
+    chosen
+}
+
+/// `1/sqrt(d̂)` with the self-loop degree `d̂ = in_degree + 1`.
+fn gcn_inv_sqrt(in_degree: usize) -> f32 {
+    1.0 / ((in_degree + 1) as f32).sqrt()
+}
+
 /// Builds the normalized adjacency `Ã` as a sparse matrix whose rows are
 /// destinations and columns sources, so aggregation is `Ã · H`.
 pub fn build_adjacency(graph: &Graph, kind: AggregatorKind) -> Rc<CsrMatrix> {
@@ -34,9 +117,7 @@ pub fn build_adjacency(graph: &Graph, kind: AggregatorKind) -> Rc<CsrMatrix> {
     match kind {
         AggregatorKind::GcnSymmetric => {
             // d̂(v) = in_degree + 1 (self-loop).
-            let inv_sqrt: Vec<f32> = (0..n)
-                .map(|v| 1.0 / ((graph.in_degree(v) + 1) as f32).sqrt())
-                .collect();
+            let inv_sqrt: Vec<f32> = (0..n).map(|v| gcn_inv_sqrt(graph.in_degree(v))).collect();
             for dst in 0..n {
                 triplets.push((dst as u32, dst as u32, inv_sqrt[dst] * inv_sqrt[dst]));
                 for &src in graph.in_neighbors(dst) {
@@ -53,15 +134,8 @@ pub fn build_adjacency(graph: &Graph, kind: AggregatorKind) -> Rc<CsrMatrix> {
             }
         }
         AggregatorKind::SageMean { sample, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
             for dst in 0..n {
-                let neighbors = graph.in_neighbors(dst);
-                let mut chosen: Vec<u32> = neighbors.to_vec();
-                if chosen.len() > sample {
-                    shuffle(&mut chosen, &mut rng);
-                    chosen.truncate(sample);
-                    chosen.sort_unstable();
-                }
+                let chosen = sage_sample(graph.in_neighbors(dst), sample, seed, dst as NodeId);
                 let w = 1.0 / (chosen.len() + 1) as f32;
                 triplets.push((dst as u32, dst as u32, w));
                 for src in chosen {
@@ -73,9 +147,174 @@ pub fn build_adjacency(graph: &Graph, kind: AggregatorKind) -> Rc<CsrMatrix> {
     Rc::new(CsrMatrix::from_triplets(n, n, &triplets))
 }
 
+/// One row of a [`DynAdjacency`]: sorted column indices plus values.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct AdjRow {
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+/// A normalized adjacency under mutation: rows are stored individually so a
+/// graph delta refreshes only the rows it dirtied instead of rebuilding the
+/// whole matrix.
+///
+/// Rebuilding a row is `O(deg)` and lands bit-exactly on what
+/// [`build_adjacency`] would produce for the same graph (the incremental ==
+/// from-scratch equivalence the dynamic-graph property tests assert), so a
+/// [`DynAdjacency`] can serve the forward pass directly through
+/// [`AdjacencyView`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynAdjacency {
+    kind: AggregatorKind,
+    rows: Vec<AdjRow>,
+    refreshed: u64,
+}
+
+impl DynAdjacency {
+    /// Builds every row from scratch for the current state of `graph`.
+    pub fn build(graph: &DynamicGraph, kind: AggregatorKind) -> Self {
+        let mut adj = Self {
+            kind,
+            rows: vec![AdjRow::default(); graph.num_nodes()],
+            refreshed: 0,
+        };
+        for v in 0..graph.num_nodes() {
+            adj.rows[v] = adj.rebuild_row(graph, v as NodeId);
+        }
+        adj
+    }
+
+    /// The aggregation scheme the rows encode.
+    pub fn kind(&self) -> AggregatorKind {
+        self.kind
+    }
+
+    /// Cumulative number of rows refreshed by [`DynAdjacency::apply`] /
+    /// [`DynAdjacency::refresh_rows`] since construction. The incremental-
+    /// cost tests assert this stays proportional to the touched
+    /// neighborhoods, not the graph.
+    pub fn rows_refreshed(&self) -> u64 {
+        self.refreshed
+    }
+
+    /// The rows a [`DeltaEffect`] dirties under this aggregator:
+    ///
+    /// * every row whose in-neighbor set changed,
+    /// * every freshly added node's row, and
+    /// * for GCN symmetric normalization only: every row referencing a
+    ///   degree-changed node as a *column* (its `1/sqrt(d̂)` factor moved),
+    ///   i.e. the out-neighbors of each changed node.
+    ///
+    /// Sorted and deduplicated.
+    pub fn dirty_rows(&self, graph: &DynamicGraph, effect: &DeltaEffect) -> Vec<NodeId> {
+        let mut dirty: Vec<NodeId> = effect.rows_changed.clone();
+        dirty.extend_from_slice(&effect.added_nodes);
+        if matches!(self.kind, AggregatorKind::GcnSymmetric) {
+            for &b in &effect.rows_changed {
+                dirty.extend_from_slice(graph.out_neighbors(b as usize));
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Catches the adjacency up with a mutation that already happened on
+    /// `graph`, refreshing only the dirtied rows. Returns how many rows
+    /// were refreshed.
+    ///
+    /// `graph` must be the post-mutation state and `effect` the value
+    /// [`DynamicGraph::apply`] returned for it.
+    pub fn apply(&mut self, graph: &DynamicGraph, effect: &DeltaEffect) -> usize {
+        // New nodes first, so the dirty-row refresh below can address them
+        // (dirty_rows always includes added nodes — they need their
+        // self-loop row even when no edge touched them).
+        self.rows.resize(graph.num_nodes(), AdjRow::default());
+        let dirty = self.dirty_rows(graph, effect);
+        self.refresh_rows(graph, &dirty);
+        dirty.len()
+    }
+
+    /// Rebuilds exactly the named rows from the current `graph` state.
+    pub fn refresh_rows(&mut self, graph: &DynamicGraph, rows: &[NodeId]) {
+        for &v in rows {
+            self.rows[v as usize] = self.rebuild_row(graph, v);
+        }
+        self.refreshed += rows.len() as u64;
+    }
+
+    /// One row, from scratch: the sorted merge of the self-loop column and
+    /// the (possibly sampled) in-neighbors, with aggregator-specific
+    /// weights. Matches [`build_adjacency`] bit-for-bit.
+    fn rebuild_row(&self, graph: &DynamicGraph, v: NodeId) -> AdjRow {
+        let merge = |neighbors: &[NodeId], self_w: f32, w_of: &dyn Fn(NodeId) -> f32| {
+            let mut cols = Vec::with_capacity(neighbors.len() + 1);
+            let mut vals = Vec::with_capacity(neighbors.len() + 1);
+            let mut placed = false;
+            for &src in neighbors {
+                if !placed && src > v {
+                    cols.push(v);
+                    vals.push(self_w);
+                    placed = true;
+                }
+                cols.push(src);
+                vals.push(w_of(src));
+            }
+            if !placed {
+                cols.push(v);
+                vals.push(self_w);
+            }
+            AdjRow { cols, vals }
+        };
+        match self.kind {
+            AggregatorKind::GcnSymmetric => {
+                let inv_v = gcn_inv_sqrt(graph.in_degree(v as usize));
+                merge(graph.in_neighbors(v as usize), inv_v * inv_v, &|src| {
+                    inv_v * gcn_inv_sqrt(graph.in_degree(src as usize))
+                })
+            }
+            AggregatorKind::GinSum => merge(graph.in_neighbors(v as usize), 1.0, &|_| 1.0),
+            AggregatorKind::SageMean { sample, seed } => {
+                let chosen = sage_sample(graph.in_neighbors(v as usize), sample, seed, v);
+                let w = 1.0 / (chosen.len() + 1) as f32;
+                merge(&chosen, w, &|_| w)
+            }
+        }
+    }
+
+    /// Freezes the rows into a [`CsrMatrix`] (full copy; equivalence tests
+    /// and offline consumers only).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut offsets = Vec::with_capacity(self.rows.len() + 1);
+        offsets.push(0usize);
+        let nnz: usize = self.rows.iter().map(|r| r.cols.len()).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for row in &self.rows {
+            indices.extend_from_slice(&row.cols);
+            values.extend_from_slice(&row.vals);
+            offsets.push(indices.len());
+        }
+        CsrMatrix::from_raw(self.rows.len(), self.rows.len(), offsets, indices, values)
+    }
+}
+
+impl AdjacencyView for DynAdjacency {
+    fn rows(&self) -> usize {
+        self.rows.len()
+    }
+    fn row_indices(&self, r: usize) -> &[u32] {
+        &self.rows[r].cols
+    }
+    fn row_values(&self, r: usize) -> &[f32] {
+        &self.rows[r].vals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mega_graph::GraphDelta;
 
     fn path_graph() -> Graph {
         // 0 - 1 - 2 (symmetric path)
@@ -143,6 +382,21 @@ mod tests {
     }
 
     #[test]
+    fn sage_sampling_is_per_row() {
+        // Two rows with identical neighbor *sets* but different ids draw
+        // independent samples, and a row's sample ignores other rows.
+        let mut edges: Vec<(u32, u32)> = (2..=20).map(|i| (i, 0)).collect();
+        edges.extend((2..=20).map(|i| (i, 1)));
+        let g = Graph::from_directed_edges(21, edges.clone());
+        let kind = AggregatorKind::SageMean { sample: 5, seed: 9 };
+        let full = build_adjacency(&g, kind);
+        // Same graph minus row 1's edges: row 0's sample must not move.
+        let g0 = Graph::from_directed_edges(21, edges[..19].to_vec());
+        let only0 = build_adjacency(&g0, kind);
+        assert_eq!(full.row_indices(0), only0.row_indices(0));
+    }
+
+    #[test]
     fn gin_aggregated_magnitude_grows_with_degree() {
         // The Fig. 3 premise at micro scale: sum aggregation scales with
         // in-degree while GCN normalization dampens it.
@@ -155,5 +409,91 @@ mod tests {
                                          // Sym-norm: 1/10 + 9/sqrt(10) ≈ 2.95, well below the GIN sum.
         assert!(gcn.get(0, 0) < 3.5);
         assert!(gin.get(0, 0) > 3.0 * gin.get(1, 0));
+    }
+
+    fn dyn_diamond() -> DynamicGraph {
+        DynamicGraph::from_graph(&Graph::from_directed_edges(
+            4,
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        ))
+    }
+
+    #[test]
+    fn dyn_build_matches_static_build() {
+        for kind in [
+            AggregatorKind::GcnSymmetric,
+            AggregatorKind::GinSum,
+            AggregatorKind::SageMean { sample: 2, seed: 5 },
+        ] {
+            let dg = dyn_diamond();
+            let dyn_adj = DynAdjacency::build(&dg, kind);
+            let static_adj = build_adjacency(&dg.to_graph(), kind);
+            assert_eq!(dyn_adj.to_csr(), *static_adj, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_rebuild_and_touches_few_rows() {
+        let mut dg = dyn_diamond();
+        let mut adj = DynAdjacency::build(&dg, AggregatorKind::GcnSymmetric);
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(3, 1);
+        let effect = dg.apply(&delta).unwrap();
+        let refreshed = adj.apply(&dg, &effect);
+        // Dirty rows for GCN: row 1 (new in-edge) plus rows referencing
+        // node 1 as a column = out-neighbors of 1 = {3}.
+        assert_eq!(refreshed, 2);
+        assert_eq!(adj.rows_refreshed(), 2);
+        assert_eq!(
+            adj.to_csr(),
+            *build_adjacency(&dg.to_graph(), AggregatorKind::GcnSymmetric)
+        );
+    }
+
+    #[test]
+    fn incremental_gin_touches_only_destination_row() {
+        let mut dg = dyn_diamond();
+        let mut adj = DynAdjacency::build(&dg, AggregatorKind::GinSum);
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(3, 0).remove_edge(0, 1);
+        let effect = dg.apply(&delta).unwrap();
+        let refreshed = adj.apply(&dg, &effect);
+        assert_eq!(refreshed, 2); // rows 0 and 1, nothing else
+        assert_eq!(
+            adj.to_csr(),
+            *build_adjacency(&dg.to_graph(), AggregatorKind::GinSum)
+        );
+    }
+
+    #[test]
+    fn added_nodes_get_self_loop_rows() {
+        let mut dg = dyn_diamond();
+        let mut adj = DynAdjacency::build(&dg, AggregatorKind::GcnSymmetric);
+        let mut delta = GraphDelta::new();
+        delta.add_node().add_node().insert_edge(4, 5);
+        let effect = dg.apply(&delta).unwrap();
+        adj.apply(&dg, &effect);
+        assert_eq!(AdjacencyView::rows(&adj), 6);
+        assert_eq!(adj.row_indices(4), &[4]);
+        assert_eq!(adj.row_indices(5), &[4, 5]);
+        assert_eq!(
+            adj.to_csr(),
+            *build_adjacency(&dg.to_graph(), AggregatorKind::GcnSymmetric)
+        );
+    }
+
+    #[test]
+    fn isolation_refreshes_neighbor_rows() {
+        let mut dg = dyn_diamond();
+        let mut adj = DynAdjacency::build(&dg, AggregatorKind::GcnSymmetric);
+        let mut delta = GraphDelta::new();
+        delta.isolate_node(3);
+        let effect = dg.apply(&delta).unwrap();
+        adj.apply(&dg, &effect);
+        assert_eq!(adj.row_indices(3), &[3]);
+        assert_eq!(
+            adj.to_csr(),
+            *build_adjacency(&dg.to_graph(), AggregatorKind::GcnSymmetric)
+        );
     }
 }

@@ -18,8 +18,9 @@ use std::collections::HashMap;
 
 use mega_graph::datasets::Features;
 use mega_graph::NodeId;
-use mega_tensor::{CsrMatrix, Matrix};
+use mega_tensor::Matrix;
 
+use crate::adjacency::AdjacencyView;
 use crate::model::Gnn;
 
 /// Elementwise per-node activation transform (e.g. degree-aware fake
@@ -38,7 +39,11 @@ pub struct ReceptiveField {
 
 impl ReceptiveField {
     /// Expands `targets` through `layers` hops of `adjacency` rows.
-    pub fn expand(adjacency: &CsrMatrix, targets: &[NodeId], layers: usize) -> Self {
+    pub fn expand<A: AdjacencyView + ?Sized>(
+        adjacency: &A,
+        targets: &[NodeId],
+        layers: usize,
+    ) -> Self {
         let mut needed = vec![Vec::new(); layers + 1];
         let mut level: Vec<NodeId> = targets.to_vec();
         level.sort_unstable();
@@ -78,10 +83,10 @@ impl ReceptiveField {
 ///
 /// Panics if `features` rows mismatch the adjacency, or a target is out of
 /// range.
-pub fn forward_targets(
+pub fn forward_targets<A: AdjacencyView + ?Sized>(
     model: &Gnn,
     features: &Features,
-    adjacency: &CsrMatrix,
+    adjacency: &A,
     targets: &[NodeId],
     transform: ActivationTransform<'_>,
 ) -> Matrix {
@@ -91,10 +96,10 @@ pub fn forward_targets(
 /// Like [`forward_targets`], but also returns the [`ReceptiveField`] the
 /// pass materialized — callers that account for per-batch compute (e.g.
 /// the serving engine's metrics) get it without re-expanding.
-pub fn forward_targets_with_field(
+pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
     model: &Gnn,
     features: &Features,
-    adjacency: &CsrMatrix,
+    adjacency: &A,
     targets: &[NodeId],
     transform: ActivationTransform<'_>,
 ) -> (Matrix, ReceptiveField) {
@@ -199,7 +204,7 @@ mod tests {
     use crate::adjacency::build_adjacency;
     use crate::model::{GnnKind, IdentityHook, ModelConfig};
     use mega_graph::datasets::DatasetSpec;
-    use mega_tensor::Tape;
+    use mega_tensor::{CsrMatrix, Tape};
 
     fn setup() -> (mega_graph::Dataset, Gnn, std::rc::Rc<CsrMatrix>) {
         let d = DatasetSpec::cora()

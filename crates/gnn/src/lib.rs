@@ -29,7 +29,7 @@ pub mod infer;
 pub mod model;
 pub mod train;
 
-pub use adjacency::{build_adjacency, AggregatorKind};
+pub use adjacency::{build_adjacency, AdjacencyView, AggregatorKind, DynAdjacency};
 pub use infer::{forward_targets, forward_targets_with_field, ReceptiveField};
 pub use model::{ForwardHook, Gnn, GnnKind, IdentityHook, ModelConfig};
 pub use train::{accuracy, TrainReport, Trainer};

@@ -304,6 +304,23 @@ impl Features {
     pub fn row_nnz(&self, i: usize) -> usize {
         self.row(i).iter().filter(|&&x| x != 0.0).count()
     }
+
+    /// Row `i` as a mutable slice (dynamic-graph re-quantization rewrites
+    /// rows in place when a node changes precision tier).
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Appends one row (a freshly added node's features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "feature row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
 }
 
 /// Train/validation/test node index splits (Planetoid-style).

@@ -1,0 +1,542 @@
+//! Mutable graphs: [`DynamicGraph`] and the [`GraphDelta`] mutation batches
+//! applied to them.
+//!
+//! The static [`crate::Graph`] freezes adjacency into flat CSR/CSC arrays —
+//! ideal for read-mostly kernels, but inserting one edge would shift `O(E)`
+//! indices. [`DynamicGraph`] keeps one sorted neighbor list per node in each
+//! direction instead, so an edge upsert or removal costs `O(deg)` for the
+//! two endpoints and nothing else. Downstream consumers (the incremental
+//! normalized adjacency in `mega-gnn`, degree re-tiering in `mega-serve`)
+//! key off the [`DeltaEffect`] an application returns: exactly which nodes
+//! gained or lost in-neighbors, so they can refresh only the affected rows.
+//!
+//! Node *removal* is isolation: every incident edge is dropped but the id
+//! slot survives as a degree-zero node. Stable ids are what let a serving
+//! engine keep request routing, feature rows, and cached per-node metadata
+//! aligned across mutations.
+//!
+//! # Example
+//!
+//! ```
+//! use mega_graph::{DynamicGraph, Graph, GraphDelta};
+//!
+//! let mut g = DynamicGraph::from_graph(&Graph::from_directed_edges(3, vec![(0, 1)]));
+//! let mut delta = GraphDelta::new();
+//! delta.insert_edge(2, 1).insert_edge(0, 1).remove_edge(0, 1);
+//! let effect = g.apply(&delta).unwrap();
+//! assert_eq!(g.in_degree(1), 1); // 2→1 inserted, 0→1 removed
+//! assert_eq!(effect.rows_changed, vec![1]);
+//! ```
+
+use crate::{Coo, Graph, NodeId};
+
+/// One graph mutation inside a [`GraphDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphOp {
+    /// Insert the directed edge `(src, dst)`; a no-op if already present.
+    InsertEdge(NodeId, NodeId),
+    /// Remove the directed edge `(src, dst)`; a no-op if absent.
+    RemoveEdge(NodeId, NodeId),
+    /// Append a fresh, isolated node and return its id implicitly
+    /// (ids are assigned densely in op order).
+    AddNode,
+    /// Drop every edge incident to the node, keeping its id slot as an
+    /// isolated node.
+    IsolateNode(NodeId),
+}
+
+/// A batch of graph mutations, applied transactionally by
+/// [`DynamicGraph::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    ops: Vec<GraphOp>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues an edge insertion (upsert: inserting an existing edge is a
+    /// no-op).
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.ops.push(GraphOp::InsertEdge(src, dst));
+        self
+    }
+
+    /// Queues an undirected insertion (both directions).
+    pub fn insert_undirected(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.insert_edge(a, b).insert_edge(b, a)
+    }
+
+    /// Queues an edge removal (removing an absent edge is a no-op).
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> &mut Self {
+        self.ops.push(GraphOp::RemoveEdge(src, dst));
+        self
+    }
+
+    /// Queues a node addition. The new node's id is the graph's node count
+    /// at the point this op applies.
+    pub fn add_node(&mut self) -> &mut Self {
+        self.ops.push(GraphOp::AddNode);
+        self
+    }
+
+    /// Queues a node isolation (drop all incident edges, keep the slot).
+    pub fn isolate_node(&mut self, v: NodeId) -> &mut Self {
+        self.ops.push(GraphOp::IsolateNode(v));
+        self
+    }
+
+    /// The queued ops, in application order.
+    pub fn ops(&self) -> &[GraphOp] {
+        &self.ops
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of `AddNode` ops in the batch (callers that attach per-node
+    /// payloads, e.g. feature rows, size them against this).
+    pub fn nodes_added(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, GraphOp::AddNode))
+            .count()
+    }
+}
+
+/// Why a [`GraphDelta`] was rejected. Validation happens before any op is
+/// applied, so a rejected delta leaves the graph untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An op references a node id outside the graph (accounting for
+    /// `AddNode` ops earlier in the same delta).
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Node count at the point the op would have applied.
+        nodes: usize,
+    },
+    /// An edge op has identical endpoints; graphs in this workspace carry
+    /// no self-loops (normalization adds its own).
+    SelfLoop(NodeId),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (graph has {nodes} nodes)")
+            }
+            DeltaError::SelfLoop(v) => write!(f, "self-loop ({v}, {v}) not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What applying a [`GraphDelta`] actually changed. Incremental consumers
+/// (normalized adjacency, degree-aware re-tiering) refresh exactly the
+/// state keyed by these fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// Edges actually inserted (upserts of present edges do not count).
+    pub inserted: usize,
+    /// Edges actually removed (including those dropped by isolation).
+    pub removed: usize,
+    /// Ids of nodes appended by `AddNode` ops, in op order.
+    pub added_nodes: Vec<NodeId>,
+    /// Nodes whose *in*-neighbor set changed, sorted and deduplicated.
+    /// Exactly these nodes changed in-degree; freshly added nodes appear
+    /// only if the same delta also wired an in-edge to them.
+    pub rows_changed: Vec<NodeId>,
+    /// Nodes whose *out*-neighbor set changed, sorted and deduplicated.
+    pub out_changed: Vec<NodeId>,
+}
+
+impl DeltaEffect {
+    /// Whether the delta changed nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.inserted == 0 && self.removed == 0 && self.added_nodes.is_empty()
+    }
+}
+
+/// A directed graph under mutation: one sorted neighbor list per node per
+/// direction.
+///
+/// Neighbor lists are kept sorted ascending, matching the row order of
+/// [`crate::Csr`], so snapshots ([`DynamicGraph::to_graph`]) and row-level
+/// consumers see identical layouts to a from-scratch build.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynamicGraph {
+    out: Vec<Vec<NodeId>>,
+    inn: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// An edgeless graph over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            out: vec![Vec::new(); num_nodes],
+            inn: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        }
+    }
+
+    /// Thaws a static [`Graph`] into mutable form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        Self {
+            out: (0..n).map(|v| graph.out_neighbors(v).to_vec()).collect(),
+            inn: (0..n).map(|v| graph.in_neighbors(v).to_vec()).collect(),
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Freezes the current state back into a static [`Graph`] (full
+    /// rebuild, `O(V + E)` — for snapshots and equivalence tests, not the
+    /// mutation hot path).
+    pub fn to_graph(&self) -> Graph {
+        let mut coo = Coo::new(self.num_nodes());
+        for (src, neighbors) in self.out.iter().enumerate() {
+            for &dst in neighbors {
+                coo.push(src as NodeId, dst);
+            }
+        }
+        Graph::from_coo(&coo)
+    }
+
+    /// Number of nodes (including isolated slots).
+    pub fn num_nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted out-neighbors of `v`.
+    pub fn out_neighbors(&self, v: usize) -> &[NodeId] {
+        &self.out[v]
+    }
+
+    /// Sorted in-neighbors of `v`.
+    pub fn in_neighbors(&self, v: usize) -> &[NodeId] {
+        &self.inn[v]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.inn[v].len()
+    }
+
+    /// Whether the directed edge `(src, dst)` is present.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out[src as usize].binary_search(&dst).is_ok()
+    }
+
+    /// Inserts the directed edge `(src, dst)`. Returns `true` if the edge
+    /// was new. `O(deg)` for the two endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self-loop; use
+    /// [`DynamicGraph::apply`] for validated batches.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        assert_ne!(src, dst, "self-loop ({src}, {dst}) not allowed");
+        let Err(slot) = self.out[src as usize].binary_search(&dst) else {
+            return false;
+        };
+        self.out[src as usize].insert(slot, dst);
+        let in_slot = self.inn[dst as usize]
+            .binary_search(&src)
+            .expect_err("out/in lists diverged");
+        self.inn[dst as usize].insert(in_slot, src);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the directed edge `(src, dst)`. Returns `true` if it was
+    /// present. `O(deg)` for the two endpoints.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let Ok(slot) = self.out[src as usize].binary_search(&dst) else {
+            return false;
+        };
+        self.out[src as usize].remove(slot);
+        let in_slot = self.inn[dst as usize]
+            .binary_search(&src)
+            .expect("out/in lists diverged");
+        self.inn[dst as usize].remove(in_slot);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Appends a fresh isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        (self.num_nodes() - 1) as NodeId
+    }
+
+    /// Drops every edge incident to `v`, keeping the id slot. Returns the
+    /// number of edges removed.
+    pub fn isolate_node(&mut self, v: NodeId) -> usize {
+        let outgoing = std::mem::take(&mut self.out[v as usize]);
+        for &dst in &outgoing {
+            let slot = self.inn[dst as usize]
+                .binary_search(&v)
+                .expect("out/in lists diverged");
+            self.inn[dst as usize].remove(slot);
+        }
+        let incoming = std::mem::take(&mut self.inn[v as usize]);
+        for &src in &incoming {
+            let slot = self.out[src as usize]
+                .binary_search(&v)
+                .expect("out/in lists diverged");
+            self.out[src as usize].remove(slot);
+        }
+        let dropped = outgoing.len() + incoming.len();
+        self.num_edges -= dropped;
+        dropped
+    }
+
+    /// Validates `delta` against the current state without applying it.
+    /// `AddNode` ops extend the valid id range for subsequent ops.
+    pub fn validate(&self, delta: &GraphDelta) -> Result<(), DeltaError> {
+        let mut nodes = self.num_nodes();
+        for op in delta.ops() {
+            match *op {
+                GraphOp::InsertEdge(s, d) | GraphOp::RemoveEdge(s, d) => {
+                    if s == d {
+                        return Err(DeltaError::SelfLoop(s));
+                    }
+                    for v in [s, d] {
+                        if v as usize >= nodes {
+                            return Err(DeltaError::NodeOutOfRange { node: v, nodes });
+                        }
+                    }
+                }
+                GraphOp::AddNode => nodes += 1,
+                GraphOp::IsolateNode(v) => {
+                    if v as usize >= nodes {
+                        return Err(DeltaError::NodeOutOfRange { node: v, nodes });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every op of `delta` in order, transactionally: the delta is
+    /// validated up front and a rejected delta changes nothing.
+    ///
+    /// Cost is `O(Σ deg)` over the touched endpoints — independent of graph
+    /// size, which is what keeps the serving-side update path incremental.
+    pub fn apply(&mut self, delta: &GraphDelta) -> Result<DeltaEffect, DeltaError> {
+        self.validate(delta)?;
+        let mut effect = DeltaEffect::default();
+        for op in delta.ops() {
+            match *op {
+                GraphOp::InsertEdge(s, d) => {
+                    if self.insert_edge(s, d) {
+                        effect.inserted += 1;
+                        effect.rows_changed.push(d);
+                        effect.out_changed.push(s);
+                    }
+                }
+                GraphOp::RemoveEdge(s, d) => {
+                    if self.remove_edge(s, d) {
+                        effect.removed += 1;
+                        effect.rows_changed.push(d);
+                        effect.out_changed.push(s);
+                    }
+                }
+                GraphOp::AddNode => {
+                    effect.added_nodes.push(self.add_node());
+                }
+                GraphOp::IsolateNode(v) => {
+                    // Record before the lists are emptied: out-neighbors
+                    // lose an in-edge (their row changes); in-neighbors
+                    // lose an out-edge.
+                    effect.rows_changed.extend_from_slice(&self.out[v as usize]);
+                    effect.out_changed.extend_from_slice(&self.inn[v as usize]);
+                    let had_in = self.in_degree(v as usize) > 0;
+                    let had_out = self.out_degree(v as usize) > 0;
+                    effect.removed += self.isolate_node(v);
+                    if had_in {
+                        effect.rows_changed.push(v);
+                    }
+                    if had_out {
+                        effect.out_changed.push(v);
+                    }
+                }
+            }
+        }
+        effect.rows_changed.sort_unstable();
+        effect.rows_changed.dedup();
+        effect.out_changed.sort_unstable();
+        effect.out_changed.dedup();
+        Ok(effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DynamicGraph {
+        // 0 → 1 → 3, 0 → 2 → 3
+        DynamicGraph::from_graph(&Graph::from_directed_edges(
+            4,
+            vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        ))
+    }
+
+    #[test]
+    fn thaw_preserves_structure() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(
+            g.to_graph(),
+            Graph::from_directed_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+        );
+    }
+
+    #[test]
+    fn insert_is_an_upsert() {
+        let mut g = diamond();
+        assert!(g.insert_edge(3, 0));
+        assert!(!g.insert_edge(3, 0), "duplicate insert is a no-op");
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(3, 0));
+        assert_eq!(g.in_neighbors(0), &[3]);
+    }
+
+    #[test]
+    fn remove_missing_edge_is_noop() {
+        let mut g = diamond();
+        assert!(!g.remove_edge(3, 0));
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_neighbors(1), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn isolate_drops_both_directions() {
+        let mut g = diamond();
+        let dropped = g.isolate_node(3);
+        assert_eq!(dropped, 2);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.in_degree(3), 0);
+        assert_eq!(g.out_neighbors(1), &[] as &[NodeId]);
+        // Slot survives.
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn apply_reports_exact_effect() {
+        let mut g = diamond();
+        let mut delta = GraphDelta::new();
+        delta
+            .insert_edge(3, 0) // new
+            .insert_edge(0, 1) // present: no-op
+            .remove_edge(2, 3) // present
+            .remove_edge(2, 3) // now absent: no-op
+            .add_node();
+        let effect = g.apply(&delta).unwrap();
+        assert_eq!(effect.inserted, 1);
+        assert_eq!(effect.removed, 1);
+        assert_eq!(effect.added_nodes, vec![4]);
+        assert_eq!(effect.rows_changed, vec![0, 3]);
+        assert_eq!(effect.out_changed, vec![2, 3]);
+        assert_eq!(g.num_nodes(), 5);
+        assert!(!effect.is_noop());
+    }
+
+    #[test]
+    fn apply_is_transactional_on_error() {
+        let mut g = diamond();
+        let before = g.clone();
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(0, 3).insert_edge(0, 99);
+        let err = g.apply(&delta).unwrap_err();
+        assert!(matches!(err, DeltaError::NodeOutOfRange { node: 99, .. }));
+        assert_eq!(g, before, "rejected delta must change nothing");
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut g = diamond();
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(2, 2);
+        assert_eq!(g.apply(&delta).unwrap_err(), DeltaError::SelfLoop(2));
+    }
+
+    #[test]
+    fn add_node_extends_range_for_later_ops() {
+        let mut g = DynamicGraph::new(1);
+        let mut delta = GraphDelta::new();
+        delta.add_node().insert_edge(0, 1);
+        let effect = g.apply(&delta).unwrap();
+        assert_eq!(effect.added_nodes, vec![1]);
+        assert_eq!(effect.rows_changed, vec![1]);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(delta.nodes_added(), 1);
+    }
+
+    #[test]
+    fn isolation_effect_covers_neighbors() {
+        let mut g = diamond();
+        let mut delta = GraphDelta::new();
+        delta.isolate_node(0);
+        let effect = g.apply(&delta).unwrap();
+        // 0 had no in-edges, so its own row is unchanged; rows of its
+        // out-neighbors 1 and 2 lost an in-edge.
+        assert_eq!(effect.rows_changed, vec![1, 2]);
+        assert_eq!(effect.out_changed, vec![0]);
+        assert_eq!(effect.removed, 2);
+    }
+
+    #[test]
+    fn random_mutations_match_rebuilt_graph() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = DynamicGraph::new(12);
+        let mut edges: std::collections::BTreeSet<(NodeId, NodeId)> = Default::default();
+        for _ in 0..400 {
+            let s = rng.gen_range(0..12u32);
+            let d = rng.gen_range(0..12u32);
+            if s == d {
+                continue;
+            }
+            if rng.gen_bool(0.6) {
+                assert_eq!(g.insert_edge(s, d), edges.insert((s, d)));
+            } else {
+                assert_eq!(g.remove_edge(s, d), edges.remove(&(s, d)));
+            }
+        }
+        let rebuilt = Graph::from_directed_edges(12, edges.iter().copied().collect());
+        assert_eq!(g.to_graph(), rebuilt);
+        assert_eq!(g.num_edges(), edges.len());
+    }
+}

@@ -33,6 +33,7 @@ pub mod alias;
 pub mod coo;
 pub mod csr;
 pub mod datasets;
+pub mod dynamic;
 pub mod generate;
 pub mod graph;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod stats;
 pub use coo::Coo;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec, Features};
+pub use dynamic::{DeltaEffect, DeltaError, DynamicGraph, GraphDelta, GraphOp};
 pub use graph::Graph;
 
 /// Node identifier. Graphs in this workspace are bounded by Reddit's

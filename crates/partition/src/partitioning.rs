@@ -53,6 +53,18 @@ impl Partitioning {
         self.assignment[v]
     }
 
+    /// Appends the assignment for a freshly added node (dynamic-graph
+    /// growth keeps the partitioning aligned without a re-partition; the
+    /// assignment is a locality hint, so a heuristic part is fine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part >= k`.
+    pub fn push(&mut self, part: u32) {
+        assert!((part as usize) < self.k, "part id out of range");
+        self.assignment.push(part);
+    }
+
     /// Node count per part.
     pub fn part_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.k];

@@ -37,6 +37,6 @@ pub mod report;
 pub use grouping::DegreeGrouping;
 pub use hooks::{DegreeAwareHook, DqHook};
 pub use input::InputQuant;
-pub use policy::DegreePolicy;
+pub use policy::{DegreePolicy, PolicyError};
 pub use qat::{QatConfig, QatOutcome, QatTrainer};
 pub use report::{average_bits, compression_ratio, BitAssignment};

@@ -11,6 +11,65 @@
 
 use mega_graph::Graph;
 
+/// Why a [`DegreePolicy`] definition was rejected by
+/// [`DegreePolicy::try_new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// No tiers at all — the policy would map nothing.
+    EmptyTiers,
+    /// Two tiers share the same degree threshold; the mapping would be
+    /// ambiguous.
+    DuplicateThreshold(usize),
+    /// Thresholds are not sorted ascending; tier lookup walks them in
+    /// order and would shadow later tiers.
+    UnsortedThresholds {
+        /// The threshold that broke the order.
+        threshold: usize,
+        /// The (larger) threshold preceding it.
+        previous: usize,
+    },
+    /// A bitwidth is outside the representable `1..=8` range.
+    BitsOutOfRange(u8),
+    /// Bitwidths decrease as degree grows, inverting the degree-aware
+    /// premise (high-degree nodes need *more* bits, paper Fig. 3).
+    NonMonotoneBits {
+        /// Bits of the offending tier (or the overflow tier).
+        bits: u8,
+        /// Bits of the tier before it.
+        previous: u8,
+    },
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::EmptyTiers => write!(f, "policy needs at least one tier"),
+            PolicyError::DuplicateThreshold(d) => {
+                write!(
+                    f,
+                    "duplicate degree threshold {d}: tier thresholds must be strictly ascending"
+                )
+            }
+            PolicyError::UnsortedThresholds {
+                threshold,
+                previous,
+            } => write!(
+                f,
+                "tier thresholds must be strictly ascending: {threshold} follows {previous}"
+            ),
+            PolicyError::BitsOutOfRange(bits) => {
+                write!(f, "bitwidth {bits} out of range (must be 1..=8)")
+            }
+            PolicyError::NonMonotoneBits { bits, previous } => write!(
+                f,
+                "bitwidths must not decrease with degree: {bits} bits follows {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
 /// Maps in-degree to a serving bitwidth via ascending degree thresholds.
 ///
 /// # Example
@@ -44,27 +103,60 @@ impl DegreePolicy {
     ///
     /// # Panics
     ///
-    /// Panics if `tiers` is empty, thresholds are not strictly ascending,
-    /// or any bitwidth is outside `1..=8`.
+    /// Panics on any condition [`DegreePolicy::try_new`] rejects.
     pub fn new(tiers: Vec<(usize, u8)>, overflow_bits: u8) -> Self {
-        assert!(!tiers.is_empty(), "policy needs at least one tier");
+        match Self::try_new(tiers, overflow_bits) {
+            Ok(policy) => policy,
+            Err(e) => panic!("invalid degree policy: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates that tiers exist, degree thresholds
+    /// are strictly ascending (no duplicates, no inversions), every
+    /// bitwidth is in `1..=8`, and bitwidths never *decrease* as degree
+    /// grows (the degree-aware premise — hubs get more bits, not fewer).
+    pub fn try_new(tiers: Vec<(usize, u8)>, overflow_bits: u8) -> Result<Self, PolicyError> {
+        if tiers.is_empty() {
+            return Err(PolicyError::EmptyTiers);
+        }
         for window in tiers.windows(2) {
-            assert!(
-                window[0].0 < window[1].0,
-                "tier thresholds must be strictly ascending"
-            );
+            if window[0].0 == window[1].0 {
+                return Err(PolicyError::DuplicateThreshold(window[1].0));
+            }
+            if window[0].0 > window[1].0 {
+                return Err(PolicyError::UnsortedThresholds {
+                    threshold: window[1].0,
+                    previous: window[0].0,
+                });
+            }
         }
-        for &(_, bits) in &tiers {
-            assert!((1..=8).contains(&bits), "bitwidth {bits} out of range");
+        for &(_, bits) in tiers.iter() {
+            if !(1..=8).contains(&bits) {
+                return Err(PolicyError::BitsOutOfRange(bits));
+            }
         }
-        assert!(
-            (1..=8).contains(&overflow_bits),
-            "overflow bitwidth {overflow_bits} out of range"
-        );
-        Self {
+        if !(1..=8).contains(&overflow_bits) {
+            return Err(PolicyError::BitsOutOfRange(overflow_bits));
+        }
+        for window in tiers.windows(2) {
+            if window[1].1 < window[0].1 {
+                return Err(PolicyError::NonMonotoneBits {
+                    bits: window[1].1,
+                    previous: window[0].1,
+                });
+            }
+        }
+        let last_bits = tiers.last().expect("tiers non-empty").1;
+        if overflow_bits < last_bits {
+            return Err(PolicyError::NonMonotoneBits {
+                bits: overflow_bits,
+                previous: last_bits,
+            });
+        }
+        Ok(Self {
             tiers,
             overflow_bits,
-        }
+        })
     }
 
     /// The bitwidth served to a node with this in-degree.
@@ -169,5 +261,91 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted_tiers() {
         DegreePolicy::new(vec![(8, 3), (2, 2)], 6);
+    }
+
+    #[test]
+    fn try_new_accepts_the_paper_default() {
+        let p = DegreePolicy::try_new(vec![(2, 2), (8, 3), (32, 4), (128, 5)], 6).unwrap();
+        assert_eq!(p, DegreePolicy::paper_default());
+    }
+
+    #[test]
+    fn try_new_rejects_empty_tiers() {
+        assert_eq!(
+            DegreePolicy::try_new(vec![], 4),
+            Err(PolicyError::EmptyTiers)
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_duplicate_thresholds() {
+        let err = DegreePolicy::try_new(vec![(2, 2), (2, 3)], 6).unwrap_err();
+        assert_eq!(err, PolicyError::DuplicateThreshold(2));
+        assert!(err.to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_thresholds() {
+        let err = DegreePolicy::try_new(vec![(8, 2), (2, 3)], 6).unwrap_err();
+        assert_eq!(
+            err,
+            PolicyError::UnsortedThresholds {
+                threshold: 2,
+                previous: 8
+            }
+        );
+        assert!(err.to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn try_new_rejects_bits_out_of_range() {
+        assert_eq!(
+            DegreePolicy::try_new(vec![(2, 0)], 6),
+            Err(PolicyError::BitsOutOfRange(0))
+        );
+        assert_eq!(
+            DegreePolicy::try_new(vec![(2, 2)], 9),
+            Err(PolicyError::BitsOutOfRange(9))
+        );
+        assert_eq!(
+            DegreePolicy::try_new(vec![(2, 2), (8, 12)], 6),
+            Err(PolicyError::BitsOutOfRange(12))
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_decreasing_bits() {
+        assert_eq!(
+            DegreePolicy::try_new(vec![(2, 4), (8, 3)], 6),
+            Err(PolicyError::NonMonotoneBits {
+                bits: 3,
+                previous: 4
+            })
+        );
+        // Overflow tier counts too: it serves the highest degrees.
+        assert_eq!(
+            DegreePolicy::try_new(vec![(2, 2), (8, 5)], 4),
+            Err(PolicyError::NonMonotoneBits {
+                bits: 4,
+                previous: 5
+            })
+        );
+        // Plateaus are fine — only strict decreases invert the premise.
+        assert!(DegreePolicy::try_new(vec![(2, 3), (8, 3)], 3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn new_panics_with_clear_message_on_empty() {
+        DegreePolicy::new(vec![], 4);
+    }
+
+    #[test]
+    fn single_tier_policies_work() {
+        let p = DegreePolicy::try_new(vec![(4, 2)], 8).unwrap();
+        assert_eq!(p.num_tiers(), 2);
+        assert_eq!(p.bits_for_degree(4), 2);
+        assert_eq!(p.bits_for_degree(5), 8);
+        assert_eq!(p.tier_of_degree(1_000_000), 1);
     }
 }

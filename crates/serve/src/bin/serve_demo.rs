@@ -1,7 +1,10 @@
 //! End-to-end demo of `mega-serve`: registers the three citation datasets
 //! (plus a second architecture on Cora), drives ≥10k synthetic requests
 //! through the batched degree-aware engine on a multi-threaded worker pool,
-//! and prints a per-model summary table plus the engine report.
+//! then runs a *churn* phase — streaming edge insertions and node upserts
+//! that promote a node across degree-tier boundaries while inference
+//! traffic keeps flowing — and prints a per-model summary table plus the
+//! engine report.
 //!
 //! ```sh
 //! cargo run --release -p mega-serve --bin serve_demo
@@ -16,7 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mega_gnn::GnnKind;
-use mega_graph::DatasetSpec;
+use mega_graph::{DatasetSpec, GraphDelta};
+use mega_quant::DegreePolicy;
 use mega_serve::{ModelKey, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig, ServeEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -155,20 +159,117 @@ fn main() {
             .expect("submit to registered model");
     }
     let submit_elapsed = started.elapsed();
+
+    // ── Churn phase ────────────────────────────────────────────────────
+    // Stream graph mutations into Cora/GCN while inference continues:
+    // promote a low-degree node across tier boundaries by wiring edges
+    // into it, and upsert two brand-new nodes citing it.
+    let churn_key = &keys[0];
+    let churn_nodes = nodes[0] as u32;
+    let target = (0..churn_nodes)
+        .find(|&v| engine.probe(churn_key, v).expect("probe").0 == 0)
+        .expect("a power-law graph has tier-0 nodes");
+    let (tier_before, bits_before) = engine.probe(churn_key, target).unwrap();
+    let mut churn_inferences = 0u64;
+    let mut churn_updates = 0u64;
+    let mut inserted = 0usize;
+    for src in 0..churn_nodes {
+        if src == target {
+            continue;
+        }
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(src, target);
+        engine
+            .submit_update(churn_key, delta, vec![])
+            .expect("churn update");
+        churn_updates += 1;
+        inserted += 1;
+        // Inference on the promoting node rides along with the stream.
+        if inserted.is_multiple_of(4) {
+            engine.submit(churn_key, target).expect("churn inference");
+            churn_inferences += 1;
+        }
+        if inserted == 40 {
+            break;
+        }
+    }
+    // Node upserts: two new nodes citing the (now hot) target.
+    let dim = registry
+        .get(churn_key)
+        .expect("registered")
+        .dataset
+        .feature_dim;
+    let mut upsert = GraphDelta::new();
+    upsert.add_node().add_node();
+    upsert
+        .insert_edge(churn_nodes, target)
+        .insert_edge(churn_nodes + 1, target)
+        .insert_edge(target, churn_nodes);
+    let feature_rows = vec![vec![0.5; dim], vec![0.25; dim]];
+    engine
+        .submit_update(churn_key, upsert, feature_rows)
+        .expect("node upsert");
+    churn_updates += 1;
+
+    // Wait for the promotion to become observable, then serve the target
+    // and the freshly added node at their new bitwidths.
+    let expected_bits = DegreePolicy::paper_default().bits_for_degree(inserted);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.probe(churn_key, target).unwrap().1 < expected_bits
+        || engine.probe(churn_key, churn_nodes + 1).is_err()
+    {
+        assert!(Instant::now() < deadline, "churn updates did not apply");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (tier_after, bits_after) = engine.probe(churn_key, target).unwrap();
+    println!(
+        "\n[churn] node {target} promoted {bits_before}b -> {bits_after}b \
+         (tier {tier_before} -> {tier_after}) after +{inserted} edges; \
+         {churn_updates} updates interleaved with live traffic"
+    );
+    println!(
+        "[churn] upserted nodes {} and {} serve at {}b/{}b",
+        churn_nodes,
+        churn_nodes + 1,
+        engine.probe(churn_key, churn_nodes).unwrap().1,
+        engine.probe(churn_key, churn_nodes + 1).unwrap().1,
+    );
+    for node in [target, churn_nodes, churn_nodes + 1] {
+        engine
+            .submit(churn_key, node)
+            .expect("post-churn inference");
+        churn_inferences += 1;
+    }
+
     let report = engine.shutdown();
     let wall = started.elapsed();
 
     let mut per_model: HashMap<ModelKey, PerModel> = HashMap::new();
+    let mut updates_acked = 0u64;
+    let mut updates_rejected = 0u64;
+    let mut retiered = 0u64;
     for response in responses.iter() {
-        let entry = per_model
-            .entry(response.model.clone())
-            .or_insert_with(PerModel::new);
-        entry.requests += 1;
-        entry
-            .latencies_us
-            .push(response.latency.as_micros().min(u64::MAX as u128) as u64);
-        entry.batch_sum += response.batch_size as u64;
-        *entry.bits.entry(response.bits).or_insert(0) += 1;
+        match response {
+            mega_serve::ServeResponse::Inference(response) => {
+                let entry = per_model
+                    .entry(response.model.clone())
+                    .or_insert_with(PerModel::new);
+                entry.requests += 1;
+                entry
+                    .latencies_us
+                    .push(response.latency.as_micros().min(u64::MAX as u128) as u64);
+                entry.batch_sum += response.batch_size as u64;
+                *entry.bits.entry(response.bits).or_insert(0) += 1;
+            }
+            mega_serve::ServeResponse::Update(ack) => {
+                if ack.applied() {
+                    updates_acked += 1;
+                } else {
+                    updates_rejected += 1;
+                }
+                retiered += ack.retiered.len() as u64;
+            }
+        }
     }
 
     println!(
@@ -209,11 +310,21 @@ fn main() {
 
     println!("\nengine report:\n{report}");
 
-    assert_eq!(report.completed, requests as u64, "every request answered");
+    let expected = requests as u64 + churn_inferences;
+    assert_eq!(report.completed, expected, "every request answered");
+    assert_eq!(
+        updates_acked + updates_rejected,
+        churn_updates,
+        "every update acknowledged"
+    );
+    assert_eq!(updates_rejected, 0, "churn deltas are all valid");
+    assert!(retiered > 0, "churn must retier the target at least once");
     println!(
-        "\nserve_demo OK: {} requests over {} models on {workers} workers \
-         ({:.0} req/s end-to-end)",
+        "\nserve_demo OK: {} requests + {} graph updates ({} nodes retiered) \
+         over {} models on {workers} workers ({:.0} req/s end-to-end)",
         report.completed,
+        updates_acked,
+        retiered,
         keys.len(),
         requests as f64 / wall.as_secs_f64()
     );

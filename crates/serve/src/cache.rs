@@ -7,41 +7,100 @@
 //! `capacity` most-recently-used artifact sets alive behind `Arc`s so every
 //! worker shares one copy, and builds each missing entry exactly once even
 //! under concurrent first access.
+//!
+//! Artifacts are no longer frozen at build time: each resident entry is a
+//! [`ModelEntry`] wrapping the artifacts in an `RwLock`, and
+//! [`ModelArtifacts::apply_delta`] advances them *incrementally* — graph
+//! mutation through [`DynamicGraph`], normalized-adjacency row refresh
+//! through [`DynAdjacency`], and re-quantization of exactly the feature
+//! rows whose degree tier moved. Readers (batch execution) and the single
+//! writer (an update) serialize on the lock, so a batch never observes a
+//! half-applied mutation and stale artifacts are never served.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 
-use mega_gnn::{build_adjacency, Gnn, ModelConfig};
+use mega_gnn::{DynAdjacency, Gnn, ModelConfig};
 use mega_graph::datasets::Features;
-use mega_graph::{Dataset, NodeId};
+use mega_graph::{Dataset, DynamicGraph, GraphDelta, NodeId};
 use mega_partition::{partition, PartitionConfig, Partitioning};
 use mega_quant::quantizer::{fake_quantize, qmax};
 use mega_quant::DegreePolicy;
-use mega_tensor::{CsrMatrix, Matrix};
+use mega_tensor::Matrix;
 
 use crate::registry::ModelSpec;
 use crate::request::ModelKey;
 
-/// Everything a worker needs to execute batches for one model, fully
-/// immutable and shared.
+/// A node whose serving precision changed because a mutation moved it
+/// across a degree-tier boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retier {
+    /// The node.
+    pub node: NodeId,
+    /// Tier before the mutation (0 = fewest bits).
+    pub old_tier: usize,
+    /// Tier after.
+    pub new_tier: usize,
+    /// Activation bitwidth before.
+    pub old_bits: u8,
+    /// Activation bitwidth after.
+    pub new_bits: u8,
+}
+
+/// What [`ModelArtifacts::apply_delta`] changed.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateEffect {
+    /// Edges actually inserted.
+    pub inserted_edges: usize,
+    /// Edges actually removed.
+    pub removed_edges: usize,
+    /// Ids assigned to added nodes, in op order.
+    pub added_nodes: Vec<NodeId>,
+    /// Pre-existing nodes whose tier changed.
+    pub retiered: Vec<Retier>,
+    /// Adjacency rows refreshed by the incremental maintenance.
+    pub dirty_rows: usize,
+}
+
+/// Everything a worker needs to execute batches for one model. Immutable
+/// from the forward pass's point of view; mutated only through
+/// [`ModelArtifacts::apply_delta`] behind a [`ModelEntry`] write lock.
 pub struct ModelArtifacts {
     /// The key these artifacts serve.
     pub key: ModelKey,
-    /// Materialized dataset with offline fake-quantized input features.
+    /// Materialized dataset. `features` holds the *quantized* input rows
+    /// and is kept current across mutations. Its `graph` is emptied after
+    /// construction — the live topology is [`Self::graph`] (snapshot via
+    /// `graph.to_graph()`); keeping the frozen registration-time copy
+    /// around would both duplicate the topology per resident model and
+    /// hand future callers a silently stale graph.
     pub dataset: Dataset,
     /// Model with fake-quantized weights.
     pub model: Gnn,
-    /// Normalized adjacency `Ã` (rows = destinations).
-    pub adjacency: CsrMatrix,
+    /// Live topology under mutation.
+    pub graph: DynamicGraph,
+    /// Normalized adjacency `Ã` (rows = destinations), incrementally
+    /// maintained.
+    pub adjacency: DynAdjacency,
+    /// Unquantized input features, the source rows re-quantization reads
+    /// when a node changes tier (re-quantizing a quantized row would
+    /// compound rounding).
+    pub raw_features: Features,
     /// Per-node activation bitwidth from the degree-aware policy.
     pub bits: Vec<u8>,
     /// Per-node precision tier (0 = fewest bits).
     pub tiers: Vec<usize>,
-    /// Graph partitioning used for batch locality ordering.
+    /// Graph partitioning used for batch locality ordering (a hint;
+    /// extended heuristically for added nodes, not re-partitioned).
     pub partitioning: Partitioning,
     /// The policy that produced `bits`/`tiers`.
     pub policy: DegreePolicy,
+    /// Whether input rows follow the degree profile (dense inputs) or stay
+    /// at 1 bit (binary bag-of-words).
+    pub input_follows_degree: bool,
+    /// Monotone mutation counter; bumped once per applied delta.
+    pub version: u64,
 }
 
 /// Symmetric per-row fake quantization with a dynamic scale
@@ -77,20 +136,17 @@ impl ModelArtifacts {
             .map(|v| spec.policy.tier_of_degree(dataset.graph.in_degree(v)))
             .collect();
 
-        // Input features are constant, so quantize them offline. Binary
-        // bag-of-words inputs go to 1 bit regardless of degree (mirrors
-        // `mega::workloads::build_quantized`); denser inputs follow the
-        // degree profile.
-        let input_bits: Vec<u8> = if spec.dataset.feature_density < 0.05 {
-            vec![1; bits.len()]
-        } else {
-            bits.clone()
-        };
-        let features = dataset.features();
-        let (rows, dim) = (features.rows(), features.dim());
-        let mut data = features.data().to_vec();
+        // Input features are constant between mutations, so quantize them
+        // offline. Binary bag-of-words inputs go to 1 bit regardless of
+        // degree (mirrors `mega::workloads::build_quantized`); denser
+        // inputs follow the degree profile.
+        let input_follows_degree = spec.dataset.feature_density >= 0.05;
+        let raw_features = dataset.features().clone();
+        let (rows, dim) = (raw_features.rows(), raw_features.dim());
+        let mut data = raw_features.data().to_vec();
         for (v, chunk) in data.chunks_mut(dim).enumerate() {
-            quantize_row(chunk, input_bits[v]);
+            let input_bits = if input_follows_degree { bits[v] } else { 1 };
+            quantize_row(chunk, input_bits);
         }
         dataset.features = Some(Features::from_vec(rows, dim, data));
 
@@ -109,30 +165,150 @@ impl ModelArtifacts {
         let biases = trained.biases().to_vec();
         let model = Gnn::from_parts(config, weights, biases);
 
-        let adjacency_rc = build_adjacency(&dataset.graph, spec.kind.aggregator(spec.dataset.seed));
-        let adjacency = std::rc::Rc::try_unwrap(adjacency_rc).unwrap_or_else(|rc| (*rc).clone());
+        let graph = DynamicGraph::from_graph(&dataset.graph);
+        let adjacency = DynAdjacency::build(&graph, spec.kind.aggregator(spec.dataset.seed));
 
         let k = spec.partitions.clamp(1, dataset.graph.num_nodes().max(1));
         let partitioning = partition(
             &dataset.graph,
             &PartitionConfig::new(k).with_seed(spec.dataset.seed),
         );
+        // The live topology is `graph`; drop the frozen snapshot so it can
+        // neither waste memory nor serve stale degrees after mutations.
+        dataset.graph = mega_graph::Graph::from_directed_edges(0, vec![]);
 
         Self {
             key: spec.key(),
             dataset,
             model,
+            graph,
             adjacency,
+            raw_features,
             bits,
             tiers,
             partitioning,
             policy: spec.policy.clone(),
+            input_follows_degree,
+            version: 0,
         }
     }
 
-    /// Number of nodes this model serves.
+    /// Applies a graph delta incrementally: mutate the live topology,
+    /// refresh only the dirtied adjacency rows, and re-tier / re-quantize
+    /// only the nodes whose in-degree moved across a policy boundary.
+    ///
+    /// `node_features` provides one raw feature row per `AddNode` op. A
+    /// rejected delta (`Err`) changes nothing.
+    pub fn apply_delta(
+        &mut self,
+        delta: &GraphDelta,
+        node_features: &[Vec<f32>],
+    ) -> Result<UpdateEffect, String> {
+        let dim = self.raw_features.dim();
+        if node_features.len() != delta.nodes_added() {
+            return Err(format!(
+                "delta adds {} node(s) but {} feature row(s) were provided",
+                delta.nodes_added(),
+                node_features.len()
+            ));
+        }
+        if let Some(row) = node_features.iter().find(|r| r.len() != dim) {
+            return Err(format!(
+                "feature row has {} value(s), model expects {dim}",
+                row.len()
+            ));
+        }
+        let effect = self.graph.apply(delta).map_err(|e| e.to_string())?;
+
+        // Grow per-node state for added nodes. Quantized rows and
+        // bits/tiers are finalized in the re-tier pass below (an added
+        // node may also have gained edges inside the same delta).
+        for (i, &v) in effect.added_nodes.iter().enumerate() {
+            debug_assert_eq!(v as usize, self.raw_features.rows());
+            self.raw_features.push_row(&node_features[i]);
+            self.dataset
+                .features
+                .as_mut()
+                .expect("serving artifacts always carry features")
+                .push_row(&node_features[i]);
+            self.bits.push(0);
+            self.tiers.push(usize::MAX);
+            // Locality hint: co-locate with the first already-assigned
+            // neighbor, else park in part 0.
+            let assigned = |u: &&NodeId| (**u as usize) < v as usize;
+            let part = self
+                .graph
+                .in_neighbors(v as usize)
+                .iter()
+                .find(assigned)
+                .or_else(|| self.graph.out_neighbors(v as usize).iter().find(assigned))
+                .map(|&u| self.partitioning.part_of(u as usize))
+                .unwrap_or(0);
+            self.partitioning.push(part);
+        }
+
+        let dirty_rows = self.adjacency.apply(&self.graph, &effect);
+
+        // Re-tier every node whose in-degree changed, plus the added nodes.
+        let mut retiered = Vec::new();
+        let added_start = self.num_nodes() - effect.added_nodes.len();
+        for &v in effect.rows_changed.iter().chain(&effect.added_nodes) {
+            let vu = v as usize;
+            let new_tier = self.policy.tier_of_degree(self.graph.in_degree(vu));
+            let new_bits = self.policy.tier_bits(new_tier);
+            let is_new = vu >= added_start;
+            let tier_changed = self.tiers[vu] != new_tier;
+            if !is_new && !tier_changed {
+                continue;
+            }
+            if !is_new {
+                retiered.push(Retier {
+                    node: v,
+                    old_tier: self.tiers[vu],
+                    new_tier,
+                    old_bits: self.bits[vu],
+                    new_bits,
+                });
+            }
+            self.tiers[vu] = new_tier;
+            self.bits[vu] = new_bits;
+            // Only degree-following inputs change representation with the
+            // tier; bag-of-words inputs stay at 1 bit.
+            let input_bits = if self.input_follows_degree {
+                new_bits
+            } else {
+                1
+            };
+            if is_new || self.input_follows_degree {
+                let features = self
+                    .dataset
+                    .features
+                    .as_mut()
+                    .expect("serving artifacts always carry features");
+                features
+                    .row_mut(vu)
+                    .copy_from_slice(self.raw_features.row(vu));
+                quantize_row(features.row_mut(vu), input_bits);
+            }
+        }
+        // Added nodes untouched by any edge op still need their tier
+        // finalized (degree 0) — handled above via the chained iterator,
+        // but an added node may appear in `rows_changed` too; the `is_new`
+        // branch is idempotent so double-processing is harmless.
+
+        self.version += 1;
+        Ok(UpdateEffect {
+            inserted_edges: effect.inserted,
+            removed_edges: effect.removed,
+            added_nodes: effect.added_nodes,
+            retiered,
+            dirty_rows,
+        })
+    }
+
+    /// Number of nodes this model currently serves (live topology).
     pub fn num_nodes(&self) -> usize {
-        self.dataset.graph.num_nodes()
+        self.graph.num_nodes()
     }
 
     /// The activation bitwidth served to `node`.
@@ -146,8 +322,45 @@ impl ModelArtifacts {
     }
 }
 
+/// A resident cache entry: the artifacts behind a readers/writer lock.
+/// Batches take read guards; updates take the write guard, so execution
+/// never sees a half-applied mutation.
+pub struct ModelEntry {
+    artifacts: RwLock<ModelArtifacts>,
+}
+
+impl ModelEntry {
+    fn new(artifacts: ModelArtifacts) -> Self {
+        Self {
+            artifacts: RwLock::new(artifacts),
+        }
+    }
+
+    /// Read access for batch execution and probes.
+    pub fn read(&self) -> RwLockReadGuard<'_, ModelArtifacts> {
+        self.artifacts.read().expect("artifacts lock poisoned")
+    }
+
+    /// Runs `f` with exclusive access (the update path).
+    pub fn update<R>(&self, f: impl FnOnce(&mut ModelArtifacts) -> R) -> R {
+        f(&mut self.artifacts.write().expect("artifacts lock poisoned"))
+    }
+
+    /// Whether this entry has applied mutations. Mutated state exists
+    /// *only* here — rebuilding from the registry spec would silently
+    /// revert acknowledged updates — so dirty entries are pinned against
+    /// LRU eviction. Contended entries (an update mid-flight) count as
+    /// dirty rather than blocking the cache lock.
+    fn is_dirty(&self) -> bool {
+        match self.artifacts.try_read() {
+            Ok(artifacts) => artifacts.version > 0,
+            Err(_) => true,
+        }
+    }
+}
+
 struct Slot {
-    entry: Arc<OnceLock<Arc<ModelArtifacts>>>,
+    entry: Arc<OnceLock<Arc<ModelEntry>>>,
     last_used: u64,
 }
 
@@ -157,7 +370,7 @@ struct Inner {
     tick: u64,
 }
 
-/// LRU cache of [`ModelArtifacts`] keyed by [`ModelKey`].
+/// LRU cache of [`ModelEntry`]s keyed by [`ModelKey`].
 pub struct ArtifactCache {
     capacity: usize,
     inner: Mutex<Inner>,
@@ -166,7 +379,10 @@ pub struct ArtifactCache {
 }
 
 impl ArtifactCache {
-    /// A cache holding at most `capacity` artifact sets.
+    /// A cache holding `capacity` artifact sets. Mutated (dirty) entries
+    /// are pinned against eviction, so a cache whose every entry carries
+    /// applied updates temporarily exceeds `capacity` rather than drop
+    /// un-reconstructible state.
     ///
     /// # Panics
     ///
@@ -181,15 +397,15 @@ impl ArtifactCache {
         }
     }
 
-    /// Returns the artifacts for `key`, building them with `build` on a
-    /// miss. Concurrent first accesses to the same key build once; builds
-    /// for *different* keys proceed in parallel (the map lock is not held
+    /// Returns the entry for `key`, building it with `build` on a miss.
+    /// Concurrent first accesses to the same key build once; builds for
+    /// *different* keys proceed in parallel (the map lock is not held
     /// while building).
     pub fn get_or_build(
         &self,
         key: &ModelKey,
         build: impl FnOnce() -> ModelArtifacts,
-    ) -> Arc<ModelArtifacts> {
+    ) -> Arc<ModelEntry> {
         let entry = {
             let mut inner = self.inner.lock().expect("cache lock poisoned");
             inner.tick += 1;
@@ -200,12 +416,17 @@ impl ArtifactCache {
                 slot.entry.clone()
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                // Evict the least-recently-used entry first so the map
-                // never exceeds capacity.
+                // Evict the least-recently-used *clean* entry. Entries
+                // with applied mutations (or still building / mid-update)
+                // are pinned — their state exists nowhere else, so
+                // evicting them would silently revert acknowledged
+                // updates. With every entry dirty the cache soft-exceeds
+                // its capacity instead.
                 if inner.map.len() >= self.capacity {
                     if let Some(lru) = inner
                         .map
                         .iter()
+                        .filter(|(_, slot)| slot.entry.get().is_some_and(|entry| !entry.is_dirty()))
                         .min_by_key(|(_, slot)| slot.last_used)
                         .map(|(k, _)| k.clone())
                     {
@@ -223,7 +444,36 @@ impl ArtifactCache {
                 entry
             }
         };
-        entry.get_or_init(|| Arc::new(build())).clone()
+        entry
+            .get_or_init(|| Arc::new(ModelEntry::new(build())))
+            .clone()
+    }
+
+    /// Drops `key`'s entry so the next access rebuilds from the registry
+    /// spec (e.g. after a re-registration). Entries for other keys are
+    /// untouched — [`ArtifactCache::get_or_build`] rebuilds only
+    /// invalidated (dirty) entries. Returns whether an entry was resident.
+    ///
+    /// Unlike LRU eviction this removes *mutated* entries too: it is the
+    /// explicit "discard applied updates and restart from the spec" knob.
+    /// In-flight readers holding the old `Arc` finish against the old
+    /// artifacts; new lookups see the rebuild.
+    pub fn invalidate(&self, key: &ModelKey) -> bool {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .remove(key)
+            .is_some()
+    }
+
+    /// Whether `key` is resident (does not touch LRU order or counters).
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .contains_key(key)
     }
 
     /// `(hits, misses)` so far.
@@ -248,7 +498,7 @@ impl ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mega_gnn::GnnKind;
+    use mega_gnn::{build_adjacency, AdjacencyView, GnnKind};
     use mega_graph::DatasetSpec;
 
     fn tiny_spec(name_seed: u64) -> ModelSpec {
@@ -267,8 +517,19 @@ mod tests {
         for v in 0..a.num_nodes() as NodeId {
             assert_eq!(a.policy.tier_bits(a.node_tier(v)), a.node_bits(v));
         }
-        assert_eq!(a.adjacency.rows(), a.num_nodes());
+        assert_eq!(AdjacencyView::rows(&a.adjacency), a.num_nodes());
         assert_eq!(a.partitioning.assignment().len(), a.num_nodes());
+        assert_eq!(a.raw_features.rows(), a.num_nodes());
+        assert_eq!(a.version, 0);
+    }
+
+    #[test]
+    fn built_adjacency_matches_one_shot_construction() {
+        let spec = tiny_spec(0);
+        let a = ModelArtifacts::build(&spec);
+        let reference =
+            build_adjacency(&a.graph.to_graph(), spec.kind.aggregator(spec.dataset.seed));
+        assert_eq!(a.adjacency.to_csr(), *reference);
     }
 
     #[test]
@@ -288,6 +549,94 @@ mod tests {
     }
 
     #[test]
+    fn apply_delta_retiers_across_boundaries() {
+        let spec = tiny_spec(0);
+        let mut a = ModelArtifacts::build(&spec);
+        // Find a node in the lowest tier and a batch of distinct sources.
+        let target = (0..a.num_nodes() as NodeId)
+            .find(|&v| a.node_tier(v) == 0)
+            .expect("tiny cora has low-degree nodes");
+        let before_bits = a.node_bits(target);
+        let mut delta = GraphDelta::new();
+        let mut added = 0;
+        for src in 0..a.num_nodes() as NodeId {
+            if src != target && !a.graph.has_edge(src, target) {
+                delta.insert_edge(src, target);
+                added += 1;
+                if added == 40 {
+                    break;
+                }
+            }
+        }
+        assert!(added >= 33, "need enough sources to cross tier 3");
+        let effect = a.apply_delta(&delta, &[]).unwrap();
+        assert_eq!(effect.inserted_edges, added);
+        let promotion = effect
+            .retiered
+            .iter()
+            .find(|r| r.node == target)
+            .expect("target must retier");
+        assert_eq!(promotion.old_bits, before_bits);
+        assert!(promotion.new_bits > before_bits);
+        assert_eq!(a.node_bits(target), promotion.new_bits);
+        assert_eq!(
+            a.node_bits(target),
+            a.policy.bits_for_degree(a.graph.in_degree(target as usize))
+        );
+        assert_eq!(a.version, 1);
+        // Incremental adjacency equals a from-scratch rebuild of the
+        // mutated graph.
+        let rebuilt = build_adjacency(&a.graph.to_graph(), spec.kind.aggregator(spec.dataset.seed));
+        assert_eq!(a.adjacency.to_csr(), *rebuilt);
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_feature_payloads() {
+        let spec = tiny_spec(0);
+        let mut a = ModelArtifacts::build(&spec);
+        let before_nodes = a.num_nodes();
+        let mut delta = GraphDelta::new();
+        delta.add_node();
+        assert!(a.apply_delta(&delta, &[]).unwrap_err().contains("feature"));
+        assert!(a
+            .apply_delta(&delta, &[vec![0.0; 3]])
+            .unwrap_err()
+            .contains("expects"));
+        let mut bad_edge = GraphDelta::new();
+        bad_edge.insert_edge(0, u32::MAX);
+        assert!(a
+            .apply_delta(&bad_edge, &[])
+            .unwrap_err()
+            .contains("out of range"));
+        assert_eq!(
+            a.num_nodes(),
+            before_nodes,
+            "rejected deltas change nothing"
+        );
+        assert_eq!(a.version, 0);
+    }
+
+    #[test]
+    fn apply_delta_grows_every_per_node_table() {
+        let spec = tiny_spec(0);
+        let mut a = ModelArtifacts::build(&spec);
+        let n0 = a.num_nodes();
+        let dim = a.raw_features.dim();
+        let mut delta = GraphDelta::new();
+        delta.add_node().insert_edge(0, n0 as NodeId);
+        let effect = a.apply_delta(&delta, &[vec![0.25; dim]]).unwrap();
+        assert_eq!(effect.added_nodes, vec![n0 as NodeId]);
+        assert_eq!(a.num_nodes(), n0 + 1);
+        assert_eq!(a.bits.len(), n0 + 1);
+        assert_eq!(a.tiers.len(), n0 + 1);
+        assert_eq!(a.raw_features.rows(), n0 + 1);
+        assert_eq!(a.dataset.features().rows(), n0 + 1);
+        assert_eq!(a.partitioning.assignment().len(), n0 + 1);
+        assert_eq!(AdjacencyView::rows(&a.adjacency), n0 + 1);
+        assert_eq!(a.node_tier(n0 as NodeId), 0, "one in-edge is tier 0");
+    }
+
+    #[test]
     fn cache_hits_misses_and_evicts() {
         let cache = ArtifactCache::new(2);
         let s0 = tiny_spec(0);
@@ -303,5 +652,78 @@ mod tests {
         // s0 was evicted: fetching it again is a miss that rebuilds.
         cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
         assert_eq!(cache.stats(), (1, 4));
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let cache = ArtifactCache::new(2);
+        let specs: Vec<ModelSpec> = (0..3).map(tiny_spec).collect();
+        cache.get_or_build(&specs[0].key(), || ModelArtifacts::build(&specs[0]));
+        cache.get_or_build(&specs[1].key(), || ModelArtifacts::build(&specs[1]));
+        // Touch 0 so 1 becomes least-recently-used.
+        cache.get_or_build(&specs[0].key(), || panic!("resident"));
+        cache.get_or_build(&specs[2].key(), || ModelArtifacts::build(&specs[2]));
+        assert!(cache.contains(&specs[0].key()), "recently used survives");
+        assert!(!cache.contains(&specs[1].key()), "LRU entry evicted");
+        assert!(cache.contains(&specs[2].key()));
+    }
+
+    #[test]
+    fn mutated_entries_are_pinned_against_eviction() {
+        let cache = ArtifactCache::new(2);
+        let specs: Vec<ModelSpec> = (0..3).map(tiny_spec).collect();
+        let entry = cache.get_or_build(&specs[0].key(), || ModelArtifacts::build(&specs[0]));
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(0, 1).remove_edge(0, 1);
+        entry.update(|a| a.apply_delta(&delta, &[]).unwrap());
+        cache.get_or_build(&specs[1].key(), || ModelArtifacts::build(&specs[1]));
+        // Capacity pressure: the mutated entry 0 is older than 1 but must
+        // survive; the clean LRU (1) goes instead.
+        cache.get_or_build(&specs[2].key(), || ModelArtifacts::build(&specs[2]));
+        assert!(cache.contains(&specs[0].key()), "dirty entry pinned");
+        assert!(!cache.contains(&specs[1].key()), "clean LRU evicted");
+        let same = cache.get_or_build(&specs[0].key(), || panic!("must not rebuild"));
+        assert_eq!(same.read().version, 1, "applied updates survive pressure");
+
+        // All-dirty caches soft-exceed capacity instead of losing state.
+        let e2 = cache.get_or_build(&specs[2].key(), || panic!("resident"));
+        e2.update(|a| a.apply_delta(&delta, &[]).unwrap());
+        cache.get_or_build(&specs[1].key(), || ModelArtifacts::build(&specs[1]));
+        assert_eq!(cache.len(), 3, "no clean entry to evict");
+        // Explicit invalidation still removes mutated entries.
+        assert!(cache.invalidate(&specs[0].key()));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidation_rebuilds_only_dirty_entries() {
+        let cache = ArtifactCache::new(4);
+        let s0 = tiny_spec(0);
+        let s1 = tiny_spec(1);
+        cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
+        cache.get_or_build(&s1.key(), || ModelArtifacts::build(&s1));
+        assert!(cache.invalidate(&s0.key()));
+        assert!(!cache.invalidate(&s0.key()), "already gone");
+        assert!(!cache.contains(&s0.key()));
+        assert!(cache.contains(&s1.key()));
+        let (h0, m0) = cache.stats();
+        // The clean entry serves from cache; only the dirty one rebuilds.
+        cache.get_or_build(&s1.key(), || panic!("clean entry must not rebuild"));
+        cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
+        let (h1, m1) = cache.stats();
+        assert_eq!(h1 - h0, 1, "clean entry hit");
+        assert_eq!(m1 - m0, 1, "dirty entry missed and rebuilt");
+    }
+
+    #[test]
+    fn entry_lock_serializes_updates_with_reads() {
+        let cache = ArtifactCache::new(2);
+        let s0 = tiny_spec(0);
+        let entry = cache.get_or_build(&s0.key(), || ModelArtifacts::build(&s0));
+        let v0 = entry.read().version;
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(0, 1);
+        let _ = entry.update(|a| a.apply_delta(&delta, &[]).unwrap());
+        assert_eq!(entry.read().version, v0 + 1);
     }
 }

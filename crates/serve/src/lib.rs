@@ -22,8 +22,9 @@
 //! * [`ModelRegistry`] holds [`ModelSpec`]s — recipes for everything a
 //!   model needs (dataset, architecture, [`mega_quant::DegreePolicy`],
 //!   weight bits, partition count).
-//! * [`ArtifactCache`] LRU-shares the heavy immutable artifacts across
-//!   workers and builds each at most once.
+//! * [`ArtifactCache`] LRU-shares the heavy artifacts across workers and
+//!   builds each at most once; entries sit behind a readers/writer lock so
+//!   graph mutations serialize against batch execution.
 //! * [`BatchScheduler`] coalesces requests per (model, precision-tier)
 //!   bucket and flushes on size or deadline.
 //! * [`WorkerPool`] executes batches with
@@ -31,6 +32,16 @@
 //!   receptive field and is bit-exact regardless of batch composition.
 //! * [`Metrics`] tracks throughput, latency percentiles (log histogram),
 //!   per-bitwidth counts, and flush/cache behaviour.
+//!
+//! Graphs are *mutable while serving*: [`ServeEngine::submit_update`]
+//! routes a [`mega_graph::GraphDelta`] (edge upserts/removals, node
+//! adds/isolations) through the same scheduler→worker path as inference.
+//! The worker applies it incrementally — [`mega_graph::DynamicGraph`]
+//! mutation, [`mega_gnn::DynAdjacency`] row refresh for only the dirtied
+//! rows, and degree re-tiering that re-quantizes only the nodes whose
+//! in-degree crossed a policy boundary — so a node's served bitwidth
+//! tracks its live degree (a promoted hub is answered at more bits on the
+//! very next batch).
 //!
 //! # Example
 //!
@@ -50,9 +61,14 @@
 //! for node in 0..16 {
 //!     engine.submit(&key, node).expect("registered model");
 //! }
+//! // Mutate the graph while serving: wire node 3 into node 0.
+//! let mut delta = mega_graph::GraphDelta::new();
+//! delta.insert_edge(3, 0);
+//! engine.submit_update(&key, delta, vec![]).expect("valid update");
 //! let report = engine.shutdown();
 //! assert_eq!(report.completed, 16);
-//! assert_eq!(responses.iter().count(), 16);
+//! assert_eq!(report.updates_applied, 1);
+//! assert_eq!(responses.iter().count(), 17); // 16 inferences + 1 update ack
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,11 +81,13 @@ pub mod request;
 pub mod scheduler;
 pub mod worker;
 
-pub use cache::{ArtifactCache, ModelArtifacts};
+pub use cache::{ArtifactCache, ModelArtifacts, ModelEntry, Retier, UpdateEffect};
 pub use metrics::{LogHistogram, Metrics, MetricsReport};
 pub use registry::{ModelRegistry, ModelSpec};
-pub use request::{InferenceRequest, InferenceResponse, ModelKey};
-pub use scheduler::{Batch, BatchScheduler, FlushReason, SchedulerConfig};
+pub use request::{
+    InferenceRequest, InferenceResponse, ModelKey, ServeResponse, UpdateRequest, UpdateResponse,
+};
+pub use scheduler::{Batch, BatchScheduler, FlushReason, SchedulerConfig, WorkItem};
 pub use worker::{batch_logits, WorkerPool};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -77,7 +95,7 @@ use std::sync::mpsc::{self, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mega_graph::NodeId;
+use mega_graph::{GraphDelta, NodeId};
 
 /// Engine-level knobs.
 #[derive(Debug, Clone)]
@@ -119,6 +137,10 @@ pub enum ServeError {
         /// Number of nodes the model serves.
         nodes: usize,
     },
+    /// An update payload is malformed (feature rows mismatching the
+    /// delta's `AddNode` ops). Delta/topology errors surface later in the
+    /// [`UpdateResponse`], since the graph may change before application.
+    BadUpdate(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -128,6 +150,7 @@ impl std::fmt::Display for ServeError {
             ServeError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range (model has {nodes} nodes)")
             }
+            ServeError::BadUpdate(reason) => write!(f, "bad update: {reason}"),
         }
     }
 }
@@ -153,17 +176,18 @@ impl ServeEngine {
     pub fn start(
         config: ServeConfig,
         registry: Arc<ModelRegistry>,
-    ) -> (Self, Receiver<InferenceResponse>) {
-        let (batch_tx, batch_rx) = mpsc::channel();
+    ) -> (Self, Receiver<ServeResponse>) {
+        let (work_tx, work_rx) = mpsc::channel();
         let (response_tx, response_rx) = mpsc::channel();
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
         let metrics = Arc::new(Metrics::default());
-        let scheduler = Arc::new(BatchScheduler::new(config.scheduler.clone(), batch_tx));
+        let scheduler = Arc::new(BatchScheduler::new(config.scheduler.clone(), work_tx));
         let pool = WorkerPool::spawn(
             config.workers,
-            batch_rx,
+            work_rx,
             registry.clone(),
             cache.clone(),
+            scheduler.update_queue(),
             metrics.clone(),
             response_tx,
         );
@@ -212,36 +236,89 @@ impl ServeEngine {
     /// request id; the response arrives on the stream returned by
     /// [`ServeEngine::start`].
     pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<u64, ServeError> {
-        let spec = self
-            .registry
-            .get(key)
-            .ok_or_else(|| ServeError::UnknownModel(key.clone()))?;
-        let artifacts = self
-            .cache
-            .get_or_build(key, || ModelArtifacts::build(&spec));
-        if node as usize >= artifacts.num_nodes() {
-            return Err(ServeError::NodeOutOfRange {
-                node,
-                nodes: artifacts.num_nodes(),
-            });
-        }
+        let (tier, bits) = self.probe(key, node)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let request = InferenceRequest {
             id,
             model: key.clone(),
             node,
-            tier: artifacts.node_tier(node),
-            bits: artifacts.node_bits(node),
+            tier,
+            bits,
             submitted_at: Instant::now(),
         };
         self.scheduler.submit(request);
         Ok(id)
     }
 
+    /// Accepts one graph-mutation request. The delta is applied by a
+    /// worker — serialized per model, interleaved with inference batches —
+    /// and acknowledged with a [`UpdateResponse`] on the response stream.
+    ///
+    /// `node_features` carries one raw feature row per `AddNode` op in
+    /// `delta`. Malformed payloads fail fast here; topology errors (e.g. a
+    /// node id that is stale by application time) surface in the response,
+    /// rejected deltas changing nothing.
+    pub fn submit_update(
+        &self,
+        key: &ModelKey,
+        delta: GraphDelta,
+        node_features: Vec<Vec<f32>>,
+    ) -> Result<u64, ServeError> {
+        if self.registry.get(key).is_none() {
+            return Err(ServeError::UnknownModel(key.clone()));
+        }
+        if node_features.len() != delta.nodes_added() {
+            return Err(ServeError::BadUpdate(format!(
+                "delta adds {} node(s) but {} feature row(s) were provided",
+                delta.nodes_added(),
+                node_features.len()
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .updates_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.scheduler.submit_update(UpdateRequest {
+            id,
+            model: key.clone(),
+            delta,
+            node_features,
+            submitted_at: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// The current `(tier, bits)` the degree-aware policy serves `node`
+    /// at — observably changes when updates move the node across a tier
+    /// boundary.
+    pub fn probe(&self, key: &ModelKey, node: NodeId) -> Result<(usize, u8), ServeError> {
+        let spec = self
+            .registry
+            .get(key)
+            .ok_or_else(|| ServeError::UnknownModel(key.clone()))?;
+        let entry = self
+            .cache
+            .get_or_build(key, || ModelArtifacts::build(&spec));
+        let artifacts = entry.read();
+        if node as usize >= artifacts.num_nodes() {
+            return Err(ServeError::NodeOutOfRange {
+                node,
+                nodes: artifacts.num_nodes(),
+            });
+        }
+        Ok((artifacts.node_tier(node), artifacts.node_bits(node)))
+    }
+
     /// Requests waiting in scheduler buckets (not yet dispatched).
     pub fn pending(&self) -> usize {
         self.scheduler.pending()
+    }
+
+    /// Updates parked for application (token emitted, not yet taken by a
+    /// worker).
+    pub fn pending_updates(&self) -> usize {
+        self.scheduler.pending_updates()
     }
 
     /// The live metrics handle.
@@ -338,6 +415,7 @@ mod tests {
         assert_eq!(report.submitted, n as u64);
         let mut answered = std::collections::HashSet::new();
         for response in responses.iter() {
+            let response = response.into_inference().expect("no updates submitted");
             assert!(answered.insert(response.id), "duplicate response");
             assert!(ids.contains(&response.id));
             assert!(!response.logits.is_empty());
@@ -346,5 +424,46 @@ mod tests {
         assert_eq!(answered.len(), n as usize);
         assert!(report.cache_hit_rate > 0.9, "warm cache expected");
         assert!(report.batches > 0 && report.avg_batch >= 1.0);
+    }
+
+    #[test]
+    fn updates_are_acknowledged_and_validated() {
+        let (registry, key) = tiny_registry();
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let (engine, responses) = ServeEngine::start(config, registry);
+        engine.warm(&key).unwrap();
+        // Malformed payload fails fast.
+        let mut delta = GraphDelta::new();
+        delta.add_node();
+        assert!(matches!(
+            engine.submit_update(&key, delta, vec![]),
+            Err(ServeError::BadUpdate(_))
+        ));
+        let missing = ModelKey::new("Nope", GnnKind::Gcn);
+        assert!(matches!(
+            engine.submit_update(&missing, GraphDelta::new(), vec![]),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // A valid delta and a delta that fails at application time.
+        let mut ok = GraphDelta::new();
+        ok.insert_edge(1, 0);
+        let ok_id = engine.submit_update(&key, ok, vec![]).unwrap();
+        let mut stale = GraphDelta::new();
+        stale.insert_edge(0, 1_000_000);
+        let bad_id = engine.submit_update(&key, stale, vec![]).unwrap();
+        let report = engine.shutdown();
+        assert_eq!(report.updates_submitted, 2);
+        assert_eq!(report.updates_applied, 1);
+        assert_eq!(report.updates_failed, 1);
+        let updates: Vec<_> = responses.iter().filter_map(|r| r.into_update()).collect();
+        assert_eq!(updates.len(), 2);
+        let ok_ack = updates.iter().find(|u| u.id == ok_id).unwrap();
+        assert!(ok_ack.applied());
+        assert_eq!(ok_ack.version, 1);
+        let bad_ack = updates.iter().find(|u| u.id == bad_id).unwrap();
+        assert!(bad_ack.error.as_deref().unwrap().contains("out of range"));
     }
 }

@@ -110,6 +110,17 @@ pub struct Metrics {
     pub execution: LogHistogram,
     /// Requests served at each bitwidth (index = bits, 1..=8).
     pub per_bits: [AtomicU64; 9],
+    /// Graph updates accepted by the engine.
+    pub updates_submitted: AtomicU64,
+    /// Graph updates applied.
+    pub updates_applied: AtomicU64,
+    /// Graph updates rejected (invalid delta or payload).
+    pub updates_failed: AtomicU64,
+    /// Nodes whose serving precision changed across all updates.
+    pub nodes_retiered: AtomicU64,
+    /// Adjacency rows incrementally refreshed across all updates (the
+    /// mutation-cost proxy, mirroring `rows_computed` for inference).
+    pub rows_refreshed: AtomicU64,
 }
 
 impl Metrics {
@@ -127,6 +138,19 @@ impl Metrics {
             .fetch_add(size as u64, Ordering::Relaxed);
         self.rows_computed.fetch_add(rows as u64, Ordering::Relaxed);
         self.execution.record(execution);
+    }
+
+    /// Records one processed graph update.
+    pub fn record_update(&self, applied: bool, retiered: usize, dirty_rows: usize) {
+        if applied {
+            self.updates_applied.fetch_add(1, Ordering::Relaxed);
+            self.nodes_retiered
+                .fetch_add(retiered as u64, Ordering::Relaxed);
+            self.rows_refreshed
+                .fetch_add(dirty_rows as u64, Ordering::Relaxed);
+        } else {
+            self.updates_failed.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Point-in-time summary. `elapsed` is the serving wall-clock window;
@@ -160,6 +184,11 @@ impl Metrics {
                 .map(|b| (b as u8, self.per_bits[b].load(Ordering::Relaxed)))
                 .filter(|&(_, n)| n > 0)
                 .collect(),
+            updates_submitted: self.updates_submitted.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            updates_failed: self.updates_failed.load(Ordering::Relaxed),
+            nodes_retiered: self.nodes_retiered.load(Ordering::Relaxed),
+            rows_refreshed: self.rows_refreshed.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
             cache_hit_rate: if lookups > 0 {
@@ -200,6 +229,16 @@ pub struct MetricsReport {
     pub deadline_flushes: u64,
     /// `(bits, requests)` pairs for every served bitwidth.
     pub per_bits: Vec<(u8, u64)>,
+    /// Graph updates accepted.
+    pub updates_submitted: u64,
+    /// Graph updates applied.
+    pub updates_applied: u64,
+    /// Graph updates rejected.
+    pub updates_failed: u64,
+    /// Nodes whose serving precision changed.
+    pub nodes_retiered: u64,
+    /// Adjacency rows incrementally refreshed by updates.
+    pub rows_refreshed: u64,
     /// Artifact-cache hits.
     pub cache_hits: u64,
     /// Artifact-cache misses (builds).
@@ -236,6 +275,17 @@ impl std::fmt::Display for MetricsReport {
             write!(f, "  {bits}b:{n}")?;
         }
         writeln!(f)?;
+        if self.updates_submitted > 0 {
+            writeln!(
+                f,
+                "updates     {:>10} applied / {} submitted ({} rejected, {} nodes retiered, {} adjacency rows refreshed)",
+                self.updates_applied,
+                self.updates_submitted,
+                self.updates_failed,
+                self.nodes_retiered,
+                self.rows_refreshed
+            )?;
+        }
         write!(
             f,
             "cache       {:>10.1}% hit rate ({} hits / {} misses)",

@@ -3,7 +3,9 @@
 use std::time::{Duration, Instant};
 
 use mega_gnn::GnnKind;
-use mega_graph::NodeId;
+use mega_graph::{GraphDelta, NodeId};
+
+use crate::cache::Retier;
 
 /// Addresses a registered (dataset, architecture) pair.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -70,6 +72,112 @@ pub struct InferenceResponse {
     pub worker: usize,
     /// Submit-to-response latency.
     pub latency: Duration,
+}
+
+/// One graph-mutation request, as tracked inside the engine. Updates ride
+/// the same scheduler→worker path as inference so mutations interleave
+/// with serving traffic instead of stopping the world.
+#[derive(Debug, Clone)]
+pub struct UpdateRequest {
+    /// Engine-assigned id, unique per engine instance (shared sequence
+    /// with inference requests).
+    pub id: u64,
+    /// Which registered model's graph to mutate.
+    pub model: ModelKey,
+    /// The mutation batch.
+    pub delta: GraphDelta,
+    /// One feature row per `AddNode` op in `delta`, in op order.
+    pub node_features: Vec<Vec<f32>>,
+    /// When the engine accepted the request.
+    pub submitted_at: Instant,
+}
+
+/// The engine's answer to one [`UpdateRequest`].
+#[derive(Debug, Clone)]
+pub struct UpdateResponse {
+    /// Id of the originating request.
+    pub id: u64,
+    /// The mutated model.
+    pub model: ModelKey,
+    /// `None` on success; otherwise why the delta was rejected (a rejected
+    /// delta changes nothing).
+    pub error: Option<String>,
+    /// Edges actually inserted.
+    pub inserted_edges: usize,
+    /// Edges actually removed.
+    pub removed_edges: usize,
+    /// Ids assigned to nodes added by the delta, in op order.
+    pub added_nodes: Vec<NodeId>,
+    /// Existing nodes whose serving precision changed because the delta
+    /// moved them across a degree-tier boundary.
+    pub retiered: Vec<Retier>,
+    /// Adjacency rows incrementally refreshed (the cost proxy: stays
+    /// proportional to the touched neighborhoods, not the graph).
+    pub dirty_rows: usize,
+    /// Artifact version after this update (monotone per model).
+    pub version: u64,
+    /// Submit-to-applied latency.
+    pub latency: Duration,
+    /// Worker thread that applied the update.
+    pub worker: usize,
+}
+
+impl UpdateResponse {
+    /// Whether the delta was applied.
+    pub fn applied(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Anything the engine can emit on its response stream.
+#[derive(Debug, Clone)]
+pub enum ServeResponse {
+    /// A classified node.
+    Inference(InferenceResponse),
+    /// An applied (or rejected) graph mutation.
+    Update(UpdateResponse),
+}
+
+impl ServeResponse {
+    /// The engine-assigned request id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            ServeResponse::Inference(r) => r.id,
+            ServeResponse::Update(r) => r.id,
+        }
+    }
+
+    /// The inference payload, if this is one.
+    pub fn as_inference(&self) -> Option<&InferenceResponse> {
+        match self {
+            ServeResponse::Inference(r) => Some(r),
+            ServeResponse::Update(_) => None,
+        }
+    }
+
+    /// The update payload, if this is one.
+    pub fn as_update(&self) -> Option<&UpdateResponse> {
+        match self {
+            ServeResponse::Update(r) => Some(r),
+            ServeResponse::Inference(_) => None,
+        }
+    }
+
+    /// Consumes into the inference payload, if this is one.
+    pub fn into_inference(self) -> Option<InferenceResponse> {
+        match self {
+            ServeResponse::Inference(r) => Some(r),
+            ServeResponse::Update(_) => None,
+        }
+    }
+
+    /// Consumes into the update payload, if this is one.
+    pub fn into_update(self) -> Option<UpdateResponse> {
+        match self {
+            ServeResponse::Update(r) => Some(r),
+            ServeResponse::Inference(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]

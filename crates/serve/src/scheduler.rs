@@ -4,13 +4,22 @@
 //! Bucketing by tier keeps a batch's per-node bitwidths — and therefore its
 //! per-row cost — homogeneous, so one slow hub node does not ride along
 //! with (and delay) a batch of cheap leaf nodes.
+//!
+//! Graph mutations ride the same output channel as inference batches
+//! (wrapped in [`WorkItem`]), so updates interleave with serving traffic on
+//! the worker pool instead of stopping the world. An update first flushes
+//! the target model's pending buckets ([`FlushReason::Barrier`]) so
+//! requests admitted before it are not left queued behind it, then parks
+//! its payload in a per-model FIFO ([`BatchScheduler::take_update`]) —
+//! workers pop from that FIFO, which serializes updates per model in
+//! submission order no matter which worker handles which token.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::request::{InferenceRequest, ModelKey};
+use crate::request::{InferenceRequest, ModelKey, UpdateRequest};
 
 /// Scheduler knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +47,9 @@ pub enum FlushReason {
     Size,
     /// The bucket's oldest request hit `max_delay`.
     Deadline,
+    /// A graph update to the same model flushed the bucket ahead of
+    /// itself.
+    Barrier,
     /// The engine is draining (shutdown or explicit flush).
     Drain,
 }
@@ -55,27 +67,88 @@ pub struct Batch {
     pub reason: FlushReason,
 }
 
+/// What the scheduler hands the worker pool.
+#[derive(Debug)]
+pub enum WorkItem {
+    /// A coalesced inference batch.
+    Batch(Batch),
+    /// A token for one pending graph update to this model; the payload is
+    /// popped from the scheduler's per-model FIFO
+    /// ([`BatchScheduler::take_update`]).
+    Update(ModelKey),
+}
+
 #[derive(Default)]
 struct Bucket {
     requests: Vec<InferenceRequest>,
     oldest: Option<Instant>,
 }
 
-/// Size- and deadline-triggered request coalescer.
+/// The per-model FIFO parking update payloads between
+/// [`BatchScheduler::submit_update`] and the worker that receives the
+/// matching [`WorkItem::Update`] token. A separate shared structure (not
+/// part of the scheduler) so workers can hold it without keeping the
+/// scheduler's work `Sender` alive — that would deadlock shutdown.
+#[derive(Default)]
+pub struct UpdateQueue {
+    queues: Mutex<HashMap<ModelKey, VecDeque<UpdateRequest>>>,
+}
+
+impl UpdateQueue {
+    fn push(&self, request: UpdateRequest) {
+        self.queues
+            .lock()
+            .expect("update queue poisoned")
+            .entry(request.model.clone())
+            .or_default()
+            .push_back(request);
+    }
+
+    /// Pops the oldest pending update for `model`. FIFO order is the
+    /// per-model update serialization guarantee, no matter which worker
+    /// handles which token.
+    pub fn pop(&self, model: &ModelKey) -> Option<UpdateRequest> {
+        self.queues
+            .lock()
+            .expect("update queue poisoned")
+            .get_mut(model)?
+            .pop_front()
+    }
+
+    /// Number of parked updates across all models.
+    pub fn pending(&self) -> usize {
+        self.queues
+            .lock()
+            .expect("update queue poisoned")
+            .values()
+            .map(VecDeque::len)
+            .sum()
+    }
+}
+
+/// Size- and deadline-triggered request coalescer plus the per-model
+/// update FIFO.
 pub struct BatchScheduler {
     config: SchedulerConfig,
     buckets: Mutex<HashMap<(ModelKey, usize), Bucket>>,
-    out: Sender<Batch>,
+    updates: Arc<UpdateQueue>,
+    out: Sender<WorkItem>,
 }
 
 impl BatchScheduler {
-    /// A scheduler emitting batches into `out`.
-    pub fn new(config: SchedulerConfig, out: Sender<Batch>) -> Self {
+    /// A scheduler emitting work into `out`.
+    pub fn new(config: SchedulerConfig, out: Sender<WorkItem>) -> Self {
         Self {
             config,
             buckets: Mutex::new(HashMap::new()),
+            updates: Arc::new(UpdateQueue::default()),
             out,
         }
+    }
+
+    /// The shared FIFO workers pop update payloads from.
+    pub fn update_queue(&self) -> Arc<UpdateQueue> {
+        self.updates.clone()
     }
 
     /// The configured knobs.
@@ -102,6 +175,45 @@ impl BatchScheduler {
         } else {
             false
         }
+    }
+
+    /// Enqueues one graph update: flushes the model's pending inference
+    /// buckets ahead of it (barrier), parks the payload in the model's
+    /// FIFO, and emits an update token to the worker pool.
+    pub fn submit_update(&self, request: UpdateRequest) {
+        let model = request.model.clone();
+        self.flush_model(&model);
+        self.updates.push(request);
+        // Receiver gone means the engine is shutting down; the update
+        // stays in the FIFO and is dropped with the scheduler.
+        let _ = self.out.send(WorkItem::Update(model));
+    }
+
+    /// Pops the oldest pending update for `model` (delegates to the shared
+    /// [`UpdateQueue`]).
+    pub fn take_update(&self, model: &ModelKey) -> Option<UpdateRequest> {
+        self.updates.pop(model)
+    }
+
+    /// Flushes every bucket of `model` regardless of age. Returns the
+    /// number of batches emitted.
+    pub fn flush_model(&self, model: &ModelKey) -> usize {
+        let drained: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            buckets
+                .iter_mut()
+                .filter(|((m, _), b)| m == model && !b.requests.is_empty())
+                .map(|(k, b)| {
+                    b.oldest = None;
+                    (k.clone(), std::mem::take(&mut b.requests))
+                })
+                .collect()
+        };
+        let count = drained.len();
+        for ((model, tier), requests) in drained {
+            self.emit(model, tier, requests, FlushReason::Barrier);
+        }
+        count
     }
 
     /// Flushes every bucket whose oldest request has waited at least
@@ -157,7 +269,7 @@ impl BatchScheduler {
         count
     }
 
-    /// Number of requests currently waiting in buckets.
+    /// Number of inference requests currently waiting in buckets.
     pub fn pending(&self) -> usize {
         self.buckets
             .lock()
@@ -165,6 +277,12 @@ impl BatchScheduler {
             .values()
             .map(|b| b.requests.len())
             .sum()
+    }
+
+    /// Number of updates parked in per-model FIFOs (token emitted, not yet
+    /// taken by a worker).
+    pub fn pending_updates(&self) -> usize {
+        self.updates.pending()
     }
 
     fn emit(
@@ -179,12 +297,12 @@ impl BatchScheduler {
         }
         // Receiver gone means the engine is shutting down; dropping the
         // batch here is fine because shutdown drains first.
-        let _ = self.out.send(Batch {
+        let _ = self.out.send(WorkItem::Batch(Batch {
             model,
             tier,
             requests,
             reason,
-        });
+        }));
     }
 }
 
@@ -192,7 +310,8 @@ impl BatchScheduler {
 mod tests {
     use super::*;
     use mega_gnn::GnnKind;
-    use std::sync::mpsc;
+    use mega_graph::GraphDelta;
+    use std::sync::mpsc::{self, Receiver};
 
     fn request(id: u64, tier: usize, at: Instant) -> InferenceRequest {
         InferenceRequest {
@@ -202,6 +321,13 @@ mod tests {
             tier,
             bits: 2,
             submitted_at: at,
+        }
+    }
+
+    fn recv_batch(rx: &Receiver<WorkItem>) -> Batch {
+        match rx.try_recv().expect("work item emitted") {
+            WorkItem::Batch(batch) => batch,
+            WorkItem::Update(key) => panic!("expected batch, got update token for {key}"),
         }
     }
 
@@ -219,7 +345,7 @@ mod tests {
         assert!(!scheduler.submit(request(0, 0, now)));
         assert!(!scheduler.submit(request(1, 0, now)));
         assert!(scheduler.submit(request(2, 0, now)));
-        let batch = rx.try_recv().expect("batch emitted");
+        let batch = recv_batch(&rx);
         assert_eq!(batch.requests.len(), 3);
         assert_eq!(batch.reason, FlushReason::Size);
         assert_eq!(scheduler.pending(), 0);
@@ -240,7 +366,7 @@ mod tests {
         scheduler.submit(request(1, 1, now));
         assert!(rx.try_recv().is_err(), "no tier is full yet");
         scheduler.submit(request(2, 1, now));
-        let batch = rx.try_recv().expect("tier-1 batch");
+        let batch = recv_batch(&rx);
         assert_eq!(batch.tier, 1);
         assert_eq!(batch.requests.len(), 2);
         assert_eq!(scheduler.pending(), 1);
@@ -262,7 +388,7 @@ mod tests {
         assert!(rx.try_recv().is_err());
         // At the deadline the partial batch flushes.
         assert_eq!(scheduler.poll_deadlines(t0 + config.max_delay), 1);
-        let batch = rx.try_recv().expect("deadline batch");
+        let batch = recv_batch(&rx);
         assert_eq!(batch.requests.len(), 2);
         assert_eq!(batch.reason, FlushReason::Deadline);
         assert_eq!(scheduler.pending(), 0);
@@ -278,11 +404,51 @@ mod tests {
         scheduler.submit(request(0, 0, now));
         scheduler.submit(request(1, 3, now));
         assert_eq!(scheduler.flush_all(), 2);
-        let mut sizes: Vec<usize> = (0..2)
-            .map(|_| rx.try_recv().unwrap().requests.len())
-            .collect();
+        let mut sizes: Vec<usize> = (0..2).map(|_| recv_batch(&rx).requests.len()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 1]);
         assert_eq!(scheduler.flush_all(), 0);
+    }
+
+    #[test]
+    fn updates_barrier_their_model_and_queue_fifo() {
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(SchedulerConfig::default(), tx);
+        let now = Instant::now();
+        let cora = ModelKey::new("Cora", GnnKind::Gcn);
+        let other = ModelKey::new("PubMed", GnnKind::Gcn);
+        scheduler.submit(request(0, 0, now));
+        scheduler.submit(InferenceRequest {
+            model: other.clone(),
+            ..request(1, 0, now)
+        });
+        let update = |id: u64| {
+            let mut delta = GraphDelta::new();
+            delta.insert_edge(id as u32, 0);
+            UpdateRequest {
+                id,
+                model: cora.clone(),
+                delta,
+                node_features: vec![],
+                submitted_at: now,
+            }
+        };
+        scheduler.submit_update(update(10));
+        scheduler.submit_update(update(11));
+        // The barrier flushed only Cora's bucket; PubMed's is still queued.
+        let batch = recv_batch(&rx);
+        assert_eq!(batch.model, cora);
+        assert_eq!(batch.reason, FlushReason::Barrier);
+        assert_eq!(scheduler.pending(), 1);
+        // Two update tokens follow, and the FIFO pops in submit order.
+        for expected in [10u64, 11] {
+            match rx.try_recv().expect("update token") {
+                WorkItem::Update(key) => assert_eq!(key, cora),
+                WorkItem::Batch(_) => panic!("expected update token"),
+            }
+            assert_eq!(scheduler.take_update(&cora).unwrap().id, expected);
+        }
+        assert_eq!(scheduler.pending_updates(), 0);
+        assert!(scheduler.take_update(&cora).is_none());
     }
 }

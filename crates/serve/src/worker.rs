@@ -1,5 +1,6 @@
-//! The worker pool: std threads pulling batches from a shared channel and
-//! executing them over the sliced quantized forward pass.
+//! The worker pool: std threads pulling work from a shared channel and
+//! executing it — inference batches over the sliced quantized forward pass,
+//! and graph updates through the artifacts' incremental mutation path.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
@@ -14,8 +15,8 @@ use mega_tensor::Matrix;
 use crate::cache::{quantize_row, ArtifactCache, ModelArtifacts};
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
-use crate::request::InferenceResponse;
-use crate::scheduler::{Batch, FlushReason};
+use crate::request::{InferenceResponse, ModelKey, ServeResponse, UpdateResponse};
+use crate::scheduler::{Batch, FlushReason, UpdateQueue, WorkItem};
 
 /// Executes the degree-aware quantized forward pass for `targets` and
 /// returns their logits (row `i` belongs to `targets[i]`).
@@ -52,33 +53,46 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads consuming from `batches` until the channel
+    /// Spawns `workers` threads consuming from `work` until the channel
     /// disconnects (engine shutdown) and answering into `responses`.
+    /// `updates` is the scheduler's shared FIFO; workers pop update
+    /// payloads from it when an update token arrives (they never hold the
+    /// scheduler itself — its work `Sender` must die with the engine for
+    /// shutdown to disconnect this pool).
     pub fn spawn(
         workers: usize,
-        batches: Receiver<Batch>,
+        work: Receiver<WorkItem>,
         registry: Arc<ModelRegistry>,
         cache: Arc<ArtifactCache>,
+        updates: Arc<UpdateQueue>,
         metrics: Arc<Metrics>,
-        responses: Sender<InferenceResponse>,
+        responses: Sender<ServeResponse>,
     ) -> Self {
-        let shared = Arc::new(Mutex::new(batches));
+        let shared = Arc::new(Mutex::new(work));
         let handles = (0..workers.max(1))
             .map(|worker_id| {
                 let shared = shared.clone();
                 let registry = registry.clone();
                 let cache = cache.clone();
+                let updates = updates.clone();
                 let metrics = metrics.clone();
                 let responses = responses.clone();
                 std::thread::Builder::new()
                     .name(format!("mega-serve-worker-{worker_id}"))
                     .spawn(move || loop {
-                        let batch = {
-                            let rx = shared.lock().expect("batch receiver poisoned");
+                        let item = {
+                            let rx = shared.lock().expect("work receiver poisoned");
                             rx.recv()
                         };
-                        let Ok(batch) = batch else { break };
-                        run_batch(worker_id, batch, &registry, &cache, &metrics, &responses);
+                        match item {
+                            Ok(WorkItem::Batch(batch)) => {
+                                run_batch(worker_id, batch, &registry, &cache, &metrics, &responses)
+                            }
+                            Ok(WorkItem::Update(model)) => run_update(
+                                worker_id, model, &registry, &cache, &updates, &metrics, &responses,
+                            ),
+                            Err(_) => break,
+                        }
                     })
                     .expect("spawn worker thread")
             })
@@ -96,7 +110,7 @@ impl WorkerPool {
         self.handles.is_empty()
     }
 
-    /// Waits for every worker to finish (the batch channel must already be
+    /// Waits for every worker to finish (the work channel must already be
     /// disconnected, or this blocks forever).
     pub fn join(self) {
         for handle in self.handles {
@@ -111,7 +125,7 @@ fn run_batch(
     registry: &ModelRegistry,
     cache: &ArtifactCache,
     metrics: &Metrics,
-    responses: &Sender<InferenceResponse>,
+    responses: &Sender<ServeResponse>,
 ) {
     // The engine validates models at submit time, so this lookup only fails
     // if a model was dropped from the registry mid-flight; nothing useful
@@ -119,7 +133,10 @@ fn run_batch(
     let Some(spec) = registry.get(&batch.model) else {
         return;
     };
-    let artifacts = cache.get_or_build(&batch.model, || ModelArtifacts::build(&spec));
+    let entry = cache.get_or_build(&batch.model, || ModelArtifacts::build(&spec));
+    // Hold the read guard across execution: updates to this model wait,
+    // and the batch observes one consistent artifact version throughout.
+    let artifacts = entry.read();
 
     // Re-registering a model can shrink its graph between submit-time
     // validation and execution (the cache rebuilds from the new spec).
@@ -178,7 +195,7 @@ fn run_batch(
                 .deadline_flushes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        FlushReason::Drain => {}
+        FlushReason::Barrier | FlushReason::Drain => {}
     }
 
     let batch_size = valid.len();
@@ -186,23 +203,90 @@ fn run_batch(
         let request = &valid[i];
         let logits_row = logits.row(row).to_vec();
         let predicted_class = logits.argmax_row(row);
+        // Bits/tier reflect the artifacts the batch *executed against*; a
+        // concurrent re-tier between submit and execution updates them.
         let response = InferenceResponse {
             id: request.id,
             model: request.model.clone(),
             node: request.node,
             predicted_class,
             logits: logits_row,
-            bits: request.bits,
-            tier: request.tier,
+            bits: artifacts.node_bits(request.node),
+            tier: artifacts.node_tier(request.node),
             batch_size,
             worker: worker_id,
             latency: request.submitted_at.elapsed(),
         };
-        metrics.record_response(request.bits, response.latency);
+        metrics.record_response(response.bits, response.latency);
         // A dropped receiver means the caller stopped listening; keep
         // draining so shutdown still completes.
-        let _ = responses.send(response);
+        let _ = responses.send(ServeResponse::Inference(response));
     }
+}
+
+fn run_update(
+    worker_id: usize,
+    model: ModelKey,
+    registry: &ModelRegistry,
+    cache: &ArtifactCache,
+    updates: &UpdateQueue,
+    metrics: &Metrics,
+    responses: &Sender<ServeResponse>,
+) {
+    let Some(spec) = registry.get(&model) else {
+        return;
+    };
+    let entry = cache.get_or_build(&model, || ModelArtifacts::build(&spec));
+    // Pop the payload *inside* the entry's write lock: tokens are
+    // interchangeable ("apply one pending update for this model"), so
+    // making pop+apply one critical section is what guarantees updates
+    // land in FIFO submission order even when several workers race on
+    // tokens for the same model. A missing payload means the queue was
+    // drained out from under us (only possible at teardown).
+    let outcome = entry.update(|artifacts| {
+        updates.pop(&model).map(|update| {
+            let result = artifacts.apply_delta(&update.delta, &update.node_features);
+            (update, result, artifacts.version)
+        })
+    });
+    let Some((update, result, version)) = outcome else {
+        return;
+    };
+    let response = match result {
+        Ok(effect) => {
+            metrics.record_update(true, effect.retiered.len(), effect.dirty_rows);
+            UpdateResponse {
+                id: update.id,
+                model,
+                error: None,
+                inserted_edges: effect.inserted_edges,
+                removed_edges: effect.removed_edges,
+                added_nodes: effect.added_nodes,
+                retiered: effect.retiered,
+                dirty_rows: effect.dirty_rows,
+                version,
+                latency: update.submitted_at.elapsed(),
+                worker: worker_id,
+            }
+        }
+        Err(error) => {
+            metrics.record_update(false, 0, 0);
+            UpdateResponse {
+                id: update.id,
+                model,
+                error: Some(error),
+                inserted_edges: 0,
+                removed_edges: 0,
+                added_nodes: Vec::new(),
+                retiered: Vec::new(),
+                dirty_rows: 0,
+                version,
+                latency: update.submitted_at.elapsed(),
+                worker: worker_id,
+            }
+        }
+    };
+    let _ = responses.send(ServeResponse::Update(response));
 }
 
 #[cfg(test)]
@@ -235,6 +319,22 @@ mod tests {
     #[test]
     fn quantized_execution_is_batch_invariant() {
         let a = artifacts();
+        let solo = batch_logits(&a, &[11]);
+        let grouped = batch_logits(&a, &[4, 11, 19, 2]);
+        for c in 0..a.dataset.spec.num_classes {
+            assert_eq!(solo.get(0, c).to_bits(), grouped.get(1, c).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_invariance_survives_mutation() {
+        let mut a = artifacts();
+        let mut delta = mega_graph::GraphDelta::new();
+        delta
+            .insert_edge(11, 4)
+            .insert_edge(19, 11)
+            .remove_edge(a.graph.out_neighbors(2).first().copied().unwrap_or(11), 2);
+        let _ = a.apply_delta(&delta, &[]);
         let solo = batch_logits(&a, &[11]);
         let grouped = batch_logits(&a, &[4, 11, 19, 2]);
         for c in 0..a.dataset.spec.num_classes {

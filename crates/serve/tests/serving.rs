@@ -54,6 +54,7 @@ fn batched_execution_is_bit_exact_with_sequential() {
 
     let mut batched = 0usize;
     for response in responses.iter() {
+        let response = response.into_inference().expect("inference-only traffic");
         let position = targets
             .iter()
             .position(|&t| t == response.node)
@@ -104,6 +105,7 @@ fn batches_are_tier_homogeneous() {
     use std::collections::HashMap;
     let mut by_id: HashMap<u64, (usize, u8)> = HashMap::new();
     for response in responses.iter() {
+        let response = response.into_inference().expect("inference-only traffic");
         assert_eq!(
             response.bits,
             reference.node_bits(response.node),
@@ -144,7 +146,9 @@ fn deadline_flush_answers_partial_batches_live() {
     for _ in 0..5 {
         let response = responses
             .recv_timeout(Duration::from_secs(10))
-            .expect("deadline sweeper must flush the partial batch");
+            .expect("deadline sweeper must flush the partial batch")
+            .into_inference()
+            .expect("inference-only traffic");
         assert!(response.batch_size <= 5);
     }
     let report = engine.shutdown();
@@ -185,6 +189,7 @@ fn multi_model_traffic_hits_the_cache() {
     assert!(report.cache_hit_rate > 0.9);
     let mut per_model = std::collections::HashMap::new();
     for response in responses.iter() {
+        let response = response.into_inference().expect("inference-only traffic");
         *per_model.entry(response.model.clone()).or_insert(0u32) += 1;
     }
     assert_eq!(per_model.len(), 2);

@@ -1,0 +1,290 @@
+//! Mutation-heavy integration suite for the dynamic-graph subsystem: long
+//! random update streams against serving artifacts, engine round trips
+//! under interleaved churn, and isolation/regrowth cycles — each checked
+//! against from-scratch rebuilds for bit-exact equivalence.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mega_gnn::{build_adjacency, GnnKind};
+use mega_graph::{DatasetSpec, GraphDelta, NodeId};
+use mega_serve::cache::quantize_row;
+use mega_serve::{
+    batch_logits, ModelArtifacts, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig,
+    ServeEngine, ServeResponse,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Cora-recipe spec with *dense* features, so input rows follow the
+/// degree profile and re-tiering exercises the re-quantization path.
+fn dense_spec() -> ModelSpec {
+    let mut dataset = DatasetSpec::cora().scaled(0.08).with_feature_dim(24);
+    dataset.name = "DenseCora".into();
+    dataset.feature_density = 0.5;
+    ModelSpec::standard(dataset, GnnKind::Gcn)
+}
+
+/// Asserts every derived table of `artifacts` equals a from-scratch
+/// rebuild of its live graph: normalized adjacency, bits/tiers, and the
+/// quantized feature rows.
+fn assert_equivalent_to_rebuild(artifacts: &ModelArtifacts, kind: GnnKind, seed: u64) {
+    let frozen = artifacts.graph.to_graph();
+    let rebuilt = build_adjacency(&frozen, kind.aggregator(seed));
+    assert_eq!(
+        artifacts.adjacency.to_csr(),
+        *rebuilt,
+        "incremental adjacency diverged from rebuild"
+    );
+    let expected_bits = artifacts.policy.profile(&frozen);
+    assert_eq!(artifacts.bits, expected_bits, "bits diverged from policy");
+    for v in 0..artifacts.num_nodes() {
+        assert_eq!(
+            artifacts.tiers[v],
+            artifacts.policy.tier_of_degree(frozen.in_degree(v)),
+            "tier of node {v}"
+        );
+        let mut expected_row = artifacts.raw_features.row(v).to_vec();
+        let input_bits = if artifacts.input_follows_degree {
+            artifacts.bits[v]
+        } else {
+            1
+        };
+        quantize_row(&mut expected_row, input_bits);
+        let actual = artifacts.dataset.features().row(v);
+        for (c, (&a, &e)) in actual.iter().zip(&expected_row).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                e.to_bits(),
+                "quantized feature row {v} col {c} diverged"
+            );
+        }
+    }
+}
+
+/// ~40 random deltas (edge upserts/removals, node adds, isolations)
+/// applied to serving artifacts stay bit-exact with from-scratch rebuilds
+/// at every checkpoint, and the forward pass stays batch-invariant.
+#[test]
+fn long_mutation_streams_keep_artifacts_equivalent_to_rebuild() {
+    let spec = dense_spec();
+    let (kind, seed) = (spec.kind, spec.dataset.seed);
+    let mut artifacts = ModelArtifacts::build(&spec);
+    assert!(
+        artifacts.input_follows_degree,
+        "dense spec must follow degree"
+    );
+    let dim = artifacts.raw_features.dim();
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+
+    let mut total_retiered = 0usize;
+    for round in 0..40 {
+        let n = artifacts.num_nodes();
+        let mut delta = GraphDelta::new();
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        let mut count = n;
+        for _ in 0..rng.gen_range(1..8usize) {
+            match rng.gen_range(0..10u8) {
+                0..=5 => {
+                    let s = rng.gen_range(0..count) as NodeId;
+                    let d = rng.gen_range(0..count) as NodeId;
+                    if s != d {
+                        delta.insert_edge(s, d);
+                    }
+                }
+                6..=7 => {
+                    let s = rng.gen_range(0..count) as NodeId;
+                    let d = rng.gen_range(0..count) as NodeId;
+                    if s != d {
+                        delta.remove_edge(s, d);
+                    }
+                }
+                8 => {
+                    delta.add_node();
+                    rows.push((0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect());
+                    count += 1;
+                }
+                _ => {
+                    delta.isolate_node(rng.gen_range(0..count) as NodeId);
+                }
+            }
+        }
+        let effect = artifacts
+            .apply_delta(&delta, &rows)
+            .expect("generated deltas are valid");
+        total_retiered += effect.retiered.len();
+        assert_eq!(artifacts.version, round + 1);
+
+        // Spot-check batch invariance on a random target trio.
+        let n = artifacts.num_nodes();
+        let trio: Vec<NodeId> = (0..3).map(|_| rng.gen_range(0..n) as NodeId).collect();
+        let solo = batch_logits(&artifacts, &trio[..1]);
+        let grouped = batch_logits(&artifacts, &trio);
+        for c in 0..solo.cols() {
+            assert_eq!(solo.get(0, c).to_bits(), grouped.get(0, c).to_bits());
+        }
+        if round % 10 == 9 {
+            assert_equivalent_to_rebuild(&artifacts, kind, seed);
+        }
+    }
+    assert_equivalent_to_rebuild(&artifacts, kind, seed);
+    assert!(
+        total_retiered > 0,
+        "a 40-delta stream should cross at least one tier boundary"
+    );
+}
+
+fn drain_engine_round(
+    responses: &Receiver<ServeResponse>,
+    expected_acks: usize,
+    expected_inferences: usize,
+) -> (usize, usize) {
+    let (mut acks, mut inferences) = (0usize, 0usize);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while acks < expected_acks || inferences < expected_inferences {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("timed out draining a churn round");
+        match responses.recv_timeout(remaining).expect("response stream") {
+            ServeResponse::Update(ack) => {
+                assert!(ack.applied(), "churn delta rejected: {:?}", ack.error);
+                acks += 1;
+            }
+            ServeResponse::Inference(_) => inferences += 1,
+        }
+    }
+    (acks, inferences)
+}
+
+/// Engine round trip: interleaved updates and inference over multiple
+/// rounds, with a lockstep local replica; after each quiesced round the
+/// engine's probe agrees with the replica's policy state.
+#[test]
+fn engine_stays_consistent_under_interleaved_churn() {
+    let spec = dense_spec();
+    let mut replica = ModelArtifacts::build(&spec);
+    let registry = Arc::new(ModelRegistry::new());
+    let key = registry.register(spec);
+    let config = ServeConfig {
+        workers: 4,
+        scheduler: SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+        },
+        ..ServeConfig::default()
+    };
+    let (engine, responses) = ServeEngine::start(config, registry);
+    engine.warm(&key).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+
+    let mut total_inferences = 0u64;
+    let mut total_updates = 0u64;
+    for _round in 0..12 {
+        let n = replica.num_nodes();
+        let mut deltas = Vec::new();
+        for _ in 0..4 {
+            let mut delta = GraphDelta::new();
+            for _ in 0..rng.gen_range(1..5usize) {
+                let s = rng.gen_range(0..n) as NodeId;
+                let d = rng.gen_range(0..n) as NodeId;
+                if s == d {
+                    continue;
+                }
+                if rng.gen_bool(0.7) {
+                    delta.insert_edge(s, d);
+                } else {
+                    delta.remove_edge(s, d);
+                }
+            }
+            deltas.push(delta);
+        }
+        // Interleave: update, inference, update, ...
+        let mut inferences = 0;
+        for delta in &deltas {
+            engine.submit_update(&key, delta.clone(), vec![]).unwrap();
+            total_updates += 1;
+            let t = rng.gen_range(0..n) as NodeId;
+            engine.submit(&key, t).unwrap();
+            inferences += 1;
+        }
+        drain_engine_round(&responses, deltas.len(), inferences);
+        total_inferences += inferences as u64;
+        for delta in &deltas {
+            replica.apply_delta(delta, &[]).unwrap();
+        }
+        // Quiesced: the engine agrees with the replica everywhere.
+        for v in (0..n as NodeId).step_by(17) {
+            let (tier, bits) = engine.probe(&key, v).unwrap();
+            assert_eq!(tier, replica.node_tier(v));
+            assert_eq!(bits, replica.node_bits(v));
+        }
+        // And serves bit-exact logits for a replica-checked witness.
+        let witness = rng.gen_range(0..n) as NodeId;
+        let id = engine.submit(&key, witness).unwrap();
+        total_inferences += 1;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let response = loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .expect("timed out waiting for witness");
+            match responses.recv_timeout(remaining).expect("response stream") {
+                ServeResponse::Inference(r) if r.id == id => break r,
+                _ => {}
+            }
+        };
+        let expected = batch_logits(&replica, &[witness]);
+        for (c, &logit) in response.logits.iter().enumerate() {
+            assert_eq!(
+                logit.to_bits(),
+                expected.get(0, c).to_bits(),
+                "witness {witness} diverged from replica"
+            );
+        }
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.updates_applied, total_updates);
+    assert_eq!(report.updates_failed, 0);
+    assert_eq!(report.completed, total_inferences);
+}
+
+/// Isolating a hub demotes it to the lowest tier; regrowing its in-edges
+/// promotes it back — with the adjacency bit-exact against rebuilds on
+/// both sides of the cycle.
+#[test]
+fn isolation_and_regrowth_cycles_retier_both_ways() {
+    let spec = dense_spec();
+    let (kind, seed) = (spec.kind, spec.dataset.seed);
+    let mut artifacts = ModelArtifacts::build(&spec);
+    let hub = (0..artifacts.num_nodes())
+        .max_by_key(|&v| artifacts.graph.in_degree(v))
+        .unwrap() as NodeId;
+    let original_in: Vec<NodeId> = artifacts.graph.in_neighbors(hub as usize).to_vec();
+    assert!(original_in.len() > 8, "hub must sit above tier 1");
+    let hub_bits = artifacts.node_bits(hub);
+
+    for cycle in 0..3 {
+        let mut isolate = GraphDelta::new();
+        isolate.isolate_node(hub);
+        let effect = artifacts.apply_delta(&isolate, &[]).unwrap();
+        let demotion = effect.retiered.iter().find(|r| r.node == hub).unwrap();
+        assert_eq!(demotion.new_tier, 0, "cycle {cycle}: isolation demotes");
+        assert_eq!(artifacts.node_bits(hub), artifacts.policy.tier_bits(0));
+        assert_eq!(artifacts.graph.in_degree(hub as usize), 0);
+
+        let mut regrow = GraphDelta::new();
+        for &s in &original_in {
+            regrow.insert_edge(s, hub);
+        }
+        let effect = artifacts.apply_delta(&regrow, &[]).unwrap();
+        assert_eq!(effect.inserted_edges, original_in.len());
+        let promotion = effect.retiered.iter().find(|r| r.node == hub).unwrap();
+        assert_eq!(promotion.old_tier, 0, "cycle {cycle}: regrowth promotes");
+        assert_eq!(artifacts.node_bits(hub), hub_bits);
+    }
+    assert_equivalent_to_rebuild(&artifacts, kind, seed);
+    // Out-edges of the hub stay gone (isolation dropped them and regrowth
+    // only restored in-edges) — the graph is genuinely different, yet
+    // still equivalent to its own rebuild.
+    assert_eq!(artifacts.graph.out_degree(hub as usize), 0);
+}
