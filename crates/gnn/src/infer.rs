@@ -20,7 +20,7 @@ use mega_graph::datasets::Features;
 use mega_graph::NodeId;
 use mega_tensor::Matrix;
 
-use crate::adjacency::AdjacencyView;
+use crate::adjacency::{AdjacencyView, LocalAdjacency};
 use crate::model::Gnn;
 
 /// Elementwise per-node activation transform (e.g. degree-aware fake
@@ -198,6 +198,63 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
     (Matrix::from_vec(targets.len(), out_dim, data), field)
 }
 
+/// [`forward_targets_with_field`] over a *shard-local* adjacency slice:
+/// `targets` are **global** node ids that must be resident in `local`, and
+/// `transform` likewise receives global ids (so a degree-aware quantizer
+/// keyed by global per-node state plugs in unchanged). `local_features`
+/// holds one row per local node, aligned with `local.locals()` — the
+/// spliced-in halo feature rows ride in the same matrix as the owned rows.
+///
+/// The returned [`ReceptiveField`] is in *local* ids (callers translate
+/// through [`LocalAdjacency::global_of`], e.g. to count how many rows of a
+/// batch resolved from halo copies).
+///
+/// Bit-exactness with the global pass follows from two invariants: local
+/// ids ascend in global order (so every remapped row aggregates in the
+/// global summation order), and feature/value payloads are verbatim copies.
+///
+/// # Panics
+///
+/// Panics if a target is not resident in the slice, or if the receptive
+/// field escapes the slice (the slice's halo is shallower than the model's
+/// layer count).
+pub fn forward_targets_local(
+    model: &Gnn,
+    local_features: &Features,
+    local: &LocalAdjacency,
+    targets: &[NodeId],
+    transform: ActivationTransform<'_>,
+) -> (Matrix, ReceptiveField) {
+    let local_targets: Vec<NodeId> = targets
+        .iter()
+        .map(|&t| {
+            local
+                .local_of(t)
+                .unwrap_or_else(|| panic!("target {t} is not resident in the shard slice"))
+        })
+        .collect();
+    // Guard the halo-depth invariant *before* aggregating: every row the
+    // pass will aggregate (levels >= 1) must be complete. An outer-halo
+    // row is stored empty — silently aggregating it would fabricate
+    // all-zero activations for a target the slice cannot actually serve
+    // (e.g. a halo node passed as a target).
+    let field = ReceptiveField::expand(local, &local_targets, model.config().layers);
+    for level in &field.needed[1..] {
+        for &v in level {
+            assert!(
+                !local.row_indices(v as usize).is_empty(),
+                "receptive field escapes the shard slice at global node {} \
+                 (target set reaches beyond the halo depth)",
+                local.global_of(v)
+            );
+        }
+    }
+    let mut relabeled = |layer: usize, v: NodeId, row: &mut [f32]| {
+        transform(layer, local.global_of(v), row);
+    };
+    forward_targets_with_field(model, local_features, local, &local_targets, &mut relabeled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +317,83 @@ mod tests {
             // Bit-exact: same f32 bits, not just close.
             assert_eq!(alone.get(0, c).to_bits(), together.get(1, c).to_bits());
         }
+    }
+
+    #[test]
+    fn local_slice_forward_is_bit_exact_with_global() {
+        let (d, model, adj) = setup();
+        let layers = model.config().layers;
+        // "Owned" nodes plus their L-hop in-closure = the shard's locals.
+        let owned: Vec<NodeId> = (0..d.graph.num_nodes() as NodeId).step_by(5).collect();
+        let closure = ReceptiveField::expand(&adj, &owned, layers);
+        let mut locals: Vec<NodeId> = closure.needed.concat();
+        locals.sort_unstable();
+        locals.dedup();
+        let slice = LocalAdjacency::slice(&adj, &locals);
+        let local_rows: Vec<f32> = locals
+            .iter()
+            .flat_map(|&g| d.features().row(g as usize).iter().copied())
+            .collect();
+        let local_features = Features::from_vec(locals.len(), d.features().dim(), local_rows);
+
+        let targets: Vec<NodeId> = owned.iter().copied().take(7).collect();
+        let mut seen_globals = Vec::new();
+        let (local_logits, field) = forward_targets_local(
+            &model,
+            &local_features,
+            &slice,
+            &targets,
+            &mut |_l, v, _row| seen_globals.push(v),
+        );
+        let global_logits =
+            forward_targets(&model, d.features(), &adj, &targets, &mut |_l, _v, _row| {});
+        assert_eq!(local_logits.shape(), global_logits.shape());
+        for (r, &t) in targets.iter().enumerate() {
+            for c in 0..d.spec.num_classes {
+                assert_eq!(
+                    local_logits.get(r, c).to_bits(),
+                    global_logits.get(r, c).to_bits(),
+                    "target {t} diverged between sliced and global execution"
+                );
+            }
+        }
+        // The transform saw *global* ids, and the field is in local ids.
+        assert!(seen_globals.iter().all(|v| locals.binary_search(v).is_ok()));
+        assert!(field
+            .needed
+            .iter()
+            .flatten()
+            .all(|&v| (v as usize) < locals.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes the shard slice")]
+    fn local_forward_rejects_field_escaping_the_slice() {
+        // A slice holding only the target: its in-neighbors are missing,
+        // so its row is stored empty and the guard must fire instead of
+        // silently aggregating zeros.
+        let (d, model, adj) = setup();
+        let t = (0..d.graph.num_nodes())
+            .find(|&v| d.graph.in_degree(v) > 0)
+            .expect("a non-isolated node exists") as NodeId;
+        let slice = LocalAdjacency::slice(&adj, &[t]);
+        let features =
+            Features::from_vec(1, d.features().dim(), d.features().row(t as usize).to_vec());
+        let _ = forward_targets_local(&model, &features, &slice, &[t], &mut |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn local_forward_rejects_foreign_targets() {
+        let (d, model, adj) = setup();
+        let locals: Vec<NodeId> = vec![0, 1, 2];
+        let slice = LocalAdjacency::slice(&adj, &locals);
+        let rows: Vec<f32> = locals
+            .iter()
+            .flat_map(|&g| d.features().row(g as usize).iter().copied())
+            .collect();
+        let features = Features::from_vec(locals.len(), d.features().dim(), rows);
+        let _ = forward_targets_local(&model, &features, &slice, &[40], &mut |_, _, _| {});
     }
 
     #[test]

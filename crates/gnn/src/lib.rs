@@ -29,7 +29,9 @@ pub mod infer;
 pub mod model;
 pub mod train;
 
-pub use adjacency::{build_adjacency, AdjacencyView, AggregatorKind, DynAdjacency};
-pub use infer::{forward_targets, forward_targets_with_field, ReceptiveField};
+pub use adjacency::{build_adjacency, AdjacencyView, AggregatorKind, DynAdjacency, LocalAdjacency};
+pub use infer::{
+    forward_targets, forward_targets_local, forward_targets_with_field, ReceptiveField,
+};
 pub use model::{ForwardHook, Gnn, GnnKind, IdentityHook, ModelConfig};
 pub use train::{accuracy, TrainReport, Trainer};

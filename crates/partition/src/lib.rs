@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod coarsen;
+pub mod halo;
 pub mod initial;
 pub mod partitioning;
 pub mod refine;
 pub mod wgraph;
 
+pub use halo::ShardSpec;
 pub use partitioning::{Partitioning, SparseConnections};
 pub use wgraph::WGraph;
 

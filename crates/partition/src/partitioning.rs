@@ -8,6 +8,10 @@ use mega_graph::{Graph, NodeId};
 pub struct Partitioning {
     assignment: Vec<u32>,
     k: usize,
+    /// Node count per part, maintained incrementally so append-heavy
+    /// dynamic growth ([`Partitioning::push_balanced`]) stays `O(k)` per
+    /// add instead of rescanning the assignment.
+    sizes: Vec<usize>,
 }
 
 /// Classification of a graph's edges under a partitioning, in the paper's
@@ -35,7 +39,15 @@ impl Partitioning {
             assignment.iter().all(|&p| (p as usize) < k),
             "part id out of range"
         );
-        Self { assignment, k }
+        let mut sizes = vec![0usize; k];
+        for &p in &assignment {
+            sizes[p as usize] += 1;
+        }
+        Self {
+            assignment,
+            k,
+            sizes,
+        }
     }
 
     /// Number of parts.
@@ -63,15 +75,36 @@ impl Partitioning {
     pub fn push(&mut self, part: u32) {
         assert!((part as usize) < self.k, "part id out of range");
         self.assignment.push(part);
+        self.sizes[part as usize] += 1;
     }
 
-    /// Node count per part.
+    /// Appends a freshly added node to the least-loaded part among
+    /// `neighbor_parts` (the parts of its already-assigned neighbors), so
+    /// growth preserves locality without piling onto one shard. With no
+    /// eligible neighbor part, falls back to the globally least-loaded
+    /// part. Ties break toward the lowest part id, keeping the assignment
+    /// deterministic. Returns the chosen part.
+    ///
+    /// Out-of-range entries in `neighbor_parts` are ignored rather than
+    /// panicking: callers may feed parts recorded before a re-partition.
+    pub fn push_balanced(&mut self, neighbor_parts: &[u32]) -> u32 {
+        let part = neighbor_parts
+            .iter()
+            .copied()
+            .filter(|&p| (p as usize) < self.k)
+            .min_by_key(|&p| (self.sizes[p as usize], p))
+            .unwrap_or_else(|| {
+                (0..self.k as u32)
+                    .min_by_key(|&p| (self.sizes[p as usize], p))
+                    .expect("k is positive")
+            });
+        self.push(part);
+        part
+    }
+
+    /// Node count per part (`O(k)` — maintained incrementally).
     pub fn part_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.k];
-        for &p in &self.assignment {
-            sizes[p as usize] += 1;
-        }
-        sizes
+        self.sizes.clone()
     }
 
     /// Nodes of each part, in ascending node order.
@@ -225,5 +258,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_part_id_panics() {
         let _ = Partitioning::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn push_balanced_prefers_lightest_neighbor_part() {
+        // Part 0 holds 3 nodes, part 1 holds 1.
+        let mut p = Partitioning::new(vec![0, 0, 0, 1], 2);
+        // Neighbors live in both parts: the lighter one (1) wins.
+        assert_eq!(p.push_balanced(&[0, 1, 0]), 1);
+        assert_eq!(p.part_of(4), 1);
+        // Neighbor parts now tie 3 vs 2 — still part 1.
+        assert_eq!(p.push_balanced(&[1, 0]), 1);
+        // With only heavy-part neighbors, locality still wins over balance.
+        assert_eq!(p.push_balanced(&[0]), 0);
+    }
+
+    #[test]
+    fn push_balanced_falls_back_to_global_minimum() {
+        let mut p = Partitioning::new(vec![0, 0, 1, 2], 3);
+        // No neighbors at all: globally least-loaded (tie 1 vs 2 -> 1).
+        assert_eq!(p.push_balanced(&[]), 1);
+        // Stale out-of-range neighbor parts are ignored.
+        assert_eq!(p.push_balanced(&[9]), 2);
+        assert_eq!(p.part_sizes(), vec![2, 2, 2]);
     }
 }

@@ -1,18 +1,21 @@
 //! End-to-end demo of `mega-serve`: registers the three citation datasets
-//! (plus a second architecture on Cora), drives ≥10k synthetic requests
-//! through the batched degree-aware engine on a multi-threaded worker pool,
-//! then runs a *churn* phase — streaming edge insertions and node upserts
-//! that promote a node across degree-tier boundaries while inference
-//! traffic keeps flowing — and prints a per-model summary table plus the
+//! (plus a second architecture on Cora) sharded K ways, drives ≥10k
+//! synthetic requests through the batched degree-aware engine on a
+//! shard-affine worker pool, then runs a *churn* phase — streaming edge
+//! insertions and node upserts that promote a node across degree-tier
+//! boundaries (and across shard halos) while inference traffic keeps
+//! flowing — and prints per-model and per-shard summary tables plus the
 //! engine report.
 //!
 //! ```sh
-//! cargo run --release -p mega-serve --bin serve_demo
+//! cargo run --release -p mega-serve --bin serve_demo -- --shards 4
 //! ```
 //!
-//! Knobs: `MEGA_SERVE_REQUESTS` (default 12000), `MEGA_SERVE_WORKERS`
-//! (default: all cores, at least 4), `MEGA_SERVE_SCALE` (dataset node-count
-//! scale, default 1.0).
+//! Flags: `--shards K` (default 4), `--requests N`, `--scale F`,
+//! `--workers W`. Env fallbacks: `MEGA_SERVE_REQUESTS` (default 12000),
+//! `MEGA_SERVE_WORKERS` (default: all cores, at least 4),
+//! `MEGA_SERVE_SCALE` (dataset node-count scale, default 1.0),
+//! `MEGA_SERVE_SHARDS`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,6 +38,16 @@ fn env_usize(name: &str, default: usize) -> usize {
 fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)
         .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--name value` flag, falling back to `default` when absent/malformed.
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
@@ -69,15 +82,19 @@ impl PerModel {
 }
 
 fn main() {
-    let requests = env_usize("MEGA_SERVE_REQUESTS", 12_000);
-    let workers = env_usize(
-        "MEGA_SERVE_WORKERS",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
+    let requests = arg("--requests", env_usize("MEGA_SERVE_REQUESTS", 12_000));
+    let workers = arg(
+        "--workers",
+        env_usize(
+            "MEGA_SERVE_WORKERS",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        ),
     )
     .max(4);
-    let scale = env_f64("MEGA_SERVE_SCALE", 1.0);
+    let scale = arg("--scale", env_f64("MEGA_SERVE_SCALE", 1.0));
+    let shards = arg("--shards", env_usize("MEGA_SERVE_SHARDS", 4)).max(1);
 
     let scaled = |name: &str| {
         let spec = DatasetSpec::by_name(name).expect("known dataset");
@@ -93,10 +110,11 @@ fn main() {
 
     let registry = Arc::new(ModelRegistry::new());
     let keys: Vec<ModelKey> = vec![
-        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gcn)),
-        registry.register(ModelSpec::standard(scaled("citeseer"), GnnKind::Gcn)),
-        registry.register(ModelSpec::standard(scaled("pubmed"), GnnKind::Gcn)),
-        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gin)),
+        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gcn).with_shards(shards)),
+        registry
+            .register(ModelSpec::standard(scaled("citeseer"), GnnKind::Gcn).with_shards(shards)),
+        registry.register(ModelSpec::standard(scaled("pubmed"), GnnKind::Gcn).with_shards(shards)),
+        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gin).with_shards(shards)),
     ];
     // Traffic mix over the registered models, summing to 1.
     let mix = [0.35, 0.25, 0.25, 0.15];
@@ -106,7 +124,8 @@ fn main() {
         .collect();
 
     println!(
-        "mega-serve demo — {} models over {} datasets, {workers} workers, {requests} requests",
+        "mega-serve demo — {} models over {} datasets, {workers} workers, \
+         {shards} shards/model, {requests} requests",
         keys.len(),
         3
     );
@@ -222,8 +241,9 @@ fn main() {
         std::thread::sleep(Duration::from_millis(1));
     }
     let (tier_after, bits_after) = engine.probe(churn_key, target).unwrap();
+    let (target_shard, _, _) = engine.locate(churn_key, target).unwrap();
     println!(
-        "\n[churn] node {target} promoted {bits_before}b -> {bits_after}b \
+        "\n[churn] node {target} (shard {target_shard}) promoted {bits_before}b -> {bits_after}b \
          (tier {tier_before} -> {tier_after}) after +{inserted} edges; \
          {churn_updates} updates interleaved with live traffic"
     );
@@ -308,6 +328,31 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>14} {:>14}",
+        "shard",
+        "requests",
+        "batches",
+        "halo rows",
+        "halo fetch",
+        "rebuilds",
+        "est cycles",
+        "est DRAM B"
+    );
+    for s in &report.shards {
+        println!(
+            "{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>14} {:>14}",
+            s.shard,
+            s.requests,
+            s.batches,
+            s.halo_rows,
+            s.halo_fetches,
+            s.rebuilds,
+            s.est_cycles,
+            s.est_dram_bytes
+        );
+    }
+
     println!("\nengine report:\n{report}");
 
     let expected = requests as u64 + churn_inferences;
@@ -319,13 +364,34 @@ fn main() {
     );
     assert_eq!(updates_rejected, 0, "churn deltas are all valid");
     assert!(retiered > 0, "churn must retier the target at least once");
+    assert_eq!(
+        report.shards.len(),
+        shards,
+        "per-shard metrics cover every shard"
+    );
+    assert!(
+        report.shards.iter().all(|s| s.requests > 0),
+        "every shard served traffic"
+    );
+    if shards > 1 {
+        assert!(
+            report.halo_fetches > 0,
+            "churn across shard boundaries must exchange halo rows"
+        );
+    }
+    assert!(report.est_cycles > 0, "hardware model costed the batches");
     println!(
-        "\nserve_demo OK: {} requests + {} graph updates ({} nodes retiered) \
-         over {} models on {workers} workers ({:.0} req/s end-to-end)",
+        "\nserve_demo OK: {} requests + {} graph updates ({} nodes retiered, \
+         {} halo rows exchanged) over {} models x {} shards on {workers} workers \
+         ({:.0} req/s end-to-end, est {} MEGA cycles / {} DRAM bytes)",
         report.completed,
         updates_acked,
         retiered,
+        report.halo_fetches,
         keys.len(),
-        requests as f64 / wall.as_secs_f64()
+        shards,
+        requests as f64 / wall.as_secs_f64(),
+        report.est_cycles,
+        report.est_dram_bytes
     );
 }

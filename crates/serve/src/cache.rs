@@ -31,6 +31,7 @@ use mega_tensor::Matrix;
 
 use crate::registry::ModelSpec;
 use crate::request::ModelKey;
+use crate::shard::{ShardRefresh, ShardState};
 
 /// A node whose serving precision changed because a mutation moved it
 /// across a degree-tier boundary.
@@ -61,6 +62,20 @@ pub struct UpdateEffect {
     pub retiered: Vec<Retier>,
     /// Adjacency rows refreshed by the incremental maintenance.
     pub dirty_rows: usize,
+    /// Per-shard halo-exchange work this delta triggered (only shards the
+    /// delta touched appear).
+    pub shard_refreshes: Vec<ShardRefresh>,
+    /// Shard balance after the delta: max owned count over the ideal
+    /// `n/k` (1.0 = perfectly even). Tracks how well shard-aware
+    /// placement of added nodes holds up under growth.
+    pub balance: f64,
+}
+
+impl UpdateEffect {
+    /// Total halo rows re-fetched across shards by this delta.
+    pub fn halo_refreshed(&self) -> usize {
+        self.shard_refreshes.iter().map(|r| r.halo_fetched).sum()
+    }
 }
 
 /// Everything a worker needs to execute batches for one model. Immutable
@@ -91,11 +106,19 @@ pub struct ModelArtifacts {
     pub bits: Vec<u8>,
     /// Per-node precision tier (0 = fewest bits).
     pub tiers: Vec<usize>,
-    /// Graph partitioning used for batch locality ordering (a hint;
-    /// extended heuristically for added nodes, not re-partitioned).
+    /// The k-way partitioning shards are cut along. Doubles as the batch
+    /// locality order; extended via [`Partitioning::push_balanced`] for
+    /// added nodes, never re-partitioned in place.
     pub partitioning: Partitioning,
+    /// Per-shard adjacency/feature slices (one per part), kept coherent
+    /// with the global state by [`ModelArtifacts::apply_delta`]'s halo
+    /// exchange. Batches execute against these, not the global arrays.
+    pub shards: Vec<ShardState>,
     /// The policy that produced `bits`/`tiers`.
     pub policy: DegreePolicy,
+    /// Weight bitwidth the model was quantized at (for hardware-model
+    /// estimates).
+    pub weight_bits: u8,
     /// Whether input rows follow the degree profile (dense inputs) or stay
     /// at 1 bit (binary bag-of-words).
     pub input_follows_degree: bool,
@@ -168,11 +191,27 @@ impl ModelArtifacts {
         let graph = DynamicGraph::from_graph(&dataset.graph);
         let adjacency = DynAdjacency::build(&graph, spec.kind.aggregator(spec.dataset.seed));
 
-        let k = spec.partitions.clamp(1, dataset.graph.num_nodes().max(1));
+        let k = spec.shards.clamp(1, dataset.graph.num_nodes().max(1));
         let partitioning = partition(
             &dataset.graph,
             &PartitionConfig::new(k).with_seed(spec.dataset.seed),
         );
+        // One slice per part: local remapped adjacency + owned/halo feature
+        // rows. The halo depth is the model's layer count so every owned
+        // target's receptive field is resident.
+        let hops = model.config().layers;
+        let shards = (0..k as u32)
+            .map(|p| {
+                ShardState::extract(
+                    p,
+                    &partitioning,
+                    &graph,
+                    &adjacency,
+                    dataset.features(),
+                    hops,
+                )
+            })
+            .collect();
         // The live topology is `graph`; drop the frozen snapshot so it can
         // neither waste memory nor serve stale degrees after mutations.
         dataset.graph = mega_graph::Graph::from_directed_edges(0, vec![]);
@@ -187,7 +226,9 @@ impl ModelArtifacts {
             bits,
             tiers,
             partitioning,
+            shards,
             policy: spec.policy.clone(),
+            weight_bits: spec.weight_bits,
             input_follows_degree,
             version: 0,
         }
@@ -233,24 +274,30 @@ impl ModelArtifacts {
                 .push_row(&node_features[i]);
             self.bits.push(0);
             self.tiers.push(usize::MAX);
-            // Locality hint: co-locate with the first already-assigned
-            // neighbor, else park in part 0.
+            // Shard-aware placement: the least-loaded shard among the
+            // neighbors' shards keeps the new node's receptive field local
+            // without piling growth onto one shard; an unconnected node
+            // falls back to the globally least-loaded shard.
             let assigned = |u: &&NodeId| (**u as usize) < v as usize;
-            let part = self
+            let neighbor_parts: Vec<u32> = self
                 .graph
                 .in_neighbors(v as usize)
                 .iter()
-                .find(assigned)
-                .or_else(|| self.graph.out_neighbors(v as usize).iter().find(assigned))
+                .filter(assigned)
+                .chain(self.graph.out_neighbors(v as usize).iter().filter(assigned))
                 .map(|&u| self.partitioning.part_of(u as usize))
-                .unwrap_or(0);
-            self.partitioning.push(part);
+                .collect();
+            self.partitioning.push_balanced(&neighbor_parts);
         }
 
-        let dirty_rows = self.adjacency.apply(&self.graph, &effect);
+        let adjacency_dirty = self.adjacency.apply_dirty(&self.graph, &effect);
+        let dirty_rows = adjacency_dirty.len();
 
         // Re-tier every node whose in-degree changed, plus the added nodes.
+        // `feature_dirty` collects the nodes whose *quantized feature row*
+        // was rewritten — shards holding them as halo copies must re-fetch.
         let mut retiered = Vec::new();
+        let mut feature_dirty: Vec<NodeId> = Vec::new();
         let added_start = self.num_nodes() - effect.added_nodes.len();
         for &v in effect.rows_changed.iter().chain(&effect.added_nodes) {
             let vu = v as usize;
@@ -289,12 +336,20 @@ impl ModelArtifacts {
                     .row_mut(vu)
                     .copy_from_slice(self.raw_features.row(vu));
                 quantize_row(features.row_mut(vu), input_bits);
+                feature_dirty.push(v);
             }
         }
         // Added nodes untouched by any edge op still need their tier
         // finalized (degree 0) — handled above via the chained iterator,
         // but an added node may appear in `rows_changed` too; the `is_new`
         // branch is idempotent so double-processing is harmless.
+
+        let shard_refreshes = self.exchange_halos(
+            &effect.added_nodes,
+            &effect.rows_changed,
+            &adjacency_dirty,
+            feature_dirty,
+        );
 
         self.version += 1;
         Ok(UpdateEffect {
@@ -303,7 +358,75 @@ impl ModelArtifacts {
             added_nodes: effect.added_nodes,
             retiered,
             dirty_rows,
+            shard_refreshes,
+            balance: self.partitioning.balance(),
         })
+    }
+
+    /// The halo-exchange step: routes every dirtied row to the shards that
+    /// replicate it. Untouched shards keep serving their hot slices
+    /// without any synchronization beyond the entry lock; touched shards
+    /// take one of two paths:
+    ///
+    /// * **Rebuild** (`O(shard)`) when membership may have moved — the
+    ///   delta added a node this shard now owns, or changed the
+    ///   in-neighbor *set* of a resident node (`rows_changed`); the L-hop
+    ///   closure is re-extracted and exactly the new/stale halo copies are
+    ///   charged as fetches.
+    /// * **In-place refresh** (`O(dirty)`) when only row *values* moved —
+    ///   GCN renormalization dirt on neighbor rows, or re-tiered feature
+    ///   rows; membership is a function of in-neighbor sets, so the
+    ///   resident rows are re-sliced/re-copied without re-extraction.
+    fn exchange_halos(
+        &mut self,
+        added_nodes: &[NodeId],
+        rows_changed: &[NodeId],
+        adjacency_dirty: &[NodeId],
+        feature_dirty: Vec<NodeId>,
+    ) -> Vec<ShardRefresh> {
+        let mut dirty: Vec<NodeId> = adjacency_dirty.to_vec();
+        dirty.extend_from_slice(&feature_dirty);
+        dirty.sort_unstable();
+        dirty.dedup();
+        if dirty.is_empty() && added_nodes.is_empty() {
+            return Vec::new();
+        }
+        let hops = self.model.config().layers;
+        let mut refreshes = Vec::new();
+        for shard in &mut self.shards {
+            let gained_node = added_nodes
+                .iter()
+                .any(|&v| self.partitioning.part_of(v as usize) == shard.part);
+            let membership_dirty = gained_node || rows_changed.iter().any(|&v| shard.contains(v));
+            if membership_dirty {
+                refreshes.push(shard.rebuild(
+                    &self.partitioning,
+                    &self.graph,
+                    &self.adjacency,
+                    self.dataset.features(),
+                    hops,
+                    &dirty,
+                ));
+            } else if dirty.iter().any(|&v| shard.contains(v)) {
+                refreshes.push(shard.refresh_rows(
+                    &self.adjacency,
+                    self.dataset.features(),
+                    adjacency_dirty,
+                    &feature_dirty,
+                ));
+            }
+        }
+        refreshes
+    }
+
+    /// The shard owning `node` (its partition).
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.partitioning.part_of(node as usize)
+    }
+
+    /// The resident state of shard `part`, if it exists.
+    pub fn shard(&self, part: u32) -> Option<&ShardState> {
+        self.shards.get(part as usize)
     }
 
     /// Number of nodes this model currently serves (live topology).

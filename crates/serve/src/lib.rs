@@ -9,29 +9,41 @@
 //! a serving architecture:
 //!
 //! ```text
-//!  submit()──► degree-aware policy ──► BatchScheduler ──► mpsc ──► WorkerPool
-//!              (tier = f(in-degree))   buckets by          │        (std threads)
-//!                                      (model, tier);      │   sliced quantized
-//!                                      flush on size       │   forward over the
-//!                                      or deadline         │   batch's receptive
-//!                                                          ▼   field
-//!                    ArtifactCache (LRU): Dataset, quantized Gnn,
-//!                    adjacency Ã, METIS-like partitioning, bit profile
+//!  submit()──► degree-aware policy ──► BatchScheduler ──► WorkRouter ──► WorkerPool
+//!              shard = owner(node)     buckets by           (model,       one lane per
+//!              tier  = f(in-degree)    (model, shard,        shard) ──►   worker; a shard's
+//!                                      tier); flush on       lane hash    batches always hit
+//!                                      size or deadline                   the same thread
+//!                                                                │
+//!                    ArtifactCache (LRU): quantized Gnn, live    ▼  forward over the
+//!                    DynamicGraph + Ã, K-way partitioning, and   shard-local slice;
+//!                    per-shard slices (local adjacency + owned   halo rows splice in
+//!                    rows + L-hop halo feature copies)           cross-shard fields
 //! ```
 //!
 //! * [`ModelRegistry`] holds [`ModelSpec`]s — recipes for everything a
 //!   model needs (dataset, architecture, [`mega_quant::DegreePolicy`],
-//!   weight bits, partition count).
+//!   weight bits, shard count).
 //! * [`ArtifactCache`] LRU-shares the heavy artifacts across workers and
 //!   builds each at most once; entries sit behind a readers/writer lock so
 //!   graph mutations serialize against batch execution.
-//! * [`BatchScheduler`] coalesces requests per (model, precision-tier)
-//!   bucket and flushes on size or deadline.
-//! * [`WorkerPool`] executes batches with
-//!   [`mega_gnn::infer::forward_targets`], which touches only the batch's
-//!   receptive field and is bit-exact regardless of batch composition.
+//! * [`BatchScheduler`] coalesces requests per (model, shard,
+//!   precision-tier) bucket and flushes on size or deadline.
+//! * [`WorkerPool`] is *shard-affine*: [`WorkRouter`] pins every
+//!   `(model, shard)` to one worker lane, and the worker executes batches
+//!   with [`mega_gnn::forward_targets_local`] over the shard's own
+//!   adjacency/feature slice ([`ShardState`]) — bit-exact with the global
+//!   pass regardless of batch composition or shard count.
 //! * [`Metrics`] tracks throughput, latency percentiles (log histogram),
-//!   per-bitwidth counts, and flush/cache behaviour.
+//!   per-bitwidth counts, flush/cache behaviour, per-shard halo traffic,
+//!   and an analytic MEGA hardware estimate (cycles / DRAM bytes) per
+//!   shard-batch.
+//!
+//! Cross-shard receptive fields are *halo-exchanged* rather than read from
+//! global state: each shard replicates the L-hop in-neighborhood of its
+//! owned nodes ([`mega_partition::ShardSpec`]), and a graph delta routes
+//! every dirtied row to the shards replicating it, re-fetching exactly the
+//! stale halo copies (counted in [`Metrics`] and [`UpdateResponse`]).
 //!
 //! Graphs are *mutable while serving*: [`ServeEngine::submit_update`]
 //! routes a [`mega_graph::GraphDelta`] (edge upserts/removals, node
@@ -79,16 +91,18 @@ pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod scheduler;
+pub mod shard;
 pub mod worker;
 
 pub use cache::{ArtifactCache, ModelArtifacts, ModelEntry, Retier, UpdateEffect};
-pub use metrics::{LogHistogram, Metrics, MetricsReport};
+pub use metrics::{LogHistogram, Metrics, MetricsReport, ShardReport, ShardStat};
 pub use registry::{ModelRegistry, ModelSpec};
 pub use request::{
     InferenceRequest, InferenceResponse, ModelKey, ServeResponse, UpdateRequest, UpdateResponse,
 };
 pub use scheduler::{Batch, BatchScheduler, FlushReason, SchedulerConfig, WorkItem};
-pub use worker::{batch_logits, WorkerPool};
+pub use shard::{HwEstimate, ShardRefresh, ShardState};
+pub use worker::{batch_logits, shard_logits, WorkRouter, WorkerPool};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
@@ -177,20 +191,25 @@ impl ServeEngine {
         config: ServeConfig,
         registry: Arc<ModelRegistry>,
     ) -> (Self, Receiver<ServeResponse>) {
-        let (work_tx, work_rx) = mpsc::channel();
         let (response_tx, response_rx) = mpsc::channel();
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
         let metrics = Arc::new(Metrics::default());
-        let scheduler = Arc::new(BatchScheduler::new(config.scheduler.clone(), work_tx));
-        let pool = WorkerPool::spawn(
+        // Workers first: each owns a private lane, and the router pinning
+        // (model, shard) pairs to lanes becomes the scheduler's output.
+        let updates = Arc::new(scheduler::UpdateQueue::default());
+        let (pool, router) = WorkerPool::spawn(
             config.workers,
-            work_rx,
             registry.clone(),
             cache.clone(),
-            scheduler.update_queue(),
+            updates.clone(),
             metrics.clone(),
             response_tx,
         );
+        let scheduler = Arc::new(BatchScheduler::with_updates(
+            config.scheduler.clone(),
+            router,
+            updates,
+        ));
         let shutdown = Arc::new(AtomicBool::new(false));
         let sweeper = {
             let scheduler = scheduler.clone();
@@ -236,13 +255,14 @@ impl ServeEngine {
     /// request id; the response arrives on the stream returned by
     /// [`ServeEngine::start`].
     pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<u64, ServeError> {
-        let (tier, bits) = self.probe(key, node)?;
+        let (shard, tier, bits) = self.locate(key, node)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let request = InferenceRequest {
             id,
             model: key.clone(),
             node,
+            shard,
             tier,
             bits,
             submitted_at: Instant::now(),
@@ -293,6 +313,14 @@ impl ServeEngine {
     /// at — observably changes when updates move the node across a tier
     /// boundary.
     pub fn probe(&self, key: &ModelKey, node: NodeId) -> Result<(usize, u8), ServeError> {
+        let (_, tier, bits) = self.locate(key, node)?;
+        Ok((tier, bits))
+    }
+
+    /// Where and how `node` is served right now: `(shard, tier, bits)`.
+    /// The shard is the partition owning the node; requests route to that
+    /// shard's affine worker and execute against its local slice.
+    pub fn locate(&self, key: &ModelKey, node: NodeId) -> Result<(u32, usize, u8), ServeError> {
         let spec = self
             .registry
             .get(key)
@@ -307,7 +335,11 @@ impl ServeEngine {
                 nodes: artifacts.num_nodes(),
             });
         }
-        Ok((artifacts.node_tier(node), artifacts.node_bits(node)))
+        Ok((
+            artifacts.shard_of(node),
+            artifacts.node_tier(node),
+            artifacts.node_bits(node),
+        ))
     }
 
     /// Requests waiting in scheduler buckets (not yet dispatched).

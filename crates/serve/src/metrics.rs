@@ -1,8 +1,15 @@
-//! Lock-free serving metrics: throughput, latency percentiles, per-bitwidth
-//! request counts, and batch/cache accounting.
+//! Serving metrics: throughput, latency percentiles, per-bitwidth request
+//! counts, batch/cache accounting, per-shard halo-exchange traffic, and
+//! the analytic MEGA hardware-cost estimate. All counters are atomics;
+//! the only lock is the read-mostly `RwLock` around the grow-on-demand
+//! per-shard table, so worker lanes recording batches never serialize on
+//! each other once a shard's slot exists.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
+
+use crate::shard::HwEstimate;
 
 /// Sub-bucket resolution bits of the log histogram (HdrHistogram-style).
 const SUB_BITS: u32 = 4;
@@ -86,6 +93,28 @@ impl LogHistogram {
     }
 }
 
+/// Per-shard serving counters. Shards of different models sharing an index
+/// aggregate into the same slot (the engine-wide view; per-model shard
+/// state lives in the artifacts).
+#[derive(Default)]
+pub struct ShardStat {
+    /// Requests answered from this shard's slice.
+    pub requests: AtomicU64,
+    /// Batches executed against this shard's slice.
+    pub batches: AtomicU64,
+    /// Receptive-field rows that resolved from halo copies (cross-shard
+    /// reads on the batch path).
+    pub halo_rows: AtomicU64,
+    /// Halo rows re-fetched by update-driven halo exchanges.
+    pub halo_fetches: AtomicU64,
+    /// Slice rebuilds triggered by mutations.
+    pub rebuilds: AtomicU64,
+    /// Estimated MEGA cycles across this shard's batches.
+    pub est_cycles: AtomicU64,
+    /// Estimated DRAM bytes across this shard's batches.
+    pub est_dram_bytes: AtomicU64,
+}
+
 /// Aggregate serving counters. All methods are safe to call concurrently
 /// from every worker and the submitting thread.
 #[derive(Default)]
@@ -121,6 +150,16 @@ pub struct Metrics {
     /// Adjacency rows incrementally refreshed across all updates (the
     /// mutation-cost proxy, mirroring `rows_computed` for inference).
     pub rows_refreshed: AtomicU64,
+    /// Halo rows re-fetched across all halo exchanges.
+    pub halo_fetches: AtomicU64,
+    /// Receptive-field rows resolved from halo copies across all batches.
+    pub halo_rows: AtomicU64,
+    /// Estimated MEGA cycles across all batches (hardware-model feedback).
+    pub est_cycles: AtomicU64,
+    /// Estimated DRAM bytes across all batches.
+    pub est_dram_bytes: AtomicU64,
+    /// Per-shard counters, grown on demand behind a read-mostly lock.
+    shards: RwLock<Vec<Arc<ShardStat>>>,
 }
 
 impl Metrics {
@@ -150,6 +189,52 @@ impl Metrics {
                 .fetch_add(dirty_rows as u64, Ordering::Relaxed);
         } else {
             self.updates_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The counters of `shard`, growing the table on first sight. The
+    /// common case (slot exists) takes only a read lock, so concurrent
+    /// worker lanes do not serialize against each other.
+    pub fn shard_stat(&self, shard: u32) -> Arc<ShardStat> {
+        {
+            let shards = self.shards.read().expect("shard stats poisoned");
+            if let Some(stat) = shards.get(shard as usize) {
+                return stat.clone();
+            }
+        }
+        let mut shards = self.shards.write().expect("shard stats poisoned");
+        while shards.len() <= shard as usize {
+            shards.push(Arc::new(ShardStat::default()));
+        }
+        shards[shard as usize].clone()
+    }
+
+    /// Records one batch executed against a shard slice.
+    pub fn record_shard_batch(&self, shard: u32, size: usize, halo_rows: usize, est: HwEstimate) {
+        self.halo_rows
+            .fetch_add(halo_rows as u64, Ordering::Relaxed);
+        self.est_cycles.fetch_add(est.cycles, Ordering::Relaxed);
+        self.est_dram_bytes
+            .fetch_add(est.dram_bytes, Ordering::Relaxed);
+        let stat = self.shard_stat(shard);
+        stat.requests.fetch_add(size as u64, Ordering::Relaxed);
+        stat.batches.fetch_add(1, Ordering::Relaxed);
+        stat.halo_rows
+            .fetch_add(halo_rows as u64, Ordering::Relaxed);
+        stat.est_cycles.fetch_add(est.cycles, Ordering::Relaxed);
+        stat.est_dram_bytes
+            .fetch_add(est.dram_bytes, Ordering::Relaxed);
+    }
+
+    /// Records one shard's halo exchange after an applied update.
+    pub fn record_shard_sync(&self, shard: u32, halo_fetched: usize, rebuilt: bool) {
+        self.halo_fetches
+            .fetch_add(halo_fetched as u64, Ordering::Relaxed);
+        let stat = self.shard_stat(shard);
+        stat.halo_fetches
+            .fetch_add(halo_fetched as u64, Ordering::Relaxed);
+        if rebuilt {
+            stat.rebuilds.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -189,6 +274,27 @@ impl Metrics {
             updates_failed: self.updates_failed.load(Ordering::Relaxed),
             nodes_retiered: self.nodes_retiered.load(Ordering::Relaxed),
             rows_refreshed: self.rows_refreshed.load(Ordering::Relaxed),
+            halo_fetches: self.halo_fetches.load(Ordering::Relaxed),
+            halo_rows: self.halo_rows.load(Ordering::Relaxed),
+            est_cycles: self.est_cycles.load(Ordering::Relaxed),
+            est_dram_bytes: self.est_dram_bytes.load(Ordering::Relaxed),
+            shards: self
+                .shards
+                .read()
+                .expect("shard stats poisoned")
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardReport {
+                    shard: i as u32,
+                    requests: s.requests.load(Ordering::Relaxed),
+                    batches: s.batches.load(Ordering::Relaxed),
+                    halo_rows: s.halo_rows.load(Ordering::Relaxed),
+                    halo_fetches: s.halo_fetches.load(Ordering::Relaxed),
+                    rebuilds: s.rebuilds.load(Ordering::Relaxed),
+                    est_cycles: s.est_cycles.load(Ordering::Relaxed),
+                    est_dram_bytes: s.est_dram_bytes.load(Ordering::Relaxed),
+                })
+                .collect(),
             cache_hits,
             cache_misses,
             cache_hit_rate: if lookups > 0 {
@@ -198,6 +304,27 @@ impl Metrics {
             },
         }
     }
+}
+
+/// Point-in-time per-shard counters inside a [`MetricsReport`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: u32,
+    /// Requests answered from this shard's slice.
+    pub requests: u64,
+    /// Batches executed against this shard's slice.
+    pub batches: u64,
+    /// Receptive-field rows resolved from halo copies.
+    pub halo_rows: u64,
+    /// Halo rows re-fetched by halo exchanges.
+    pub halo_fetches: u64,
+    /// Slice rebuilds under mutation.
+    pub rebuilds: u64,
+    /// Estimated MEGA cycles over this shard's batches.
+    pub est_cycles: u64,
+    /// Estimated DRAM bytes over this shard's batches.
+    pub est_dram_bytes: u64,
 }
 
 /// A rendered snapshot of [`Metrics`].
@@ -239,6 +366,16 @@ pub struct MetricsReport {
     pub nodes_retiered: u64,
     /// Adjacency rows incrementally refreshed by updates.
     pub rows_refreshed: u64,
+    /// Halo rows re-fetched across shards by update-driven exchanges.
+    pub halo_fetches: u64,
+    /// Receptive-field rows resolved from halo copies across batches.
+    pub halo_rows: u64,
+    /// Estimated MEGA cycles across all batches.
+    pub est_cycles: u64,
+    /// Estimated DRAM bytes across all batches.
+    pub est_dram_bytes: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardReport>,
     /// Artifact-cache hits.
     pub cache_hits: u64,
     /// Artifact-cache misses (builds).
@@ -284,6 +421,30 @@ impl std::fmt::Display for MetricsReport {
                 self.updates_failed,
                 self.nodes_retiered,
                 self.rows_refreshed
+            )?;
+        }
+        writeln!(
+            f,
+            "hw model    {:>10} est MEGA cycles / {} est DRAM bytes across batches",
+            self.est_cycles, self.est_dram_bytes
+        )?;
+        writeln!(
+            f,
+            "halo        {:>10} cross-shard rows read, {} halo rows exchanged",
+            self.halo_rows, self.halo_fetches
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "shard {:<5} {:>10} req / {} batches, {} halo rows, {} fetched, {} rebuilds, est {} cyc / {} B",
+                s.shard,
+                s.requests,
+                s.batches,
+                s.halo_rows,
+                s.halo_fetches,
+                s.rebuilds,
+                s.est_cycles,
+                s.est_dram_bytes
             )?;
         }
         write!(

@@ -21,21 +21,29 @@ pub struct ModelSpec {
     pub policy: DegreePolicy,
     /// Bitwidth for (static) weights.
     pub weight_bits: u8,
-    /// Partition count for batch locality ordering.
-    pub partitions: usize,
+    /// Shard count: the graph is partitioned into this many parts, each
+    /// served from its own adjacency/feature slice by a shard-affine
+    /// worker (also the locality-ordering granularity for batches).
+    pub shards: usize,
 }
 
 impl ModelSpec {
-    /// A spec with the paper-default policy, 4-bit weights, and 8
-    /// partitions.
+    /// A spec with the paper-default policy, 4-bit weights, and 4 shards.
     pub fn standard(dataset: DatasetSpec, kind: GnnKind) -> Self {
         Self {
             dataset,
             kind,
             policy: DegreePolicy::paper_default(),
             weight_bits: 4,
-            partitions: 8,
+            shards: 4,
         }
+    }
+
+    /// Replaces the shard count (clamped to the node count at build time;
+    /// `1` disables cross-shard halo exchange entirely).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// The key requests use to address this model.

@@ -41,6 +41,10 @@ pub struct InferenceRequest {
     pub model: ModelKey,
     /// The node to classify.
     pub node: NodeId,
+    /// The shard owning the node (its partition) — batches are bucketed
+    /// per shard so a shard-affine worker executes them against its local
+    /// slice.
+    pub shard: u32,
     /// Precision tier the degree-aware policy assigned (0 = fewest bits).
     pub tier: usize,
     /// Bitwidth served to this node's activations.
@@ -66,6 +70,11 @@ pub struct InferenceResponse {
     pub bits: u8,
     /// Precision tier (0 = fewest bits).
     pub tier: usize,
+    /// Shard whose slice answered the request.
+    pub shard: u32,
+    /// Receptive-field rows of this request's batch that resolved from the
+    /// shard's halo copies (cross-shard reads).
+    pub halo_rows: usize,
     /// How many requests shared this node's batch.
     pub batch_size: usize,
     /// Worker thread that executed the batch.
@@ -114,6 +123,12 @@ pub struct UpdateResponse {
     /// Adjacency rows incrementally refreshed (the cost proxy: stays
     /// proportional to the touched neighborhoods, not the graph).
     pub dirty_rows: usize,
+    /// Halo rows re-fetched across shards by the halo exchange this delta
+    /// triggered (stale cross-shard copies invalidated and refreshed).
+    pub halo_refreshed: usize,
+    /// Shard balance after the delta (max owned nodes over the ideal
+    /// `n/k`; 1.0 = perfectly even).
+    pub balance: f64,
     /// Artifact version after this update (monotone per model).
     pub version: u64,
     /// Submit-to-applied latency.

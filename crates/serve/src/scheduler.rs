@@ -1,25 +1,29 @@
-//! The batch scheduler: buckets requests by (model, precision tier) and
-//! flushes size- or deadline-triggered batches to the worker pool.
+//! The batch scheduler: buckets requests by (model, shard, precision tier)
+//! and flushes size- or deadline-triggered batches to the worker pool.
 //!
 //! Bucketing by tier keeps a batch's per-node bitwidths — and therefore its
 //! per-row cost — homogeneous, so one slow hub node does not ride along
-//! with (and delay) a batch of cheap leaf nodes.
+//! with (and delay) a batch of cheap leaf nodes. Bucketing by *shard* keeps
+//! a batch inside one partition's adjacency/feature slice, so the
+//! shard-affine worker that executes it never touches another shard's
+//! memory (emission goes through [`crate::worker::WorkRouter`], which pins
+//! each `(model, shard)` pair to one worker lane).
 //!
-//! Graph mutations ride the same output channel as inference batches
-//! (wrapped in [`WorkItem`]), so updates interleave with serving traffic on
-//! the worker pool instead of stopping the world. An update first flushes
-//! the target model's pending buckets ([`FlushReason::Barrier`]) so
-//! requests admitted before it are not left queued behind it, then parks
-//! its payload in a per-model FIFO ([`BatchScheduler::take_update`]) —
-//! workers pop from that FIFO, which serializes updates per model in
-//! submission order no matter which worker handles which token.
+//! Graph mutations ride the same output path as inference batches (wrapped
+//! in [`WorkItem`]), so updates interleave with serving traffic on the
+//! worker pool instead of stopping the world. An update first flushes the
+//! target model's pending buckets ([`FlushReason::Barrier`]) so requests
+//! admitted before it are not left queued behind it, then parks its payload
+//! in a per-model FIFO ([`BatchScheduler::take_update`]) — workers pop from
+//! that FIFO, which serializes updates per model in submission order no
+//! matter which worker handles which token.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::request::{InferenceRequest, ModelKey, UpdateRequest};
+use crate::worker::WorkRouter;
 
 /// Scheduler knobs.
 #[derive(Debug, Clone)]
@@ -54,11 +58,13 @@ pub enum FlushReason {
     Drain,
 }
 
-/// A coalesced unit of work for one (model, tier) bucket.
+/// A coalesced unit of work for one (model, shard, tier) bucket.
 #[derive(Debug)]
 pub struct Batch {
     /// The model every request in the batch targets.
     pub model: ModelKey,
+    /// The shard owning every node in the batch.
+    pub shard: u32,
     /// The precision tier every request in the batch belongs to.
     pub tier: usize,
     /// The requests, in arrival order.
@@ -126,22 +132,39 @@ impl UpdateQueue {
     }
 }
 
+/// A bucket's identity: (model, shard, tier).
+type BucketKey = (ModelKey, u32, usize);
+
 /// Size- and deadline-triggered request coalescer plus the per-model
 /// update FIFO.
 pub struct BatchScheduler {
     config: SchedulerConfig,
-    buckets: Mutex<HashMap<(ModelKey, usize), Bucket>>,
+    buckets: Mutex<HashMap<BucketKey, Bucket>>,
     updates: Arc<UpdateQueue>,
-    out: Sender<WorkItem>,
+    out: WorkRouter,
 }
 
 impl BatchScheduler {
-    /// A scheduler emitting work into `out`.
-    pub fn new(config: SchedulerConfig, out: Sender<WorkItem>) -> Self {
+    /// A scheduler emitting work through `out` (which pins each
+    /// `(model, shard)` to a worker lane). Dropping the scheduler drops the
+    /// router — and with it every lane sender — which is what lets the
+    /// worker pool drain and exit at shutdown.
+    pub fn new(config: SchedulerConfig, out: WorkRouter) -> Self {
+        Self::with_updates(config, out, Arc::new(UpdateQueue::default()))
+    }
+
+    /// Like [`BatchScheduler::new`], but parking update payloads in an
+    /// externally owned FIFO (the engine shares it with the worker pool,
+    /// which must outlive the scheduler's router).
+    pub fn with_updates(
+        config: SchedulerConfig,
+        out: WorkRouter,
+        updates: Arc<UpdateQueue>,
+    ) -> Self {
         Self {
             config,
             buckets: Mutex::new(HashMap::new()),
-            updates: Arc::new(UpdateQueue::default()),
+            updates,
             out,
         }
     }
@@ -159,7 +182,7 @@ impl BatchScheduler {
     /// Enqueues one request; flushes its bucket if that fills it. Returns
     /// `true` if a batch was emitted.
     pub fn submit(&self, request: InferenceRequest) -> bool {
-        let key = (request.model.clone(), request.tier);
+        let key = (request.model.clone(), request.shard, request.tier);
         let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
         let bucket = buckets.entry(key.clone()).or_default();
         if bucket.requests.is_empty() {
@@ -170,7 +193,7 @@ impl BatchScheduler {
             let requests = std::mem::take(&mut bucket.requests);
             bucket.oldest = None;
             drop(buckets);
-            self.emit(key.0, key.1, requests, FlushReason::Size);
+            self.emit(key.0, key.1, key.2, requests, FlushReason::Size);
             true
         } else {
             false
@@ -186,7 +209,7 @@ impl BatchScheduler {
         self.updates.push(request);
         // Receiver gone means the engine is shutting down; the update
         // stays in the FIFO and is dropped with the scheduler.
-        let _ = self.out.send(WorkItem::Update(model));
+        self.out.send(WorkItem::Update(model));
     }
 
     /// Pops the oldest pending update for `model` (delegates to the shared
@@ -198,11 +221,11 @@ impl BatchScheduler {
     /// Flushes every bucket of `model` regardless of age. Returns the
     /// number of batches emitted.
     pub fn flush_model(&self, model: &ModelKey) -> usize {
-        let drained: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+        let drained: Vec<(BucketKey, Vec<InferenceRequest>)> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
             buckets
                 .iter_mut()
-                .filter(|((m, _), b)| m == model && !b.requests.is_empty())
+                .filter(|((m, _, _), b)| m == model && !b.requests.is_empty())
                 .map(|(k, b)| {
                     b.oldest = None;
                     (k.clone(), std::mem::take(&mut b.requests))
@@ -210,8 +233,8 @@ impl BatchScheduler {
                 .collect()
         };
         let count = drained.len();
-        for ((model, tier), requests) in drained {
-            self.emit(model, tier, requests, FlushReason::Barrier);
+        for ((model, shard, tier), requests) in drained {
+            self.emit(model, shard, tier, requests, FlushReason::Barrier);
         }
         count
     }
@@ -221,9 +244,9 @@ impl BatchScheduler {
     /// Called periodically by the engine's deadline sweeper; taking `now`
     /// as a parameter keeps the policy unit-testable without sleeping.
     pub fn poll_deadlines(&self, now: Instant) -> usize {
-        let expired: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+        let expired: Vec<(BucketKey, Vec<InferenceRequest>)> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
-            let keys: Vec<(ModelKey, usize)> = buckets
+            let keys: Vec<BucketKey> = buckets
                 .iter()
                 .filter(|(_, b)| {
                     b.oldest
@@ -242,8 +265,8 @@ impl BatchScheduler {
                 .collect()
         };
         let count = expired.len();
-        for ((model, tier), requests) in expired {
-            self.emit(model, tier, requests, FlushReason::Deadline);
+        for ((model, shard, tier), requests) in expired {
+            self.emit(model, shard, tier, requests, FlushReason::Deadline);
         }
         count
     }
@@ -251,7 +274,7 @@ impl BatchScheduler {
     /// Flushes everything regardless of age (drain/shutdown path). Returns
     /// the number of batches emitted.
     pub fn flush_all(&self) -> usize {
-        let drained: Vec<((ModelKey, usize), Vec<InferenceRequest>)> = {
+        let drained: Vec<(BucketKey, Vec<InferenceRequest>)> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
             buckets
                 .iter_mut()
@@ -263,8 +286,8 @@ impl BatchScheduler {
                 .collect()
         };
         let count = drained.len();
-        for ((model, tier), requests) in drained {
-            self.emit(model, tier, requests, FlushReason::Drain);
+        for ((model, shard, tier), requests) in drained {
+            self.emit(model, shard, tier, requests, FlushReason::Drain);
         }
         count
     }
@@ -288,6 +311,7 @@ impl BatchScheduler {
     fn emit(
         &self,
         model: ModelKey,
+        shard: u32,
         tier: usize,
         requests: Vec<InferenceRequest>,
         reason: FlushReason,
@@ -297,8 +321,9 @@ impl BatchScheduler {
         }
         // Receiver gone means the engine is shutting down; dropping the
         // batch here is fine because shutdown drains first.
-        let _ = self.out.send(WorkItem::Batch(Batch {
+        self.out.send(WorkItem::Batch(Batch {
             model,
+            shard,
             tier,
             requests,
             reason,
@@ -314,10 +339,15 @@ mod tests {
     use std::sync::mpsc::{self, Receiver};
 
     fn request(id: u64, tier: usize, at: Instant) -> InferenceRequest {
+        request_on_shard(id, 0, tier, at)
+    }
+
+    fn request_on_shard(id: u64, shard: u32, tier: usize, at: Instant) -> InferenceRequest {
         InferenceRequest {
             id,
             model: ModelKey::new("Cora", GnnKind::Gcn),
             node: id as u32,
+            shard,
             tier,
             bits: 2,
             submitted_at: at,
@@ -339,7 +369,7 @@ mod tests {
                 max_batch: 3,
                 max_delay: Duration::from_secs(60),
             },
-            tx,
+            WorkRouter::single(tx),
         );
         let now = Instant::now();
         assert!(!scheduler.submit(request(0, 0, now)));
@@ -359,7 +389,7 @@ mod tests {
                 max_batch: 2,
                 max_delay: Duration::from_secs(60),
             },
-            tx,
+            WorkRouter::single(tx),
         );
         let now = Instant::now();
         scheduler.submit(request(0, 0, now));
@@ -379,7 +409,7 @@ mod tests {
             max_batch: 64,
             max_delay: Duration::from_millis(5),
         };
-        let scheduler = BatchScheduler::new(config.clone(), tx);
+        let scheduler = BatchScheduler::new(config.clone(), WorkRouter::single(tx));
         let t0 = Instant::now();
         scheduler.submit(request(0, 0, t0));
         scheduler.submit(request(1, 0, t0));
@@ -399,7 +429,7 @@ mod tests {
     #[test]
     fn flush_all_drains_every_bucket() {
         let (tx, rx) = mpsc::channel();
-        let scheduler = BatchScheduler::new(SchedulerConfig::default(), tx);
+        let scheduler = BatchScheduler::new(SchedulerConfig::default(), WorkRouter::single(tx));
         let now = Instant::now();
         scheduler.submit(request(0, 0, now));
         scheduler.submit(request(1, 3, now));
@@ -413,7 +443,7 @@ mod tests {
     #[test]
     fn updates_barrier_their_model_and_queue_fifo() {
         let (tx, rx) = mpsc::channel();
-        let scheduler = BatchScheduler::new(SchedulerConfig::default(), tx);
+        let scheduler = BatchScheduler::new(SchedulerConfig::default(), WorkRouter::single(tx));
         let now = Instant::now();
         let cora = ModelKey::new("Cora", GnnKind::Gcn);
         let other = ModelKey::new("PubMed", GnnKind::Gcn);

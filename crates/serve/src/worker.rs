@@ -1,30 +1,92 @@
-//! The worker pool: std threads pulling work from a shared channel and
-//! executing it — inference batches over the sliced quantized forward pass,
-//! and graph updates through the artifacts' incremental mutation path.
+//! The worker pool: shard-affine std threads executing inference batches
+//! over per-shard adjacency/feature slices, and graph updates through the
+//! artifacts' incremental mutation + halo-exchange path.
+//!
+//! Every worker owns a private channel lane; [`WorkRouter`] pins each
+//! `(model, shard)` pair to one lane by hash, so the worker that executes a
+//! shard's batches is always the same thread — its slice stays hot in that
+//! core's cache, which is the serving-side analogue of the paper processing
+//! one dense subgraph at a time. Updates for a model all hash to one lane
+//! too (shard-independent), preserving the per-model FIFO.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mega_gnn::infer::{forward_targets_with_field, ReceptiveField};
+use mega_gnn::infer::{forward_targets_local, forward_targets_with_field, ReceptiveField};
 use mega_graph::NodeId;
 use mega_tensor::Matrix;
 
 use crate::cache::{quantize_row, ArtifactCache, ModelArtifacts};
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
-use crate::request::{InferenceResponse, ModelKey, ServeResponse, UpdateResponse};
+use crate::request::{
+    InferenceRequest, InferenceResponse, ModelKey, ServeResponse, UpdateResponse,
+};
 use crate::scheduler::{Batch, FlushReason, UpdateQueue, WorkItem};
+use crate::shard::estimate_batch_hw;
 
-/// Executes the degree-aware quantized forward pass for `targets` and
-/// returns their logits (row `i` belongs to `targets[i]`).
+/// Routes [`WorkItem`]s to worker lanes with shard affinity: batches go to
+/// `hash(model, shard) % lanes`, update tokens to `hash(model, 0) % lanes`
+/// (so updates for one model stay on one lane; their application order is
+/// still governed by the per-model FIFO). Dropping the router drops every
+/// lane sender, which is what disconnects — and thereby terminates — the
+/// worker pool.
+pub struct WorkRouter {
+    lanes: Vec<Sender<WorkItem>>,
+}
+
+impl WorkRouter {
+    /// A router over the given lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty.
+    pub fn new(lanes: Vec<Sender<WorkItem>>) -> Self {
+        assert!(!lanes.is_empty(), "router needs at least one lane");
+        Self { lanes }
+    }
+
+    /// A single-lane router (tests and sequential consumers).
+    pub fn single(lane: Sender<WorkItem>) -> Self {
+        Self::new(vec![lane])
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane `(model, shard)` is pinned to.
+    pub fn lane_of(&self, model: &ModelKey, shard: u32) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        model.hash(&mut hasher);
+        shard.hash(&mut hasher);
+        (hasher.finish() % self.lanes.len() as u64) as usize
+    }
+
+    /// Sends an item down its affine lane. A disconnected lane means the
+    /// engine is shutting down; the item is dropped (shutdown drains
+    /// first).
+    pub fn send(&self, item: WorkItem) {
+        let lane = match &item {
+            WorkItem::Batch(batch) => self.lane_of(&batch.model, batch.shard),
+            WorkItem::Update(model) => self.lane_of(model, 0),
+        };
+        let _ = self.lanes[lane].send(item);
+    }
+}
+
+/// Executes the degree-aware quantized forward pass for `targets` against
+/// the *global* artifacts and returns their logits (row `i` belongs to
+/// `targets[i]`).
 ///
-/// This is the single execution path shared by batched serving and the
-/// sequential reference: hidden activations are re-quantized per node at
-/// the policy's bitwidth, and every arithmetic step is deterministic per
-/// node, so calling this with one target or many yields bit-identical rows.
+/// This is the sequential reference path: shard-sliced execution
+/// ([`shard_logits`]) must be — and is tested to be — bit-exact with it,
+/// because both run the same per-node arithmetic in the same order.
 pub fn batch_logits(artifacts: &ModelArtifacts, targets: &[NodeId]) -> Matrix {
     batch_logits_with_field(artifacts, targets).0
 }
@@ -47,31 +109,62 @@ pub fn batch_logits_with_field(
     )
 }
 
-/// A pool of serving threads.
+/// Executes `targets` (which must be owned by `shard`) against that shard's
+/// local slice: local adjacency, spliced halo feature rows, global
+/// degree-aware bitwidths. Bit-exact with [`batch_logits`].
+///
+/// # Panics
+///
+/// Panics if `shard` does not exist or a target is not resident in it.
+pub fn shard_logits(artifacts: &ModelArtifacts, shard: u32, targets: &[NodeId]) -> Matrix {
+    shard_logits_with_field(artifacts, shard, targets).0
+}
+
+/// [`shard_logits`] plus the local-id [`ReceptiveField`] the pass
+/// materialized.
+pub fn shard_logits_with_field(
+    artifacts: &ModelArtifacts,
+    shard: u32,
+    targets: &[NodeId],
+) -> (Matrix, ReceptiveField) {
+    let state = artifacts.shard(shard).expect("shard exists");
+    let mut transform = |_layer: usize, node: NodeId, row: &mut [f32]| {
+        quantize_row(row, artifacts.node_bits(node));
+    };
+    forward_targets_local(
+        &artifacts.model,
+        &state.features,
+        &state.adjacency,
+        targets,
+        &mut transform,
+    )
+}
+
+/// A pool of shard-affine serving threads.
 pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads consuming from `work` until the channel
-    /// disconnects (engine shutdown) and answering into `responses`.
-    /// `updates` is the scheduler's shared FIFO; workers pop update
-    /// payloads from it when an update token arrives (they never hold the
-    /// scheduler itself — its work `Sender` must die with the engine for
-    /// shutdown to disconnect this pool).
+    /// Spawns `workers` threads, each consuming its own lane until that
+    /// lane disconnects (engine shutdown), and returns the pool together
+    /// with the [`WorkRouter`] feeding it. `updates` is the scheduler's
+    /// shared FIFO; workers pop update payloads from it when an update
+    /// token arrives (they never hold the scheduler itself — its router
+    /// must die with the engine for shutdown to disconnect this pool).
     pub fn spawn(
         workers: usize,
-        work: Receiver<WorkItem>,
         registry: Arc<ModelRegistry>,
         cache: Arc<ArtifactCache>,
         updates: Arc<UpdateQueue>,
         metrics: Arc<Metrics>,
         responses: Sender<ServeResponse>,
-    ) -> Self {
-        let shared = Arc::new(Mutex::new(work));
+    ) -> (Self, WorkRouter) {
+        let mut lanes = Vec::new();
         let handles = (0..workers.max(1))
             .map(|worker_id| {
-                let shared = shared.clone();
+                let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = mpsc::channel();
+                lanes.push(tx);
                 let registry = registry.clone();
                 let cache = cache.clone();
                 let updates = updates.clone();
@@ -79,25 +172,23 @@ impl WorkerPool {
                 let responses = responses.clone();
                 std::thread::Builder::new()
                     .name(format!("mega-serve-worker-{worker_id}"))
-                    .spawn(move || loop {
-                        let item = {
-                            let rx = shared.lock().expect("work receiver poisoned");
-                            rx.recv()
-                        };
-                        match item {
-                            Ok(WorkItem::Batch(batch)) => {
-                                run_batch(worker_id, batch, &registry, &cache, &metrics, &responses)
+                    .spawn(move || {
+                        while let Ok(item) = rx.recv() {
+                            match item {
+                                WorkItem::Batch(batch) => run_batch(
+                                    worker_id, batch, &registry, &cache, &metrics, &responses,
+                                ),
+                                WorkItem::Update(model) => run_update(
+                                    worker_id, model, &registry, &cache, &updates, &metrics,
+                                    &responses,
+                                ),
                             }
-                            Ok(WorkItem::Update(model)) => run_update(
-                                worker_id, model, &registry, &cache, &updates, &metrics, &responses,
-                            ),
-                            Err(_) => break,
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { handles }
+        (Self { handles }, WorkRouter::new(lanes))
     }
 
     /// Number of threads in the pool.
@@ -110,8 +201,8 @@ impl WorkerPool {
         self.handles.is_empty()
     }
 
-    /// Waits for every worker to finish (the work channel must already be
-    /// disconnected, or this blocks forever).
+    /// Waits for every worker to finish (the router must already be
+    /// dropped, or this blocks forever).
     pub fn join(self) {
         for handle in self.handles {
             handle.join().expect("worker thread panicked");
@@ -138,10 +229,11 @@ fn run_batch(
     // and the batch observes one consistent artifact version throughout.
     let artifacts = entry.read();
 
-    // Re-registering a model can shrink its graph between submit-time
-    // validation and execution (the cache rebuilds from the new spec).
-    // Such requests are unanswerable against the current model; drop them
-    // instead of letting the forward pass panic the worker.
+    // Re-registering a model can shrink its graph or change its shard
+    // count between submit-time validation and execution (the cache
+    // rebuilds from the new spec). Such requests are unanswerable against
+    // the batch's shard; out-of-range nodes are dropped, re-sharded nodes
+    // fall back to the global reference path below.
     let (valid, stale): (Vec<_>, Vec<_>) = batch
         .requests
         .into_iter()
@@ -158,32 +250,10 @@ fn run_batch(
     if valid.is_empty() {
         return;
     }
+    let (sharded, foreign): (Vec<_>, Vec<_>) = valid.into_iter().partition(|r| {
+        artifacts.shard_of(r.node) == batch.shard && artifacts.shard(batch.shard).is_some()
+    });
 
-    // Walk the batch in partition-locality order so neighboring targets
-    // share receptive-field rows and cache lines. `order_by_part` fixes
-    // the node order; requests for the same node are answered in arrival
-    // order.
-    let nodes: Vec<NodeId> = valid.iter().map(|r| r.node).collect();
-    let targets = artifacts.partitioning.order_by_part(&nodes);
-    let mut by_node: HashMap<NodeId, VecDeque<usize>> = HashMap::new();
-    for (i, &node) in nodes.iter().enumerate() {
-        by_node.entry(node).or_default().push_back(i);
-    }
-    let order: Vec<usize> = targets
-        .iter()
-        .map(|&node| {
-            by_node
-                .get_mut(&node)
-                .and_then(VecDeque::pop_front)
-                .expect("targets is a permutation of nodes")
-        })
-        .collect();
-
-    let started = Instant::now();
-    let (logits, field) = batch_logits_with_field(&artifacts, &targets);
-    let execution = started.elapsed();
-
-    metrics.record_batch(valid.len(), field.total_rows(), execution);
     match batch.reason {
         FlushReason::Size => {
             metrics
@@ -198,9 +268,59 @@ fn run_batch(
         FlushReason::Barrier | FlushReason::Drain => {}
     }
 
-    let batch_size = valid.len();
+    if !sharded.is_empty() {
+        execute_shard_batch(
+            worker_id,
+            &artifacts,
+            batch.shard,
+            sharded,
+            metrics,
+            responses,
+        );
+    }
+    if !foreign.is_empty() {
+        // Rare re-registration race: answer through the global path rather
+        // than panic the shard slice on a non-resident target.
+        execute_global_batch(worker_id, &artifacts, foreign, metrics, responses);
+    }
+}
+
+/// Orders requests by node id (stable for duplicates), executes, answers.
+fn ordered_targets(requests: &[InferenceRequest]) -> (Vec<NodeId>, Vec<usize>) {
+    let nodes: Vec<NodeId> = requests.iter().map(|r| r.node).collect();
+    let mut targets = nodes.clone();
+    targets.sort_unstable();
+    let mut by_node: HashMap<NodeId, VecDeque<usize>> = HashMap::new();
+    for (i, &node) in nodes.iter().enumerate() {
+        by_node.entry(node).or_default().push_back(i);
+    }
+    let order: Vec<usize> = targets
+        .iter()
+        .map(|&node| {
+            by_node
+                .get_mut(&node)
+                .and_then(VecDeque::pop_front)
+                .expect("targets is a permutation of nodes")
+        })
+        .collect();
+    (targets, order)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn respond_batch(
+    worker_id: usize,
+    artifacts: &ModelArtifacts,
+    requests: &[InferenceRequest],
+    order: &[usize],
+    logits: &Matrix,
+    shard: u32,
+    halo_rows: usize,
+    responses: &Sender<ServeResponse>,
+    metrics: &Metrics,
+) {
+    let batch_size = requests.len();
     for (row, &i) in order.iter().enumerate() {
-        let request = &valid[i];
+        let request = &requests[i];
         let logits_row = logits.row(row).to_vec();
         let predicted_class = logits.argmax_row(row);
         // Bits/tier reflect the artifacts the batch *executed against*; a
@@ -213,6 +333,8 @@ fn run_batch(
             logits: logits_row,
             bits: artifacts.node_bits(request.node),
             tier: artifacts.node_tier(request.node),
+            shard,
+            halo_rows,
             batch_size,
             worker: worker_id,
             latency: request.submitted_at.elapsed(),
@@ -222,6 +344,55 @@ fn run_batch(
         // draining so shutdown still completes.
         let _ = responses.send(ServeResponse::Inference(response));
     }
+}
+
+fn execute_shard_batch(
+    worker_id: usize,
+    artifacts: &ModelArtifacts,
+    shard: u32,
+    requests: Vec<InferenceRequest>,
+    metrics: &Metrics,
+    responses: &Sender<ServeResponse>,
+) {
+    let (targets, order) = ordered_targets(&requests);
+    let started = Instant::now();
+    let (logits, field) = shard_logits_with_field(artifacts, shard, &targets);
+    let execution = started.elapsed();
+
+    let state = artifacts.shard(shard).expect("shard exists");
+    let halo_rows = state.halo_rows_in(&field);
+    // Hardware-model feedback: what would this batch cost on MEGA?
+    let est = estimate_batch_hw(
+        state,
+        &field,
+        artifacts.model.config(),
+        artifacts.weight_bits,
+        artifacts.dataset.spec.feature_density,
+        |v| artifacts.node_bits(v),
+    );
+    metrics.record_batch(requests.len(), field.total_rows(), execution);
+    metrics.record_shard_batch(shard, requests.len(), halo_rows, est);
+    respond_batch(
+        worker_id, artifacts, &requests, &order, &logits, shard, halo_rows, responses, metrics,
+    );
+}
+
+fn execute_global_batch(
+    worker_id: usize,
+    artifacts: &ModelArtifacts,
+    requests: Vec<InferenceRequest>,
+    metrics: &Metrics,
+    responses: &Sender<ServeResponse>,
+) {
+    let (targets, order) = ordered_targets(&requests);
+    let started = Instant::now();
+    let (logits, field) = batch_logits_with_field(artifacts, &targets);
+    let execution = started.elapsed();
+    metrics.record_batch(requests.len(), field.total_rows(), execution);
+    let shard = targets.first().map(|&t| artifacts.shard_of(t)).unwrap_or(0);
+    respond_batch(
+        worker_id, artifacts, &requests, &order, &logits, shard, 0, responses, metrics,
+    );
 }
 
 fn run_update(
@@ -246,15 +417,26 @@ fn run_update(
     let outcome = entry.update(|artifacts| {
         updates.pop(&model).map(|update| {
             let result = artifacts.apply_delta(&update.delta, &update.node_features);
-            (update, result, artifacts.version)
+            // A rejected delta changed nothing; report the standing
+            // balance (the success path carries it in the effect).
+            let balance = if result.is_err() {
+                artifacts.partitioning.balance()
+            } else {
+                0.0
+            };
+            (update, result, artifacts.version, balance)
         })
     });
-    let Some((update, result, version)) = outcome else {
+    let Some((update, result, version, balance)) = outcome else {
         return;
     };
     let response = match result {
         Ok(effect) => {
             metrics.record_update(true, effect.retiered.len(), effect.dirty_rows);
+            for refresh in &effect.shard_refreshes {
+                metrics.record_shard_sync(refresh.shard, refresh.halo_fetched, refresh.rebuilt);
+            }
+            let halo_refreshed = effect.halo_refreshed();
             UpdateResponse {
                 id: update.id,
                 model,
@@ -264,6 +446,8 @@ fn run_update(
                 added_nodes: effect.added_nodes,
                 retiered: effect.retiered,
                 dirty_rows: effect.dirty_rows,
+                halo_refreshed,
+                balance: effect.balance,
                 version,
                 latency: update.submitted_at.elapsed(),
                 worker: worker_id,
@@ -280,6 +464,8 @@ fn run_update(
                 added_nodes: Vec::new(),
                 retiered: Vec::new(),
                 dirty_rows: 0,
+                halo_refreshed: 0,
+                balance,
                 version,
                 latency: update.submitted_at.elapsed(),
                 worker: worker_id,
@@ -340,5 +526,43 @@ mod tests {
         for c in 0..a.dataset.spec.num_classes {
             assert_eq!(solo.get(0, c).to_bits(), grouped.get(1, c).to_bits());
         }
+    }
+
+    #[test]
+    fn shard_execution_matches_global_reference() {
+        let a = artifacts();
+        for node in (0..a.num_nodes() as NodeId).step_by(9) {
+            let shard = a.shard_of(node);
+            let sliced = shard_logits(&a, shard, &[node]);
+            let global = batch_logits(&a, &[node]);
+            for c in 0..a.dataset.spec.num_classes {
+                assert_eq!(
+                    sliced.get(0, c).to_bits(),
+                    global.get(0, c).to_bits(),
+                    "node {node} diverged between shard slice and global pass"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn router_pins_model_shard_pairs_to_lanes() {
+        let (tx0, rx0) = mpsc::channel();
+        let (tx1, rx1) = mpsc::channel();
+        let router = WorkRouter::new(vec![tx0, tx1]);
+        let cora = ModelKey::new("Cora", GnnKind::Gcn);
+        assert_eq!(router.lanes(), 2);
+        let lane = router.lane_of(&cora, 3);
+        assert_eq!(lane, router.lane_of(&cora, 3), "affinity is stable");
+        router.send(WorkItem::Update(cora.clone()));
+        let update_lane = router.lane_of(&cora, 0);
+        let received = if update_lane == 0 {
+            rx0.try_recv()
+        } else {
+            rx1.try_recv()
+        };
+        assert!(matches!(received, Ok(WorkItem::Update(_))));
+        drop(router);
+        assert!(rx0.try_recv().is_err() && rx1.try_recv().is_err());
     }
 }

@@ -1,0 +1,304 @@
+//! The sharding acceptance suite: serving through per-shard slices must be
+//! *bit-exact* with the global (unsharded) pass — for every aggregator,
+//! for K ∈ {1, 2, 4}, and crucially *after* graph deltas that cross shard
+//! boundaries (the halo-exchange path). A property test drives random
+//! mutation streams through both paths and compares every node's logits.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mega_gnn::GnnKind;
+use mega_graph::{DatasetSpec, GraphDelta, NodeId};
+use mega_serve::{
+    batch_logits, shard_logits, ModelArtifacts, ModelRegistry, ModelSpec, SchedulerConfig,
+    ServeConfig, ServeEngine,
+};
+use proptest::prelude::*;
+
+const KINDS: [GnnKind; 3] = [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage];
+
+fn spec(kind: GnnKind, shards: usize) -> ModelSpec {
+    ModelSpec::standard(DatasetSpec::cora().scaled(0.08).with_feature_dim(48), kind)
+        .with_shards(shards)
+}
+
+/// Every owned node of every shard yields the same bits through the shard
+/// slice as through the global adjacency.
+fn assert_sharded_equals_global(artifacts: &ModelArtifacts, stride: usize) {
+    let classes = artifacts.dataset.spec.num_classes;
+    for node in (0..artifacts.num_nodes() as NodeId).step_by(stride.max(1)) {
+        let shard = artifacts.shard_of(node);
+        let sliced = shard_logits(artifacts, shard, &[node]);
+        let global = batch_logits(artifacts, &[node]);
+        for c in 0..classes {
+            assert_eq!(
+                sliced.get(0, c).to_bits(),
+                global.get(0, c).to_bits(),
+                "node {node} (shard {shard}) diverged from the global pass"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_is_bit_exact_for_every_kind_and_k() {
+    for kind in KINDS {
+        for k in [1usize, 2, 4] {
+            let artifacts = ModelArtifacts::build(&spec(kind, k));
+            assert_eq!(artifacts.shards.len(), k);
+            // Every shard's slice is internally consistent.
+            for shard in &artifacts.shards {
+                assert_eq!(shard.num_locals(), shard.owned.len() + shard.halo.len());
+                assert_eq!(shard.features.rows(), shard.num_locals());
+                if k == 1 {
+                    assert!(shard.halo.is_empty(), "K=1 has no cross-shard edges");
+                }
+            }
+            assert_sharded_equals_global(&artifacts, 7);
+        }
+    }
+}
+
+/// A delta engineered to cross shard boundaries: edges between nodes owned
+/// by different shards, plus a node add wired across shards and a removal.
+fn cross_shard_delta(artifacts: &ModelArtifacts) -> (GraphDelta, Vec<Vec<f32>>) {
+    let n = artifacts.num_nodes() as NodeId;
+    let part0 = (0..n)
+        .find(|&v| artifacts.shard_of(v) == 0)
+        .expect("shard 0 owns nodes");
+    let other = (0..n)
+        .find(|&v| artifacts.shard_of(v) != artifacts.shard_of(part0))
+        .unwrap_or((part0 + 1) % n);
+    let mut delta = GraphDelta::new();
+    delta.insert_edge(other, part0).insert_edge(part0, other);
+    if let Some(&victim_src) = artifacts.graph.in_neighbors(other as usize).first() {
+        delta.remove_edge(victim_src, other);
+    }
+    delta.add_node();
+    delta.insert_edge(n, part0).insert_edge(other, n);
+    let dim = artifacts.raw_features.dim();
+    (delta, vec![vec![0.4; dim]])
+}
+
+#[test]
+fn sharded_stays_bit_exact_after_cross_shard_deltas() {
+    for kind in KINDS {
+        for k in [2usize, 4] {
+            let mut artifacts = ModelArtifacts::build(&spec(kind, k));
+            let (delta, rows) = cross_shard_delta(&artifacts);
+            let effect = artifacts.apply_delta(&delta, &rows).expect("valid delta");
+            assert!(
+                !effect.shard_refreshes.is_empty(),
+                "{kind:?}/K={k}: a cross-shard delta must touch shards"
+            );
+            assert!(effect.balance >= 1.0);
+            // The added node landed on some shard and is servable.
+            let added = effect.added_nodes[0];
+            let owner = artifacts.shard_of(added);
+            assert!(artifacts.shards[owner as usize].owns(added));
+            assert_sharded_equals_global(&artifacts, 9);
+            // The added node itself, explicitly.
+            let sliced = shard_logits(&artifacts, owner, &[added]);
+            let global = batch_logits(&artifacts, &[added]);
+            for c in 0..artifacts.dataset.spec.num_classes {
+                assert_eq!(sliced.get(0, c).to_bits(), global.get(0, c).to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn retier_invalidates_stale_halo_copies() {
+    // Drive a node across a tier boundary; every shard replicating it must
+    // re-fetch its re-quantized feature row, and post-delta logits of its
+    // *out-neighbors on other shards* must match the global pass (they
+    // read the promoted node through their halo).
+    let mut artifacts = ModelArtifacts::build(&spec(GnnKind::Gcn, 4));
+    let n = artifacts.num_nodes() as NodeId;
+    let target = (0..n)
+        .find(|&v| {
+            artifacts.node_tier(v) == 0 && !artifacts.graph.out_neighbors(v as usize).is_empty()
+        })
+        .expect("tier-0 node with readers exists");
+    let mut delta = GraphDelta::new();
+    let mut added = 0;
+    for src in 0..n {
+        if src != target && !artifacts.graph.has_edge(src, target) {
+            delta.insert_edge(src, target);
+            added += 1;
+            if added == 40 {
+                break;
+            }
+        }
+    }
+    let before_bits = artifacts.node_bits(target);
+    let effect = artifacts.apply_delta(&delta, &[]).expect("valid delta");
+    assert!(artifacts.node_bits(target) > before_bits, "promotion");
+    assert!(
+        effect.halo_refreshed() > 0,
+        "wiring 40 cross-graph edges must refresh halo copies"
+    );
+    assert_sharded_equals_global(&artifacts, 5);
+}
+
+/// The engine path: a K=4 sharded engine answers bit-exactly against a
+/// lockstep unsharded (K=1) reference, across a mutation mid-stream.
+#[test]
+fn engine_sharded_matches_unsharded_reference() {
+    let sharded_spec = spec(GnnKind::Gcn, 4);
+    let mut reference = ModelArtifacts::build(&spec(GnnKind::Gcn, 1));
+
+    let registry = Arc::new(ModelRegistry::new());
+    let key = registry.register(sharded_spec);
+    let config = ServeConfig {
+        workers: 4,
+        scheduler: SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+        },
+        ..ServeConfig::default()
+    };
+    let (engine, responses) = ServeEngine::start(config, registry);
+    engine.warm(&key).unwrap();
+
+    let n = reference.num_nodes() as NodeId;
+    let targets: Vec<NodeId> = (0..n).step_by(3).collect();
+    let mut ids: Vec<u64> = targets
+        .iter()
+        .map(|&t| engine.submit(&key, t).unwrap())
+        .collect();
+
+    // Mutate mid-stream: cross-shard churn applied to both sides.
+    let (delta, rows) = cross_shard_delta(&reference);
+    let update_id = engine
+        .submit_update(&key, delta.clone(), rows.clone())
+        .unwrap();
+    reference.apply_delta(&delta, &rows).unwrap();
+    let post_targets: Vec<NodeId> = (0..n).step_by(11).chain([n]).collect();
+    let mut post_ids = Vec::new();
+    let mut update_acked = false;
+    // Submit the post-delta wave only after the ack (FIFO guarantees the
+    // delta is applied before these batches run).
+    let mut pre = Vec::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !update_acked {
+        assert!(std::time::Instant::now() < deadline, "no ack");
+        match responses.recv_timeout(Duration::from_secs(60)).unwrap() {
+            mega_serve::ServeResponse::Update(ack) => {
+                assert_eq!(ack.id, update_id);
+                assert!(ack.applied(), "{:?}", ack.error);
+                assert!(ack.balance >= 1.0);
+                update_acked = true;
+            }
+            mega_serve::ServeResponse::Inference(r) => pre.push(r),
+        }
+    }
+    for &t in &post_targets {
+        post_ids.push(engine.submit(&key, t).unwrap());
+    }
+    ids.extend(post_ids.iter().copied());
+    engine.shutdown();
+
+    let pre_expected: Vec<(u64, NodeId)> =
+        targets.iter().zip(&ids).map(|(&t, &id)| (id, t)).collect();
+    let mut answered = pre.len();
+    let check = |r: mega_serve::InferenceResponse| {
+        // Which wave does this response belong to?
+        let node = r.node;
+        let expected = batch_logits(&reference, &[node]);
+        // Pre-delta responses may have executed against pre-delta state;
+        // only post-ack responses are comparable to the mutated reference.
+        if pre_expected.iter().any(|&(id, _)| id == r.id) {
+            return;
+        }
+        for (c, &logit) in r.logits.iter().enumerate() {
+            assert_eq!(
+                logit.to_bits(),
+                expected.get(0, c).to_bits(),
+                "node {node} diverged between K=4 engine and K=1 reference"
+            );
+        }
+    };
+    for r in pre {
+        check(r);
+    }
+    for response in responses.iter() {
+        if let mega_serve::ServeResponse::Inference(r) = response {
+            answered += 1;
+            check(r);
+        }
+    }
+    assert_eq!(answered, targets.len() + post_targets.len());
+}
+
+// ───────────────────────── property test ─────────────────────────
+
+/// Raw mutation ops `(kind, a, b)` mapped onto valid deltas at application
+/// time (mirrors the dynamic-graph proptest idiom).
+fn arb_ops(max_ops: usize) -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0..10u8, 0..4096u32, 0..4096u32), 1..max_ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// After ANY random mutation stream, sharded logits equal global
+    /// logits bit for bit, for every aggregator and K ∈ {1, 2, 4}.
+    #[test]
+    fn sharded_serving_is_bit_exact_under_random_churn(
+        ops in arb_ops(24),
+        kind_idx in 0..3usize,
+        k_idx in 0..3usize,
+    ) {
+        let kind = KINDS[kind_idx];
+        let k = [1usize, 2, 4][k_idx];
+        let mut artifacts = ModelArtifacts::build(
+            &ModelSpec::standard(
+                DatasetSpec::cora().scaled(0.04).with_feature_dim(24),
+                kind,
+            )
+            .with_shards(k),
+        );
+        let dim = artifacts.raw_features.dim();
+        for chunk in ops.chunks(6) {
+            let mut delta = GraphDelta::new();
+            let mut count = artifacts.num_nodes();
+            let mut adds = 0;
+            for &(op, a, b) in chunk {
+                let s = (a as usize % count) as NodeId;
+                let d = (b as usize % count) as NodeId;
+                match op {
+                    0..=5 => {
+                        if s != d {
+                            delta.insert_edge(s, d);
+                        }
+                    }
+                    6..=7 => {
+                        if s != d {
+                            delta.remove_edge(s, d);
+                        }
+                    }
+                    8 => {
+                        delta.add_node();
+                        count += 1;
+                        adds += 1;
+                    }
+                    _ => {
+                        delta.isolate_node(s);
+                    }
+                }
+            }
+            let rows = vec![vec![0.3; dim]; adds];
+            artifacts.apply_delta(&delta, &rows).expect("valid delta");
+        }
+        // Compare a spread of nodes (including any added ones).
+        assert_sharded_equals_global(&artifacts, 13);
+        let last = artifacts.num_nodes() as NodeId - 1;
+        let shard = artifacts.shard_of(last);
+        let sliced = shard_logits(&artifacts, shard, &[last]);
+        let global = batch_logits(&artifacts, &[last]);
+        for c in 0..artifacts.dataset.spec.num_classes {
+            prop_assert_eq!(sliced.get(0, c).to_bits(), global.get(0, c).to_bits());
+        }
+    }
+}
