@@ -9,12 +9,12 @@
 //! | Piece | Crate | Paper section |
 //! |---|---|---|
 //! | Graphs & synthetic Table II datasets | [`mega_graph`] | §VI-A-1 |
-//! | Tensors & autograd | [`mega_tensor`] | (substrate) |
+//! | Tensors & autograd | `mega_tensor` | (substrate) |
 //! | GCN / GIN / GraphSAGE / GAT | [`mega_gnn`] | Table III, §VII-3 |
 //! | Degree-Aware quantization + DQ baseline | [`mega_quant`] | §IV |
-//! | Adaptive-Package format | [`mega_format`] | §V-B |
-//! | METIS-like partitioner | [`mega_partition`] | §V-E |
-//! | DRAM / energy / area models | [`mega_hw`] | §VI-A-3 |
+//! | Adaptive-Package format | `mega_format` | §V-B |
+//! | METIS-like partitioner | `mega_partition` | §V-E |
+//! | DRAM / energy / area models | `mega_hw` | §VI-A-3 |
 //! | Simulation framework | [`mega_sim`] | §VI-A-3 |
 //! | The MEGA accelerator | [`mega_accel`] | §V |
 //! | HyGCN / GCNAX / GROW / SGCN | [`mega_baselines`] | §VI-A-2 |

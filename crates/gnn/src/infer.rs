@@ -66,6 +66,28 @@ impl ReceptiveField {
     pub fn total_rows(&self) -> usize {
         self.needed.iter().map(Vec::len).sum()
     }
+
+    /// The distinct nodes the field touches at *any* level, sorted
+    /// ascending. This is the set a result cache must test a delta's dirty
+    /// rows against: a target's cached logits stay valid exactly while its
+    /// field's node set is disjoint from every mutated row.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.needed.concat();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Whether the field touches any node of `sorted` (ascending node
+    /// ids) — the invalidation predicate behind per-node logits caching,
+    /// exposed so callers can cross-check cheaper inverse-reachability
+    /// computations against the field definition itself.
+    pub fn intersects(&self, sorted: &[NodeId]) -> bool {
+        self.needed
+            .iter()
+            .flatten()
+            .any(|v| sorted.binary_search(v).is_ok())
+    }
 }
 
 /// Computes logits for `targets` only, touching just their receptive field.
@@ -283,6 +305,25 @@ mod tests {
         assert!(field.needed[1].len() >= field.needed[2].len());
         assert!(field.needed[0].len() >= field.needed[1].len());
         assert_eq!(field.total_rows(), field.needed.iter().map(Vec::len).sum());
+    }
+
+    #[test]
+    fn field_nodes_and_intersection_track_levels() {
+        let (_d, _m, adj) = setup();
+        let field = ReceptiveField::expand(&adj, &[0, 1], 2);
+        let nodes = field.nodes();
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        for level in &field.needed {
+            assert!(level.iter().all(|v| nodes.binary_search(v).is_ok()));
+        }
+        assert!(field.intersects(&nodes));
+        assert!(field.intersects(&[0]), "targets are part of their field");
+        let outside: Vec<NodeId> = (0..adj.rows() as NodeId)
+            .filter(|v| nodes.binary_search(v).is_err())
+            .take(3)
+            .collect();
+        assert!(!field.intersects(&outside));
+        assert!(!field.intersects(&[]));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! reproduction generates graphs that match the *properties the paper's
 //! results depend on*:
 //!
-//! * a power-law in-degree distribution (paper §III-A cites [2], [54]: "nodes
+//! * a power-law in-degree distribution (paper §III-A cites \[2\], \[54\]: "nodes
 //!   with a low in-degree account for the majority of graph data") — produced
 //!   by Chung–Lu style weighted endpoint sampling;
 //! * community structure (so node classification is learnable and METIS-style

@@ -14,6 +14,85 @@ use mega_graph::{Graph, NodeId};
 
 use crate::Partitioning;
 
+/// Expands `frontier` for `hops` rounds through `neighbors`, marking
+/// reached nodes in `seen` and returning every *newly* reached node,
+/// sorted ascending. This is the closure kernel both directions of the
+/// halo machinery share: [`Partitioning::shard_spec_with`] walks
+/// *in*-neighbors (which rows does a target's receptive field need), and
+/// [`influence_closure_with`] walks *out*-neighbors (which targets does a
+/// dirtied row influence).
+fn close_frontier<'a, F>(
+    seen: &mut [bool],
+    mut frontier: Vec<NodeId>,
+    hops: usize,
+    neighbors: F,
+) -> Vec<NodeId>
+where
+    F: Fn(usize) -> &'a [NodeId],
+{
+    let mut reached: Vec<NodeId> = Vec::new();
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in neighbors(v as usize) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        reached.extend_from_slice(&next);
+        frontier = next;
+    }
+    reached.sort_unstable();
+    reached
+}
+
+/// The *inverse* halo closure: every node within `hops` **out**-edge hops
+/// of a seed, including the seeds themselves, sorted ascending.
+///
+/// Where [`Partitioning::shard_spec_with`] answers "which rows does an
+/// `L`-layer receptive field *read*" (the halo an owner must replicate),
+/// this answers the reverse question a result cache needs for precise
+/// invalidation: "which targets' `L`-hop receptive fields *contain* one of
+/// these rows". A target `t` reads row `u` iff `u` reaches `t` within `L`
+/// out-edge hops, so the returned set is exactly the cached logits a
+/// delta dirtying `seeds` can have affected — everything outside it is
+/// provably untouched and may keep serving from cache.
+///
+/// `num_nodes` bounds the id space; `out_neighbors` reads topology the
+/// same way `shard_spec_with` reads `in_neighbors`, so static and dynamic
+/// graphs share one implementation.
+///
+/// # Panics
+///
+/// Panics if a seed or neighbor id is `>= num_nodes`.
+pub fn influence_closure_with<'a, F>(
+    seeds: &[NodeId],
+    num_nodes: usize,
+    hops: usize,
+    out_neighbors: F,
+) -> Vec<NodeId>
+where
+    F: Fn(usize) -> &'a [NodeId],
+{
+    let mut seen = vec![false; num_nodes];
+    let mut frontier: Vec<NodeId> = Vec::with_capacity(seeds.len());
+    for &v in seeds {
+        if !seen[v as usize] {
+            seen[v as usize] = true;
+            frontier.push(v);
+        }
+    }
+    let mut closure = frontier.clone();
+    closure.extend(close_frontier(&mut seen, frontier, hops, out_neighbors));
+    closure.sort_unstable();
+    closure
+}
+
 /// One shard of a partitioned graph: the nodes a shard owns (and answers
 /// requests for) plus the halo nodes it replicates read-only.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,25 +169,7 @@ impl Partitioning {
         for &v in &owned {
             seen[v as usize] = true;
         }
-        let mut halo: Vec<NodeId> = Vec::new();
-        let mut frontier = owned.clone();
-        for _ in 0..hops {
-            let mut next = Vec::new();
-            for &v in &frontier {
-                for &u in in_neighbors(v as usize) {
-                    if !seen[u as usize] {
-                        seen[u as usize] = true;
-                        next.push(u);
-                    }
-                }
-            }
-            if next.is_empty() {
-                break;
-            }
-            halo.extend_from_slice(&next);
-            frontier = next;
-        }
-        halo.sort_unstable();
+        let halo = close_frontier(&mut seen, owned.clone(), hops, in_neighbors);
         ShardSpec { part, owned, halo }
     }
 
@@ -194,5 +255,42 @@ mod tests {
         let spec = p.shard_spec(&g, 0, 0);
         assert!(spec.halo.is_empty());
         assert_eq!(spec.locals(), spec.owned);
+    }
+
+    #[test]
+    fn influence_closure_walks_out_edges() {
+        let (g, _) = setup();
+        let out = |v: usize| g.out_neighbors(v);
+        // Seeds alone at zero hops (deduplicated and sorted).
+        assert_eq!(influence_closure_with(&[2, 2, 0], 6, 0, out), vec![0, 2]);
+        // Edges 0->1, 1->2, 2->3: node 0 influences 1 in one hop, 2 in two.
+        assert_eq!(influence_closure_with(&[0], 6, 1, out), vec![0, 1]);
+        assert_eq!(influence_closure_with(&[0], 6, 2, out), vec![0, 1, 2]);
+        // Saturates once the frontier empties instead of looping.
+        let all = influence_closure_with(&[0], 6, 64, out);
+        assert!(all.len() <= 6 && all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn influence_closure_inverts_the_halo_closure() {
+        // u is in the L-hop in-closure of t exactly when t is in the L-hop
+        // influence (out-)closure of u — on every pair of this graph.
+        let (g, _) = setup();
+        for hops in 0..3usize {
+            for u in 0..6u32 {
+                let influenced = influence_closure_with(&[u], 6, hops, |v| g.out_neighbors(v));
+                for t in 0..6u32 {
+                    let p =
+                        Partitioning::new((0..6).map(|v| u32::from(v != t)).collect::<Vec<_>>(), 2);
+                    let spec = p.shard_spec(&g, 0, hops);
+                    let field_has_u = spec.owns(u) || spec.in_halo(u);
+                    assert_eq!(
+                        field_has_u,
+                        influenced.binary_search(&t).is_ok(),
+                        "hops {hops}: field({t}) ∋ {u} must equal influence({u}) ∋ {t}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! reproduction.
 //!
 //! The paper's Condense-Edge scheduling strategy (§V-E), as well as the GROW
-//! and GCoD baselines, partition the graph with METIS [28] before
+//! and GCoD baselines, partition the graph with METIS \[28\] before
 //! aggregation: dense subgraphs are processed one at a time while *sparse
 //! connections* (edges crossing subgraphs) cause the irregular DRAM traffic
 //! the paper attacks. METIS itself is unavailable here, so this crate
@@ -41,7 +41,7 @@ pub mod partitioning;
 pub mod refine;
 pub mod wgraph;
 
-pub use halo::ShardSpec;
+pub use halo::{influence_closure_with, ShardSpec};
 pub use partitioning::{Partitioning, SparseConnections};
 pub use wgraph::WGraph;
 

@@ -7,15 +7,33 @@
 //! flowing — and prints per-model and per-shard summary tables plus the
 //! engine report.
 //!
+//! Traffic is **Zipf-skewed** (`--zipf s`, default 1.0): node popularity
+//! follows `rank^-s` over a seeded shuffle of each model's nodes, the
+//! popular-entity skew that makes the per-shard logits cache
+//! (`--cache-mb`) pay off — hot nodes short-circuit the forward pass
+//! entirely, and graph churn invalidates exactly the entries it reaches.
+//! `--cache-mb 0` disables result caching (the uncached baseline for
+//! `BENCH_pr4.json`); `--zipf 0` degenerates to uniform traffic.
+//!
 //! ```sh
-//! cargo run --release -p mega-serve --bin serve_demo -- --shards 4
+//! cargo run --release -p mega-serve --bin serve_demo -- --shards 4 --cache-mb 16
 //! ```
 //!
+//! After the open-loop burst and the churn phase, a **closed-loop** phase
+//! (`--closed-loop N`, default 2000) measures steady-state point-query
+//! serving — one request in flight, each cycle waiting for its response —
+//! which is where the cache's short-circuit translates directly into
+//! throughput (an open-loop burst already amortizes duplicate hot nodes
+//! inside each batch, so it understates the cache).
+//!
 //! Flags: `--shards K` (default 4), `--requests N`, `--scale F`,
-//! `--workers W`. Env fallbacks: `MEGA_SERVE_REQUESTS` (default 12000),
+//! `--workers W`, `--cache-mb MB` (default 16), `--zipf S` (default 1.0),
+//! `--closed-loop N` (default 2000).
+//! Env fallbacks: `MEGA_SERVE_REQUESTS` (default 12000),
 //! `MEGA_SERVE_WORKERS` (default: all cores, at least 4),
 //! `MEGA_SERVE_SCALE` (dataset node-count scale, default 1.0),
-//! `MEGA_SERVE_SHARDS`.
+//! `MEGA_SERVE_SHARDS`, `MEGA_SERVE_CACHE_MB`, `MEGA_SERVE_ZIPF`,
+//! `MEGA_SERVE_CLOSED_LOOP`.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,8 +70,43 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// A Zipf(s) sampler over `n` ranks: rank `r` is drawn with probability
+/// proportional to `(r + 1)^-s`. Ranks map to node ids through a seeded
+/// shuffle so popularity is uncorrelated with generator id order (hubs and
+/// leaves are hot alike — the cache must not get the answer for free from
+/// id locality). `s = 0` is uniform.
+struct Zipf {
+    cumulative: Vec<f64>,
+    nodes: Vec<u32>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64, rng: &mut StdRng) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        let mut nodes: Vec<u32> = (0..n as u32).collect();
+        // Fisher–Yates over the rank → node mapping.
+        for i in (1..n).rev() {
+            nodes.swap(i, rng.gen_range(0..i + 1));
+        }
+        Self { cumulative, nodes }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty population");
+        let x = rng.gen::<f64>() * total;
+        let rank = self.cumulative.partition_point(|&c| c < x);
+        self.nodes[rank.min(self.nodes.len() - 1)]
+    }
+}
+
 struct PerModel {
     requests: u64,
+    cached: u64,
     latencies_us: Vec<u64>,
     batch_sum: u64,
     bits: HashMap<u8, u64>,
@@ -63,6 +116,7 @@ impl PerModel {
     fn new() -> Self {
         Self {
             requests: 0,
+            cached: 0,
             latencies_us: Vec::new(),
             batch_sum: 0,
             bits: HashMap::new(),
@@ -95,6 +149,10 @@ fn main() {
     .max(4);
     let scale = arg("--scale", env_f64("MEGA_SERVE_SCALE", 1.0));
     let shards = arg("--shards", env_usize("MEGA_SERVE_SHARDS", 4)).max(1);
+    let cache_mb = arg("--cache-mb", env_f64("MEGA_SERVE_CACHE_MB", 16.0)).max(0.0);
+    let cache_bytes = (cache_mb * 1024.0 * 1024.0) as usize;
+    let zipf = arg("--zipf", env_f64("MEGA_SERVE_ZIPF", 1.0)).max(0.0);
+    let closed_loop = arg("--closed-loop", env_usize("MEGA_SERVE_CLOSED_LOOP", 2_000));
 
     let scaled = |name: &str| {
         let spec = DatasetSpec::by_name(name).expect("known dataset");
@@ -109,12 +167,18 @@ fn main() {
     };
 
     let registry = Arc::new(ModelRegistry::new());
+    let register = |name: &str, kind: GnnKind| {
+        registry.register(
+            ModelSpec::standard(scaled(name), kind)
+                .with_shards(shards)
+                .with_cache_bytes(cache_bytes),
+        )
+    };
     let keys: Vec<ModelKey> = vec![
-        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gcn).with_shards(shards)),
-        registry
-            .register(ModelSpec::standard(scaled("citeseer"), GnnKind::Gcn).with_shards(shards)),
-        registry.register(ModelSpec::standard(scaled("pubmed"), GnnKind::Gcn).with_shards(shards)),
-        registry.register(ModelSpec::standard(scaled("cora"), GnnKind::Gin).with_shards(shards)),
+        register("cora", GnnKind::Gcn),
+        register("citeseer", GnnKind::Gcn),
+        register("pubmed", GnnKind::Gcn),
+        register("cora", GnnKind::Gin),
     ];
     // Traffic mix over the registered models, summing to 1.
     let mix = [0.35, 0.25, 0.25, 0.15];
@@ -125,7 +189,8 @@ fn main() {
 
     println!(
         "mega-serve demo — {} models over {} datasets, {workers} workers, \
-         {shards} shards/model, {requests} requests",
+         {shards} shards/model, {requests} Zipf({zipf}) requests, \
+         {cache_mb} MiB logits cache/model",
         keys.len(),
         3
     );
@@ -147,17 +212,17 @@ fn main() {
         println!("[warm] {key} artifacts built in {:.2?}", started.elapsed());
     }
 
-    // Synthetic traffic: models drawn from the mix; nodes mostly uniform
-    // with a 32-node "hot set" per model taking 20% of that model's
-    // traffic (popular-entity skew).
+    // Synthetic traffic: models drawn from the mix; nodes drawn from a
+    // Zipf(s) popularity distribution per model — the popular-entity skew
+    // the logits cache exploits (and MEGA's degree tiers anticipate).
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
-    let hot: Vec<Vec<u32>> = nodes
+    let popularity: Vec<Zipf> = nodes
         .iter()
-        .map(|&n| (0..32).map(|_| rng.gen_range(0..n) as u32).collect())
+        .map(|&n| Zipf::new(n, zipf, &mut rng))
         .collect();
-
-    let started = Instant::now();
-    for _ in 0..requests {
+    // Weighted model choice over `mix` — shared by the open- and
+    // closed-loop phases so both sample the same traffic distribution.
+    let pick_model = |rng: &mut StdRng| -> usize {
         let mut pick = rng.gen::<f64>();
         let mut model = 0;
         for (i, &p) in mix.iter().enumerate() {
@@ -168,11 +233,13 @@ fn main() {
             pick -= p;
             model = i;
         }
-        let node = if rng.gen::<f64>() < 0.20 {
-            hot[model][rng.gen_range(0..hot[model].len())]
-        } else {
-            rng.gen_range(0..nodes[model]) as u32
-        };
+        model
+    };
+
+    let started = Instant::now();
+    for _ in 0..requests {
+        let model = pick_model(&mut rng);
+        let node = popularity[model].sample(&mut rng);
         engine
             .submit(&keys[model], node)
             .expect("submit to registered model");
@@ -261,20 +328,73 @@ fn main() {
         churn_inferences += 1;
     }
 
+    // ── Closed-loop phase ──────────────────────────────────────────────
+    // Steady-state point-query serving: one request in flight at a time,
+    // each cycle waiting for its response before submitting the next.
+    // This is the traffic shape where batching cannot amortize repeated
+    // hot nodes across a burst, so the logits cache's short-circuit (no
+    // scheduler delay, no forward pass) shows up directly in end-to-end
+    // throughput — the cached-vs-uncached number BENCH_pr4.json records.
+    let mut all_responses: Vec<mega_serve::ServeResponse> = Vec::new();
+    let open_loop_expected = requests as u64 + churn_inferences + churn_updates;
+    while (all_responses.len() as u64) < open_loop_expected {
+        all_responses.push(responses.recv().expect("engine running"));
+    }
+    let open_wall = started.elapsed();
+    let mut closed_elapsed = Duration::ZERO;
+    let mut closed_cached = 0u64;
+    if closed_loop > 0 {
+        let t0 = Instant::now();
+        for _ in 0..closed_loop {
+            let model = pick_model(&mut rng);
+            let node = popularity[model].sample(&mut rng);
+            let id = engine
+                .submit(&keys[model], node)
+                .expect("closed-loop submit");
+            loop {
+                let response = responses.recv().expect("engine running");
+                let done = response.id() == id;
+                if done {
+                    if let mega_serve::ServeResponse::Inference(r) = &response {
+                        if r.cached {
+                            closed_cached += 1;
+                        }
+                    }
+                }
+                all_responses.push(response);
+                if done {
+                    break;
+                }
+            }
+        }
+        closed_elapsed = t0.elapsed();
+        println!(
+            "\n[closed-loop] {closed_loop} request→response cycles in {:.2?} \
+             ({:.0} req/s, {:.1}% answered from the logits cache)",
+            closed_elapsed,
+            closed_loop as f64 / closed_elapsed.as_secs_f64(),
+            100.0 * closed_cached as f64 / closed_loop as f64
+        );
+    }
+
     let report = engine.shutdown();
-    let wall = started.elapsed();
+    all_responses.extend(responses.try_iter());
 
     let mut per_model: HashMap<ModelKey, PerModel> = HashMap::new();
     let mut updates_acked = 0u64;
     let mut updates_rejected = 0u64;
     let mut retiered = 0u64;
-    for response in responses.iter() {
+    let mut logits_invalidated = 0u64;
+    for response in all_responses {
         match response {
             mega_serve::ServeResponse::Inference(response) => {
                 let entry = per_model
                     .entry(response.model.clone())
                     .or_insert_with(PerModel::new);
                 entry.requests += 1;
+                if response.cached {
+                    entry.cached += 1;
+                }
                 entry
                     .latencies_us
                     .push(response.latency.as_micros().min(u64::MAX as u128) as u64);
@@ -288,17 +408,18 @@ fn main() {
                     updates_rejected += 1;
                 }
                 retiered += ack.retiered.len() as u64;
+                logits_invalidated += ack.logits_invalidated as u64;
             }
         }
     }
 
     println!(
         "\nsubmitted {requests} requests in {:.2?}; drained in {:.2?}\n",
-        submit_elapsed, wall
+        submit_elapsed, open_wall
     );
     println!(
-        "{:<14} {:>9} {:>10} {:>10} {:>10} {:>10}  bits mix",
-        "model", "requests", "p50", "p95", "p99", "avg batch"
+        "{:<14} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10}  bits mix",
+        "model", "requests", "cached", "p50", "p95", "p99", "avg batch"
     );
     for key in &keys {
         let Some(stats) = per_model.get_mut(key) else {
@@ -317,9 +438,10 @@ fn main() {
             stats.quantile(0.99),
         );
         println!(
-            "{:<14} {:>9} {:>10.3?} {:>10.3?} {:>10.3?} {:>10.1}  {}",
+            "{:<14} {:>9} {:>9} {:>10.3?} {:>10.3?} {:>10.3?} {:>10.1}  {}",
             key.to_string(),
             stats.requests,
+            stats.cached,
             p50,
             p95,
             p99,
@@ -329,25 +451,31 @@ fn main() {
     }
 
     println!(
-        "\n{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>14} {:>14}",
+        "\n{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9} {:>7} {:>14} {:>14}",
         "shard",
         "requests",
         "batches",
         "halo rows",
         "halo fetch",
         "rebuilds",
+        "hits",
+        "misses",
+        "inval",
         "est cycles",
         "est DRAM B"
     );
     for s in &report.shards {
         println!(
-            "{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>14} {:>14}",
+            "{:<7} {:>9} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9} {:>7} {:>14} {:>14}",
             s.shard,
             s.requests,
             s.batches,
             s.halo_rows,
             s.halo_fetches,
             s.rebuilds,
+            s.logits_hits,
+            s.logits_misses,
+            s.logits_invalidations,
             s.est_cycles,
             s.est_dram_bytes
         );
@@ -355,7 +483,7 @@ fn main() {
 
     println!("\nengine report:\n{report}");
 
-    let expected = requests as u64 + churn_inferences;
+    let expected = requests as u64 + churn_inferences + closed_loop as u64;
     assert_eq!(report.completed, expected, "every request answered");
     assert_eq!(
         updates_acked + updates_rejected,
@@ -380,17 +508,44 @@ fn main() {
         );
     }
     assert!(report.est_cycles > 0, "hardware model costed the batches");
+    // Logits-cache invariants: every answered request is exactly one of
+    // hit/miss, the response `cached` flags agree with the engine
+    // counters, and skewed traffic actually hits once the cache is on.
+    let cached_total: u64 = per_model.values().map(|m| m.cached).sum();
+    assert_eq!(cached_total, report.logits_hits, "flags match counters");
+    assert_eq!(
+        report.logits_hits + report.logits_misses,
+        report.completed,
+        "hits + misses partition completed requests"
+    );
+    if cache_bytes > 0 {
+        assert!(
+            report.logits_hits > 0,
+            "repeated Zipf traffic must hit the logits cache"
+        );
+    } else {
+        assert_eq!(report.logits_hits, 0, "disabled cache never hits");
+    }
+    let closed_rps = if closed_elapsed > Duration::ZERO {
+        closed_loop as f64 / closed_elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
     println!(
         "\nserve_demo OK: {} requests + {} graph updates ({} nodes retiered, \
-         {} halo rows exchanged) over {} models x {} shards on {workers} workers \
-         ({:.0} req/s end-to-end, est {} MEGA cycles / {} DRAM bytes)",
+         {} halo rows exchanged, {} cached logits invalidated) over {} models x {} shards \
+         on {workers} workers ({:.0} req/s open-loop, {:.0} req/s closed-loop, \
+         {:.1}% logits-cache hits, est {} MEGA cycles / {} DRAM bytes)",
         report.completed,
         updates_acked,
         retiered,
         report.halo_fetches,
+        logits_invalidated,
         keys.len(),
         shards,
-        requests as f64 / wall.as_secs_f64(),
+        requests as f64 / open_wall.as_secs_f64(),
+        closed_rps,
+        report.logits_hit_rate * 100.0,
         report.est_cycles,
         report.est_dram_bytes
     );

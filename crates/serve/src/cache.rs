@@ -24,11 +24,12 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 use mega_gnn::{DynAdjacency, Gnn, ModelConfig};
 use mega_graph::datasets::Features;
 use mega_graph::{Dataset, DynamicGraph, GraphDelta, NodeId};
-use mega_partition::{partition, PartitionConfig, Partitioning};
+use mega_partition::{influence_closure_with, partition, PartitionConfig, Partitioning};
 use mega_quant::quantizer::{fake_quantize, qmax};
 use mega_quant::DegreePolicy;
 use mega_tensor::Matrix;
 
+use crate::logits::LogitsCache;
 use crate::registry::ModelSpec;
 use crate::request::ModelKey;
 use crate::shard::{ShardRefresh, ShardState};
@@ -65,6 +66,11 @@ pub struct UpdateEffect {
     /// Per-shard halo-exchange work this delta triggered (only shards the
     /// delta touched appear).
     pub shard_refreshes: Vec<ShardRefresh>,
+    /// Cached logits dropped per shard because the delta reached their
+    /// receptive field: `(shard, entries invalidated)`, only shards that
+    /// actually dropped entries appear. Precise, not a flush — see
+    /// [`ModelArtifacts::invalidation_closure`].
+    pub logits_invalidated: Vec<(u32, usize)>,
     /// Shard balance after the delta: max owned count over the ideal
     /// `n/k` (1.0 = perfectly even). Tracks how well shard-aware
     /// placement of added nodes holds up under growth.
@@ -75,6 +81,11 @@ impl UpdateEffect {
     /// Total halo rows re-fetched across shards by this delta.
     pub fn halo_refreshed(&self) -> usize {
         self.shard_refreshes.iter().map(|r| r.halo_fetched).sum()
+    }
+
+    /// Total cached logits invalidated across shards by this delta.
+    pub fn logits_invalidated_total(&self) -> usize {
+        self.logits_invalidated.iter().map(|&(_, n)| n).sum()
     }
 }
 
@@ -114,6 +125,11 @@ pub struct ModelArtifacts {
     /// with the global state by [`ModelArtifacts::apply_delta`]'s halo
     /// exchange. Batches execute against these, not the global arrays.
     pub shards: Vec<ShardState>,
+    /// Per-shard logits caches, parallel to `shards` (a node's entry lives
+    /// in its owning shard's cache). Kept sound by
+    /// [`ModelArtifacts::apply_delta`], which drops exactly the entries
+    /// whose receptive field a delta reached.
+    pub logits: Vec<LogitsCache>,
     /// The policy that produced `bits`/`tiers`.
     pub policy: DegreePolicy,
     /// Weight bitwidth the model was quantized at (for hardware-model
@@ -216,6 +232,21 @@ impl ModelArtifacts {
         // neither waste memory nor serve stale degrees after mutations.
         dataset.graph = mega_graph::Graph::from_directed_edges(0, vec![]);
 
+        // One logits cache per shard, splitting the model's byte budget
+        // evenly. A nonzero model budget is clamped so every shard can
+        // hold at least one logits row — otherwise a small budget over
+        // many shards would round to less than one entry and silently
+        // disable a cache the operator asked for. Weight/policy changes
+        // only arrive via re-registration, which rebuilds these
+        // artifacts — so a live cache never survives anything but graph
+        // deltas, which `apply_delta` invalidates.
+        let per_shard = if spec.cache_bytes == 0 {
+            0
+        } else {
+            (spec.cache_bytes / k).max(LogitsCache::entry_bytes(model.config().out_dim))
+        };
+        let logits = (0..k).map(|_| LogitsCache::new(per_shard)).collect();
+
         Self {
             key: spec.key(),
             dataset,
@@ -227,6 +258,7 @@ impl ModelArtifacts {
             tiers,
             partitioning,
             shards,
+            logits,
             policy: spec.policy.clone(),
             weight_bits: spec.weight_bits,
             input_follows_degree,
@@ -344,12 +376,37 @@ impl ModelArtifacts {
         // but an added node may appear in `rows_changed` too; the `is_new`
         // branch is idempotent so double-processing is harmless.
 
+        // Result-cache invalidation seeds: every per-node input the
+        // forward pass reads that this delta changed — normalized
+        // adjacency rows (values or in-neighbor sets), rewritten quantized
+        // feature rows, and re-tiered nodes (their hidden activations
+        // re-quantize at the new bitwidth even when the stored feature row
+        // did not change, e.g. 1-bit bag-of-words inputs).
+        let mut cache_seeds: Vec<NodeId> = adjacency_dirty.clone();
+        cache_seeds.extend_from_slice(&feature_dirty);
+        cache_seeds.extend(retiered.iter().map(|r| r.node));
+        cache_seeds.sort_unstable();
+        cache_seeds.dedup();
+
         let shard_refreshes = self.exchange_halos(
             &effect.added_nodes,
             &effect.rows_changed,
             &adjacency_dirty,
             feature_dirty,
         );
+
+        // Drop exactly the cached logits this delta can have affected: the
+        // targets whose L-hop receptive field intersects a seed row, i.e.
+        // the inverse halo closure of the seeds. Every surviving entry is
+        // provably still bit-exact with a fresh pass.
+        let stale = self.invalidation_closure(&cache_seeds);
+        let mut logits_invalidated = Vec::new();
+        for (shard, cache) in self.logits.iter().enumerate() {
+            let dropped = cache.invalidate(&stale);
+            if dropped > 0 {
+                logits_invalidated.push((shard as u32, dropped));
+            }
+        }
 
         self.version += 1;
         Ok(UpdateEffect {
@@ -359,6 +416,7 @@ impl ModelArtifacts {
             retiered,
             dirty_rows,
             shard_refreshes,
+            logits_invalidated,
             balance: self.partitioning.balance(),
         })
     }
@@ -427,6 +485,33 @@ impl ModelArtifacts {
     /// The resident state of shard `part`, if it exists.
     pub fn shard(&self, part: u32) -> Option<&ShardState> {
         self.shards.get(part as usize)
+    }
+
+    /// The logits cache of shard `part`, if it exists.
+    pub fn logits_cache(&self, part: u32) -> Option<&LogitsCache> {
+        self.logits.get(part as usize)
+    }
+
+    /// The set of targets whose cached logits a mutation of `dirty` rows
+    /// can have affected: every node within `L` out-edge hops of a dirty
+    /// row (`L` = model layers), including the dirty rows themselves —
+    /// the inverse of the halo closure that builds shard slices
+    /// ([`mega_partition::influence_closure_with`]). A target outside this
+    /// set has an `L`-hop receptive field disjoint from every dirty row,
+    /// so its logits are a function of unchanged inputs only; the
+    /// logits-cache proptests cross-check this against
+    /// [`mega_gnn::ReceptiveField::intersects`] directly.
+    pub fn invalidation_closure(&self, dirty: &[NodeId]) -> Vec<NodeId> {
+        influence_closure_with(dirty, self.num_nodes(), self.model.config().layers, |v| {
+            self.graph.out_neighbors(v)
+        })
+    }
+
+    /// Drops every cached logits row of every shard (the explicit
+    /// operator knob; deltas invalidate precisely instead). Returns the
+    /// number of entries dropped.
+    pub fn flush_logits(&self) -> usize {
+        self.logits.iter().map(LogitsCache::flush).sum()
     }
 
     /// Number of nodes this model currently serves (live topology).
@@ -757,6 +842,26 @@ mod tests {
         assert_eq!(a.partitioning.assignment().len(), n0 + 1);
         assert_eq!(AdjacencyView::rows(&a.adjacency), n0 + 1);
         assert_eq!(a.node_tier(n0 as NodeId), 0, "one in-edge is tier 0");
+    }
+
+    #[test]
+    fn tiny_nonzero_logits_budget_still_admits_one_entry_per_shard() {
+        // A small model budget split across shards must not round below
+        // one logits row — that would silently disable a cache the
+        // operator turned on.
+        let mut spec = tiny_spec(0);
+        spec.cache_bytes = 10;
+        let a = ModelArtifacts::build(&spec);
+        let entry = LogitsCache::entry_bytes(a.model.config().out_dim);
+        assert!(!a.logits.is_empty());
+        for cache in &a.logits {
+            assert!(cache.is_enabled());
+            assert!(cache.capacity_bytes() >= entry);
+        }
+        // Zero stays zero: explicitly disabled.
+        spec.cache_bytes = 0;
+        let a = ModelArtifacts::build(&spec);
+        assert!(a.logits.iter().all(|c| !c.is_enabled()));
     }
 
     #[test]

@@ -9,16 +9,17 @@
 //! a serving architecture:
 //!
 //! ```text
-//!  submit()──► degree-aware policy ──► BatchScheduler ──► WorkRouter ──► WorkerPool
-//!              shard = owner(node)     buckets by           (model,       one lane per
-//!              tier  = f(in-degree)    (model, shard,        shard) ──►   worker; a shard's
-//!                                      tier); flush on       lane hash    batches always hit
-//!                                      size or deadline                   the same thread
-//!                                                                │
-//!                    ArtifactCache (LRU): quantized Gnn, live    ▼  forward over the
-//!                    DynamicGraph + Ã, K-way partitioning, and   shard-local slice;
-//!                    per-shard slices (local adjacency + owned   halo rows splice in
-//!                    rows + L-hop halo feature copies)           cross-shard fields
+//!  submit()──► degree-aware policy ──► LogitsCache ──► BatchScheduler ──► WorkRouter ──► WorkerPool
+//!              shard = owner(node)     per (model,      buckets by          (model,       one lane per
+//!              tier  = f(in-degree)    shard); HIT      (model, shard,       shard) ──►   worker; a shard's
+//!                                      answers here,    tier); flush on      lane hash    batches always hit
+//!                                      MISS falls       size or deadline                  the same thread
+//!                                      through                                   │
+//!                    ArtifactCache (LRU): quantized Gnn, live                    ▼  split late hits from
+//!                    DynamicGraph + Ã, K-way partitioning,                   misses; forward misses over
+//!                    per-shard slices (local adjacency + owned               the shard-local slice; fill
+//!                    rows + L-hop halo feature copies), and                  the logits cache on the way
+//!                    per-shard byte-budgeted logits caches                   out
 //! ```
 //!
 //! * [`ModelRegistry`] holds [`ModelSpec`]s — recipes for everything a
@@ -34,10 +35,15 @@
 //!   with [`mega_gnn::forward_targets_local`] over the shard's own
 //!   adjacency/feature slice ([`ShardState`]) — bit-exact with the global
 //!   pass regardless of batch composition or shard count.
+//! * [`LogitsCache`] (one per `(model, shard)`) short-circuits the whole
+//!   pipeline for hot nodes: a byte-budgeted LRU over final logits rows,
+//!   consulted at submit time and again per batch, kept bit-exact under
+//!   mutation by delta-precise invalidation (the inverse halo closure of
+//!   each delta's dirty rows).
 //! * [`Metrics`] tracks throughput, latency percentiles (log histogram),
 //!   per-bitwidth counts, flush/cache behaviour, per-shard halo traffic,
-//!   and an analytic MEGA hardware estimate (cycles / DRAM bytes) per
-//!   shard-batch.
+//!   logits-cache hits/misses/evictions/invalidations, and an analytic
+//!   MEGA hardware estimate (cycles / DRAM bytes) per shard-batch.
 //!
 //! Cross-shard receptive fields are *halo-exchanged* rather than read from
 //! global state: each shard replicates the L-hop in-neighborhood of its
@@ -87,6 +93,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod logits;
 pub mod metrics;
 pub mod registry;
 pub mod request;
@@ -95,6 +102,7 @@ pub mod shard;
 pub mod worker;
 
 pub use cache::{ArtifactCache, ModelArtifacts, ModelEntry, Retier, UpdateEffect};
+pub use logits::{CachedLogits, LogitsCache};
 pub use metrics::{LogHistogram, Metrics, MetricsReport, ShardReport, ShardStat};
 pub use registry::{ModelRegistry, ModelSpec};
 pub use request::{
@@ -105,7 +113,7 @@ pub use shard::{HwEstimate, ShardRefresh, ShardState};
 pub use worker::{batch_logits, shard_logits, WorkRouter, WorkerPool};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -182,6 +190,11 @@ pub struct ServeEngine {
     shutdown: Arc<AtomicBool>,
     next_id: AtomicU64,
     started_at: Instant,
+    /// The engine's own handle on the response stream: logits-cache hits
+    /// are answered right here at submit time, never reaching the
+    /// scheduler. Dropped with the engine at shutdown (after the workers'
+    /// clones), which is what ends the stream.
+    responses: Sender<ServeResponse>,
 }
 
 impl ServeEngine {
@@ -203,7 +216,7 @@ impl ServeEngine {
             cache.clone(),
             updates.clone(),
             metrics.clone(),
-            response_tx,
+            response_tx.clone(),
         );
         let scheduler = Arc::new(BatchScheduler::with_updates(
             config.scheduler.clone(),
@@ -235,6 +248,7 @@ impl ServeEngine {
             shutdown,
             next_id: AtomicU64::new(0),
             started_at: Instant::now(),
+            responses: response_tx,
         };
         (engine, response_rx)
     }
@@ -254,20 +268,50 @@ impl ServeEngine {
     /// Accepts one node-classification request. Returns the engine-assigned
     /// request id; the response arrives on the stream returned by
     /// [`ServeEngine::start`].
+    ///
+    /// Hot nodes short-circuit here: if the owning shard's
+    /// [`LogitsCache`] holds the node, the response (flagged
+    /// [`InferenceResponse::cached`]) is emitted immediately on the
+    /// submitting thread and the request never reaches the scheduler —
+    /// delta-precise invalidation is what makes the cached row bit-exact
+    /// with a fresh forward pass.
     pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<u64, ServeError> {
-        let (shard, tier, bits) = self.locate(key, node)?;
+        let entry = self.entry_for(key)?;
+        let artifacts = entry.read();
+        Self::validate_node(&artifacts, node)?;
+        let shard = artifacts.shard_of(node);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let request = InferenceRequest {
+        let submitted_at = Instant::now();
+        if let Some(hit) = artifacts.logits_cache(shard).and_then(|c| c.get(node)) {
+            self.metrics.record_logits_lookup(shard, true);
+            let response = InferenceResponse::from_hit(
+                id,
+                key.clone(),
+                node,
+                shard,
+                usize::MAX,
+                hit,
+                submitted_at.elapsed(),
+            );
+            self.metrics
+                .record_response(response.bits, response.latency);
+            // A dropped receiver means the caller stopped listening; the
+            // request still counts as completed.
+            let _ = self.responses.send(ServeResponse::Inference(response));
+            return Ok(id);
+        }
+        let (tier, bits) = (artifacts.node_tier(node), artifacts.node_bits(node));
+        drop(artifacts);
+        self.scheduler.submit(InferenceRequest {
             id,
             model: key.clone(),
             node,
             shard,
             tier,
             bits,
-            submitted_at: Instant::now(),
-        };
-        self.scheduler.submit(request);
+            submitted_at,
+        });
         Ok(id)
     }
 
@@ -321,25 +365,38 @@ impl ServeEngine {
     /// The shard is the partition owning the node; requests route to that
     /// shard's affine worker and execute against its local slice.
     pub fn locate(&self, key: &ModelKey, node: NodeId) -> Result<(u32, usize, u8), ServeError> {
+        let entry = self.entry_for(key)?;
+        let artifacts = entry.read();
+        Self::validate_node(&artifacts, node)?;
+        Ok((
+            artifacts.shard_of(node),
+            artifacts.node_tier(node),
+            artifacts.node_bits(node),
+        ))
+    }
+
+    /// Resolves `key` to its resident artifact entry, building it from the
+    /// registered spec on first access — the single lookup path `submit`
+    /// and `locate` share.
+    fn entry_for(&self, key: &ModelKey) -> Result<Arc<ModelEntry>, ServeError> {
         let spec = self
             .registry
             .get(key)
             .ok_or_else(|| ServeError::UnknownModel(key.clone()))?;
-        let entry = self
+        Ok(self
             .cache
-            .get_or_build(key, || ModelArtifacts::build(&spec));
-        let artifacts = entry.read();
+            .get_or_build(key, || ModelArtifacts::build(&spec)))
+    }
+
+    /// Validates `node` against the live (possibly mutated) graph.
+    fn validate_node(artifacts: &ModelArtifacts, node: NodeId) -> Result<(), ServeError> {
         if node as usize >= artifacts.num_nodes() {
             return Err(ServeError::NodeOutOfRange {
                 node,
                 nodes: artifacts.num_nodes(),
             });
         }
-        Ok((
-            artifacts.shard_of(node),
-            artifacts.node_tier(node),
-            artifacts.node_bits(node),
-        ))
+        Ok(())
     }
 
     /// Requests waiting in scheduler buckets (not yet dispatched).

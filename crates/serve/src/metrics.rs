@@ -109,6 +109,14 @@ pub struct ShardStat {
     pub halo_fetches: AtomicU64,
     /// Slice rebuilds triggered by mutations.
     pub rebuilds: AtomicU64,
+    /// Requests answered from this shard's logits cache (no forward pass).
+    pub logits_hits: AtomicU64,
+    /// Requests answered by a forward pass (logits-cache misses).
+    pub logits_misses: AtomicU64,
+    /// Logits-cache entries evicted under byte-budget pressure.
+    pub logits_evictions: AtomicU64,
+    /// Logits-cache entries dropped by delta-precise invalidation.
+    pub logits_invalidations: AtomicU64,
     /// Estimated MEGA cycles across this shard's batches.
     pub est_cycles: AtomicU64,
     /// Estimated DRAM bytes across this shard's batches.
@@ -154,6 +162,16 @@ pub struct Metrics {
     pub halo_fetches: AtomicU64,
     /// Receptive-field rows resolved from halo copies across all batches.
     pub halo_rows: AtomicU64,
+    /// Requests answered from a logits cache across all shards. Together
+    /// with `logits_misses` this partitions completed inference requests:
+    /// every answered request is exactly one of the two.
+    pub logits_hits: AtomicU64,
+    /// Requests answered by a forward pass across all shards.
+    pub logits_misses: AtomicU64,
+    /// Logits-cache entries evicted under byte-budget pressure.
+    pub logits_evictions: AtomicU64,
+    /// Logits-cache entries dropped by delta-precise invalidation.
+    pub logits_invalidations: AtomicU64,
     /// Estimated MEGA cycles across all batches (hardware-model feedback).
     pub est_cycles: AtomicU64,
     /// Estimated DRAM bytes across all batches.
@@ -226,6 +244,47 @@ impl Metrics {
             .fetch_add(est.dram_bytes, Ordering::Relaxed);
     }
 
+    /// Records where one answered request's logits came from: the shard's
+    /// logits cache (`hit`) or a forward pass. Called once per completed
+    /// inference request, so hits + misses = completed and the hit rate is
+    /// the fraction of traffic that skipped the forward pass entirely.
+    pub fn record_logits_lookup(&self, shard: u32, hit: bool) {
+        let stat = self.shard_stat(shard);
+        if hit {
+            self.logits_hits.fetch_add(1, Ordering::Relaxed);
+            stat.logits_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.logits_misses.fetch_add(1, Ordering::Relaxed);
+            stat.logits_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records logits-cache entries evicted by an insert (byte-budget
+    /// pressure).
+    pub fn record_logits_evictions(&self, shard: u32, evicted: usize) {
+        if evicted == 0 {
+            return;
+        }
+        self.logits_evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        self.shard_stat(shard)
+            .logits_evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+    }
+
+    /// Records logits-cache entries dropped by one delta's precise
+    /// invalidation on one shard.
+    pub fn record_logits_invalidations(&self, shard: u32, invalidated: usize) {
+        if invalidated == 0 {
+            return;
+        }
+        self.logits_invalidations
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+        self.shard_stat(shard)
+            .logits_invalidations
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+    }
+
     /// Records one shard's halo exchange after an applied update.
     pub fn record_shard_sync(&self, shard: u32, halo_fetched: usize, rebuilt: bool) {
         self.halo_fetches
@@ -276,6 +335,19 @@ impl Metrics {
             rows_refreshed: self.rows_refreshed.load(Ordering::Relaxed),
             halo_fetches: self.halo_fetches.load(Ordering::Relaxed),
             halo_rows: self.halo_rows.load(Ordering::Relaxed),
+            logits_hits: self.logits_hits.load(Ordering::Relaxed),
+            logits_misses: self.logits_misses.load(Ordering::Relaxed),
+            logits_hit_rate: {
+                let hits = self.logits_hits.load(Ordering::Relaxed);
+                let lookups = hits + self.logits_misses.load(Ordering::Relaxed);
+                if lookups > 0 {
+                    hits as f64 / lookups as f64
+                } else {
+                    0.0
+                }
+            },
+            logits_evictions: self.logits_evictions.load(Ordering::Relaxed),
+            logits_invalidations: self.logits_invalidations.load(Ordering::Relaxed),
             est_cycles: self.est_cycles.load(Ordering::Relaxed),
             est_dram_bytes: self.est_dram_bytes.load(Ordering::Relaxed),
             shards: self
@@ -291,6 +363,10 @@ impl Metrics {
                     halo_rows: s.halo_rows.load(Ordering::Relaxed),
                     halo_fetches: s.halo_fetches.load(Ordering::Relaxed),
                     rebuilds: s.rebuilds.load(Ordering::Relaxed),
+                    logits_hits: s.logits_hits.load(Ordering::Relaxed),
+                    logits_misses: s.logits_misses.load(Ordering::Relaxed),
+                    logits_evictions: s.logits_evictions.load(Ordering::Relaxed),
+                    logits_invalidations: s.logits_invalidations.load(Ordering::Relaxed),
                     est_cycles: s.est_cycles.load(Ordering::Relaxed),
                     est_dram_bytes: s.est_dram_bytes.load(Ordering::Relaxed),
                 })
@@ -321,6 +397,14 @@ pub struct ShardReport {
     pub halo_fetches: u64,
     /// Slice rebuilds under mutation.
     pub rebuilds: u64,
+    /// Requests answered from this shard's logits cache.
+    pub logits_hits: u64,
+    /// Requests answered by a forward pass on this shard.
+    pub logits_misses: u64,
+    /// Logits-cache entries evicted under byte pressure.
+    pub logits_evictions: u64,
+    /// Logits-cache entries dropped by delta invalidation.
+    pub logits_invalidations: u64,
     /// Estimated MEGA cycles over this shard's batches.
     pub est_cycles: u64,
     /// Estimated DRAM bytes over this shard's batches.
@@ -370,6 +454,16 @@ pub struct MetricsReport {
     pub halo_fetches: u64,
     /// Receptive-field rows resolved from halo copies across batches.
     pub halo_rows: u64,
+    /// Requests answered from a logits cache (no forward pass).
+    pub logits_hits: u64,
+    /// Requests answered by a forward pass.
+    pub logits_misses: u64,
+    /// `logits_hits` over all answered lookups (0.0 when none).
+    pub logits_hit_rate: f64,
+    /// Logits-cache entries evicted under byte pressure.
+    pub logits_evictions: u64,
+    /// Logits-cache entries dropped by delta-precise invalidation.
+    pub logits_invalidations: u64,
     /// Estimated MEGA cycles across all batches.
     pub est_cycles: u64,
     /// Estimated DRAM bytes across all batches.
@@ -433,16 +527,30 @@ impl std::fmt::Display for MetricsReport {
             "halo        {:>10} cross-shard rows read, {} halo rows exchanged",
             self.halo_rows, self.halo_fetches
         )?;
+        writeln!(
+            f,
+            "logits      {:>10.1}% hit rate ({} hits / {} misses, {} evicted, {} invalidated)",
+            self.logits_hit_rate * 100.0,
+            self.logits_hits,
+            self.logits_misses,
+            self.logits_evictions,
+            self.logits_invalidations
+        )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "shard {:<5} {:>10} req / {} batches, {} halo rows, {} fetched, {} rebuilds, est {} cyc / {} B",
+                "shard {:<5} {:>10} req / {} batches, {} halo rows, {} fetched, {} rebuilds, \
+                 logits {}h/{}m/{}e/{}i, est {} cyc / {} B",
                 s.shard,
                 s.requests,
                 s.batches,
                 s.halo_rows,
                 s.halo_fetches,
                 s.rebuilds,
+                s.logits_hits,
+                s.logits_misses,
+                s.logits_evictions,
+                s.logits_invalidations,
                 s.est_cycles,
                 s.est_dram_bytes
             )?;

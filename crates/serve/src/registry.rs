@@ -25,10 +25,20 @@ pub struct ModelSpec {
     /// served from its own adjacency/feature slice by a shard-affine
     /// worker (also the locality-ordering granularity for batches).
     pub shards: usize,
+    /// Logits-cache byte budget for this model, split evenly across its
+    /// shards ([`crate::LogitsCache`]). `0` disables result caching — every
+    /// request runs the forward pass.
+    pub cache_bytes: usize,
 }
 
 impl ModelSpec {
-    /// A spec with the paper-default policy, 4-bit weights, and 4 shards.
+    /// Default per-model logits-cache budget: comfortably holds every node
+    /// of the citation datasets while staying a rounding error next to the
+    /// artifacts themselves.
+    pub const DEFAULT_CACHE_BYTES: usize = 8 << 20;
+
+    /// A spec with the paper-default policy, 4-bit weights, 4 shards, and
+    /// an 8 MiB logits cache.
     pub fn standard(dataset: DatasetSpec, kind: GnnKind) -> Self {
         Self {
             dataset,
@@ -36,6 +46,7 @@ impl ModelSpec {
             policy: DegreePolicy::paper_default(),
             weight_bits: 4,
             shards: 4,
+            cache_bytes: Self::DEFAULT_CACHE_BYTES,
         }
     }
 
@@ -43,6 +54,12 @@ impl ModelSpec {
     /// `1` disables cross-shard halo exchange entirely).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Replaces the logits-cache byte budget (`0` disables caching).
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
         self
     }
 
@@ -122,6 +139,9 @@ mod tests {
         assert_eq!(key, ModelKey::new("Cora", GnnKind::Gcn));
         let spec = registry.get(&key).expect("registered");
         assert_eq!(spec.weight_bits, 4);
+        assert_eq!(spec.cache_bytes, ModelSpec::DEFAULT_CACHE_BYTES);
+        let uncached = spec.clone().with_cache_bytes(0);
+        assert_eq!(uncached.cache_bytes, 0, "0 disables result caching");
         assert!(registry.get(&ModelKey::new("Nope", GnnKind::Gcn)).is_none());
         assert_eq!(registry.keys(), vec![key]);
     }

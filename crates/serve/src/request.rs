@@ -77,10 +77,50 @@ pub struct InferenceResponse {
     pub halo_rows: usize,
     /// How many requests shared this node's batch.
     pub batch_size: usize,
-    /// Worker thread that executed the batch.
+    /// Worker thread that executed the batch. Meaningless when `cached`
+    /// is set and the hit was answered on the submitting thread
+    /// ([`crate::ServeEngine::submit`] reports `usize::MAX` there).
     pub worker: usize,
+    /// Whether the logits came from the per-shard [`crate::LogitsCache`]
+    /// instead of a forward pass. Cached answers are bit-exact with fresh
+    /// ones — delta-precise invalidation is what makes that a guarantee,
+    /// not a heuristic.
+    pub cached: bool,
     /// Submit-to-response latency.
     pub latency: Duration,
+}
+
+impl InferenceResponse {
+    /// A response answered from a [`crate::LogitsCache`] hit — the single
+    /// constructor both hit paths (submit-time short-circuit and the
+    /// worker's partial-batch split) share, so the cached-response
+    /// invariants (no batch, no halo reads, `cached` flagged, logits
+    /// verbatim from the cache) exist in one place.
+    pub fn from_hit(
+        id: u64,
+        model: ModelKey,
+        node: NodeId,
+        shard: u32,
+        worker: usize,
+        hit: crate::logits::CachedLogits,
+        latency: Duration,
+    ) -> Self {
+        Self {
+            id,
+            model,
+            node,
+            predicted_class: hit.predicted_class,
+            logits: hit.logits,
+            bits: hit.bits,
+            tier: hit.tier,
+            shard,
+            halo_rows: 0,
+            batch_size: 1,
+            worker,
+            cached: true,
+            latency,
+        }
+    }
 }
 
 /// One graph-mutation request, as tracked inside the engine. Updates ride
@@ -126,6 +166,10 @@ pub struct UpdateResponse {
     /// Halo rows re-fetched across shards by the halo exchange this delta
     /// triggered (stale cross-shard copies invalidated and refreshed).
     pub halo_refreshed: usize,
+    /// Cached logits dropped because this delta reached their receptive
+    /// field (summed over shards; the per-shard split rides in
+    /// [`crate::UpdateEffect::logits_invalidated`]).
+    pub logits_invalidated: usize,
     /// Shard balance after the delta (max owned nodes over the ideal
     /// `n/k`; 1.0 = perfectly even).
     pub balance: f64,

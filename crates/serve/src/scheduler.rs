@@ -1,6 +1,13 @@
 //! The batch scheduler: buckets requests by (model, shard, precision tier)
 //! and flushes size- or deadline-triggered batches to the worker pool.
 //!
+//! The scheduler only ever sees logits-cache *misses*: the engine answers
+//! cache hits at submit time ([`crate::ServeEngine::submit`]), and workers
+//! split out any requests whose node was cached between submission and
+//! execution ([`crate::worker`]) before running the forward pass — so a
+//! bucket's eventual batch shrinks to exactly the targets that still need
+//! compute (partial-batch hit/miss splitting).
+//!
 //! Bucketing by tier keeps a batch's per-node bitwidths — and therefore its
 //! per-row cost — homogeneous, so one slow hub node does not ride along
 //! with (and delay) a batch of cheap leaf nodes. Bucketing by *shard* keeps

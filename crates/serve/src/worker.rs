@@ -21,6 +21,7 @@ use mega_graph::NodeId;
 use mega_tensor::Matrix;
 
 use crate::cache::{quantize_row, ArtifactCache, ModelArtifacts};
+use crate::logits::CachedLogits;
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
 use crate::request::{
@@ -250,10 +251,6 @@ fn run_batch(
     if valid.is_empty() {
         return;
     }
-    let (sharded, foreign): (Vec<_>, Vec<_>) = valid.into_iter().partition(|r| {
-        artifacts.shard_of(r.node) == batch.shard && artifacts.shard(batch.shard).is_some()
-    });
-
     match batch.reason {
         FlushReason::Size => {
             metrics
@@ -267,6 +264,33 @@ fn run_batch(
         }
         FlushReason::Barrier | FlushReason::Drain => {}
     }
+
+    // Partial-batch split: a request that missed the logits cache at
+    // submit time may have been filled since (an earlier batch computed
+    // the same hot node). Answer those straight from the cache; only the
+    // remainder pays the forward pass. Safe under the read guard — the
+    // cache is only invalidated under the entry's write lock, so a hit
+    // here is bit-exact with recomputing against these artifacts.
+    let mut to_compute = Vec::with_capacity(valid.len());
+    for request in valid {
+        let shard = artifacts.shard_of(request.node);
+        match artifacts
+            .logits_cache(shard)
+            .and_then(|c| c.get(request.node))
+        {
+            Some(hit) => {
+                metrics.record_logits_lookup(shard, true);
+                respond_cached(worker_id, &request, shard, hit, responses, metrics);
+            }
+            None => to_compute.push(request),
+        }
+    }
+    if to_compute.is_empty() {
+        return;
+    }
+    let (sharded, foreign): (Vec<_>, Vec<_>) = to_compute.into_iter().partition(|r| {
+        artifacts.shard_of(r.node) == batch.shard && artifacts.shard(batch.shard).is_some()
+    });
 
     if !sharded.is_empty() {
         execute_shard_batch(
@@ -306,6 +330,64 @@ fn ordered_targets(requests: &[InferenceRequest]) -> (Vec<NodeId>, Vec<usize>) {
     (targets, order)
 }
 
+/// Answers one request from a logits-cache hit: no forward pass, no
+/// batch — the response carries the cached row verbatim (bit-exact with
+/// recomputation by the invalidation guarantee).
+fn respond_cached(
+    worker_id: usize,
+    request: &InferenceRequest,
+    shard: u32,
+    hit: CachedLogits,
+    responses: &Sender<ServeResponse>,
+    metrics: &Metrics,
+) {
+    let response = InferenceResponse::from_hit(
+        request.id,
+        request.model.clone(),
+        request.node,
+        shard,
+        worker_id,
+        hit,
+        request.submitted_at.elapsed(),
+    );
+    metrics.record_response(response.bits, response.latency);
+    let _ = responses.send(ServeResponse::Inference(response));
+}
+
+/// Inserts freshly computed logits rows into their owning shards' caches
+/// (deduplicating repeated targets) and charges any evictions to the
+/// metrics. Runs under the artifacts read guard, which is what serializes
+/// fills against delta invalidation.
+fn fill_logits_cache(
+    artifacts: &ModelArtifacts,
+    targets: &[NodeId],
+    logits: &Matrix,
+    metrics: &Metrics,
+) {
+    for (row, &node) in targets.iter().enumerate() {
+        if row > 0 && targets[row - 1] == node {
+            continue; // targets are sorted; duplicates share one entry
+        }
+        let shard = artifacts.shard_of(node);
+        let Some(cache) = artifacts.logits_cache(shard) else {
+            continue;
+        };
+        if !cache.is_enabled() {
+            continue;
+        }
+        let evicted = cache.insert(
+            node,
+            CachedLogits {
+                logits: logits.row(row).to_vec(),
+                predicted_class: logits.argmax_row(row),
+                bits: artifacts.node_bits(node),
+                tier: artifacts.node_tier(node),
+            },
+        );
+        metrics.record_logits_evictions(shard, evicted);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn respond_batch(
     worker_id: usize,
@@ -337,8 +419,10 @@ fn respond_batch(
             halo_rows,
             batch_size,
             worker: worker_id,
+            cached: false,
             latency: request.submitted_at.elapsed(),
         };
+        metrics.record_logits_lookup(artifacts.shard_of(request.node), false);
         metrics.record_response(response.bits, response.latency);
         // A dropped receiver means the caller stopped listening; keep
         // draining so shutdown still completes.
@@ -372,6 +456,7 @@ fn execute_shard_batch(
     );
     metrics.record_batch(requests.len(), field.total_rows(), execution);
     metrics.record_shard_batch(shard, requests.len(), halo_rows, est);
+    fill_logits_cache(artifacts, &targets, &logits, metrics);
     respond_batch(
         worker_id, artifacts, &requests, &order, &logits, shard, halo_rows, responses, metrics,
     );
@@ -390,6 +475,7 @@ fn execute_global_batch(
     let execution = started.elapsed();
     metrics.record_batch(requests.len(), field.total_rows(), execution);
     let shard = targets.first().map(|&t| artifacts.shard_of(t)).unwrap_or(0);
+    fill_logits_cache(artifacts, &targets, &logits, metrics);
     respond_batch(
         worker_id, artifacts, &requests, &order, &logits, shard, 0, responses, metrics,
     );
@@ -436,7 +522,11 @@ fn run_update(
             for refresh in &effect.shard_refreshes {
                 metrics.record_shard_sync(refresh.shard, refresh.halo_fetched, refresh.rebuilt);
             }
+            for &(shard, invalidated) in &effect.logits_invalidated {
+                metrics.record_logits_invalidations(shard, invalidated);
+            }
             let halo_refreshed = effect.halo_refreshed();
+            let logits_invalidated = effect.logits_invalidated_total();
             UpdateResponse {
                 id: update.id,
                 model,
@@ -447,6 +537,7 @@ fn run_update(
                 retiered: effect.retiered,
                 dirty_rows: effect.dirty_rows,
                 halo_refreshed,
+                logits_invalidated,
                 balance: effect.balance,
                 version,
                 latency: update.submitted_at.elapsed(),
@@ -465,6 +556,7 @@ fn run_update(
                 retiered: Vec::new(),
                 dirty_rows: 0,
                 halo_refreshed: 0,
+                logits_invalidated: 0,
                 balance,
                 version,
                 latency: update.submitted_at.elapsed(),
