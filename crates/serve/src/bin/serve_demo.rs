@@ -26,9 +26,21 @@
 //! throughput (an open-loop burst already amortizes duplicate hot nodes
 //! inside each batch, so it understates the cache).
 //!
+//! Completion is observed through **tickets** (`submit_wait` /
+//! `Ticket::wait_update`): each cycle is woken the moment its response
+//! exists. `--wait-mode poll` reproduces the legacy observation pattern
+//! this PR removed — drain the global response stream to find your own
+//! answer, and watch churn progress through a 1 ms sleep-poll probe loop
+//! — so the closed-loop p50/p99 in `BENCH_pr5.json` can be compared
+//! like-for-like. After the closed loop the demo holds the engine *idle*
+//! for `--idle-ms` and reports sweeper wakeups per idle second: the
+//! timer-driven sweeper parks instead of spin-polling, so this is ~0
+//! where the old 500 µs sleep-poll recorded ~2000/s.
+//!
 //! Flags: `--shards K` (default 4), `--requests N`, `--scale F`,
 //! `--workers W`, `--cache-mb MB` (default 16), `--zipf S` (default 1.0),
-//! `--closed-loop N` (default 2000).
+//! `--closed-loop N` (default 2000), `--wait-mode ticket|poll`
+//! (default ticket), `--idle-ms MS` (default 1000).
 //! Env fallbacks: `MEGA_SERVE_REQUESTS` (default 12000),
 //! `MEGA_SERVE_WORKERS` (default: all cores, at least 4),
 //! `MEGA_SERVE_SCALE` (dataset node-count scale, default 1.0),
@@ -153,6 +165,9 @@ fn main() {
     let cache_bytes = (cache_mb * 1024.0 * 1024.0) as usize;
     let zipf = arg("--zipf", env_f64("MEGA_SERVE_ZIPF", 1.0)).max(0.0);
     let closed_loop = arg("--closed-loop", env_usize("MEGA_SERVE_CLOSED_LOOP", 2_000));
+    let wait_mode = arg("--wait-mode", "ticket".to_string());
+    let legacy_poll = wait_mode == "poll";
+    let idle_ms = arg("--idle-ms", 1_000u64);
 
     let scaled = |name: &str| {
         let spec = DatasetSpec::by_name(name).expect("known dataset");
@@ -202,7 +217,6 @@ fn main() {
             max_delay: Duration::from_millis(2),
         },
         cache_capacity: 8,
-        sweep_interval: Duration::from_micros(500),
     };
     let (engine, responses) = ServeEngine::start(config, registry.clone());
 
@@ -292,20 +306,35 @@ fn main() {
         .insert_edge(churn_nodes + 1, target)
         .insert_edge(target, churn_nodes);
     let feature_rows = vec![vec![0.5; dim], vec![0.25; dim]];
-    engine
+    let upsert_ticket = engine
         .submit_update(churn_key, upsert, feature_rows)
         .expect("node upsert");
     churn_updates += 1;
 
     // Wait for the promotion to become observable, then serve the target
-    // and the freshly added node at their new bitwidths.
+    // and the freshly added node at their new bitwidths. Updates apply
+    // FIFO per model, so the final upsert's acknowledgement fences every
+    // churn update before it — one event-driven wait replaces the old
+    // 1 ms sleep-poll probe loop (kept behind --wait-mode poll for the
+    // before/after bench).
     let expected_bits = DegreePolicy::paper_default().bits_for_degree(inserted);
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while engine.probe(churn_key, target).unwrap().1 < expected_bits
-        || engine.probe(churn_key, churn_nodes + 1).is_err()
-    {
-        assert!(Instant::now() < deadline, "churn updates did not apply");
-        std::thread::sleep(Duration::from_millis(1));
+    if legacy_poll {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.probe(churn_key, target).unwrap().1 < expected_bits
+            || engine.probe(churn_key, churn_nodes + 1).is_err()
+        {
+            assert!(Instant::now() < deadline, "churn updates did not apply");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    } else {
+        let ack = upsert_ticket
+            .wait_update(Duration::from_secs(30))
+            .expect("upsert acknowledged");
+        assert!(ack.applied(), "upsert delta is valid");
+        assert!(
+            engine.probe(churn_key, target).unwrap().1 >= expected_bits,
+            "FIFO fence: promotion visible once the last update is acked"
+        );
     }
     let (tier_after, bits_after) = engine.probe(churn_key, target).unwrap();
     let (target_shard, _, _) = engine.locate(churn_key, target).unwrap();
@@ -343,39 +372,87 @@ fn main() {
     let open_wall = started.elapsed();
     let mut closed_elapsed = Duration::ZERO;
     let mut closed_cached = 0u64;
+    let mut closed_latencies_us: Vec<u64> = Vec::with_capacity(closed_loop);
     if closed_loop > 0 {
         let t0 = Instant::now();
         for _ in 0..closed_loop {
             let model = pick_model(&mut rng);
             let node = popularity[model].sample(&mut rng);
-            let id = engine
-                .submit(&keys[model], node)
-                .expect("closed-loop submit");
-            loop {
-                let response = responses.recv().expect("engine running");
-                let done = response.id() == id;
-                if done {
-                    if let mega_serve::ServeResponse::Inference(r) = &response {
-                        if r.cached {
-                            closed_cached += 1;
-                        }
+            let cycle = Instant::now();
+            let cached = if legacy_poll {
+                // Legacy observation: submit, then drain the *global*
+                // stream until our own response scrolls past — every
+                // cycle pays for scanning unrelated traffic.
+                let id = engine
+                    .submit(&keys[model], node)
+                    .expect("closed-loop submit")
+                    .id();
+                loop {
+                    let response = responses.recv().expect("engine running");
+                    let done = response.id() == id;
+                    let cached = done
+                        && matches!(&response, mega_serve::ServeResponse::Inference(r) if r.cached);
+                    all_responses.push(response);
+                    if done {
+                        break cached;
                     }
                 }
-                all_responses.push(response);
-                if done {
-                    break;
-                }
+            } else {
+                // Event-driven: the ticket's condvar wakes this thread the
+                // moment the response exists. (The response also rides the
+                // legacy stream; it is drained after shutdown.)
+                engine
+                    .submit_wait(&keys[model], node, Duration::from_secs(30))
+                    .expect("closed-loop response")
+                    .cached
+            };
+            closed_latencies_us.push(cycle.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            if cached {
+                closed_cached += 1;
             }
         }
         closed_elapsed = t0.elapsed();
+        closed_latencies_us.sort_unstable();
+        let quantile = |q: f64| {
+            let idx = ((q * closed_latencies_us.len() as f64).ceil() as usize)
+                .clamp(1, closed_latencies_us.len())
+                - 1;
+            Duration::from_micros(closed_latencies_us[idx])
+        };
         println!(
             "\n[closed-loop] {closed_loop} request→response cycles in {:.2?} \
-             ({:.0} req/s, {:.1}% answered from the logits cache)",
+             ({:.0} req/s, p50 {:.3?} / p99 {:.3?}, {:.1}% answered from the logits cache, \
+             waits via {})",
             closed_elapsed,
             closed_loop as f64 / closed_elapsed.as_secs_f64(),
-            100.0 * closed_cached as f64 / closed_loop as f64
+            quantile(0.50),
+            quantile(0.99),
+            100.0 * closed_cached as f64 / closed_loop as f64,
+            if legacy_poll {
+                "legacy stream drain"
+            } else {
+                "tickets"
+            }
         );
     }
+
+    // ── Idle phase ─────────────────────────────────────────────────────
+    // Everything submitted is answered; the engine is idle. The
+    // timer-driven sweeper must be parked on its condvar — near-zero
+    // wakeups — where the old fixed 500 µs sleep-poll burned ~2000
+    // wakeups per second keeping an idle core warm.
+    let idle_wakeups_per_s = {
+        use std::sync::atomic::Ordering;
+        let before = engine.metrics().sweeper_wakeups.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(idle_ms.max(1)));
+        let woke = engine.metrics().sweeper_wakeups.load(Ordering::Relaxed) - before;
+        let per_s = woke as f64 * 1000.0 / idle_ms.max(1) as f64;
+        println!(
+            "[idle] {woke} sweeper wakeups over {idle_ms} ms idle ({per_s:.1}/s; \
+             the fixed 500 µs sleep-poll was ~2000/s)"
+        );
+        per_s
+    };
 
     let report = engine.shutdown();
     all_responses.extend(responses.try_iter());
@@ -535,7 +612,8 @@ fn main() {
         "\nserve_demo OK: {} requests + {} graph updates ({} nodes retiered, \
          {} halo rows exchanged, {} cached logits invalidated) over {} models x {} shards \
          on {workers} workers ({:.0} req/s open-loop, {:.0} req/s closed-loop, \
-         {:.1}% logits-cache hits, est {} MEGA cycles / {} DRAM bytes)",
+         {:.1}% logits-cache hits, {:.1} idle sweeper wakeups/s, \
+         est {} MEGA cycles / {} DRAM bytes)",
         report.completed,
         updates_acked,
         retiered,
@@ -546,6 +624,7 @@ fn main() {
         requests as f64 / open_wall.as_secs_f64(),
         closed_rps,
         report.logits_hit_rate * 100.0,
+        idle_wakeups_per_s,
         report.est_cycles,
         report.est_dram_bytes
     );

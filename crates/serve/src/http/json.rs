@@ -1,0 +1,402 @@
+//! The smallest JSON layer that can carry the ingress's wire format:
+//! a recursive-descent parser into a [`Json`] value tree plus the few
+//! serialization helpers the response renderers need. Hand-rolled on
+//! purpose — the build is offline (no serde), and the subset here (no
+//! `\u` surrogate pairs beyond the BMP, f64 numbers) is exactly what the
+//! endpoints consume and produce.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always carried as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<u64> for Json {
+    fn from(value: u64) -> Self {
+        Json::Num(value as f64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(value: f64) -> Self {
+        Json::Num(value)
+    }
+}
+
+impl From<String> for Json {
+    fn from(value: String) -> Self {
+        Json::Str(value)
+    }
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(values) => Some(values),
+            _ => None,
+        }
+    }
+
+    /// Serializes back to JSON text.
+    pub fn render(&self) -> String {
+        match self {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => render_number(*n),
+            Json::Str(s) => escape_string(s),
+            Json::Arr(values) => {
+                let inner: Vec<String> = values.iter().map(Json::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", escape_string(k), v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Renders a number the way the wire format wants it: integers without a
+/// fraction, floats via `f64`'s shortest round-trip formatting, and the
+/// non-finite values (which JSON cannot carry) as `null`.
+fn render_number(n: f64) -> String {
+    if !n.is_finite() {
+        "null".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        // `{:?}` is Rust's shortest f64 round-trip form.
+        format!("{n:?}")
+    }
+}
+
+/// Escapes `s` into a quoted JSON string literal.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Appends `"name":value,` to a JSON object under construction (the
+/// caller pops the trailing comma before closing the brace).
+pub fn field(out: &mut String, name: &str, value: Json) {
+    out.push_str(&escape_string(name));
+    out.push(':');
+    out.push_str(&value.render());
+    out.push(',');
+}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(bytes: &[u8]) -> Result<Json, &'static str> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "body is not UTF-8")?;
+    let mut parser = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.chars.next().is_some() {
+        return Err("trailing garbage after JSON value");
+    }
+    Ok(value)
+}
+
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), &'static str> {
+        match self.chars.next() {
+            Some((_, found)) if found == c => Ok(()),
+            _ => Err("unexpected character"),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, value: Json) -> Result<Json, &'static str> {
+        for expected in rest.chars() {
+            self.expect(expected).map_err(|_| "bad literal")?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, &'static str> {
+        if self.depth >= MAX_DEPTH {
+            return Err("nesting too deep");
+        }
+        self.skip_whitespace();
+        let Some(&(start, c)) = self.chars.peek() else {
+            return Err("unexpected end of input");
+        };
+        match c {
+            'n' => {
+                self.chars.next();
+                self.literal("ull", Json::Null)
+            }
+            't' => {
+                self.chars.next();
+                self.literal("rue", Json::Bool(true))
+            }
+            'f' => {
+                self.chars.next();
+                self.literal("alse", Json::Bool(false))
+            }
+            '"' => self.string().map(Json::Str),
+            '[' => {
+                self.chars.next();
+                self.depth += 1;
+                let mut values = Vec::new();
+                self.skip_whitespace();
+                if matches!(self.chars.peek(), Some((_, ']'))) {
+                    self.chars.next();
+                } else {
+                    loop {
+                        values.push(self.value()?);
+                        self.skip_whitespace();
+                        match self.chars.next() {
+                            Some((_, ',')) => continue,
+                            Some((_, ']')) => break,
+                            _ => return Err("expected ',' or ']'"),
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Arr(values))
+            }
+            '{' => {
+                self.chars.next();
+                self.depth += 1;
+                let mut fields = Vec::new();
+                self.skip_whitespace();
+                if matches!(self.chars.peek(), Some((_, '}'))) {
+                    self.chars.next();
+                } else {
+                    loop {
+                        self.skip_whitespace();
+                        let key = self.string()?;
+                        self.skip_whitespace();
+                        self.expect(':').map_err(|_| "expected ':'")?;
+                        let value = self.value()?;
+                        fields.push((key, value));
+                        self.skip_whitespace();
+                        match self.chars.next() {
+                            Some((_, ',')) => continue,
+                            Some((_, '}')) => break,
+                            _ => return Err("expected ',' or '}'"),
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Obj(fields))
+            }
+            '-' | '0'..='9' => self.number(start),
+            _ => Err("unexpected character"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, &'static str> {
+        self.expect('"').map_err(|_| "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some((_, h)) = self.chars.next() else {
+                                return Err("truncated \\u escape");
+                            };
+                            let digit = h.to_digit(16).ok_or("bad \\u escape")?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    _ => return Err("bad escape"),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) -> Result<Json, &'static str> {
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.text[start..end]
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| "bad number")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_wire_shapes() {
+        let body = parse(br#"{"node": 17, "timeout_ms": 250}"#).unwrap();
+        assert_eq!(body.get("node").unwrap().as_u64(), Some(17));
+        let update =
+            parse(br#"{"insert": [[0, 1], [2, 3]], "remove": [], "add_nodes": [[0.5, -1.25e1]]}"#)
+                .unwrap();
+        let insert = update.get("insert").unwrap().as_array().unwrap();
+        assert_eq!(insert.len(), 2);
+        assert_eq!(insert[1].as_array().unwrap()[0].as_u64(), Some(2));
+        let row = update.get("add_nodes").unwrap().as_array().unwrap()[0]
+            .as_array()
+            .unwrap();
+        assert_eq!(row[1].as_f64(), Some(-12.5));
+        assert!(update.get("remove").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            &b"{"[..],
+            b"[1,]",
+            b"{\"a\" 1}",
+            b"nul",
+            b"\"unterminated",
+            b"1 2",
+            b"{\"a\":1}x",
+        ] {
+            assert!(
+                parse(bad).is_err(),
+                "{:?} parsed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // Nesting bomb stays bounded.
+        let bomb = b"[".repeat(100);
+        assert_eq!(parse(&bomb), Err("nesting too deep"));
+    }
+
+    #[test]
+    fn strings_and_escapes_roundtrip() {
+        let value = parse(br#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(value.as_str(), Some("a\"b\\c\ndA"));
+        let rendered = Json::Str("quote\" slash\\ nl\n".to_string()).render();
+        assert_eq!(
+            parse(rendered.as_bytes()).unwrap().as_str(),
+            Some("quote\" slash\\ nl\n")
+        );
+    }
+
+    #[test]
+    fn numbers_render_faithfully() {
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-1.5f64).render(), "-1.5");
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        let logits = [0.1f32, -2.75, 1e-7];
+        for &l in &logits {
+            let rendered = Json::from(f64::from(l)).render();
+            let back = parse(rendered.as_bytes()).unwrap().as_f64().unwrap();
+            assert_eq!(back as f32, l, "f32 logits survive the wire");
+        }
+    }
+
+    #[test]
+    fn object_builder_matches_parser() {
+        let mut out = String::from("{");
+        field(&mut out, "id", Json::from(7u64));
+        field(&mut out, "name", Json::from("Cora/GCN".to_string()));
+        field(&mut out, "worker", Json::Null);
+        out.pop();
+        out.push('}');
+        let parsed = parse(out.as_bytes()).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("Cora/GCN"));
+        assert_eq!(parsed.get("worker"), Some(&Json::Null));
+    }
+}

@@ -61,6 +61,18 @@
 //! tracks its live degree (a promoted hub is answered at more bits on the
 //! very next batch).
 //!
+//! Completion is **event-driven**, not polled: every submit registers a
+//! [`Ticket`] with the engine's completion router, and whichever thread
+//! produces the response (the submit-time cache-hit path or a worker)
+//! delivers it into the ticket's slot — waking its waiter that instant —
+//! as well as onto the legacy broadcast stream. [`ServeEngine::submit_wait`]
+//! and [`ServeEngine::submit_update_wait`] wrap that into blocking
+//! request/response calls with per-request deadlines, and the deadline
+//! sweeper parks on a condvar until exactly the earliest bucket deadline
+//! instead of sleep-polling. A std-only TCP/HTTP ingress ([`http`])
+//! exposes the same calls over the wire with admission-control
+//! backpressure.
+//!
 //! # Example
 //!
 //! ```
@@ -68,6 +80,7 @@
 //! use mega_graph::DatasetSpec;
 //! use mega_serve::{ModelRegistry, ModelSpec, ServeConfig, ServeEngine};
 //! use std::sync::Arc;
+//! use std::time::Duration;
 //!
 //! let registry = Arc::new(ModelRegistry::new());
 //! let key = registry.register(ModelSpec::standard(
@@ -76,32 +89,43 @@
 //! ));
 //! let config = ServeConfig { workers: 2, ..ServeConfig::default() };
 //! let (engine, responses) = ServeEngine::start(config, registry);
-//! for node in 0..16 {
-//!     engine.submit(&key, node).expect("registered model");
-//! }
+//! let timeout = Duration::from_secs(30);
+//! // Request/response semantics: wait on the ticket...
+//! let ticket = engine.submit(&key, 0).expect("registered model");
+//! let answer = ticket.wait_inference(timeout).expect("answered");
+//! assert_eq!(answer.node, 0);
+//! // ...or in one call.
+//! let direct = engine.submit_wait(&key, 1, timeout).expect("answered");
+//! assert!(!direct.logits.is_empty());
 //! // Mutate the graph while serving: wire node 3 into node 0.
 //! let mut delta = mega_graph::GraphDelta::new();
 //! delta.insert_edge(3, 0);
-//! engine.submit_update(&key, delta, vec![]).expect("valid update");
+//! let ack = engine
+//!     .submit_update_wait(&key, delta, vec![], timeout)
+//!     .expect("applied");
+//! assert!(ack.applied());
 //! let report = engine.shutdown();
-//! assert_eq!(report.completed, 16);
-//! assert_eq!(report.updates_applied, 1);
-//! assert_eq!(responses.iter().count(), 17); // 16 inferences + 1 update ack
+//! assert_eq!(report.completed, 2);
+//! // Every response also rode the legacy stream.
+//! assert_eq!(responses.iter().count(), 3);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod http;
 pub mod logits;
 pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod scheduler;
 pub mod shard;
+pub mod ticket;
 pub mod worker;
 
 pub use cache::{ArtifactCache, ModelArtifacts, ModelEntry, Retier, UpdateEffect};
+pub use http::{HttpServer, HttpServerConfig};
 pub use logits::{CachedLogits, LogitsCache};
 pub use metrics::{LogHistogram, Metrics, MetricsReport, ShardReport, ShardStat};
 pub use registry::{ModelRegistry, ModelSpec};
@@ -110,6 +134,7 @@ pub use request::{
 };
 pub use scheduler::{Batch, BatchScheduler, FlushReason, SchedulerConfig, WorkItem};
 pub use shard::{HwEstimate, ShardRefresh, ShardState};
+pub use ticket::{CompletionRouter, Completions, Ticket, WaitError};
 pub use worker::{batch_logits, shard_logits, WorkRouter, WorkerPool};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +145,10 @@ use std::time::{Duration, Instant};
 use mega_graph::{GraphDelta, NodeId};
 
 /// Engine-level knobs.
+///
+/// There is deliberately no sweep-interval knob anymore: the deadline
+/// sweeper is timer-driven ([`BatchScheduler::sweeper_park`]), waking at
+/// exactly the earliest bucket deadline instead of on a fixed poll tick.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads executing batches.
@@ -128,8 +157,6 @@ pub struct ServeConfig {
     pub scheduler: SchedulerConfig,
     /// Artifact sets kept resident (LRU above this).
     pub cache_capacity: usize,
-    /// How often the deadline sweeper wakes.
-    pub sweep_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -142,7 +169,6 @@ impl Default for ServeConfig {
             workers,
             scheduler: SchedulerConfig::default(),
             cache_capacity: 8,
-            sweep_interval: Duration::from_micros(500),
         }
     }
 }
@@ -163,6 +189,11 @@ pub enum ServeError {
     /// delta's `AddNode` ops). Delta/topology errors surface later in the
     /// [`UpdateResponse`], since the graph may change before application.
     BadUpdate(String),
+    /// A `*_wait` call submitted successfully but did not observe the
+    /// response: the per-request deadline passed ([`WaitError::Timeout`] —
+    /// the request is still in flight) or the engine dropped the request
+    /// ([`WaitError::Dropped`]).
+    Wait(WaitError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -173,13 +204,15 @@ impl std::fmt::Display for ServeError {
                 write!(f, "node {node} out of range (model has {nodes} nodes)")
             }
             ServeError::BadUpdate(reason) => write!(f, "bad update: {reason}"),
+            ServeError::Wait(wait) => write!(f, "submitted, but {wait}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// The serving engine: scheduler + sweeper + worker pool + shared caches.
+/// The serving engine: scheduler + sweeper + worker pool + shared caches
+/// + the completion router that wakes per-request waiters.
 pub struct ServeEngine {
     registry: Arc<ModelRegistry>,
     cache: Arc<ArtifactCache>,
@@ -190,55 +223,94 @@ pub struct ServeEngine {
     shutdown: Arc<AtomicBool>,
     next_id: AtomicU64,
     started_at: Instant,
-    /// The engine's own handle on the response stream: logits-cache hits
-    /// are answered right here at submit time, never reaching the
-    /// scheduler. Dropped with the engine at shutdown (after the workers'
-    /// clones), which is what ends the stream.
-    responses: Sender<ServeResponse>,
+    /// Per-request completion slots ([`Ticket`]s) keyed by request id —
+    /// also the engine's exact in-flight count, which admission control
+    /// ([`http`]) sheds on.
+    router: Arc<CompletionRouter>,
+    /// The single response fan-out (ticket slot + optional legacy
+    /// stream): the engine's own handle answers logits-cache hits right
+    /// at submit time, never reaching the scheduler. Dropped with the
+    /// engine at shutdown (after the workers' clones), which is what ends
+    /// the stream.
+    completions: Completions,
 }
 
 impl ServeEngine {
     /// Starts workers and the deadline sweeper; returns the engine plus the
-    /// response stream. The stream ends when the engine shuts down.
+    /// legacy broadcast stream (every response is delivered both to its
+    /// [`Ticket`] and onto this stream). The stream ends when the engine
+    /// shuts down.
     pub fn start(
         config: ServeConfig,
         registry: Arc<ModelRegistry>,
     ) -> (Self, Receiver<ServeResponse>) {
         let (response_tx, response_rx) = mpsc::channel();
+        let engine = Self::start_inner(config, registry, Some(response_tx));
+        (engine, response_rx)
+    }
+
+    /// Starts the engine without a legacy broadcast stream: responses are
+    /// delivered only to their [`Ticket`]s. This is what request/response
+    /// front-ends (e.g. [`http::HttpServer`]) use — nothing accumulates
+    /// unread in a channel nobody drains.
+    pub fn start_detached(config: ServeConfig, registry: Arc<ModelRegistry>) -> Self {
+        Self::start_inner(config, registry, None)
+    }
+
+    fn start_inner(
+        config: ServeConfig,
+        registry: Arc<ModelRegistry>,
+        stream: Option<Sender<ServeResponse>>,
+    ) -> Self {
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
         let metrics = Arc::new(Metrics::default());
+        let router = Arc::new(CompletionRouter::new());
+        let completions = Completions::new(router.clone(), stream);
         // Workers first: each owns a private lane, and the router pinning
         // (model, shard) pairs to lanes becomes the scheduler's output.
         let updates = Arc::new(scheduler::UpdateQueue::default());
-        let (pool, router) = WorkerPool::spawn(
+        let (pool, work_router) = WorkerPool::spawn(
             config.workers,
             registry.clone(),
             cache.clone(),
             updates.clone(),
             metrics.clone(),
-            response_tx.clone(),
+            completions.clone(),
         );
         let scheduler = Arc::new(BatchScheduler::with_updates(
             config.scheduler.clone(),
-            router,
+            work_router,
             updates,
         ));
         let shutdown = Arc::new(AtomicBool::new(false));
+        // The deadline sweeper is timer-driven: it parks on the
+        // scheduler's condvar until exactly the earliest bucket deadline
+        // (or indefinitely while idle) and is woken early only when a
+        // submit advances that deadline or at shutdown. Replaces the
+        // fixed-interval sleep poll that woke ~2000×/s on an idle engine
+        // and delivered deadline flushes up to one sweep interval late.
         let sweeper = {
             let scheduler = scheduler.clone();
             let shutdown = shutdown.clone();
-            let interval = config.sweep_interval;
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("mega-serve-sweeper".into())
-                .spawn(move || {
-                    while !shutdown.load(Ordering::Relaxed) {
-                        scheduler.poll_deadlines(Instant::now());
-                        std::thread::sleep(interval);
+                .spawn(move || loop {
+                    // Generation first: a re-arm landing after this capture
+                    // (but before the park) makes the park return
+                    // immediately, so no deadline is ever missed.
+                    let generation = scheduler.sweep_generation();
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
                     }
+                    metrics.sweeper_wakeups.fetch_add(1, Ordering::Relaxed);
+                    scheduler.poll_deadlines(Instant::now());
+                    let deadline = scheduler.next_deadline();
+                    scheduler.sweeper_park(generation, deadline);
                 })
                 .expect("spawn sweeper thread")
         };
-        let engine = Self {
+        Self {
             registry,
             cache,
             scheduler,
@@ -248,9 +320,9 @@ impl ServeEngine {
             shutdown,
             next_id: AtomicU64::new(0),
             started_at: Instant::now(),
-            responses: response_tx,
-        };
-        (engine, response_rx)
+            router,
+            completions,
+        }
     }
 
     /// Pre-builds (or touches) the artifacts for `key`, so the first
@@ -265,22 +337,32 @@ impl ServeEngine {
         Ok(())
     }
 
-    /// Accepts one node-classification request. Returns the engine-assigned
-    /// request id; the response arrives on the stream returned by
-    /// [`ServeEngine::start`].
+    /// Accepts one node-classification request. Returns a [`Ticket`] —
+    /// the claim on this request's response, delivered the moment it
+    /// exists ([`Ticket::wait`]); the response also rides the legacy
+    /// stream returned by [`ServeEngine::start`].
     ///
     /// Hot nodes short-circuit here: if the owning shard's
     /// [`LogitsCache`] holds the node, the response (flagged
-    /// [`InferenceResponse::cached`]) is emitted immediately on the
-    /// submitting thread and the request never reaches the scheduler —
-    /// delta-precise invalidation is what makes the cached row bit-exact
-    /// with a fresh forward pass.
-    pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<u64, ServeError> {
+    /// [`InferenceResponse::cached`]) is delivered immediately on the
+    /// submitting thread — the returned ticket is already redeemable —
+    /// and the request never reaches the scheduler. Delta-precise
+    /// invalidation is what makes the cached row bit-exact with a fresh
+    /// forward pass.
+    ///
+    /// The `(tier, bits)` stamped here only pick the scheduler bucket
+    /// (batching homogeneity); workers restamp both from the live
+    /// artifacts at execution time, so a concurrent re-tier never makes a
+    /// response mis-report what the forward pass served.
+    pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<Ticket, ServeError> {
         let entry = self.entry_for(key)?;
         let artifacts = entry.read();
         Self::validate_node(&artifacts, node)?;
         let shard = artifacts.shard_of(node);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Register the completion slot *before* the request can reach a
+        // worker: delivery can then never race registration.
+        let ticket = self.router.register(id);
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let submitted_at = Instant::now();
         if let Some(hit) = artifacts.logits_cache(shard).and_then(|c| c.get(node)) {
@@ -290,16 +372,14 @@ impl ServeEngine {
                 key.clone(),
                 node,
                 shard,
-                usize::MAX,
+                None,
                 hit,
                 submitted_at.elapsed(),
             );
             self.metrics
                 .record_response(response.bits, response.latency);
-            // A dropped receiver means the caller stopped listening; the
-            // request still counts as completed.
-            let _ = self.responses.send(ServeResponse::Inference(response));
-            return Ok(id);
+            self.completions.send(ServeResponse::Inference(response));
+            return Ok(ticket);
         }
         let (tier, bits) = (artifacts.node_tier(node), artifacts.node_bits(node));
         drop(artifacts);
@@ -312,7 +392,22 @@ impl ServeEngine {
             bits,
             submitted_at,
         });
-        Ok(id)
+        Ok(ticket)
+    }
+
+    /// Blocking request/response: submits and waits for the answer with a
+    /// per-request deadline. Equivalent to [`ServeEngine::submit`] +
+    /// [`Ticket::wait_inference`]; a deadline miss surfaces as
+    /// [`ServeError::Wait`] (the request itself stays in flight and its
+    /// response still reaches the legacy stream).
+    pub fn submit_wait(
+        &self,
+        key: &ModelKey,
+        node: NodeId,
+        timeout: Duration,
+    ) -> Result<InferenceResponse, ServeError> {
+        let ticket = self.submit(key, node)?;
+        ticket.wait_inference(timeout).map_err(ServeError::Wait)
     }
 
     /// Accepts one graph-mutation request. The delta is applied by a
@@ -322,13 +417,16 @@ impl ServeEngine {
     /// `node_features` carries one raw feature row per `AddNode` op in
     /// `delta`. Malformed payloads fail fast here; topology errors (e.g. a
     /// node id that is stale by application time) surface in the response,
-    /// rejected deltas changing nothing.
+    /// rejected deltas changing nothing. The returned [`Ticket`] delivers
+    /// the [`UpdateResponse`] acknowledgement; because updates are applied
+    /// FIFO per model, waiting on it also fences every earlier update to
+    /// the same model.
     pub fn submit_update(
         &self,
         key: &ModelKey,
         delta: GraphDelta,
         node_features: Vec<Vec<f32>>,
-    ) -> Result<u64, ServeError> {
+    ) -> Result<Ticket, ServeError> {
         if self.registry.get(key).is_none() {
             return Err(ServeError::UnknownModel(key.clone()));
         }
@@ -340,6 +438,7 @@ impl ServeEngine {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let ticket = self.router.register(id);
         self.metrics
             .updates_submitted
             .fetch_add(1, Ordering::Relaxed);
@@ -350,7 +449,21 @@ impl ServeEngine {
             node_features,
             submitted_at: Instant::now(),
         });
-        Ok(id)
+        Ok(ticket)
+    }
+
+    /// Blocking mutation: submits a delta and waits for its
+    /// acknowledgement. Equivalent to [`ServeEngine::submit_update`] +
+    /// [`Ticket::wait_update`].
+    pub fn submit_update_wait(
+        &self,
+        key: &ModelKey,
+        delta: GraphDelta,
+        node_features: Vec<Vec<f32>>,
+        timeout: Duration,
+    ) -> Result<UpdateResponse, ServeError> {
+        let ticket = self.submit_update(key, delta, node_features)?;
+        ticket.wait_update(timeout).map_err(ServeError::Wait)
     }
 
     /// The current `(tier, bits)` the degree-aware policy serves `node`
@@ -410,6 +523,13 @@ impl ServeEngine {
         self.scheduler.pending_updates()
     }
 
+    /// Requests (inference + updates) submitted but not yet answered —
+    /// the exact count of outstanding completion slots, and the signal
+    /// admission control ([`http`]) sheds load on.
+    pub fn in_flight(&self) -> usize {
+        self.router.in_flight()
+    }
+
     /// The live metrics handle.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -435,6 +555,9 @@ impl ServeEngine {
             ..
         } = self;
         shutdown.store(true, Ordering::Relaxed);
+        // The sweeper may be parked indefinitely (idle engine); the
+        // generation bump is what wakes it to observe the flag.
+        scheduler.wake_sweeper();
         sweeper.join().expect("sweeper thread panicked");
         scheduler.flush_all();
         // Dropping the scheduler drops the batch sender; workers drain the
@@ -471,12 +594,13 @@ mod tests {
         let (engine, _responses) = ServeEngine::start(config, registry);
         let missing = ModelKey::new("Nope", GnnKind::Gcn);
         assert_eq!(
-            engine.submit(&missing, 0),
-            Err(ServeError::UnknownModel(missing.clone()))
+            engine.submit(&missing, 0).unwrap_err(),
+            ServeError::UnknownModel(missing.clone())
         );
         assert!(engine.warm(&missing).is_err());
         let err = engine.submit(&key, 1_000_000).unwrap_err();
         assert!(matches!(err, ServeError::NodeOutOfRange { .. }));
+        assert_eq!(engine.in_flight(), 0, "rejected submits leave no slot");
         let report = engine.shutdown();
         assert_eq!(report.submitted, 0);
     }
@@ -497,7 +621,7 @@ mod tests {
         let n = 100;
         let mut ids = std::collections::HashSet::new();
         for i in 0..n {
-            ids.insert(engine.submit(&key, (i % 50) as NodeId).unwrap());
+            ids.insert(engine.submit(&key, (i % 50) as NodeId).unwrap().id());
         }
         let report = engine.shutdown();
         assert_eq!(report.completed, n as u64);
@@ -539,10 +663,10 @@ mod tests {
         // A valid delta and a delta that fails at application time.
         let mut ok = GraphDelta::new();
         ok.insert_edge(1, 0);
-        let ok_id = engine.submit_update(&key, ok, vec![]).unwrap();
+        let ok_id = engine.submit_update(&key, ok, vec![]).unwrap().id();
         let mut stale = GraphDelta::new();
         stale.insert_edge(0, 1_000_000);
-        let bad_id = engine.submit_update(&key, stale, vec![]).unwrap();
+        let bad_id = engine.submit_update(&key, stale, vec![]).unwrap().id();
         let report = engine.shutdown();
         assert_eq!(report.updates_submitted, 2);
         assert_eq!(report.updates_applied, 1);

@@ -7,10 +7,12 @@
 //! cacheable: a hub queried thousands of times between graph mutations
 //! needs one forward pass, not thousands. A [`crate::ModelArtifacts`]
 //! carries one [`LogitsCache`] per shard (a node's entry lives in its
-//! owning shard's cache); the engine consults it at submit time (a hit never
-//! reaches the scheduler) and workers consult it again per batch (a miss
-//! at submit time may have been filled by an earlier batch), inserting
-//! freshly computed rows on the way out.
+//! owning shard's cache); the engine consults it at submit time (a hit
+//! never reaches the scheduler — the response is delivered straight into
+//! the request's [`crate::Ticket`] slot on the submitting thread, so a
+//! `submit_wait` hit completes in microseconds) and workers consult it
+//! again per batch (a miss at submit time may have been filled by an
+//! earlier batch), inserting freshly computed rows on the way out.
 //!
 //! **Correctness is an invalidation property.** A cached row for target
 //! `t` is a pure function of the weights plus everything in `t`'s `L`-hop

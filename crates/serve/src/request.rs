@@ -77,10 +77,11 @@ pub struct InferenceResponse {
     pub halo_rows: usize,
     /// How many requests shared this node's batch.
     pub batch_size: usize,
-    /// Worker thread that executed the batch. Meaningless when `cached`
-    /// is set and the hit was answered on the submitting thread
-    /// ([`crate::ServeEngine::submit`] reports `usize::MAX` there).
-    pub worker: usize,
+    /// Worker thread that executed the batch, or `None` when no worker
+    /// was involved — a submit-time logits-cache hit is answered on the
+    /// submitting thread. (Previously a `usize::MAX` sentinel, which
+    /// consumers could silently aggregate into stats.)
+    pub worker: Option<usize>,
     /// Whether the logits came from the per-shard [`crate::LogitsCache`]
     /// instead of a forward pass. Cached answers are bit-exact with fresh
     /// ones — delta-precise invalidation is what makes that a guarantee,
@@ -101,7 +102,7 @@ impl InferenceResponse {
         model: ModelKey,
         node: NodeId,
         shard: u32,
-        worker: usize,
+        worker: Option<usize>,
         hit: crate::logits::CachedLogits,
         latency: Duration,
     ) -> Self {

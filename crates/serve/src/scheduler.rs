@@ -24,9 +24,27 @@
 //! in a per-model FIFO ([`BatchScheduler::take_update`]) — workers pop from
 //! that FIFO, which serializes updates per model in submission order no
 //! matter which worker handles which token.
+//!
+//! **Deadlines are timer-driven, not polled.** The scheduler knows the
+//! earliest pending bucket deadline ([`BatchScheduler::next_deadline`] —
+//! every bucket shares `max_delay`, so it belongs to the bucket with the
+//! oldest request), and the engine's sweeper thread
+//! [`BatchScheduler::sweeper_park`]s on a `Condvar` until exactly then:
+//! woken early only when a submit advances that earliest deadline (the
+//! scheduler re-arms from empty, or a submitter whose `submitted_at` —
+//! stamped before the scheduler lock — predates every resident bucket
+//! creates a sooner one) or at shutdown. An idle engine takes zero
+//! sweeper wakeups per second, and a deadline flush fires when the
+//! deadline passes — not up to one sweep interval later.
+//!
+//! **Buckets are pruned, not recycled.** A drained bucket leaves the map
+//! entirely, so the map's size tracks the *live* working set of
+//! `(model, shard, tier)` keys instead of growing monotonically across
+//! every key ever seen (and keeping dead models' buckets alive after
+//! re-registration).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::request::{InferenceRequest, ModelKey, UpdateRequest};
@@ -91,10 +109,12 @@ pub enum WorkItem {
     Update(ModelKey),
 }
 
-#[derive(Default)]
+/// A non-empty run of same-key requests. Buckets only exist while they
+/// hold requests — draining one removes it from the map (pruning), so
+/// `oldest` is always the arrival of the first resident request.
 struct Bucket {
     requests: Vec<InferenceRequest>,
-    oldest: Option<Instant>,
+    oldest: Instant,
 }
 
 /// The per-model FIFO parking update payloads between
@@ -149,6 +169,13 @@ pub struct BatchScheduler {
     buckets: Mutex<HashMap<BucketKey, Bucket>>,
     updates: Arc<UpdateQueue>,
     out: WorkRouter,
+    /// Wakeup generation for the deadline sweeper: bumped (with a
+    /// notify) whenever a submit advances the earliest pending deadline
+    /// or the engine wants the sweeper to re-evaluate (shutdown). The
+    /// sweeper parks on the condvar until the earliest deadline or a
+    /// generation bump — never on a fixed poll interval.
+    sweep_gen: Mutex<u64>,
+    sweep_cv: Condvar,
 }
 
 impl BatchScheduler {
@@ -173,6 +200,8 @@ impl BatchScheduler {
             buckets: Mutex::new(HashMap::new()),
             updates,
             out,
+            sweep_gen: Mutex::new(0),
+            sweep_cv: Condvar::new(),
         }
     }
 
@@ -188,21 +217,41 @@ impl BatchScheduler {
 
     /// Enqueues one request; flushes its bucket if that fills it. Returns
     /// `true` if a batch was emitted.
+    ///
+    /// The request's `tier` stamps the *bucket* it coalesces into; the
+    /// worker restamps tier/bits from the live artifacts at execution
+    /// time, so a concurrent re-tier between submit and execution can at
+    /// worst cost batching homogeneity, never answer accuracy.
     pub fn submit(&self, request: InferenceRequest) -> bool {
         let key = (request.model.clone(), request.shard, request.tier);
         let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
-        let bucket = buckets.entry(key.clone()).or_default();
-        if bucket.requests.is_empty() {
-            bucket.oldest = Some(request.submitted_at);
-        }
+        // Every bucket shares `max_delay`, so the earliest deadline
+        // belongs to the minimum `oldest`. The sweeper needs a wake only
+        // when this submit *advances* that minimum: the scheduler went
+        // empty → non-empty, or (rare) this request's `submitted_at` —
+        // stamped before the scheduler lock, so a stalled submitter can
+        // carry an older timestamp than every resident bucket — creates a
+        // bucket older than the one the sweeper is parked on.
+        let prev_min_oldest = buckets.values().map(|b| b.oldest).min();
+        let mut rearmed = false;
+        let bucket = buckets.entry(key.clone()).or_insert_with(|| {
+            rearmed = prev_min_oldest.is_none_or(|min| request.submitted_at < min);
+            Bucket {
+                requests: Vec::new(),
+                oldest: request.submitted_at,
+            }
+        });
         bucket.requests.push(request);
         if bucket.requests.len() >= self.config.max_batch {
-            let requests = std::mem::take(&mut bucket.requests);
-            bucket.oldest = None;
+            let bucket = buckets.remove(&key).expect("bucket just filled");
             drop(buckets);
-            self.emit(key.0, key.1, key.2, requests, FlushReason::Size);
+            self.emit(key.0, key.1, key.2, bucket.requests, FlushReason::Size);
             true
         } else {
+            drop(buckets);
+            if rearmed {
+                self.wake_sweeper();
+            }
             false
         }
     }
@@ -230,12 +279,15 @@ impl BatchScheduler {
     pub fn flush_model(&self, model: &ModelKey) -> usize {
         let drained: Vec<(BucketKey, Vec<InferenceRequest>)> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
-            buckets
-                .iter_mut()
-                .filter(|((m, _, _), b)| m == model && !b.requests.is_empty())
-                .map(|(k, b)| {
-                    b.oldest = None;
-                    (k.clone(), std::mem::take(&mut b.requests))
+            let keys: Vec<BucketKey> = buckets
+                .keys()
+                .filter(|(m, _, _)| m == model)
+                .cloned()
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let bucket = buckets.remove(&k).expect("key just listed");
+                    (k, bucket.requests)
                 })
                 .collect()
         };
@@ -246,28 +298,23 @@ impl BatchScheduler {
         count
     }
 
-    /// Flushes every bucket whose oldest request has waited at least
-    /// `max_delay` as of `now`. Returns the number of batches emitted.
-    /// Called periodically by the engine's deadline sweeper; taking `now`
-    /// as a parameter keeps the policy unit-testable without sleeping.
+    /// Flushes (and prunes) every bucket whose oldest request has waited
+    /// at least `max_delay` as of `now`. Returns the number of batches
+    /// emitted. Called by the engine's deadline sweeper when a deadline
+    /// fires; taking `now` as a parameter keeps the policy unit-testable
+    /// without sleeping.
     pub fn poll_deadlines(&self, now: Instant) -> usize {
         let expired: Vec<(BucketKey, Vec<InferenceRequest>)> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
             let keys: Vec<BucketKey> = buckets
                 .iter()
-                .filter(|(_, b)| {
-                    b.oldest
-                        .map(|t| now.duration_since(t) >= self.config.max_delay)
-                        .unwrap_or(false)
-                })
+                .filter(|(_, b)| now.duration_since(b.oldest) >= self.config.max_delay)
                 .map(|(k, _)| k.clone())
                 .collect();
             keys.into_iter()
                 .map(|k| {
-                    let bucket = buckets.get_mut(&k).expect("bucket exists");
-                    let requests = std::mem::take(&mut bucket.requests);
-                    bucket.oldest = None;
-                    (k, requests)
+                    let bucket = buckets.remove(&k).expect("key just listed");
+                    (k, bucket.requests)
                 })
                 .collect()
         };
@@ -281,20 +328,13 @@ impl BatchScheduler {
     /// Flushes everything regardless of age (drain/shutdown path). Returns
     /// the number of batches emitted.
     pub fn flush_all(&self) -> usize {
-        let drained: Vec<(BucketKey, Vec<InferenceRequest>)> = {
+        let drained: HashMap<BucketKey, Bucket> = {
             let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
-            buckets
-                .iter_mut()
-                .filter(|(_, b)| !b.requests.is_empty())
-                .map(|(k, b)| {
-                    b.oldest = None;
-                    (k.clone(), std::mem::take(&mut b.requests))
-                })
-                .collect()
+            std::mem::take(&mut *buckets)
         };
         let count = drained.len();
-        for ((model, shard, tier), requests) in drained {
-            self.emit(model, shard, tier, requests, FlushReason::Drain);
+        for ((model, shard, tier), bucket) in drained {
+            self.emit(model, shard, tier, bucket.requests, FlushReason::Drain);
         }
         count
     }
@@ -307,6 +347,83 @@ impl BatchScheduler {
             .values()
             .map(|b| b.requests.len())
             .sum()
+    }
+
+    /// Number of resident buckets. Because drained buckets are pruned,
+    /// this tracks the *live* set of `(model, shard, tier)` keys — it must
+    /// shrink back to zero whenever the scheduler drains (the regression
+    /// surface for unbounded bucket-map growth).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.lock().expect("scheduler lock poisoned").len()
+    }
+
+    /// The earliest pending deadline: when the sweeper must next flush.
+    /// `None` when no requests are queued (the sweeper can park
+    /// indefinitely). Every bucket shares `max_delay`, so this is the
+    /// oldest bucket's arrival plus the delay bound.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.buckets
+            .lock()
+            .expect("scheduler lock poisoned")
+            .values()
+            .map(|b| b.oldest)
+            .min()
+            .map(|oldest| oldest + self.config.max_delay)
+    }
+
+    /// The current sweeper wakeup generation. Capture it *before*
+    /// computing [`BatchScheduler::next_deadline`], then pass both to
+    /// [`BatchScheduler::sweeper_park`]: any re-arm between the capture
+    /// and the park bumps the generation and the park returns immediately,
+    /// so a wakeup can never be lost to that race.
+    pub fn sweep_generation(&self) -> u64 {
+        *self.sweep_gen.lock().expect("sweep generation poisoned")
+    }
+
+    /// Blocks the calling (sweeper) thread until `deadline` passes, the
+    /// wakeup generation moves past `gen`, or — with no deadline — a
+    /// generation bump alone. Returns immediately when `gen` is already
+    /// stale. This replaces the fixed-interval sleep poll: an idle
+    /// scheduler parks its sweeper indefinitely (zero wakeups), and an
+    /// armed one wakes exactly at the earliest deadline.
+    pub fn sweeper_park(&self, gen: u64, deadline: Option<Instant>) {
+        let mut current = self.sweep_gen.lock().expect("sweep generation poisoned");
+        loop {
+            if *current != gen {
+                return;
+            }
+            match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return;
+                    }
+                    let (next, timeout) = self
+                        .sweep_cv
+                        .wait_timeout(current, deadline - now)
+                        .expect("sweep generation poisoned");
+                    current = next;
+                    if timeout.timed_out() {
+                        return;
+                    }
+                }
+                None => {
+                    current = self
+                        .sweep_cv
+                        .wait(current)
+                        .expect("sweep generation poisoned");
+                }
+            }
+        }
+    }
+
+    /// Bumps the wakeup generation and wakes a parked sweeper (deadline
+    /// advances on the submit side and engine shutdown both come through
+    /// here).
+    pub fn wake_sweeper(&self) {
+        let mut gen = self.sweep_gen.lock().expect("sweep generation poisoned");
+        *gen = gen.wrapping_add(1);
+        self.sweep_cv.notify_all();
     }
 
     /// Number of updates parked in per-model FIFOs (token emitted, not yet
@@ -445,6 +562,153 @@ mod tests {
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 1]);
         assert_eq!(scheduler.flush_all(), 0);
+    }
+
+    /// Regression: the bucket map must shrink when buckets drain. It used
+    /// to keep an empty `Bucket` per `(model, shard, tier)` key forever —
+    /// unbounded growth across keys, and dead models' buckets staying
+    /// alive after re-registration.
+    #[test]
+    fn drained_buckets_are_pruned_from_the_map() {
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(
+            SchedulerConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(5),
+            },
+            WorkRouter::single(tx),
+        );
+        let now = Instant::now();
+        assert_eq!(scheduler.bucket_count(), 0);
+        // Size flush prunes.
+        scheduler.submit(request(0, 0, now));
+        scheduler.submit(request(1, 0, now));
+        assert_eq!(scheduler.bucket_count(), 0, "size flush removed the bucket");
+        // Deadline flush prunes.
+        scheduler.submit(request(2, 1, now));
+        assert_eq!(scheduler.bucket_count(), 1);
+        assert_eq!(scheduler.poll_deadlines(now + Duration::from_secs(1)), 1);
+        assert_eq!(scheduler.bucket_count(), 0, "deadline flush removed it");
+        // Barrier flush prunes only the target model; drain prunes the rest.
+        let other = ModelKey::new("PubMed", GnnKind::Gcn);
+        scheduler.submit(request(3, 2, now));
+        scheduler.submit(InferenceRequest {
+            model: other.clone(),
+            ..request(4, 0, now)
+        });
+        assert_eq!(scheduler.bucket_count(), 2);
+        scheduler.flush_model(&ModelKey::new("Cora", GnnKind::Gcn));
+        assert_eq!(scheduler.bucket_count(), 1, "barrier pruned one model");
+        scheduler.flush_all();
+        assert_eq!(scheduler.bucket_count(), 0, "drain empties the map");
+        // A burst over many distinct keys leaves nothing resident after
+        // the drain — the map tracks the live working set, not history.
+        for tier in 0..64 {
+            scheduler.submit(request(100 + tier as u64, tier, now));
+        }
+        assert_eq!(scheduler.bucket_count(), 64);
+        scheduler.flush_all();
+        assert_eq!(scheduler.bucket_count(), 0);
+        while rx.try_recv().is_ok() {}
+    }
+
+    #[test]
+    fn next_deadline_follows_the_oldest_bucket() {
+        let (tx, _rx) = mpsc::channel();
+        let config = SchedulerConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(10),
+        };
+        let scheduler = BatchScheduler::new(config.clone(), WorkRouter::single(tx));
+        assert_eq!(scheduler.next_deadline(), None, "idle: park indefinitely");
+        let t0 = Instant::now();
+        scheduler.submit(request(0, 1, t0 + Duration::from_millis(3)));
+        scheduler.submit(request(1, 0, t0));
+        scheduler.submit(request(2, 2, t0 + Duration::from_millis(7)));
+        assert_eq!(
+            scheduler.next_deadline(),
+            Some(t0 + config.max_delay),
+            "earliest deadline belongs to the oldest bucket"
+        );
+        // Flushing the oldest moves the deadline to the next-oldest.
+        assert_eq!(scheduler.poll_deadlines(t0 + config.max_delay), 1);
+        assert_eq!(
+            scheduler.next_deadline(),
+            Some(t0 + Duration::from_millis(3) + config.max_delay)
+        );
+        scheduler.flush_all();
+        assert_eq!(scheduler.next_deadline(), None);
+    }
+
+    #[test]
+    fn sweeper_park_wakes_on_rearm_and_deadline() {
+        let (tx, _rx) = mpsc::channel();
+        let scheduler = Arc::new(BatchScheduler::new(
+            SchedulerConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(60),
+            },
+            WorkRouter::single(tx),
+        ));
+        // Deadline in the past returns immediately.
+        let gen = scheduler.sweep_generation();
+        scheduler.sweeper_park(gen, Some(Instant::now() - Duration::from_millis(1)));
+        // A stale generation returns immediately even with no deadline.
+        scheduler.wake_sweeper();
+        scheduler.sweeper_park(gen, None);
+        // A submit into an empty scheduler wakes an indefinitely parked
+        // sweeper (the empty → non-empty re-arm).
+        let parked = {
+            let scheduler = scheduler.clone();
+            std::thread::spawn(move || {
+                let gen = scheduler.sweep_generation();
+                if scheduler.next_deadline().is_none() {
+                    scheduler.sweeper_park(gen, None);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        scheduler.submit(request(0, 0, Instant::now()));
+        parked.join().expect("parked sweeper woke on re-arm");
+    }
+
+    /// Regression: `submitted_at` is stamped *before* the scheduler lock,
+    /// so a stalled submitter can create a bucket whose deadline precedes
+    /// the one the sweeper is parked on. That submit must wake the
+    /// sweeper — otherwise the older bucket flushes late.
+    #[test]
+    fn sweeper_wakes_when_an_older_bucket_arrives() {
+        let (tx, _rx) = mpsc::channel();
+        let scheduler = Arc::new(BatchScheduler::new(
+            SchedulerConfig {
+                max_batch: 64,
+                max_delay: Duration::from_secs(60),
+            },
+            WorkRouter::single(tx),
+        ));
+        let now = Instant::now();
+        // The sweeper is parked on this bucket's (far) deadline...
+        scheduler.submit(request(0, 0, now));
+        let deadline = scheduler.next_deadline().expect("armed");
+        let parked = {
+            let scheduler = scheduler.clone();
+            std::thread::spawn(move || {
+                let gen = scheduler.sweep_generation();
+                scheduler.sweeper_park(gen, Some(deadline));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // ...when a stalled submitter lands a bucket stamped 5s EARLIER.
+        // Its deadline is sooner than the parked one, so the park must
+        // end now, not at the stale deadline (join would hang ~60s and
+        // trip the test harness timeout if the wake were missed).
+        scheduler.submit(request(1, 1, now - Duration::from_secs(5)));
+        assert_eq!(
+            scheduler.next_deadline().unwrap(),
+            now - Duration::from_secs(5) + Duration::from_secs(60),
+            "the older bucket owns the earliest deadline"
+        );
+        parked.join().expect("sweeper woke for the sooner deadline");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::request::{
 };
 use crate::scheduler::{Batch, FlushReason, UpdateQueue, WorkItem};
 use crate::shard::estimate_batch_hw;
+use crate::ticket::Completions;
 
 /// Routes [`WorkItem`]s to worker lanes with shard affinity: batches go to
 /// `hash(model, shard) % lanes`, update tokens to `hash(model, 0) % lanes`
@@ -153,13 +154,16 @@ impl WorkerPool {
     /// shared FIFO; workers pop update payloads from it when an update
     /// token arrives (they never hold the scheduler itself — its router
     /// must die with the engine for shutdown to disconnect this pool).
+    /// Every response leaves through `completions`, which delivers into
+    /// the request's [`crate::Ticket`] slot (waking its waiter the moment
+    /// the result exists) and onto the legacy stream when one is attached.
     pub fn spawn(
         workers: usize,
         registry: Arc<ModelRegistry>,
         cache: Arc<ArtifactCache>,
         updates: Arc<UpdateQueue>,
         metrics: Arc<Metrics>,
-        responses: Sender<ServeResponse>,
+        completions: Completions,
     ) -> (Self, WorkRouter) {
         let mut lanes = Vec::new();
         let handles = (0..workers.max(1))
@@ -170,18 +174,28 @@ impl WorkerPool {
                 let cache = cache.clone();
                 let updates = updates.clone();
                 let metrics = metrics.clone();
-                let responses = responses.clone();
+                let completions = completions.clone();
                 std::thread::Builder::new()
                     .name(format!("mega-serve-worker-{worker_id}"))
                     .spawn(move || {
                         while let Ok(item) = rx.recv() {
                             match item {
                                 WorkItem::Batch(batch) => run_batch(
-                                    worker_id, batch, &registry, &cache, &metrics, &responses,
+                                    worker_id,
+                                    batch,
+                                    &registry,
+                                    &cache,
+                                    &metrics,
+                                    &completions,
                                 ),
                                 WorkItem::Update(model) => run_update(
-                                    worker_id, model, &registry, &cache, &updates, &metrics,
-                                    &responses,
+                                    worker_id,
+                                    model,
+                                    &registry,
+                                    &cache,
+                                    &updates,
+                                    &metrics,
+                                    &completions,
                                 ),
                             }
                         }
@@ -217,12 +231,16 @@ fn run_batch(
     registry: &ModelRegistry,
     cache: &ArtifactCache,
     metrics: &Metrics,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
 ) {
     // The engine validates models at submit time, so this lookup only fails
     // if a model was dropped from the registry mid-flight; nothing useful
-    // can be answered then.
+    // can be answered then — but waiters must not hang, so their tickets
+    // are failed fast.
     let Some(spec) = registry.get(&batch.model) else {
+        for request in &batch.requests {
+            completions.drop_request(request.id);
+        }
         return;
     };
     let entry = cache.get_or_build(&batch.model, || ModelArtifacts::build(&spec));
@@ -247,6 +265,9 @@ fn run_batch(
             batch.model,
             artifacts.num_nodes()
         );
+        for request in &stale {
+            completions.drop_request(request.id);
+        }
     }
     if valid.is_empty() {
         return;
@@ -280,7 +301,7 @@ fn run_batch(
         {
             Some(hit) => {
                 metrics.record_logits_lookup(shard, true);
-                respond_cached(worker_id, &request, shard, hit, responses, metrics);
+                respond_cached(worker_id, &request, shard, hit, completions, metrics);
             }
             None => to_compute.push(request),
         }
@@ -299,13 +320,13 @@ fn run_batch(
             batch.shard,
             sharded,
             metrics,
-            responses,
+            completions,
         );
     }
     if !foreign.is_empty() {
         // Rare re-registration race: answer through the global path rather
         // than panic the shard slice on a non-resident target.
-        execute_global_batch(worker_id, &artifacts, foreign, metrics, responses);
+        execute_global_batch(worker_id, &artifacts, foreign, metrics, completions);
     }
 }
 
@@ -338,7 +359,7 @@ fn respond_cached(
     request: &InferenceRequest,
     shard: u32,
     hit: CachedLogits,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
     metrics: &Metrics,
 ) {
     let response = InferenceResponse::from_hit(
@@ -346,12 +367,12 @@ fn respond_cached(
         request.model.clone(),
         request.node,
         shard,
-        worker_id,
+        Some(worker_id),
         hit,
         request.submitted_at.elapsed(),
     );
     metrics.record_response(response.bits, response.latency);
-    let _ = responses.send(ServeResponse::Inference(response));
+    completions.send(ServeResponse::Inference(response));
 }
 
 /// Inserts freshly computed logits rows into their owning shards' caches
@@ -395,9 +416,8 @@ fn respond_batch(
     requests: &[InferenceRequest],
     order: &[usize],
     logits: &Matrix,
-    shard: u32,
     halo_rows: usize,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
     metrics: &Metrics,
 ) {
     let batch_size = requests.len();
@@ -405,8 +425,13 @@ fn respond_batch(
         let request = &requests[i];
         let logits_row = logits.row(row).to_vec();
         let predicted_class = logits.argmax_row(row);
-        // Bits/tier reflect the artifacts the batch *executed against*; a
-        // concurrent re-tier between submit and execution updates them.
+        // Everything placement- and precision-shaped is restamped from the
+        // artifacts the batch *executed against* — never from the values
+        // stamped at submit time. A re-tier or re-shard landing between
+        // submit and execution at worst costs batching homogeneity; the
+        // response always reports the tier/bits/shard the forward pass
+        // actually served.
+        let shard = artifacts.shard_of(request.node);
         let response = InferenceResponse {
             id: request.id,
             model: request.model.clone(),
@@ -418,15 +443,13 @@ fn respond_batch(
             shard,
             halo_rows,
             batch_size,
-            worker: worker_id,
+            worker: Some(worker_id),
             cached: false,
             latency: request.submitted_at.elapsed(),
         };
-        metrics.record_logits_lookup(artifacts.shard_of(request.node), false);
+        metrics.record_logits_lookup(shard, false);
         metrics.record_response(response.bits, response.latency);
-        // A dropped receiver means the caller stopped listening; keep
-        // draining so shutdown still completes.
-        let _ = responses.send(ServeResponse::Inference(response));
+        completions.send(ServeResponse::Inference(response));
     }
 }
 
@@ -436,7 +459,7 @@ fn execute_shard_batch(
     shard: u32,
     requests: Vec<InferenceRequest>,
     metrics: &Metrics,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
 ) {
     let (targets, order) = ordered_targets(&requests);
     let started = Instant::now();
@@ -458,7 +481,14 @@ fn execute_shard_batch(
     metrics.record_shard_batch(shard, requests.len(), halo_rows, est);
     fill_logits_cache(artifacts, &targets, &logits, metrics);
     respond_batch(
-        worker_id, artifacts, &requests, &order, &logits, shard, halo_rows, responses, metrics,
+        worker_id,
+        artifacts,
+        &requests,
+        &order,
+        &logits,
+        halo_rows,
+        completions,
+        metrics,
     );
 }
 
@@ -467,17 +497,23 @@ fn execute_global_batch(
     artifacts: &ModelArtifacts,
     requests: Vec<InferenceRequest>,
     metrics: &Metrics,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
 ) {
     let (targets, order) = ordered_targets(&requests);
     let started = Instant::now();
     let (logits, field) = batch_logits_with_field(artifacts, &targets);
     let execution = started.elapsed();
     metrics.record_batch(requests.len(), field.total_rows(), execution);
-    let shard = targets.first().map(|&t| artifacts.shard_of(t)).unwrap_or(0);
     fill_logits_cache(artifacts, &targets, &logits, metrics);
     respond_batch(
-        worker_id, artifacts, &requests, &order, &logits, shard, 0, responses, metrics,
+        worker_id,
+        artifacts,
+        &requests,
+        &order,
+        &logits,
+        0,
+        completions,
+        metrics,
     );
 }
 
@@ -488,9 +524,14 @@ fn run_update(
     cache: &ArtifactCache,
     updates: &UpdateQueue,
     metrics: &Metrics,
-    responses: &Sender<ServeResponse>,
+    completions: &Completions,
 ) {
     let Some(spec) = registry.get(&model) else {
+        // The model vanished from the registry mid-flight: consume the
+        // token's payload and fail its ticket so no waiter hangs.
+        if let Some(update) = updates.pop(&model) {
+            completions.drop_request(update.id);
+        }
         return;
     };
     let entry = cache.get_or_build(&model, || ModelArtifacts::build(&spec));
@@ -564,7 +605,7 @@ fn run_update(
             }
         }
     };
-    let _ = responses.send(ServeResponse::Update(response));
+    completions.send(ServeResponse::Update(response));
 }
 
 #[cfg(test)]

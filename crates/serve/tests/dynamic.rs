@@ -88,7 +88,7 @@ fn tier_crossing_changes_served_bitwidth_live() {
     assert_eq!(bits0, reference.node_bits(target));
 
     // Baseline: served logits equal the sequential reference, bit for bit.
-    let id = engine.submit(&key, target).unwrap();
+    let id = engine.submit(&key, target).unwrap().id();
     let response = wait_for_inference(&responses, id);
     let expected = batch_logits(&reference, &[target]);
     for (c, &logit) in response.logits.iter().enumerate() {
@@ -112,7 +112,10 @@ fn tier_crossing_changes_served_bitwidth_live() {
         for &s in &chunk {
             delta.insert_edge(s, target);
         }
-        let id = engine.submit_update(&key, delta.clone(), vec![]).unwrap();
+        let id = engine
+            .submit_update(&key, delta.clone(), vec![])
+            .unwrap()
+            .id();
         let ack = wait_for_ack(&responses, id, &mut inferences);
         assert!(ack.applied(), "churn delta must apply: {:?}", ack.error);
         assert_eq!(ack.inserted_edges, chunk.len());
@@ -124,7 +127,7 @@ fn tier_crossing_changes_served_bitwidth_live() {
         // degree, logits match the mutated reference bit-exactly. A stale
         // cached artifact would fail both.
         let degree = reference.graph.in_degree(target as usize);
-        let id = engine.submit(&key, target).unwrap();
+        let id = engine.submit(&key, target).unwrap().id();
         let response = wait_for_inference(&responses, id);
         assert_eq!(response.bits, policy.bits_for_degree(degree));
         assert_eq!(response.tier, policy.tier_of_degree(degree));
@@ -184,7 +187,8 @@ fn batched_equals_sequential_after_mutation() {
     let rows = vec![vec![0.75; dim]];
     let id = engine
         .submit_update(&key, delta.clone(), rows.clone())
-        .unwrap();
+        .unwrap()
+        .id();
     let mut scratch = Vec::new();
     let ack = wait_for_ack(&responses, id, &mut scratch);
     assert!(ack.applied());
@@ -201,7 +205,7 @@ fn batched_equals_sequential_after_mutation() {
 
     let ids: Vec<u64> = targets
         .iter()
-        .map(|&t| engine.submit(&key, t).unwrap())
+        .map(|&t| engine.submit(&key, t).unwrap().id())
         .collect();
     let mut received: Vec<InferenceResponse> = Vec::new();
     let deadline = Instant::now() + Duration::from_secs(30);
@@ -254,7 +258,7 @@ fn updates_serialize_in_submission_order() {
         } else {
             delta.remove_edge(5, 7);
         }
-        ids.push(engine.submit_update(&key, delta, vec![]).unwrap());
+        ids.push(engine.submit_update(&key, delta, vec![]).unwrap().id());
     }
     let mut scratch = Vec::new();
     let mut versions = Vec::new();
@@ -295,7 +299,7 @@ fn mutations_do_not_cross_contaminate_models() {
     let before: Vec<InferenceResponse> = witness
         .iter()
         .map(|&t| {
-            let id = engine.submit(&gin, t).unwrap();
+            let id = engine.submit(&gin, t).unwrap().id();
             wait_for_inference(&responses, id)
         })
         .collect();
@@ -306,13 +310,13 @@ fn mutations_do_not_cross_contaminate_models() {
         delta
             .insert_edge(i, (i + 40) % 60)
             .remove_edge(i, (i + 40) % 60);
-        let id = engine.submit_update(&gcn, delta, vec![]).unwrap();
+        let id = engine.submit_update(&gcn, delta, vec![]).unwrap().id();
         let ack = wait_for_ack(&responses, id, &mut scratch);
         assert!(ack.applied());
     }
 
     for (i, &t) in witness.iter().enumerate() {
-        let id = engine.submit(&gin, t).unwrap();
+        let id = engine.submit(&gin, t).unwrap().id();
         let after = wait_for_inference(&responses, id);
         assert_eq!(after.bits, before[i].bits);
         for (c, &logit) in after.logits.iter().enumerate() {

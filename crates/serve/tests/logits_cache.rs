@@ -221,9 +221,9 @@ fn engine_short_circuits_hot_nodes_and_recovers_after_updates() {
 
     // First query computes; the second must short-circuit at submit time
     // with identical bits.
-    let first = recv(engine.submit(&key, node).unwrap());
+    let first = recv(engine.submit(&key, node).unwrap().id());
     assert!(!first.cached, "cold cache computes");
-    let second = recv(engine.submit(&key, node).unwrap());
+    let second = recv(engine.submit(&key, node).unwrap().id());
     assert!(second.cached, "warm cache short-circuits");
     assert_eq!(second.batch_size, 1);
     assert_eq!(
@@ -241,7 +241,7 @@ fn engine_short_circuits_hot_nodes_and_recovers_after_updates() {
     let mut delta = GraphDelta::new();
     let src = if node == 0 { 1 } else { 0 };
     delta.insert_edge(src, node);
-    let update_id = engine.submit_update(&key, delta, vec![]).unwrap();
+    let update_id = engine.submit_update(&key, delta, vec![]).unwrap().id();
     let ack = loop {
         match responses.recv_timeout(Duration::from_secs(60)).unwrap() {
             ServeResponse::Update(ack) if ack.id == update_id => break ack,
@@ -253,7 +253,7 @@ fn engine_short_circuits_hot_nodes_and_recovers_after_updates() {
         ack.logits_invalidated >= 1,
         "the cached target must be invalidated"
     );
-    let third = recv(engine.submit(&key, node).unwrap());
+    let third = recv(engine.submit(&key, node).unwrap().id());
     assert!(!third.cached, "invalidated entry recomputes");
 
     let report = engine.shutdown();

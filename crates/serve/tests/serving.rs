@@ -134,7 +134,6 @@ fn deadline_flush_answers_partial_batches_live() {
                 max_batch: 1_000,
                 max_delay: Duration::from_millis(5),
             },
-            sweep_interval: Duration::from_millis(1),
             ..ServeConfig::default()
         },
         registry,

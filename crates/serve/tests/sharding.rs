@@ -165,14 +165,15 @@ fn engine_sharded_matches_unsharded_reference() {
     let targets: Vec<NodeId> = (0..n).step_by(3).collect();
     let mut ids: Vec<u64> = targets
         .iter()
-        .map(|&t| engine.submit(&key, t).unwrap())
+        .map(|&t| engine.submit(&key, t).unwrap().id())
         .collect();
 
     // Mutate mid-stream: cross-shard churn applied to both sides.
     let (delta, rows) = cross_shard_delta(&reference);
     let update_id = engine
         .submit_update(&key, delta.clone(), rows.clone())
-        .unwrap();
+        .unwrap()
+        .id();
     reference.apply_delta(&delta, &rows).unwrap();
     let post_targets: Vec<NodeId> = (0..n).step_by(11).chain([n]).collect();
     let mut post_ids = Vec::new();
@@ -194,7 +195,7 @@ fn engine_sharded_matches_unsharded_reference() {
         }
     }
     for &t in &post_targets {
-        post_ids.push(engine.submit(&key, t).unwrap());
+        post_ids.push(engine.submit(&key, t).unwrap().id());
     }
     ids.extend(post_ids.iter().copied());
     engine.shutdown();

@@ -1,0 +1,176 @@
+//! The timer-driven deadline sweeper, proved two ways:
+//!
+//! 1. A **property test of the protocol**: the sweeper's contract is
+//!    "park until `next_deadline()`, wake, `poll_deadlines(now)`,
+//!    repeat" — simulated here over random submit timings with synthetic
+//!    clocks (no sleeping, fully deterministic). Under that protocol no
+//!    bucket is ever flushed *later* than its `max_delay` deadline and no
+//!    request is ever missed, for any interleaving of submits across
+//!    buckets.
+//! 2. A **real-time engine test**: the live condvar sweeper (actual
+//!    parking, actual wakeups) must flush a lone request within
+//!    `max_delay + ε` — not on the next tick of some poll interval — and
+//!    never before `max_delay`.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mega_gnn::GnnKind;
+use mega_graph::DatasetSpec;
+use mega_serve::{
+    BatchScheduler, FlushReason, InferenceRequest, ModelKey, ModelRegistry, ModelSpec,
+    SchedulerConfig, ServeConfig, ServeEngine, WorkItem, WorkRouter,
+};
+use proptest::prelude::*;
+
+fn request(id: u64, shard: u32, tier: usize, at: Instant) -> InferenceRequest {
+    InferenceRequest {
+        id,
+        model: ModelKey::new("Cora", GnnKind::Gcn),
+        node: id as u32,
+        shard,
+        tier,
+        bits: 2,
+        submitted_at: at,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under the park-at-`next_deadline` protocol, every deadline flush
+    /// happens *exactly* when the oldest request's `max_delay` expires
+    /// (never later — the old sleep-poll could be up to one interval
+    /// late), and every submitted request is eventually emitted exactly
+    /// once.
+    #[test]
+    fn sweeper_protocol_never_flushes_late_nor_misses(
+        // Random submit timing: inter-arrival gaps in µs and a bucket
+        // (shard, tier) choice per request.
+        arrivals in proptest::collection::vec((0..5_000u64, 0..3u32, 0..3usize), 1..40),
+        max_delay_us in 200..5_000u64,
+    ) {
+        let max_delay = Duration::from_micros(max_delay_us);
+        let (tx, rx) = mpsc::channel();
+        let scheduler = BatchScheduler::new(
+            SchedulerConfig {
+                // Size flushes stay out of the picture: deadlines only.
+                max_batch: usize::MAX,
+                max_delay,
+            },
+            WorkRouter::single(tx),
+        );
+        let t0 = Instant::now();
+        // Synthetic clock: the sweeper "wakes" exactly at next_deadline(),
+        // submits happen at their arrival offsets — merged in time order.
+        let mut submitted = 0u64;
+        let mut clock = t0;
+        let mut offset = Duration::ZERO;
+        for &(gap_us, shard, tier) in &arrivals {
+            offset += Duration::from_micros(gap_us);
+            let arrival = t0 + offset;
+            // Fire every sweeper wake that is due strictly before this
+            // arrival.
+            while let Some(deadline) = scheduler.next_deadline() {
+                if deadline > arrival {
+                    break;
+                }
+                prop_assert!(deadline >= clock, "deadlines move forward");
+                clock = deadline;
+                let flushed = scheduler.poll_deadlines(clock);
+                prop_assert!(
+                    flushed >= 1,
+                    "a wake at next_deadline() must flush something"
+                );
+            }
+            clock = clock.max(arrival);
+            scheduler.submit(request(submitted, shard, tier, arrival));
+            submitted += 1;
+        }
+        // Drain the tail the same way.
+        while let Some(deadline) = scheduler.next_deadline() {
+            clock = clock.max(deadline);
+            let flushed = scheduler.poll_deadlines(deadline);
+            prop_assert!(flushed >= 1);
+        }
+        prop_assert_eq!(scheduler.pending(), 0, "no request left behind");
+        prop_assert_eq!(scheduler.bucket_count(), 0, "no bucket left behind");
+
+        // Every emitted batch flushed exactly at its oldest request's
+        // deadline: age == max_delay, not max_delay + one poll interval.
+        drop(scheduler);
+        let mut seen = std::collections::HashSet::new();
+        for item in rx.try_iter() {
+            let WorkItem::Batch(batch) = item else {
+                prop_assert!(false, "no updates were submitted");
+                unreachable!();
+            };
+            prop_assert_eq!(batch.reason, FlushReason::Deadline);
+            let oldest = batch
+                .requests
+                .iter()
+                .map(|r| r.submitted_at)
+                .min()
+                .expect("batches are non-empty");
+            // The flush fired at `oldest + max_delay` exactly; every
+            // request in the bucket therefore waited at most max_delay.
+            for request in &batch.requests {
+                let waited = (oldest + max_delay).duration_since(request.submitted_at);
+                prop_assert!(
+                    waited <= max_delay,
+                    "request waited {waited:?} > max_delay {max_delay:?}"
+                );
+                prop_assert!(seen.insert(request.id), "duplicate emission");
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, submitted, "every request emitted");
+    }
+}
+
+/// The live condvar sweeper: a lone request (far below `max_batch`) must
+/// be deadline-flushed within `max_delay + ε`, and never early. The old
+/// fixed-interval sweeper could be late by up to one whole sweep tick; ε
+/// here is thread-scheduling noise only.
+#[test]
+fn live_sweeper_flushes_at_the_deadline() {
+    let max_delay = Duration::from_millis(25);
+    let registry = Arc::new(ModelRegistry::new());
+    let key = registry.register(ModelSpec::standard(
+        DatasetSpec::cora().scaled(0.08).with_feature_dim(48),
+        GnnKind::Gcn,
+    ));
+    let engine = ServeEngine::start_detached(
+        ServeConfig {
+            workers: 1,
+            scheduler: SchedulerConfig {
+                max_batch: 1_000,
+                max_delay,
+            },
+            ..ServeConfig::default()
+        },
+        registry,
+    );
+    engine.warm(&key).unwrap();
+    for probe in 0..5u32 {
+        let submitted = Instant::now();
+        let response = engine
+            .submit_wait(&key, probe, Duration::from_secs(30))
+            .expect("deadline flush answers");
+        let elapsed = submitted.elapsed();
+        assert!(
+            response.latency >= max_delay - Duration::from_millis(1),
+            "nothing but the deadline can flush a lone request (latency {:?})",
+            response.latency
+        );
+        // ε: generous for CI schedulers, still far below one old-style
+        // sweep interval of headroom per miss.
+        assert!(
+            elapsed < max_delay + Duration::from_millis(300),
+            "deadline flush arrived {elapsed:?} after submit (deadline {max_delay:?})"
+        );
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.completed, 5);
+    assert!(report.deadline_flushes >= 5);
+}

@@ -221,7 +221,7 @@ fn engine_stays_consistent_under_interleaved_churn() {
         }
         // And serves bit-exact logits for a replica-checked witness.
         let witness = rng.gen_range(0..n) as NodeId;
-        let id = engine.submit(&key, witness).unwrap();
+        let id = engine.submit(&key, witness).unwrap().id();
         total_inferences += 1;
         let deadline = Instant::now() + Duration::from_secs(30);
         let response = loop {
