@@ -154,6 +154,20 @@ struct AdjRow {
     vals: Vec<f32>,
 }
 
+/// Approximate heap footprint of per-row storage: column ids, weights, and
+/// the per-row `Vec` headers. An accounting estimate (allocator slack and
+/// over-allocated capacity are not modeled) for serving-side memory
+/// telemetry.
+fn approx_rows_bytes(rows: &[AdjRow]) -> usize {
+    std::mem::size_of_val(rows)
+        + rows
+            .iter()
+            .map(|r| {
+                std::mem::size_of_val(r.cols.as_slice()) + std::mem::size_of_val(r.vals.as_slice())
+            })
+            .sum::<usize>()
+}
+
 /// A normalized adjacency under mutation: rows are stored individually so a
 /// graph delta refreshes only the rows it dirtied instead of rebuilding the
 /// whole matrix.
@@ -290,6 +304,12 @@ impl DynAdjacency {
         }
     }
 
+    /// Approximate heap bytes held by the row storage (see
+    /// [`LocalAdjacency::approx_heap_bytes`] for the shard-slice analogue).
+    pub fn approx_heap_bytes(&self) -> usize {
+        approx_rows_bytes(&self.rows)
+    }
+
     /// Freezes the rows into a [`CsrMatrix`] (full copy; equivalence tests
     /// and offline consumers only).
     pub fn to_csr(&self) -> CsrMatrix {
@@ -401,6 +421,13 @@ impl LocalAdjacency {
     /// self-loop column, so emptiness marks exactly the outer-halo rows.
     pub fn complete_rows(&self) -> usize {
         self.rows.iter().filter(|row| !row.cols.is_empty()).count()
+    }
+
+    /// Approximate heap bytes held by this slice: the local-id table plus
+    /// the remapped row storage. Same accounting caveats as
+    /// [`DynAdjacency::approx_heap_bytes`].
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.locals.len() * std::mem::size_of::<NodeId>() + approx_rows_bytes(&self.rows)
     }
 
     fn slice_row<A: AdjacencyView + ?Sized>(&self, global: &A, v: NodeId) -> AdjRow {

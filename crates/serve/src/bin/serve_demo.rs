@@ -54,7 +54,9 @@ use std::time::{Duration, Instant};
 use mega_gnn::GnnKind;
 use mega_graph::{DatasetSpec, GraphDelta};
 use mega_quant::DegreePolicy;
-use mega_serve::{ModelKey, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig, ServeEngine};
+use mega_serve::{
+    ModelKey, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig, ServeEngine, TraceConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -217,6 +219,7 @@ fn main() {
             max_delay: Duration::from_millis(2),
         },
         cache_capacity: 8,
+        trace: TraceConfig::default(),
     };
     let (engine, responses) = ServeEngine::start(config, registry.clone());
 
@@ -453,6 +456,50 @@ fn main() {
         );
         per_s
     };
+
+    // ── Per-stage latency breakdown ────────────────────────────────────
+    // Where time went, decomposed from the request-lifecycle traces:
+    // queue_wait (enqueue→flush), batch_wait (flush→forward-pass start),
+    // execute (the forward pass), deliver (pass end→ticket wakeup).
+    let tracer = &engine.metrics().trace;
+    println!(
+        "\n{:<12} {:>9} {:>10} {:>10} {:>10}",
+        "stage", "samples", "p50", "p95", "p99"
+    );
+    for (name, h) in tracer.stage_histograms() {
+        println!(
+            "{:<12} {:>9} {:>10.3?} {:>10.3?} {:>10.3?}",
+            name,
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
+    println!(
+        "[trace] flight recorder: {} timelines recorded, {} retained, {} slow \
+         (threshold {:?})",
+        tracer.recorder.recorded(),
+        tracer.recorder.recent().len(),
+        tracer.recorder.slow().len(),
+        tracer.recorder.slow_threshold(),
+    );
+    for memory in engine.memory() {
+        println!(
+            "[memory] {}: {:.1} MiB resident ({} shard slices, {:.1} MiB logits cache)",
+            memory.model,
+            memory.total_bytes() as f64 / (1024.0 * 1024.0),
+            shards,
+            memory.logits_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    if let Some(process) = mega_serve::process_memory() {
+        println!(
+            "[memory] process RSS {:.1} MiB (peak {:.1} MiB)",
+            process.rss_bytes as f64 / (1024.0 * 1024.0),
+            process.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
 
     let report = engine.shutdown();
     all_responses.extend(responses.try_iter());

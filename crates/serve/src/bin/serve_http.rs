@@ -17,7 +17,8 @@
 //! `--scale F` (dataset node-count scale), `--cache-mb MB` (default 16),
 //! `--connections N` (handler pool, default 8), `--max-in-flight N`
 //! (admission bound, default 1024), `--wait-timeout-ms MS` (per-request
-//! deadline, default 30000). Heavy traffic degrades by shedding: past the
+//! deadline, default 30000), `--slow-ms MS` (flight-recorder slow-request
+//! threshold, default 50). Heavy traffic degrades by shedding: past the
 //! in-flight bound, requests get `429` + `Retry-After` instead of
 //! queueing behind everyone else.
 
@@ -28,7 +29,7 @@ use mega_gnn::GnnKind;
 use mega_graph::DatasetSpec;
 use mega_serve::{
     HttpServer, HttpServerConfig, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig,
-    ServeEngine,
+    ServeEngine, TraceConfig,
 };
 
 /// `--name value` flag, falling back to `default` when absent/malformed.
@@ -56,6 +57,7 @@ fn main() {
     let connections = arg("--connections", 8usize).max(1);
     let max_in_flight = arg("--max-in-flight", 1024usize).max(1);
     let wait_timeout_ms = arg("--wait-timeout-ms", 30_000u64);
+    let slow_ms = arg("--slow-ms", 50u64);
 
     let scaled = |name: &str| {
         let spec = DatasetSpec::by_name(name).expect("known dataset");
@@ -90,6 +92,10 @@ fn main() {
             workers,
             scheduler: SchedulerConfig::default(),
             cache_capacity: 8,
+            trace: TraceConfig {
+                slow_threshold: Duration::from_millis(slow_ms),
+                ..TraceConfig::default()
+            },
         },
         registry.clone(),
     ));
@@ -113,7 +119,7 @@ fn main() {
     // Parseable by scripts (and humans): the one line that matters.
     println!("serve_http listening on http://{}", server.local_addr());
     println!(
-        "endpoints: POST /v1/{{dataset}}/{{kind}}/predict  POST /v1/{{dataset}}/{{kind}}/update  GET /metrics"
+        "endpoints: POST /v1/{{dataset}}/{{kind}}/predict  POST /v1/{{dataset}}/{{kind}}/update  GET /metrics  GET /debug/requests  GET /healthz"
     );
     // Serve until killed. The handler pool owns all the work; parking the
     // main thread forever costs nothing (and matches the engine's own

@@ -519,6 +519,22 @@ impl ModelArtifacts {
         self.graph.num_nodes()
     }
 
+    /// Approximate heap bytes these artifacts hold resident, split by
+    /// component (the structures that dominate a model's footprint:
+    /// feature matrices, the incremental adjacency, shard slices, logits
+    /// caches). Model weights and per-node policy vectors are small by
+    /// comparison and not itemized. Feeds `/metrics`' per-model gauges.
+    pub fn resident_bytes(&self) -> crate::trace::ModelMemory {
+        crate::trace::ModelMemory {
+            model: self.key.clone(),
+            features_bytes: std::mem::size_of_val(self.dataset.features().data()),
+            raw_features_bytes: std::mem::size_of_val(self.raw_features.data()),
+            adjacency_bytes: self.adjacency.approx_heap_bytes(),
+            shard_bytes: self.shards.iter().map(ShardState::resident_bytes).sum(),
+            logits_bytes: self.logits.iter().map(LogitsCache::bytes).sum(),
+        }
+    }
+
     /// The activation bitwidth served to `node`.
     pub fn node_bits(&self, node: NodeId) -> u8 {
         self.bits[node as usize]
@@ -700,6 +716,20 @@ impl ArtifactCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every fully built resident entry, with its key. Entries still
+    /// mid-build (their `OnceLock` unset) are skipped — memory telemetry
+    /// samples what exists now rather than waiting on a build. Does not
+    /// touch LRU order or hit/miss counters.
+    pub fn resident(&self) -> Vec<(ModelKey, Arc<ModelEntry>)> {
+        self.inner
+            .lock()
+            .expect("cache lock poisoned")
+            .map
+            .iter()
+            .filter_map(|(key, slot)| slot.entry.get().map(|e| (key.clone(), e.clone())))
+            .collect()
     }
 }
 

@@ -41,8 +41,10 @@ use std::time::Duration;
 use mega_gnn::GnnKind;
 use mega_graph::GraphDelta;
 
+use crate::metrics::LogHistogram;
 use crate::request::{InferenceResponse, ModelKey, UpdateResponse};
-use crate::{ModelRegistry, ServeEngine, ServeError, WaitError};
+use crate::trace::{process_memory, RequestTrace, TraceRecord, TraceStage};
+use crate::{EngineHealth, ModelRegistry, ServeEngine, ServeError, WaitError};
 
 pub mod json;
 
@@ -402,8 +404,18 @@ fn route(
         .collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["metrics"]) => HttpResponse::text(200, render_metrics(engine, stats)),
-        ("GET", ["healthz"]) => HttpResponse::json(200, "{\"ok\":true}".to_string()),
+        ("GET", ["healthz"]) => {
+            let health = engine.health();
+            let status = if health.ok() { 200 } else { 503 };
+            HttpResponse::json(status, render_health(&health))
+        }
+        ("GET", ["debug", "requests"]) => HttpResponse::json(200, render_debug_requests(engine)),
         ("POST", ["v1", dataset, kind, endpoint @ ("predict" | "update")]) => {
+            // The request-lifecycle trace starts here, once the request is
+            // parsed off the wire — its timeline then covers admission and
+            // body decode, not just engine time. Updates are untraced
+            // (traces model the inference path).
+            let mut trace = RequestTrace::begin();
             let Some(key) = resolve_model(registry, dataset, kind) else {
                 return HttpResponse::error(404, &format!("no registered model {dataset}/{kind}"));
             };
@@ -423,18 +435,19 @@ fn route(
                 )
                 .with_header("retry-after", seconds.to_string());
             }
+            trace.stamp(TraceStage::Admitted);
             let body = match json::parse(&request.body) {
                 Ok(body) => body,
                 Err(reason) => return HttpResponse::error(400, &format!("bad JSON: {reason}")),
             };
             if *endpoint == "predict" {
-                handle_predict(engine, &key, &body, config)
+                handle_predict(engine, &key, &body, config, trace)
             } else {
                 handle_update(engine, &key, &body, config)
             }
         }
         ("POST", ["v1", ..]) => HttpResponse::error(404, "unknown endpoint"),
-        (_, ["metrics" | "healthz"]) | (_, ["v1", ..]) => {
+        (_, ["metrics" | "healthz"]) | (_, ["debug", "requests"]) | (_, ["v1", ..]) => {
             HttpResponse::error(405, "method not allowed")
         }
         _ => HttpResponse::error(404, "unknown path"),
@@ -462,6 +475,7 @@ fn handle_predict(
     key: &ModelKey,
     body: &Json,
     config: &HttpServerConfig,
+    trace: RequestTrace,
 ) -> HttpResponse {
     let Some(node) = body.get("node").and_then(Json::as_u64) else {
         return HttpResponse::error(400, "body must carry an integer \"node\"");
@@ -469,7 +483,7 @@ fn handle_predict(
     if node > u32::MAX as u64 {
         return HttpResponse::error(400, "node id exceeds u32");
     }
-    match engine.submit_wait(key, node as u32, config.wait_timeout) {
+    match engine.submit_wait_traced(key, node as u32, config.wait_timeout, trace) {
         Ok(response) => HttpResponse::json(200, render_inference(&response)),
         Err(error) => serve_error_response(&error),
     }
@@ -655,6 +669,115 @@ fn render_update(ack: &UpdateResponse) -> String {
     out
 }
 
+/// `GET /healthz` body: liveness of every thread the request path depends
+/// on, plus the in-flight count and a reason when unhealthy.
+fn render_health(health: &EngineHealth) -> String {
+    let mut out = String::from("{");
+    json::field(&mut out, "ok", Json::Bool(health.ok()));
+    json::field(&mut out, "sweeper_alive", Json::Bool(health.sweeper_alive));
+    json::field(
+        &mut out,
+        "lanes_alive",
+        Json::Arr(health.lanes_alive.iter().map(|&a| Json::Bool(a)).collect()),
+    );
+    json::field(&mut out, "in_flight", Json::from(health.in_flight as u64));
+    json::field(
+        &mut out,
+        "reason",
+        health.reason().map(Json::from).unwrap_or(Json::Null),
+    );
+    out.pop();
+    out.push('}');
+    out
+}
+
+/// One flight-recorder timeline as JSON: the request's tags plus a
+/// `stages` object of stage-name → microseconds-since-ingress for every
+/// stage the request actually passed through.
+fn render_trace_record(record: &TraceRecord) -> Json {
+    let mut fields = vec![
+        ("id".to_string(), Json::from(record.id)),
+        ("model".to_string(), Json::from(record.model.clone())),
+        ("node".to_string(), Json::from(u64::from(record.node))),
+        ("shard".to_string(), Json::from(u64::from(record.shard))),
+        ("tier".to_string(), Json::from(record.tier as u64)),
+        ("bits".to_string(), Json::from(u64::from(record.bits))),
+        (
+            "batch_size".to_string(),
+            Json::from(record.batch_size as u64),
+        ),
+        ("cache_hit".to_string(), Json::Bool(record.cache_hit)),
+        (
+            "worker".to_string(),
+            record
+                .worker
+                .map(|w| Json::from(w as u64))
+                .unwrap_or(Json::Null),
+        ),
+        ("total_us".to_string(), Json::from(record.total_us)),
+    ];
+    fields.push((
+        "stages".to_string(),
+        Json::Obj(
+            record
+                .trace
+                .stamped()
+                .map(|(stage, us)| (stage.name().to_string(), Json::from(us)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+/// `GET /debug/requests` body: the flight recorder's recent and slow
+/// timeline rings, newest last, plus the recorder's own counters.
+fn render_debug_requests(engine: &ServeEngine) -> String {
+    let recorder = &engine.metrics().trace.recorder;
+    let mut out = String::from("{");
+    json::field(
+        &mut out,
+        "slow_threshold_us",
+        Json::from(recorder.slow_threshold().as_micros().min(u64::MAX as u128) as u64),
+    );
+    json::field(&mut out, "recorded", Json::from(recorder.recorded()));
+    json::field(
+        &mut out,
+        "slow_recorded",
+        Json::from(recorder.slow_recorded()),
+    );
+    json::field(
+        &mut out,
+        "recent",
+        Json::Arr(recorder.recent().iter().map(render_trace_record).collect()),
+    );
+    json::field(
+        &mut out,
+        "slow",
+        Json::Arr(recorder.slow().iter().map(render_trace_record).collect()),
+    );
+    out.pop();
+    out.push('}');
+    out
+}
+
+/// Appends one `histogram`-typed family in Prometheus text format:
+/// cumulative `_bucket{le="…"}` lines over the histogram's non-empty
+/// buckets plus the mandatory `+Inf`, then `_sum` and `_count`.
+fn render_histogram(out: &mut String, name: &str, help: &str, histogram: &LogHistogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (upper, count) in histogram.buckets() {
+        cumulative += count;
+        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+        histogram.count(),
+        histogram.sum_us(),
+        histogram.count(),
+    ));
+}
+
 /// Prometheus text exposition of the engine report plus ingress counters.
 fn render_metrics(engine: &ServeEngine, stats: &HttpStats) -> String {
     let report = engine.report();
@@ -748,5 +871,103 @@ fn render_metrics(engine: &ServeEngine, stats: &HttpStats) -> String {
         "HTTP requests answered with a non-2xx, non-429 status.",
         stats.errors.load(Ordering::Relaxed).to_string(),
     );
+    let metrics = engine.metrics();
+    metric(
+        "mega_serve_traces_recorded_total",
+        "counter",
+        "Completed request timelines folded into the flight recorder.",
+        metrics.trace.recorder.recorded().to_string(),
+    );
+    metric(
+        "mega_serve_slow_traces_total",
+        "counter",
+        "Timelines past the slow threshold (retained in the slow ring).",
+        metrics.trace.recorder.slow_recorded().to_string(),
+    );
+    if let Some(process) = process_memory() {
+        metric(
+            "mega_serve_process_rss_bytes",
+            "gauge",
+            "Resident set size of the serving process (/proc/self/status VmRSS).",
+            process.rss_bytes.to_string(),
+        );
+        metric(
+            "mega_serve_process_peak_rss_bytes",
+            "gauge",
+            "Peak resident set size (/proc/self/status VmHWM).",
+            process.peak_rss_bytes.to_string(),
+        );
+    }
+    render_histogram(
+        &mut out,
+        "mega_serve_latency_us",
+        "Submit-to-response latency, microseconds.",
+        &metrics.latency,
+    );
+    render_histogram(
+        &mut out,
+        "mega_serve_batch_execution_us",
+        "Per-batch forward-pass execution time, microseconds.",
+        &metrics.execution,
+    );
+    for (stage, histogram) in metrics.trace.stage_histograms() {
+        render_histogram(
+            &mut out,
+            &format!("mega_serve_stage_{stage}_us"),
+            "Per-request time in this lifecycle stage, microseconds.",
+            histogram,
+        );
+    }
+    let models = engine.memory();
+    if !models.is_empty() {
+        out.push_str(
+            "# HELP mega_serve_model_resident_bytes Resident heap bytes per model component.\n\
+             # TYPE mega_serve_model_resident_bytes gauge\n",
+        );
+        for memory in &models {
+            for (component, bytes) in memory.components() {
+                out.push_str(&format!(
+                    "mega_serve_model_resident_bytes{{model=\"{}\",component=\"{component}\"}} {bytes}\n",
+                    memory.model,
+                ));
+            }
+        }
+    }
+    let lanes = metrics.lane_snapshot();
+    if !lanes.is_empty() {
+        for (name, kind, help) in [
+            (
+                "mega_serve_lane_busy_us_total",
+                "counter",
+                "Time each worker lane spent processing items, microseconds.",
+            ),
+            (
+                "mega_serve_lane_items_total",
+                "counter",
+                "Work items (batches + update tokens) each lane finished.",
+            ),
+            (
+                "mega_serve_lane_queue_depth",
+                "gauge",
+                "Items routed to each lane but not yet dequeued (sampled).",
+            ),
+            (
+                "mega_serve_lane_alive",
+                "gauge",
+                "1 while the lane's thread is running, 0 once it exited.",
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for (lane, &(busy_us, items, depth, alive)) in lanes.iter().enumerate() {
+                let value = match name {
+                    "mega_serve_lane_busy_us_total" => busy_us,
+                    "mega_serve_lane_items_total" => items,
+                    "mega_serve_lane_queue_depth" => depth,
+                    _ => u64::from(alive),
+                };
+                out.push_str(&format!("{name}{{lane=\"{lane}\"}} {value}\n"));
+            }
+        }
+    }
     out
 }

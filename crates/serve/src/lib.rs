@@ -122,12 +122,13 @@ pub mod request;
 pub mod scheduler;
 pub mod shard;
 pub mod ticket;
+pub mod trace;
 pub mod worker;
 
 pub use cache::{ArtifactCache, ModelArtifacts, ModelEntry, Retier, UpdateEffect};
 pub use http::{HttpServer, HttpServerConfig};
 pub use logits::{CachedLogits, LogitsCache};
-pub use metrics::{LogHistogram, Metrics, MetricsReport, ShardReport, ShardStat};
+pub use metrics::{LaneStat, LogHistogram, Metrics, MetricsReport, ShardReport, ShardStat};
 pub use registry::{ModelRegistry, ModelSpec};
 pub use request::{
     InferenceRequest, InferenceResponse, ModelKey, ServeResponse, UpdateRequest, UpdateResponse,
@@ -135,6 +136,10 @@ pub use request::{
 pub use scheduler::{Batch, BatchScheduler, FlushReason, SchedulerConfig, WorkItem};
 pub use shard::{HwEstimate, ShardRefresh, ShardState};
 pub use ticket::{CompletionRouter, Completions, Ticket, WaitError};
+pub use trace::{
+    process_memory, FlightRecorder, MemorySnapshot, ModelMemory, RequestTrace, TraceConfig,
+    TraceRecord, TraceStage, Tracer,
+};
 pub use worker::{batch_logits, shard_logits, WorkRouter, WorkerPool};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -157,6 +162,9 @@ pub struct ServeConfig {
     pub scheduler: SchedulerConfig,
     /// Artifact sets kept resident (LRU above this).
     pub cache_capacity: usize,
+    /// Flight-recorder knobs: timeline ring capacities and the
+    /// slow-outlier threshold ([`trace`]). Tracing itself is always on.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -169,6 +177,7 @@ impl Default for ServeConfig {
             workers,
             scheduler: SchedulerConfig::default(),
             cache_capacity: 8,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -210,6 +219,43 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// What [`ServeEngine::health`] reports (and `GET /healthz` serializes).
+#[derive(Debug, Clone)]
+pub struct EngineHealth {
+    /// Whether the deadline-sweeper thread is running.
+    pub sweeper_alive: bool,
+    /// Per-lane liveness, indexed by worker lane.
+    pub lanes_alive: Vec<bool>,
+    /// Requests submitted but not yet answered.
+    pub in_flight: usize,
+}
+
+impl EngineHealth {
+    /// Healthy means every thread the request path depends on is alive.
+    pub fn ok(&self) -> bool {
+        self.sweeper_alive && self.lanes_alive.iter().all(|&alive| alive)
+    }
+
+    /// A human-readable reason when unhealthy.
+    pub fn reason(&self) -> Option<String> {
+        if !self.sweeper_alive {
+            return Some("deadline sweeper thread is dead".to_string());
+        }
+        let dead: Vec<String> = self
+            .lanes_alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &alive)| !alive)
+            .map(|(lane, _)| lane.to_string())
+            .collect();
+        if dead.is_empty() {
+            None
+        } else {
+            Some(format!("worker lane(s) {} dead", dead.join(", ")))
+        }
+    }
+}
 
 /// The serving engine: scheduler + sweeper + worker pool + shared caches
 /// + the completion router that wakes per-request waiters.
@@ -263,7 +309,7 @@ impl ServeEngine {
         stream: Option<Sender<ServeResponse>>,
     ) -> Self {
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics::with_trace(&config.trace));
         let router = Arc::new(CompletionRouter::new());
         let completions = Completions::new(router.clone(), stream);
         // Workers first: each owns a private lane, and the router pinning
@@ -355,6 +401,19 @@ impl ServeEngine {
     /// artifacts at execution time, so a concurrent re-tier never makes a
     /// response mis-report what the forward pass served.
     pub fn submit(&self, key: &ModelKey, node: NodeId) -> Result<Ticket, ServeError> {
+        self.submit_traced(key, node, RequestTrace::begin())
+    }
+
+    /// [`ServeEngine::submit`] with a caller-started [`RequestTrace`]
+    /// (the HTTP ingress starts the trace at request parse, so its
+    /// timeline includes ingress and admission time; in-process callers
+    /// go through [`ServeEngine::submit`], whose trace starts here).
+    pub fn submit_traced(
+        &self,
+        key: &ModelKey,
+        node: NodeId,
+        mut trace: RequestTrace,
+    ) -> Result<Ticket, ServeError> {
         let entry = self.entry_for(key)?;
         let artifacts = entry.read();
         Self::validate_node(&artifacts, node)?;
@@ -365,8 +424,10 @@ impl ServeEngine {
         let ticket = self.router.register(id);
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let submitted_at = Instant::now();
+        trace.stamp_at(TraceStage::Submitted, submitted_at);
         if let Some(hit) = artifacts.logits_cache(shard).and_then(|c| c.get(node)) {
             self.metrics.record_logits_lookup(shard, true);
+            trace.stamp(TraceStage::CacheHit);
             let response = InferenceResponse::from_hit(
                 id,
                 key.clone(),
@@ -378,7 +439,8 @@ impl ServeEngine {
             );
             self.metrics
                 .record_response(response.bits, response.latency);
-            self.completions.send(ServeResponse::Inference(response));
+            self.completions
+                .deliver_traced(response, &mut trace, &self.metrics.trace);
             return Ok(ticket);
         }
         let (tier, bits) = (artifacts.node_tier(node), artifacts.node_bits(node));
@@ -391,6 +453,7 @@ impl ServeEngine {
             tier,
             bits,
             submitted_at,
+            trace,
         });
         Ok(ticket)
     }
@@ -407,6 +470,20 @@ impl ServeEngine {
         timeout: Duration,
     ) -> Result<InferenceResponse, ServeError> {
         let ticket = self.submit(key, node)?;
+        ticket.wait_inference(timeout).map_err(ServeError::Wait)
+    }
+
+    /// [`ServeEngine::submit_wait`] with a caller-started
+    /// [`RequestTrace`] — the HTTP predict handler's path, whose traces
+    /// then cover ingress parse and admission, not just engine time.
+    pub fn submit_wait_traced(
+        &self,
+        key: &ModelKey,
+        node: NodeId,
+        timeout: Duration,
+        trace: RequestTrace,
+    ) -> Result<InferenceResponse, ServeError> {
+        let ticket = self.submit_traced(key, node, trace)?;
         ticket.wait_inference(timeout).map_err(ServeError::Wait)
     }
 
@@ -533,6 +610,44 @@ impl ServeEngine {
     /// The live metrics handle.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Point-in-time liveness: is the sweeper thread running, which
+    /// worker lanes are running, and how many requests are in flight.
+    /// This is what `GET /healthz` reports — a panicked lane flips the
+    /// endpoint to 503 because every `(model, shard)` pinned to that lane
+    /// would otherwise time out silently.
+    pub fn health(&self) -> EngineHealth {
+        EngineHealth {
+            sweeper_alive: !self.sweeper.is_finished(),
+            lanes_alive: self.pool.alive(),
+            in_flight: self.in_flight(),
+        }
+    }
+
+    /// Per-model resident-bytes breakdown over every artifact set
+    /// currently resident in the cache, sorted by model key for stable
+    /// exposition. Computed from the live structures (feature slices,
+    /// adjacency rows, logits caches) — no shadow accounting to drift.
+    pub fn memory(&self) -> Vec<ModelMemory> {
+        let mut memory: Vec<ModelMemory> = self
+            .cache
+            .resident()
+            .into_iter()
+            .map(|(_, entry)| entry.read().resident_bytes())
+            .collect();
+        memory.sort_by(|a, b| {
+            (&a.model.dataset, a.model.kind.name()).cmp(&(&b.model.dataset, b.model.kind.name()))
+        });
+        memory
+    }
+
+    /// Fault injection for liveness testing: makes worker lane
+    /// `lane % workers` panic on its next dequeue, exactly as a bug in
+    /// batch execution would. `/healthz` must flip to 503; requests
+    /// pinned to the dead lane will time out. Not for production use.
+    pub fn poison_lane(&self, lane: usize) {
+        self.scheduler.poison_lane(lane);
     }
 
     /// Point-in-time report including cache behaviour.

@@ -5,11 +5,12 @@
 //! per-shard table, so worker lanes recording batches never serialize on
 //! each other once a shard's slot exists.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use crate::shard::HwEstimate;
+use crate::trace::Tracer;
 
 /// Sub-bucket resolution bits of the log histogram (HdrHistogram-style).
 const SUB_BITS: u32 = 4;
@@ -23,6 +24,7 @@ const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
 pub struct LogHistogram {
     counts: Vec<AtomicU64>,
     total: AtomicU64,
+    sum_us: AtomicU64,
 }
 
 impl Default for LogHistogram {
@@ -30,6 +32,7 @@ impl Default for LogHistogram {
         Self {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -67,11 +70,29 @@ impl LogHistogram {
         let us = value.as_micros().min(u64::MAX as u128) as u64;
         self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values in microseconds (the Prometheus `_sum`
+    /// series companion to [`LogHistogram::buckets`]).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound_us, count)` for every *non-empty* bucket, ascending.
+    /// Counts are per-bucket (not cumulative); the Prometheus renderer
+    /// accumulates them into `_bucket{le=...}` series. Skipping empty
+    /// buckets is what keeps a 976-bucket histogram's exposition small.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, c)| {
+            let count = c.load(Ordering::Relaxed);
+            (count > 0).then(|| (bucket_upper(i), count))
+        })
     }
 
     /// The `q`-quantile (`0 < q <= 1`) as a duration upper bound, or zero
@@ -121,6 +142,24 @@ pub struct ShardStat {
     pub est_cycles: AtomicU64,
     /// Estimated DRAM bytes across this shard's batches.
     pub est_dram_bytes: AtomicU64,
+}
+
+/// Per-worker-lane counters: utilization (busy time), item throughput,
+/// and the live queue depth (items routed to the lane but not yet
+/// dequeued — sampled by `/metrics` scrapes).
+#[derive(Default)]
+pub struct LaneStat {
+    /// Cumulative time the lane spent processing items, microseconds.
+    pub busy_us: AtomicU64,
+    /// Work items the lane finished (batches + update tokens).
+    pub items: AtomicU64,
+    /// Items currently queued on the lane's channel (incremented at
+    /// routing, decremented at dequeue).
+    pub depth: AtomicU64,
+    /// Cleared when the lane's thread exits (normal shutdown drain or a
+    /// panic — `/healthz` distinguishes the two by whether the engine is
+    /// shutting down).
+    pub alive: AtomicBool,
 }
 
 /// Aggregate serving counters. All methods are safe to call concurrently
@@ -183,6 +222,23 @@ pub struct Metrics {
     pub est_dram_bytes: AtomicU64,
     /// Per-shard counters, grown on demand behind a read-mostly lock.
     shards: RwLock<Vec<Arc<ShardStat>>>,
+    /// Per-worker-lane counters, grown on demand like `shards`.
+    lanes: RwLock<Vec<Arc<LaneStat>>>,
+    /// The request-lifecycle tracing sink: per-stage histograms plus the
+    /// flight recorder ([`crate::trace`]).
+    pub trace: Tracer,
+}
+
+impl Metrics {
+    /// Metrics with explicit flight-recorder knobs (the engine passes
+    /// [`crate::ServeConfig::trace`] through here; `Metrics::default()`
+    /// uses [`crate::TraceConfig::default`]).
+    pub fn with_trace(config: &crate::trace::TraceConfig) -> Self {
+        Self {
+            trace: Tracer::new(config),
+            ..Self::default()
+        }
+    }
 }
 
 impl Metrics {
@@ -230,6 +286,40 @@ impl Metrics {
             shards.push(Arc::new(ShardStat::default()));
         }
         shards[shard as usize].clone()
+    }
+
+    /// The counters of worker lane `lane`, growing the table on first
+    /// sight (same read-mostly pattern as [`Metrics::shard_stat`]).
+    pub fn lane_stat(&self, lane: usize) -> Arc<LaneStat> {
+        {
+            let lanes = self.lanes.read().expect("lane stats poisoned");
+            if let Some(stat) = lanes.get(lane) {
+                return stat.clone();
+            }
+        }
+        let mut lanes = self.lanes.write().expect("lane stats poisoned");
+        while lanes.len() <= lane {
+            lanes.push(Arc::new(LaneStat::default()));
+        }
+        lanes[lane].clone()
+    }
+
+    /// Snapshot of every lane's counters: `(busy_us, items, depth,
+    /// alive)`, indexed by lane.
+    pub fn lane_snapshot(&self) -> Vec<(u64, u64, u64, bool)> {
+        self.lanes
+            .read()
+            .expect("lane stats poisoned")
+            .iter()
+            .map(|l| {
+                (
+                    l.busy_us.load(Ordering::Relaxed),
+                    l.items.load(Ordering::Relaxed),
+                    l.depth.load(Ordering::Relaxed),
+                    l.alive.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Records one batch executed against a shard slice.
@@ -608,6 +698,84 @@ mod tests {
                 "error too large at {us}: upper {upper}"
             );
         }
+    }
+
+    /// Satellite coverage: `bucket_of`/`bucket_upper` round-trip exactly
+    /// at the seams the encoding has — the exact-value range below
+    /// `SUBS`, the first log group, every power-of-two boundary, and the
+    /// saturating top bucket at `u64::MAX`.
+    #[test]
+    fn bucket_round_trips_at_boundaries() {
+        // Exact range: every value below SUBS is its own bucket and its
+        // own (tight) upper bound.
+        for us in 0..SUBS as u64 {
+            assert_eq!(bucket_of(us), us as usize);
+            assert_eq!(bucket_upper(us as usize), us);
+        }
+        // The sub-bucket/group seam: SUBS-1 is the last exact bucket,
+        // SUBS opens group 1 (width 1, still exact).
+        assert_eq!(bucket_of(SUBS as u64 - 1), SUBS - 1);
+        assert_eq!(bucket_of(SUBS as u64), SUBS);
+        assert_eq!(bucket_upper(SUBS), SUBS as u64);
+        // Every index's upper bound maps back into the same index, and
+        // upper+1 opens the next bucket (round-trip at the boundary).
+        for index in 0..BUCKETS - 1 {
+            let upper = bucket_upper(index);
+            assert_eq!(
+                bucket_of(upper),
+                index,
+                "upper({index}) not in its own bucket"
+            );
+            assert_eq!(
+                bucket_of(upper + 1),
+                index + 1,
+                "upper({index})+1 not in the next bucket"
+            );
+        }
+        // Power-of-two boundaries land on a fresh sub-bucket (sub = 0).
+        for exp in SUB_BITS..63 {
+            let us = 1u64 << exp;
+            assert_eq!(bucket_of(us) % SUBS, 0, "2^{exp} should open a sub-run");
+            assert_eq!(bucket_of(us - 1), bucket_of(us) - 1);
+        }
+        // The top bucket saturates at exactly u64::MAX.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_iteration_exposes_nonempty_buckets_in_order() {
+        let h = LogHistogram::default();
+        assert_eq!(h.buckets().count(), 0, "empty histogram exposes nothing");
+        for us in [3u64, 3, 17, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.len(), 3, "duplicates share a bucket");
+        assert!(
+            buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "upper bounds ascend"
+        );
+        assert_eq!(buckets[0], (3, 2));
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(h.sum_us(), 3 + 3 + 17 + 100_000);
+        // Every reported upper bound re-buckets to the bucket it labels.
+        for &(upper, _) in &buckets {
+            assert_eq!(bucket_upper(bucket_of(upper)), upper);
+        }
+    }
+
+    #[test]
+    fn lane_stats_grow_on_demand() {
+        let m = Metrics::default();
+        assert!(m.lane_snapshot().is_empty());
+        m.lane_stat(2).busy_us.fetch_add(500, Ordering::Relaxed);
+        m.lane_stat(2).alive.store(true, Ordering::Relaxed);
+        m.lane_stat(0).items.fetch_add(1, Ordering::Relaxed);
+        let snapshot = m.lane_snapshot();
+        assert_eq!(snapshot.len(), 3, "table grew to the highest lane");
+        assert_eq!(snapshot[0], (0, 1, 0, false));
+        assert_eq!(snapshot[2], (500, 0, 0, true));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use mega_gnn::GnnKind;
 use mega_graph::{GraphDelta, NodeId};
 
 use crate::cache::Retier;
+use crate::trace::RequestTrace;
 
 /// Addresses a registered (dataset, architecture) pair.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -51,6 +52,9 @@ pub struct InferenceRequest {
     pub bits: u8,
     /// When the engine accepted the request.
     pub submitted_at: Instant,
+    /// The stage timeline, stamped in place as the request moves through
+    /// scheduler, lane, and forward pass ([`crate::trace`]).
+    pub trace: RequestTrace,
 }
 
 /// The engine's answer to one [`InferenceRequest`].

@@ -48,6 +48,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::request::{InferenceRequest, ModelKey, UpdateRequest};
+use crate::trace::TraceStage;
 use crate::worker::WorkRouter;
 
 /// Scheduler knobs.
@@ -103,6 +104,10 @@ pub struct Batch {
 pub enum WorkItem {
     /// A coalesced inference batch.
     Batch(Batch),
+    /// Fault injection: panics worker lane `lane % lanes` on dequeue, for
+    /// exercising `/healthz` lane-death detection in tests. Never emitted
+    /// by the scheduler itself.
+    Poison(usize),
     /// A token for one pending graph update to this model; the payload is
     /// popped from the scheduler's per-model FIFO
     /// ([`BatchScheduler::take_update`]).
@@ -222,7 +227,8 @@ impl BatchScheduler {
     /// worker restamps tier/bits from the live artifacts at execution
     /// time, so a concurrent re-tier between submit and execution can at
     /// worst cost batching homogeneity, never answer accuracy.
-    pub fn submit(&self, request: InferenceRequest) -> bool {
+    pub fn submit(&self, mut request: InferenceRequest) -> bool {
+        request.trace.stamp(TraceStage::Enqueued);
         let key = (request.model.clone(), request.shard, request.tier);
         let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
         // Every bucket shares `max_delay`, so the earliest deadline
@@ -432,16 +438,28 @@ impl BatchScheduler {
         self.updates.pending()
     }
 
+    /// Fault injection: sends a poison pill to worker lane
+    /// `lane % lanes`, which panics that lane's thread on dequeue (see
+    /// [`crate::ServeEngine::poison_lane`]).
+    pub fn poison_lane(&self, lane: usize) {
+        self.out.send(WorkItem::Poison(lane));
+    }
+
     fn emit(
         &self,
         model: ModelKey,
         shard: u32,
         tier: usize,
-        requests: Vec<InferenceRequest>,
+        mut requests: Vec<InferenceRequest>,
         reason: FlushReason,
     ) {
         if requests.is_empty() {
             return;
+        }
+        // One clock read covers the whole batch.
+        let now = Instant::now();
+        for request in &mut requests {
+            request.trace.stamp_at(TraceStage::Flushed, now);
         }
         // Receiver gone means the engine is shutting down; dropping the
         // batch here is fine because shutdown drains first.
@@ -475,6 +493,7 @@ mod tests {
             tier,
             bits: 2,
             submitted_at: at,
+            trace: crate::trace::RequestTrace::begin(),
         }
     }
 
@@ -482,6 +501,7 @@ mod tests {
         match rx.try_recv().expect("work item emitted") {
             WorkItem::Batch(batch) => batch,
             WorkItem::Update(key) => panic!("expected batch, got update token for {key}"),
+            WorkItem::Poison(lane) => panic!("expected batch, got poison pill for lane {lane}"),
         }
     }
 
@@ -746,6 +766,7 @@ mod tests {
             match rx.try_recv().expect("update token") {
                 WorkItem::Update(key) => assert_eq!(key, cora),
                 WorkItem::Batch(_) => panic!("expected update token"),
+                WorkItem::Poison(lane) => panic!("expected update token, got poison for {lane}"),
             }
             assert_eq!(scheduler.take_update(&cora).unwrap().id, expected);
         }

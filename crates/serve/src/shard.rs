@@ -112,6 +112,17 @@ impl ShardState {
         self.adjacency.locals().len()
     }
 
+    /// Approximate heap bytes this slice holds resident: the local
+    /// adjacency (ids + rows), the spliced feature rows, and the
+    /// membership bookkeeping (`owned`/`halo`/`is_halo`). Feeds the
+    /// per-model memory gauges ([`crate::ModelMemory`]).
+    pub fn resident_bytes(&self) -> usize {
+        self.adjacency.approx_heap_bytes()
+            + std::mem::size_of_val(self.features.data())
+            + (self.owned.len() + self.halo.len()) * std::mem::size_of::<NodeId>()
+            + self.is_halo.len()
+    }
+
     /// Counts how many distinct rows of a local-id [`ReceptiveField`]
     /// resolved from halo copies — the batch's cross-shard read traffic.
     pub fn halo_rows_in(&self, field: &ReceptiveField) -> usize {

@@ -283,6 +283,24 @@ impl Completions {
     pub fn drop_request(&self, id: u64) {
         self.router.drop_request(id);
     }
+
+    /// [`Completions::send`] for a traced inference response: stamps
+    /// [`TraceStage::Delivered`](crate::trace::TraceStage::Delivered),
+    /// folds the finished timeline into `tracer` (stage histograms plus
+    /// the flight recorder), then fans the response out. Every inference
+    /// delivery path — submit-time cache hit, worker partial-batch split,
+    /// worker batch — funnels through here so a timeline can never escape
+    /// unrecorded.
+    pub fn deliver_traced(
+        &self,
+        response: InferenceResponse,
+        trace: &mut crate::trace::RequestTrace,
+        tracer: &crate::trace::Tracer,
+    ) {
+        trace.stamp(crate::trace::TraceStage::Delivered);
+        tracer.complete(trace, &response);
+        self.send(ServeResponse::Inference(response));
+    }
 }
 
 #[cfg(test)]

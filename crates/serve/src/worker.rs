@@ -30,6 +30,7 @@ use crate::request::{
 use crate::scheduler::{Batch, FlushReason, UpdateQueue, WorkItem};
 use crate::shard::estimate_batch_hw;
 use crate::ticket::Completions;
+use crate::trace::TraceStage;
 
 /// Routes [`WorkItem`]s to worker lanes with shard affinity: batches go to
 /// `hash(model, shard) % lanes`, update tokens to `hash(model, 0) % lanes`
@@ -39,6 +40,10 @@ use crate::ticket::Completions;
 /// worker pool.
 pub struct WorkRouter {
     lanes: Vec<Sender<WorkItem>>,
+    /// When present, routing increments the target lane's queue-depth
+    /// gauge (the worker decrements on dequeue), so `/metrics` can sample
+    /// live per-lane backlog. `None` for bare test routers.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl WorkRouter {
@@ -49,7 +54,18 @@ impl WorkRouter {
     /// Panics if `lanes` is empty.
     pub fn new(lanes: Vec<Sender<WorkItem>>) -> Self {
         assert!(!lanes.is_empty(), "router needs at least one lane");
-        Self { lanes }
+        Self {
+            lanes,
+            metrics: None,
+        }
+    }
+
+    /// A router whose sends also maintain per-lane queue-depth gauges in
+    /// `metrics` (the engine path; [`WorkerPool::spawn`] uses this).
+    pub fn with_metrics(lanes: Vec<Sender<WorkItem>>, metrics: Arc<Metrics>) -> Self {
+        let mut router = Self::new(lanes);
+        router.metrics = Some(metrics);
+        router
     }
 
     /// A single-lane router (tests and sequential consumers).
@@ -77,8 +93,28 @@ impl WorkRouter {
         let lane = match &item {
             WorkItem::Batch(batch) => self.lane_of(&batch.model, batch.shard),
             WorkItem::Update(model) => self.lane_of(model, 0),
+            WorkItem::Poison(lane) => lane % self.lanes.len(),
         };
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .lane_stat(lane)
+                .depth
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         let _ = self.lanes[lane].send(item);
+    }
+}
+
+/// Clears the lane's liveness flag when its thread exits — by normal
+/// channel disconnect *or* by panic (`Drop` runs during unwind), which is
+/// exactly what lets `/healthz` notice a dead lane.
+struct LaneLiveness(Arc<crate::metrics::LaneStat>);
+
+impl Drop for LaneLiveness {
+    fn drop(&mut self) {
+        self.0
+            .alive
+            .store(false, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -178,7 +214,16 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("mega-serve-worker-{worker_id}"))
                     .spawn(move || {
+                        let stat = metrics.lane_stat(worker_id);
+                        stat.alive.store(true, std::sync::atomic::Ordering::Relaxed);
+                        let _liveness = LaneLiveness(stat.clone());
                         while let Ok(item) = rx.recv() {
+                            let _ = stat.depth.fetch_update(
+                                std::sync::atomic::Ordering::Relaxed,
+                                std::sync::atomic::Ordering::Relaxed,
+                                |d| Some(d.saturating_sub(1)),
+                            );
+                            let started = Instant::now();
                             match item {
                                 WorkItem::Batch(batch) => run_batch(
                                     worker_id,
@@ -197,13 +242,23 @@ impl WorkerPool {
                                     &metrics,
                                     &completions,
                                 ),
+                                WorkItem::Poison(lane) => {
+                                    panic!("worker lane {lane} poisoned by fault injection")
+                                }
                             }
+                            stat.busy_us.fetch_add(
+                                started.elapsed().as_micros() as u64,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                            stat.items
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        (Self { handles }, WorkRouter::new(lanes))
+        let router = WorkRouter::with_metrics(lanes, metrics);
+        (Self { handles }, router)
     }
 
     /// Number of threads in the pool.
@@ -216,23 +271,40 @@ impl WorkerPool {
         self.handles.is_empty()
     }
 
+    /// Per-lane liveness, indexed by worker id: `false` once the lane's
+    /// thread has exited (a panicked lane, or — during shutdown — a lane
+    /// that already drained). `/healthz` reads this while the engine is
+    /// running, where the only way a lane finishes is a panic.
+    pub fn alive(&self) -> Vec<bool> {
+        self.handles.iter().map(|h| !h.is_finished()).collect()
+    }
+
     /// Waits for every worker to finish (the router must already be
-    /// dropped, or this blocks forever).
+    /// dropped, or this blocks forever). A lane that panicked mid-run
+    /// (e.g. fault injection via [`crate::ServeEngine::poison_lane`]) is
+    /// reported, not propagated — shutdown still drains the other lanes.
     pub fn join(self) {
-        for handle in self.handles {
-            handle.join().expect("worker thread panicked");
+        for (lane, handle) in self.handles.into_iter().enumerate() {
+            if handle.join().is_err() {
+                eprintln!("mega-serve: worker lane {lane} panicked before shutdown");
+            }
         }
     }
 }
 
 fn run_batch(
     worker_id: usize,
-    batch: Batch,
+    mut batch: Batch,
     registry: &ModelRegistry,
     cache: &ArtifactCache,
     metrics: &Metrics,
     completions: &Completions,
 ) {
+    // One clock read stamps the whole batch's dequeue.
+    let dequeued = Instant::now();
+    for request in &mut batch.requests {
+        request.trace.stamp_at(TraceStage::Dequeued, dequeued);
+    }
     // The engine validates models at submit time, so this lookup only fails
     // if a model was dropped from the registry mid-flight; nothing useful
     // can be answered then — but waiters must not hang, so their tickets
@@ -301,7 +373,7 @@ fn run_batch(
         {
             Some(hit) => {
                 metrics.record_logits_lookup(shard, true);
-                respond_cached(worker_id, &request, shard, hit, completions, metrics);
+                respond_cached(worker_id, request, shard, hit, completions, metrics);
             }
             None => to_compute.push(request),
         }
@@ -356,12 +428,13 @@ fn ordered_targets(requests: &[InferenceRequest]) -> (Vec<NodeId>, Vec<usize>) {
 /// recomputation by the invalidation guarantee).
 fn respond_cached(
     worker_id: usize,
-    request: &InferenceRequest,
+    mut request: InferenceRequest,
     shard: u32,
     hit: CachedLogits,
     completions: &Completions,
     metrics: &Metrics,
 ) {
+    request.trace.stamp(TraceStage::CacheHit);
     let response = InferenceResponse::from_hit(
         request.id,
         request.model.clone(),
@@ -372,7 +445,7 @@ fn respond_cached(
         request.submitted_at.elapsed(),
     );
     metrics.record_response(response.bits, response.latency);
-    completions.send(ServeResponse::Inference(response));
+    completions.deliver_traced(response, &mut request.trace, &metrics.trace);
 }
 
 /// Inserts freshly computed logits rows into their owning shards' caches
@@ -413,7 +486,7 @@ fn fill_logits_cache(
 fn respond_batch(
     worker_id: usize,
     artifacts: &ModelArtifacts,
-    requests: &[InferenceRequest],
+    requests: &mut [InferenceRequest],
     order: &[usize],
     logits: &Matrix,
     halo_rows: usize,
@@ -422,7 +495,7 @@ fn respond_batch(
 ) {
     let batch_size = requests.len();
     for (row, &i) in order.iter().enumerate() {
-        let request = &requests[i];
+        let request = &mut requests[i];
         let logits_row = logits.row(row).to_vec();
         let predicted_class = logits.argmax_row(row);
         // Everything placement- and precision-shaped is restamped from the
@@ -449,7 +522,7 @@ fn respond_batch(
         };
         metrics.record_logits_lookup(shard, false);
         metrics.record_response(response.bits, response.latency);
-        completions.send(ServeResponse::Inference(response));
+        completions.deliver_traced(response, &mut request.trace, &metrics.trace);
     }
 }
 
@@ -457,14 +530,21 @@ fn execute_shard_batch(
     worker_id: usize,
     artifacts: &ModelArtifacts,
     shard: u32,
-    requests: Vec<InferenceRequest>,
+    mut requests: Vec<InferenceRequest>,
     metrics: &Metrics,
     completions: &Completions,
 ) {
     let (targets, order) = ordered_targets(&requests);
     let started = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::ExecStart, started);
+    }
     let (logits, field) = shard_logits_with_field(artifacts, shard, &targets);
     let execution = started.elapsed();
+    let ended = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::ExecEnd, ended);
+    }
 
     let state = artifacts.shard(shard).expect("shard exists");
     let halo_rows = state.halo_rows_in(&field);
@@ -480,10 +560,14 @@ fn execute_shard_batch(
     metrics.record_batch(requests.len(), field.total_rows(), execution);
     metrics.record_shard_batch(shard, requests.len(), halo_rows, est);
     fill_logits_cache(artifacts, &targets, &logits, metrics);
+    let filled = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::CacheFill, filled);
+    }
     respond_batch(
         worker_id,
         artifacts,
-        &requests,
+        &mut requests,
         &order,
         &logits,
         halo_rows,
@@ -495,20 +579,31 @@ fn execute_shard_batch(
 fn execute_global_batch(
     worker_id: usize,
     artifacts: &ModelArtifacts,
-    requests: Vec<InferenceRequest>,
+    mut requests: Vec<InferenceRequest>,
     metrics: &Metrics,
     completions: &Completions,
 ) {
     let (targets, order) = ordered_targets(&requests);
     let started = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::ExecStart, started);
+    }
     let (logits, field) = batch_logits_with_field(artifacts, &targets);
     let execution = started.elapsed();
+    let ended = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::ExecEnd, ended);
+    }
     metrics.record_batch(requests.len(), field.total_rows(), execution);
     fill_logits_cache(artifacts, &targets, &logits, metrics);
+    let filled = Instant::now();
+    for request in &mut requests {
+        request.trace.stamp_at(TraceStage::CacheFill, filled);
+    }
     respond_batch(
         worker_id,
         artifacts,
-        &requests,
+        &mut requests,
         &order,
         &logits,
         0,

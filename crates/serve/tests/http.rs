@@ -257,6 +257,248 @@ fn backpressure_sheds_with_429_then_recovers() {
     engine_shutdown(engine);
 }
 
+/// `/healthz` reports real liveness: 200 with per-lane state while every
+/// thread runs, 503 with a reason once a worker lane dies (here killed by
+/// fault injection, exactly as a panic in batch execution would).
+#[test]
+fn healthz_flips_to_503_when_a_lane_dies() {
+    let (engine, server) = start_stack(SchedulerConfig::default(), HttpServerConfig::default());
+    let addr = server.local_addr();
+
+    let (status, _, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let health = json::parse(body.as_bytes()).expect("valid JSON");
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(health.get("sweeper_alive"), Some(&Json::Bool(true)));
+    let lanes = health.get("lanes_alive").unwrap().as_array().unwrap();
+    assert_eq!(lanes.len(), 2, "one liveness flag per worker lane");
+    assert!(lanes.iter().all(|l| *l == Json::Bool(true)));
+    assert_eq!(health.get("reason"), Some(&Json::Null));
+
+    // Kill lane 0 and wait for the endpoint to notice.
+    engine.poison_lane(0);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let (status, body) = loop {
+        let (status, _, body) = http(addr, "GET", "/healthz", "");
+        if status != 200 || std::time::Instant::now() >= deadline {
+            break (status, body);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(status, 503, "dead lane must flip /healthz: {body}");
+    let health = json::parse(body.as_bytes()).expect("valid JSON");
+    assert_eq!(health.get("ok"), Some(&Json::Bool(false)));
+    let lanes = health.get("lanes_alive").unwrap().as_array().unwrap();
+    assert_eq!(lanes[0], Json::Bool(false), "lane 0 reported dead");
+    assert_eq!(lanes[1], Json::Bool(true), "lane 1 still alive");
+    let reason = health.get("reason").unwrap().as_str().unwrap();
+    assert!(
+        reason.contains("lane"),
+        "reason names the dead lane: {reason}"
+    );
+
+    server.stop();
+    engine_shutdown(engine);
+}
+
+/// `/debug/requests` exposes the flight recorder: recent timelines with
+/// monotone stage offsets, and submit-time cache hits tagged as such.
+#[test]
+fn debug_requests_exposes_recorded_timelines() {
+    let (engine, server) = start_stack(
+        SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        },
+        HttpServerConfig::default(),
+    );
+    let addr = server.local_addr();
+    // Twice the same node: the second predict short-circuits on the
+    // logits cache at submit time.
+    for _ in 0..2 {
+        let (status, _, body) = http(addr, "POST", "/v1/cora/gcn/predict", "{\"node\": 5}");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, _, body) = http(addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200, "{body}");
+    let debug = json::parse(body.as_bytes()).expect("valid JSON");
+    assert_eq!(debug.get("recorded").unwrap().as_u64(), Some(2));
+    let recent = debug.get("recent").unwrap().as_array().unwrap();
+    assert_eq!(recent.len(), 2, "both timelines retained");
+    for record in recent {
+        let stages = record.get("stages").expect("stages object");
+        let ingress = stages.get("ingress").unwrap().as_u64().unwrap();
+        let submitted = stages.get("submitted").unwrap().as_u64().unwrap();
+        let delivered = stages.get("delivered").unwrap().as_u64().unwrap();
+        assert_eq!(ingress, 0, "trace origin is the ingress stamp");
+        assert!(submitted <= delivered, "stage offsets are monotone");
+        assert!(record.get("total_us").unwrap().as_u64().unwrap() > 0);
+    }
+    let hits: Vec<bool> = recent
+        .iter()
+        .map(|r| *r.get("cache_hit").unwrap() == Json::Bool(true))
+        .collect();
+    assert_eq!(hits, vec![false, true], "second predict hit the cache");
+    // The cache-hit timeline has a cache_hit stamp and no worker stages.
+    let hit = &recent[1];
+    assert!(hit.get("stages").unwrap().get("cache_hit").is_some());
+    assert!(hit.get("stages").unwrap().get("exec_start").is_none());
+    assert_eq!(hit.get("worker"), Some(&Json::Null));
+
+    server.stop();
+    engine_shutdown(engine);
+}
+
+/// Lints one Prometheus text-exposition document: every line is a
+/// comment (`# HELP` / `# TYPE` with a valid metric name) or a sample
+/// (`name[{labels}] value` with a parseable value), and every `# TYPE`
+/// family has at least one sample. Returns the typed family names.
+fn lint_prometheus(text: &str) -> Vec<(String, String)> {
+    let valid_name =
+        |s: &str| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let mut families: Vec<(String, String)> = Vec::new();
+    let mut samples: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let tail = parts.next().unwrap_or("");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword: {line}"
+            );
+            assert!(valid_name(name), "bad metric name in: {line}");
+            if keyword == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&tail),
+                    "bad type in: {line}"
+                );
+                families.push((name.to_string(), tail.to_string()));
+            } else {
+                assert!(!tail.is_empty(), "HELP without text: {line}");
+            }
+            continue;
+        }
+        // Sample line: name or name{label="v",…}, then exactly one value.
+        let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+        let name = match name_part.split_once('{') {
+            Some((name, labels)) => {
+                assert!(labels.ends_with('}'), "unterminated labels: {line}");
+                let labels = &labels[..labels.len() - 1];
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is k=\"v\"");
+                    assert!(valid_name(k) || k == "le", "bad label name in: {line}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in: {line}"
+                    );
+                }
+                name
+            }
+            None => name_part,
+        };
+        assert!(valid_name(name), "bad sample name in: {line}");
+        samples.push(name.to_string());
+    }
+    for (family, kind) in &families {
+        let matched = if kind == "histogram" {
+            ["_bucket", "_sum", "_count"].iter().all(|suffix| {
+                samples
+                    .iter()
+                    .any(|s| s.as_str() == format!("{family}{suffix}"))
+            })
+        } else {
+            samples.iter().any(|s| s == family)
+        };
+        assert!(matched, "family {family} ({kind}) has no samples");
+    }
+    families
+}
+
+/// Satellite check: the `/metrics` exposition parses under the Prometheus
+/// text grammar end to end, and every expected family — scalars,
+/// stage histograms, memory and lane gauges — is present and typed.
+#[test]
+fn metrics_exposition_is_prometheus_parseable_and_complete() {
+    let (engine, server) = start_stack(
+        SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        },
+        HttpServerConfig::default(),
+    );
+    let addr = server.local_addr();
+    // Drive one uncached predict and one update so counters, histograms,
+    // and per-model gauges all have data.
+    assert_eq!(
+        http(addr, "POST", "/v1/cora/gcn/predict", "{\"node\": 3}").0,
+        200
+    );
+    assert_eq!(
+        http(
+            addr,
+            "POST",
+            "/v1/cora/gcn/update",
+            "{\"insert\": [[2, 3]]}"
+        )
+        .0,
+        200
+    );
+
+    let (status, _, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let families = lint_prometheus(&text);
+    let family_names: Vec<&str> = families.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "mega_serve_requests_submitted_total",
+        "mega_serve_requests_completed_total",
+        "mega_serve_in_flight",
+        "mega_serve_latency_p50_us",
+        "mega_serve_updates_applied_total",
+        "mega_serve_http_requests_total",
+        "mega_serve_traces_recorded_total",
+        "mega_serve_slow_traces_total",
+        "mega_serve_process_rss_bytes",
+        "mega_serve_latency_us",
+        "mega_serve_batch_execution_us",
+        "mega_serve_stage_queue_wait_us",
+        "mega_serve_stage_batch_wait_us",
+        "mega_serve_stage_execute_us",
+        "mega_serve_stage_deliver_us",
+        "mega_serve_model_resident_bytes",
+        "mega_serve_lane_busy_us_total",
+        "mega_serve_lane_queue_depth",
+        "mega_serve_lane_alive",
+    ] {
+        assert!(
+            family_names.contains(&expected),
+            "missing family {expected} in:\n{text}"
+        );
+    }
+    // Histogram buckets are cumulative and le-labeled.
+    assert!(
+        text.contains("mega_serve_stage_execute_us_bucket{le=\"+Inf\"}"),
+        "histograms carry the mandatory +Inf bucket:\n{text}"
+    );
+    // Per-model gauges are labeled by model and component.
+    assert!(
+        text.contains("mega_serve_model_resident_bytes{model=\"Cora/GCN\",component=\"features\"}"),
+        "per-model memory gauges are labeled:\n{text}"
+    );
+
+    server.stop();
+    engine_shutdown(engine);
+}
+
 /// `Arc<ServeEngine>` teardown helper: the ingress holds no engine clone
 /// after `stop()`, so the last Arc unwraps and shuts down cleanly.
 fn engine_shutdown(engine: Arc<ServeEngine>) {

@@ -33,6 +33,7 @@ fn request(id: u64, shard: u32, tier: usize, at: Instant) -> InferenceRequest {
         tier,
         bits: 2,
         submitted_at: at,
+        trace: mega_serve::RequestTrace::begin(),
     }
 }
 

@@ -252,6 +252,7 @@ fn execution_restamps_tier_and_bits_from_live_artifacts() {
         tier: stale_tier, // the stale-tier bucket
         bits: stale_bits,
         submitted_at: Instant::now(),
+        trace: mega_serve::RequestTrace::begin(),
     });
     scheduler.flush_all();
     let response = ticket

@@ -1,0 +1,205 @@
+//! Engine-level coverage of the request-lifecycle tracer: slow-outlier
+//! capture under a deadline-flushed batch, concurrent recording from
+//! multiple worker lanes, and the cache-hit short-circuit timeline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mega_gnn::GnnKind;
+use mega_graph::DatasetSpec;
+use mega_serve::{
+    ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig, ServeEngine, TraceConfig, TraceStage,
+};
+
+fn start_engine(
+    scheduler: SchedulerConfig,
+    trace: TraceConfig,
+    workers: usize,
+) -> (Arc<ServeEngine>, mega_serve::ModelKey) {
+    let registry = Arc::new(ModelRegistry::new());
+    let spec = ModelSpec::standard(
+        DatasetSpec::cora().scaled(0.08).with_feature_dim(48),
+        GnnKind::Gcn,
+    )
+    .with_shards(2);
+    let key = spec.key();
+    registry.register(spec);
+    let engine = Arc::new(ServeEngine::start_detached(
+        ServeConfig {
+            workers,
+            scheduler,
+            trace,
+            ..ServeConfig::default()
+        },
+        registry,
+    ));
+    engine.warm(&key).unwrap();
+    (engine, key)
+}
+
+fn shutdown(engine: Arc<ServeEngine>) {
+    Arc::into_inner(engine)
+        .expect("engine uniquely owned")
+        .shutdown();
+}
+
+/// A request held back by the scheduler's flush deadline crosses a 1 ms
+/// slow threshold and lands in the slow ring, with the delay visible in
+/// the queue-wait stage of its timeline.
+#[test]
+fn deadline_flushed_request_lands_in_slow_ring() {
+    let (engine, key) = start_engine(
+        SchedulerConfig {
+            max_batch: 1_000,
+            max_delay: Duration::from_millis(20),
+        },
+        TraceConfig {
+            slow_threshold: Duration::from_millis(1),
+            ..TraceConfig::default()
+        },
+        1,
+    );
+    let response = engine
+        .submit_wait(&key, 7, Duration::from_secs(30))
+        .expect("predict");
+    assert!(!response.cached);
+
+    let tracer = &engine.metrics().trace;
+    assert_eq!(tracer.recorder.recorded(), 1);
+    assert_eq!(tracer.recorder.slow_recorded(), 1, "20ms delay >> 1ms bar");
+    let slow = tracer.recorder.slow();
+    assert_eq!(slow.len(), 1);
+    let record = &slow[0];
+    assert!(record.total_us >= 1_000, "total {}us", record.total_us);
+    // The flush deadline dominates this timeline: queue wait (enqueued →
+    // flushed) carries most of the latency. Allow generous slack for a
+    // loaded CI machine — the deadline only bounds it from below.
+    let queue_wait = record
+        .trace
+        .gap(TraceStage::Enqueued, TraceStage::Flushed)
+        .expect("uncached request crossed the scheduler");
+    assert!(
+        queue_wait >= Duration::from_millis(10),
+        "queue wait {queue_wait:?} should reflect the 20ms flush deadline"
+    );
+    assert_eq!(tracer.queue_wait.count(), 1);
+    shutdown(engine);
+}
+
+/// Many requests answered concurrently across four worker lanes: every
+/// completion is counted exactly once, the recent ring wraps to its
+/// capacity, and every retained timeline is internally monotone.
+#[test]
+fn concurrent_lanes_record_every_completion() {
+    let (engine, key) = start_engine(
+        SchedulerConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        },
+        TraceConfig {
+            recent_capacity: 32,
+            ..TraceConfig::default()
+        },
+        4,
+    );
+
+    // 4 submitter threads x 16 distinct nodes: all misses, so every
+    // request crosses the full pipeline and is recorded by whichever
+    // lane executed its batch.
+    let threads: Vec<_> = (0u32..4)
+        .map(|t| {
+            let engine = engine.clone();
+            let key = key.clone();
+            std::thread::spawn(move || {
+                for i in 0..16u32 {
+                    let response = engine
+                        .submit_wait(&key, t * 16 + i, Duration::from_secs(30))
+                        .expect("predict");
+                    assert!(!response.cached, "distinct nodes never hit the cache");
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("submitter");
+    }
+
+    let tracer = &engine.metrics().trace;
+    assert_eq!(tracer.recorder.recorded(), 64, "one record per completion");
+    assert_eq!(tracer.queue_wait.count(), 64);
+    assert_eq!(tracer.batch_wait.count(), 64);
+    assert_eq!(tracer.execute.count(), 64);
+    assert_eq!(tracer.deliver.count(), 64);
+
+    let recent = tracer.recorder.recent();
+    assert_eq!(recent.len(), 32, "recent ring wrapped to capacity");
+    for record in &recent {
+        assert!(record.worker.is_some(), "answered on a worker lane");
+        assert!(record.batch_size >= 1);
+        // Stage offsets must be monotone along the pipeline.
+        let pipeline = [
+            TraceStage::Ingress,
+            TraceStage::Submitted,
+            TraceStage::Enqueued,
+            TraceStage::Flushed,
+            TraceStage::Dequeued,
+            TraceStage::ExecStart,
+            TraceStage::ExecEnd,
+            TraceStage::Delivered,
+        ];
+        let mut last = 0;
+        for stage in pipeline {
+            let at = record
+                .trace
+                .offset_us(stage)
+                .unwrap_or_else(|| panic!("{} unstamped", stage.name()));
+            assert!(
+                at >= last,
+                "{} at {}us precedes prior stage at {}us",
+                stage.name(),
+                at,
+                last
+            );
+            last = at;
+        }
+    }
+    shutdown(engine);
+}
+
+/// A submit-time logits-cache hit records a short-circuit timeline:
+/// cache-hit stamp present, pipeline stages absent, and none of the
+/// pipeline stage histograms incremented.
+#[test]
+fn cache_hit_records_short_circuit_timeline() {
+    let (engine, key) = start_engine(
+        SchedulerConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+        },
+        TraceConfig::default(),
+        1,
+    );
+    let miss = engine
+        .submit_wait(&key, 11, Duration::from_secs(30))
+        .expect("predict");
+    assert!(!miss.cached);
+    let hit = engine
+        .submit_wait(&key, 11, Duration::from_secs(30))
+        .expect("predict");
+    assert!(hit.cached, "second lookup served from the logits cache");
+
+    let tracer = &engine.metrics().trace;
+    assert_eq!(tracer.recorder.recorded(), 2);
+    // Only the uncached request crossed the pipeline stages.
+    assert_eq!(tracer.queue_wait.count(), 1);
+    assert_eq!(tracer.execute.count(), 1);
+    let recent = tracer.recorder.recent();
+    let record = recent.last().expect("hit recorded last");
+    assert!(record.cache_hit);
+    assert_eq!(record.worker, None, "answered on the submitting thread");
+    assert!(record.trace.offset_us(TraceStage::CacheHit).is_some());
+    assert!(record.trace.offset_us(TraceStage::Enqueued).is_none());
+    assert!(record.trace.offset_us(TraceStage::ExecStart).is_none());
+    assert!(record.trace.offset_us(TraceStage::Delivered).is_some());
+    shutdown(engine);
+}
