@@ -21,17 +21,26 @@
 //! * [`package`] — a bit-exact Adaptive-Package encoder/decoder;
 //! * [`sizes`] — exact bit-level size accounting for Dense / COO / CSR /
 //!   Bitmap / Adaptive-Package / Ideal (regenerates Fig. 4);
-//! * [`dse`] — the package-length design-space exploration of Fig. 21.
+//! * [`dse`] — the package-length design-space exploration of Fig. 21;
+//! * [`planes`] — bit-plane popcount kernels and the tier-contiguous
+//!   packed-at-rest feature store the serving engine executes against.
 
-#![forbid(unsafe_code)]
+// The optional `avx2` feature compiles the plane kernels a second time
+// under `#[target_feature]` (runtime-dispatched, scalar fallback always
+// present); that recompile wrapper is the crate's only unsafe code, so the
+// blanket forbid becomes a deny only when the feature is on.
+#![cfg_attr(not(feature = "avx2"), forbid(unsafe_code))]
+#![cfg_attr(feature = "avx2", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod bits;
 pub mod dse;
 pub mod map;
 pub mod package;
+pub mod planes;
 pub mod sizes;
 
 pub use map::{QuantizedFeatureMap, QuantizedRow};
 pub use package::{EncodedFeatures, PackageConfig};
+pub use planes::{PlaneMatrix, PlaneRow, PlaneRows, TierPackedFeatures};
 pub use sizes::{format_sizes, FormatSizes};

@@ -1,0 +1,959 @@
+//! Bit-plane feature storage and the combination kernels over it — the
+//! software analogue of the accelerator's bit-serial combination engine
+//! (`mega_accel::bitserial`), specialized for the 1–8 b tiers the serving
+//! policy assigns.
+//!
+//! A quantized row is stored **sign-magnitude across planes**: one sign
+//! plane plus `b-1` magnitude planes (LSB first), each plane a bitmap of
+//! `ceil(dim/64)` `u64` words over the feature dimension.
+//!
+//! Two hot kernels execute combinations against this layout, picked per
+//! row by tier:
+//!
+//! * **≤ 2 bit tiers** — [`ternary_dot_rows`]: levels are `{−1, 0, +1}`,
+//!   so the kernel walks the set bits of the magnitude plane directly and
+//!   adds/subtracts contiguous weight rows by the sign plane. No unpack,
+//!   no multiplies; work ∝ non-zero levels — the CPU analogue of the
+//!   paper's per-bit beats.
+//! * **3+ bit tiers** — [`levels_dot_rows`]: rows are unpacked to integer
+//!   levels per block and reduced as a sparse row-major multiply-
+//!   accumulate. Low-bit quantization zeroes every value below `α/2`, so
+//!   sparsity (and therefore speed) grows as tiers shrink.
+//!
+//! Both accumulate exact integer sums, so they are *bit-exact* with the
+//! scalar reference ([`dot_levels`]) by construction — the property the
+//! serving engine's packed-vs-scalar equivalence tests pin down.
+//!
+//! [`plane_dot`] / [`PlaneMatrix`] additionally provide the popcount
+//! plane-pair formulation (both operands plane-packed, reduced with two
+//! `popcount`s per word per plane pair). It validates the at-rest layout
+//! and mirrors the hardware most literally, but its cost scales with the
+//! *product* of the two bitwidths, which measures slower than the tiered
+//! kernels above for 3+ bit activations against multi-bit weights — see
+//! `BENCH_pr7.json` at the repo root for the per-tier numbers.
+//!
+//! [`TierPackedFeatures`] keeps rows packed at rest in **tier-contiguous
+//! arenas**: one flat `Vec<u64>` per bitwidth with fixed-size slots and a
+//! free list, so same-tier rows are contiguous in memory (the serving-side
+//! analogue of the paper processing one precision tier at a time) and a
+//! re-tier is a free + alloc, never a global repack.
+
+/// Largest bitwidth the plane layout supports (the serving policy's
+/// overflow tier is 6 bits, so 8 leaves headroom).
+pub const MAX_PLANE_BITS: u8 = 8;
+
+/// Largest magnitude level representable at `bits` — mirrors
+/// `mega_quant::quantizer::qmax` for the plane-supported range (this crate
+/// sits below `mega-quant` in the dependency graph; the equivalence is
+/// pinned by a test in `mega-quant`).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=8`.
+pub fn qmax_level(bits: u8) -> i32 {
+    assert!(
+        (1..=MAX_PLANE_BITS).contains(&bits),
+        "bitwidth {bits} out of plane range"
+    );
+    if bits == 1 {
+        1
+    } else {
+        (1i32 << (bits - 1)) - 1
+    }
+}
+
+/// Quantizes one value to an integer level per Eq. (2) — the exact mirror
+/// of `mega_quant::quantizer::quantize`, duplicated here (and
+/// cross-checked there) because the kernels quantize hidden activations
+/// below `mega-quant` in the crate DAG.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not positive and finite.
+pub fn quantize_level(x: f32, alpha: f32, bits: u8) -> i32 {
+    assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+    let q = qmax_level(bits);
+    let level = (x.abs() / alpha + 0.5).floor() as i64;
+    let level = level.min(q as i64) as i32;
+    if x < 0.0 {
+        -level
+    } else {
+        level
+    }
+}
+
+/// The per-row scale `α = max|x| / qmax` (0 for an all-zero row, whose
+/// levels are all zero regardless).
+pub fn row_alpha(max_abs: f32, bits: u8) -> f32 {
+    if max_abs == 0.0 {
+        0.0
+    } else {
+        max_abs / qmax_level(bits) as f32
+    }
+}
+
+/// Number of magnitude planes at `bits` (1-bit rows still need one plane
+/// for the `±1` level).
+pub fn mag_planes(bits: u8) -> usize {
+    if bits <= 1 {
+        1
+    } else {
+        (bits - 1) as usize
+    }
+}
+
+/// Total planes at `bits`: one sign plane plus the magnitude planes.
+pub fn planes_for(bits: u8) -> usize {
+    1 + mag_planes(bits)
+}
+
+/// `u64` words per plane for a `dim`-wide row.
+pub fn words_for(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+/// Packs integer levels into plane layout: `out` must hold
+/// `planes_for(bits) * words_for(levels.len())` words (sign plane first,
+/// then magnitude planes LSB→MSB). Returns the **magnitude mask**: bit `p`
+/// set iff magnitude plane `p` has any bit set — the masks let the dot
+/// kernel skip empty plane pairs entirely.
+///
+/// # Panics
+///
+/// Panics if `out` is mis-sized or a level exceeds `qmax_level(bits)`.
+pub fn pack_levels(levels: &[i32], bits: u8, out: &mut [u64]) -> u16 {
+    let wpp = words_for(levels.len());
+    assert_eq!(out.len(), planes_for(bits) * wpp, "plane buffer mis-sized");
+    out.fill(0);
+    let qmax = qmax_level(bits);
+    let mut mask = 0u16;
+    for (j, &level) in levels.iter().enumerate() {
+        if level == 0 {
+            continue;
+        }
+        assert!(
+            level.abs() <= qmax,
+            "level {level} exceeds {bits}-bit range"
+        );
+        let (word, bit) = (j / 64, j % 64);
+        if level < 0 {
+            out[word] |= 1u64 << bit;
+        }
+        let magnitude = level.unsigned_abs();
+        for p in 0..mag_planes(bits) {
+            if (magnitude >> p) & 1 == 1 {
+                out[(1 + p) * wpp + word] |= 1u64 << bit;
+                mask |= 1u16 << p;
+            }
+        }
+    }
+    mask
+}
+
+/// Inverse of [`pack_levels`]: reconstructs `dim` integer levels from a
+/// plane-packed row.
+///
+/// # Panics
+///
+/// Panics if `words` or `out` is mis-sized.
+pub fn unpack_levels(words: &[u64], bits: u8, dim: usize, out: &mut [i32]) {
+    let wpp = words_for(dim);
+    assert_eq!(words.len(), planes_for(bits) * wpp, "plane row mis-sized");
+    assert_eq!(out.len(), dim, "level buffer mis-sized");
+    for (j, slot) in out.iter_mut().enumerate() {
+        let (word, bit) = (j / 64, j % 64);
+        let mut magnitude = 0i32;
+        for p in 0..mag_planes(bits) {
+            magnitude |= (((words[(1 + p) * wpp + word] >> bit) & 1) as i32) << p;
+        }
+        *slot = if (words[word] >> bit) & 1 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        };
+    }
+}
+
+/// Scalar integer reference: `Σ_j x_j · w_j` in `i64`. The packed kernel
+/// ([`plane_dot`]) computes the identical sum, term-reordered — both are
+/// exact integer arithmetic, so they agree bit-for-bit.
+pub fn dot_levels(x: &[i32], w: &[i16]) -> i64 {
+    debug_assert_eq!(x.len(), w.len());
+    let mut acc = 0i64;
+    for (&xj, &wj) in x.iter().zip(w) {
+        if xj != 0 {
+            acc += xj as i64 * wj as i64;
+        }
+    }
+    acc
+}
+
+/// The popcount plane-pair dot product. `x` and `w` are plane-packed rows
+/// over the same dimension (`wpp` words per plane), `x_mask`/`w_mask`
+/// their magnitude masks from [`pack_levels`]. Runs word-outer so each
+/// word's sign-disagreement mask `xsign ^ wsign` is computed once and
+/// shared across all plane pairs, and skips empty planes/words via the
+/// masks — on 2–5 b tiers this retires 8–16 MACs per word-pair operation.
+#[inline(always)]
+pub fn plane_dot(x: &[u64], x_mask: u16, w: &[u64], w_mask: u16, wpp: usize) -> i64 {
+    let mut acc = 0i64;
+    for k in 0..wpp {
+        let neg = x[k] ^ w[k]; // sign planes live at offset 0
+        let mut xm = x_mask;
+        while xm != 0 {
+            let px = xm.trailing_zeros() as usize;
+            xm &= xm - 1;
+            let xw = x[(1 + px) * wpp + k];
+            if xw == 0 {
+                continue;
+            }
+            let mut wm = w_mask;
+            while wm != 0 {
+                let pw = wm.trailing_zeros() as usize;
+                wm &= wm - 1;
+                let a = xw & w[(1 + pw) * wpp + k];
+                if a == 0 {
+                    continue;
+                }
+                let signed = a.count_ones() as i64 - 2 * (a & neg).count_ones() as i64;
+                acc += signed << (px + pw);
+            }
+        }
+    }
+    acc
+}
+
+/// Input positions folded through the `i32` accumulator before widening
+/// into the `i64` dots. With both operands quantized at
+/// ≤ [`MAX_PLANE_BITS`] the worst-case block magnitude is
+/// `8192 · 127 · 127 < 2^27`, far inside `i32` — so the blocked sum is
+/// exact and equals the `i64` reference bit-for-bit.
+const ACC_BLOCK: usize = 8192;
+
+/// Level-domain combination kernel for the 3+ bit tiers:
+/// `out[c] = Σ_j x_j · weight_rows[j·out_dim + c]`, skipping zero levels.
+/// Weight rows are contiguous, so each non-zero level is one broadcast
+/// multiply-accumulate across the output row — the shape LLVM vectorizes
+/// at the x86-64 baseline (and wider under the `avx2` feature, dispatched
+/// at runtime). Operands must be quantized at ≤ [`MAX_PLANE_BITS`] so the
+/// blocked `i32` accumulation cannot overflow (positions fold through an
+/// `i32` accumulator every `ACC_BLOCK = 8192` inputs before widening).
+///
+/// # Panics
+///
+/// Panics if `weight_rows`, `acc`, or `out` is mis-sized.
+pub fn levels_dot_rows(
+    x: &[i32],
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    assert_eq!(
+        weight_rows.len(),
+        x.len() * out_dim,
+        "weight rows mis-sized"
+    );
+    assert_eq!(acc.len(), out_dim, "accumulator mis-sized");
+    assert_eq!(out.len(), out_dim, "dot buffer mis-sized");
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    if accel::try_levels_dot_rows(x, weight_rows, out_dim, acc, out) {
+        return;
+    }
+    levels_dot_rows_body(x, weight_rows, out_dim, acc, out);
+}
+
+#[inline(always)]
+fn levels_dot_rows_body(
+    x: &[i32],
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    out.iter_mut().for_each(|o| *o = 0);
+    for (block, xs) in x.chunks(ACC_BLOCK).enumerate() {
+        acc.iter_mut().for_each(|a| *a = 0);
+        let base = block * ACC_BLOCK;
+        for (j, &xj) in xs.iter().enumerate() {
+            if xj == 0 {
+                continue;
+            }
+            let row = &weight_rows[(base + j) * out_dim..][..out_dim];
+            for (a, &wv) in acc.iter_mut().zip(row) {
+                *a += xj * wv as i32;
+            }
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o += a as i64;
+        }
+    }
+}
+
+/// Plane-walk combination kernel for the ≤ 2 bit tiers, where levels are
+/// `{−1, 0, +1}`: iterates the set bits of the packed magnitude plane
+/// directly — no unpack, no multiplies — and adds or subtracts the
+/// corresponding weight row per the sign plane. Work is proportional to
+/// the number of non-zero levels, the CPU analogue of the accelerator's
+/// bit-serial beats; on bag-of-words tiers this measures >10× over the
+/// scalar reference.
+///
+/// `words` is a row from [`pack_levels`] at 1 or 2 bits: one sign plane
+/// followed by one magnitude plane, `words_for(dim)` words each.
+///
+/// # Panics
+///
+/// Panics if `words`, `weight_rows`, `acc`, or `out` is mis-sized.
+pub fn ternary_dot_rows(
+    words: &[u64],
+    dim: usize,
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    assert_eq!(
+        words.len(),
+        2 * words_for(dim),
+        "a ternary row is a sign plane plus one magnitude plane"
+    );
+    assert_eq!(weight_rows.len(), dim * out_dim, "weight rows mis-sized");
+    assert_eq!(acc.len(), out_dim, "accumulator mis-sized");
+    assert_eq!(out.len(), out_dim, "dot buffer mis-sized");
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    if accel::try_ternary_dot_rows(words, weight_rows, out_dim, acc, out) {
+        return;
+    }
+    ternary_dot_rows_body(words, weight_rows, out_dim, acc, out);
+}
+
+#[inline(always)]
+fn ternary_dot_rows_body(
+    words: &[u64],
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    let wpp = words.len() / 2;
+    let (sign, mag) = words.split_at(wpp);
+    out.iter_mut().for_each(|o| *o = 0);
+    const WORD_BLOCK: usize = ACC_BLOCK / 64;
+    for block_start in (0..wpp.max(1)).step_by(WORD_BLOCK) {
+        acc.iter_mut().for_each(|a| *a = 0);
+        let block_end = (block_start + WORD_BLOCK).min(wpp);
+        for k in block_start..block_end {
+            // pack_levels zeroes the tail bits of the last word, so every
+            // set bit indexes a real input position.
+            let mut pos = mag[k] & !sign[k];
+            while pos != 0 {
+                let j = k * 64 + pos.trailing_zeros() as usize;
+                pos &= pos - 1;
+                let row = &weight_rows[j * out_dim..][..out_dim];
+                for (a, &wv) in acc.iter_mut().zip(row) {
+                    *a += wv as i32;
+                }
+            }
+            let mut neg = mag[k] & sign[k];
+            while neg != 0 {
+                let j = k * 64 + neg.trailing_zeros() as usize;
+                neg &= neg - 1;
+                let row = &weight_rows[j * out_dim..][..out_dim];
+                for (a, &wv) in acc.iter_mut().zip(row) {
+                    *a -= wv as i32;
+                }
+            }
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o += a as i64;
+        }
+    }
+}
+
+/// A weight matrix in column-major plane layout: one plane-packed column
+/// per output channel, so a combination row computes `out_dim` plane dots
+/// against one packed activation row (the activation planes stay in cache
+/// across the whole column sweep).
+pub struct PlaneMatrix {
+    in_dim: usize,
+    out_dim: usize,
+    bits: u8,
+    wpp: usize,
+    slot: usize,
+    words: Vec<u64>,
+    masks: Vec<u16>,
+}
+
+impl PlaneMatrix {
+    /// Packs a row-major `in_dim × out_dim` level matrix (`levels[j * out_dim + c]`)
+    /// into per-column planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is mis-sized or a level exceeds the `bits` range.
+    pub fn from_levels(in_dim: usize, out_dim: usize, bits: u8, levels: &[i32]) -> Self {
+        assert_eq!(levels.len(), in_dim * out_dim, "level matrix mis-sized");
+        let wpp = words_for(in_dim);
+        let slot = planes_for(bits) * wpp;
+        let mut words = vec![0u64; out_dim * slot];
+        let mut masks = Vec::with_capacity(out_dim);
+        let mut column = vec![0i32; in_dim];
+        for c in 0..out_dim {
+            for (j, slot_val) in column.iter_mut().enumerate() {
+                *slot_val = levels[j * out_dim + c];
+            }
+            masks.push(pack_levels(&column, bits, &mut words[c * slot..][..slot]));
+        }
+        Self {
+            in_dim,
+            out_dim,
+            bits,
+            wpp,
+            slot,
+            words,
+            masks,
+        }
+    }
+
+    /// Input dimension (rows of the level matrix).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension (columns / output channels).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Weight bitwidth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Words per plane (callers size activation rows with this).
+    pub fn words_per_plane(&self) -> usize {
+        self.wpp
+    }
+
+    /// Column `c`'s packed planes and magnitude mask.
+    pub fn col(&self, c: usize) -> (&[u64], u16) {
+        (&self.words[c * self.slot..][..self.slot], self.masks[c])
+    }
+
+    /// Computes all `out_dim` integer dots of one packed activation row
+    /// against this matrix, dispatching to the AVX2/POPCNT build of the
+    /// kernel when the `avx2` feature is on and the CPU supports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` is mis-sized.
+    pub fn dot_row_into(&self, x: &[u64], x_mask: u16, out: &mut [i64]) {
+        assert_eq!(out.len(), self.out_dim, "dot buffer mis-sized");
+        assert_eq!(x.len() % self.wpp, 0, "activation planes mis-sized");
+        #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+        if accel::try_dot_row_cols(self, x, x_mask, out) {
+            return;
+        }
+        dot_row_cols(self, x, x_mask, out);
+    }
+}
+
+/// Portable column sweep: one [`plane_dot`] per output channel.
+#[inline(always)]
+fn dot_row_cols(matrix: &PlaneMatrix, x: &[u64], x_mask: u16, out: &mut [i64]) {
+    for (c, slot) in out.iter_mut().enumerate() {
+        let (col, mask) = matrix.col(c);
+        *slot = plane_dot(x, x_mask, col, mask, matrix.wpp);
+    }
+}
+
+#[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+mod accel {
+    //! The same column sweep compiled with AVX2 + POPCNT enabled: the
+    //! `#[target_feature]` recompile lets LLVM emit hardware `popcnt` (not
+    //! guaranteed at the x86-64 baseline) and vectorize the word loop. No
+    //! hand-written intrinsics — the kernel body is shared with the
+    //! portable build, so the two cannot diverge numerically.
+    #![allow(unsafe_code)]
+
+    use super::PlaneMatrix;
+
+    /// Whether the running CPU supports the features the accelerated
+    /// kernel bodies were compiled for.
+    #[inline]
+    fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("popcnt")
+    }
+
+    /// Runs the accelerated column sweep if the CPU supports it; returns
+    /// `false` so the caller falls back to the portable body otherwise.
+    #[inline]
+    pub fn try_dot_row_cols(matrix: &PlaneMatrix, x: &[u64], x_mask: u16, out: &mut [i64]) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: gated on runtime detection of the enabled features.
+        unsafe { dot_row_cols(matrix, x, x_mask, out) };
+        true
+    }
+
+    /// Accelerated [`super::levels_dot_rows`]; `false` means fall back.
+    #[inline]
+    pub fn try_levels_dot_rows(
+        x: &[i32],
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: gated on runtime detection of the enabled features.
+        unsafe { levels_dot_rows(x, weight_rows, out_dim, acc, out) };
+        true
+    }
+
+    /// Accelerated [`super::ternary_dot_rows`]; `false` means fall back.
+    #[inline]
+    pub fn try_ternary_dot_rows(
+        words: &[u64],
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: gated on runtime detection of the enabled features.
+        unsafe { ternary_dot_rows(words, weight_rows, out_dim, acc, out) };
+        true
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] on the running CPU.
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn dot_row_cols(matrix: &PlaneMatrix, x: &[u64], x_mask: u16, out: &mut [i64]) {
+        super::dot_row_cols(matrix, x, x_mask, out);
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] on the running CPU.
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn levels_dot_rows(
+        x: &[i32],
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) {
+        super::levels_dot_rows_body(x, weight_rows, out_dim, acc, out);
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] on the running CPU.
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn ternary_dot_rows(
+        words: &[u64],
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) {
+        super::ternary_dot_rows_body(words, weight_rows, out_dim, acc, out);
+    }
+}
+
+/// A borrowed view of one plane-packed row: the planes, the bitwidth they
+/// were packed at, the magnitude mask, and the row's dequantization scale.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneRow<'a> {
+    /// `planes_for(bits) * words_for(dim)` packed words, sign plane first.
+    pub words: &'a [u64],
+    /// Bitwidth the levels were quantized at.
+    pub bits: u8,
+    /// Magnitude mask from [`pack_levels`].
+    pub mag_mask: u16,
+    /// Per-row scale `α` (0 for all-zero rows).
+    pub alpha: f32,
+}
+
+/// A source of plane-packed activation rows — implemented by
+/// [`TierPackedFeatures`] (global row ids) and by the serving engine's
+/// shard adapters (local row ids resolved through the shard's id map), so
+/// the kernels run unchanged over either.
+pub trait PlaneRows {
+    /// Feature dimension of every row.
+    fn dim(&self) -> usize;
+    /// The packed row at `row` (in the implementor's id space).
+    fn plane_row(&self, row: usize) -> PlaneRow<'_>;
+}
+
+/// Fixed-slot arena for one bitwidth: same-tier rows are contiguous, and
+/// a freed slot is recycled before the arena grows.
+struct Arena {
+    slot: usize,
+    words: Vec<u64>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    fn alloc(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = (self.words.len() / self.slot) as u32;
+        self.words.resize(self.words.len() + self.slot, 0);
+        slot
+    }
+}
+
+/// Where one row lives: its bitwidth selects the arena, `slot` the slice
+/// inside it.
+#[derive(Debug, Clone, Copy)]
+struct RowSlot {
+    bits: u8,
+    mag_mask: u16,
+    slot: u32,
+    alpha: f32,
+}
+
+/// The packed-at-rest feature store: per-bitwidth tier-contiguous arenas
+/// plus per-row `(bits, slot, α, mask)` metadata. This is what the serving
+/// engine keeps resident instead of dequantized `f32` rows — ~`bits/32` of
+/// the dense footprint — and what the bit-plane kernels read directly.
+pub struct TierPackedFeatures {
+    dim: usize,
+    arenas: Vec<Arena>,
+    rows: Vec<RowSlot>,
+}
+
+impl TierPackedFeatures {
+    /// An empty store for `dim`-wide rows.
+    pub fn new(dim: usize) -> Self {
+        let wpp = words_for(dim);
+        let arenas = (1..=MAX_PLANE_BITS)
+            .map(|bits| Arena {
+                slot: planes_for(bits) * wpp,
+                words: Vec::new(),
+                free: Vec::new(),
+            })
+            .collect();
+        Self {
+            dim,
+            arenas,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row. `alpha` is the row's scale (pass 0 for all-zero
+    /// rows); levels must respect `qmax_level(bits)`. Returns the row id.
+    pub fn push_row(&mut self, levels: &[i32], bits: u8, alpha: f32) -> usize {
+        assert_eq!(levels.len(), self.dim, "row width mismatch");
+        let arena = &mut self.arenas[(bits - 1) as usize];
+        let slot = arena.alloc();
+        let span = arena.slot;
+        let mag_mask = pack_levels(
+            levels,
+            bits,
+            &mut arena.words[slot as usize * span..][..span],
+        );
+        self.rows.push(RowSlot {
+            bits,
+            mag_mask,
+            slot,
+            alpha,
+        });
+        self.rows.len() - 1
+    }
+
+    /// Appends an all-zero placeholder row at `bits` (an added node whose
+    /// tier is finalized later in the same delta).
+    pub fn push_empty(&mut self, bits: u8) -> usize {
+        let arena = &mut self.arenas[(bits - 1) as usize];
+        let slot = arena.alloc();
+        let span = arena.slot;
+        arena.words[slot as usize * span..][..span].fill(0);
+        self.rows.push(RowSlot {
+            bits,
+            mag_mask: 0,
+            slot,
+            alpha: 0.0,
+        });
+        self.rows.len() - 1
+    }
+
+    /// Rewrites row `row` (a re-tier or feature update). A bitwidth change
+    /// frees the old slot into its arena and allocates in the new tier's
+    /// arena — no other row moves.
+    pub fn set_row(&mut self, row: usize, levels: &[i32], bits: u8, alpha: f32) {
+        assert_eq!(levels.len(), self.dim, "row width mismatch");
+        let old = self.rows[row];
+        let slot = if old.bits == bits {
+            old.slot
+        } else {
+            self.arenas[(old.bits - 1) as usize].free.push(old.slot);
+            self.arenas[(bits - 1) as usize].alloc()
+        };
+        let arena = &mut self.arenas[(bits - 1) as usize];
+        let span = arena.slot;
+        let mag_mask = pack_levels(
+            levels,
+            bits,
+            &mut arena.words[slot as usize * span..][..span],
+        );
+        self.rows[row] = RowSlot {
+            bits,
+            mag_mask,
+            slot,
+            alpha,
+        };
+    }
+
+    /// Reconstructs row `row`'s integer levels into `out`.
+    pub fn unpack_row(&self, row: usize, out: &mut [i32]) {
+        let r = self.plane_row(row);
+        unpack_levels(r.words, r.bits, self.dim, out);
+    }
+
+    /// Approximate heap bytes the store holds (arena words + row
+    /// metadata) — feeds the serving memory gauges.
+    pub fn resident_bytes(&self) -> usize {
+        self.arenas
+            .iter()
+            .map(|a| a.words.len() * std::mem::size_of::<u64>())
+            .sum::<usize>()
+            + self.rows.len() * std::mem::size_of::<RowSlot>()
+    }
+
+    /// Words currently allocated in the `bits` arena (tier-contiguity
+    /// introspection for tests and telemetry).
+    pub fn arena_words(&self, bits: u8) -> usize {
+        self.arenas[(bits - 1) as usize].words.len()
+    }
+}
+
+impl PlaneRows for TierPackedFeatures {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn plane_row(&self, row: usize) -> PlaneRow<'_> {
+        let r = self.rows[row];
+        let arena = &self.arenas[(r.bits - 1) as usize];
+        let span = arena.slot;
+        PlaneRow {
+            words: &arena.words[r.slot as usize * span..][..span],
+            bits: r.bits,
+            mag_mask: r.mag_mask,
+            alpha: r.alpha,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_levels(rng: &mut StdRng, dim: usize, bits: u8, density: f64) -> Vec<i32> {
+        let q = qmax_level(bits);
+        (0..dim)
+            .map(|_| {
+                if rng.gen_bool(density) {
+                    let magnitude = rng.gen_range(1..=q);
+                    if rng.gen_bool(0.5) {
+                        -magnitude
+                    } else {
+                        magnitude
+                    }
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_across_bits_and_dims() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in 1..=MAX_PLANE_BITS {
+            for dim in [1usize, 63, 64, 65, 130, 200] {
+                let levels = random_levels(&mut rng, dim, bits, 0.4);
+                let mut words = vec![0u64; planes_for(bits) * words_for(dim)];
+                let mask = pack_levels(&levels, bits, &mut words);
+                let mut back = vec![0i32; dim];
+                unpack_levels(&words, bits, dim, &mut back);
+                assert_eq!(levels, back, "bits={bits} dim={dim}");
+                let expected_mask = levels.iter().fold(0u16, |m, &l| {
+                    let mut m = m;
+                    for p in 0..mag_planes(bits) {
+                        if (l.unsigned_abs() >> p) & 1 == 1 {
+                            m |= 1 << p;
+                        }
+                    }
+                    m
+                });
+                assert_eq!(mask, expected_mask);
+            }
+        }
+    }
+
+    #[test]
+    fn plane_dot_matches_scalar_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (bx, bw) in [(1u8, 2u8), (2, 4), (3, 4), (4, 4), (5, 4), (8, 8), (6, 1)] {
+            for dim in [5usize, 64, 127, 190] {
+                let x = random_levels(&mut rng, dim, bx, 0.5);
+                let w: Vec<i32> = random_levels(&mut rng, dim, bw, 0.7);
+                let mut xw = vec![0u64; planes_for(bx) * words_for(dim)];
+                let mut ww = vec![0u64; planes_for(bw) * words_for(dim)];
+                let xm = pack_levels(&x, bx, &mut xw);
+                let wm = pack_levels(&w, bw, &mut ww);
+                let w16: Vec<i16> = w.iter().map(|&l| l as i16).collect();
+                assert_eq!(
+                    plane_dot(&xw, xm, &ww, wm, words_for(dim)),
+                    dot_levels(&x, &w16),
+                    "bx={bx} bw={bw} dim={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levels_dot_rows_matches_scalar_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(29);
+        // 9000 > ACC_BLOCK exercises the blocked i32 → i64 fold.
+        for (bits, dim, out_dim) in [
+            (3u8, 64usize, 8usize),
+            (4, 190, 16),
+            (8, 300, 5),
+            (5, 9000, 3),
+        ] {
+            let x = random_levels(&mut rng, dim, bits, 0.6);
+            let w = random_levels(&mut rng, dim * out_dim, 4, 0.8);
+            let w16: Vec<i16> = w.iter().map(|&l| l as i16).collect();
+            let mut acc = vec![0i32; out_dim];
+            let mut out = vec![0i64; out_dim];
+            levels_dot_rows(&x, &w16, out_dim, &mut acc, &mut out);
+            for c in 0..out_dim {
+                let col: Vec<i16> = (0..dim).map(|j| w16[j * out_dim + c]).collect();
+                assert_eq!(
+                    out[c],
+                    dot_levels(&x, &col),
+                    "bits={bits} dim={dim} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_dot_rows_matches_scalar_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (bits, dim, out_dim) in [
+            (1u8, 48usize, 7usize),
+            (2, 64, 8),
+            (2, 190, 16),
+            (1, 9000, 3),
+        ] {
+            let x = random_levels(&mut rng, dim, bits, 0.5);
+            let w = random_levels(&mut rng, dim * out_dim, 4, 0.8);
+            let w16: Vec<i16> = w.iter().map(|&l| l as i16).collect();
+            let mut words = vec![0u64; planes_for(bits) * words_for(dim)];
+            pack_levels(&x, bits, &mut words);
+            let mut acc = vec![0i32; out_dim];
+            let mut out = vec![0i64; out_dim];
+            ternary_dot_rows(&words, dim, &w16, out_dim, &mut acc, &mut out);
+            for c in 0..out_dim {
+                let col: Vec<i16> = (0..dim).map(|j| w16[j * out_dim + c]).collect();
+                assert_eq!(
+                    out[c],
+                    dot_levels(&x, &col),
+                    "bits={bits} dim={dim} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_matrix_columns_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (in_dim, out_dim, bits) = (70usize, 9usize, 4u8);
+        let levels = random_levels(&mut rng, in_dim * out_dim, bits, 0.8);
+        let m = PlaneMatrix::from_levels(in_dim, out_dim, bits, &levels);
+        let x = random_levels(&mut rng, in_dim, 5, 0.6);
+        let mut xw = vec![0u64; planes_for(5) * words_for(in_dim)];
+        let xm = pack_levels(&x, 5, &mut xw);
+        let mut out = vec![0i64; out_dim];
+        m.dot_row_into(&xw, xm, &mut out);
+        for c in 0..out_dim {
+            let col: Vec<i16> = (0..in_dim)
+                .map(|j| levels[j * out_dim + c] as i16)
+                .collect();
+            assert_eq!(out[c], dot_levels(&x, &col), "column {c}");
+        }
+    }
+
+    #[test]
+    fn store_retier_recycles_slots_within_tiers() {
+        let dim = 96usize;
+        let mut store = TierPackedFeatures::new(dim);
+        let mut rng = StdRng::seed_from_u64(19);
+        let rows: Vec<Vec<i32>> = (0..6)
+            .map(|_| random_levels(&mut rng, dim, 3, 0.5))
+            .collect();
+        for row in &rows {
+            store.push_row(row, 3, 0.25);
+        }
+        // Six 3-bit rows share one contiguous arena.
+        assert_eq!(store.arena_words(3), 6 * planes_for(3) * words_for(dim));
+        assert_eq!(store.arena_words(5), 0);
+        // Re-tier row 2 to 5 bits: its 3-bit slot frees, a 5-bit slot opens.
+        let promoted = random_levels(&mut rng, dim, 5, 0.5);
+        store.set_row(2, &promoted, 5, 0.125);
+        assert_eq!(store.arena_words(5), planes_for(5) * words_for(dim));
+        let mut back = vec![0i32; dim];
+        store.unpack_row(2, &mut back);
+        assert_eq!(back, promoted);
+        assert_eq!(store.plane_row(2).bits, 5);
+        // A new 3-bit row reuses the freed slot: the arena does not grow.
+        let words_before = store.arena_words(3);
+        store.push_row(&rows[0], 3, 0.25);
+        assert_eq!(store.arena_words(3), words_before);
+        // Untouched rows are intact.
+        store.unpack_row(1, &mut back);
+        assert_eq!(back, rows[1]);
+    }
+
+    #[test]
+    fn empty_rows_and_zero_alpha_are_representable() {
+        let mut store = TierPackedFeatures::new(64);
+        let id = store.push_empty(1);
+        let row = store.plane_row(id);
+        assert_eq!(row.alpha, 0.0);
+        assert!(row.words.iter().all(|&w| w == 0));
+        let mut out = vec![0i32; 64];
+        store.unpack_row(id, &mut out);
+        assert!(out.iter().all(|&l| l == 0));
+    }
+}

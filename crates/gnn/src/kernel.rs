@@ -1,0 +1,676 @@
+//! Tier-contiguous bit-plane kernels for the serving forward pass.
+//!
+//! [`crate::infer::forward_targets`] dequantizes everything to `f32` and
+//! allocates per-layer `Vec<Vec<f32>>`s — correct, but it throws away the
+//! compute savings mixed precision promises (the accelerator model in
+//! `mega_accel::bitserial` charges cycles ∝ bitwidth; the f32 path pays
+//! the same MACs at every tier). This module is the measured counterpart:
+//!
+//! * **Combination in the integer domain.** Activation rows are quantized
+//!   once per row (`α = max|x|/qmax`, exactly the transform serving always
+//!   applied), the dot products run over integer levels, and a *single*
+//!   dequantize per output element applies `α_x · α_w` — instead of
+//!   dequantizing every operand. In [`KernelMode::Packed`] the dots
+//!   dispatch per tier: ≤ 2 bit rows run the plane-walk kernel
+//!   ([`mega_format::planes::ternary_dot_rows`]) straight off the packed
+//!   words, 3+ bit rows the sparse level kernel
+//!   ([`mega_format::planes::levels_dot_rows`]) over contiguous weight
+//!   rows; in [`KernelMode::Scalar`] a scalar integer loop computes the
+//!   *same* exact `i64` sums, so the two modes are bit-exact by
+//!   construction.
+//! * **Aggregation stays `f32` in CSR row order** — the identical
+//!   summation order as the classic path, which is what keeps the serving
+//!   engine's batch-invariance and sharded-vs-global bit-exactness proofs
+//!   intact.
+//! * **Flat arenas.** All scratch (activation planes, level buffers,
+//!   per-level activation matrices) lives in one reusable [`KernelArena`]
+//!   owned by the worker thread; steady-state batches allocate nothing.
+//!
+//! Input rows arrive packed at rest through the [`PlaneRows`] trait
+//! (implemented by `mega_format::TierPackedFeatures` globally and by the
+//! serving engine's shard adapters locally), so layer 0 never materializes
+//! dequantized features at all.
+
+use mega_format::planes::{
+    self, levels_dot_rows, pack_levels, quantize_level, row_alpha, ternary_dot_rows, unpack_levels,
+    PlaneRows, MAX_PLANE_BITS,
+};
+use mega_graph::NodeId;
+use mega_tensor::Matrix;
+
+use crate::adjacency::{AdjacencyView, LocalAdjacency};
+use crate::infer::ReceptiveField;
+use crate::model::Gnn;
+
+/// Which dot-product engine executes combinations. Both modes share
+/// quantization, aggregation, and dequantization code, and compute
+/// identical integer sums — `Scalar` is the reference the packed kernels
+/// are tested (and CI-gated) against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Scalar integer reference (`i64` multiply-accumulate over levels).
+    Scalar,
+    /// Tier-dispatched kernels over packed rows: plane-walk for ≤ 2 bit
+    /// tiers, sparse level-domain MACs for 3+ bit tiers.
+    Packed,
+}
+
+/// One layer's weights, quantized once at build time and held in both
+/// layouts the modes need: column-major integer levels for the scalar
+/// reference and row-major levels for the packed kernels (which stream
+/// whole weight rows per non-zero activation).
+pub struct QuantizedLayer {
+    /// Per-layer symmetric weight scale (`max|w| / qmax`; 0 for an
+    /// all-zero layer).
+    pub alpha: f32,
+    /// Weight bitwidth.
+    pub bits: u8,
+    in_dim: usize,
+    out_dim: usize,
+    /// Column-major levels: `levels[c * in_dim + j]`.
+    levels: Vec<i16>,
+    /// Row-major levels: `levels_row[j * out_dim + c]`.
+    levels_row: Vec<i16>,
+}
+
+impl QuantizedLayer {
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Column `c` of the integer level matrix.
+    pub fn level_col(&self, c: usize) -> &[i16] {
+        &self.levels[c * self.in_dim..][..self.in_dim]
+    }
+
+    /// The row-major level matrix (`[j * out_dim + c]`) the packed
+    /// kernels stream.
+    pub fn weight_rows(&self) -> &[i16] {
+        &self.levels_row
+    }
+}
+
+/// A model's weights in kernel form, parallel to `Gnn::weights()`.
+pub struct PackedGnn {
+    layers: Vec<QuantizedLayer>,
+}
+
+impl PackedGnn {
+    /// Quantizes `trained`'s weights at `weight_bits` and returns the
+    /// kernel form **plus** the fake-quantized `f32` matrices
+    /// (`level · α`) — callers build the serving `Gnn` from those so the
+    /// f32 model and the kernel weights are the same numbers by
+    /// construction. The scale is per layer matrix, exactly mirroring the
+    /// serving engine's historical `quantize_row` over the full weight
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_bits` is outside the plane range `1..=8`.
+    pub fn from_model(trained: &Gnn, weight_bits: u8) -> (Self, Vec<Matrix>) {
+        // Also the overflow contract of the packed kernels: blocked i32
+        // accumulation is exact only with both operands ≤ MAX_PLANE_BITS.
+        assert!(
+            (1..=MAX_PLANE_BITS).contains(&weight_bits),
+            "weight bitwidth {weight_bits} outside the plane range"
+        );
+        let mut layers = Vec::new();
+        let mut dequantized = Vec::new();
+        for w in trained.weights() {
+            let (in_dim, out_dim) = w.shape();
+            let data = w.as_slice();
+            let max_abs = data.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let alpha = row_alpha(max_abs, weight_bits);
+            let levels: Vec<i32> = if alpha == 0.0 {
+                vec![0; data.len()]
+            } else {
+                data.iter()
+                    .map(|&x| quantize_level(x, alpha, weight_bits))
+                    .collect()
+            };
+            let dequant: Vec<f32> = if alpha == 0.0 {
+                // Mirrors `quantize_row`'s all-zero early return: the
+                // matrix is left untouched (it is all zeros anyway).
+                data.to_vec()
+            } else {
+                levels.iter().map(|&l| l as f32 * alpha).collect()
+            };
+            let mut col_major = vec![0i16; in_dim * out_dim];
+            for j in 0..in_dim {
+                for c in 0..out_dim {
+                    col_major[c * in_dim + j] = levels[j * out_dim + c] as i16;
+                }
+            }
+            layers.push(QuantizedLayer {
+                alpha,
+                bits: weight_bits,
+                in_dim,
+                out_dim,
+                levels: col_major,
+                levels_row: levels.iter().map(|&l| l as i16).collect(),
+            });
+            dequantized.push(Matrix::from_vec(in_dim, out_dim, dequant));
+        }
+        (Self { layers }, dequantized)
+    }
+
+    /// Per-layer kernel weights.
+    pub fn layers(&self) -> &[QuantizedLayer] {
+        &self.layers
+    }
+}
+
+/// Reusable scratch for the kernel forward pass: flat activation arenas
+/// (one slab per level, replacing the per-row `Vec<Vec<f32>>`s of the
+/// classic path) plus the quantize/pack/dot staging buffers. One arena per
+/// worker thread serves every batch; buffers only ever grow.
+#[derive(Default)]
+pub struct KernelArena {
+    h: Vec<f32>,
+    next: Vec<f32>,
+    combined: Vec<f32>,
+    levels: Vec<i32>,
+    words: Vec<u64>,
+    acc: Vec<i32>,
+    dots: Vec<i64>,
+}
+
+/// [`forward_targets_packed_with_field`] without the field.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_targets_packed<R, A>(
+    model: &Gnn,
+    packed: &PackedGnn,
+    rows: &R,
+    adjacency: &A,
+    targets: &[NodeId],
+    bits_of: &mut dyn FnMut(NodeId) -> u8,
+    mode: KernelMode,
+    arena: &mut KernelArena,
+) -> Matrix
+where
+    R: PlaneRows,
+    A: AdjacencyView + ?Sized,
+{
+    forward_targets_packed_with_field(
+        model, packed, rows, adjacency, targets, bits_of, mode, arena,
+    )
+    .0
+}
+
+/// The kernel counterpart of
+/// [`crate::infer::forward_targets_with_field`]: logits for `targets`
+/// over their receptive field, with combination executed in the integer
+/// domain per `mode` and hidden activations quantized at
+/// `bits_of(node)` — the degree-aware transform the serving engine always
+/// applied, now fused into the pass (quantization happens when a row
+/// enters the next combination rather than when it leaves aggregation;
+/// the composition is unchanged).
+///
+/// # Panics
+///
+/// Panics if `rows` mismatches the model's input dimension, a target is
+/// out of range, or the packed weights do not match `model`.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_targets_packed_with_field<R, A>(
+    model: &Gnn,
+    packed: &PackedGnn,
+    rows: &R,
+    adjacency: &A,
+    targets: &[NodeId],
+    bits_of: &mut dyn FnMut(NodeId) -> u8,
+    mode: KernelMode,
+    arena: &mut KernelArena,
+) -> (Matrix, ReceptiveField)
+where
+    R: PlaneRows,
+    A: AdjacencyView + ?Sized,
+{
+    let n = adjacency.rows();
+    let layers = model.config().layers;
+    assert_eq!(packed.layers.len(), layers, "packed weights mismatch model");
+    assert_eq!(
+        rows.dim(),
+        packed.layers[0].in_dim,
+        "packed rows mismatch the model input dimension"
+    );
+    for &t in targets {
+        assert!((t as usize) < n, "target {t} out of range ({n} nodes)");
+    }
+    let field = ReceptiveField::expand(adjacency, targets, layers);
+
+    // `arena.h` holds level-`l` input activations, flat, indexed by
+    // position in `field.needed[l]` (level 0 reads packed rows instead).
+    arena.h.clear();
+    let mut out_dim = 0;
+    for l in 0..layers {
+        let layer = &packed.layers[l];
+        let (w_in, w_out) = (layer.in_dim, layer.out_dim);
+        out_dim = w_out;
+        let bias = model.biases()[l].row(0);
+        let level_nodes = &field.needed[l];
+
+        // Combination: integer dots + one dequantize per output element.
+        arena.combined.clear();
+        arena.combined.resize(level_nodes.len() * w_out, 0.0);
+        arena.dots.resize(w_out, 0);
+        arena.acc.resize(w_out, 0);
+        arena.levels.resize(w_in, 0);
+        let wpp = planes::words_for(w_in);
+        arena.words.resize(planes::planes_for(8) * wpp, 0);
+        for (i, &u) in level_nodes.iter().enumerate() {
+            let out_row = &mut arena.combined[i * w_out..][..w_out];
+            let scale;
+            if l == 0 {
+                let row = rows.plane_row(u as usize);
+                scale = row.alpha * layer.alpha;
+                match mode {
+                    // Tier dispatch: ≤ 2 bit rows run the plane walk
+                    // straight off the at-rest packed words; wider tiers
+                    // unpack the block and run the sparse level kernel.
+                    KernelMode::Packed if row.bits <= 2 => {
+                        ternary_dot_rows(
+                            row.words,
+                            w_in,
+                            layer.weight_rows(),
+                            w_out,
+                            &mut arena.acc,
+                            &mut arena.dots,
+                        );
+                    }
+                    KernelMode::Packed => {
+                        unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
+                        levels_dot_rows(
+                            &arena.levels,
+                            layer.weight_rows(),
+                            w_out,
+                            &mut arena.acc,
+                            &mut arena.dots,
+                        );
+                    }
+                    KernelMode::Scalar => {
+                        unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
+                        for (c, dot) in arena.dots.iter_mut().enumerate() {
+                            *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
+                        }
+                    }
+                }
+            } else {
+                let hrow = &arena.h[i * w_in..][..w_in];
+                let bits = bits_of(u);
+                let max_abs = hrow.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                if max_abs == 0.0 {
+                    out_row.copy_from_slice(bias);
+                    continue;
+                }
+                let alpha = row_alpha(max_abs, bits);
+                for (slot, &x) in arena.levels.iter_mut().zip(hrow) {
+                    *slot = quantize_level(x, alpha, bits);
+                }
+                scale = alpha * layer.alpha;
+                match mode {
+                    // Same tier dispatch as layer 0: pack the fresh
+                    // levels of a ≤ 2 bit row (two planes — cheap) so
+                    // the plane walk skips its zeros for free.
+                    KernelMode::Packed if bits <= 2 => {
+                        let span = planes::planes_for(bits) * wpp;
+                        pack_levels(&arena.levels, bits, &mut arena.words[..span]);
+                        ternary_dot_rows(
+                            &arena.words[..span],
+                            w_in,
+                            layer.weight_rows(),
+                            w_out,
+                            &mut arena.acc,
+                            &mut arena.dots,
+                        );
+                    }
+                    KernelMode::Packed => {
+                        levels_dot_rows(
+                            &arena.levels,
+                            layer.weight_rows(),
+                            w_out,
+                            &mut arena.acc,
+                            &mut arena.dots,
+                        );
+                    }
+                    KernelMode::Scalar => {
+                        for (c, dot) in arena.dots.iter_mut().enumerate() {
+                            *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
+                        }
+                    }
+                }
+            }
+            for (c, out) in out_row.iter_mut().enumerate() {
+                *out = arena.dots[c] as f32 * scale + bias[c];
+            }
+        }
+
+        // Aggregation: Ã·combined in CSR row order over f32 — the same
+        // summation order as the classic path.
+        let out_nodes = &field.needed[l + 1];
+        arena.next.clear();
+        arena.next.resize(out_nodes.len() * w_out, 0.0);
+        for (vi, &v) in out_nodes.iter().enumerate() {
+            let row = &mut arena.next[vi * w_out..][..w_out];
+            let cols = adjacency.row_indices(v as usize);
+            let vals = adjacency.row_values(v as usize);
+            for (&u, &a) in cols.iter().zip(vals) {
+                let ui = level_nodes
+                    .binary_search(&u)
+                    .expect("aggregation source is in the receptive field");
+                let src = &arena.combined[ui * w_out..][..w_out];
+                for (dst, &s) in row.iter_mut().zip(src) {
+                    *dst += a * s;
+                }
+            }
+            if l + 1 < layers {
+                for x in row.iter_mut() {
+                    *x = x.max(0.0);
+                }
+            }
+        }
+        std::mem::swap(&mut arena.h, &mut arena.next);
+    }
+
+    let final_nodes = &field.needed[layers];
+    let mut data = Vec::with_capacity(targets.len() * out_dim);
+    for &t in targets {
+        let pos = final_nodes
+            .binary_search(&t)
+            .expect("targets are the final level of their field");
+        data.extend_from_slice(&arena.h[pos * out_dim..][..out_dim]);
+    }
+    (Matrix::from_vec(targets.len(), out_dim, data), field)
+}
+
+/// The kernel counterpart of [`crate::infer::forward_targets_local`]:
+/// shard-local execution over a local-id adjacency slice with **global**
+/// targets and a **global**-id `bits_of`. `rows` is indexed by *local*
+/// row id (the serving engine adapts its global packed store through the
+/// shard's id map, so packed payloads are shared verbatim — no per-shard
+/// packed copies, and bit-exactness with the global pass is structural).
+///
+/// # Panics
+///
+/// Panics if a target is not resident in the slice or the receptive field
+/// escapes it (same guards as the classic local path).
+#[allow(clippy::too_many_arguments)]
+pub fn forward_targets_local_packed<R: PlaneRows>(
+    model: &Gnn,
+    packed: &PackedGnn,
+    rows: &R,
+    local: &LocalAdjacency,
+    targets: &[NodeId],
+    bits_of: &mut dyn FnMut(NodeId) -> u8,
+    mode: KernelMode,
+    arena: &mut KernelArena,
+) -> (Matrix, ReceptiveField) {
+    let local_targets: Vec<NodeId> = targets
+        .iter()
+        .map(|&t| {
+            local
+                .local_of(t)
+                .unwrap_or_else(|| panic!("target {t} is not resident in the shard slice"))
+        })
+        .collect();
+    // Same halo-depth guard as the classic local path: every aggregated
+    // row must be complete, or the slice would fabricate zeros.
+    let field = ReceptiveField::expand(local, &local_targets, model.config().layers);
+    for level in &field.needed[1..] {
+        for &v in level {
+            assert!(
+                !local.row_indices(v as usize).is_empty(),
+                "receptive field escapes the shard slice at global node {} \
+                 (target set reaches beyond the halo depth)",
+                local.global_of(v)
+            );
+        }
+    }
+    let mut relabeled = |v: NodeId| bits_of(local.global_of(v));
+    forward_targets_packed_with_field(
+        model,
+        packed,
+        rows,
+        local,
+        &local_targets,
+        &mut relabeled,
+        mode,
+        arena,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::build_adjacency;
+    use crate::model::{GnnKind, ModelConfig};
+    use mega_format::TierPackedFeatures;
+    use mega_graph::datasets::DatasetSpec;
+
+    /// Packs a dataset's raw features at per-node bitwidths, returning the
+    /// store plus the fake-quantized f32 rows (what classic serving kept).
+    fn pack_features(features: &mega_graph::datasets::Features, bits: &[u8]) -> TierPackedFeatures {
+        let mut store = TierPackedFeatures::new(features.dim());
+        let mut levels = vec![0i32; features.dim()];
+        for (v, &row_bits) in bits.iter().enumerate().take(features.rows()) {
+            let row = features.row(v);
+            let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let alpha = row_alpha(max_abs, row_bits);
+            for (slot, &x) in levels.iter_mut().zip(row) {
+                *slot = if alpha == 0.0 {
+                    0
+                } else {
+                    quantize_level(x, alpha, row_bits)
+                };
+            }
+            store.push_row(&levels, row_bits, alpha);
+        }
+        store
+    }
+
+    fn setup(kind: GnnKind) -> (mega_graph::Dataset, Gnn, PackedGnn, TierPackedFeatures) {
+        let d = DatasetSpec::cora()
+            .scaled(0.05)
+            .with_feature_dim(48)
+            .materialize();
+        let cfg = ModelConfig::for_dataset(kind, &d);
+        let trained = Gnn::new(cfg.clone());
+        let (packed, weights) = PackedGnn::from_model(&trained, 4);
+        let model = Gnn::from_parts(cfg, weights, trained.biases().to_vec());
+        let bits: Vec<u8> = (0..d.graph.num_nodes())
+            .map(|v| match d.graph.in_degree(v) {
+                0..=2 => 2,
+                3..=8 => 3,
+                9..=32 => 4,
+                _ => 5,
+            })
+            .collect();
+        let store = pack_features(d.features(), &bits);
+        (d, model, packed, store)
+    }
+
+    #[test]
+    fn packed_mode_is_bit_exact_with_scalar_mode() {
+        for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage] {
+            let (d, model, packed, store) = setup(kind);
+            let adj = build_adjacency(&d.graph, kind.aggregator(1));
+            let mut arena = KernelArena::default();
+            let targets: Vec<NodeId> = (0..d.graph.num_nodes() as NodeId).step_by(7).collect();
+            let mut bits_of = |v: NodeId| match d.graph.in_degree(v as usize) {
+                0..=2 => 2u8,
+                3..=8 => 3,
+                9..=32 => 4,
+                _ => 5,
+            };
+            let scalar = forward_targets_packed(
+                &model,
+                &packed,
+                &store,
+                adj.as_ref(),
+                &targets,
+                &mut bits_of,
+                KernelMode::Scalar,
+                &mut arena,
+            );
+            let fast = forward_targets_packed(
+                &model,
+                &packed,
+                &store,
+                adj.as_ref(),
+                &targets,
+                &mut bits_of,
+                KernelMode::Packed,
+                &mut arena,
+            );
+            assert_eq!(scalar.shape(), fast.shape());
+            for (r, &target) in targets.iter().enumerate().take(scalar.rows()) {
+                for c in 0..scalar.cols() {
+                    assert_eq!(
+                        scalar.get(r, c).to_bits(),
+                        fast.get(r, c).to_bits(),
+                        "{kind:?} target {target} class {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_pass_is_batch_invariant() {
+        let (d, model, packed, store) = setup(GnnKind::Gcn);
+        let adj = build_adjacency(&d.graph, GnnKind::Gcn.aggregator(1));
+        let mut arena = KernelArena::default();
+        let mut bits_of = |_v: NodeId| 4u8;
+        let solo = forward_targets_packed(
+            &model,
+            &packed,
+            &store,
+            adj.as_ref(),
+            &[11],
+            &mut bits_of,
+            KernelMode::Packed,
+            &mut arena,
+        );
+        let grouped = forward_targets_packed(
+            &model,
+            &packed,
+            &store,
+            adj.as_ref(),
+            &[4, 11, 19, 2],
+            &mut bits_of,
+            KernelMode::Packed,
+            &mut arena,
+        );
+        for c in 0..solo.cols() {
+            assert_eq!(solo.get(0, c).to_bits(), grouped.get(1, c).to_bits());
+        }
+    }
+
+    #[test]
+    fn local_kernel_pass_matches_global() {
+        let (d, model, packed, store) = setup(GnnKind::Gcn);
+        let adj = build_adjacency(&d.graph, GnnKind::Gcn.aggregator(1));
+        let layers = model.config().layers;
+        let owned: Vec<NodeId> = (0..d.graph.num_nodes() as NodeId).step_by(5).collect();
+        let closure = ReceptiveField::expand(adj.as_ref(), &owned, layers);
+        let mut locals: Vec<NodeId> = closure.needed.concat();
+        locals.sort_unstable();
+        locals.dedup();
+        let slice = LocalAdjacency::slice(adj.as_ref(), &locals);
+
+        /// Local-id adapter over the global store, as the serving shards
+        /// use.
+        struct LocalRows<'a> {
+            store: &'a TierPackedFeatures,
+            slice: &'a LocalAdjacency,
+        }
+        impl PlaneRows for LocalRows<'_> {
+            fn dim(&self) -> usize {
+                self.store.dim()
+            }
+            fn plane_row(&self, row: usize) -> mega_format::PlaneRow<'_> {
+                self.store
+                    .plane_row(self.slice.global_of(row as u32) as usize)
+            }
+        }
+
+        let mut arena = KernelArena::default();
+        let mut bits_of = |v: NodeId| if v.is_multiple_of(2) { 3u8 } else { 5 };
+        let targets: Vec<NodeId> = owned.iter().copied().take(7).collect();
+        let rows = LocalRows {
+            store: &store,
+            slice: &slice,
+        };
+        let (local_logits, field) = forward_targets_local_packed(
+            &model,
+            &packed,
+            &rows,
+            &slice,
+            &targets,
+            &mut bits_of,
+            KernelMode::Packed,
+            &mut arena,
+        );
+        let global_logits = forward_targets_packed(
+            &model,
+            &packed,
+            &store,
+            adj.as_ref(),
+            &targets,
+            &mut bits_of,
+            KernelMode::Packed,
+            &mut arena,
+        );
+        assert_eq!(local_logits.shape(), global_logits.shape());
+        for (r, &target) in targets.iter().enumerate().take(local_logits.rows()) {
+            for c in 0..local_logits.cols() {
+                assert_eq!(
+                    local_logits.get(r, c).to_bits(),
+                    global_logits.get(r, c).to_bits(),
+                    "target {target} diverged between sliced and global kernels"
+                );
+            }
+        }
+        assert!(field
+            .needed
+            .iter()
+            .flatten()
+            .all(|&v| (v as usize) < locals.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes the shard slice")]
+    fn local_kernel_pass_rejects_field_escape() {
+        let (d, model, packed, store) = setup(GnnKind::Gcn);
+        let adj = build_adjacency(&d.graph, GnnKind::Gcn.aggregator(1));
+        let t = (0..d.graph.num_nodes())
+            .find(|&v| d.graph.in_degree(v) > 0)
+            .expect("a non-isolated node exists") as NodeId;
+        let slice = LocalAdjacency::slice(adj.as_ref(), &[t]);
+        struct OneRow<'a>(&'a TierPackedFeatures, NodeId);
+        impl PlaneRows for OneRow<'_> {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn plane_row(&self, _row: usize) -> mega_format::PlaneRow<'_> {
+                self.0.plane_row(self.1 as usize)
+            }
+        }
+        let rows = OneRow(&store, t);
+        let _ = forward_targets_local_packed(
+            &model,
+            &packed,
+            &rows,
+            &slice,
+            &[t],
+            &mut |_| 4,
+            KernelMode::Packed,
+            &mut KernelArena::default(),
+        );
+    }
+}

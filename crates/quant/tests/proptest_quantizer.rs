@@ -1,0 +1,129 @@
+//! Property suite for the Eq. (2) scalar quantizer: round-trip error
+//! bounds, exact clip boundaries, the 1-bit special case, and the pin
+//! that `mega_format::planes::quantize_level` — a forced duplicate of
+//! [`mega_quant::quantizer::quantize`] (the crate DAG runs quant → gnn →
+//! format, so format cannot call quant) — never drifts from the original.
+
+use mega_quant::quantizer::{dequantize, fake_quantize, in_range, qmax, quantize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// In-range values round-trip with error at most α/2 (nearest-level
+    /// rounding), for every bitwidth.
+    #[test]
+    fn round_trip_error_is_bounded_by_half_alpha(
+        x in -100.0f32..100.0,
+        alpha in 0.01f32..10.0,
+        bits in 1u8..=16,
+    ) {
+        if in_range(x, alpha, bits) {
+            let err = (x - fake_quantize(x, alpha, bits)).abs();
+            prop_assert!(
+                err <= alpha / 2.0 + alpha * 1e-5,
+                "x={x} alpha={alpha} bits={bits}: err {err} exceeds alpha/2"
+            );
+        }
+    }
+
+    /// Quantization levels always land in `[-qmax, qmax]` and carry the
+    /// sign of the input.
+    #[test]
+    fn levels_are_clamped_and_sign_preserving(
+        x in -1e30f32..1e30,
+        alpha in 1e-6f32..1e6,
+        bits in 1u8..=16,
+    ) {
+        let level = quantize(x, alpha, bits);
+        let q = qmax(bits);
+        prop_assert!((-q..=q).contains(&level), "level {level} outside ±{q}");
+        if level != 0 {
+            prop_assert_eq!(level > 0, x > 0.0, "sign flipped: x={} level={}", x, level);
+        }
+    }
+
+    /// At the documented clip boundary `|x| = α·(2^{b−1}−1)` the quantizer
+    /// saturates to exactly ±qmax (Eq. (2) uses `≥`), and stays saturated
+    /// beyond it.
+    #[test]
+    fn clip_boundary_saturates_exactly(
+        alpha in 0.01f32..10.0,
+        bits in 2u8..=16,
+        beyond in 1.0f32..100.0,
+    ) {
+        let q = qmax(bits);
+        let edge = alpha * q as f32;
+        prop_assert_eq!(quantize(edge, alpha, bits), q);
+        prop_assert_eq!(quantize(-edge, alpha, bits), -q);
+        prop_assert_eq!(quantize(edge * beyond, alpha, bits), q);
+        prop_assert_eq!(quantize(-edge * beyond, alpha, bits), -q);
+        // Dequantizing the saturated level reconstructs the boundary.
+        prop_assert_eq!(dequantize(q, alpha).to_bits(), edge.to_bits());
+    }
+
+    /// 1-bit quantization is the paper's ternary special case: levels
+    /// `{−1, 0, +1}`, with `|x| ≥ α/2` snapping to sign.
+    #[test]
+    fn one_bit_is_ternary_sign(
+        x in -50.0f32..50.0,
+        alpha in 0.01f32..10.0,
+    ) {
+        let level = quantize(x, alpha, 1);
+        prop_assert!((-1..=1).contains(&level));
+        if x.abs() >= alpha * 0.5 + alpha * 1e-5 {
+            prop_assert_eq!(level, x.signum() as i32, "x={} alpha={}", x, alpha);
+        } else if x.abs() < alpha * 0.5 - alpha * 1e-5 {
+            prop_assert_eq!(level, 0, "x={} alpha={}", x, alpha);
+        }
+    }
+
+    /// The duplicated quantizer in `mega_format::planes` is bit-for-bit
+    /// the same function: same levels for every (x, α, b), including
+    /// saturated and near-boundary inputs.
+    #[test]
+    fn planes_quantize_level_matches_quantizer(
+        x in -1e6f32..1e6,
+        alpha in 1e-4f32..1e4,
+        bits in 1u8..=mega_format::planes::MAX_PLANE_BITS,
+    ) {
+        prop_assert_eq!(
+            mega_format::planes::quantize_level(x, alpha, bits),
+            quantize(x, alpha, bits),
+            "implementations diverged at x={} alpha={} bits={}", x, alpha, bits
+        );
+    }
+
+    /// Same pin at the exact clip boundary and at level midpoints, where a
+    /// rounding-rule drift would first show.
+    #[test]
+    fn planes_quantize_level_matches_at_boundaries(
+        alpha in 0.01f32..100.0,
+        bits in 1u8..=mega_format::planes::MAX_PLANE_BITS,
+        level in 0i32..=255,
+    ) {
+        let level = level % (qmax(bits) + 1);
+        for x in [
+            alpha * level as f32,              // exact level
+            alpha * (level as f32 + 0.5),      // rounding midpoint
+            alpha * qmax(bits) as f32,         // clip edge
+        ] {
+            for signed in [x, -x] {
+                prop_assert_eq!(
+                    mega_format::planes::quantize_level(signed, alpha, bits),
+                    quantize(signed, alpha, bits),
+                    "diverged at x={} alpha={} bits={}", signed, alpha, bits
+                );
+            }
+        }
+    }
+}
+
+/// `qmax_level` in planes mirrors `qmax` over the plane-representable
+/// range (deterministic sweep; no sampling needed).
+#[test]
+fn qmax_tables_agree() {
+    for bits in 1..=mega_format::planes::MAX_PLANE_BITS {
+        assert_eq!(mega_format::planes::qmax_level(bits), qmax(bits));
+    }
+}

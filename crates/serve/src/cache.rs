@@ -21,13 +21,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 
-use mega_gnn::{DynAdjacency, Gnn, ModelConfig};
+use mega_format::TierPackedFeatures;
+use mega_gnn::{DynAdjacency, Gnn, ModelConfig, PackedGnn};
 use mega_graph::datasets::Features;
 use mega_graph::{Dataset, DynamicGraph, GraphDelta, NodeId};
 use mega_partition::{influence_closure_with, partition, PartitionConfig, Partitioning};
-use mega_quant::quantizer::{fake_quantize, qmax};
+use mega_quant::quantizer::{dequantize, fake_quantize, qmax, quantize};
 use mega_quant::DegreePolicy;
-use mega_tensor::Matrix;
 
 use crate::logits::LogitsCache;
 use crate::registry::ModelSpec;
@@ -104,6 +104,15 @@ pub struct ModelArtifacts {
     pub dataset: Dataset,
     /// Model with fake-quantized weights.
     pub model: Gnn,
+    /// The same weights in kernel form (integer levels + bit planes),
+    /// built from one quantization pass with `model` so the two are the
+    /// same numbers by construction.
+    pub packed_model: PackedGnn,
+    /// Input feature rows packed at rest in tier-contiguous bit-plane
+    /// arenas — the store the kernels execute against. Kept coherent with
+    /// `dataset.features` (its fake-quantized f32 mirror) by
+    /// [`ModelArtifacts::apply_delta`].
+    pub packed_features: TierPackedFeatures,
     /// Live topology under mutation.
     pub graph: DynamicGraph,
     /// Normalized adjacency `Ã` (rows = destinations), incrementally
@@ -156,6 +165,25 @@ pub fn quantize_row(row: &mut [f32], bits: u8) {
     }
 }
 
+/// [`quantize_row`] that also yields the integer levels and scale for the
+/// packed mirror — one quantization pass feeds both representations, so
+/// the f32 row and the bit-plane row cannot drift apart.
+fn quantize_row_with_levels(row: &mut [f32], bits: u8, levels: &mut Vec<i32>) -> f32 {
+    levels.clear();
+    let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 {
+        levels.resize(row.len(), 0);
+        return 0.0;
+    }
+    let alpha = max_abs / qmax(bits) as f32;
+    for x in row.iter_mut() {
+        let level = quantize(*x, alpha, bits);
+        levels.push(level);
+        *x = dequantize(level, alpha);
+    }
+    alpha
+}
+
 impl ModelArtifacts {
     /// Builds everything from a registered spec.
     ///
@@ -183,24 +211,21 @@ impl ModelArtifacts {
         let raw_features = dataset.features().clone();
         let (rows, dim) = (raw_features.rows(), raw_features.dim());
         let mut data = raw_features.data().to_vec();
+        let mut packed_features = TierPackedFeatures::new(dim);
+        let mut levels = Vec::with_capacity(dim);
         for (v, chunk) in data.chunks_mut(dim).enumerate() {
             let input_bits = if input_follows_degree { bits[v] } else { 1 };
-            quantize_row(chunk, input_bits);
+            let alpha = quantize_row_with_levels(chunk, input_bits, &mut levels);
+            packed_features.push_row(&levels, input_bits, alpha);
         }
         dataset.features = Some(Features::from_vec(rows, dim, data));
 
-        // Weights are static too: per-layer symmetric fake quantization.
+        // Weights are static too: per-layer symmetric quantization, done
+        // once — the kernel form and the fake-quantized f32 matrices come
+        // out of the same levels.
         let config = ModelConfig::for_dataset(spec.kind, &dataset);
         let trained = Gnn::new(config.clone());
-        let weights: Vec<Matrix> = trained
-            .weights()
-            .iter()
-            .map(|w| {
-                let mut m = w.clone();
-                quantize_row(m.as_mut_slice(), spec.weight_bits);
-                m
-            })
-            .collect();
+        let (packed_model, weights) = PackedGnn::from_model(&trained, spec.weight_bits);
         let biases = trained.biases().to_vec();
         let model = Gnn::from_parts(config, weights, biases);
 
@@ -251,6 +276,8 @@ impl ModelArtifacts {
             key: spec.key(),
             dataset,
             model,
+            packed_model,
+            packed_features,
             graph,
             adjacency,
             raw_features,
@@ -277,6 +304,16 @@ impl ModelArtifacts {
         delta: &GraphDelta,
         node_features: &[Vec<f32>],
     ) -> Result<UpdateEffect, String> {
+        // Non-finite feature payloads are rejected at the HTTP ingress;
+        // anything that reaches this point through another path is a
+        // caller bug (quantization would silently map NaN to level 0 and
+        // poison every receptive field the row joins).
+        debug_assert!(
+            node_features
+                .iter()
+                .all(|row| row.iter().all(|x| x.is_finite())),
+            "apply_delta received non-finite feature values"
+        );
         let dim = self.raw_features.dim();
         if node_features.len() != delta.nodes_added() {
             return Err(format!(
@@ -306,6 +343,9 @@ impl ModelArtifacts {
                 .push_row(&node_features[i]);
             self.bits.push(0);
             self.tiers.push(usize::MAX);
+            // Placeholder packed row keeps ids aligned; the re-tier pass
+            // below rewrites it at the node's final bitwidth.
+            self.packed_features.push_empty(1);
             // Shard-aware placement: the least-loaded shard among the
             // neighbors' shards keeps the new node's receptive field local
             // without piling growth onto one shard; an unconnected node
@@ -367,7 +407,9 @@ impl ModelArtifacts {
                 features
                     .row_mut(vu)
                     .copy_from_slice(self.raw_features.row(vu));
-                quantize_row(features.row_mut(vu), input_bits);
+                let mut levels = Vec::with_capacity(dim);
+                let alpha = quantize_row_with_levels(features.row_mut(vu), input_bits, &mut levels);
+                self.packed_features.set_row(vu, &levels, input_bits, alpha);
                 feature_dirty.push(v);
             }
         }
@@ -527,7 +569,8 @@ impl ModelArtifacts {
     pub fn resident_bytes(&self) -> crate::trace::ModelMemory {
         crate::trace::ModelMemory {
             model: self.key.clone(),
-            features_bytes: std::mem::size_of_val(self.dataset.features().data()),
+            features_bytes: std::mem::size_of_val(self.dataset.features().data())
+                + self.packed_features.resident_bytes(),
             raw_features_bytes: std::mem::size_of_val(self.raw_features.data()),
             adjacency_bytes: self.adjacency.approx_heap_bytes(),
             shard_bytes: self.shards.iter().map(ShardState::resident_bytes).sum(),

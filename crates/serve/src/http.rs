@@ -424,7 +424,10 @@ fn route(
             // whose delay every accepted request then pays.
             if engine.in_flight() >= config.max_in_flight {
                 stats.shed.fetch_add(1, Ordering::Relaxed);
-                let seconds = config.retry_after.as_secs().max(1);
+                // Ceiling over millis: `as_secs()` truncates, so a 1500 ms
+                // hint would advertise 1 s and invite retries before the
+                // configured backoff has elapsed.
+                let seconds = config.retry_after.as_millis().div_ceil(1000).max(1);
                 return HttpResponse::error(
                     429,
                     &format!(
@@ -510,6 +513,12 @@ fn handle_update(
                 let Some(feature) = value.as_f64() else {
                     return HttpResponse::error(400, "feature rows must be arrays of numbers");
                 };
+                // NaN would quantize to level 0 silently and ±inf would
+                // poison every downstream alpha; reject at ingress so the
+                // caches never see a non-finite row.
+                if !feature.is_finite() {
+                    return HttpResponse::error(400, "feature values must be finite");
+                }
                 features.push(feature as f32);
             }
             delta.add_node();

@@ -140,7 +140,10 @@ pub use trace::{
     process_memory, FlightRecorder, MemorySnapshot, ModelMemory, RequestTrace, TraceConfig,
     TraceRecord, TraceStage, Tracer,
 };
-pub use worker::{batch_logits, shard_logits, WorkRouter, WorkerPool};
+pub use worker::{
+    batch_logits, batch_logits_with_mode, shard_logits, shard_logits_with_mode, WorkRouter,
+    WorkerPool,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};

@@ -22,6 +22,8 @@
 //! counted per shard so the serving metrics expose cross-shard traffic the
 //! way the paper's Fig. 12 exposes sparse-connection DRAM traffic).
 
+use mega_format::planes::{PlaneRow, PlaneRows};
+use mega_format::TierPackedFeatures;
 use mega_gnn::{AdjacencyView, DynAdjacency, LocalAdjacency, ModelConfig, ReceptiveField};
 use mega_graph::datasets::Features;
 use mega_graph::{DynamicGraph, NodeId};
@@ -217,6 +219,29 @@ impl ShardState {
             halo_fetched: fetched,
             rebuilt: true,
         }
+    }
+}
+
+/// Local-id [`PlaneRows`] adapter: resolves a shard-local row id through
+/// the slice's id map and reads the **global** packed store. Packed rows
+/// are never copied per shard — the global arena payload is shared
+/// verbatim, so shard execution is structurally bit-exact with the global
+/// pass and the halo exchange has no packed mirror to maintain.
+pub struct ShardPlaneRows<'a> {
+    /// The model's global packed feature store.
+    pub store: &'a TierPackedFeatures,
+    /// The shard's local→global id map.
+    pub local: &'a LocalAdjacency,
+}
+
+impl PlaneRows for ShardPlaneRows<'_> {
+    fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    fn plane_row(&self, row: usize) -> PlaneRow<'_> {
+        self.store
+            .plane_row(self.local.global_of(row as u32) as usize)
     }
 }
 

@@ -16,11 +16,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use mega_gnn::infer::{forward_targets_local, forward_targets_with_field, ReceptiveField};
+use mega_gnn::infer::ReceptiveField;
+use mega_gnn::kernel::{
+    forward_targets_local_packed, forward_targets_packed_with_field, KernelArena, KernelMode,
+};
 use mega_graph::NodeId;
 use mega_tensor::Matrix;
 
-use crate::cache::{quantize_row, ArtifactCache, ModelArtifacts};
+use crate::cache::{ArtifactCache, ModelArtifacts};
 use crate::logits::CachedLogits;
 use crate::metrics::Metrics;
 use crate::registry::ModelRegistry;
@@ -28,7 +31,7 @@ use crate::request::{
     InferenceRequest, InferenceResponse, ModelKey, ServeResponse, UpdateResponse,
 };
 use crate::scheduler::{Batch, FlushReason, UpdateQueue, WorkItem};
-use crate::shard::estimate_batch_hw;
+use crate::shard::{estimate_batch_hw, ShardPlaneRows};
 use crate::ticket::Completions;
 use crate::trace::TraceStage;
 
@@ -118,9 +121,19 @@ impl Drop for LaneLiveness {
     }
 }
 
+// Each worker thread reuses one flat kernel arena across every batch it
+// executes; steady-state batches allocate nothing.
+thread_local! {
+    static ARENA: std::cell::RefCell<KernelArena> = std::cell::RefCell::new(KernelArena::default());
+}
+
+fn with_arena<R>(f: impl FnOnce(&mut KernelArena) -> R) -> R {
+    ARENA.with(|arena| f(&mut arena.borrow_mut()))
+}
+
 /// Executes the degree-aware quantized forward pass for `targets` against
 /// the *global* artifacts and returns their logits (row `i` belongs to
-/// `targets[i]`).
+/// `targets[i]`). Runs the bit-plane kernels ([`KernelMode::Packed`]).
 ///
 /// This is the sequential reference path: shard-sliced execution
 /// ([`shard_logits`]) must be — and is tested to be — bit-exact with it,
@@ -135,21 +148,35 @@ pub fn batch_logits_with_field(
     artifacts: &ModelArtifacts,
     targets: &[NodeId],
 ) -> (Matrix, ReceptiveField) {
-    let mut transform = |_layer: usize, node: NodeId, row: &mut [f32]| {
-        quantize_row(row, artifacts.node_bits(node));
-    };
-    forward_targets_with_field(
-        &artifacts.model,
-        artifacts.dataset.features(),
-        &artifacts.adjacency,
-        targets,
-        &mut transform,
-    )
+    batch_logits_with_mode(artifacts, targets, KernelMode::Packed)
+}
+
+/// [`batch_logits_with_field`] with an explicit kernel mode — the
+/// packed-vs-scalar equivalence tests and benchmarks drive both engines
+/// through this.
+pub fn batch_logits_with_mode(
+    artifacts: &ModelArtifacts,
+    targets: &[NodeId],
+    mode: KernelMode,
+) -> (Matrix, ReceptiveField) {
+    with_arena(|arena| {
+        forward_targets_packed_with_field(
+            &artifacts.model,
+            &artifacts.packed_model,
+            &artifacts.packed_features,
+            &artifacts.adjacency,
+            targets,
+            &mut |v| artifacts.node_bits(v),
+            mode,
+            arena,
+        )
+    })
 }
 
 /// Executes `targets` (which must be owned by `shard`) against that shard's
-/// local slice: local adjacency, spliced halo feature rows, global
-/// degree-aware bitwidths. Bit-exact with [`batch_logits`].
+/// local slice: local adjacency, the global packed feature store read
+/// through the shard's id map, global degree-aware bitwidths. Bit-exact
+/// with [`batch_logits`].
 ///
 /// # Panics
 ///
@@ -165,17 +192,33 @@ pub fn shard_logits_with_field(
     shard: u32,
     targets: &[NodeId],
 ) -> (Matrix, ReceptiveField) {
+    shard_logits_with_mode(artifacts, shard, targets, KernelMode::Packed)
+}
+
+/// [`shard_logits_with_field`] with an explicit kernel mode.
+pub fn shard_logits_with_mode(
+    artifacts: &ModelArtifacts,
+    shard: u32,
+    targets: &[NodeId],
+    mode: KernelMode,
+) -> (Matrix, ReceptiveField) {
     let state = artifacts.shard(shard).expect("shard exists");
-    let mut transform = |_layer: usize, node: NodeId, row: &mut [f32]| {
-        quantize_row(row, artifacts.node_bits(node));
+    let rows = ShardPlaneRows {
+        store: &artifacts.packed_features,
+        local: &state.adjacency,
     };
-    forward_targets_local(
-        &artifacts.model,
-        &state.features,
-        &state.adjacency,
-        targets,
-        &mut transform,
-    )
+    with_arena(|arena| {
+        forward_targets_local_packed(
+            &artifacts.model,
+            &artifacts.packed_model,
+            &rows,
+            &state.adjacency,
+            targets,
+            &mut |v| artifacts.node_bits(v),
+            mode,
+            arena,
+        )
+    })
 }
 
 /// A pool of shard-affine serving threads.

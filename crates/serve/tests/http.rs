@@ -257,6 +257,107 @@ fn backpressure_sheds_with_429_then_recovers() {
     engine_shutdown(engine);
 }
 
+/// `Retry-After` rounds the configured hint *up* to whole seconds: a
+/// 1500 ms backoff must advertise `2`, not truncate to `1` and invite
+/// retries before the backoff has elapsed.
+#[test]
+fn retry_after_rounds_up_to_whole_seconds() {
+    let (engine, server) = start_stack(
+        SchedulerConfig {
+            max_batch: 1_000,
+            max_delay: Duration::from_millis(400),
+        },
+        HttpServerConfig {
+            connections: 4,
+            max_in_flight: 2,
+            retry_after: Duration::from_millis(1500),
+            ..HttpServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let blocked: Vec<_> = (0..2u32)
+        .map(|node| {
+            std::thread::spawn(move || {
+                http(
+                    addr,
+                    "POST",
+                    "/v1/cora/gcn/predict",
+                    &format!("{{\"node\": {node}}}"),
+                )
+            })
+        })
+        .collect();
+    let shed_deadline = std::time::Instant::now() + Duration::from_millis(300);
+    let mut shed = None;
+    while std::time::Instant::now() < shed_deadline {
+        if engine.in_flight() >= 2 {
+            shed = Some(http(addr, "POST", "/v1/cora/gcn/predict", "{\"node\": 9}"));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, headers, body) = shed.expect("two predicts must be in flight within 300ms");
+    assert_eq!(status, 429, "{body}");
+    let retry_after = headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .map(|(_, v)| v.as_str())
+        .expect("shed responses carry Retry-After");
+    assert_eq!(
+        retry_after, "2",
+        "1500ms must round up to 2s, not truncate to 1s"
+    );
+    for handle in blocked {
+        let (status, _, body) = handle.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    server.stop();
+    engine_shutdown(engine);
+}
+
+/// Non-finite feature values are rejected at ingress with 400. `1e999`
+/// overflows f64 parsing to `+inf`; before the ingress check it would
+/// reach quantization (NaN quantizes to level 0 silently, inf poisons
+/// every downstream alpha) and poison the logits caches.
+#[test]
+fn update_rejects_non_finite_feature_values() {
+    let (engine, server) = start_stack(
+        SchedulerConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        },
+        HttpServerConfig::default(),
+    );
+    let addr = server.local_addr();
+    for payload in [
+        "{\"add_nodes\": [[1.0, 1e999]]}",
+        "{\"add_nodes\": [[-1e999, 0.5]]}",
+    ] {
+        let (status, _, body) = http(addr, "POST", "/v1/cora/gcn/update", payload);
+        assert_eq!(status, 400, "{payload} must be rejected: {body}");
+        assert!(
+            body.contains("finite"),
+            "error names the finiteness rule: {body}"
+        );
+    }
+    // The rejected updates must not have advanced the model version.
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/v1/cora/gcn/update",
+        "{\"insert\": [[3, 7]]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let ack = json::parse(body.as_bytes()).unwrap();
+    assert_eq!(
+        ack.get("version").unwrap().as_u64(),
+        Some(1),
+        "shed updates must not consume a version"
+    );
+    server.stop();
+    engine_shutdown(engine);
+}
+
 /// `/healthz` reports real liveness: 200 with per-lane state while every
 /// thread runs, 503 with a reason once a worker lane dies (here killed by
 /// fault injection, exactly as a panic in batch execution would).

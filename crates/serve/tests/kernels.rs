@@ -1,0 +1,99 @@
+//! Packed-vs-scalar kernel equivalence on the serve path: the bit-plane
+//! popcount engine must be *bit-exact* with the scalar integer reference
+//! for every aggregator, for K ∈ {1, 2, 4} shards, and after random
+//! churn (node adds, edge inserts/removes) drives rows across tiers.
+//!
+//! Both modes share one quantize → integer-dot → dequantize pipeline, so
+//! equality here is structural, not approximate — any diverging bit is a
+//! kernel bug, never float noise.
+
+use mega_gnn::kernel::KernelMode;
+use mega_gnn::GnnKind;
+use mega_graph::{DatasetSpec, GraphDelta, NodeId};
+use mega_serve::{batch_logits_with_mode, shard_logits_with_mode, ModelArtifacts, ModelSpec};
+use proptest::prelude::*;
+
+const KINDS: [GnnKind; 3] = [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage];
+
+fn spec(kind: GnnKind, shards: usize) -> ModelSpec {
+    ModelSpec::standard(DatasetSpec::cora().scaled(0.08).with_feature_dim(48), kind)
+        .with_shards(shards)
+}
+
+/// Every sampled node produces bit-identical logits through the packed
+/// engine and the scalar reference — on the global path and through its
+/// owning shard's slice.
+fn assert_packed_equals_scalar(artifacts: &ModelArtifacts, stride: usize) {
+    let classes = artifacts.dataset.spec.num_classes;
+    for node in (0..artifacts.num_nodes() as NodeId).step_by(stride.max(1)) {
+        let (packed, _) = batch_logits_with_mode(artifacts, &[node], KernelMode::Packed);
+        let (scalar, _) = batch_logits_with_mode(artifacts, &[node], KernelMode::Scalar);
+        for c in 0..classes {
+            assert_eq!(
+                packed.get(0, c).to_bits(),
+                scalar.get(0, c).to_bits(),
+                "node {node}: packed diverged from scalar on the global pass"
+            );
+        }
+        let shard = artifacts.shard_of(node);
+        let (packed, _) = shard_logits_with_mode(artifacts, shard, &[node], KernelMode::Packed);
+        let (scalar, _) = shard_logits_with_mode(artifacts, shard, &[node], KernelMode::Scalar);
+        for c in 0..classes {
+            assert_eq!(
+                packed.get(0, c).to_bits(),
+                scalar.get(0, c).to_bits(),
+                "node {node} (shard {shard}): packed diverged from scalar"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_is_bit_exact_with_scalar_for_every_kind_and_k() {
+    for kind in KINDS {
+        for k in [1usize, 2, 4] {
+            let artifacts = ModelArtifacts::build(&spec(kind, k));
+            assert_packed_equals_scalar(&artifacts, 7);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random churn — node adds with random features, edge inserts and
+    /// removals — retiers rows through the packed store; equivalence must
+    /// survive every mutation.
+    #[test]
+    fn packed_stays_bit_exact_under_random_churn(
+        seed_edges in proptest::collection::vec((0u32..180, 0u32..180), 4..10),
+        removals in proptest::collection::vec(0usize..16, 1..4),
+        feature_scale in 0.05f32..2.5,
+    ) {
+        for kind in KINDS {
+            let mut artifacts = ModelArtifacts::build(&spec(kind, 2));
+            let n = artifacts.num_nodes() as NodeId;
+            let dim = artifacts.raw_features.dim();
+            let mut delta = GraphDelta::new();
+            for &(s, d) in &seed_edges {
+                let (s, d) = (s % n, d % n);
+                if s != d && !artifacts.graph.has_edge(s, d) {
+                    delta.insert_edge(s, d);
+                }
+            }
+            for &r in &removals {
+                if let Some(&src) = artifacts.graph.in_neighbors(r % n as usize).first() {
+                    delta.remove_edge(src, (r % n as usize) as NodeId);
+                }
+            }
+            delta.add_node();
+            delta.insert_edge(n, seed_edges[0].0 % n);
+            delta.insert_edge(seed_edges[0].1 % n, n);
+            let row: Vec<f32> = (0..dim)
+                .map(|j| feature_scale * ((j as f32 * 0.37).sin()))
+                .collect();
+            artifacts.apply_delta(&delta, &[row]).expect("valid delta");
+            assert_packed_equals_scalar(&artifacts, 11);
+        }
+    }
+}
