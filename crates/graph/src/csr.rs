@@ -71,6 +71,62 @@ impl Csr {
         csr
     }
 
+    /// Builds a CSR directly from its raw arrays, trusting the caller to
+    /// supply canonical form: `offsets` must be monotone with
+    /// `offsets[0] == 0` and `offsets[num_rows] == indices.len()`, and each
+    /// row's indices must be sorted ascending with no duplicates.
+    ///
+    /// This is the zero-copy entry point for streaming builders (e.g. the
+    /// scale path of `mega_graph::generate`) that assemble CSR in place and
+    /// must not round-trip through COO. Shape invariants are always checked;
+    /// per-row sortedness/dedup only under `debug_assertions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape invariants above are violated, or (debug builds
+    /// only) if a row is unsorted, contains duplicates, or an index exceeds
+    /// `num_cols`.
+    pub fn from_parts(
+        num_rows: usize,
+        num_cols: usize,
+        offsets: Vec<usize>,
+        indices: Vec<NodeId>,
+    ) -> Self {
+        assert_eq!(
+            offsets.len(),
+            num_rows + 1,
+            "offsets must have rows+1 entries"
+        );
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            offsets[num_rows],
+            indices.len(),
+            "last offset must equal indices.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        #[cfg(debug_assertions)]
+        for r in 0..num_rows {
+            let row = &indices[offsets[r]..offsets[r + 1]];
+            debug_assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {r} not strictly sorted"
+            );
+            debug_assert!(
+                row.last().is_none_or(|&d| (d as usize) < num_cols),
+                "row {r} index out of bounds"
+            );
+        }
+        Self {
+            num_rows,
+            num_cols,
+            offsets,
+            indices,
+        }
+    }
+
     fn sort_rows(&mut self) {
         for r in 0..self.num_rows {
             let (lo, hi) = (self.offsets[r], self.offsets[r + 1]);

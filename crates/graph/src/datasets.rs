@@ -166,11 +166,44 @@ impl DatasetSpec {
         spec
     }
 
+    /// A serving-scale synthetic power-law dataset: ~10 directed edges per
+    /// node, 64-dim dense embeddings synthesized *per row on demand* (see
+    /// [`RowSynth`]) rather than as a resident f32 matrix. `nodes` is free;
+    /// `synth:1m` (10⁶ nodes, 10⁷ edges) is the capacity-bench shape.
+    pub fn synth(nodes: usize) -> Self {
+        assert!(nodes >= 64, "synth datasets need at least 64 nodes");
+        Self {
+            name: format!("synth:{}", format_node_count(nodes)),
+            nodes,
+            directed_edges: nodes * 10,
+            feature_dim: 64,
+            num_classes: 32,
+            exponent: 2.1,
+            homophily: 0.8,
+            feature_density: 1.0,
+            feature_kind: FeatureKind::DenseEmbedding,
+            seed: 0xDE5CA1E,
+        }
+    }
+
+    /// Whether this spec streams features row-on-demand instead of holding a
+    /// resident f32 matrix (the `synth:*` family). Streaming specs never
+    /// densely materialize, regardless of [`DENSE_FEATURE_BUDGET`].
+    pub fn is_streaming(&self) -> bool {
+        self.name.to_ascii_lowercase().starts_with("synth:")
+    }
+
     /// Looks up a preset by its (case-insensitive) Table II name. Reddit
-    /// resolves to the bench-scale preset. Used by serving/config surfaces
-    /// that address datasets by string.
+    /// resolves to the bench-scale preset. `synth:<count>` (with optional
+    /// `k`/`m` suffix, e.g. `synth:50k`, `synth:1m`) resolves to
+    /// [`DatasetSpec::synth`]. Used by serving/config surfaces that address
+    /// datasets by string.
     pub fn by_name(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().as_str() {
+        let lower = name.to_ascii_lowercase();
+        if let Some(count) = lower.strip_prefix("synth:") {
+            return parse_node_count(count).map(Self::synth);
+        }
+        match lower.as_str() {
             "cora" => Some(Self::cora()),
             "citeseer" => Some(Self::citeseer()),
             "pubmed" => Some(Self::pubmed()),
@@ -222,7 +255,9 @@ impl DatasetSpec {
     }
 
     /// Generates the graph, labels, masks, and — when within
-    /// [`DENSE_FEATURE_BUDGET`] — dense features.
+    /// [`DENSE_FEATURE_BUDGET`] and not a streaming spec — dense features.
+    /// Streaming (`synth:*`) specs get a [`RowSynth`] instead: any row is
+    /// reproducible on demand without a resident f32 matrix.
     pub fn materialize(&self) -> Dataset {
         let generated = PowerLawSbm {
             nodes: self.nodes,
@@ -235,21 +270,47 @@ impl DatasetSpec {
         }
         .generate();
         let labels = generated.communities;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xFEA7);
-        let features = if self.nodes * self.feature_dim <= DENSE_FEATURE_BUDGET {
+        let streaming = self.is_streaming();
+        let features = if !streaming && self.nodes * self.feature_dim <= DENSE_FEATURE_BUDGET {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ 0xFEA7);
             Some(synthesize_features(self, &labels, &mut rng))
         } else {
             None
         };
+        let synth = streaming.then(|| RowSynth::new(self));
         let masks = Splits::standard(&labels, self.num_classes, self.seed ^ 0x5EED);
         Dataset {
             spec: self.clone(),
             graph: generated.graph,
             features,
+            synth,
             labels,
             splits: masks,
         }
     }
+}
+
+/// Formats a node count the way `synth:*` names spell it (`1m`, `50k`,
+/// `12345`).
+fn format_node_count(nodes: usize) -> String {
+    if nodes.is_multiple_of(1_000_000) {
+        format!("{}m", nodes / 1_000_000)
+    } else if nodes.is_multiple_of(1000) {
+        format!("{}k", nodes / 1000)
+    } else {
+        nodes.to_string()
+    }
+}
+
+/// Parses `"50k"` / `"1m"` / `"12345"`; returns `None` on malformed input.
+fn parse_node_count(s: &str) -> Option<usize> {
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'k' => (&s[..s.len() - 1], 1000usize),
+        b'm' => (&s[..s.len() - 1], 1_000_000),
+        _ => (s, 1),
+    };
+    let n: usize = digits.parse().ok()?;
+    n.checked_mul(mult).filter(|&n| n >= 64)
 }
 
 /// Dense row-major feature matrix.
@@ -372,8 +433,11 @@ pub struct Dataset {
     /// Graph structure.
     pub graph: Graph,
     /// Dense input features, or `None` if the spec exceeds
-    /// [`DENSE_FEATURE_BUDGET`] (hardware experiments need only statistics).
+    /// [`DENSE_FEATURE_BUDGET`] (hardware experiments need only statistics)
+    /// or streams rows on demand (see [`Dataset::synth`]).
     pub features: Option<Features>,
+    /// Row-on-demand feature synthesizer for streaming (`synth:*`) specs.
+    pub synth: Option<RowSynth>,
     /// Class label per node.
     pub labels: Vec<u16>,
     /// Train/val/test node splits.
@@ -396,6 +460,130 @@ impl Dataset {
     /// Whether dense features were materialized.
     pub fn has_features(&self) -> bool {
         self.features.is_some()
+    }
+
+    /// Synthesizes node `v`'s raw feature row into `out` without touching a
+    /// resident matrix. Works for dense-features datasets too (copying the
+    /// stored row), so serve-side consumers have one entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if neither dense features nor a synthesizer exist, if `v` is
+    /// out of range of the label table, or if `out.len() != feature_dim`.
+    pub fn fill_row(&self, v: usize, out: &mut [f32]) {
+        if let Some(f) = &self.features {
+            out.copy_from_slice(f.row(v));
+        } else if let Some(s) = &self.synth {
+            s.fill_row(v as u64, self.labels[v], out);
+        } else {
+            panic!("dataset has neither dense features nor a row synthesizer");
+        }
+    }
+}
+
+/// Deterministic row-on-demand feature synthesis for streaming datasets.
+///
+/// The sequential `synthesize_features` path draws a variable number of
+/// RNG values per node, so row `v` cannot be regenerated without replaying
+/// rows `0..v`. `RowSynth` instead derives an independent RNG per node
+/// (seed mixed with a SplitMix64 constant), making any row O(dim) to
+/// produce — that's what lets million-node datasets serve, re-quantize on
+/// tier changes, and rebuild shard halos without a resident `n × dim` f32
+/// matrix. Class tables (means or topic pools) are precomputed once from
+/// the same `seed ^ 0xFEA7` stream the sequential path uses.
+#[derive(Debug, Clone)]
+pub struct RowSynth {
+    dim: usize,
+    kind: FeatureKind,
+    mean_nnz: f64,
+    seed: u64,
+    /// `DenseEmbedding`: class means, `num_classes × dim` row-major.
+    means: Vec<f32>,
+    /// `BinaryBagOfWords` / `TfIdf`: per-class topic-word pools.
+    pools: Vec<Vec<u32>>,
+}
+
+impl RowSynth {
+    /// Precomputes the class tables for `spec`.
+    pub fn new(spec: &DatasetSpec) -> Self {
+        let dim = spec.feature_dim;
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xFEA7);
+        let (means, pools) = match spec.feature_kind {
+            FeatureKind::DenseEmbedding => {
+                let mut means = vec![0.0f32; spec.num_classes * dim];
+                for m in means.iter_mut() {
+                    *m = standard_normal(&mut rng) as f32 * 0.9;
+                }
+                (means, Vec::new())
+            }
+            FeatureKind::BinaryBagOfWords | FeatureKind::TfIdf => {
+                (Vec::new(), class_pools(spec, &mut rng))
+            }
+        };
+        Self {
+            dim,
+            kind: spec.feature_kind,
+            mean_nnz: (spec.feature_density * dim as f64).max(1.0),
+            seed: spec.seed,
+            means,
+            pools,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Resident bytes of the precomputed class tables.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self.means.as_slice())
+            + self
+                .pools
+                .iter()
+                .map(|p| std::mem::size_of_val(p.as_slice()))
+                .sum::<usize>()
+    }
+
+    /// Writes node `node`'s feature row (class `class`) into `out`.
+    /// Deterministic in `(seed, node, class)` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim` or `class` exceeds the class tables.
+    pub fn fill_row(&self, node: u64, class: u16, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "row buffer length mismatch");
+        // SplitMix64-style mixing decorrelates consecutive node seeds.
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ 0xFEA7 ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let c = class as usize;
+        match self.kind {
+            FeatureKind::DenseEmbedding => {
+                let means = &self.means[c * self.dim..(c + 1) * self.dim];
+                for (o, &m) in out.iter_mut().zip(means) {
+                    *o = m + standard_normal(&mut rng) as f32 * 0.9;
+                }
+            }
+            FeatureKind::BinaryBagOfWords | FeatureKind::TfIdf => {
+                out.fill(0.0);
+                let pool = &self.pools[c];
+                let jitter = 1.0 + 0.35 * standard_normal(&mut rng);
+                let nnz = ((self.mean_nnz * jitter).round() as i64).clamp(1, (self.dim / 2) as i64)
+                    as usize;
+                for _ in 0..nnz {
+                    let j = if rng.gen::<f64>() < 0.8 {
+                        pool[rng.gen_range(0..pool.len())] as usize
+                    } else {
+                        rng.gen_range(0..self.dim)
+                    };
+                    out[j] = match self.kind {
+                        FeatureKind::BinaryBagOfWords => 1.0,
+                        FeatureKind::TfIdf => (0.2 + 0.8 * rng.gen::<f32>()).min(1.0),
+                        FeatureKind::DenseEmbedding => unreachable!(),
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -422,15 +610,7 @@ fn synthesize_features(spec: &DatasetSpec, labels: &[u16], rng: &mut StdRng) -> 
             // Each class owns a pool of "topic words"; nodes draw most of
             // their non-zeros from their class pool.
             let mean_nnz = (spec.feature_density * dim as f64).max(1.0);
-            let pool_size = ((mean_nnz * 4.0) as usize).clamp(4, dim);
-            let pools: Vec<Vec<u32>> = (0..spec.num_classes)
-                .map(|_| {
-                    let mut dims: Vec<u32> = (0..dim as u32).collect();
-                    shuffle(&mut dims, rng);
-                    dims.truncate(pool_size);
-                    dims
-                })
-                .collect();
+            let pools = class_pools(spec, rng);
             let mut data = vec![0.0f32; n * dim];
             for v in 0..n {
                 let pool = &pools[labels[v] as usize];
@@ -452,6 +632,26 @@ fn synthesize_features(spec: &DatasetSpec, labels: &[u16], rng: &mut StdRng) -> 
             Features::from_vec(n, dim, data)
         }
     }
+}
+
+/// Builds the per-class topic-word pools for sparse feature kinds. One
+/// scratch permutation buffer is reused across classes (hoisted out of the
+/// per-class loop); refilling `0..dim` before each shuffle keeps the RNG
+/// stream — and therefore every generated dataset — byte-identical to the
+/// pre-hoist code.
+fn class_pools(spec: &DatasetSpec, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let dim = spec.feature_dim;
+    let mean_nnz = (spec.feature_density * dim as f64).max(1.0);
+    let pool_size = ((mean_nnz * 4.0) as usize).clamp(4, dim);
+    let mut dims: Vec<u32> = Vec::with_capacity(dim);
+    (0..spec.num_classes)
+        .map(|_| {
+            dims.clear();
+            dims.extend(0..dim as u32);
+            shuffle(&mut dims, rng);
+            dims[..pool_size].to_vec()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -569,5 +769,104 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn zero_scale_panics() {
         let _ = DatasetSpec::cora().scaled(0.0);
+    }
+
+    #[test]
+    fn synth_names_parse_and_round_trip() {
+        let spec = DatasetSpec::by_name("synth:1m").expect("synth:1m parses");
+        assert_eq!(spec.nodes, 1_000_000);
+        assert_eq!(spec.directed_edges, 10_000_000);
+        assert_eq!(spec.name, "synth:1m");
+        assert!(spec.is_streaming());
+        let spec = DatasetSpec::by_name("SYNTH:50K").expect("case-insensitive");
+        assert_eq!(spec.nodes, 50_000);
+        assert_eq!(spec.name, "synth:50k");
+        assert_eq!(DatasetSpec::by_name("synth:2500").unwrap().nodes, 2500);
+        assert!(DatasetSpec::by_name("synth:").is_none());
+        assert!(DatasetSpec::by_name("synth:abc").is_none());
+        assert!(DatasetSpec::by_name("synth:0").is_none());
+        assert!(!DatasetSpec::cora().is_streaming());
+    }
+
+    #[test]
+    fn synth_materializes_without_resident_features() {
+        let spec = DatasetSpec::synth(2000);
+        let d = spec.materialize();
+        assert!(!d.has_features(), "streaming spec must not hold a matrix");
+        let s = d.synth.as_ref().expect("row synthesizer present");
+        assert_eq!(s.dim(), spec.feature_dim);
+        assert_eq!(d.labels.len(), 2000);
+        assert!(d.graph.num_nodes() == 2000 && d.graph.is_symmetric());
+    }
+
+    #[test]
+    fn row_synth_is_deterministic_and_order_free() {
+        let spec = DatasetSpec::synth(2000);
+        let s = RowSynth::new(&spec);
+        let mut a = vec![0.0f32; spec.feature_dim];
+        let mut b = vec![0.0f32; spec.feature_dim];
+        // Same row twice, with unrelated rows in between: identical output.
+        s.fill_row(7, 3, &mut a);
+        s.fill_row(1999, 12, &mut b);
+        s.fill_row(7, 3, &mut b);
+        assert_eq!(a, b);
+        // Different rows differ.
+        s.fill_row(8, 3, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn row_synth_rows_cluster_by_class() {
+        // Rows of the same class share the class mean, so same-class rows
+        // must be closer (L2) than cross-class rows on average.
+        let spec = DatasetSpec::synth(2000);
+        let s = RowSynth::new(&spec);
+        let dim = spec.feature_dim;
+        let mut rows = vec![vec![0.0f32; dim]; 4];
+        s.fill_row(0, 5, &mut rows[0]);
+        s.fill_row(1, 5, &mut rows[1]);
+        s.fill_row(2, 9, &mut rows[2]);
+        s.fill_row(3, 9, &mut rows[3]);
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let same = dist(&rows[0], &rows[1]) + dist(&rows[2], &rows[3]);
+        let cross = dist(&rows[0], &rows[2]) + dist(&rows[1], &rows[3]);
+        assert!(same < cross, "same-class {same} not < cross-class {cross}");
+    }
+
+    #[test]
+    fn row_synth_sparse_kinds_respect_density() {
+        let mut spec = DatasetSpec::cora().scaled(0.05).with_feature_dim(256);
+        spec.feature_density = 0.05;
+        let s = RowSynth::new(&spec);
+        let mut row = vec![0.0f32; 256];
+        let mut total_nnz = 0usize;
+        for v in 0..64u64 {
+            s.fill_row(v, (v % 7) as u16, &mut row);
+            total_nnz += row.iter().filter(|&&x| x != 0.0).count();
+        }
+        let mean = total_nnz as f64 / 64.0;
+        let target = 0.05 * 256.0;
+        assert!(
+            mean > 0.5 * target && mean < 1.5 * target,
+            "mean nnz {mean} far from target {target}"
+        );
+    }
+
+    #[test]
+    fn dataset_fill_row_matches_dense_storage() {
+        let d = DatasetSpec::cora().scaled(0.05).materialize();
+        let mut buf = vec![0.0f32; d.spec.feature_dim];
+        d.fill_row(3, &mut buf);
+        assert_eq!(buf.as_slice(), d.features().row(3));
+    }
+
+    #[test]
+    fn pool_hoist_keeps_datasets_byte_identical() {
+        // The scratch-buffer hoist in class_pools must not perturb the RNG
+        // stream: spot-check a known preset's density & determinism.
+        let a = DatasetSpec::cora().scaled(0.1).materialize();
+        let b = DatasetSpec::cora().scaled(0.1).materialize();
+        assert_eq!(a.features, b.features);
     }
 }

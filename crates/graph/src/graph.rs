@@ -47,6 +47,15 @@ impl Graph {
         Self { csr, csc }
     }
 
+    /// Builds a graph directly from a canonical out-edge CSR (sorted,
+    /// deduplicated rows — see [`Csr::from_parts`]); the in-edge view is
+    /// derived by one transpose. Streaming builders use this to avoid
+    /// materializing an intermediate COO copy of the edge list.
+    pub fn from_csr(csr: Csr) -> Self {
+        let csc = csr.transpose();
+        Self { csr, csc }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.csr.num_rows()

@@ -1,0 +1,101 @@
+//! Statistical validation of the power-law generator at scale.
+//!
+//! The serving-scale claims (degree-aware tiering pays off on power-law
+//! graphs, paper §III-A Fig. 1) only hold if the at-scale generator actually
+//! produces the configured structure, so these tests fit the in-degree tail
+//! exponent, check symmetric closure exactly, and bound the planted
+//! community sizes — on both the streaming path (used at these node counts
+//! by `synth:*` datasets via `generate_streamed`) and the dispatching
+//! `generate` entry point.
+//!
+//! Release-only: debug-mode generation at 100k nodes is too slow for the
+//! tier-1 loop (run with `cargo test --release -p mega-graph`).
+
+use mega_graph::generate::{Generated, PowerLawSbm};
+use mega_graph::stats::power_law_exponent_mle;
+
+const GAMMA: f64 = 2.1;
+const COMMUNITIES: usize = 16;
+
+fn config(nodes: usize) -> PowerLawSbm {
+    PowerLawSbm {
+        nodes,
+        directed_edges: nodes * 10,
+        exponent: GAMMA,
+        communities: COMMUNITIES,
+        homophily: 0.8,
+        symmetric: true,
+        seed: 0x57A7_5EED,
+    }
+}
+
+fn check_stats(out: &Generated, nodes: usize) {
+    // Symmetric closure holds exactly: every edge has its reverse.
+    assert!(out.graph.is_symmetric(), "symmetric closure violated");
+
+    // In-degree tail exponent within tolerance of the configured γ. The
+    // Chung–Lu construction reproduces the target exponent only
+    // asymptotically in the tail, and the SBM overlay plus dedup flatten it
+    // slightly, so the band is generous — but it still rejects
+    // exponential-tailed or uniform degree sequences outright.
+    let gamma = power_law_exponent_mle(&out.graph, 8).expect("enough high-degree nodes");
+    assert!(
+        (gamma - GAMMA).abs() < 0.8,
+        "fitted tail exponent {gamma:.3} too far from configured {GAMMA}"
+    );
+
+    // Community sizes concentrate around n / k (multinomial with
+    // p = 1/k; ±20% is > 5σ out at these node counts).
+    let mut sizes = [0usize; COMMUNITIES];
+    for &c in &out.communities {
+        sizes[c as usize] += 1;
+    }
+    let expected = nodes as f64 / COMMUNITIES as f64;
+    for (c, &s) in sizes.iter().enumerate() {
+        assert!(
+            (s as f64) > 0.8 * expected && (s as f64) < 1.2 * expected,
+            "community {c} size {s} outside ±20% of expected {expected:.0}"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "at-scale generation; run in release")]
+fn streamed_statistics_at_10k() {
+    let out = config(10_000).generate_streamed();
+    check_stats(&out, 10_000);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "at-scale generation; run in release")]
+fn streamed_statistics_at_100k() {
+    let out = config(100_000).generate_streamed();
+    check_stats(&out, 100_000);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "at-scale generation; run in release")]
+fn rejection_path_statistics_at_10k() {
+    // Below STREAMING_NODES `generate` takes the exact rejection path; its
+    // statistics must satisfy the same bounds as the streaming path.
+    let out = config(10_000).generate();
+    check_stats(&out, 10_000);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "at-scale generation; run in release")]
+fn streamed_edge_shortfall_is_bounded() {
+    // The streaming path drops duplicate draws and self-loops instead of
+    // resampling; the realized edge count must stay within a few percent of
+    // the configured target.
+    for nodes in [10_000usize, 100_000] {
+        let cfg = config(nodes);
+        let out = cfg.generate_streamed();
+        let e = out.graph.num_edges() as f64;
+        let target = cfg.directed_edges as f64;
+        assert!(
+            e > 0.9 * target && e <= target,
+            "realized edges {e} vs target {target} at {nodes} nodes"
+        );
+    }
+}

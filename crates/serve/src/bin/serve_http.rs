@@ -13,8 +13,12 @@
 //! ```
 //!
 //! Flags: `--addr HOST:PORT` (default `127.0.0.1:8642`; port `0` picks an
-//! ephemeral port and prints it), `--shards K` (default 4), `--workers W`,
-//! `--scale F` (dataset node-count scale), `--cache-mb MB` (default 16),
+//! ephemeral port and prints it), `--dataset NAME` (serve *only* this
+//! dataset as a GCN instead of the citation lineup — any
+//! [`DatasetSpec::by_name`] name, e.g. `synth:1m` for the streaming
+//! million-node capacity-bench shape), `--shards K` (default 4),
+//! `--workers W`, `--scale F` (dataset node-count scale), `--cache-mb MB`
+//! (default 16),
 //! `--connections N` (handler pool, default 8), `--max-in-flight N`
 //! (admission bound, default 1024), `--wait-timeout-ms MS` (per-request
 //! deadline, default 30000), `--slow-ms MS` (flight-recorder slow-request
@@ -72,14 +76,28 @@ fn main() {
     };
     let registry = Arc::new(ModelRegistry::new());
     let cache_bytes = (cache_mb * 1024.0 * 1024.0) as usize;
-    for (name, kind) in [
-        ("cora", GnnKind::Gcn),
-        ("citeseer", GnnKind::Gcn),
-        ("pubmed", GnnKind::Gcn),
-        ("cora", GnnKind::Gin),
-    ] {
+    // `--dataset NAME` serves exactly one model (the load harness points
+    // this at `synth:*` shapes); the default is the citation lineup.
+    let lineup: Vec<(String, GnnKind)> = match std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--dataset")
+        .map(|w| w[1].clone())
+    {
+        Some(name) => vec![(name, GnnKind::Gcn)],
+        None => [
+            ("cora", GnnKind::Gcn),
+            ("citeseer", GnnKind::Gcn),
+            ("pubmed", GnnKind::Gcn),
+            ("cora", GnnKind::Gin),
+        ]
+        .into_iter()
+        .map(|(n, k)| (n.to_string(), k))
+        .collect(),
+    };
+    for (name, kind) in lineup {
         registry.register(
-            ModelSpec::standard(scaled(name), kind)
+            ModelSpec::standard(scaled(&name), kind)
                 .with_shards(shards)
                 .with_cache_bytes(cache_bytes),
         );

@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
 
 use mega_format::TierPackedFeatures;
 use mega_gnn::{DynAdjacency, Gnn, ModelConfig, PackedGnn};
-use mega_graph::datasets::Features;
+use mega_graph::datasets::{Features, RowSynth};
 use mega_graph::{Dataset, DynamicGraph, GraphDelta, NodeId};
 use mega_partition::{influence_closure_with, partition, PartitionConfig, Partitioning};
 use mega_quant::quantizer::{dequantize, fake_quantize, qmax, quantize};
@@ -89,18 +89,61 @@ impl UpdateEffect {
     }
 }
 
+/// Where a model's *unquantized* source rows come from when re-tiering
+/// needs them (re-quantizing an already-quantized row would compound
+/// rounding). A resident f32 matrix is the exception, not the rule: it is
+/// kept only for dense datasets that cannot regenerate rows on demand.
+pub enum RawFeatures {
+    /// Dense within-budget datasets: the materialized matrix, *moved* out
+    /// of the dataset at build time (never a second copy).
+    Resident(Features),
+    /// Streaming `synth:*` datasets: any original row regenerates in
+    /// `O(dim)` from the per-node synthesizer, so nothing is stored for
+    /// them; only delta-added rows (which the synthesizer cannot produce)
+    /// live in the overlay.
+    Synth {
+        /// Row-on-demand synthesizer, moved from the materialized dataset.
+        synth: RowSynth,
+        /// Raw rows of delta-added nodes, keyed by global id.
+        overlay: HashMap<NodeId, Vec<f32>>,
+    },
+    /// Binary bag-of-words inputs quantize to 1 bit regardless of degree
+    /// tier, so a pre-existing row is never re-quantized; added nodes
+    /// quantize straight from the delta payload. Nothing is retained.
+    Discarded,
+}
+
+impl RawFeatures {
+    /// Approximate heap bytes held resident.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            Self::Resident(f) => std::mem::size_of_val(f.data()),
+            Self::Synth { synth, overlay } => {
+                synth.resident_bytes()
+                    + overlay
+                        .values()
+                        .map(|row| std::mem::size_of_val(row.as_slice()))
+                        .sum::<usize>()
+            }
+            Self::Discarded => 0,
+        }
+    }
+}
+
 /// Everything a worker needs to execute batches for one model. Immutable
 /// from the forward pass's point of view; mutated only through
 /// [`ModelArtifacts::apply_delta`] behind a [`ModelEntry`] write lock.
 pub struct ModelArtifacts {
     /// The key these artifacts serve.
     pub key: ModelKey,
-    /// Materialized dataset. `features` holds the *quantized* input rows
-    /// and is kept current across mutations. Its `graph` is emptied after
-    /// construction — the live topology is [`Self::graph`] (snapshot via
-    /// `graph.to_graph()`); keeping the frozen registration-time copy
-    /// around would both duplicate the topology per resident model and
-    /// hand future callers a silently stale graph.
+    /// Materialized dataset, kept for its spec, labels, and splits. Its
+    /// `graph` is emptied after construction — the live topology is
+    /// [`Self::graph`] (snapshot via `graph.to_graph()`); keeping the
+    /// frozen registration-time copy around would both duplicate the
+    /// topology per resident model and hand future callers a silently
+    /// stale graph. Its `features` are emptied too: the serving
+    /// representation is [`Self::packed_features`], and the unquantized
+    /// source rows live in [`Self::raw_features`] (moved, not copied).
     pub dataset: Dataset,
     /// Model with fake-quantized weights.
     pub model: Gnn,
@@ -109,19 +152,19 @@ pub struct ModelArtifacts {
     /// same numbers by construction.
     pub packed_model: PackedGnn,
     /// Input feature rows packed at rest in tier-contiguous bit-plane
-    /// arenas — the store the kernels execute against. Kept coherent with
-    /// `dataset.features` (its fake-quantized f32 mirror) by
-    /// [`ModelArtifacts::apply_delta`].
+    /// arenas — the *only* resident quantized representation; the kernels
+    /// execute against it and [`ModelArtifacts::apply_delta`] keeps it
+    /// current.
     pub packed_features: TierPackedFeatures,
     /// Live topology under mutation.
     pub graph: DynamicGraph,
     /// Normalized adjacency `Ã` (rows = destinations), incrementally
     /// maintained.
     pub adjacency: DynAdjacency,
-    /// Unquantized input features, the source rows re-quantization reads
-    /// when a node changes tier (re-quantizing a quantized row would
-    /// compound rounding).
-    pub raw_features: Features,
+    /// Unquantized source rows for re-quantization when a node changes
+    /// tier — resident, regenerated on demand, or discarded depending on
+    /// the dataset (see [`RawFeatures`]).
+    pub raw_features: RawFeatures,
     /// Per-node activation bitwidth from the degree-aware policy.
     pub bits: Vec<u8>,
     /// Per-node precision tier (0 = fewest bits).
@@ -189,13 +232,14 @@ impl ModelArtifacts {
     ///
     /// # Panics
     ///
-    /// Panics if the dataset materializes without dense features (serving
-    /// needs feature values; NELL-sized specs exceed the dense budget).
+    /// Panics if the dataset materializes with neither dense features nor
+    /// a row synthesizer (serving needs feature values; NELL-sized specs
+    /// exceed the dense budget and do not stream).
     pub fn build(spec: &ModelSpec) -> Self {
         let mut dataset = spec.dataset.materialize();
         assert!(
-            dataset.has_features(),
-            "{} materialized without dense features; serving needs them",
+            dataset.has_features() || dataset.synth.is_some(),
+            "{} materialized with neither dense features nor a row synthesizer; serving needs one",
             spec.dataset.name
         );
         let bits = spec.policy.profile(&dataset.graph);
@@ -204,21 +248,37 @@ impl ModelArtifacts {
             .collect();
 
         // Input features are constant between mutations, so quantize them
-        // offline. Binary bag-of-words inputs go to 1 bit regardless of
-        // degree (mirrors `mega::workloads::build_quantized`); denser
-        // inputs follow the degree profile.
+        // offline, one row at a time through a scratch buffer — peak
+        // memory stays O(dim) over the source rows even for streaming
+        // million-node datasets. Binary bag-of-words inputs go to 1 bit
+        // regardless of degree (mirrors `mega::workloads::build_quantized`);
+        // denser inputs follow the degree profile.
         let input_follows_degree = spec.dataset.feature_density >= 0.05;
-        let raw_features = dataset.features().clone();
-        let (rows, dim) = (raw_features.rows(), raw_features.dim());
-        let mut data = raw_features.data().to_vec();
+        let dim = dataset.spec.feature_dim;
         let mut packed_features = TierPackedFeatures::new(dim);
         let mut levels = Vec::with_capacity(dim);
-        for (v, chunk) in data.chunks_mut(dim).enumerate() {
-            let input_bits = if input_follows_degree { bits[v] } else { 1 };
-            let alpha = quantize_row_with_levels(chunk, input_bits, &mut levels);
+        let mut scratch = vec![0.0f32; dim];
+        for (v, &node_bits) in bits.iter().enumerate().take(dataset.graph.num_nodes()) {
+            dataset.fill_row(v, &mut scratch);
+            let input_bits = if input_follows_degree { node_bits } else { 1 };
+            let alpha = quantize_row_with_levels(&mut scratch, input_bits, &mut levels);
             packed_features.push_row(&levels, input_bits, alpha);
         }
-        dataset.features = Some(Features::from_vec(rows, dim, data));
+        // Keep unquantized sources only where re-tiering can actually
+        // read them back: streaming datasets regenerate, 1-bit inputs
+        // never re-quantize, dense matrices move (not copy) out of the
+        // dataset. Either way `dataset.features` ends up empty.
+        let raw_features = if let Some(synth) = dataset.synth.take() {
+            RawFeatures::Synth {
+                synth,
+                overlay: HashMap::new(),
+            }
+        } else if input_follows_degree {
+            RawFeatures::Resident(dataset.features.take().expect("asserted dense above"))
+        } else {
+            RawFeatures::Discarded
+        };
+        dataset.features = None;
 
         // Weights are static too: per-layer symmetric quantization, done
         // once — the kernel form and the fake-quantized f32 matrices come
@@ -237,20 +297,14 @@ impl ModelArtifacts {
             &dataset.graph,
             &PartitionConfig::new(k).with_seed(spec.dataset.seed),
         );
-        // One slice per part: local remapped adjacency + owned/halo feature
-        // rows. The halo depth is the model's layer count so every owned
+        // One slice per part: local remapped adjacency + packed copies of
+        // exactly the halo rows (owned rows read the global packed store).
+        // The halo depth is the model's layer count so every owned
         // target's receptive field is resident.
         let hops = model.config().layers;
         let shards = (0..k as u32)
             .map(|p| {
-                ShardState::extract(
-                    p,
-                    &partitioning,
-                    &graph,
-                    &adjacency,
-                    dataset.features(),
-                    hops,
-                )
+                ShardState::extract(p, &partitioning, &graph, &adjacency, &packed_features, hops)
             })
             .collect();
         // The live topology is `graph`; drop the frozen snapshot so it can
@@ -314,7 +368,7 @@ impl ModelArtifacts {
                 .all(|row| row.iter().all(|x| x.is_finite())),
             "apply_delta received non-finite feature values"
         );
-        let dim = self.raw_features.dim();
+        let dim = self.packed_features.dim();
         if node_features.len() != delta.nodes_added() {
             return Err(format!(
                 "delta adds {} node(s) but {} feature row(s) were provided",
@@ -334,13 +388,18 @@ impl ModelArtifacts {
         // bits/tiers are finalized in the re-tier pass below (an added
         // node may also have gained edges inside the same delta).
         for (i, &v) in effect.added_nodes.iter().enumerate() {
-            debug_assert_eq!(v as usize, self.raw_features.rows());
-            self.raw_features.push_row(&node_features[i]);
-            self.dataset
-                .features
-                .as_mut()
-                .expect("serving artifacts always carry features")
-                .push_row(&node_features[i]);
+            debug_assert_eq!(v as usize, self.bits.len());
+            match &mut self.raw_features {
+                RawFeatures::Resident(f) => f.push_row(&node_features[i]),
+                // The synthesizer only covers original nodes; added rows
+                // go to the overlay so later re-tiers can re-read them.
+                RawFeatures::Synth { overlay, .. } => {
+                    overlay.insert(v, node_features[i].clone());
+                }
+                // 1-bit inputs never re-quantize: the payload row is
+                // consumed by the re-tier pass below and then dropped.
+                RawFeatures::Discarded => {}
+            }
             self.bits.push(0);
             self.tiers.push(usize::MAX);
             // Placeholder packed row keeps ids aligned; the re-tier pass
@@ -370,6 +429,7 @@ impl ModelArtifacts {
         // was rewritten — shards holding them as halo copies must re-fetch.
         let mut retiered = Vec::new();
         let mut feature_dirty: Vec<NodeId> = Vec::new();
+        let mut scratch = vec![0.0f32; dim];
         let added_start = self.num_nodes() - effect.added_nodes.len();
         for &v in effect.rows_changed.iter().chain(&effect.added_nodes) {
             let vu = v as usize;
@@ -399,16 +459,19 @@ impl ModelArtifacts {
                 1
             };
             if is_new || self.input_follows_degree {
-                let features = self
-                    .dataset
-                    .features
-                    .as_mut()
-                    .expect("serving artifacts always carry features");
-                features
-                    .row_mut(vu)
-                    .copy_from_slice(self.raw_features.row(vu));
+                if is_new {
+                    // The freshest raw copy is the delta payload itself
+                    // (for `Discarded` sources it is the *only* copy).
+                    scratch.copy_from_slice(&node_features[vu - added_start]);
+                } else {
+                    // `!is_new` here implies degree-following inputs,
+                    // which always retain a raw source (`Resident` or
+                    // `Synth`) — `Discarded` pairs with 1-bit inputs.
+                    let resolved = self.raw_row_into(vu, &mut scratch);
+                    debug_assert!(resolved, "re-tier without a raw feature source");
+                }
                 let mut levels = Vec::with_capacity(dim);
-                let alpha = quantize_row_with_levels(features.row_mut(vu), input_bits, &mut levels);
+                let alpha = quantize_row_with_levels(&mut scratch, input_bits, &mut levels);
                 self.packed_features.set_row(vu, &levels, input_bits, alpha);
                 feature_dirty.push(v);
             }
@@ -503,14 +566,14 @@ impl ModelArtifacts {
                     &self.partitioning,
                     &self.graph,
                     &self.adjacency,
-                    self.dataset.features(),
+                    &self.packed_features,
                     hops,
                     &dirty,
                 ));
             } else if dirty.iter().any(|&v| shard.contains(v)) {
                 refreshes.push(shard.refresh_rows(
                     &self.adjacency,
-                    self.dataset.features(),
+                    &self.packed_features,
                     adjacency_dirty,
                     &feature_dirty,
                 ));
@@ -561,6 +624,33 @@ impl ModelArtifacts {
         self.graph.num_nodes()
     }
 
+    /// Input feature dimensionality this model serves.
+    pub fn feature_dim(&self) -> usize {
+        self.packed_features.dim()
+    }
+
+    /// Writes node `v`'s raw (unquantized) feature row into `out`,
+    /// resolving through [`RawFeatures`]: the resident matrix, the
+    /// delta-row overlay, or on-demand synthesis. Returns `false` when no
+    /// raw source exists (`Discarded`), leaving `out` untouched.
+    pub fn raw_row_into(&self, v: usize, out: &mut [f32]) -> bool {
+        match &self.raw_features {
+            RawFeatures::Resident(f) => {
+                out.copy_from_slice(f.row(v));
+                true
+            }
+            RawFeatures::Synth { synth, overlay } => {
+                if let Some(row) = overlay.get(&(v as NodeId)) {
+                    out.copy_from_slice(row);
+                } else {
+                    synth.fill_row(v as u64, self.dataset.labels[v], out);
+                }
+                true
+            }
+            RawFeatures::Discarded => false,
+        }
+    }
+
     /// Approximate heap bytes these artifacts hold resident, split by
     /// component (the structures that dominate a model's footprint:
     /// feature matrices, the incremental adjacency, shard slices, logits
@@ -569,9 +659,11 @@ impl ModelArtifacts {
     pub fn resident_bytes(&self) -> crate::trace::ModelMemory {
         crate::trace::ModelMemory {
             model: self.key.clone(),
-            features_bytes: std::mem::size_of_val(self.dataset.features().data())
-                + self.packed_features.resident_bytes(),
-            raw_features_bytes: std::mem::size_of_val(self.raw_features.data()),
+            nodes: self.num_nodes(),
+            feature_dim: self.feature_dim(),
+            shard_resident_rows: self.shards.iter().map(ShardState::num_locals).sum(),
+            features_bytes: self.packed_features.resident_bytes(),
+            raw_features_bytes: self.raw_features.resident_bytes(),
             adjacency_bytes: self.adjacency.approx_heap_bytes(),
             shard_bytes: self.shards.iter().map(ShardState::resident_bytes).sum(),
             logits_bytes: self.logits.iter().map(LogitsCache::bytes).sum(),
@@ -800,7 +892,11 @@ mod tests {
         }
         assert_eq!(AdjacencyView::rows(&a.adjacency), a.num_nodes());
         assert_eq!(a.partitioning.assignment().len(), a.num_nodes());
-        assert_eq!(a.raw_features.rows(), a.num_nodes());
+        assert_eq!(a.packed_features.len(), a.num_nodes());
+        // Tiny cora is binary bag-of-words (1-bit inputs): no raw rows
+        // are retained, and the dense matrix is gone after packing.
+        assert!(matches!(a.raw_features, RawFeatures::Discarded));
+        assert!(a.dataset.features.is_none());
         assert_eq!(a.version, 0);
     }
 
@@ -902,7 +998,7 @@ mod tests {
         let spec = tiny_spec(0);
         let mut a = ModelArtifacts::build(&spec);
         let n0 = a.num_nodes();
-        let dim = a.raw_features.dim();
+        let dim = a.feature_dim();
         let mut delta = GraphDelta::new();
         delta.add_node().insert_edge(0, n0 as NodeId);
         let effect = a.apply_delta(&delta, &[vec![0.25; dim]]).unwrap();
@@ -910,11 +1006,51 @@ mod tests {
         assert_eq!(a.num_nodes(), n0 + 1);
         assert_eq!(a.bits.len(), n0 + 1);
         assert_eq!(a.tiers.len(), n0 + 1);
-        assert_eq!(a.raw_features.rows(), n0 + 1);
-        assert_eq!(a.dataset.features().rows(), n0 + 1);
+        assert_eq!(a.packed_features.len(), n0 + 1);
         assert_eq!(a.partitioning.assignment().len(), n0 + 1);
         assert_eq!(AdjacencyView::rows(&a.adjacency), n0 + 1);
         assert_eq!(a.node_tier(n0 as NodeId), 0, "one in-edge is tier 0");
+    }
+
+    #[test]
+    fn synth_specs_serve_without_resident_f32_rows() {
+        let spec = ModelSpec::standard(DatasetSpec::synth(500), GnnKind::Gcn);
+        let mut a = ModelArtifacts::build(&spec);
+        assert!(matches!(a.raw_features, RawFeatures::Synth { .. }));
+        assert!(a.dataset.features.is_none(), "no dense matrix resident");
+        assert_eq!(a.packed_features.len(), a.num_nodes());
+        let dim = a.feature_dim();
+        assert_eq!(dim, 64);
+
+        // Original rows regenerate on demand (what re-tiering reads).
+        let mut row = vec![0.0f32; dim];
+        assert!(a.raw_row_into(7, &mut row));
+        assert!(row.iter().any(|&x| x != 0.0), "dense synth row is nonzero");
+        let mut again = vec![0.0f32; dim];
+        assert!(a.raw_row_into(7, &mut again));
+        assert_eq!(row, again, "synthesis is deterministic");
+
+        // A delta-added node lands in the overlay and reads back verbatim.
+        let n0 = a.num_nodes();
+        let mut delta = GraphDelta::new();
+        delta.add_node().insert_edge(0, n0 as NodeId);
+        a.apply_delta(&delta, &[vec![0.5; dim]]).unwrap();
+        assert!(a.raw_row_into(n0, &mut row));
+        assert_eq!(row, vec![0.5; dim]);
+
+        // The memory breakdown reflects the lean layout: no f32 matrix
+        // anywhere, only class tables + the one overlay row.
+        let memory = a.resident_bytes();
+        assert_eq!(memory.nodes, n0 + 1);
+        assert_eq!(memory.feature_dim, dim);
+        assert!(memory.shard_resident_rows >= memory.nodes);
+        let f32_matrix = memory.nodes * dim * std::mem::size_of::<f32>();
+        assert!(
+            memory.raw_features_bytes < f32_matrix / 4,
+            "raw source bytes {} should be far below a resident matrix {}",
+            memory.raw_features_bytes,
+            f32_matrix
+        );
     }
 
     #[test]

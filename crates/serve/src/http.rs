@@ -43,7 +43,7 @@ use mega_graph::GraphDelta;
 
 use crate::metrics::LogHistogram;
 use crate::request::{InferenceResponse, ModelKey, UpdateResponse};
-use crate::trace::{process_memory, RequestTrace, TraceRecord, TraceStage};
+use crate::trace::{process_memory, ModelMemory, RequestTrace, TraceRecord, TraceStage};
 use crate::{EngineHealth, ModelRegistry, ServeEngine, ServeError, WaitError};
 
 pub mod json;
@@ -938,6 +938,37 @@ fn render_metrics(engine: &ServeEngine, stats: &HttpStats) -> String {
                 out.push_str(&format!(
                     "mega_serve_model_resident_bytes{{model=\"{}\",component=\"{component}\"}} {bytes}\n",
                     memory.model,
+                ));
+            }
+        }
+        // Shape gauges: enough for a scraper to compute bytes-per-node
+        // and the analytic f32 baseline ((2·nodes + shard_rows)·dim·4)
+        // without knowing the serving internals.
+        type ShapeGauge = (&'static str, &'static str, fn(&ModelMemory) -> usize);
+        let shape_gauges: [ShapeGauge; 3] = [
+            (
+                "mega_serve_model_nodes",
+                "Nodes currently served per model (live topology).",
+                |m| m.nodes,
+            ),
+            (
+                "mega_serve_model_feature_dim",
+                "Input feature dimensionality per model.",
+                |m| m.feature_dim,
+            ),
+            (
+                "mega_serve_model_shard_resident_rows",
+                "Feature rows resident across shard slices (owned + halo).",
+                |m| m.shard_resident_rows,
+            ),
+        ];
+        for (name, help, value) in shape_gauges {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for memory in &models {
+                out.push_str(&format!(
+                    "{name}{{model=\"{}\"}} {}\n",
+                    memory.model,
+                    value(memory),
                 ));
             }
         }

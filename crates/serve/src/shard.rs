@@ -11,8 +11,11 @@
 //!   connection `eID` lists closed over the receptive-field depth,
 //! * a [`LocalAdjacency`] slice of the global normalized adjacency with
 //!   columns remapped into local id space, and
-//! * a local [`Features`] matrix splicing the owned rows together with
-//!   read-only halo copies.
+//! * packed bit-plane copies of exactly the **halo** rows. Owned rows are
+//!   never duplicated — [`ShardPlaneRows`] routes them to the model's
+//!   global [`TierPackedFeatures`] store, so the only per-shard feature
+//!   bytes are the cross-shard copies the halo exchange actually has to
+//!   maintain.
 //!
 //! Batches execute entirely against this state through
 //! [`mega_gnn::forward_targets_local`], bit-exact with the global pass.
@@ -25,7 +28,6 @@
 use mega_format::planes::{PlaneRow, PlaneRows};
 use mega_format::TierPackedFeatures;
 use mega_gnn::{AdjacencyView, DynAdjacency, LocalAdjacency, ModelConfig, ReceptiveField};
-use mega_graph::datasets::Features;
 use mega_graph::{DynamicGraph, NodeId};
 use mega_partition::Partitioning;
 use mega_sim::Workload;
@@ -42,15 +44,22 @@ pub struct ShardState {
     pub is_halo: Vec<bool>,
     /// Shard-local adjacency slice (columns in local ids).
     pub adjacency: LocalAdjacency,
-    /// Shard-local quantized feature rows, aligned with
-    /// `adjacency.locals()` — owned rows spliced with halo copies.
-    pub features: Features,
+    /// Packed bit-plane copies of this shard's halo rows only (owned rows
+    /// read the global store through [`ShardPlaneRows`]).
+    pub halo_rows: TierPackedFeatures,
+    /// `halo_slot[local]` is the row's index into `halo_rows`, or
+    /// [`OWNED`] for owned rows (which have no local copy).
+    pub halo_slot: Vec<u32>,
     /// Cumulative halo rows re-fetched from owner shards (halo exchange
     /// traffic).
     pub halo_fetches: u64,
     /// Cumulative slice rebuilds (membership-changing mutations).
     pub rebuilds: u64,
 }
+
+/// Sentinel in [`ShardState::halo_slot`]: the local row is owned, not a
+/// halo copy.
+pub const OWNED: u32 = u32::MAX;
 
 /// What one applied delta did to one shard (reported through
 /// [`crate::UpdateResponse`] and the metrics).
@@ -74,26 +83,33 @@ impl ShardState {
         partitioning: &Partitioning,
         graph: &DynamicGraph,
         global_adjacency: &DynAdjacency,
-        global_features: &Features,
+        packed: &TierPackedFeatures,
         hops: usize,
     ) -> Self {
         let spec = partitioning.shard_spec_with(part, hops, |v| graph.in_neighbors(v));
         let locals = spec.locals();
         let adjacency = LocalAdjacency::slice(global_adjacency, &locals);
-        let dim = global_features.dim();
-        let mut rows = Vec::with_capacity(locals.len() * dim);
+        let mut halo_rows = TierPackedFeatures::new(packed.dim());
+        let mut halo_slot = Vec::with_capacity(locals.len());
+        let mut is_halo = Vec::with_capacity(locals.len());
         for &g in &locals {
-            rows.extend_from_slice(global_features.row(g as usize));
+            if spec.in_halo(g) {
+                let slot = halo_rows.push_copy(packed.plane_row(g as usize));
+                halo_slot.push(slot as u32);
+                is_halo.push(true);
+            } else {
+                halo_slot.push(OWNED);
+                is_halo.push(false);
+            }
         }
-        let features = Features::from_vec(locals.len(), dim, rows);
-        let is_halo = locals.iter().map(|&g| spec.in_halo(g)).collect();
         Self {
             part,
             owned: spec.owned,
             halo: spec.halo,
             is_halo,
             adjacency,
-            features,
+            halo_rows,
+            halo_slot,
             halo_fetches: 0,
             rebuilds: 0,
         }
@@ -115,13 +131,16 @@ impl ShardState {
     }
 
     /// Approximate heap bytes this slice holds resident: the local
-    /// adjacency (ids + rows), the spliced feature rows, and the
-    /// membership bookkeeping (`owned`/`halo`/`is_halo`). Feeds the
-    /// per-model memory gauges ([`crate::ModelMemory`]).
+    /// adjacency (ids + rows), the packed halo-row copies, and the
+    /// membership bookkeeping (`owned`/`halo`/`is_halo`/`halo_slot`).
+    /// Owned feature rows live in the model's global packed store and are
+    /// charged there, not here. Feeds the per-model memory gauges
+    /// ([`crate::ModelMemory`]).
     pub fn resident_bytes(&self) -> usize {
         self.adjacency.approx_heap_bytes()
-            + std::mem::size_of_val(self.features.data())
+            + self.halo_rows.resident_bytes()
             + (self.owned.len() + self.halo.len()) * std::mem::size_of::<NodeId>()
+            + self.halo_slot.len() * std::mem::size_of::<u32>()
             + self.is_halo.len()
     }
 
@@ -143,12 +162,14 @@ impl ShardState {
     /// shard's locals (value-only GCN renormalization, feature re-tiers):
     /// membership is a function of in-neighbor sets, so it cannot have
     /// moved. `adjacency_dirty` rows are re-sliced from the global
-    /// adjacency; `feature_dirty` rows are re-copied from the global
-    /// features. Refreshed halo rows count as halo-exchange fetches.
+    /// adjacency; `feature_dirty` *halo* rows are re-copied from the
+    /// global packed store (owned rows need nothing — the shard reads them
+    /// from that store directly). Refreshed halo rows count as
+    /// halo-exchange fetches.
     pub fn refresh_rows(
         &mut self,
         global_adjacency: &DynAdjacency,
-        global_features: &Features,
+        packed: &TierPackedFeatures,
         adjacency_dirty: &[NodeId],
         feature_dirty: &[NodeId],
     ) -> ShardRefresh {
@@ -160,10 +181,10 @@ impl ShardState {
         }
         for &v in feature_dirty {
             if let Some(local) = self.adjacency.local_of(v) {
-                self.features
-                    .row_mut(local as usize)
-                    .copy_from_slice(global_features.row(v as usize));
-                if self.in_halo(v) {
+                let slot = self.halo_slot[local as usize];
+                if slot != OWNED {
+                    self.halo_rows
+                        .set_copy(slot as usize, packed.plane_row(v as usize));
                     fetched_halo.push(v);
                 }
             }
@@ -193,7 +214,7 @@ impl ShardState {
         partitioning: &Partitioning,
         graph: &DynamicGraph,
         global_adjacency: &DynAdjacency,
-        global_features: &Features,
+        packed: &TierPackedFeatures,
         hops: usize,
         dirty: &[NodeId],
     ) -> ShardRefresh {
@@ -202,7 +223,7 @@ impl ShardState {
             partitioning,
             graph,
             global_adjacency,
-            global_features,
+            packed,
             hops,
         );
         let fetched = fresh
@@ -222,16 +243,18 @@ impl ShardState {
     }
 }
 
-/// Local-id [`PlaneRows`] adapter: resolves a shard-local row id through
-/// the slice's id map and reads the **global** packed store. Packed rows
-/// are never copied per shard — the global arena payload is shared
-/// verbatim, so shard execution is structurally bit-exact with the global
-/// pass and the halo exchange has no packed mirror to maintain.
+/// Local-id [`PlaneRows`] adapter over a shard's split feature residency:
+/// **owned** rows resolve through the slice's id map into the model's
+/// global packed store (no per-shard copy exists), while **halo** rows
+/// read the shard's own packed copies — the rows the halo exchange
+/// maintains. Copies are verbatim ([`TierPackedFeatures::push_copy`]), so
+/// shard execution stays bit-exact with the global pass.
 pub struct ShardPlaneRows<'a> {
-    /// The model's global packed feature store.
+    /// The model's global packed feature store (owned rows).
     pub store: &'a TierPackedFeatures,
-    /// The shard's local→global id map.
-    pub local: &'a LocalAdjacency,
+    /// The shard whose local ids are being resolved (halo copies + id
+    /// map).
+    pub shard: &'a ShardState,
 }
 
 impl PlaneRows for ShardPlaneRows<'_> {
@@ -240,8 +263,13 @@ impl PlaneRows for ShardPlaneRows<'_> {
     }
 
     fn plane_row(&self, row: usize) -> PlaneRow<'_> {
-        self.store
-            .plane_row(self.local.global_of(row as u32) as usize)
+        let slot = self.shard.halo_slot[row];
+        if slot == OWNED {
+            self.store
+                .plane_row(self.shard.adjacency.global_of(row as u32) as usize)
+        } else {
+            self.shard.halo_rows.plane_row(slot as usize)
+        }
     }
 }
 
@@ -339,42 +367,76 @@ mod tests {
     use mega_gnn::AggregatorKind;
     use mega_graph::Graph;
 
-    fn fixture() -> (DynamicGraph, Partitioning, DynAdjacency, Features) {
+    fn fixture() -> (DynamicGraph, Partitioning, DynAdjacency, TierPackedFeatures) {
         // 0-1-2 in part 0; 3-4-5 in part 1; cross edges 2->3, 5->0.
         let g = Graph::from_directed_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5), (2, 3), (5, 0)]);
         let dg = DynamicGraph::from_graph(&g);
         let p = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
         let adj = DynAdjacency::build(&dg, AggregatorKind::GcnSymmetric);
-        let feats = Features::from_vec(6, 2, (0..12).map(|x| x as f32).collect());
-        (dg, p, adj, feats)
+        let mut packed = TierPackedFeatures::new(2);
+        for v in 0..6i32 {
+            packed.push_row(&[2 * v, 2 * v + 1], 8, 1.0 + v as f32);
+        }
+        (dg, p, adj, packed)
+    }
+
+    fn unpacked(store: &TierPackedFeatures, row: usize) -> (Vec<i32>, f32) {
+        let mut levels = vec![0i32; store.dim()];
+        store.unpack_row(row, &mut levels);
+        (levels, store.plane_row(row).alpha)
     }
 
     #[test]
-    fn extract_splices_owned_and_halo_rows() {
-        let (dg, p, adj, feats) = fixture();
-        let shard = ShardState::extract(0, &p, &dg, &adj, &feats, 2);
+    fn extract_copies_only_halo_rows() {
+        let (dg, p, adj, packed) = fixture();
+        let shard = ShardState::extract(0, &p, &dg, &adj, &packed, 2);
         assert_eq!(shard.owned, vec![0, 1, 2]);
         // 1 hop: 5 (feeds 0); 2 hops: 4 (feeds 5).
         assert_eq!(shard.halo, vec![4, 5]);
         assert_eq!(shard.num_locals(), 5);
         assert!(shard.owns(1) && !shard.owns(4));
         assert!(shard.contains(4) && !shard.contains(3));
-        // Feature rows are verbatim copies in local order.
-        let local_5 = shard.adjacency.local_of(5).unwrap() as usize;
-        assert_eq!(shard.features.row(local_5), feats.row(5));
         assert_eq!(shard.is_halo, vec![false, false, false, true, true]);
+        // Exactly the halo rows were copied; owned rows have no slot.
+        assert_eq!(shard.halo_rows.len(), 2);
+        for local in 0..shard.num_locals() {
+            assert_eq!(shard.halo_slot[local] == OWNED, !shard.is_halo[local]);
+        }
+        // The copies are bit-exact with the global store.
+        let local_5 = shard.adjacency.local_of(5).unwrap() as usize;
+        let slot = shard.halo_slot[local_5] as usize;
+        assert_eq!(unpacked(&shard.halo_rows, slot), unpacked(&packed, 5));
+    }
+
+    #[test]
+    fn plane_rows_route_owned_to_store_and_halo_to_copies() {
+        let (dg, p, adj, packed) = fixture();
+        let shard = ShardState::extract(0, &p, &dg, &adj, &packed, 2);
+        let rows = ShardPlaneRows {
+            store: &packed,
+            shard: &shard,
+        };
+        assert_eq!(rows.dim(), 2);
+        for local in 0..shard.num_locals() {
+            let global = shard.adjacency.global_of(local as u32) as usize;
+            let got = rows.plane_row(local);
+            let want = packed.plane_row(global);
+            assert_eq!(got.words, want.words, "row {global} words differ");
+            assert_eq!(got.bits, want.bits);
+            assert_eq!(got.alpha, want.alpha);
+        }
     }
 
     #[test]
     fn rebuild_charges_only_new_or_dirty_halo_rows() {
-        let (mut dg, mut p, mut adj, mut feats) = fixture();
-        let mut shard = ShardState::extract(0, &p, &dg, &adj, &feats, 2);
+        let (mut dg, mut p, mut adj, mut packed) = fixture();
+        let mut shard = ShardState::extract(0, &p, &dg, &adj, &packed, 2);
         // Wire 3 -> 1: shard 0's halo gains 3 (and keeps 4, 5 untouched).
         let mut delta = mega_graph::GraphDelta::new();
         delta.insert_edge(3, 1);
         let effect = dg.apply(&delta).unwrap();
         let dirty = adj.apply_dirty(&dg, &effect);
-        let refresh = shard.rebuild(&p, &dg, &adj, &feats, 2, &dirty);
+        let refresh = shard.rebuild(&p, &dg, &adj, &packed, 2, &dirty);
         assert!(refresh.rebuilt);
         assert_eq!(shard.halo, vec![3, 4, 5]);
         // Fetched: 3 is new; 4 and 5 were clean copies.
@@ -383,20 +445,46 @@ mod tests {
         assert_eq!(shard.rebuilds, 1);
 
         // A feature-only invalidation of an existing halo row re-fetches
-        // exactly that row.
-        feats.row_mut(5)[0] = 99.0;
+        // exactly that row, and the copy picks up the rewrite.
+        packed.set_row(5, &[99, 11], 8, 7.5);
         let _ = &mut p; // partitioning unchanged
-        let refresh = shard.rebuild(&p, &dg, &adj, &feats, 2, &[5]);
+        let refresh = shard.rebuild(&p, &dg, &adj, &packed, 2, &[5]);
         assert_eq!(refresh.halo_fetched, 1);
         let local_5 = shard.adjacency.local_of(5).unwrap() as usize;
-        assert_eq!(shard.features.row(local_5)[0], 99.0);
+        let slot = shard.halo_slot[local_5] as usize;
+        assert_eq!(unpacked(&shard.halo_rows, slot), (vec![99, 11], 7.5));
         assert_eq!(shard.halo_fetches, 2);
     }
 
     #[test]
+    fn refresh_rows_updates_halo_copies_in_place() {
+        let (dg, p, adj, mut packed) = fixture();
+        let mut shard = ShardState::extract(0, &p, &dg, &adj, &packed, 2);
+        // A value-only rewrite of halo row 5 and owned row 1: only the
+        // halo copy is re-fetched (owned rows read the global store).
+        packed.set_row(5, &[42, 43], 8, 2.5);
+        packed.set_row(1, &[7, 8], 8, 3.0);
+        let refresh = shard.refresh_rows(&adj, &packed, &[], &[1, 5]);
+        assert!(!refresh.rebuilt);
+        assert_eq!(refresh.halo_fetched, 1);
+        assert_eq!(shard.halo_fetches, 1);
+        let local_5 = shard.adjacency.local_of(5).unwrap() as usize;
+        let slot = shard.halo_slot[local_5] as usize;
+        assert_eq!(unpacked(&shard.halo_rows, slot), (vec![42, 43], 2.5));
+        // The adapter serves both rewrites.
+        let rows = ShardPlaneRows {
+            store: &packed,
+            shard: &shard,
+        };
+        let local_1 = shard.adjacency.local_of(1).unwrap() as usize;
+        assert_eq!(rows.plane_row(local_1).alpha, 3.0);
+        assert_eq!(rows.plane_row(local_5).alpha, 2.5);
+    }
+
+    #[test]
     fn batch_estimate_scales_with_bits() {
-        let (dg, p, adj, feats) = fixture();
-        let shard = ShardState::extract(0, &p, &dg, &adj, &feats, 2);
+        let (dg, p, adj, packed) = fixture();
+        let shard = ShardState::extract(0, &p, &dg, &adj, &packed, 2);
         let config = ModelConfig {
             kind: mega_gnn::GnnKind::Gcn,
             in_dim: 16,

@@ -469,13 +469,26 @@ fn parse_proc_status(text: &str) -> Option<MemorySnapshot> {
 pub struct ModelMemory {
     /// The model.
     pub model: ModelKey,
-    /// Quantized global feature rows (`dataset.features`).
+    /// Nodes currently served (live topology). Together with
+    /// `feature_dim` and `shard_resident_rows` this lets a scraper compute
+    /// the analytic f32 baseline (`(2·nodes + shard_rows)·dim·4`, what the
+    /// pre-packed layout held resident) and a resident-bytes-per-node
+    /// figure without knowing the model internals.
+    pub nodes: usize,
+    /// Input feature dimensionality.
+    pub feature_dim: usize,
+    /// Feature rows resident across all shard slices (owned + halo copies,
+    /// summed over shards).
+    pub shard_resident_rows: usize,
+    /// Bit-plane packed global feature rows (the serving representation).
     pub features_bytes: usize,
-    /// Unquantized source rows kept for re-tiering.
+    /// Unquantized source rows kept for re-tiering — a resident matrix
+    /// only for dense datasets; synth class tables + delta overlay for
+    /// streaming ones; zero for 1-bit inputs.
     pub raw_features_bytes: usize,
     /// Global incremental adjacency (`Ã`) heap bytes.
     pub adjacency_bytes: usize,
-    /// Per-shard slices: local adjacency + spliced feature rows +
+    /// Per-shard slices: local adjacency + packed halo-row copies +
     /// membership vectors, summed over shards.
     pub shard_bytes: usize,
     /// Per-shard logits caches, summed (live bytes, not capacity).
@@ -654,6 +667,9 @@ mod tests {
     fn model_memory_totals_and_components_agree() {
         let memory = ModelMemory {
             model: ModelKey::new("Cora", GnnKind::Gcn),
+            nodes: 10,
+            feature_dim: 4,
+            shard_resident_rows: 12,
             features_bytes: 100,
             raw_features_bytes: 200,
             adjacency_bytes: 50,

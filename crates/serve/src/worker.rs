@@ -205,7 +205,7 @@ pub fn shard_logits_with_mode(
     let state = artifacts.shard(shard).expect("shard exists");
     let rows = ShardPlaneRows {
         store: &artifacts.packed_features,
-        local: &state.adjacency,
+        shard: state,
     };
     with_arena(|arena| {
         forward_targets_local_packed(

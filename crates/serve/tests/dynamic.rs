@@ -166,7 +166,7 @@ fn batched_equals_sequential_after_mutation() {
     engine.warm(&key).unwrap();
 
     // Mutate: a few inserts, removals, an isolation, and a node add.
-    let dim = reference.raw_features.dim();
+    let dim = reference.feature_dim();
     let mut delta = GraphDelta::new();
     delta
         .insert_edge(3, 9)

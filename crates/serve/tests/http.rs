@@ -576,6 +576,9 @@ fn metrics_exposition_is_prometheus_parseable_and_complete() {
         "mega_serve_stage_execute_us",
         "mega_serve_stage_deliver_us",
         "mega_serve_model_resident_bytes",
+        "mega_serve_model_nodes",
+        "mega_serve_model_feature_dim",
+        "mega_serve_model_shard_resident_rows",
         "mega_serve_lane_busy_us_total",
         "mega_serve_lane_queue_depth",
         "mega_serve_lane_alive",
@@ -595,6 +598,12 @@ fn metrics_exposition_is_prometheus_parseable_and_complete() {
         text.contains("mega_serve_model_resident_bytes{model=\"Cora/GCN\",component=\"features\"}"),
         "per-model memory gauges are labeled:\n{text}"
     );
+    // Shape gauges expose what a capacity scraper needs to compute
+    // bytes-per-node and the analytic f32 baseline.
+    assert!(
+        text.contains("mega_serve_model_nodes{model=\"Cora/GCN\"}"),
+        "per-model node-count gauge present:\n{text}"
+    );
 
     server.stop();
     engine_shutdown(engine);
@@ -605,4 +614,59 @@ fn metrics_exposition_is_prometheus_parseable_and_complete() {
 fn engine_shutdown(engine: Arc<ServeEngine>) {
     let engine = Arc::into_inner(engine).expect("ingress stopped, engine uniquely owned");
     engine.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_timeout() {
+    let (engine, server) = start_stack(
+        SchedulerConfig::default(),
+        HttpServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..HttpServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // A connection that never sends a byte must be closed by the server
+    // once `idle_timeout` elapses — not parked forever in the handler
+    // pool, where enough silent clients would exhaust the `connections`
+    // slots and starve real traffic.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let start = std::time::Instant::now();
+    let mut buf = [0u8; 16];
+    let n = idle.read(&mut buf).expect("server closes the idle socket");
+    assert_eq!(n, 0, "clean EOF, no data");
+    assert!(
+        start.elapsed() >= Duration::from_millis(100),
+        "not reaped before the timeout window"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "reaped promptly after the timeout, took {:?}",
+        start.elapsed()
+    );
+
+    // A half-sent request (headers never terminated) is reaped the same
+    // way: the per-line read hits the timeout and the handler drops the
+    // connection rather than waiting on the missing bytes.
+    let mut partial = TcpStream::connect(addr).expect("connect");
+    partial
+        .write_all(b"POST /v1/cora/gcn/predict HTTP/1.1\r\nhost: t\r\n")
+        .unwrap();
+    partial
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let n = partial
+        .read(&mut buf)
+        .expect("server closes the stalled socket");
+    assert_eq!(n, 0, "clean EOF on the stalled request");
+
+    // The freed handler slots still serve well-formed traffic.
+    let (status, _, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    server.stop();
+    engine_shutdown(engine);
 }

@@ -73,7 +73,7 @@ proptest! {
         for kind in KINDS {
             let mut artifacts = ModelArtifacts::build(&spec(kind, 2));
             let n = artifacts.num_nodes() as NodeId;
-            let dim = artifacts.raw_features.dim();
+            let dim = artifacts.feature_dim();
             let mut delta = GraphDelta::new();
             for &(s, d) in &seed_edges {
                 let (s, d) = (s % n, d % n);

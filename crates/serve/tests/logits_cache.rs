@@ -293,7 +293,7 @@ proptest! {
             )
             .with_shards(k),
         );
-        let dim = artifacts.raw_features.dim();
+        let dim = artifacts.feature_dim();
         let mut hits = 0usize;
         for chunk in ops.chunks(6) {
             // Query a spread twice: the second pass must be able to hit.

@@ -49,7 +49,8 @@ fn sharded_is_bit_exact_for_every_kind_and_k() {
             // Every shard's slice is internally consistent.
             for shard in &artifacts.shards {
                 assert_eq!(shard.num_locals(), shard.owned.len() + shard.halo.len());
-                assert_eq!(shard.features.rows(), shard.num_locals());
+                assert_eq!(shard.halo_slot.len(), shard.num_locals());
+                assert_eq!(shard.halo_rows.len(), shard.halo.len());
                 if k == 1 {
                     assert!(shard.halo.is_empty(), "K=1 has no cross-shard edges");
                 }
@@ -76,7 +77,7 @@ fn cross_shard_delta(artifacts: &ModelArtifacts) -> (GraphDelta, Vec<Vec<f32>>) 
     }
     delta.add_node();
     delta.insert_edge(n, part0).insert_edge(other, n);
-    let dim = artifacts.raw_features.dim();
+    let dim = artifacts.feature_dim();
     (delta, vec![vec![0.4; dim]])
 }
 
@@ -260,7 +261,7 @@ proptest! {
             )
             .with_shards(k),
         );
-        let dim = artifacts.raw_features.dim();
+        let dim = artifacts.feature_dim();
         for chunk in ops.chunks(6) {
             let mut delta = GraphDelta::new();
             let mut count = artifacts.num_nodes();

@@ -7,9 +7,9 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mega_format::planes::{self, PlaneRows};
 use mega_gnn::{build_adjacency, GnnKind};
 use mega_graph::{DatasetSpec, GraphDelta, NodeId};
-use mega_serve::cache::quantize_row;
 use mega_serve::{
     batch_logits, ModelArtifacts, ModelRegistry, ModelSpec, SchedulerConfig, ServeConfig,
     ServeEngine, ServeResponse,
@@ -45,21 +45,43 @@ fn assert_equivalent_to_rebuild(artifacts: &ModelArtifacts, kind: GnnKind, seed:
             artifacts.policy.tier_of_degree(frozen.in_degree(v)),
             "tier of node {v}"
         );
-        let mut expected_row = artifacts.raw_features.row(v).to_vec();
+        let dim = artifacts.feature_dim();
+        let mut expected_row = vec![0.0f32; dim];
+        assert!(
+            artifacts.raw_row_into(v, &mut expected_row),
+            "dense spec keeps raw rows resident"
+        );
         let input_bits = if artifacts.input_follows_degree {
             artifacts.bits[v]
         } else {
             1
         };
-        quantize_row(&mut expected_row, input_bits);
-        let actual = artifacts.dataset.features().row(v);
-        for (c, (&a, &e)) in actual.iter().zip(&expected_row).enumerate() {
-            assert_eq!(
-                a.to_bits(),
-                e.to_bits(),
-                "quantized feature row {v} col {c} diverged"
-            );
-        }
+        // The packed store must hold exactly what a fresh quantization of
+        // the raw row produces: same bitwidth, same per-row scale, same
+        // integer levels.
+        let packed = artifacts.packed_features.plane_row(v);
+        assert_eq!(packed.bits, input_bits, "packed bits of node {v}");
+        let max_abs = expected_row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let alpha = planes::row_alpha(max_abs, input_bits);
+        assert_eq!(
+            packed.alpha.to_bits(),
+            alpha.to_bits(),
+            "packed alpha of node {v}"
+        );
+        let expected_levels: Vec<i32> = if alpha == 0.0 {
+            vec![0; dim]
+        } else {
+            expected_row
+                .iter()
+                .map(|&x| planes::quantize_level(x, alpha, input_bits))
+                .collect()
+        };
+        let mut actual_levels = vec![0i32; dim];
+        planes::unpack_levels(packed.words, packed.bits, dim, &mut actual_levels);
+        assert_eq!(
+            actual_levels, expected_levels,
+            "quantized feature row {v} diverged"
+        );
     }
 }
 
@@ -75,7 +97,7 @@ fn long_mutation_streams_keep_artifacts_equivalent_to_rebuild() {
         artifacts.input_follows_degree,
         "dense spec must follow degree"
     );
-    let dim = artifacts.raw_features.dim();
+    let dim = artifacts.feature_dim();
     let mut rng = StdRng::seed_from_u64(0xD15C0);
 
     let mut total_retiered = 0usize;
