@@ -7,8 +7,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use mega_format::planes::{
-    dot_levels, levels_dot_rows, pack_levels, planes_for, qmax_level, ternary_dot_rows,
-    unpack_levels, words_for,
+    dot_levels, levels_dot_multi, levels_dot_rows, pack_levels, planes_for, qmax_level,
+    ternary_dot_multi, ternary_dot_rows, unpack_levels, words_for, MAX_MULTI_ROWS,
 };
 use mega_gnn::kernel::KernelMode;
 use mega_gnn::GnnKind;
@@ -88,6 +88,47 @@ fn bench_combination(c: &mut Criterion) {
                 black_box(&dots);
             })
         });
+        // Register-blocked multi-row shapes: one weight-tile pass over M
+        // packed rows, at a full block and at an unaligned remainder.
+        let span = planes_for(bits) * words_for(IN_DIM);
+        let rows: Vec<Vec<i32>> = (0..MAX_MULTI_ROWS)
+            .map(|_| (0..IN_DIM).map(|_| rng.level(bits)).collect())
+            .collect();
+        let mut tile_words = vec![0u64; MAX_MULTI_ROWS * span];
+        let mut tile_levels = vec![0i32; MAX_MULTI_ROWS * IN_DIM];
+        for (r, row) in rows.iter().enumerate() {
+            pack_levels(row, bits, &mut tile_words[r * span..][..span]);
+            tile_levels[r * IN_DIM..][..IN_DIM].copy_from_slice(row);
+        }
+        let mut tile_acc = vec![0i32; 2 * MAX_MULTI_ROWS * OUT_DIM];
+        let mut tile_dots = vec![0i64; MAX_MULTI_ROWS * OUT_DIM];
+        for m in [MAX_MULTI_ROWS, 3] {
+            group.bench_function(&format!("blocked/b{bits}/m{m}"), |b| {
+                b.iter(|| {
+                    if bits <= 2 {
+                        ternary_dot_multi(
+                            &tile_words[..m * span],
+                            m,
+                            IN_DIM,
+                            &wrow,
+                            OUT_DIM,
+                            &mut tile_acc[..2 * m * OUT_DIM],
+                            &mut tile_dots[..m * OUT_DIM],
+                        );
+                    } else {
+                        levels_dot_multi(
+                            &tile_levels[..m * IN_DIM],
+                            m,
+                            &wrow,
+                            OUT_DIM,
+                            &mut tile_acc[..m * OUT_DIM],
+                            &mut tile_dots[..m * OUT_DIM],
+                        );
+                    }
+                    black_box(&tile_dots);
+                })
+            });
+        }
     }
     group.finish();
 }
@@ -104,6 +145,7 @@ fn bench_serve_forward(c: &mut Criterion) {
         ));
         let targets: Vec<u32> = (0..artifacts.num_nodes() as u32).step_by(13).collect();
         for (label, mode) in [
+            ("blocked", KernelMode::Blocked),
             ("packed", KernelMode::Packed),
             ("scalar", KernelMode::Scalar),
         ] {

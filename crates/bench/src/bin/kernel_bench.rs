@@ -1,15 +1,18 @@
-//! PR 7 kernel gate: measures the tier-dispatched packed combination
-//! kernels against the scalar integer reference per tier bitwidth
-//! (ternary plane walk at ≤ 2 bits, unpack + sparse level kernel at
-//! 3+ bits, exactly as the serve path dispatches), compares the
-//! trend against the Combination Engine's predicted cycles
-//! ([`mega_accel::combination::cycles`]), prints a per-tier table, and
-//! optionally writes a JSON report (first CLI argument).
+//! Kernel gate: measures the tier-dispatched packed combination kernels
+//! against the scalar integer reference per tier bitwidth (ternary plane
+//! walk at ≤ 2 bits, unpack + sparse level kernel at 3+ bits, exactly as
+//! the serve path dispatches), plus the register-blocked multi-row
+//! kernels (`*_dot_multi`, `MAX_MULTI_ROWS`-lane blocks with the gather
+//! inside the timed region, exactly as the blocked dispatcher stages
+//! them), compares the trend against the Combination Engine's predicted
+//! cycles ([`mega_accel::combination::cycles`]), prints a per-tier table,
+//! and optionally writes a JSON report (first CLI argument).
 //!
-//! Exits non-zero if the packed kernel regresses below the scalar
-//! reference on the 2–5 bit tiers (threshold overridable with
-//! `KERNEL_GATE_MIN_SPEEDUP`), so CI can run it as a perf ratchet that is
-//! robust to absolute machine speed.
+//! Exits non-zero if, on the 2–5 bit tiers, the packed kernel regresses
+//! below the scalar reference (threshold `KERNEL_GATE_MIN_SPEEDUP`) or
+//! the blocked kernel regresses below the single-row packed kernel
+//! (threshold `KERNEL_GATE_MIN_BLOCKED`) — a perf ratchet robust to
+//! absolute machine speed.
 
 use std::hint::black_box;
 use std::rc::Rc;
@@ -18,7 +21,8 @@ use std::time::Instant;
 use mega_accel::combination::cycles;
 use mega_accel::config::MegaConfig;
 use mega_format::planes::{
-    dot_levels, levels_dot_rows, pack_levels, planes_for, qmax_level, ternary_dot_rows, words_for,
+    dot_levels, levels_dot_multi, levels_dot_rows, pack_levels, planes_for, qmax_level,
+    ternary_dot_multi, ternary_dot_rows, words_for, MAX_MULTI_ROWS,
 };
 use mega_graph::generate::uniform_random;
 use mega_sim::Workload;
@@ -87,12 +91,14 @@ struct TierResult {
     bits: u8,
     scalar_ns: f64,
     packed_ns: f64,
+    blocked_ns: f64,
     measured_speedup: f64,
+    blocked_vs_packed: f64,
     predicted_cycles: u64,
     predicted_speedup_vs_8bit: f64,
 }
 
-fn bench_tier(bits: u8, rng: &mut Rng) -> (f64, f64) {
+fn bench_tier(bits: u8, rng: &mut Rng) -> (f64, f64, f64) {
     // Weights: one quantized layer in the two forms `QuantizedLayer`
     // carries — column-major for the scalar reference, row-major for the
     // packed kernels.
@@ -153,12 +159,69 @@ fn bench_tier(bits: u8, rng: &mut Rng) -> (f64, f64) {
             }
         })
     };
-    (scalar_ns, packed_ns)
+
+    // The blocked side mirrors the serve dispatcher: gather M rows into a
+    // lane tile (packed-word splice at ≤ 2 bits, unpack at 3+), then one
+    // weight-tile pass per block through the multi-row kernel. The gather
+    // runs inside the timed region, exactly as the serve path pays it.
+    const M: usize = MAX_MULTI_ROWS;
+    let mut tile_words = vec![0u64; M * span];
+    let mut tile_levels = vec![0i32; M * IN_DIM];
+    let mut tile_acc = vec![0i32; 2 * M * OUT_DIM];
+    let mut tile_dots = vec![0i64; M * OUT_DIM];
+    let blocked_ns = if bits <= 2 {
+        time_ns_per_row(|| {
+            for block in packed_rows.chunks(M) {
+                let m = block.len();
+                for (r, words) in block.iter().enumerate() {
+                    tile_words[r * span..][..span].copy_from_slice(words);
+                }
+                ternary_dot_multi(
+                    &tile_words[..m * span],
+                    m,
+                    IN_DIM,
+                    &wrow,
+                    OUT_DIM,
+                    &mut tile_acc[..2 * m * OUT_DIM],
+                    &mut tile_dots[..m * OUT_DIM],
+                );
+                black_box(&tile_dots);
+            }
+        })
+    } else {
+        time_ns_per_row(|| {
+            for block in packed_rows.chunks(M) {
+                let m = block.len();
+                for (r, words) in block.iter().enumerate() {
+                    mega_format::planes::unpack_levels(
+                        words,
+                        bits,
+                        IN_DIM,
+                        &mut tile_levels[r * IN_DIM..][..IN_DIM],
+                    );
+                }
+                levels_dot_multi(
+                    &tile_levels[..m * IN_DIM],
+                    m,
+                    &wrow,
+                    OUT_DIM,
+                    &mut tile_acc[..m * OUT_DIM],
+                    &mut tile_dots[..m * OUT_DIM],
+                );
+                black_box(&tile_dots);
+            }
+        })
+    };
+    (scalar_ns, packed_ns, blocked_ns)
 }
 
 fn main() {
     let out_path = std::env::args().nth(1);
     let min_speedup: f64 = std::env::var("KERNEL_GATE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let min_blocked: f64 = std::env::var("KERNEL_GATE_MIN_BLOCKED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
@@ -185,13 +248,15 @@ fn main() {
     let results: Vec<TierResult> = TIERS
         .iter()
         .map(|&bits| {
-            let (scalar_ns, packed_ns) = bench_tier(bits, &mut rng);
+            let (scalar_ns, packed_ns, blocked_ns) = bench_tier(bits, &mut rng);
             let predicted_cycles = predicted(bits);
             TierResult {
                 bits,
                 scalar_ns,
                 packed_ns,
+                blocked_ns,
                 measured_speedup: scalar_ns / packed_ns,
+                blocked_vs_packed: packed_ns / blocked_ns,
                 predicted_cycles,
                 predicted_speedup_vs_8bit: baseline_cycles / predicted_cycles as f64,
             }
@@ -199,28 +264,38 @@ fn main() {
         .collect();
 
     println!(
-        "Bit-plane combination kernel vs scalar reference ({IN_DIM}x{OUT_DIM}, w{WEIGHT_BITS})"
+        "Bit-plane combination kernels vs scalar reference ({IN_DIM}x{OUT_DIM}, w{WEIGHT_BITS}, \
+         M={MAX_MULTI_ROWS})"
     );
     println!(
-        "{:>4} {:>14} {:>14} {:>10} {:>16} {:>12}",
-        "bits", "scalar ns/row", "packed ns/row", "speedup", "model cycles", "model vs 8b"
+        "{:>4} {:>14} {:>14} {:>15} {:>9} {:>11} {:>14} {:>12}",
+        "bits",
+        "scalar ns/row",
+        "packed ns/row",
+        "blocked ns/row",
+        "speedup",
+        "blk/packed",
+        "model cycles",
+        "model vs 8b"
     );
     for r in &results {
         println!(
-            "{:>4} {:>14.1} {:>14.1} {:>9.2}x {:>16} {:>11.2}x",
+            "{:>4} {:>14.1} {:>14.1} {:>15.1} {:>8.2}x {:>10.2}x {:>14} {:>11.2}x",
             r.bits,
             r.scalar_ns,
             r.packed_ns,
+            r.blocked_ns,
             r.measured_speedup,
+            r.blocked_vs_packed,
             r.predicted_cycles,
             r.predicted_speedup_vs_8bit
         );
     }
 
-    let gate_pass = results
-        .iter()
-        .filter(|r| (2..=5).contains(&r.bits))
-        .all(|r| r.measured_speedup >= min_speedup);
+    let gated = || results.iter().filter(|r| (2..=5).contains(&r.bits));
+    let packed_pass = gated().all(|r| r.measured_speedup >= min_speedup);
+    let blocked_pass = gated().all(|r| r.blocked_vs_packed >= min_blocked);
+    let gate_pass = packed_pass && blocked_pass;
 
     if let Some(path) = &out_path {
         let tiers: Vec<String> = results
@@ -228,22 +303,26 @@ fn main() {
             .map(|r| {
                 format!(
                     "    {{\"bits\": {}, \"scalar_ns_per_row\": {:.1}, \"packed_ns_per_row\": {:.1}, \
-                     \"measured_speedup\": {:.2}, \"predicted_cycles\": {}, \
+                     \"blocked_ns_per_row\": {:.1}, \"measured_speedup\": {:.2}, \
+                     \"blocked_vs_packed\": {:.2}, \"predicted_cycles\": {}, \
                      \"predicted_speedup_vs_8bit\": {:.2}}}",
                     r.bits,
                     r.scalar_ns,
                     r.packed_ns,
+                    r.blocked_ns,
                     r.measured_speedup,
+                    r.blocked_vs_packed,
                     r.predicted_cycles,
                     r.predicted_speedup_vs_8bit
                 )
             })
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"pr7_bit_plane_kernels\",\n  \"shape\": {{\"in_dim\": {IN_DIM}, \
-             \"out_dim\": {OUT_DIM}, \"weight_bits\": {WEIGHT_BITS}, \"density\": {DENSITY}}},\n  \
+            "{{\n  \"bench\": \"pr9_multi_row_kernels\",\n  \"shape\": {{\"in_dim\": {IN_DIM}, \
+             \"out_dim\": {OUT_DIM}, \"weight_bits\": {WEIGHT_BITS}, \"density\": {DENSITY}, \
+             \"multi_rows\": {MAX_MULTI_ROWS}}},\n  \
              \"tiers\": [\n{}\n  ],\n  \"gate\": {{\"tiers\": \"2-5\", \"min_speedup\": {min_speedup}, \
-             \"pass\": {gate_pass}}}\n}}\n",
+             \"min_blocked\": {min_blocked}, \"pass\": {gate_pass}}}\n}}\n",
             tiers.join(",\n")
         );
         std::fs::write(path, json).expect("write report");
@@ -251,8 +330,15 @@ fn main() {
     }
 
     if !gate_pass {
-        eprintln!("FAIL: packed kernel below {min_speedup}x on a 2-5 bit tier");
+        if !packed_pass {
+            eprintln!("FAIL: packed kernel below {min_speedup}x scalar on a 2-5 bit tier");
+        }
+        if !blocked_pass {
+            eprintln!("FAIL: blocked kernel below {min_blocked}x single-row on a 2-5 bit tier");
+        }
         std::process::exit(1);
     }
-    println!("gate: packed >= {min_speedup}x scalar on 2-5 bit tiers");
+    println!(
+        "gate: packed >= {min_speedup}x scalar, blocked >= {min_blocked}x packed on 2-5 bit tiers"
+    );
 }

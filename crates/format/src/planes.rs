@@ -290,6 +290,111 @@ fn levels_dot_rows_body(
     }
 }
 
+/// Largest lane count the multi-row kernels accept per call. The blocked
+/// dispatcher in `mega_gnn::kernel` chunks same-tier rows at this width;
+/// remainders fall back to the single-row kernels.
+pub const MAX_MULTI_ROWS: usize = 8;
+
+/// Register-blocked multi-row variant of [`levels_dot_rows`]: `m` level
+/// rows (concatenated row-major in `xs`, `in_dim = xs.len() / m` each)
+/// against one streamed weight tile. Each contiguous `i16` weight row is
+/// read **once** per input position and accumulated into `m` independent
+/// lanes — the GEMM-shaped amortization MEGA's Condense-Edge engine gets
+/// from reusing one weight fetch across many activations.
+///
+/// `acc` and `out` hold `m · out_dim` values, lane-major: lane `r`'s dots
+/// land in `out[r·out_dim..][..out_dim]`.
+///
+/// **Bit-exactness:** every lane folds its `i32` block accumulator into
+/// `i64` at the same `ACC_BLOCK` input boundaries as the single-row
+/// kernel, and block sums are exact integers inside `i32`, so lane `r`
+/// equals `levels_dot_rows` of row `r` bit-for-bit — which equals the
+/// scalar [`dot_levels`] reference. Blocked == row-at-a-time == scalar.
+///
+/// # Panics
+///
+/// Panics if `m` is outside `1..=MAX_MULTI_ROWS` or any buffer is
+/// mis-sized.
+pub fn levels_dot_multi(
+    xs: &[i32],
+    m: usize,
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    assert!(
+        (1..=MAX_MULTI_ROWS).contains(&m),
+        "lane count {m} outside 1..={MAX_MULTI_ROWS}"
+    );
+    assert_eq!(xs.len() % m, 0, "level rows mis-sized");
+    let in_dim = xs.len() / m;
+    assert_eq!(weight_rows.len(), in_dim * out_dim, "weight rows mis-sized");
+    assert_eq!(acc.len(), m * out_dim, "accumulator tile mis-sized");
+    assert_eq!(out.len(), m * out_dim, "dot tile mis-sized");
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    if accel::try_levels_dot_multi(xs, m, weight_rows, out_dim, acc, out) {
+        return;
+    }
+    levels_dot_multi_body(xs, m, weight_rows, out_dim, acc, out);
+}
+
+/// Monomorphizes the lane count so the per-position lane loop unrolls.
+#[inline(always)]
+fn levels_dot_multi_body(
+    xs: &[i32],
+    m: usize,
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    match m {
+        1 => levels_dot_rows_body(xs, weight_rows, out_dim, acc, out),
+        2 => levels_multi_lanes::<2>(xs, weight_rows, out_dim, acc, out),
+        3 => levels_multi_lanes::<3>(xs, weight_rows, out_dim, acc, out),
+        4 => levels_multi_lanes::<4>(xs, weight_rows, out_dim, acc, out),
+        5 => levels_multi_lanes::<5>(xs, weight_rows, out_dim, acc, out),
+        6 => levels_multi_lanes::<6>(xs, weight_rows, out_dim, acc, out),
+        7 => levels_multi_lanes::<7>(xs, weight_rows, out_dim, acc, out),
+        _ => levels_multi_lanes::<8>(xs, weight_rows, out_dim, acc, out),
+    }
+}
+
+#[inline(always)]
+fn levels_multi_lanes<const M: usize>(
+    xs: &[i32],
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    let in_dim = xs.len() / M;
+    out.iter_mut().for_each(|o| *o = 0);
+    let mut base = 0;
+    while base < in_dim {
+        let block_len = (in_dim - base).min(ACC_BLOCK);
+        acc.iter_mut().for_each(|a| *a = 0);
+        for j in base..base + block_len {
+            let row = &weight_rows[j * out_dim..][..out_dim];
+            for r in 0..M {
+                let xj = xs[r * in_dim + j];
+                if xj == 0 {
+                    continue;
+                }
+                let lane = &mut acc[r * out_dim..][..out_dim];
+                for (a, &wv) in lane.iter_mut().zip(row) {
+                    *a += xj * wv as i32;
+                }
+            }
+        }
+        for (o, &a) in out.iter_mut().zip(acc.iter()) {
+            *o += a as i64;
+        }
+        base += ACC_BLOCK;
+    }
+}
+
 /// Plane-walk combination kernel for the ≤ 2 bit tiers, where levels are
 /// `{−1, 0, +1}`: iterates the set bits of the packed magnitude plane
 /// directly — no unpack, no multiplies — and adds or subtracts the
@@ -366,6 +471,198 @@ fn ternary_dot_rows_body(
         }
         for (o, &a) in out.iter_mut().zip(acc.iter()) {
             *o += a as i64;
+        }
+    }
+}
+
+/// Register-blocked multi-row variant of [`ternary_dot_rows`]: `m` packed
+/// ternary rows (each a sign plane plus one magnitude plane,
+/// `2 · words_for(dim)` words, concatenated in `words`) against one
+/// streamed weight tile. Lanes are processed **pairwise**: per word each
+/// pair's union of set bits is partitioned into shared-sign, opposed-sign,
+/// and exclusive masks, so every weight row a pair touches is loaded and
+/// accumulated exactly **once** (into a shared or exclusive accumulator)
+/// instead of once per lane — at density `d` that removes a
+/// `d² / (2d − d²)` fraction of the add-loops the single-row walk pays.
+///
+/// `out` is a lane-major `m · out_dim` tile as in [`levels_dot_multi`];
+/// `acc` must hold `2 · m · out_dim` scratch values (one exclusive lane
+/// per row plus the pairs' shared/opposed accumulators).
+///
+/// **Bit-exactness:** per lane and per `ACC_BLOCK` block the pairwise
+/// accumulators partition exactly the multiset of `±weight_row` terms the
+/// single-row walk adds; their elementwise recombination is exact in
+/// `i32` (block magnitudes stay below `2^22`), and the `i32 → i64` fold
+/// happens at the same `WORD_BLOCK` boundaries — so lane `r` equals
+/// `ternary_dot_rows` of row `r` bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `m` is outside `1..=MAX_MULTI_ROWS` or any buffer is
+/// mis-sized.
+pub fn ternary_dot_multi(
+    words: &[u64],
+    m: usize,
+    dim: usize,
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    assert!(
+        (1..=MAX_MULTI_ROWS).contains(&m),
+        "lane count {m} outside 1..={MAX_MULTI_ROWS}"
+    );
+    assert_eq!(
+        words.len(),
+        m * 2 * words_for(dim),
+        "each ternary row is a sign plane plus one magnitude plane"
+    );
+    assert_eq!(weight_rows.len(), dim * out_dim, "weight rows mis-sized");
+    assert_eq!(
+        acc.len(),
+        2 * m * out_dim,
+        "accumulator tile mis-sized (two scratch lanes per row)"
+    );
+    assert_eq!(out.len(), m * out_dim, "dot tile mis-sized");
+    #[cfg(all(feature = "avx2", target_arch = "x86_64"))]
+    if accel::try_ternary_dot_multi(words, m, dim, weight_rows, out_dim, acc, out) {
+        return;
+    }
+    ternary_dot_multi_body(words, m, dim, weight_rows, out_dim, acc, out);
+}
+
+/// Monomorphizes the lane count so the per-bit lane loop unrolls.
+#[inline(always)]
+fn ternary_dot_multi_body(
+    words: &[u64],
+    m: usize,
+    dim: usize,
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    let _ = dim;
+    match m {
+        1 => {
+            let (lane, _) = acc.split_at_mut(out_dim);
+            ternary_dot_rows_body(words, weight_rows, out_dim, lane, out);
+        }
+        2 => ternary_multi_lanes::<2>(words, weight_rows, out_dim, acc, out),
+        3 => ternary_multi_lanes::<3>(words, weight_rows, out_dim, acc, out),
+        4 => ternary_multi_lanes::<4>(words, weight_rows, out_dim, acc, out),
+        5 => ternary_multi_lanes::<5>(words, weight_rows, out_dim, acc, out),
+        6 => ternary_multi_lanes::<6>(words, weight_rows, out_dim, acc, out),
+        7 => ternary_multi_lanes::<7>(words, weight_rows, out_dim, acc, out),
+        _ => ternary_multi_lanes::<8>(words, weight_rows, out_dim, acc, out),
+    }
+}
+
+/// Adds (or subtracts) the weight row of every set bit of `mask` into
+/// `dst`. Separate add/sub loops per mask keep the branch at the call
+/// site, where it is compile-time constant per walk — a per-bit
+/// add-vs-sub branch is data-dependent and mispredicts ~half the time.
+#[inline(always)]
+fn walk_mask(
+    k: usize,
+    mut mask: u64,
+    weight_rows: &[i16],
+    out_dim: usize,
+    dst: &mut [i32],
+    subtract: bool,
+) {
+    while mask != 0 {
+        let j = k * 64 + mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        let wrow = &weight_rows[j * out_dim..][..out_dim];
+        if subtract {
+            for (a, &wv) in dst.iter_mut().zip(wrow) {
+                *a -= wv as i32;
+            }
+        } else {
+            for (a, &wv) in dst.iter_mut().zip(wrow) {
+                *a += wv as i32;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn ternary_multi_lanes<const M: usize>(
+    words: &[u64],
+    weight_rows: &[i16],
+    out_dim: usize,
+    acc: &mut [i32],
+    out: &mut [i64],
+) {
+    let wpp = words.len() / (2 * M);
+    out.iter_mut().for_each(|o| *o = 0);
+    const WORD_BLOCK: usize = ACC_BLOCK / 64;
+    // Scratch layout: `excl[r·out_dim..]` holds lane r's exclusive bits;
+    // for pair p (lanes 2p, 2p+1) `shared[2p·out_dim..]` holds the
+    // agreeing-sign sum C and `shared[(2p+1)·out_dim..]` the opposed-sign
+    // sum D, so lane 2p's block total is `excl + C + D` and lane 2p+1's
+    // is `excl + C − D`.
+    let (excl, shared) = acc.split_at_mut(M * out_dim);
+    for block_start in (0..wpp.max(1)).step_by(WORD_BLOCK) {
+        excl.iter_mut().for_each(|a| *a = 0);
+        shared.iter_mut().for_each(|a| *a = 0);
+        let block_end = (block_start + WORD_BLOCK).min(wpp);
+        for k in block_start..block_end {
+            // Pairwise bit partition: every set bit of the pair's union
+            // lands in exactly one of eight masks (shared sign, opposed
+            // sign, and exclusive — each split by add/sub), so every
+            // weight row is loaded and accumulated once per pair. pack_levels zeroes
+            // the tail bits of the last word, so every set bit indexes a
+            // real input position.
+            for p in 0..M / 2 {
+                let (a, b) = (2 * p, 2 * p + 1);
+                let ra = &words[a * 2 * wpp..][..2 * wpp];
+                let rb = &words[b * 2 * wpp..][..2 * wpp];
+                let (pos_a, neg_a) = (ra[wpp + k] & !ra[k], ra[wpp + k] & ra[k]);
+                let (pos_b, neg_b) = (rb[wpp + k] & !rb[k], rb[wpp + k] & rb[k]);
+                let (mag_a, mag_b) = (pos_a | neg_a, pos_b | neg_b);
+                let c_acc = &mut shared[a * out_dim..][..out_dim];
+                walk_mask(k, pos_a & pos_b, weight_rows, out_dim, c_acc, false);
+                walk_mask(k, neg_a & neg_b, weight_rows, out_dim, c_acc, true);
+                let d_acc = &mut shared[b * out_dim..][..out_dim];
+                walk_mask(k, pos_a & neg_b, weight_rows, out_dim, d_acc, false);
+                walk_mask(k, neg_a & pos_b, weight_rows, out_dim, d_acc, true);
+                let a_acc = &mut excl[a * out_dim..][..out_dim];
+                walk_mask(k, pos_a & !mag_b, weight_rows, out_dim, a_acc, false);
+                walk_mask(k, neg_a & !mag_b, weight_rows, out_dim, a_acc, true);
+                let b_acc = &mut excl[b * out_dim..][..out_dim];
+                walk_mask(k, pos_b & !mag_a, weight_rows, out_dim, b_acc, false);
+                walk_mask(k, neg_b & !mag_a, weight_rows, out_dim, b_acc, true);
+            }
+            if M % 2 == 1 {
+                let r = M - 1;
+                let row = &words[r * 2 * wpp..][..2 * wpp];
+                let (sk, mk) = (row[k], row[wpp + k]);
+                let lane = &mut excl[r * out_dim..][..out_dim];
+                walk_mask(k, mk & !sk, weight_rows, out_dim, lane, false);
+                walk_mask(k, mk & sk, weight_rows, out_dim, lane, true);
+            }
+        }
+        // Recombine and fold: exact in `i32` (each term is a ±sum over at
+        // most ACC_BLOCK levels, so the three-term total stays below
+        // 2^22), then widen at the same block boundary the single-row
+        // kernel uses.
+        for p in 0..M / 2 {
+            let (a, b) = (2 * p, 2 * p + 1);
+            for c in 0..out_dim {
+                let shared_c = shared[a * out_dim + c];
+                let opposed_d = shared[b * out_dim + c];
+                out[a * out_dim + c] += (excl[a * out_dim + c] + shared_c + opposed_d) as i64;
+                out[b * out_dim + c] += (excl[b * out_dim + c] + shared_c - opposed_d) as i64;
+            }
+        }
+        if M % 2 == 1 {
+            let r = M - 1;
+            for c in 0..out_dim {
+                out[r * out_dim + c] += excl[r * out_dim + c] as i64;
+            }
         }
     }
 }
@@ -531,6 +828,44 @@ mod accel {
         true
     }
 
+    /// Accelerated [`super::levels_dot_multi`]; `false` means fall back.
+    #[inline]
+    pub fn try_levels_dot_multi(
+        xs: &[i32],
+        m: usize,
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: gated on runtime detection of the enabled features.
+        unsafe { levels_dot_multi(xs, m, weight_rows, out_dim, acc, out) };
+        true
+    }
+
+    /// Accelerated [`super::ternary_dot_multi`]; `false` means fall back.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_ternary_dot_multi(
+        words: &[u64],
+        m: usize,
+        dim: usize,
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) -> bool {
+        if !available() {
+            return false;
+        }
+        // SAFETY: gated on runtime detection of the enabled features.
+        unsafe { ternary_dot_multi(words, m, dim, weight_rows, out_dim, acc, out) };
+        true
+    }
+
     /// # Safety
     ///
     /// The caller must have verified [`available`] on the running CPU.
@@ -565,6 +900,38 @@ mod accel {
         out: &mut [i64],
     ) {
         super::ternary_dot_rows_body(words, weight_rows, out_dim, acc, out);
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] on the running CPU.
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn levels_dot_multi(
+        xs: &[i32],
+        m: usize,
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) {
+        super::levels_dot_multi_body(xs, m, weight_rows, out_dim, acc, out);
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`] on the running CPU.
+    #[target_feature(enable = "avx2,popcnt")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn ternary_dot_multi(
+        words: &[u64],
+        m: usize,
+        dim: usize,
+        weight_rows: &[i16],
+        out_dim: usize,
+        acc: &mut [i32],
+        out: &mut [i64],
+    ) {
+        super::ternary_dot_multi_body(words, m, dim, weight_rows, out_dim, acc, out);
     }
 }
 
@@ -944,6 +1311,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn levels_dot_multi_matches_single_row_and_scalar_exactly() {
+        let mut rng = StdRng::seed_from_u64(37);
+        // Dims straddle the ACC_BLOCK fold boundary (8192) so the blocked
+        // i32 -> i64 schedule is exercised with partial last blocks.
+        for (bits, in_dim, out_dim) in [
+            (3u8, 64usize, 8usize),
+            (4, 190, 16),
+            (8, 300, 5),
+            (5, 8192, 3),
+            (4, 9000, 4),
+        ] {
+            for m in [1usize, 2, 3, 4, 5, 7, 8] {
+                let rows: Vec<Vec<i32>> = (0..m)
+                    .map(|_| random_levels(&mut rng, in_dim, bits, 0.6))
+                    .collect();
+                let xs: Vec<i32> = rows.concat();
+                let w = random_levels(&mut rng, in_dim * out_dim, 4, 0.8);
+                let w16: Vec<i16> = w.iter().map(|&l| l as i16).collect();
+                let mut acc = vec![0i32; m * out_dim];
+                let mut out = vec![0i64; m * out_dim];
+                levels_dot_multi(&xs, m, &w16, out_dim, &mut acc, &mut out);
+                let mut single_acc = vec![0i32; out_dim];
+                let mut single_out = vec![0i64; out_dim];
+                for (r, row) in rows.iter().enumerate() {
+                    levels_dot_rows(row, &w16, out_dim, &mut single_acc, &mut single_out);
+                    assert_eq!(
+                        &out[r * out_dim..][..out_dim],
+                        &single_out[..],
+                        "bits={bits} in_dim={in_dim} m={m} lane {r} vs single-row"
+                    );
+                    for c in 0..out_dim {
+                        let col: Vec<i16> = (0..in_dim).map(|j| w16[j * out_dim + c]).collect();
+                        assert_eq!(
+                            out[r * out_dim + c],
+                            dot_levels(row, &col),
+                            "bits={bits} m={m} lane {r} col {c} vs scalar"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_dot_multi_matches_single_row_and_scalar_exactly() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for (bits, dim, out_dim) in [
+            (1u8, 48usize, 7usize),
+            (2, 64, 8),
+            (2, 190, 16),
+            (1, 8192, 3),
+            (2, 9000, 4),
+        ] {
+            for m in [1usize, 2, 3, 4, 5, 7, 8] {
+                let rows: Vec<Vec<i32>> = (0..m)
+                    .map(|_| random_levels(&mut rng, dim, bits, 0.5))
+                    .collect();
+                let span = planes_for(bits) * words_for(dim);
+                let mut words = vec![0u64; m * span];
+                for (r, row) in rows.iter().enumerate() {
+                    pack_levels(row, bits, &mut words[r * span..][..span]);
+                }
+                let w = random_levels(&mut rng, dim * out_dim, 4, 0.8);
+                let w16: Vec<i16> = w.iter().map(|&l| l as i16).collect();
+                let mut acc = vec![0i32; 2 * m * out_dim];
+                let mut out = vec![0i64; m * out_dim];
+                ternary_dot_multi(&words, m, dim, &w16, out_dim, &mut acc, &mut out);
+                let mut single_acc = vec![0i32; out_dim];
+                let mut single_out = vec![0i64; out_dim];
+                for (r, row) in rows.iter().enumerate() {
+                    ternary_dot_rows(
+                        &words[r * span..][..span],
+                        dim,
+                        &w16,
+                        out_dim,
+                        &mut single_acc,
+                        &mut single_out,
+                    );
+                    assert_eq!(
+                        &out[r * out_dim..][..out_dim],
+                        &single_out[..],
+                        "bits={bits} dim={dim} m={m} lane {r} vs single-row"
+                    );
+                    for c in 0..out_dim {
+                        let col: Vec<i16> = (0..dim).map(|j| w16[j * out_dim + c]).collect();
+                        assert_eq!(
+                            out[r * out_dim + c],
+                            dot_levels(row, &col),
+                            "bits={bits} m={m} lane {r} col {c} vs scalar"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn levels_dot_multi_rejects_oversized_lane_counts() {
+        let xs = vec![0i32; 9 * 4];
+        let w = vec![0i16; 4 * 2];
+        let mut acc = vec![0i32; 9 * 2];
+        let mut out = vec![0i64; 9 * 2];
+        levels_dot_multi(&xs, 9, &w, 2, &mut acc, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn ternary_dot_multi_rejects_zero_lanes() {
+        let mut acc = vec![0i32; 2];
+        let mut out = vec![0i64; 2];
+        ternary_dot_multi(&[], 0, 64, &[0i16; 128], 2, &mut acc, &mut out);
     }
 
     #[test]

@@ -14,8 +14,6 @@
 //! other nodes share its batch — the property the serving engine's
 //! batched-vs-sequential equivalence test asserts.
 
-use std::collections::HashMap;
-
 use mega_graph::datasets::Features;
 use mega_graph::NodeId;
 use mega_tensor::Matrix;
@@ -134,9 +132,9 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
     let field = ReceptiveField::expand(adjacency, targets, layers);
 
     // h holds the activations of the previous level, indexed by position in
-    // field.needed[l]; `index` maps node id -> position.
+    // field.needed[l]. The level lists are sorted and deduped, so node →
+    // position is a binary search on the list itself — no hash maps.
     let mut h: Vec<Vec<f32>> = Vec::new();
-    let mut index: HashMap<NodeId, usize> = HashMap::new();
     let mut out_dim = 0;
 
     for l in 0..layers {
@@ -144,9 +142,12 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
         let b = &model.biases()[l];
         out_dim = w.cols();
         // Combination: (H_l · W_l + b_l) for every row this level needs.
+        // `h` is already in `needed[l]` order, so position == enumerate
+        // index.
         let combined: Vec<Vec<f32>> = field.needed[l]
             .iter()
-            .map(|&u| {
+            .enumerate()
+            .map(|(i, &u)| {
                 let mut row = vec![0.0f32; out_dim];
                 if l == 0 {
                     // Sparse input row: only nonzero features contribute.
@@ -159,7 +160,7 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
                         }
                     }
                 } else {
-                    let hrow = &h[index[&u]];
+                    let hrow = &h[i];
                     for (j, &x) in hrow.iter().enumerate() {
                         if x != 0.0 {
                             let wrow = w.row(j);
@@ -176,13 +177,9 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
                 row
             })
             .collect();
-        let combined_index: HashMap<NodeId, usize> = field.needed[l]
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| (u, i))
-            .collect();
 
         // Aggregation: Ã·combined, row by row in CSR order.
+        let level_nodes = &field.needed[l];
         let next: Vec<Vec<f32>> = field.needed[l + 1]
             .iter()
             .map(|&v| {
@@ -190,7 +187,10 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
                 let cols = adjacency.row_indices(v as usize);
                 let vals = adjacency.row_values(v as usize);
                 for (&u, &a) in cols.iter().zip(vals) {
-                    let src = &combined[combined_index[&u]];
+                    let ui = level_nodes
+                        .binary_search(&u)
+                        .expect("aggregation source is in the receptive field");
+                    let src = &combined[ui];
                     for c in 0..out_dim {
                         row[c] += a * src[c];
                     }
@@ -204,18 +204,16 @@ pub fn forward_targets_with_field<A: AdjacencyView + ?Sized>(
                 row
             })
             .collect();
-
-        index = field.needed[l + 1]
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| (u, i))
-            .collect();
         h = next;
     }
 
+    let final_nodes = &field.needed[layers];
     let mut data = Vec::with_capacity(targets.len() * out_dim);
     for &t in targets {
-        data.extend_from_slice(&h[index[&t]]);
+        let pos = final_nodes
+            .binary_search(&t)
+            .expect("targets are the final level of their field");
+        data.extend_from_slice(&h[pos]);
     }
     (Matrix::from_vec(targets.len(), out_dim, data), field)
 }

@@ -15,9 +15,13 @@
 //!   ([`mega_format::planes::ternary_dot_rows`]) straight off the packed
 //!   words, 3+ bit rows the sparse level kernel
 //!   ([`mega_format::planes::levels_dot_rows`]) over contiguous weight
-//!   rows; in [`KernelMode::Scalar`] a scalar integer loop computes the
-//!   *same* exact `i64` sums, so the two modes are bit-exact by
-//!   construction.
+//!   rows; in [`KernelMode::Blocked`] same-tier rows are additionally
+//!   gathered into register-blocked M-lane tiles so each weight row
+//!   streams **once per block** instead of once per row
+//!   ([`mega_format::planes::ternary_dot_multi`] /
+//!   [`mega_format::planes::levels_dot_multi`]); in [`KernelMode::Scalar`]
+//!   a scalar integer loop computes the *same* exact `i64` sums, so all
+//!   modes are bit-exact by construction.
 //! * **Aggregation stays `f32` in CSR row order** — the identical
 //!   summation order as the classic path, which is what keeps the serving
 //!   engine's batch-invariance and sharded-vs-global bit-exactness proofs
@@ -32,8 +36,8 @@
 //! dequantized features at all.
 
 use mega_format::planes::{
-    self, levels_dot_rows, pack_levels, quantize_level, row_alpha, ternary_dot_rows, unpack_levels,
-    PlaneRows, MAX_PLANE_BITS,
+    self, levels_dot_multi, levels_dot_rows, pack_levels, quantize_level, row_alpha,
+    ternary_dot_multi, ternary_dot_rows, unpack_levels, PlaneRows, MAX_MULTI_ROWS, MAX_PLANE_BITS,
 };
 use mega_graph::NodeId;
 use mega_tensor::Matrix;
@@ -50,9 +54,20 @@ use crate::model::Gnn;
 pub enum KernelMode {
     /// Scalar integer reference (`i64` multiply-accumulate over levels).
     Scalar,
-    /// Tier-dispatched kernels over packed rows: plane-walk for ≤ 2 bit
-    /// tiers, sparse level-domain MACs for 3+ bit tiers.
+    /// Tier-dispatched single-row kernels over packed rows: plane-walk
+    /// for ≤ 2 bit tiers, sparse level-domain MACs for 3+ bit tiers. One
+    /// full weight-tile stream per feature row.
     Packed,
+    /// Register-blocked multi-row kernels: each level's same-tier rows are
+    /// gathered into M-lane tiles (`M ≤ MAX_MULTI_ROWS`) and every weight
+    /// row streams **once per block** instead of once per row
+    /// ([`mega_format::planes::ternary_dot_multi`] /
+    /// [`mega_format::planes::levels_dot_multi`]). Remainder chunks take
+    /// the same entry points — an `m == 1` call delegates to the
+    /// single-row kernel. Bit-exact with both other modes: every lane
+    /// folds `i32 → i64` at the same `ACC_BLOCK` boundaries as the
+    /// single-row kernels.
+    Blocked,
 }
 
 /// One layer's weights, quantized once at build time and held in both
@@ -179,6 +194,46 @@ pub struct KernelArena {
     words: Vec<u64>,
     acc: Vec<i32>,
     dots: Vec<i64>,
+    /// Node id → position in the current level's `needed` list, one `u32`
+    /// per graph row (~4 MB at 10⁶ nodes, reused across batches) —
+    /// replaces the per-edge binary search during aggregation. Reads are
+    /// valid by the [`ReceptiveField`] invariant that every aggregation
+    /// source is present in the previous level.
+    pos: Vec<u32>,
+    // Blocked-dispatch staging: per-row quantization metadata, the tier
+    // group lists, and the gathered lane tiles the multi-row kernels
+    // consume.
+    row_scale: Vec<f32>,
+    row_qalpha: Vec<f32>,
+    row_qbits: Vec<u8>,
+    ternary_rows: Vec<u32>,
+    levels_rows: Vec<u32>,
+    tile_levels: Vec<i32>,
+    tile_words: Vec<u64>,
+    tile_acc: Vec<i32>,
+    tile_dots: Vec<i64>,
+}
+
+/// Dequantizes one M-block's lane-major dot tile into the combined rows:
+/// `combined[i·w_out + c] = dots[r·w_out + c] · scale_i + bias[c]` — the
+/// identical per-element transform the single-row paths apply.
+fn scatter_tile(
+    chunk: &[u32],
+    tile_dots: &[i64],
+    row_scale: &[f32],
+    bias: &[f32],
+    w_out: usize,
+    combined: &mut [f32],
+) {
+    for (r, &iu) in chunk.iter().enumerate() {
+        let i = iu as usize;
+        let scale = row_scale[i];
+        let dots = &tile_dots[r * w_out..][..w_out];
+        let out_row = &mut combined[i * w_out..][..w_out];
+        for (c, out) in out_row.iter_mut().enumerate() {
+            *out = dots[c] as f32 * scale + bias[c];
+        }
+    }
 }
 
 /// [`forward_targets_packed_with_field`] without the field.
@@ -263,95 +318,230 @@ where
         arena.levels.resize(w_in, 0);
         let wpp = planes::words_for(w_in);
         arena.words.resize(planes::planes_for(8) * wpp, 0);
-        for (i, &u) in level_nodes.iter().enumerate() {
-            let out_row = &mut arena.combined[i * w_out..][..w_out];
-            let scale;
-            if l == 0 {
-                let row = rows.plane_row(u as usize);
-                scale = row.alpha * layer.alpha;
-                match mode {
-                    // Tier dispatch: ≤ 2 bit rows run the plane walk
-                    // straight off the at-rest packed words; wider tiers
-                    // unpack the block and run the sparse level kernel.
-                    KernelMode::Packed if row.bits <= 2 => {
-                        ternary_dot_rows(
-                            row.words,
-                            w_in,
-                            layer.weight_rows(),
-                            w_out,
-                            &mut arena.acc,
-                            &mut arena.dots,
-                        );
+        if mode == KernelMode::Blocked {
+            // Sweep 1 — classify every row into its tier group and stage
+            // the quantization metadata the gather needs. Hidden rows
+            // whose activations are all zero short-circuit to the bias
+            // row here and join no group (same shortcut as the single-row
+            // paths).
+            arena.ternary_rows.clear();
+            arena.levels_rows.clear();
+            arena.row_scale.clear();
+            arena.row_scale.resize(level_nodes.len(), 0.0);
+            arena.row_qalpha.clear();
+            arena.row_qalpha.resize(level_nodes.len(), 0.0);
+            arena.row_qbits.clear();
+            arena.row_qbits.resize(level_nodes.len(), 0);
+            for (i, &u) in level_nodes.iter().enumerate() {
+                if l == 0 {
+                    let row = rows.plane_row(u as usize);
+                    arena.row_scale[i] = row.alpha * layer.alpha;
+                    if row.bits <= 2 {
+                        arena.ternary_rows.push(i as u32);
+                    } else {
+                        arena.levels_rows.push(i as u32);
                     }
-                    KernelMode::Packed => {
-                        unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
-                        levels_dot_rows(
-                            &arena.levels,
-                            layer.weight_rows(),
-                            w_out,
-                            &mut arena.acc,
-                            &mut arena.dots,
-                        );
+                } else {
+                    let hrow = &arena.h[i * w_in..][..w_in];
+                    let bits = bits_of(u);
+                    let max_abs = hrow.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                    if max_abs == 0.0 {
+                        arena.combined[i * w_out..][..w_out].copy_from_slice(bias);
+                        continue;
                     }
-                    KernelMode::Scalar => {
-                        unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
-                        for (c, dot) in arena.dots.iter_mut().enumerate() {
-                            *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
-                        }
-                    }
-                }
-            } else {
-                let hrow = &arena.h[i * w_in..][..w_in];
-                let bits = bits_of(u);
-                let max_abs = hrow.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-                if max_abs == 0.0 {
-                    out_row.copy_from_slice(bias);
-                    continue;
-                }
-                let alpha = row_alpha(max_abs, bits);
-                for (slot, &x) in arena.levels.iter_mut().zip(hrow) {
-                    *slot = quantize_level(x, alpha, bits);
-                }
-                scale = alpha * layer.alpha;
-                match mode {
-                    // Same tier dispatch as layer 0: pack the fresh
-                    // levels of a ≤ 2 bit row (two planes — cheap) so
-                    // the plane walk skips its zeros for free.
-                    KernelMode::Packed if bits <= 2 => {
-                        let span = planes::planes_for(bits) * wpp;
-                        pack_levels(&arena.levels, bits, &mut arena.words[..span]);
-                        ternary_dot_rows(
-                            &arena.words[..span],
-                            w_in,
-                            layer.weight_rows(),
-                            w_out,
-                            &mut arena.acc,
-                            &mut arena.dots,
-                        );
-                    }
-                    KernelMode::Packed => {
-                        levels_dot_rows(
-                            &arena.levels,
-                            layer.weight_rows(),
-                            w_out,
-                            &mut arena.acc,
-                            &mut arena.dots,
-                        );
-                    }
-                    KernelMode::Scalar => {
-                        for (c, dot) in arena.dots.iter_mut().enumerate() {
-                            *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
-                        }
+                    let alpha = row_alpha(max_abs, bits);
+                    arena.row_qalpha[i] = alpha;
+                    arena.row_qbits[i] = bits;
+                    arena.row_scale[i] = alpha * layer.alpha;
+                    if bits <= 2 {
+                        arena.ternary_rows.push(i as u32);
+                    } else {
+                        arena.levels_rows.push(i as u32);
                     }
                 }
             }
-            for (c, out) in out_row.iter_mut().enumerate() {
-                *out = arena.dots[c] as f32 * scale + bias[c];
+
+            // Sweep 2 — dispatch each tier group in M-lane blocks through
+            // one weight-tile pass per block. Remainder chunks reuse the
+            // same entry points: an m == 1 call falls back to the
+            // single-row kernel inside `*_dot_multi`.
+            let span = 2 * wpp;
+            arena.tile_words.resize(MAX_MULTI_ROWS * span, 0);
+            arena.tile_levels.resize(MAX_MULTI_ROWS * w_in, 0);
+            arena.tile_acc.resize(2 * MAX_MULTI_ROWS * w_out, 0);
+            arena.tile_dots.resize(MAX_MULTI_ROWS * w_out, 0);
+            for chunk in arena.ternary_rows.chunks(MAX_MULTI_ROWS) {
+                let m = chunk.len();
+                for (r, &iu) in chunk.iter().enumerate() {
+                    let i = iu as usize;
+                    let lane = &mut arena.tile_words[r * span..][..span];
+                    if l == 0 {
+                        // ≤ 2 bit rows are exactly two planes at rest, so
+                        // the packed words splice straight into the lane.
+                        lane.copy_from_slice(rows.plane_row(level_nodes[i] as usize).words);
+                    } else {
+                        let hrow = &arena.h[i * w_in..][..w_in];
+                        let (alpha, bits) = (arena.row_qalpha[i], arena.row_qbits[i]);
+                        for (slot, &x) in arena.levels.iter_mut().zip(hrow) {
+                            *slot = quantize_level(x, alpha, bits);
+                        }
+                        pack_levels(&arena.levels, bits, lane);
+                    }
+                }
+                ternary_dot_multi(
+                    &arena.tile_words[..m * span],
+                    m,
+                    w_in,
+                    layer.weight_rows(),
+                    w_out,
+                    &mut arena.tile_acc[..2 * m * w_out],
+                    &mut arena.tile_dots[..m * w_out],
+                );
+                scatter_tile(
+                    chunk,
+                    &arena.tile_dots,
+                    &arena.row_scale,
+                    bias,
+                    w_out,
+                    &mut arena.combined,
+                );
+            }
+            for chunk in arena.levels_rows.chunks(MAX_MULTI_ROWS) {
+                let m = chunk.len();
+                for (r, &iu) in chunk.iter().enumerate() {
+                    let i = iu as usize;
+                    let lane = &mut arena.tile_levels[r * w_in..][..w_in];
+                    if l == 0 {
+                        let row = rows.plane_row(level_nodes[i] as usize);
+                        unpack_levels(row.words, row.bits, w_in, lane);
+                    } else {
+                        let hrow = &arena.h[i * w_in..][..w_in];
+                        let (alpha, bits) = (arena.row_qalpha[i], arena.row_qbits[i]);
+                        for (slot, &x) in lane.iter_mut().zip(hrow) {
+                            *slot = quantize_level(x, alpha, bits);
+                        }
+                    }
+                }
+                levels_dot_multi(
+                    &arena.tile_levels[..m * w_in],
+                    m,
+                    layer.weight_rows(),
+                    w_out,
+                    &mut arena.tile_acc[..m * w_out],
+                    &mut arena.tile_dots[..m * w_out],
+                );
+                scatter_tile(
+                    chunk,
+                    &arena.tile_dots,
+                    &arena.row_scale,
+                    bias,
+                    w_out,
+                    &mut arena.combined,
+                );
+            }
+        } else {
+            for (i, &u) in level_nodes.iter().enumerate() {
+                let out_row = &mut arena.combined[i * w_out..][..w_out];
+                let scale;
+                if l == 0 {
+                    let row = rows.plane_row(u as usize);
+                    scale = row.alpha * layer.alpha;
+                    match mode {
+                        // Tier dispatch: ≤ 2 bit rows run the plane walk
+                        // straight off the at-rest packed words; wider tiers
+                        // unpack the block and run the sparse level kernel.
+                        KernelMode::Packed if row.bits <= 2 => {
+                            ternary_dot_rows(
+                                row.words,
+                                w_in,
+                                layer.weight_rows(),
+                                w_out,
+                                &mut arena.acc,
+                                &mut arena.dots,
+                            );
+                        }
+                        KernelMode::Packed => {
+                            unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
+                            levels_dot_rows(
+                                &arena.levels,
+                                layer.weight_rows(),
+                                w_out,
+                                &mut arena.acc,
+                                &mut arena.dots,
+                            );
+                        }
+                        KernelMode::Scalar => {
+                            unpack_levels(row.words, row.bits, w_in, &mut arena.levels);
+                            for (c, dot) in arena.dots.iter_mut().enumerate() {
+                                *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
+                            }
+                        }
+                        KernelMode::Blocked => unreachable!("blocked mode has its own dispatch"),
+                    }
+                } else {
+                    let hrow = &arena.h[i * w_in..][..w_in];
+                    let bits = bits_of(u);
+                    let max_abs = hrow.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                    if max_abs == 0.0 {
+                        out_row.copy_from_slice(bias);
+                        continue;
+                    }
+                    let alpha = row_alpha(max_abs, bits);
+                    for (slot, &x) in arena.levels.iter_mut().zip(hrow) {
+                        *slot = quantize_level(x, alpha, bits);
+                    }
+                    scale = alpha * layer.alpha;
+                    match mode {
+                        // Same tier dispatch as layer 0: pack the fresh
+                        // levels of a ≤ 2 bit row (two planes — cheap) so
+                        // the plane walk skips its zeros for free.
+                        KernelMode::Packed if bits <= 2 => {
+                            let span = planes::planes_for(bits) * wpp;
+                            pack_levels(&arena.levels, bits, &mut arena.words[..span]);
+                            ternary_dot_rows(
+                                &arena.words[..span],
+                                w_in,
+                                layer.weight_rows(),
+                                w_out,
+                                &mut arena.acc,
+                                &mut arena.dots,
+                            );
+                        }
+                        KernelMode::Packed => {
+                            levels_dot_rows(
+                                &arena.levels,
+                                layer.weight_rows(),
+                                w_out,
+                                &mut arena.acc,
+                                &mut arena.dots,
+                            );
+                        }
+                        KernelMode::Scalar => {
+                            for (c, dot) in arena.dots.iter_mut().enumerate() {
+                                *dot = planes::dot_levels(&arena.levels, layer.level_col(c));
+                            }
+                        }
+                        KernelMode::Blocked => unreachable!("blocked mode has its own dispatch"),
+                    }
+                }
+                for (c, out) in out_row.iter_mut().enumerate() {
+                    *out = arena.dots[c] as f32 * scale + bias[c];
+                }
             }
         }
 
         // Aggregation: Ã·combined in CSR row order over f32 — the same
-        // summation order as the classic path.
+        // summation order as the classic path. The position array replaces
+        // the per-edge binary search: one write per level row, one O(1)
+        // read per edge. Reads are in range by the `ReceptiveField`
+        // invariant that every aggregation source appears in the previous
+        // level (property-tested in `tests/receptive_field.rs`).
+        if arena.pos.len() < n {
+            arena.pos.resize(n, u32::MAX);
+        }
+        for (i, &u) in level_nodes.iter().enumerate() {
+            arena.pos[u as usize] = i as u32;
+        }
         let out_nodes = &field.needed[l + 1];
         arena.next.clear();
         arena.next.resize(out_nodes.len() * w_out, 0.0);
@@ -360,9 +550,12 @@ where
             let cols = adjacency.row_indices(v as usize);
             let vals = adjacency.row_values(v as usize);
             for (&u, &a) in cols.iter().zip(vals) {
-                let ui = level_nodes
-                    .binary_search(&u)
-                    .expect("aggregation source is in the receptive field");
+                let ui = arena.pos[u as usize] as usize;
+                debug_assert_eq!(
+                    level_nodes.get(ui),
+                    Some(&u),
+                    "aggregation source is in the receptive field"
+                );
                 let src = &arena.combined[ui * w_out..][..w_out];
                 for (dst, &s) in row.iter_mut().zip(src) {
                     *dst += a * s;
@@ -495,7 +688,7 @@ mod tests {
     }
 
     #[test]
-    fn packed_mode_is_bit_exact_with_scalar_mode() {
+    fn packed_and_blocked_modes_are_bit_exact_with_scalar_mode() {
         for kind in [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage] {
             let (d, model, packed, store) = setup(kind);
             let adj = build_adjacency(&d.graph, kind.aggregator(1));
@@ -517,23 +710,67 @@ mod tests {
                 KernelMode::Scalar,
                 &mut arena,
             );
-            let fast = forward_targets_packed(
+            for mode in [KernelMode::Packed, KernelMode::Blocked] {
+                let fast = forward_targets_packed(
+                    &model,
+                    &packed,
+                    &store,
+                    adj.as_ref(),
+                    &targets,
+                    &mut bits_of,
+                    mode,
+                    &mut arena,
+                );
+                assert_eq!(scalar.shape(), fast.shape());
+                for (r, &target) in targets.iter().enumerate().take(scalar.rows()) {
+                    for c in 0..scalar.cols() {
+                        assert_eq!(
+                            scalar.get(r, c).to_bits(),
+                            fast.get(r, c).to_bits(),
+                            "{kind:?} {mode:?} target {target} class {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_mode_handles_every_remainder_width() {
+        // Batch sizes that leave 1..=7-row remainders after chunking at
+        // MAX_MULTI_ROWS, including single-row batches (m == 1 fallback).
+        let (d, model, packed, store) = setup(GnnKind::Gcn);
+        let adj = build_adjacency(&d.graph, GnnKind::Gcn.aggregator(1));
+        let mut arena = KernelArena::default();
+        let mut bits_of = |v: NodeId| if v.is_multiple_of(3) { 2u8 } else { 4 };
+        for take in [1usize, 3, 4, 8, 9, 11] {
+            let targets: Vec<NodeId> = (0..take as NodeId).collect();
+            let scalar = forward_targets_packed(
                 &model,
                 &packed,
                 &store,
                 adj.as_ref(),
                 &targets,
                 &mut bits_of,
-                KernelMode::Packed,
+                KernelMode::Scalar,
                 &mut arena,
             );
-            assert_eq!(scalar.shape(), fast.shape());
-            for (r, &target) in targets.iter().enumerate().take(scalar.rows()) {
+            let blocked = forward_targets_packed(
+                &model,
+                &packed,
+                &store,
+                adj.as_ref(),
+                &targets,
+                &mut bits_of,
+                KernelMode::Blocked,
+                &mut arena,
+            );
+            for r in 0..scalar.rows() {
                 for c in 0..scalar.cols() {
                     assert_eq!(
                         scalar.get(r, c).to_bits(),
-                        fast.get(r, c).to_bits(),
-                        "{kind:?} target {target} class {c}"
+                        blocked.get(r, c).to_bits(),
+                        "batch of {take}: target {r} class {c}"
                     );
                 }
             }

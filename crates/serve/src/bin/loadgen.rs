@@ -15,23 +15,32 @@
 //! the analytic f32 baseline `(2·nodes + shard_rows)·dim·4` — what the
 //! pre-bit-plane layout (raw f32 matrix + quantized f32 mirror + f32
 //! shard splices) held for the same shapes. Results land in `--out` as
-//! JSON (the capacity curve committed as `BENCH_pr8.json`).
+//! JSON (the capacity curve committed as `BENCH_pr9.json`).
+//!
+//! `--update-frac F` mixes graph mutations into the arrival stream: each
+//! arrival becomes a random-endpoint edge insert (`{"insert": [[s, d]]}`
+//! against `/update`) with probability `F` instead of a predict. Update
+//! latency percentiles and the `logits_invalidated` counters parsed from
+//! the update acks are reported per rate step, so the capacity curve
+//! shows what cold-predict goodput costs while invalidation churn runs.
 //!
 //! ```sh
 //! cargo run --release -p mega-serve --bin serve_http -- \
 //!   --addr 127.0.0.1:8642 --dataset synth:1m --shards 8 &
 //! cargo run --release -p mega-serve --bin loadgen -- \
 //!   --addr 127.0.0.1:8642 --dataset synth:1m \
-//!   --rates 500,1000,2000,4000 --duration-s 10 --out BENCH_pr8.json
+//!   --rates 500,1000,2000,4000 --duration-s 10 --out BENCH_pr9.json
 //! ```
 //!
 //! Flags: `--addr HOST:PORT`, `--dataset NAME`, `--kind gcn|gin|sage`,
 //! `--connections N` (default 16), `--rates CSV` (req/s steps),
 //! `--duration-s S` (per step, default 10), `--slo-ms MS` (default 50),
-//! `--seed U64`, `--out PATH` (default `BENCH_pr8.json`), `--smoke`
-//! (assert goodput > 0, shedding observed, and post-load recovery —
-//! the CI gate), `--assert-lean X` (assert the analytic f32 baseline is
-//! at least `X`× the measured resident feature bytes).
+//! `--update-frac F` (default 0, fraction of arrivals that mutate),
+//! `--seed U64`, `--out PATH` (default `BENCH_pr9.json`), `--smoke`
+//! (assert goodput > 0, shedding observed, updates applied when mixed,
+//! and post-load recovery — the CI gate), `--assert-lean X` (assert the
+//! analytic f32 baseline is at least `X`× the measured resident feature
+//! bytes).
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -161,6 +170,10 @@ struct StepTally {
     ok: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+    updates_ok: AtomicU64,
+    updates_shed: AtomicU64,
+    /// Sum of `logits_invalidated` parsed from update acks.
+    invalidated: AtomicU64,
 }
 
 struct StepResult {
@@ -169,10 +182,33 @@ struct StepResult {
     ok: u64,
     shed: u64,
     errors: u64,
+    updates_ok: u64,
+    updates_shed: u64,
+    logits_invalidated: u64,
     elapsed_s: f64,
     p50_us: u64,
     p99_us: u64,
+    update_p50_us: u64,
+    update_p99_us: u64,
     slo_violation_frac: f64,
+}
+
+/// Pulls the integer value of `"name": N` out of a JSON response body.
+/// The ack shapes are flat, so a scan beats pulling in a parser here.
+fn json_u64_field(body: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\"");
+    let rest = &body[body.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn percentile_of(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 * p).ceil() as usize).clamp(1, sorted_us.len()) - 1;
+    sorted_us[idx]
 }
 
 /// Runs one open-loop step: `rate` req/s for `duration`, split across
@@ -181,11 +217,13 @@ struct StepResult {
 fn run_step(
     addr: &str,
     predict_path: &str,
+    update_path: &str,
     nodes: u64,
     rate: f64,
     duration: Duration,
     connections: usize,
     slo: Duration,
+    update_frac: f64,
     seed: u64,
 ) -> StepResult {
     let tally = Arc::new(StepTally::default());
@@ -195,11 +233,13 @@ fn run_step(
     for conn_id in 0..connections {
         let addr = addr.to_string();
         let path = predict_path.to_string();
+        let upath = update_path.to_string();
         let tally = tally.clone();
-        handles.push(std::thread::spawn(move || -> Vec<u64> {
+        handles.push(std::thread::spawn(move || -> (Vec<u64>, Vec<u64>) {
             let mut rng = StdRng::seed_from_u64(seed ^ (conn_id as u64).wrapping_mul(0x9E37));
             let mut conn = connect(&addr).ok();
             let mut latencies_us = Vec::new();
+            let mut update_latencies_us = Vec::new();
             let mut next_arrival = Duration::ZERO;
             loop {
                 // Exponential inter-arrival: -ln(U)/λ, U in (0, 1].
@@ -213,14 +253,25 @@ fn run_step(
                     std::thread::sleep(wait);
                 }
                 tally.offered.fetch_add(1, Ordering::Relaxed);
-                let node = rng.gen_range(0..nodes);
-                let body = format!("{{\"node\": {node}}}");
+                // Mixed workload: this arrival is a graph mutation with
+                // probability `update_frac` — a random-endpoint edge
+                // insert, the delta shape that drives logits-cache
+                // invalidation through the halo closure.
+                let is_update = update_frac > 0.0 && rng.gen::<f64>() < update_frac;
+                let (req_path, body) = if is_update {
+                    let src = rng.gen_range(0..nodes);
+                    let dst = (src + 1 + rng.gen_range(0..nodes.max(2) - 1)) % nodes;
+                    (upath.as_str(), format!("{{\"insert\": [[{src}, {dst}]]}}"))
+                } else {
+                    let node = rng.gen_range(0..nodes);
+                    (path.as_str(), format!("{{\"node\": {node}}}"))
+                };
                 let outcome = match conn.as_mut() {
-                    Some(c) => exchange(c, "POST", &path, &body),
+                    Some(c) => exchange(c, "POST", req_path, &body),
                     None => {
                         conn = connect(&addr).ok();
                         match conn.as_mut() {
-                            Some(c) => exchange(c, "POST", &path, &body),
+                            Some(c) => exchange(c, "POST", req_path, &body),
                             None => Err(std::io::Error::new(
                                 std::io::ErrorKind::ConnectionRefused,
                                 "reconnect failed",
@@ -229,13 +280,25 @@ fn run_step(
                     }
                 };
                 match outcome {
-                    Ok((200, _)) => {
-                        tally.ok.fetch_add(1, Ordering::Relaxed);
-                        latencies_us
-                            .push(scheduled.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    Ok((200, response)) => {
+                        let us = scheduled.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        if is_update {
+                            tally.updates_ok.fetch_add(1, Ordering::Relaxed);
+                            update_latencies_us.push(us);
+                            if let Some(n) = json_u64_field(&response, "logits_invalidated") {
+                                tally.invalidated.fetch_add(n, Ordering::Relaxed);
+                            }
+                        } else {
+                            tally.ok.fetch_add(1, Ordering::Relaxed);
+                            latencies_us.push(us);
+                        }
                     }
                     Ok((429, _)) => {
-                        tally.shed.fetch_add(1, Ordering::Relaxed);
+                        if is_update {
+                            tally.updates_shed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            tally.shed.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     Ok(_) => {
                         tally.errors.fetch_add(1, Ordering::Relaxed);
@@ -246,21 +309,18 @@ fn run_step(
                     }
                 }
             }
-            latencies_us
+            (latencies_us, update_latencies_us)
         }));
     }
-    let mut latencies: Vec<u64> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("connection thread"))
-        .collect();
+    let mut latencies = Vec::new();
+    let mut update_latencies = Vec::new();
+    for handle in handles {
+        let (predict_us, update_us) = handle.join().expect("connection thread");
+        latencies.extend(predict_us);
+        update_latencies.extend(update_us);
+    }
     latencies.sort_unstable();
-    let percentile = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
-        latencies[idx]
-    };
+    update_latencies.sort_unstable();
     let slo_us = slo.as_micros() as u64;
     let violations = latencies.iter().filter(|&&us| us > slo_us).count();
     StepResult {
@@ -269,9 +329,14 @@ fn run_step(
         ok: tally.ok.load(Ordering::Relaxed),
         shed: tally.shed.load(Ordering::Relaxed),
         errors: tally.errors.load(Ordering::Relaxed),
+        updates_ok: tally.updates_ok.load(Ordering::Relaxed),
+        updates_shed: tally.updates_shed.load(Ordering::Relaxed),
+        logits_invalidated: tally.invalidated.load(Ordering::Relaxed),
         elapsed_s: started.elapsed().as_secs_f64(),
-        p50_us: percentile(0.50),
-        p99_us: percentile(0.99),
+        p50_us: percentile_of(&latencies, 0.50),
+        p99_us: percentile_of(&latencies, 0.99),
+        update_p50_us: percentile_of(&update_latencies, 0.50),
+        update_p99_us: percentile_of(&update_latencies, 0.99),
         slo_violation_frac: if latencies.is_empty() {
             0.0
         } else {
@@ -288,8 +353,9 @@ fn main() {
     let rates_csv = arg("--rates", "500,1000,2000,4000,8000".to_string());
     let duration = Duration::from_secs_f64(arg("--duration-s", 10.0f64).max(0.5));
     let slo = Duration::from_millis(arg("--slo-ms", 50u64));
+    let update_frac = arg("--update-frac", 0.0f64).clamp(0.0, 1.0);
     let seed = arg("--seed", 0x10AD_6E6E_u64);
-    let out_path = arg("--out", "BENCH_pr8.json".to_string());
+    let out_path = arg("--out", "BENCH_pr9.json".to_string());
     let smoke = flag("--smoke");
     let assert_lean = arg("--assert-lean", 0.0f64);
 
@@ -300,6 +366,7 @@ fn main() {
     };
     let model = format!("{dataset}/{kind_label}");
     let predict_path = format!("/v1/{dataset}/{kind}/predict");
+    let update_path = format!("/v1/{dataset}/{kind}/update");
 
     let rates: Vec<f64> = rates_csv
         .split(',')
@@ -322,11 +389,13 @@ fn main() {
         let step = run_step(
             &addr,
             &predict_path,
+            &update_path,
             before.nodes,
             rate,
             duration,
             connections,
             slo,
+            update_frac,
             seed.wrapping_add((step_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
         eprintln!(
@@ -334,6 +403,16 @@ fn main() {
             step.rate, step.offered, step.ok, step.shed, step.errors, step.p50_us, step.p99_us,
             step.slo_violation_frac
         );
+        if update_frac > 0.0 {
+            eprintln!(
+                "[loadgen]   updates: ok {:>6} shed {:>5} p50 {:>7}us p99 {:>8}us logits invalidated {}",
+                step.updates_ok,
+                step.updates_shed,
+                step.update_p50_us,
+                step.update_p99_us,
+                step.logits_invalidated
+            );
+        }
         steps.push(step);
     }
 
@@ -361,10 +440,10 @@ fn main() {
     );
 
     // JSON out: the capacity curve + memory reduction, one self-contained
-    // document (committed as BENCH_pr8.json).
+    // document (committed as BENCH_pr9.json).
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"model\": \"{model}\",\n  \"connections\": {connections},\n  \"duration_s\": {},\n  \"slo_ms\": {},\n",
+        "  \"model\": \"{model}\",\n  \"connections\": {connections},\n  \"duration_s\": {},\n  \"slo_ms\": {},\n  \"update_frac\": {update_frac},\n",
         duration.as_secs_f64(),
         slo.as_millis()
     ));
@@ -382,7 +461,7 @@ fn main() {
     json.push_str("  \"capacity_curve\": [\n");
     for (i, s) in steps.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"offered_rate\": {:.1}, \"offered\": {}, \"goodput_rps\": {:.1}, \"ok\": {}, \"shed_429\": {}, \"errors\": {}, \"p50_us\": {}, \"p99_us\": {}, \"slo_violation_frac\": {:.4}}}{}\n",
+            "    {{\"offered_rate\": {:.1}, \"offered\": {}, \"goodput_rps\": {:.1}, \"ok\": {}, \"shed_429\": {}, \"errors\": {}, \"p50_us\": {}, \"p99_us\": {}, \"slo_violation_frac\": {:.4}, \"updates_ok\": {}, \"updates_shed\": {}, \"update_p50_us\": {}, \"update_p99_us\": {}, \"logits_invalidated\": {}}}{}\n",
             s.rate,
             s.offered,
             s.ok as f64 / s.elapsed_s,
@@ -392,6 +471,11 @@ fn main() {
             s.p50_us,
             s.p99_us,
             s.slo_violation_frac,
+            s.updates_ok,
+            s.updates_shed,
+            s.update_p50_us,
+            s.update_p99_us,
+            s.logits_invalidated,
             if i + 1 == steps.len() { "" } else { "," }
         ));
     }
@@ -415,6 +499,10 @@ fn main() {
             total_shed > 0,
             "smoke: overload never shed — raise the top rate or lower --max-in-flight"
         );
+        if update_frac > 0.0 {
+            let total_updates: u64 = steps.iter().map(|s| s.updates_ok).sum();
+            assert!(total_updates > 0, "smoke: no mixed update ever succeeded");
+        }
         // Recovery: once the load stops, a fresh request is served again
         // rather than shed (the admission window drains).
         let mut conn = connect(&addr).expect("reconnect after load");

@@ -133,7 +133,9 @@ fn with_arena<R>(f: impl FnOnce(&mut KernelArena) -> R) -> R {
 
 /// Executes the degree-aware quantized forward pass for `targets` against
 /// the *global* artifacts and returns their logits (row `i` belongs to
-/// `targets[i]`). Runs the bit-plane kernels ([`KernelMode::Packed`]).
+/// `targets[i]`). Runs the register-blocked bit-plane kernels
+/// ([`KernelMode::Blocked`]): same-tier combination rows share one
+/// weight-tile pass in M-lane blocks.
 ///
 /// This is the sequential reference path: shard-sliced execution
 /// ([`shard_logits`]) must be — and is tested to be — bit-exact with it,
@@ -148,12 +150,12 @@ pub fn batch_logits_with_field(
     artifacts: &ModelArtifacts,
     targets: &[NodeId],
 ) -> (Matrix, ReceptiveField) {
-    batch_logits_with_mode(artifacts, targets, KernelMode::Packed)
+    batch_logits_with_mode(artifacts, targets, KernelMode::Blocked)
 }
 
 /// [`batch_logits_with_field`] with an explicit kernel mode — the
-/// packed-vs-scalar equivalence tests and benchmarks drive both engines
-/// through this.
+/// blocked-vs-packed-vs-scalar equivalence tests and benchmarks drive
+/// every engine through this.
 pub fn batch_logits_with_mode(
     artifacts: &ModelArtifacts,
     targets: &[NodeId],
@@ -192,7 +194,7 @@ pub fn shard_logits_with_field(
     shard: u32,
     targets: &[NodeId],
 ) -> (Matrix, ReceptiveField) {
-    shard_logits_with_mode(artifacts, shard, targets, KernelMode::Packed)
+    shard_logits_with_mode(artifacts, shard, targets, KernelMode::Blocked)
 }
 
 /// [`shard_logits_with_field`] with an explicit kernel mode.

@@ -1,9 +1,12 @@
-//! Packed-vs-scalar kernel equivalence on the serve path: the bit-plane
-//! popcount engine must be *bit-exact* with the scalar integer reference
-//! for every aggregator, for K ∈ {1, 2, 4} shards, and after random
-//! churn (node adds, edge inserts/removes) drives rows across tiers.
+//! Kernel-mode equivalence on the serve path: the single-row packed
+//! engine **and** the register-blocked multi-row engine must be
+//! *bit-exact* with the scalar integer reference for every aggregator,
+//! for K ∈ {1, 2, 4} shards, across batch shapes that exercise every
+//! M-block width (full 8-lane blocks, unaligned remainders, single-row
+//! fallbacks), and after random churn (node adds, edge inserts/removes)
+//! drives rows across tiers.
 //!
-//! Both modes share one quantize → integer-dot → dequantize pipeline, so
+//! All modes share one quantize → integer-dot → dequantize pipeline, so
 //! equality here is structural, not approximate — any diverging bit is a
 //! kernel bug, never float noise.
 
@@ -15,45 +18,102 @@ use proptest::prelude::*;
 
 const KINDS: [GnnKind; 3] = [GnnKind::Gcn, GnnKind::Gin, GnnKind::GraphSage];
 
+/// Batch sizes covering the blocked dispatcher's shapes: single row
+/// (m == 1 fallback), partial blocks, one exact `MAX_MULTI_ROWS` block,
+/// and a full-block-plus-remainder tail.
+const BATCH_SHAPES: [usize; 5] = [1, 3, 4, 8, 11];
+
+const FAST_MODES: [KernelMode; 2] = [KernelMode::Packed, KernelMode::Blocked];
+
 fn spec(kind: GnnKind, shards: usize) -> ModelSpec {
     ModelSpec::standard(DatasetSpec::cora().scaled(0.08).with_feature_dim(48), kind)
         .with_shards(shards)
 }
 
-/// Every sampled node produces bit-identical logits through the packed
-/// engine and the scalar reference — on the global path and through its
-/// owning shard's slice.
-fn assert_packed_equals_scalar(artifacts: &ModelArtifacts, stride: usize) {
+/// Strided target batches of `len` nodes starting at `start`.
+fn batch(artifacts: &ModelArtifacts, start: NodeId, len: usize) -> Vec<NodeId> {
+    let n = artifacts.num_nodes() as NodeId;
+    (0..len as NodeId).map(|i| (start + i * 5) % n).collect()
+}
+
+/// Every batch shape produces bit-identical logits through the packed and
+/// blocked engines and the scalar reference — on the global path and
+/// through each target's owning shard slice.
+fn assert_modes_equal(artifacts: &ModelArtifacts, stride: usize) {
     let classes = artifacts.dataset.spec.num_classes;
-    for node in (0..artifacts.num_nodes() as NodeId).step_by(stride.max(1)) {
-        let (packed, _) = batch_logits_with_mode(artifacts, &[node], KernelMode::Packed);
-        let (scalar, _) = batch_logits_with_mode(artifacts, &[node], KernelMode::Scalar);
-        for c in 0..classes {
-            assert_eq!(
-                packed.get(0, c).to_bits(),
-                scalar.get(0, c).to_bits(),
-                "node {node}: packed diverged from scalar on the global pass"
-            );
+    for start in (0..artifacts.num_nodes() as NodeId).step_by(stride.max(1)) {
+        for len in BATCH_SHAPES {
+            let targets = batch(artifacts, start, len);
+            let (scalar, _) = batch_logits_with_mode(artifacts, &targets, KernelMode::Scalar);
+            for mode in FAST_MODES {
+                let (fast, _) = batch_logits_with_mode(artifacts, &targets, mode);
+                for (r, &node) in targets.iter().enumerate() {
+                    for c in 0..classes {
+                        assert_eq!(
+                            fast.get(r, c).to_bits(),
+                            scalar.get(r, c).to_bits(),
+                            "node {node} (batch of {len}): {mode:?} diverged \
+                             from scalar on the global pass"
+                        );
+                    }
+                }
+            }
         }
-        let shard = artifacts.shard_of(node);
-        let (packed, _) = shard_logits_with_mode(artifacts, shard, &[node], KernelMode::Packed);
-        let (scalar, _) = shard_logits_with_mode(artifacts, shard, &[node], KernelMode::Scalar);
-        for c in 0..classes {
-            assert_eq!(
-                packed.get(0, c).to_bits(),
-                scalar.get(0, c).to_bits(),
-                "node {node} (shard {shard}): packed diverged from scalar"
-            );
+        // Shard path: group this window's targets by owning shard so the
+        // blocked dispatcher also sees multi-target shard batches.
+        let targets = batch(artifacts, start, *BATCH_SHAPES.last().unwrap());
+        for shard in 0..artifacts.shards.len() as u32 {
+            let mine: Vec<NodeId> = targets
+                .iter()
+                .copied()
+                .filter(|&t| artifacts.shard_of(t) == shard)
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let (scalar, _) = shard_logits_with_mode(artifacts, shard, &mine, KernelMode::Scalar);
+            for mode in FAST_MODES {
+                let (fast, _) = shard_logits_with_mode(artifacts, shard, &mine, mode);
+                for (r, &node) in mine.iter().enumerate() {
+                    for c in 0..classes {
+                        assert_eq!(
+                            fast.get(r, c).to_bits(),
+                            scalar.get(r, c).to_bits(),
+                            "node {node} (shard {shard}): {mode:?} diverged from scalar"
+                        );
+                    }
+                }
+            }
         }
     }
 }
 
 #[test]
-fn packed_is_bit_exact_with_scalar_for_every_kind_and_k() {
+fn fast_modes_are_bit_exact_with_scalar_for_every_kind_and_k() {
     for kind in KINDS {
         for k in [1usize, 2, 4] {
             let artifacts = ModelArtifacts::build(&spec(kind, k));
-            assert_packed_equals_scalar(&artifacts, 7);
+            assert_modes_equal(&artifacts, 29);
+        }
+    }
+}
+
+#[test]
+fn blocked_equals_packed_on_large_mixed_tier_batches() {
+    // One batch spanning most of the graph: every tier group is populated
+    // with many M-blocks plus a remainder, in the same call.
+    let artifacts = ModelArtifacts::build(&spec(GnnKind::Gcn, 2));
+    let targets: Vec<NodeId> = (0..artifacts.num_nodes() as NodeId).step_by(2).collect();
+    let (packed, _) = batch_logits_with_mode(&artifacts, &targets, KernelMode::Packed);
+    let (blocked, _) = batch_logits_with_mode(&artifacts, &targets, KernelMode::Blocked);
+    assert_eq!(packed.shape(), blocked.shape());
+    for r in 0..packed.rows() {
+        for c in 0..packed.cols() {
+            assert_eq!(
+                packed.get(r, c).to_bits(),
+                blocked.get(r, c).to_bits(),
+                "row {r} class {c}"
+            );
         }
     }
 }
@@ -62,10 +122,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Random churn — node adds with random features, edge inserts and
-    /// removals — retiers rows through the packed store; equivalence must
-    /// survive every mutation.
+    /// removals — retiers rows through the packed store; three-mode
+    /// equivalence must survive every mutation.
     #[test]
-    fn packed_stays_bit_exact_under_random_churn(
+    fn fast_modes_stay_bit_exact_under_random_churn(
         seed_edges in proptest::collection::vec((0u32..180, 0u32..180), 4..10),
         removals in proptest::collection::vec(0usize..16, 1..4),
         feature_scale in 0.05f32..2.5,
@@ -93,7 +153,7 @@ proptest! {
                 .map(|j| feature_scale * ((j as f32 * 0.37).sin()))
                 .collect();
             artifacts.apply_delta(&delta, &[row]).expect("valid delta");
-            assert_packed_equals_scalar(&artifacts, 11);
+            assert_modes_equal(&artifacts, 53);
         }
     }
 }
