@@ -2,6 +2,8 @@
 //! estimated area overhead of a hardware softmax (the paper cites A3's
 //! design at ~1.5% area).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega_bench::{epochs, train_dataset};
 use mega_gnn::gat::{AttentionNeighborhood, Gat};

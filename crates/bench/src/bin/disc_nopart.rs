@@ -2,6 +2,8 @@
 //! its advantage over SGCN even with contiguous node blocks instead of
 //! METIS (the paper reports a ~3% speedup discount, ~14% energy).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_suite, print_table};

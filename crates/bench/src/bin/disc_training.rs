@@ -1,6 +1,8 @@
 //! §VII-1: training overhead of Degree-Aware quantization versus FP32
 //! (wall-clock ratio; the paper reports 2.04× on a 3090 GPU).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega_bench::{epochs, train_dataset};
 use mega_gnn::{GnnKind, Trainer};

@@ -2,6 +2,8 @@
 //! configurations) versus MEGA — DRAM-access stalls and DRAM energy
 //! dominate the baselines.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -1,6 +1,8 @@
 //! Fig. 3: average aggregated node-feature value per in-degree group (GCN
 //! vs GIN on Cora, 100 runs) — higher in-degree ⇒ larger aggregated values.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega_bench::hw_dataset;
 use mega_gnn::figstats::fig3_aggregated_means;

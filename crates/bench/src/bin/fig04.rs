@@ -1,6 +1,8 @@
 //! Fig. 4: storage overhead of sparse representations on mixed-precision
 //! features across three models × five datasets, normalized to Dense.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads::{degree_profile_bits, hidden_density};
 use mega_bench::{hw_dataset, print_table};

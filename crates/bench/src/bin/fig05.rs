@@ -2,6 +2,8 @@
 //! measured from trained models on the synthetic datasets, alongside the
 //! paper's reported values (which the simulators consume by default).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads::hidden_density;
 use mega_bench::{epochs, print_table, train_dataset};

@@ -2,6 +2,8 @@
 //! Condense-Edge, split intuition included via row-buffer hit rates
 //! (in-subgraph accesses stream; sparse connections gather).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, mb, print_table};

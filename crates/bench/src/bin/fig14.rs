@@ -1,6 +1,8 @@
 //! Fig. 14: performance comparison across the ten evaluation workloads,
 //! normalized to HyGCN (higher is better).
 
+#![forbid(unsafe_code)]
+
 use mega::suite::{compare_all, geomean_speedup, Comparison};
 use mega_bench::{hw_suite, print_table};
 

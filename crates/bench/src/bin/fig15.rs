@@ -1,6 +1,8 @@
 //! Fig. 15: performance versus GCNAX and GROW in their *original*
 //! configurations (Table VII), GCN, normalized to GCNAX.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -1,5 +1,7 @@
 //! Fig. 16: DRAM access reduction over HyGCN across the ten workloads.
 
+#![forbid(unsafe_code)]
+
 use mega::suite::{compare_all, Comparison};
 use mega_bench::{hw_suite, print_table};
 use mega_sim::geomean;

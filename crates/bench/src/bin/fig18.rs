@@ -1,6 +1,8 @@
 //! Fig. 18: energy-consumption breakdown (DRAM / SRAM / PU / leakage) of
 //! HyGCN versus MEGA on GCN, per dataset, normalized to MEGA.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

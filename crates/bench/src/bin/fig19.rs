@@ -3,6 +3,8 @@
 //! SGCN-like dense baseline) through quantization+Bitmap, Adaptive-Package,
 //! and Condense-Edge.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -1,6 +1,8 @@
 //! Fig. 20(a): pipeline-stall fraction of overall cycles — MEGA vs GCNAX vs
 //! HyGCN on GCN.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -2,6 +2,8 @@
 //! GCoD-style (METIS + pruned sparse connections) / Condense-Edge,
 //! normalized to Naive.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -1,6 +1,8 @@
 //! Fig. 21: design-space exploration of the Adaptive-Package length levels
 //! across datasets, normalized per dataset to its optimal setting.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads::{degree_profile_bits, hidden_density};
 use mega_bench::{hw_dataset, print_table};

@@ -1,6 +1,8 @@
 //! Fig. 22: MEGA's performance sensitivity to the compression ratio
 //! (Cora, GCN and GIN), normalized to HyGCN.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::workloads;
 use mega_bench::{hw_dataset, print_table};

@@ -14,6 +14,8 @@
 //! (threshold `KERNEL_GATE_MIN_BLOCKED`) — a perf ratchet robust to
 //! absolute machine speed.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box;
 use std::rc::Rc;
 use std::time::Instant;

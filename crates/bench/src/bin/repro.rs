@@ -17,6 +17,8 @@
 //! citation workloads, so successive PRs can record a `BENCH_*.json`
 //! performance trajectory.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::Command;
 

@@ -2,6 +2,8 @@
 //! 8/7/6/5/4 bits, GIN on CiteSeer — quantifying how DQ degrades below
 //! 8 bits (the paper's motivation for Degree-Aware quantization).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega_bench::{epochs, train_dataset};
 use mega_gnn::{GnnKind, Trainer};

@@ -1,6 +1,8 @@
 //! Table IV: MEGA's configuration and 28 nm area/power breakdown, plus the
 //! CACTI-lite model's fit against the published buffer rows.
 
+#![forbid(unsafe_code)]
+
 use mega_hw::area::{
     mega_table_iv, sram_area_mm2, sram_power_mw, table_iv_buffer_kb, table_iv_pu_area,
     table_iv_total_area, table_iv_total_power,

@@ -1,5 +1,7 @@
 //! Table V: matched configurations of the compared architectures.
 
+#![forbid(unsafe_code)]
+
 use mega_baselines::table_v;
 
 fn main() {

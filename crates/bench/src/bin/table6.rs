@@ -1,6 +1,8 @@
 //! Table VI: accuracy / average bits / compression ratio — FP32 vs DQ-INT4
 //! vs Degree-Aware (ours) across the paper's dataset/model pairs.
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega_bench::{epochs, train_dataset};
 use mega_gnn::{GnnKind, Trainer};

@@ -1,5 +1,7 @@
 //! Table VII: original configurations of GCNAX and GROW (used by Fig. 15).
 
+#![forbid(unsafe_code)]
+
 use mega_baselines::table_vii;
 
 fn main() {

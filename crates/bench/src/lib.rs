@@ -15,6 +15,8 @@
 //!   (default 0.35; training is CPU-bound).
 //! * `MEGA_EPOCHS` — training epochs (default 60).
 
+#![forbid(unsafe_code)]
+
 use mega::prelude::*;
 use mega::Dataset;
 use mega_gnn::GnnKind;

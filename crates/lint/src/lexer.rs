@@ -1,0 +1,376 @@
+//! A hand-rolled Rust lexer — just deep enough for `mega-lint`'s rules.
+//!
+//! The build environment is offline (no `syn`), and the rules only need
+//! a token stream that is *reliable about what is code*: comments are
+//! skipped, string/char/byte/raw-string literals are opaque single
+//! tokens (so a rule looking for the `unsafe` keyword can never be
+//! tripped by a fixture snippet embedded in a test's raw string), and
+//! lifetimes are distinguished from char literals. Everything else is
+//! an identifier or a one-character punctuation token, each tagged with
+//! its 1-based source line.
+
+/// Token classification. Rules match keywords against [`TokKind::Ident`]
+/// only — literal text never impersonates code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// One punctuation character.
+    Punct,
+    /// String / raw-string / byte-string / char / numeric literal,
+    /// kept verbatim (rules inspect e.g. `"avx2"` inside `cfg` attrs).
+    Literal,
+    /// A lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for literals: including quotes/prefix).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `source` into tokens, skipping comments and whitespace.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(String::new()),
+                '\'' => self.lex_quote(),
+                c if c.is_ascii_digit() => self.lex_number(),
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+    }
+
+    /// An ordinary (escaped) string literal. `prefix` carries `b` etc.
+    fn lex_string(&mut self, prefix: String) {
+        let line = self.line;
+        let mut text = prefix;
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// A raw string literal starting at `r`/`br` (already consumed into
+    /// `prefix`); `hashes` is the number of `#` after the `r`.
+    fn lex_raw_string(&mut self, prefix: String, hashes: usize) {
+        let line = self.line;
+        let mut text = prefix;
+        for _ in 0..hashes {
+            text.push(self.bump().unwrap_or_default()); // '#'
+        }
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push(self.bump().unwrap_or_default());
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`). Lifetime iff the next char starts an identifier
+    /// and the char after that identifier is not a closing quote.
+    fn lex_quote(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let is_ident_start = next.map(|c| c.is_alphabetic() || c == '_').unwrap_or(false);
+        if is_ident_start && next != Some('\\') {
+            // Scan the identifier; a trailing `'` makes it a char literal
+            // like 'a', otherwise it is a lifetime.
+            let mut len = 0;
+            while self
+                .peek(1 + len)
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false)
+            {
+                len += 1;
+            }
+            if self.peek(1 + len) != Some('\'') {
+                self.bump(); // quote
+                let mut name = String::new();
+                for _ in 0..len {
+                    name.push(self.bump().unwrap_or_default());
+                }
+                self.push(TokKind::Lifetime, name, line);
+                return;
+            }
+        }
+        // Char literal.
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn lex_number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let fraction_dot =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+            let exponent_sign =
+                (c == '+' || c == '-') && matches!(text.chars().last(), Some('e') | Some('E'));
+            if c.is_alphanumeric() || c == '_' || fraction_dot || exponent_sign {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn lex_ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        // Raw/byte string prefixes: r"..", r#"..."#, br".." , b"..", b'x'.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br", Some('"')) => return self.lex_raw_string(text, 0),
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    return self.lex_raw_string(text, hashes);
+                }
+            }
+            ("b", Some('"')) => return self.lex_string(text),
+            ("b", Some('\'')) => {
+                let mut lit = text;
+                lit.push(self.bump().unwrap_or_default()); // quote
+                while let Some(c) = self.bump() {
+                    lit.push(c);
+                    match c {
+                        '\\' => {
+                            if let Some(escaped) = self.bump() {
+                                lit.push(escaped);
+                            }
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(TokKind::Literal, lit, line);
+                return;
+            }
+            _ => {}
+        }
+        // `r#ident` raw identifiers: lex as the identifier itself.
+        if text == "r" && self.peek(0) == Some('#') {
+            self.bump();
+            return self.lex_ident_continue(line, String::new());
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn lex_ident_continue(&mut self, line: usize, mut text: String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_keywords() {
+        let src = r###"
+            // unsafe in a comment
+            /* unsafe /* nested unsafe */ still comment */
+            fn f() {
+                let s = "unsafe fn in a string";
+                let r = r#"unsafe { lock().unwrap() }"#;
+                let b = b"unsafe";
+                let c = 'u';
+            }
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter()
+                .map(|t| (t.text.as_str(), t.line))
+                .collect::<Vec<_>>(),
+            vec![("a", 1), ("b", 2), ("c", 3)]
+        );
+    }
+
+    #[test]
+    fn cfg_attr_literals_are_visible() {
+        let toks = lex(r#"#[cfg(all(feature = "avx2", target_arch = "x86_64"))] mod accel {}"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text.contains("avx2")));
+    }
+}

@@ -1,0 +1,83 @@
+//! `mega-lint` CLI: `cargo run -p mega-lint -- --workspace`.
+//!
+//! Walks the workspace, runs every rule, prints violations as
+//! `file:line: [rule] message`, and exits 1 if any fired — the CI job
+//! treats that as a build failure, same as a failing test.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("the only scan mode is --workspace");
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match mega_lint::find_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("mega-lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let view = match mega_lint::load_workspace(&root) {
+        Ok(view) => view,
+        Err(err) => {
+            eprintln!(
+                "mega-lint: failed to load workspace at {}: {err}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = mega_lint::run(&view);
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "mega-lint: {} file(s), {} crate(s), {} rule(s), {} violation(s)",
+        view.files.len(),
+        view.manifests.len(),
+        mega_lint::rules::all().len(),
+        violations.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("mega-lint: {err}");
+    }
+    eprintln!("usage: mega-lint --workspace [--root <dir>]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,639 @@
+//! The rule catalog. Each rule is a pure function over the analyzed
+//! [`WorkspaceView`]; fixture self-tests live in `tests/fixtures.rs`
+//! and feed seeded-violation sources through the same entry points.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Violation, WorkspaceView};
+
+/// A rule: named scan over the workspace view.
+pub type Rule = fn(&WorkspaceView) -> Vec<Violation>;
+
+/// Every rule, in catalog order.
+pub fn all() -> Vec<(&'static str, Rule)> {
+    vec![
+        ("unsafe-policy", unsafe_policy as Rule),
+        ("forbid-unsafe", forbid_unsafe as Rule),
+        ("crate-dag", crate_dag as Rule),
+        ("lock-unwrap", lock_unwrap as Rule),
+        ("kernel-clock", kernel_clock as Rule),
+        ("kernel-mode-sync", kernel_mode_sync as Rule),
+    ]
+}
+
+fn violation(rule: &'static str, file: &str, line: usize, message: String) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Whether `toks[i..]` starts with the given idents/puncts pattern.
+/// Pattern entries: single-char strings match puncts, longer ones idents.
+fn seq_at(toks: &[Tok], i: usize, pattern: &[&str]) -> bool {
+    pattern.iter().enumerate().all(|(off, want)| {
+        toks.get(i + off).is_some_and(|t| {
+            if want.len() == 1 && !want.chars().next().unwrap().is_alphanumeric() && *want != "_" {
+                t.is_punct(want.chars().next().unwrap())
+            } else {
+                t.is_ident(want)
+            }
+        })
+    })
+}
+
+fn contains_seq(toks: &[Tok], pattern: &[&str]) -> bool {
+    (0..toks.len()).any(|i| seq_at(toks, i, pattern))
+}
+
+// ---------------------------------------------------------------------
+// unsafe-policy
+// ---------------------------------------------------------------------
+
+/// How many raw source lines above an `unsafe` token may hold its
+/// `SAFETY:` comment (or `# Safety` doc section). Sized to span a
+/// `#[target_feature]` attribute plus a short multi-line justification.
+const SAFETY_WINDOW: usize = 10;
+
+/// `unsafe` is allowed only in `mega-format`'s `avx2`-gated accel
+/// module, and every site needs a `SAFETY` justification within the
+/// lines directly above it. `allow(unsafe_code)` escapes are likewise
+/// confined to that module.
+fn unsafe_policy(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for entry in &view.files {
+        if entry.file.crate_name == "mega-lint" {
+            // The linter's own sources hold rule fixtures; its crate
+            // roots still carry `forbid(unsafe_code)`, so rustc is the
+            // enforcer here.
+            continue;
+        }
+        let lines: Vec<&str> = entry.file.text.lines().collect();
+        for tok in &entry.toks {
+            if tok.is_ident("unsafe") {
+                if entry.file.crate_name != "mega-format" {
+                    out.push(violation(
+                        "unsafe-policy",
+                        &entry.file.path,
+                        tok.line,
+                        format!(
+                            "`unsafe` in crate `{}`: all unsafe code lives in mega-format's \
+                             avx2-gated kernel module",
+                            entry.file.crate_name
+                        ),
+                    ));
+                } else if !entry.is_gated_line(tok.line) {
+                    out.push(violation(
+                        "unsafe-policy",
+                        &entry.file.path,
+                        tok.line,
+                        "`unsafe` outside the `avx2`-gated module: the portable build must \
+                         stay forbid(unsafe_code)-clean"
+                            .to_string(),
+                    ));
+                } else if !has_safety_comment(&lines, tok.line) {
+                    out.push(violation(
+                        "unsafe-policy",
+                        &entry.file.path,
+                        tok.line,
+                        format!(
+                            "`unsafe` without a `SAFETY:` comment (or `# Safety` doc section) \
+                             within the {SAFETY_WINDOW} lines above it"
+                        ),
+                    ));
+                }
+            }
+        }
+        for i in 0..entry.toks.len() {
+            if seq_at(&entry.toks, i, &["allow", "(", "unsafe_code", ")"])
+                && !(entry.file.crate_name == "mega-format"
+                    && entry.is_gated_line(entry.toks[i].line))
+            {
+                out.push(violation(
+                    "unsafe-policy",
+                    &entry.file.path,
+                    entry.toks[i].line,
+                    "`allow(unsafe_code)` outside mega-format's avx2-gated module".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Scans the raw lines in `(line - SAFETY_WINDOW, line]` for a safety
+/// justification. Raw text, not tokens: the justification *is* a
+/// comment, which the lexer drops.
+fn has_safety_comment(lines: &[&str], line: usize) -> bool {
+    let end = line; // 1-based token line; check it and the window above
+    let start = end.saturating_sub(SAFETY_WINDOW);
+    lines[start.saturating_sub(1).min(lines.len())..end.min(lines.len())]
+        .iter()
+        .any(|l| l.contains("SAFETY") || l.contains("# Safety"))
+}
+
+// ---------------------------------------------------------------------
+// forbid-unsafe
+// ---------------------------------------------------------------------
+
+/// Every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) must
+/// declare `forbid(unsafe_code)` — directly or via `cfg_attr` (the
+/// pattern mega-format uses to downgrade to `deny` under `avx2`).
+fn forbid_unsafe(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for entry in &view.files {
+        let path = &entry.file.path;
+        let is_root = path.ends_with("/src/lib.rs")
+            || path.ends_with("/src/main.rs")
+            || (path.contains("/src/bin/") && path.ends_with(".rs"));
+        if !is_root {
+            continue;
+        }
+        if !contains_seq(&entry.toks, &["forbid", "(", "unsafe_code", ")"]) {
+            out.push(violation(
+                "forbid-unsafe",
+                path,
+                1,
+                "crate root does not declare `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// crate-dag
+// ---------------------------------------------------------------------
+
+/// Offline shims, allowed as a dependency of any crate.
+const SHIMS: &[&str] = &["rand", "proptest", "criterion"];
+
+/// The dependency allowlist: `(crate, allowed normal deps)`. The layer
+/// order this encodes is the repo's architecture — leaves (`graph`,
+/// `hw`, `tensor`, `format`) depend on nothing, the model stack
+/// (`gnn` → `quant`) sits on the leaves, the hardware stack
+/// (`sim` → `accel`/`baselines`) beside it, the `mega` facade on both,
+/// and only `serve`/`bench` may see (almost) everything. In particular
+/// `mega-format` must never grow a dependency on `mega-quant`: the
+/// storage format is defined by the paper's encoding, not by whichever
+/// quantizer produced the tiers.
+const DEP_ALLOW: &[(&str, &[&str])] = &[
+    (
+        "mega-accel",
+        &[
+            "mega-format",
+            "mega-graph",
+            "mega-hw",
+            "mega-partition",
+            "mega-sim",
+        ],
+    ),
+    (
+        "mega-baselines",
+        &["mega-graph", "mega-hw", "mega-partition", "mega-sim"],
+    ),
+    (
+        "mega-bench",
+        &[
+            "mega",
+            "mega-accel",
+            "mega-baselines",
+            "mega-format",
+            "mega-gnn",
+            "mega-graph",
+            "mega-hw",
+            "mega-partition",
+            "mega-quant",
+            "mega-sim",
+            "mega-tensor",
+        ],
+    ),
+    (
+        "mega",
+        &[
+            "mega-accel",
+            "mega-baselines",
+            "mega-gnn",
+            "mega-graph",
+            "mega-quant",
+            "mega-sim",
+        ],
+    ),
+    ("mega-format", &[]),
+    ("mega-gnn", &["mega-format", "mega-graph", "mega-tensor"]),
+    ("mega-graph", &[]),
+    ("mega-hw", &[]),
+    ("mega-lint", &[]),
+    ("mega-partition", &["mega-graph"]),
+    ("mega-quant", &["mega-gnn", "mega-graph", "mega-tensor"]),
+    (
+        "mega-serve",
+        &[
+            "mega",
+            "mega-accel",
+            "mega-format",
+            "mega-gnn",
+            "mega-graph",
+            "mega-partition",
+            "mega-quant",
+            "mega-sim",
+            "mega-tensor",
+        ],
+    ),
+    ("mega-sim", &["mega-graph", "mega-hw"]),
+    ("mega-tensor", &[]),
+    ("rand", &[]),
+    ("proptest", &[]),
+    ("criterion", &[]),
+];
+
+/// Extra `[dev-dependencies]` edges (tests may reach across layers the
+/// library must not — e.g. `mega-quant` checks round-trips against
+/// `mega-format`, and the facade's integration tests drive `mega-serve`).
+const DEV_DEP_EXTRA: &[(&str, &[&str])] = &[
+    ("mega-bench", &["mega-serve"]),
+    (
+        "mega",
+        &["mega-format", "mega-partition", "mega-serve", "mega-tensor"],
+    ),
+    ("mega-quant", &["mega-format"]),
+];
+
+fn dag_lookup<'t>(table: &'t [(&str, &'t [&str])], name: &str) -> Option<&'t [&'t str]> {
+    table
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, allowed)| allowed)
+}
+
+/// The crate dependency graph must match [`DEP_ALLOW`] exactly — any
+/// new edge is a deliberate, reviewed change to this table.
+fn crate_dag(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for manifest in &view.manifests {
+        let Some(allowed) = dag_lookup(DEP_ALLOW, &manifest.name) else {
+            out.push(violation(
+                "crate-dag",
+                &manifest.path,
+                1,
+                format!(
+                    "crate `{}` is not in the dependency allowlist: add it to \
+                     DEP_ALLOW in crates/lint/src/rules.rs with its permitted edges",
+                    manifest.name
+                ),
+            ));
+            continue;
+        };
+        let dev_extra = dag_lookup(DEV_DEP_EXTRA, &manifest.name).unwrap_or(&[]);
+        for dep in &manifest.deps {
+            if !SHIMS.contains(&dep.as_str()) && !allowed.contains(&dep.as_str()) {
+                out.push(violation(
+                    "crate-dag",
+                    &manifest.path,
+                    1,
+                    format!(
+                        "dependency edge `{}` -> `{}` is not in the allowlist \
+                         (layering: see DEP_ALLOW in crates/lint/src/rules.rs)",
+                        manifest.name, dep
+                    ),
+                ));
+            }
+        }
+        for dep in &manifest.dev_deps {
+            if !SHIMS.contains(&dep.as_str())
+                && !allowed.contains(&dep.as_str())
+                && !dev_extra.contains(&dep.as_str())
+            {
+                out.push(violation(
+                    "crate-dag",
+                    &manifest.path,
+                    1,
+                    format!(
+                        "dev-dependency edge `{}` -> `{}` is not in the allowlist \
+                         (see DEV_DEP_EXTRA in crates/lint/src/rules.rs)",
+                        manifest.name, dep
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// lock-unwrap
+// ---------------------------------------------------------------------
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// In `mega-serve`'s request path (its `src/`), lock results must not be
+/// `.unwrap()`/`.expect()`ed: a panicking holder would poison the lock
+/// and cascade every later request into the same panic. The policy is
+/// `poison::recover` — take the guard, note the component, let
+/// `/healthz` flip to 503 so the replica drains (the dead-lane pattern).
+///
+/// The `(` `)` in the pattern is deliberate: lock acquisition methods
+/// take no arguments, so `stream.read(&mut buf).unwrap()` (std::io)
+/// never matches. Test modules are exempt — panicking on poison is the
+/// right behavior *inside a test*.
+fn lock_unwrap(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for entry in &view.files {
+        if entry.file.crate_name != "mega-serve" || !entry.file.path.contains("/src/") {
+            continue;
+        }
+        for i in 0..entry.toks.len() {
+            let toks = &entry.toks;
+            let hit = toks[i].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| {
+                    t.kind == TokKind::Ident && LOCK_METHODS.contains(&t.text.as_str())
+                })
+                && seq_at(toks, i + 2, &["(", ")", "."])
+                && toks
+                    .get(i + 5)
+                    .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+            if hit && !entry.is_test_line(toks[i].line) {
+                out.push(violation(
+                    "lock-unwrap",
+                    &entry.file.path,
+                    toks[i].line,
+                    format!(
+                        "`.{}().{}()` on a lock in the serve request path: use \
+                         `poison::recover`/`.recover(\"component\")` so a poisoned lock \
+                         degrades /healthz instead of cascading panics",
+                        toks[i + 1].text,
+                        toks[i + 5].text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// kernel-clock
+// ---------------------------------------------------------------------
+
+/// Kernel bodies (`mega-format/src/planes.rs`, `mega-gnn/src/kernel.rs`)
+/// must not read clocks: timing belongs to callers, benches, and the
+/// serve-side tracing layer. A clock read in a kernel is either stray
+/// instrumentation (perturbs BENCH numbers) or a nondeterminism bug.
+fn kernel_clock(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for entry in &view.files {
+        let path = &entry.file.path;
+        let is_kernel =
+            path.ends_with("format/src/planes.rs") || path.ends_with("gnn/src/kernel.rs");
+        if !is_kernel {
+            continue;
+        }
+        for tok in &entry.toks {
+            if (tok.is_ident("Instant") || tok.is_ident("SystemTime"))
+                && !entry.is_test_line(tok.line)
+            {
+                out.push(violation(
+                    "kernel-clock",
+                    path,
+                    tok.line,
+                    format!(
+                        "`{}` in a kernel body: kernels are pure compute, timing lives \
+                         in callers and benches",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// kernel-mode-sync
+// ---------------------------------------------------------------------
+
+/// The three places that must agree on the set of kernel modes.
+const KERNEL_ENUM_FILE: &str = "gnn/src/kernel.rs";
+const WORKER_FILE: &str = "serve/src/worker.rs";
+const EQUIVALENCE_SUITE: &str = "serve/tests/kernels.rs";
+
+/// `KernelMode` dispatch must stay in sync: every `match mode` in the
+/// kernel names every variant with no `_` wildcard (so adding a mode is
+/// a compile-time/lint-time event, never a silent fallback), the serve
+/// worker actually routes on the enum, and the serve-side three-mode
+/// equivalence suite exercises every variant.
+fn kernel_mode_sync(view: &WorkspaceView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(kernel) = view
+        .files
+        .iter()
+        .find(|e| e.file.path.ends_with(KERNEL_ENUM_FILE))
+    else {
+        out.push(violation(
+            "kernel-mode-sync",
+            KERNEL_ENUM_FILE,
+            1,
+            "kernel file not found: if the kernel moved, update \
+             KERNEL_ENUM_FILE in crates/lint/src/rules.rs"
+                .to_string(),
+        ));
+        return out;
+    };
+    let variants = enum_variants(&kernel.toks, "KernelMode");
+    if variants.is_empty() {
+        out.push(violation(
+            "kernel-mode-sync",
+            &kernel.file.path,
+            1,
+            "could not find `enum KernelMode` variants".to_string(),
+        ));
+        return out;
+    }
+
+    // Every `match mode {` block in the kernel file: full coverage via
+    // explicit `KernelMode::X` arms, no `_` wildcard.
+    for (start_line, body) in match_mode_blocks(&kernel.toks) {
+        let named = qualified_variants(body, "KernelMode");
+        for v in &variants {
+            if !named.contains(v) {
+                out.push(violation(
+                    "kernel-mode-sync",
+                    &kernel.file.path,
+                    start_line,
+                    format!("`match mode` does not name `KernelMode::{v}` explicitly"),
+                ));
+            }
+        }
+        if has_wildcard_arm(body) {
+            out.push(violation(
+                "kernel-mode-sync",
+                &kernel.file.path,
+                start_line,
+                "`match mode` has a `_ =>` wildcard arm: new kernel modes must fail \
+                 loudly, not fall back silently"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // The serve worker routes on the enum at all.
+    check_references(
+        view,
+        WORKER_FILE,
+        &["KernelMode".to_string()],
+        "the serve worker must dispatch on `KernelMode`",
+        &mut out,
+    );
+    // The equivalence suite exercises every variant.
+    let wanted: Vec<String> = variants.clone();
+    if let Some(suite) = view
+        .files
+        .iter()
+        .find(|e| e.file.path.ends_with(EQUIVALENCE_SUITE))
+    {
+        let named = qualified_variants(&suite.toks, "KernelMode");
+        for v in &wanted {
+            if !named.contains(v) {
+                out.push(violation(
+                    "kernel-mode-sync",
+                    &suite.file.path,
+                    1,
+                    format!("the kernel equivalence suite does not exercise `KernelMode::{v}`"),
+                ));
+            }
+        }
+    } else {
+        out.push(violation(
+            "kernel-mode-sync",
+            EQUIVALENCE_SUITE,
+            1,
+            "kernel equivalence suite not found: if it moved, update \
+             EQUIVALENCE_SUITE in crates/lint/src/rules.rs"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+fn check_references(
+    view: &WorkspaceView,
+    path_suffix: &str,
+    idents: &[String],
+    why: &str,
+    out: &mut Vec<Violation>,
+) {
+    let Some(entry) = view
+        .files
+        .iter()
+        .find(|e| e.file.path.ends_with(path_suffix))
+    else {
+        out.push(violation(
+            "kernel-mode-sync",
+            path_suffix,
+            1,
+            format!("file not found ({why}): update crates/lint/src/rules.rs if it moved"),
+        ));
+        return;
+    };
+    for ident in idents {
+        if !entry.toks.iter().any(|t| t.is_ident(ident)) {
+            out.push(violation(
+                "kernel-mode-sync",
+                &entry.file.path,
+                1,
+                format!("no reference to `{ident}`: {why}"),
+            ));
+        }
+    }
+}
+
+/// Extracts the variant names of `enum <name> { ... }`: the depth-1
+/// identifiers inside the enum's braces (doc comments are already gone
+/// from the token stream; `KernelMode` is a plain fieldless enum).
+fn enum_variants(toks: &[Tok], name: &str) -> Vec<String> {
+    for i in 0..toks.len() {
+        if toks[i].is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            let mut variants = Vec::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return variants;
+                    }
+                } else if depth == 1 && t.kind == TokKind::Ident {
+                    variants.push(t.text.clone());
+                }
+                j += 1;
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Finds `match mode {` blocks; returns `(line, body_tokens)` per block.
+fn match_mode_blocks(toks: &[Tok]) -> Vec<(usize, &[Tok])> {
+    let mut blocks = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("match")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("mode"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let start = i + 2;
+            let mut depth = 0usize;
+            let mut j = start;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            blocks.push((toks[i].line, &toks[start..=j.min(toks.len() - 1)]));
+        }
+    }
+    blocks
+}
+
+/// Collects `X` from every `<name> :: X` triple in `toks`.
+fn qualified_variants(toks: &[Tok], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident(name)
+            && seq_at(toks, i + 1, &[":", ":"])
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            out.push(toks[i + 3].text.clone());
+        }
+    }
+    out
+}
+
+/// Whether a `_ =>` arm appears at arm depth (depth 1) of a match body
+/// whose tokens start at the opening `{`.
+fn has_wildcard_arm(body: &[Tok]) -> bool {
+    let mut depth = 0usize;
+    for i in 0..body.len() {
+        let t = &body[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 1 && t.is_ident("_") && seq_at(body, i + 1, &["=", ">"]) {
+            return true;
+        }
+    }
+    false
+}

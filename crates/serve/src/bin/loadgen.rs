@@ -42,6 +42,8 @@
 //! analytic f32 baseline is at least `X`× the measured resident feature
 //! bytes).
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};

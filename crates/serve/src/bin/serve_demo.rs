@@ -47,6 +47,8 @@
 //! `MEGA_SERVE_SHARDS`, `MEGA_SERVE_CACHE_MB`, `MEGA_SERVE_ZIPF`,
 //! `MEGA_SERVE_CLOSED_LOOP`.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -26,6 +26,8 @@
 //! in-flight bound, requests get `429` + `Retry-After` instead of
 //! queueing behind everyone else.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -19,7 +19,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard};
+use std::sync::{Arc, OnceLock};
+
+use mega::sync::{Mutex, RwLock, RwLockReadGuard};
+
+use crate::poison::LockRecoverExt;
 
 use mega_format::TierPackedFeatures;
 use mega_gnn::{DynAdjacency, Gnn, ModelConfig, PackedGnn};
@@ -697,12 +701,12 @@ impl ModelEntry {
 
     /// Read access for batch execution and probes.
     pub fn read(&self) -> RwLockReadGuard<'_, ModelArtifacts> {
-        self.artifacts.read().expect("artifacts lock poisoned")
+        self.artifacts.read().recover("model-artifacts")
     }
 
     /// Runs `f` with exclusive access (the update path).
     pub fn update<R>(&self, f: impl FnOnce(&mut ModelArtifacts) -> R) -> R {
-        f(&mut self.artifacts.write().expect("artifacts lock poisoned"))
+        f(&mut self.artifacts.write().recover("model-artifacts"))
     }
 
     /// Whether this entry has applied mutations. Mutated state exists
@@ -766,7 +770,7 @@ impl ArtifactCache {
         build: impl FnOnce() -> ModelArtifacts,
     ) -> Arc<ModelEntry> {
         let entry = {
-            let mut inner = self.inner.lock().expect("cache lock poisoned");
+            let mut inner = self.inner.lock().recover("artifact-cache");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(slot) = inner.map.get_mut(key) {
@@ -820,7 +824,7 @@ impl ArtifactCache {
     pub fn invalidate(&self, key: &ModelKey) -> bool {
         self.inner
             .lock()
-            .expect("cache lock poisoned")
+            .recover("artifact-cache")
             .map
             .remove(key)
             .is_some()
@@ -830,7 +834,7 @@ impl ArtifactCache {
     pub fn contains(&self, key: &ModelKey) -> bool {
         self.inner
             .lock()
-            .expect("cache lock poisoned")
+            .recover("artifact-cache")
             .map
             .contains_key(key)
     }
@@ -845,7 +849,7 @@ impl ArtifactCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").map.len()
+        self.inner.lock().recover("artifact-cache").map.len()
     }
 
     /// Whether the cache is empty.
@@ -860,7 +864,7 @@ impl ArtifactCache {
     pub fn resident(&self) -> Vec<(ModelKey, Arc<ModelEntry>)> {
         self.inner
             .lock()
-            .expect("cache lock poisoned")
+            .recover("artifact-cache")
             .map
             .iter()
             .filter_map(|(key, slot)| slot.entry.get().map(|e| (key.clone(), e.clone())))

@@ -117,6 +117,7 @@ pub mod cache;
 pub mod http;
 pub mod logits;
 pub mod metrics;
+pub mod poison;
 pub mod registry;
 pub mod request;
 pub mod scheduler;
@@ -232,12 +233,20 @@ pub struct EngineHealth {
     pub lanes_alive: Vec<bool>,
     /// Requests submitted but not yet answered.
     pub in_flight: usize,
+    /// Components that recovered from a poisoned lock (see
+    /// [`crate::poison`]). The engine keeps serving through poison, but
+    /// it signals a panic mid-update somewhere — report unhealthy so the
+    /// replica gets drained and recycled rather than trusted forever.
+    pub poisoned: Vec<&'static str>,
 }
 
 impl EngineHealth {
-    /// Healthy means every thread the request path depends on is alive.
+    /// Healthy means every thread the request path depends on is alive
+    /// and no shared lock has been poisoned by a panicking holder.
     pub fn ok(&self) -> bool {
-        self.sweeper_alive && self.lanes_alive.iter().all(|&alive| alive)
+        self.sweeper_alive
+            && self.lanes_alive.iter().all(|&alive| alive)
+            && self.poisoned.is_empty()
     }
 
     /// A human-readable reason when unhealthy.
@@ -252,11 +261,13 @@ impl EngineHealth {
             .filter(|&(_, &alive)| !alive)
             .map(|(lane, _)| lane.to_string())
             .collect();
-        if dead.is_empty() {
-            None
-        } else {
-            Some(format!("worker lane(s) {} dead", dead.join(", ")))
+        if !dead.is_empty() {
+            return Some(format!("worker lane(s) {} dead", dead.join(", ")));
         }
+        if !self.poisoned.is_empty() {
+            return Some(format!("lock(s) {} poisoned", self.poisoned.join(", ")));
+        }
+        None
     }
 }
 
@@ -625,6 +636,7 @@ impl ServeEngine {
             sweeper_alive: !self.sweeper.is_finished(),
             lanes_alive: self.pool.alive(),
             in_flight: self.in_flight(),
+            poisoned: poison::poisoned_components(),
         }
     }
 

@@ -36,8 +36,10 @@
 //!
 //! [`ModelSpec::cache_bytes`]: crate::ModelSpec::cache_bytes
 
+use mega::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+
+use crate::poison::LockRecoverExt;
 
 use mega_graph::NodeId;
 
@@ -126,7 +128,7 @@ impl LogitsCache {
         if !self.is_enabled() {
             return None;
         }
-        let mut inner = self.inner.lock().expect("logits cache poisoned");
+        let mut inner = self.inner.lock().recover("logits-cache");
         inner.tick += 1;
         let tick = inner.tick;
         let slot = inner.map.get_mut(&node)?;
@@ -146,7 +148,7 @@ impl LogitsCache {
         if bytes > self.capacity_bytes {
             return 0;
         }
-        let mut inner = self.inner.lock().expect("logits cache poisoned");
+        let mut inner = self.inner.lock().recover("logits-cache");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.map.insert(node, Slot { cached, tick }) {
@@ -181,7 +183,7 @@ impl LogitsCache {
         if stale.is_empty() {
             return 0;
         }
-        let mut inner = self.inner.lock().expect("logits cache poisoned");
+        let mut inner = self.inner.lock().recover("logits-cache");
         // Walk the smaller side: a churn-heavy delta can dirty most of the
         // graph while the cache holds few entries, and vice versa.
         let resident: Vec<NodeId> = if stale.len() < inner.map.len() {
@@ -211,7 +213,7 @@ impl LogitsCache {
     /// explicit operator flush; weight changes rebuild the artifacts and
     /// never reach a live cache).
     pub fn flush(&self) -> usize {
-        let mut inner = self.inner.lock().expect("logits cache poisoned");
+        let mut inner = self.inner.lock().recover("logits-cache");
         let dropped = inner.map.len();
         inner.map.clear();
         inner.recency.clear();
@@ -221,7 +223,7 @@ impl LogitsCache {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("logits cache poisoned").map.len()
+        self.inner.lock().recover("logits-cache").map.len()
     }
 
     /// Whether nothing is cached.
@@ -231,7 +233,7 @@ impl LogitsCache {
 
     /// Bytes currently charged against the budget.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("logits cache poisoned").bytes
+        self.inner.lock().recover("logits-cache").bytes
     }
 }
 

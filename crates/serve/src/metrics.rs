@@ -6,7 +6,11 @@
 //! each other once a shard's slot exists.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use mega::sync::RwLock;
+
+use crate::poison::LockRecoverExt;
 use std::time::Duration;
 
 use crate::shard::HwEstimate;
@@ -276,12 +280,12 @@ impl Metrics {
     /// worker lanes do not serialize against each other.
     pub fn shard_stat(&self, shard: u32) -> Arc<ShardStat> {
         {
-            let shards = self.shards.read().expect("shard stats poisoned");
+            let shards = self.shards.read().recover("shard-metrics");
             if let Some(stat) = shards.get(shard as usize) {
                 return stat.clone();
             }
         }
-        let mut shards = self.shards.write().expect("shard stats poisoned");
+        let mut shards = self.shards.write().recover("shard-metrics");
         while shards.len() <= shard as usize {
             shards.push(Arc::new(ShardStat::default()));
         }
@@ -292,12 +296,12 @@ impl Metrics {
     /// sight (same read-mostly pattern as [`Metrics::shard_stat`]).
     pub fn lane_stat(&self, lane: usize) -> Arc<LaneStat> {
         {
-            let lanes = self.lanes.read().expect("lane stats poisoned");
+            let lanes = self.lanes.read().recover("lane-metrics");
             if let Some(stat) = lanes.get(lane) {
                 return stat.clone();
             }
         }
-        let mut lanes = self.lanes.write().expect("lane stats poisoned");
+        let mut lanes = self.lanes.write().recover("lane-metrics");
         while lanes.len() <= lane {
             lanes.push(Arc::new(LaneStat::default()));
         }
@@ -309,7 +313,7 @@ impl Metrics {
     pub fn lane_snapshot(&self) -> Vec<(u64, u64, u64, bool)> {
         self.lanes
             .read()
-            .expect("lane stats poisoned")
+            .recover("lane-metrics")
             .iter()
             .map(|l| {
                 (
@@ -449,7 +453,7 @@ impl Metrics {
             shards: self
                 .shards
                 .read()
-                .expect("shard stats poisoned")
+                .recover("shard-metrics")
                 .iter()
                 .enumerate()
                 .map(|(i, s)| ShardReport {

@@ -1,8 +1,10 @@
 //! The model registry: which (dataset, architecture) pairs the engine
 //! serves, and with what policy/layout knobs.
 
+use mega::sync::RwLock;
 use std::collections::HashMap;
-use std::sync::RwLock;
+
+use crate::poison::LockRecoverExt;
 
 use mega_gnn::GnnKind;
 use mega_graph::DatasetSpec;
@@ -86,7 +88,7 @@ impl ModelRegistry {
         let key = spec.key();
         self.models
             .write()
-            .expect("registry lock poisoned")
+            .recover("model-registry")
             .insert(key.clone(), spec);
         key
     }
@@ -95,7 +97,7 @@ impl ModelRegistry {
     pub fn get(&self, key: &ModelKey) -> Option<ModelSpec> {
         self.models
             .read()
-            .expect("registry lock poisoned")
+            .recover("model-registry")
             .get(key)
             .cloned()
     }
@@ -105,7 +107,7 @@ impl ModelRegistry {
         let mut keys: Vec<ModelKey> = self
             .models
             .read()
-            .expect("registry lock poisoned")
+            .recover("model-registry")
             .keys()
             .cloned()
             .collect();
@@ -115,7 +117,7 @@ impl ModelRegistry {
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock poisoned").len()
+        self.models.read().recover("model-registry").len()
     }
 
     /// Whether nothing is registered.

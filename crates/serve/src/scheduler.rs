@@ -44,7 +44,11 @@
 //! re-registration).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use mega::sync::{Condvar, Mutex};
+
+use crate::poison::LockRecoverExt;
 use std::time::{Duration, Instant};
 
 use crate::request::{InferenceRequest, ModelKey, UpdateRequest};
@@ -136,7 +140,7 @@ impl UpdateQueue {
     fn push(&self, request: UpdateRequest) {
         self.queues
             .lock()
-            .expect("update queue poisoned")
+            .recover("update-queue")
             .entry(request.model.clone())
             .or_default()
             .push_back(request);
@@ -148,7 +152,7 @@ impl UpdateQueue {
     pub fn pop(&self, model: &ModelKey) -> Option<UpdateRequest> {
         self.queues
             .lock()
-            .expect("update queue poisoned")
+            .recover("update-queue")
             .get_mut(model)?
             .pop_front()
     }
@@ -157,7 +161,7 @@ impl UpdateQueue {
     pub fn pending(&self) -> usize {
         self.queues
             .lock()
-            .expect("update queue poisoned")
+            .recover("update-queue")
             .values()
             .map(VecDeque::len)
             .sum()
@@ -230,7 +234,7 @@ impl BatchScheduler {
     pub fn submit(&self, mut request: InferenceRequest) -> bool {
         request.trace.stamp(TraceStage::Enqueued);
         let key = (request.model.clone(), request.shard, request.tier);
-        let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+        let mut buckets = self.buckets.lock().recover("scheduler-buckets");
         // Every bucket shares `max_delay`, so the earliest deadline
         // belongs to the minimum `oldest`. The sweeper needs a wake only
         // when this submit *advances* that minimum: the scheduler went
@@ -284,7 +288,7 @@ impl BatchScheduler {
     /// number of batches emitted.
     pub fn flush_model(&self, model: &ModelKey) -> usize {
         let drained: Vec<(BucketKey, Vec<InferenceRequest>)> = {
-            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            let mut buckets = self.buckets.lock().recover("scheduler-buckets");
             let keys: Vec<BucketKey> = buckets
                 .keys()
                 .filter(|(m, _, _)| m == model)
@@ -311,7 +315,7 @@ impl BatchScheduler {
     /// without sleeping.
     pub fn poll_deadlines(&self, now: Instant) -> usize {
         let expired: Vec<(BucketKey, Vec<InferenceRequest>)> = {
-            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            let mut buckets = self.buckets.lock().recover("scheduler-buckets");
             let keys: Vec<BucketKey> = buckets
                 .iter()
                 .filter(|(_, b)| now.duration_since(b.oldest) >= self.config.max_delay)
@@ -335,7 +339,7 @@ impl BatchScheduler {
     /// the number of batches emitted.
     pub fn flush_all(&self) -> usize {
         let drained: HashMap<BucketKey, Bucket> = {
-            let mut buckets = self.buckets.lock().expect("scheduler lock poisoned");
+            let mut buckets = self.buckets.lock().recover("scheduler-buckets");
             std::mem::take(&mut *buckets)
         };
         let count = drained.len();
@@ -349,7 +353,7 @@ impl BatchScheduler {
     pub fn pending(&self) -> usize {
         self.buckets
             .lock()
-            .expect("scheduler lock poisoned")
+            .recover("scheduler-buckets")
             .values()
             .map(|b| b.requests.len())
             .sum()
@@ -360,7 +364,7 @@ impl BatchScheduler {
     /// shrink back to zero whenever the scheduler drains (the regression
     /// surface for unbounded bucket-map growth).
     pub fn bucket_count(&self) -> usize {
-        self.buckets.lock().expect("scheduler lock poisoned").len()
+        self.buckets.lock().recover("scheduler-buckets").len()
     }
 
     /// The earliest pending deadline: when the sweeper must next flush.
@@ -370,7 +374,7 @@ impl BatchScheduler {
     pub fn next_deadline(&self) -> Option<Instant> {
         self.buckets
             .lock()
-            .expect("scheduler lock poisoned")
+            .recover("scheduler-buckets")
             .values()
             .map(|b| b.oldest)
             .min()
@@ -383,7 +387,7 @@ impl BatchScheduler {
     /// and the park bumps the generation and the park returns immediately,
     /// so a wakeup can never be lost to that race.
     pub fn sweep_generation(&self) -> u64 {
-        *self.sweep_gen.lock().expect("sweep generation poisoned")
+        *self.sweep_gen.lock().recover("sweeper")
     }
 
     /// Blocks the calling (sweeper) thread until `deadline` passes, the
@@ -393,7 +397,7 @@ impl BatchScheduler {
     /// scheduler parks its sweeper indefinitely (zero wakeups), and an
     /// armed one wakes exactly at the earliest deadline.
     pub fn sweeper_park(&self, gen: u64, deadline: Option<Instant>) {
-        let mut current = self.sweep_gen.lock().expect("sweep generation poisoned");
+        let mut current = self.sweep_gen.lock().recover("sweeper");
         loop {
             if *current != gen {
                 return;
@@ -407,17 +411,14 @@ impl BatchScheduler {
                     let (next, timeout) = self
                         .sweep_cv
                         .wait_timeout(current, deadline - now)
-                        .expect("sweep generation poisoned");
+                        .recover("sweeper");
                     current = next;
                     if timeout.timed_out() {
                         return;
                     }
                 }
                 None => {
-                    current = self
-                        .sweep_cv
-                        .wait(current)
-                        .expect("sweep generation poisoned");
+                    current = self.sweep_cv.wait(current).recover("sweeper");
                 }
             }
         }
@@ -427,7 +428,7 @@ impl BatchScheduler {
     /// advances on the submit side and engine shutdown both come through
     /// here).
     pub fn wake_sweeper(&self) {
-        let mut gen = self.sweep_gen.lock().expect("sweep generation poisoned");
+        let mut gen = self.sweep_gen.lock().recover("sweeper");
         *gen = gen.wrapping_add(1);
         self.sweep_cv.notify_all();
     }

@@ -30,7 +30,11 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use mega::sync::{Condvar, Mutex};
+
+use crate::poison::LockRecoverExt;
 use std::time::{Duration, Instant};
 
 use crate::request::{InferenceResponse, ServeResponse, UpdateResponse};
@@ -82,13 +86,13 @@ impl Slot {
     }
 
     fn deliver(&self, response: ServeResponse) {
-        let mut state = self.state.lock().expect("ticket slot poisoned");
+        let mut state = self.state.lock().recover("ticket-slot");
         *state = SlotState::Delivered(response);
         self.ready.notify_all();
     }
 
     fn drop_request(&self) {
-        let mut state = self.state.lock().expect("ticket slot poisoned");
+        let mut state = self.state.lock().recover("ticket-slot");
         if matches!(*state, SlotState::Pending) {
             *state = SlotState::Dropped;
         }
@@ -128,7 +132,7 @@ impl Ticket {
     /// still observes the response.
     pub fn wait(&self, timeout: Duration) -> Result<ServeResponse, WaitError> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.slot.state.lock().expect("ticket slot poisoned");
+        let mut state = self.slot.state.lock().recover("ticket-slot");
         loop {
             match &*state {
                 SlotState::Delivered(response) => return Ok(response.clone()),
@@ -143,14 +147,14 @@ impl Ticket {
                 .slot
                 .ready
                 .wait_timeout(state, deadline - now)
-                .expect("ticket slot poisoned");
+                .recover("ticket-slot");
             state = next;
         }
     }
 
     /// Non-blocking probe: the response if it has already been delivered.
     pub fn try_take(&self) -> Option<ServeResponse> {
-        match &*self.slot.state.lock().expect("ticket slot poisoned") {
+        match &*self.slot.state.lock().recover("ticket-slot") {
             SlotState::Delivered(response) => Some(response.clone()),
             _ => None,
         }
@@ -205,7 +209,7 @@ impl CompletionRouter {
         let slot = Arc::new(Slot::new());
         self.slots
             .lock()
-            .expect("completion router poisoned")
+            .recover("completion-router")
             .insert(id, slot.clone());
         Ticket { id, slot }
     }
@@ -218,7 +222,7 @@ impl CompletionRouter {
         let slot = self
             .slots
             .lock()
-            .expect("completion router poisoned")
+            .recover("completion-router")
             .remove(&response.id());
         if let Some(slot) = slot {
             slot.deliver(response.clone());
@@ -227,11 +231,7 @@ impl CompletionRouter {
 
     /// Marks `id` as dropped-without-answer and wakes its waiter (if any).
     pub fn drop_request(&self, id: u64) {
-        let slot = self
-            .slots
-            .lock()
-            .expect("completion router poisoned")
-            .remove(&id);
+        let slot = self.slots.lock().recover("completion-router").remove(&id);
         if let Some(slot) = slot {
             slot.drop_request();
         }
@@ -239,7 +239,7 @@ impl CompletionRouter {
 
     /// Number of requests submitted but not yet answered or dropped.
     pub fn in_flight(&self) -> usize {
-        self.slots.lock().expect("completion router poisoned").len()
+        self.slots.lock().recover("completion-router").len()
     }
 }
 

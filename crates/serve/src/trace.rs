@@ -29,7 +29,10 @@
 //! adjacency, logits caches).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use mega::sync::Mutex;
+
+use crate::poison::LockRecoverExt;
 use std::time::{Duration, Instant};
 
 use crate::metrics::LogHistogram;
@@ -303,20 +306,17 @@ impl FlightRecorder {
             self.slow_recorded.fetch_add(1, Ordering::Relaxed);
             self.slow
                 .lock()
-                .expect("flight recorder poisoned")
+                .recover("flight-recorder")
                 .push(record.clone());
         }
-        self.recent
-            .lock()
-            .expect("flight recorder poisoned")
-            .push(record);
+        self.recent.lock().recover("flight-recorder").push(record);
     }
 
     /// The retained recent timelines, oldest first.
     pub fn recent(&self) -> Vec<TraceRecord> {
         self.recent
             .lock()
-            .expect("flight recorder poisoned")
+            .recover("flight-recorder")
             .buf
             .iter()
             .cloned()
@@ -327,7 +327,7 @@ impl FlightRecorder {
     pub fn slow(&self) -> Vec<TraceRecord> {
         self.slow
             .lock()
-            .expect("flight recorder poisoned")
+            .recover("flight-recorder")
             .buf
             .iter()
             .cloned()
